@@ -1,0 +1,20 @@
+//! The alternative monitoring designs SQLCM is compared against (paper §6.2.2).
+//!
+//! | paper name | type | what it models |
+//! |---|---|---|
+//! | `Query_logging` ([`logging::QueryLogging`]) | push, no filtering | event recording: every committed query is written out synchronously |
+//! | `PULL` ([`pull::PullMonitor`]) | pull, client-side filtering | polling a snapshot of the *currently active* queries — loses what completes between polls |
+//! | `PULL_history` ([`pull_history::PullHistory`]) | pull + server-kept history | the server retains all completed queries until "picked up"; exact but memory-hungry |
+//!
+//! [`topk`] holds the shared task definition (top-k most expensive queries) and
+//! the accuracy metric (how many of the true top-k a monitor missed).
+
+pub mod logging;
+pub mod pull;
+pub mod pull_history;
+pub mod topk;
+
+pub use logging::QueryLogging;
+pub use pull::{PullMonitor, PullReport};
+pub use pull_history::{PullHistory, PullHistoryReport};
+pub use topk::{missed_count, top_k, QueryCost};

@@ -1,0 +1,170 @@
+//! Criterion microbenchmarks for the framework's primitive operations:
+//! LAT insert, rule-condition evaluation, signature computation, B-tree point
+//! lookup, lock acquire/release, slotted-page insert.
+//!
+//! These are the per-operation numbers behind the figure-level harnesses; they
+//! are hardware-portable in a way the percentages are not.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlcm_common::{QueryInfo, SystemClock, Value};
+use sqlcm_core::objects::query_object;
+use sqlcm_core::rules::{eval_condition, EvalContext};
+use sqlcm_core::{Lat, LatAggFunc, LatSpec};
+use sqlcm_engine::active::ActiveQueryState;
+use sqlcm_engine::lock::{LockManager, LockMode, ResourceId};
+use sqlcm_engine::{optimizer, signature};
+use sqlcm_sql::parse_expression;
+use sqlcm_storage::{BTree, BufferPool, InMemoryDisk, SlottedPage, PAGE_SIZE};
+
+fn bench_lat_insert(c: &mut Criterion) {
+    let lat = Lat::new(
+        LatSpec::new("L")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D")
+            .aggregate(LatAggFunc::Last, "Query.Query_Text", "Text"),
+        SystemClock::shared(),
+    )
+    .unwrap();
+    let mut q = QueryInfo::synthetic(1, "SELECT x FROM t WHERE id = ?");
+    q.logical_signature = Some(7);
+    q.duration_micros = 1234;
+    let obj = query_object(&q);
+    c.bench_function("lat_insert_existing_group", |b| {
+        b.iter(|| lat.insert(std::hint::black_box(&obj)).unwrap())
+    });
+
+    let topk = Lat::new(
+        LatSpec::new("T")
+            .group_by("Query.ID", "ID")
+            .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+            .order_by("D", true)
+            .max_rows(10),
+        SystemClock::shared(),
+    )
+    .unwrap();
+    let mut id = 0u64;
+    c.bench_function("lat_insert_with_eviction", |b| {
+        b.iter(|| {
+            id += 1;
+            let mut q = QueryInfo::synthetic(id, "q");
+            q.duration_micros = id % 5000;
+            topk.insert(&query_object(&q)).unwrap()
+        })
+    });
+}
+
+fn bench_condition_eval(c: &mut Criterion) {
+    let mut q = QueryInfo::synthetic(1, "SELECT 1");
+    q.duration_micros = 1_000_000;
+    let objs = vec![query_object(&q)];
+    let lats = std::collections::HashMap::new();
+    let ctx = EvalContext {
+        objects: &objs,
+        lat_rows: &lats,
+    };
+    let one = parse_expression("Query.Duration > 100").unwrap();
+    let twenty = parse_expression(
+        &(0..20)
+            .map(|_| "Query.Duration >= 0")
+            .collect::<Vec<_>>()
+            .join(" AND "),
+    )
+    .unwrap();
+    c.bench_function("condition_eval_1_atom", |b| {
+        b.iter(|| eval_condition(std::hint::black_box(&one), &ctx).unwrap())
+    });
+    c.bench_function("condition_eval_20_atoms", |b| {
+        b.iter(|| eval_condition(std::hint::black_box(&twenty), &ctx).unwrap())
+    });
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let engine = sqlcm_engine::Engine::in_memory();
+    engine
+        .execute_batch(
+            "CREATE TABLE t (a INT PRIMARY KEY, b INT);\
+             CREATE TABLE u (a INT PRIMARY KEY, c INT);",
+        )
+        .unwrap();
+    let stmt = sqlcm_sql::parse_statement(
+        "SELECT t.b, COUNT(*) FROM t JOIN u ON t.a = u.a WHERE t.b > 5 GROUP BY t.b",
+    )
+    .unwrap();
+    let sel = match stmt {
+        sqlcm_sql::Statement::Select(s) => s,
+        _ => unreachable!(),
+    };
+    let planned = optimizer::plan_select(engine.catalog(), &sel).unwrap();
+    c.bench_function("signature_compute_join_query", |b| {
+        b.iter(|| signature::compute(&planned.logical, &planned.physical))
+    });
+    c.bench_function("optimize_join_query", |b| {
+        b.iter(|| optimizer::plan_select(engine.catalog(), &sel).unwrap())
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let pool = Arc::new(BufferPool::new(InMemoryDisk::shared(), 1024));
+    let tree = BTree::create(pool).unwrap();
+    for i in 0..100_000i64 {
+        tree.insert(&[Value::Int(i)], &i.to_le_bytes()).unwrap();
+    }
+    let mut i = 0i64;
+    c.bench_function("btree_point_get_100k", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            tree.get(&[Value::Int(i)]).unwrap()
+        })
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mc = Arc::new(sqlcm_engine::instrument::Multicast::new());
+    let mgr = LockManager::new(SystemClock::shared(), mc);
+    let q = ActiveQueryState::new(
+        1,
+        "q".into(),
+        sqlcm_common::QueryType::Select,
+        1,
+        1,
+        "u".into(),
+        "a".into(),
+        None,
+        0,
+    );
+    let mut k = 0i64;
+    c.bench_function("lock_acquire_release_uncontended", |b| {
+        b.iter(|| {
+            k += 1;
+            let r = ResourceId::Row(1, vec![Value::Int(k % 64)]);
+            mgr.acquire(1, &q, r.clone(), LockMode::Shared).unwrap();
+            mgr.release_all(1, std::slice::from_ref(&r));
+        })
+    });
+}
+
+fn bench_page(c: &mut Criterion) {
+    let mut buf = vec![0u8; PAGE_SIZE];
+    c.bench_function("slotted_page_insert_delete", |b| {
+        let mut p = SlottedPage::init(&mut buf);
+        b.iter(|| {
+            let s = p.insert(b"0123456789abcdef").unwrap();
+            p.delete(s);
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lat_insert,
+    bench_condition_eval,
+    bench_signature,
+    bench_btree,
+    bench_locks,
+    bench_page
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Time source abstraction.
+//!
+//! SQLCM has two time-dependent features that must be testable without sleeping:
+//! the *aging* versions of LAT aggregates (moving window of width `t`, block span
+//! `Δ`; paper Section 4.3) and `Timer` objects that raise `Timer.Alarm` events
+//! (Section 5.1). Both take a [`SharedClock`]; production code passes
+//! [`SystemClock`], tests pass a [`ManualClock`] and advance it explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Microseconds since the clock's origin (engine start for [`SystemClock`]).
+pub type Timestamp = u64;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current time in microseconds since the clock origin. Monotonic.
+    fn now_micros(&self) -> Timestamp;
+}
+
+/// Shared handle to a clock; cloned liberally across engine components.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Real monotonic clock anchored at construction time.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Convenience constructor returning a [`SharedClock`].
+    pub fn shared() -> SharedClock {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> Timestamp {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Deterministic, manually-advanced clock for tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new(start_micros: Timestamp) -> Self {
+        ManualClock {
+            micros: AtomicU64::new(start_micros),
+        }
+    }
+
+    /// Convenience constructor: a shared manual clock starting at 0, plus a handle
+    /// retaining the concrete type so tests can advance it.
+    pub fn shared(start_micros: Timestamp) -> (SharedClock, Arc<ManualClock>) {
+        let c = Arc::new(ManualClock::new(start_micros));
+        (c.clone() as SharedClock, c)
+    }
+
+    /// Advance the clock by `delta` microseconds.
+    pub fn advance(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time. Panics if that would move the clock backwards.
+    pub fn set(&self, micros: Timestamp) {
+        let prev = self.micros.swap(micros, Ordering::SeqCst);
+        assert!(prev <= micros, "ManualClock must not move backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> Timestamp {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new(100);
+        assert_eq!(c.now_micros(), 100);
+        c.advance(50);
+        assert_eq!(c.now_micros(), 150);
+        c.set(1_000);
+        assert_eq!(c.now_micros(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::new(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn shared_manual_clock_aliases() {
+        let (shared, handle) = ManualClock::shared(0);
+        handle.advance(7);
+        assert_eq!(shared.now_micros(), 7);
+    }
+}

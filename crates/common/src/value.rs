@@ -1,0 +1,485 @@
+//! The SQL value model.
+//!
+//! A single dynamically-typed [`Value`] enum is used for table cells, expression
+//! evaluation, probe attributes, and LAT grouping/aggregation columns. The paper
+//! notes (Section 4.1) that probe values are cast to the server's SQL types so the
+//! server's aggregation machinery can be reused; we mirror that by funnelling every
+//! probe through this one type.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+
+/// The SQL data types supported by the host engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Microseconds since an arbitrary epoch (the engine's clock origin).
+    Timestamp,
+    /// Opaque bytes — used for signature probe values, mirroring the paper's
+    /// `BLOB`-typed `Logical_Signature` / `Physical_Signature` attributes.
+    Blob,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Blob => "BLOB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically-typed SQL value.
+///
+/// `Value` implements a *total* order (`NULL` sorts lowest, floats via
+/// `f64::total_cmp`, cross-numeric comparisons coerce to float) so it can be used
+/// directly as a B-tree key and as a LAT ordering column. `Eq`/`Hash` are consistent
+/// with that order, which makes `Vec<Value>` usable as a grouping key in hash maps.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+    /// Microseconds since the engine clock origin.
+    Timestamp(u64),
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    /// The type of this value, or `None` for `NULL` (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Blob(_) => Some(DataType::Blob),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Numeric view of the value, coercing `Int`, `Float`, `Timestamp` and `Bool`.
+    ///
+    /// Returns `None` for `NULL`, `Text`, and `Blob`. This is the coercion used by
+    /// arithmetic in rule conditions and by numeric LAT aggregates (SUM/AVG/STDEV).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view, exact for `Int`/`Timestamp`/`Bool`, truncating for `Float`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Timestamp(t) => Some(*t as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// String view (only for `Text`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view. SQL-ish truthiness: `Bool` as-is, numbers are true when non-zero.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            _ => None,
+        }
+    }
+
+    /// Cast to the given type, following the engine's (lenient) coercion rules.
+    pub fn cast(&self, ty: DataType) -> Result<Value> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        let err = || Error::TypeError(format!("cannot cast {self} to {ty}"));
+        Ok(match ty {
+            DataType::Int => Value::Int(match self {
+                Value::Text(s) => s.trim().parse::<i64>().map_err(|_| err())?,
+                v => v.as_i64().ok_or_else(err)?,
+            }),
+            DataType::Float => Value::Float(match self {
+                Value::Text(s) => s.trim().parse::<f64>().map_err(|_| err())?,
+                v => v.as_f64().ok_or_else(err)?,
+            }),
+            DataType::Text => Value::Text(self.to_string()),
+            DataType::Bool => Value::Bool(self.as_bool().ok_or_else(err)?),
+            DataType::Timestamp => match self {
+                Value::Timestamp(t) => Value::Timestamp(*t),
+                Value::Int(i) if *i >= 0 => Value::Timestamp(*i as u64),
+                Value::Float(f) if *f >= 0.0 => Value::Timestamp(*f as u64),
+                _ => return Err(err()),
+            },
+            DataType::Blob => match self {
+                Value::Blob(b) => Value::Blob(b.clone()),
+                Value::Text(s) => Value::Blob(s.as_bytes().to_vec()),
+                _ => return Err(err()),
+            },
+        })
+    }
+
+    /// Checked addition following numeric coercion; `NULL` propagates.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "+", |a, b| a + b, i64::checked_add)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "-", |a, b| a - b, i64::checked_sub)
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "*", |a, b| a * b, i64::checked_mul)
+    }
+
+    /// Division. Integer division by zero is an error; float division follows IEEE.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(Error::Execution("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => {
+                let (a, b) = self.both_f64(other, "/")?;
+                Ok(Value::Float(a / b))
+            }
+        }
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        f: fn(f64, f64) -> f64,
+        i: fn(i64, i64) -> Option<i64>,
+    ) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => i(*a, *b)
+                .map(Value::Int)
+                .ok_or_else(|| Error::Execution(format!("integer overflow in {a} {op} {b}"))),
+            _ => {
+                let (a, b) = self.both_f64(other, op)?;
+                Ok(Value::Float(f(a, b)))
+            }
+        }
+    }
+
+    fn both_f64(&self, other: &Value, op: &str) -> Result<(f64, f64)> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => Ok((a, b)),
+            _ => Err(Error::TypeError(format!(
+                "operator {op} requires numeric operands, got {self} and {other}"
+            ))),
+        }
+    }
+
+    /// SQL comparison: returns `None` when either side is `NULL` (unknown).
+    ///
+    /// Distinct non-comparable types (e.g. `Text` vs `Int`) compare by their total
+    /// order rather than erroring — the rule engine of the paper promises cheap,
+    /// non-failing condition evaluation, so comparisons are total here.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp(other))
+    }
+
+    /// Approximate heap footprint in bytes, used for LAT memory accounting.
+    pub fn size_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Text(s) => inline + s.capacity(),
+            Value::Blob(b) => inline + b.capacity(),
+            _ => inline,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Timestamp(_) => 3,
+            Value::Text(_) => 4,
+            Value::Blob(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed numerics coerce to float. `total_cmp` keeps this a total order.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must agree with Eq: Int(2) == Float(2.0), so both hash as the float
+        // bit pattern of their numeric value.
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(f.to_bits());
+            }
+            Value::Timestamp(t) => {
+                state.write_u8(3);
+                state.write_u64(*t);
+            }
+            Value::Text(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            Value::Blob(b) => {
+                state.write_u8(5);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+            Value::Blob(b) => {
+                f.write_str("0x")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_lowest() {
+        let mut vals = vec![Value::Int(1), Value::Null, Value::Float(-5.0)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash_agree() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn arithmetic_coercion() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert_eq!(
+            Value::Float(1.0).div(&Value::Float(0.0)).unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error_not_a_panic() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MIN).sub(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MAX).mul(&Value::Int(2)).is_err());
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(1)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            Value::text("42").cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::text(" 4.5 ").cast(DataType::Float).unwrap(),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            Value::Int(1).cast(DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Value::text("nope").cast(DataType::Int).is_err());
+        assert_eq!(Value::Null.cast(DataType::Int).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Int(7).cast(DataType::Timestamp).unwrap(),
+            Value::Timestamp(7)
+        );
+    }
+
+    #[test]
+    fn display_round_trips_for_ints() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Blob(vec![0xab, 0x01]).to_string(), "0xab01");
+    }
+
+    #[test]
+    fn nan_has_a_stable_place_in_the_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Float(2.0).as_bool(), Some(true));
+        assert_eq!(Value::text("x").as_bool(), None);
+    }
+
+    #[test]
+    fn size_accounts_for_heap() {
+        let small = Value::Int(1).size_bytes();
+        let s = Value::Text("hello world, a longer string".into());
+        assert!(s.size_bytes() > small);
+    }
+}

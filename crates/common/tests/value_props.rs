@@ -1,0 +1,82 @@
+//! Property tests: `Value`'s total order and arithmetic laws.
+//!
+//! The B-tree, LAT ordering columns, and ORDER BY all rely on `Value: Ord`
+//! being a genuine total order, and on `Eq`/`Hash` agreement for grouping keys.
+
+use proptest::prelude::*;
+use sqlcm_common::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::Timestamp),
+        proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::Blob),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "Eq ⇒ same hash");
+        }
+    }
+
+    #[test]
+    fn order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn sorting_is_stable_under_resort(mut v in proptest::collection::vec(arb_value(), 0..24)) {
+        v.sort();
+        let once = v.clone();
+        v.sort();
+        prop_assert_eq!(once, v);
+    }
+
+    #[test]
+    fn add_commutes_when_defined(a in any::<i32>(), b in any::<i32>()) {
+        let (x, y) = (Value::Int(a as i64), Value::Int(b as i64));
+        prop_assert_eq!(x.add(&y).unwrap(), y.add(&x).unwrap());
+    }
+
+    #[test]
+    fn numeric_coercion_consistent(i in -1_000_000i64..1_000_000) {
+        // Int and the equivalent Float are equal, hash equal, and sort together.
+        let int = Value::Int(i);
+        let f = Value::Float(i as f64);
+        prop_assert_eq!(&int, &f);
+        prop_assert_eq!(hash_of(&int), hash_of(&f));
+        prop_assert_eq!(int.cmp(&Value::Float(i as f64 + 0.5)), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn display_int_roundtrip(i in any::<i64>()) {
+        let v = Value::Int(i);
+        let back = Value::text(v.to_string()).cast(sqlcm_common::DataType::Int).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn size_bytes_nonzero(v in arb_value()) {
+        prop_assert!(v.size_bytes() >= std::mem::size_of::<Value>());
+    }
+}

@@ -1,0 +1,322 @@
+//! Rule actions (paper §5.3) and their execution against the host engine.
+//!
+//! `Insert`, `Reset`, `Persist`, `SendMail`, `RunExternal`, `Cancel`, `Set` —
+//! executed in the order they appear in the rule's action list. `SendMail` and
+//! `RunExternal` support `{Class.Attr}` / `{Lat.Column}` substitution from the
+//! in-context objects, matching "attribute values from monitored objects and
+//! LATs can be substituted into the text string".
+
+use std::sync::Arc;
+
+use sqlcm_common::{Error, QueryType, Result, Value};
+use sqlcm_engine::active::ActiveQueryState;
+use sqlcm_engine::engine::EngineInner;
+use sqlcm_engine::exec::{self, ExecCtx};
+use sqlcm_engine::expr::Params;
+use sqlcm_engine::txn::TxnState;
+
+use crate::objects::ClassName;
+use crate::rules::EvalContext;
+
+/// One action of a rule's A-clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `Insert(LATName)` — fold the in-context object into the LAT.
+    Insert { lat: String },
+    /// `Reset(LATName)` — clear the LAT and free its memory.
+    Reset { lat: String },
+    /// `Object.Persist(Table, Attr1, …)` — write the listed attributes of the
+    /// in-context object of `class` as one row.
+    PersistObject {
+        table: String,
+        class: ClassName,
+        attrs: Vec<String>,
+    },
+    /// `Lat.Persist(Table)` — write every LAT row plus a timestamp column.
+    PersistLat { table: String, lat: String },
+    /// `SendMail(Text, Address)`.
+    SendMail { to: String, template: String },
+    /// `RunExternal(Command)`.
+    RunExternal { template: String },
+    /// `Cancel()` — applies to a `Query`, `Blocker` or `Blocked` object (§5.3).
+    Cancel { class: ClassName },
+    /// `Set(Time, number_alarms)` on the named timer.
+    SetTimer {
+        timer: String,
+        period_micros: u64,
+        number_alarms: i64,
+    },
+}
+
+impl Action {
+    pub fn insert(lat: &str) -> Action {
+        Action::Insert { lat: lat.into() }
+    }
+
+    pub fn reset(lat: &str) -> Action {
+        Action::Reset { lat: lat.into() }
+    }
+
+    /// Persist attributes of the in-context object of `class` ("Query",
+    /// "Blocker", …).
+    pub fn persist_object(table: &str, class: &str, attrs: &[&str]) -> Action {
+        Action::PersistObject {
+            table: table.into(),
+            class: ClassName::parse(class).expect("valid monitored class"),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn persist_lat(table: &str, lat: &str) -> Action {
+        Action::PersistLat {
+            table: table.into(),
+            lat: lat.into(),
+        }
+    }
+
+    pub fn send_mail(to: &str, template: &str) -> Action {
+        Action::SendMail {
+            to: to.into(),
+            template: template.into(),
+        }
+    }
+
+    pub fn run_external(template: &str) -> Action {
+        Action::RunExternal {
+            template: template.into(),
+        }
+    }
+
+    /// Cancel the in-context object of `class` ("Query", "Blocker", "Blocked").
+    pub fn cancel(class: &str) -> Action {
+        let class = ClassName::parse(class).expect("valid monitored class");
+        assert!(
+            matches!(
+                class,
+                ClassName::Query | ClassName::Blocker | ClassName::Blocked
+            ),
+            "Cancel() applies to Query, Blocker or Blocked (paper §5.3)"
+        );
+        Action::Cancel { class }
+    }
+
+    pub fn set_timer(timer: &str, period_micros: u64, number_alarms: i64) -> Action {
+        Action::SetTimer {
+            timer: timer.into(),
+            period_micros,
+            number_alarms,
+        }
+    }
+
+    /// LAT names this action touches (used for registration-time validation).
+    pub fn lat_refs(&self) -> Option<&str> {
+        match self {
+            Action::Insert { lat } | Action::Reset { lat } | Action::PersistLat { lat, .. } => {
+                Some(lat)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Substitute `{Qualifier.Name}` placeholders from the evaluation context.
+/// Unresolvable placeholders are kept verbatim (a template typo must not make
+/// the action fail).
+pub fn substitute(template: &str, ctx: &EvalContext) -> String {
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let after = &rest[open + 1..];
+        match after.find('}') {
+            Some(close) => {
+                let inner = &after[..close];
+                match inner.split_once('.') {
+                    Some((q, n)) => {
+                        let parsed = sqlcm_sql::parse_expression(&format!("{q}.{n}")).ok();
+                        let resolved = parsed
+                            .as_ref()
+                            .and_then(|e| crate::rules::eval_expr(e, ctx).ok());
+                        match resolved {
+                            Some(v) => out.push_str(&v.to_string()),
+                            None => {
+                                out.push('{');
+                                out.push_str(inner);
+                                out.push('}');
+                            }
+                        }
+                    }
+                    None => {
+                        out.push('{');
+                        out.push_str(inner);
+                        out.push('}');
+                    }
+                }
+                rest = &after[close + 1..];
+            }
+            None => {
+                out.push('{');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Insert rows into an engine table on behalf of the monitor, under a fresh
+/// short transaction. Used by `Persist` (§4.3/§5.3). The reporting table must
+/// not itself be under monitored-workload write locks, or Persist can block —
+/// the same operational caveat the prototype has.
+pub fn persist_rows(
+    engine: &Arc<EngineInner>,
+    table: &str,
+    rows: Vec<Vec<Value>>,
+) -> Result<u64> {
+    if rows.is_empty() {
+        return Ok(0);
+    }
+    let t = engine.catalog.table(table)?;
+    let now = engine.clock.now_micros();
+    let mut txn = TxnState::new(engine.allocate_txn_id(), false, now);
+    let query = ActiveQueryState::new(
+        engine.allocate_query_id(),
+        format!("/*SQLCM*/ INSERT INTO {table}"),
+        QueryType::Insert,
+        0,
+        txn.id,
+        "sqlcm".into(),
+        "monitor".into(),
+        None,
+        now,
+    );
+    let result = {
+        let mut ctx = ExecCtx {
+            locks: &engine.locks,
+            txn: &mut txn,
+            query: &query,
+            params: Params::default(),
+        };
+        exec::run_insert(&mut ctx, &t, rows)
+    };
+    match result {
+        Ok(n) => {
+            engine.locks.release_all(txn.id, txn.held_locks());
+            Ok(n)
+        }
+        Err(e) => {
+            let locks = txn.locks_vec();
+            let _ = exec::apply_undo(txn.undo);
+            engine.locks.release_all(txn.id, &locks);
+            Err(e)
+        }
+    }
+}
+
+/// Read all rows of a table on behalf of the monitor (LAT restore).
+pub fn read_table(engine: &Arc<EngineInner>, table: &str) -> Result<Vec<Vec<Value>>> {
+    let t = engine.catalog.table(table)?;
+    let now = engine.clock.now_micros();
+    let mut txn = TxnState::new(engine.allocate_txn_id(), false, now);
+    let query = ActiveQueryState::new(
+        engine.allocate_query_id(),
+        format!("/*SQLCM*/ SELECT * FROM {table}"),
+        QueryType::Select,
+        0,
+        txn.id,
+        "sqlcm".into(),
+        "monitor".into(),
+        None,
+        now,
+    );
+    let plan = sqlcm_engine::plan::PhysicalPlan::SeqScan {
+        table: t,
+        binding: table.to_string(),
+        predicate: None,
+    };
+    let result = {
+        let mut ctx = ExecCtx {
+            locks: &engine.locks,
+            txn: &mut txn,
+            query: &query,
+            params: Params::default(),
+        };
+        exec::run_select(&mut ctx, &plan)
+    };
+    engine.locks.release_all(txn.id, txn.held_locks());
+    result.map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::query_object;
+    use sqlcm_common::QueryInfo;
+    use std::collections::HashMap;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            Action::insert("L"),
+            Action::Insert { lat: "L".into() }
+        );
+        assert_eq!(
+            Action::cancel("Blocker"),
+            Action::Cancel {
+                class: ClassName::Blocker
+            }
+        );
+        assert_eq!(Action::insert("L").lat_refs(), Some("L"));
+        assert_eq!(Action::send_mail("a", "b").lat_refs(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "Cancel() applies to")]
+    fn cancel_rejects_timer() {
+        let _ = Action::cancel("Timer");
+    }
+
+    #[test]
+    fn template_substitution() {
+        let mut q = QueryInfo::synthetic(9, "SELECT x");
+        q.duration_micros = 1_500_000;
+        q.user = "alice".into();
+        let objs = vec![query_object(&q)];
+        let lats = HashMap::new();
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &lats,
+        };
+        let s = substitute(
+            "user {Query.User} ran '{Query.Query_Text}' in {Query.Duration}s",
+            &ctx,
+        );
+        assert_eq!(s, "user alice ran 'SELECT x' in 1.5s");
+        // Unresolvable and malformed placeholders survive verbatim.
+        let s = substitute("{Query.Nope} {nodot} {unclosed", &ctx);
+        assert_eq!(s, "{Query.Nope} {nodot} {unclosed");
+    }
+
+    #[test]
+    fn persist_and_read_roundtrip() {
+        let engine = sqlcm_engine::Engine::in_memory();
+        engine
+            .execute_batch("CREATE TABLE report (a INT, b TEXT);")
+            .unwrap();
+        let inner = engine.handle();
+        let n = persist_rows(
+            &inner,
+            "report",
+            vec![
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Int(2), Value::text("y")],
+            ],
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        let rows = read_table(&inner, "report").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(persist_rows(&inner, "report", vec![]).unwrap(), 0);
+        assert!(persist_rows(&inner, "nope", vec![vec![Value::Int(1)]]).is_err());
+    }
+}

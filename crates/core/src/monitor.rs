@@ -1,0 +1,1328 @@
+//! The SQLCM facade: LAT registry, rule registry, event dispatch.
+//!
+//! [`Sqlcm::attach`] hooks an instance into a host engine as an
+//! [`Instrumentation`] sink. Events are processed *synchronously on the thread
+//! that raised them* (paper §6.1); actions whose side effects raise further
+//! events (LAT evictions) are queued thread-locally and drained after all rules
+//! for the current event ran — the deferred-side-effect semantics of §5 ("any
+//! action, that as a side-effect may trigger further events, is not executed
+//! synchronously").
+//!
+//! Rule-evaluation order is fixed: registration order, and "for any given
+//! event, all applicable rules are triggered before any later event is
+//! processed".
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+use sqlcm_common::{EngineEvent, Error, Result, SharedClock, Value};
+use sqlcm_engine::engine::EngineInner;
+use sqlcm_engine::instrument::Instrumentation;
+use sqlcm_engine::Engine;
+
+use crate::actions::{persist_rows, read_table, substitute, Action};
+use crate::lat::{Lat, LatAggFunc, LatSpec};
+use crate::objects::{
+    self, evicted_object, ClassName, Object,
+};
+use crate::rules::{EvalContext, Rule, RuleEvent};
+use crate::sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
+use crate::timer::TimerRegistry;
+
+/// Aggregate counters for one SQLCM instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqlcmStats {
+    /// Engine events seen (before rule filtering).
+    pub events: u64,
+    /// Rule-condition evaluations (one per object combination, §5).
+    pub evaluations: u64,
+    /// Conditions that evaluated true.
+    pub fires: u64,
+    /// Actions executed.
+    pub actions: u64,
+    /// Actions that failed (swallowed; see `last_error`).
+    pub action_errors: u64,
+}
+
+struct Registered {
+    rule: Arc<Rule>,
+    /// Condition compiled at registration (references resolved to indexes).
+    compiled: Option<crate::rules::CompiledExpr>,
+    /// Actions with LAT handles resolved at registration.
+    actions: Vec<CompiledAction>,
+    /// Classes the condition references.
+    cond_classes: Vec<ClassName>,
+    /// LAT names the condition references (lowercased).
+    cond_lats: Vec<String>,
+}
+
+/// An action with its LAT target (if any) pre-resolved — no name lookup on the
+/// hot path.
+enum CompiledAction {
+    Insert {
+        lat: Arc<Lat>,
+        /// Pre-built key for the eviction-subscription check.
+        eviction_event: RuleEvent,
+    },
+    Reset(Arc<Lat>),
+    PersistLat { table: String, lat: Arc<Lat> },
+    /// Everything else interprets the declarative [`Action`] directly.
+    Other(Action),
+}
+
+struct SqlcmInner {
+    engine: Arc<EngineInner>,
+    clock: SharedClock,
+    lats: RwLock<HashMap<String, Arc<Lat>>>,
+    rules: RwLock<Vec<Arc<Registered>>>,
+    /// Per-event index into `rules` (same Arc entries, registration order kept).
+    rules_by_event: RwLock<HashMap<RuleEvent, Vec<Arc<Registered>>>>,
+    timers: TimerRegistry,
+    outbox: Arc<RecordingMailSink>,
+    command_log: Arc<RecordingCommandSink>,
+    mail_sink: RwLock<Arc<dyn MailSink>>,
+    command_sink: RwLock<Arc<dyn CommandSink>>,
+    events: AtomicU64,
+    evaluations: AtomicU64,
+    fires: AtomicU64,
+    actions: AtomicU64,
+    action_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+    shutdown: AtomicBool,
+}
+
+/// A live SQLCM instance attached to an engine.
+pub struct Sqlcm {
+    inner: Arc<SqlcmInner>,
+    timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// The engine-facing adapter.
+struct SqlcmMonitor {
+    inner: Arc<SqlcmInner>,
+}
+
+thread_local! {
+    static PROCESSING: Cell<bool> = const { Cell::new(false) };
+    static PENDING: RefCell<VecDeque<(RuleEvent, Vec<Object>)>> =
+        const { RefCell::new(VecDeque::new()) };
+}
+
+impl Instrumentation for SqlcmMonitor {
+    fn on_event(&self, event: &EngineEvent) {
+        self.inner.events.fetch_add(1, Ordering::Relaxed);
+        // Cheap pre-filter: assembling monitored objects clones strings, so do
+        // it only when some rule subscribes to this event kind — "no monitoring
+        // is performed unless it is required by a rule" (§2.1).
+        let kind = kind_of(event);
+        if !self.inner.has_rules_for(&kind) {
+            return;
+        }
+        let objects = payload_objects(event);
+        self.inner.dispatch(kind, objects);
+    }
+
+    fn name(&self) -> &str {
+        "sqlcm"
+    }
+
+    /// Let the engine skip assembling events no rule subscribes to.
+    fn wants(&self, kind: sqlcm_common::ProbeKind) -> bool {
+        self.inner.has_rules_for(&rule_event_of(kind))
+    }
+}
+
+/// The [`RuleEvent`] a probe kind maps to.
+fn rule_event_of(kind: sqlcm_common::ProbeKind) -> RuleEvent {
+    use sqlcm_common::ProbeKind as K;
+    match kind {
+        K::QueryStart => RuleEvent::QueryStart,
+        K::QueryCompile => RuleEvent::QueryCompile,
+        K::QueryCommit => RuleEvent::QueryCommit,
+        K::QueryRollback => RuleEvent::QueryRollback,
+        K::QueryCancel => RuleEvent::QueryCancel,
+        K::QueryBlocked => RuleEvent::QueryBlocked,
+        K::BlockReleased => RuleEvent::BlockReleased,
+        K::TxnBegin => RuleEvent::TxnBegin,
+        K::TxnCommit => RuleEvent::TxnCommit,
+        K::TxnRollback => RuleEvent::TxnRollback,
+        K::Login => RuleEvent::Login,
+        K::Logout => RuleEvent::Logout,
+    }
+}
+
+/// The rule-event kind of an engine event, without building payloads.
+fn kind_of(event: &EngineEvent) -> RuleEvent {
+    match event {
+        EngineEvent::QueryStart(_) => RuleEvent::QueryStart,
+        EngineEvent::QueryCompile(_) => RuleEvent::QueryCompile,
+        EngineEvent::QueryCommit(_) => RuleEvent::QueryCommit,
+        EngineEvent::QueryRollback(_) => RuleEvent::QueryRollback,
+        EngineEvent::QueryCancel(_) => RuleEvent::QueryCancel,
+        EngineEvent::QueryBlocked(_) => RuleEvent::QueryBlocked,
+        EngineEvent::BlockReleased(_) => RuleEvent::BlockReleased,
+        EngineEvent::TxnBegin(_) => RuleEvent::TxnBegin,
+        EngineEvent::TxnCommit(_) => RuleEvent::TxnCommit,
+        EngineEvent::TxnRollback(_) => RuleEvent::TxnRollback,
+        EngineEvent::Login(_) => RuleEvent::Login,
+        EngineEvent::Logout(_) => RuleEvent::Logout,
+    }
+}
+
+/// Build the context objects of an engine event.
+fn payload_objects(event: &EngineEvent) -> Vec<Object> {
+    match event {
+        EngineEvent::QueryStart(q)
+        | EngineEvent::QueryCompile(q)
+        | EngineEvent::QueryCommit(q)
+        | EngineEvent::QueryRollback(q)
+        | EngineEvent::QueryCancel(q) => vec![objects::query_object(q)],
+        EngineEvent::QueryBlocked(p) | EngineEvent::BlockReleased(p) => {
+            let (blocker, blocked) = objects::block_pair_objects(p);
+            vec![blocker, blocked]
+        }
+        EngineEvent::TxnBegin(t) | EngineEvent::TxnCommit(t) | EngineEvent::TxnRollback(t) => {
+            vec![objects::txn_object(t)]
+        }
+        EngineEvent::Login(s) | EngineEvent::Logout(s) => vec![objects::session_object(s)],
+    }
+}
+
+impl SqlcmInner {
+    /// Entry point for every event: enqueue if re-entrant, else process and
+    /// drain whatever the processing generated.
+    fn dispatch(&self, kind: RuleEvent, objects: Vec<Object>) {
+        let reentrant = PROCESSING.with(|p| p.get());
+        if reentrant {
+            PENDING.with(|q| q.borrow_mut().push_back((kind, objects)));
+            return;
+        }
+        PROCESSING.with(|p| p.set(true));
+        self.handle_one(&kind, &objects);
+        loop {
+            let next = PENDING.with(|q| q.borrow_mut().pop_front());
+            match next {
+                Some((k, o)) => self.handle_one(&k, &o),
+                None => break,
+            }
+        }
+        PROCESSING.with(|p| p.set(false));
+    }
+
+    /// Evaluate every rule subscribed to this event, in registration order.
+    fn handle_one(&self, kind: &RuleEvent, objects: &[Object]) {
+        let rules: Vec<Arc<Registered>> = {
+            let by_event = self.rules_by_event.read();
+            match by_event.get(kind) {
+                None => return,
+                Some(rs) => rs
+                    .iter()
+                    .filter(|r| r.rule.is_enabled())
+                    .cloned()
+                    .collect(),
+            }
+        };
+        for reg in rules {
+            self.evaluate_rule(&reg, objects);
+        }
+    }
+
+    /// Does any registered rule subscribe to this event? Lets hot paths skip
+    /// building event payloads nobody consumes.
+    fn has_rules_for(&self, kind: &RuleEvent) -> bool {
+        self.rules_by_event
+            .read()
+            .get(kind)
+            .map_or(false, |rs| !rs.is_empty())
+    }
+
+    /// Evaluate one rule against the event context, iterating over live objects
+    /// for classes the event does not cover (§5.2).
+    fn evaluate_rule(&self, reg: &Registered, base: &[Object]) {
+        // Fast path (the overwhelmingly common case, and the one Figure 2
+        // stresses): every class the condition references is already in the
+        // event payload — evaluate in place, no cloning, no combo machinery.
+        if reg
+            .cond_classes
+            .iter()
+            .all(|c| base.iter().any(|o| o.class == *c))
+        {
+            self.evaluate_combo(reg, base);
+            return;
+        }
+        let covered: Vec<&ClassName> = base.iter().map(|o| &o.class).collect();
+        let missing: Vec<&ClassName> = reg
+            .cond_classes
+            .iter()
+            .filter(|c| !covered.contains(c))
+            .collect();
+
+        // Build the iteration sets for missing classes.
+        let mut query_set: Option<Vec<Object>> = None;
+        let mut pair_set: Option<Vec<(Object, Object)>> = None;
+        let mut table_set: Option<Vec<Object>> = None;
+        for class in &missing {
+            match class {
+                ClassName::Query => {
+                    let now = self.clock.now_micros();
+                    query_set = Some(
+                        self.engine
+                            .active
+                            .handles()
+                            .iter()
+                            .map(|h| objects::query_object(&h.snapshot(now)))
+                            .collect(),
+                    );
+                }
+                ClassName::Blocker | ClassName::Blocked => {
+                    if pair_set.is_none() {
+                        pair_set = Some(
+                            self.engine
+                                .locks
+                                .blocked_pairs()
+                                .iter()
+                                .map(objects::block_pair_objects)
+                                .collect(),
+                        );
+                    }
+                }
+                ClassName::Table => {
+                    table_set = Some(
+                        self.engine
+                            .catalog
+                            .tables()
+                            .iter()
+                            .map(|t| objects::table_object(t))
+                            .collect(),
+                    );
+                }
+                // Transactions, sessions, timers and evicted rows have no
+                // iterable live registry; a rule needing one outside its event
+                // context simply never fires.
+                _ => return,
+            }
+        }
+
+        // Cartesian product of (base) × (query set?) × (pair set?) × (tables?).
+        let queries = query_set.map(|q| q.into_iter().map(Some).collect::<Vec<_>>());
+        let queries = queries.unwrap_or_else(|| vec![None]);
+        let pairs = pair_set.map(|p| p.into_iter().map(Some).collect::<Vec<_>>());
+        let pairs = pairs.unwrap_or_else(|| vec![None]);
+        let tables = table_set.map(|t| t.into_iter().map(Some).collect::<Vec<_>>());
+        let tables = tables.unwrap_or_else(|| vec![None]);
+
+        for q in &queries {
+            for p in &pairs {
+                for t in &tables {
+                    let mut combo: Vec<Object> = base.to_vec();
+                    if let Some(q) = q {
+                        combo.push(q.clone());
+                    }
+                    if let Some((blocker, blocked)) = p {
+                        combo.push(blocker.clone());
+                        combo.push(blocked.clone());
+                    }
+                    if let Some(t) = t {
+                        combo.push(t.clone());
+                    }
+                    self.evaluate_combo(reg, &combo);
+                }
+            }
+        }
+    }
+
+    fn evaluate_combo(&self, reg: &Registered, combo: &[Object]) {
+        reg.rule.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+
+        // Bind LAT rows for the condition (implicit ∃, §5.2). The map is only
+        // allocated when the condition actually references LATs.
+        static EMPTY: std::sync::OnceLock<HashMap<String, (Arc<Lat>, Option<Vec<Value>>)>> =
+            std::sync::OnceLock::new();
+        let mut lat_rows_storage = None;
+        if !reg.cond_lats.is_empty() {
+            let mut lat_rows: HashMap<String, (Arc<Lat>, Option<Vec<Value>>)> = HashMap::new();
+            let lats = self.lats.read();
+            for name in &reg.cond_lats {
+                let lat = match lats.get(name) {
+                    Some(l) => l.clone(),
+                    None => {
+                        self.record_error(format!(
+                            "rule {} references unknown LAT {name}",
+                            reg.rule.name
+                        ));
+                        return;
+                    }
+                };
+                let row = combo
+                    .iter()
+                    .find(|o| o.class == *lat.spec.source_class())
+                    .and_then(|o| lat.lookup_for(o));
+                lat_rows.insert(name.clone(), (lat, row));
+            }
+            lat_rows_storage = Some(lat_rows);
+        }
+        let ctx = EvalContext {
+            objects: combo,
+            lat_rows: lat_rows_storage
+                .as_ref()
+                .unwrap_or_else(|| EMPTY.get_or_init(HashMap::new)),
+        };
+        let fire = match &reg.compiled {
+            None => true,
+            Some(c) => match crate::rules::eval_condition_compiled(c, &ctx) {
+                Ok(b) => b,
+                Err(e) => {
+                    reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
+                    self.record_error(format!(
+                        "condition of rule {} failed: {e}",
+                        reg.rule.name
+                    ));
+                    false
+                }
+            },
+        };
+        if !fire {
+            return;
+        }
+        reg.rule.fires.fetch_add(1, Ordering::Relaxed);
+        self.fires.fetch_add(1, Ordering::Relaxed);
+        for action in &reg.actions {
+            self.actions.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = self.execute_compiled_action(action, &ctx) {
+                reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
+                self.action_errors.fetch_add(1, Ordering::Relaxed);
+                self.record_error(format!(
+                    "action of rule {} failed: {e}",
+                    reg.rule.name
+                ));
+            }
+        }
+    }
+
+    fn execute_compiled_action(&self, action: &CompiledAction, ctx: &EvalContext) -> Result<()> {
+        match action {
+            CompiledAction::Insert {
+                lat,
+                eviction_event,
+            } => self.insert_into_lat(lat, Some(eviction_event), ctx),
+            CompiledAction::Reset(lat) => {
+                lat.reset();
+                Ok(())
+            }
+            CompiledAction::PersistLat { table, lat } => {
+                self.persist_lat_rows(lat, table)
+            }
+            CompiledAction::Other(a) => self.execute_action(a, ctx),
+        }
+    }
+
+    /// The `Insert(LATName)` hot path: fold the in-scope source object into the
+    /// LAT and queue eviction events if (and only if) a rule subscribes — "no
+    /// monitoring is performed unless it is required" (§2.1).
+    fn insert_into_lat(
+        &self,
+        lat: &Arc<Lat>,
+        eviction_event: Option<&RuleEvent>,
+        ctx: &EvalContext,
+    ) -> Result<()> {
+        let obj = ctx
+            .objects
+            .iter()
+            .find(|o| o.class == *lat.spec.source_class())
+            .ok_or_else(|| {
+                Error::Monitor(format!(
+                    "no object of class {} in scope for Insert({})",
+                    lat.spec.source_class(),
+                    lat.spec.name
+                ))
+            })?;
+        let event_key_storage;
+        let event_key = match eviction_event {
+            Some(e) => e,
+            None => {
+                event_key_storage = RuleEvent::LatEviction(lat.spec.name.clone());
+                &event_key_storage
+            }
+        };
+        let want_evicted = self.has_rules_for(event_key);
+        let evicted = lat.insert_and(obj, want_evicted)?;
+        if want_evicted && !evicted.is_empty() {
+            let name = lat.spec.name.clone();
+            let columns = lat.columns();
+            for row in evicted {
+                let obj = evicted_object(&name, columns.clone(), row);
+                // Deferred: queued and processed after the current event's
+                // rules complete (§5).
+                PENDING.with(|q| {
+                    q.borrow_mut()
+                        .push_back((RuleEvent::LatEviction(name.clone()), vec![obj]))
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn persist_lat_rows(&self, lat: &Arc<Lat>, table: &str) -> Result<()> {
+        let now = self.clock.now_micros();
+        let rows: Vec<Vec<Value>> = lat
+            .rows_ordered()
+            .into_iter()
+            .map(|mut r| {
+                // "plus one additional column storing a timestamp of when the
+                // rule writing a row was triggered" (§4.3).
+                r.push(Value::Timestamp(now));
+                r
+            })
+            .collect();
+        persist_rows(&self.engine, table, rows)?;
+        Ok(())
+    }
+
+    fn execute_action(&self, action: &Action, ctx: &EvalContext) -> Result<()> {
+        match action {
+            Action::Insert { lat } => {
+                let lat = self.lat(lat)?;
+                self.insert_into_lat(&lat, None, ctx)
+            }
+            Action::Reset { lat } => {
+                self.lat(lat)?.reset();
+                Ok(())
+            }
+            Action::PersistObject {
+                table,
+                class,
+                attrs,
+            } => {
+                let obj = ctx
+                    .objects
+                    .iter()
+                    .find(|o| o.class == *class)
+                    .ok_or_else(|| {
+                        Error::Monitor(format!("no object of class {class} in scope"))
+                    })?;
+                let row: Vec<Value> = attrs
+                    .iter()
+                    .map(|a| {
+                        obj.get(a).cloned().ok_or_else(|| {
+                            Error::Monitor(format!("class {class} has no attribute {a}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                persist_rows(&self.engine, table, vec![row])?;
+                Ok(())
+            }
+            Action::PersistLat { table, lat } => {
+                let lat = self.lat(lat)?;
+                self.persist_lat_rows(&lat, table)
+            }
+            Action::SendMail { to, template } => {
+                let body = substitute(template, ctx);
+                let to = substitute(to, ctx);
+                self.mail_sink.read().send(&to, &body);
+                Ok(())
+            }
+            Action::RunExternal { template } => {
+                let cmd = substitute(template, ctx);
+                self.command_sink.read().run(&cmd);
+                Ok(())
+            }
+            Action::Cancel { class } => {
+                let obj = ctx
+                    .objects
+                    .iter()
+                    .find(|o| o.class == *class)
+                    .ok_or_else(|| {
+                        Error::Monitor(format!("no object of class {class} in scope"))
+                    })?;
+                let id = obj
+                    .get("ID")
+                    .and_then(|v| v.as_i64())
+                    .ok_or_else(|| Error::Monitor("object has no ID".into()))?;
+                // Only signals the executing thread(s); see §5.
+                self.engine.active.cancel(id as u64);
+                Ok(())
+            }
+            Action::SetTimer {
+                timer,
+                period_micros,
+                number_alarms,
+            } => {
+                self.timers.set(timer, *period_micros, *number_alarms);
+                Ok(())
+            }
+        }
+    }
+
+    fn lat(&self, name: &str) -> Result<Arc<Lat>> {
+        self.lats
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::Monitor(format!("unknown LAT {name}")))
+    }
+
+    fn record_error(&self, msg: String) {
+        *self.last_error.lock() = Some(msg);
+    }
+
+    /// Fire due timers on the calling thread.
+    fn poll_timers(&self) {
+        for alarm in self.timers.due_timers() {
+            let obj = objects::timer_object(&alarm.name, alarm.fired_at, alarm.remaining);
+            self.dispatch(RuleEvent::TimerAlarm(alarm.name.clone()), vec![obj]);
+        }
+    }
+}
+
+impl Sqlcm {
+    /// Create an instance and attach it to `engine`'s probe stream.
+    pub fn attach(engine: &Engine) -> Sqlcm {
+        let handle = engine.handle();
+        let clock = handle.clock.clone();
+        let outbox = Arc::new(RecordingMailSink::new());
+        let command_log = Arc::new(RecordingCommandSink::new());
+        let inner = Arc::new(SqlcmInner {
+            engine: handle,
+            clock: clock.clone(),
+            lats: RwLock::new(HashMap::new()),
+            rules: RwLock::new(Vec::new()),
+            rules_by_event: RwLock::new(HashMap::new()),
+            timers: TimerRegistry::new(clock),
+            mail_sink: RwLock::new(outbox.clone() as Arc<dyn MailSink>),
+            command_sink: RwLock::new(command_log.clone() as Arc<dyn CommandSink>),
+            outbox,
+            command_log,
+            events: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+            fires: AtomicU64::new(0),
+            actions: AtomicU64::new(0),
+            action_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        engine.attach_monitor(Arc::new(SqlcmMonitor {
+            inner: inner.clone(),
+        }));
+        Sqlcm {
+            inner,
+            timer_thread: Mutex::new(None),
+        }
+    }
+
+    /// Detach from the engine (no more events are delivered). LATs and rules
+    /// stay readable.
+    pub fn detach(&self, engine: &Engine) -> bool {
+        engine.detach_monitor("sqlcm")
+    }
+
+    /// Re-attach this instance after a [`Sqlcm::detach`], keeping its LATs,
+    /// rules, timers, and statistics.
+    pub fn reattach(&self, engine: &Engine) {
+        engine.attach_monitor(Arc::new(SqlcmMonitor {
+            inner: self.inner.clone(),
+        }));
+    }
+
+    // ------------------------------------------------------------ LATs
+
+    /// Define a light-weight aggregation table.
+    pub fn define_lat(&self, spec: LatSpec) -> Result<Arc<Lat>> {
+        spec.validate()?;
+        let key = spec.name.to_ascii_lowercase();
+        let mut lats = self.inner.lats.write();
+        if lats.contains_key(&key) {
+            return Err(Error::Monitor(format!("LAT {} already exists", spec.name)));
+        }
+        let lat = Arc::new(Lat::new(spec, self.inner.clock.clone())?);
+        lats.insert(key, lat.clone());
+        Ok(lat)
+    }
+
+    pub fn drop_lat(&self, name: &str) -> bool {
+        self.inner
+            .lats
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some()
+    }
+
+    pub fn lat(&self, name: &str) -> Option<Arc<Lat>> {
+        self.inner.lats.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn lat_names(&self) -> Vec<String> {
+        self.inner
+            .lats
+            .read()
+            .values()
+            .map(|l| l.spec.name.clone())
+            .collect()
+    }
+
+    /// Total approximate memory of all LATs (the knob of §4.3's "managing LAT
+    /// memory overhead").
+    pub fn lat_memory_bytes(&self) -> usize {
+        self.inner
+            .lats
+            .read()
+            .values()
+            .map(|l| l.memory_bytes())
+            .sum()
+    }
+
+    /// Persist a LAT to a table immediately (outside any rule).
+    pub fn persist_lat(&self, lat: &str, table: &str) -> Result<u64> {
+        let lat = self.inner.lat(lat)?;
+        let now = self.inner.clock.now_micros();
+        let rows: Vec<Vec<Value>> = lat
+            .rows_ordered()
+            .into_iter()
+            .map(|mut r| {
+                r.push(Value::Timestamp(now));
+                r
+            })
+            .collect();
+        persist_rows(&self.inner.engine, table, rows)
+    }
+
+    /// Re-seed a LAT from a previously persisted table (the §4.3 "maintain LAT
+    /// data over multiple restarts" path). `count_column` names the LAT's COUNT
+    /// column to use as the seed weight for AVG/STDEV, when present.
+    pub fn restore_lat(&self, lat: &str, table: &str, count_column: Option<&str>) -> Result<u64> {
+        let lat = self.inner.lat(lat)?;
+        let cols = lat.columns();
+        let count_idx = count_column.and_then(|c| lat.column_index(c));
+        let rows = read_table(&self.inner.engine, table)?;
+        let mut n = 0;
+        for mut row in rows {
+            // Accept the persisted layout (columns + timestamp) or bare columns.
+            if row.len() == cols.len() + 1 {
+                row.pop();
+            }
+            let weight = count_idx
+                .and_then(|i| row.get(i))
+                .and_then(|v| v.as_i64())
+                .unwrap_or(1);
+            lat.seed_row(&row, weight)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------ rules
+
+    /// Register a rule. Validates its condition references and action targets.
+    pub fn add_rule(&self, rule: Rule) -> Result<Arc<Rule>> {
+        let (cond_classes, cond_lats) = rule.condition_refs()?;
+        let compiled = {
+            let lats = self.inner.lats.read();
+            for l in &cond_lats {
+                if !lats.contains_key(&l.to_ascii_lowercase()) {
+                    return Err(Error::Monitor(format!(
+                        "rule {} references unknown LAT {l}",
+                        rule.name
+                    )));
+                }
+            }
+            for a in &rule.actions {
+                if let Some(l) = a.lat_refs() {
+                    if !lats.contains_key(&l.to_ascii_lowercase()) {
+                        return Err(Error::Monitor(format!(
+                            "rule {} targets unknown LAT {l}",
+                            rule.name
+                        )));
+                    }
+                }
+            }
+            let compiled_cond = rule
+                .condition
+                .as_ref()
+                .map(|c| crate::rules::compile(c, &lats))
+                .transpose()?;
+            let compiled_actions = rule
+                .actions
+                .iter()
+                .map(|a| {
+                    Ok(match a {
+                        Action::Insert { lat } => {
+                            let lat_arc = lats
+                                .get(&lat.to_ascii_lowercase())
+                                .expect("validated")
+                                .clone();
+                            let eviction_event =
+                                RuleEvent::LatEviction(lat_arc.spec.name.clone());
+                            CompiledAction::Insert {
+                                lat: lat_arc,
+                                eviction_event,
+                            }
+                        }
+                        Action::Reset { lat } => CompiledAction::Reset(
+                            lats.get(&lat.to_ascii_lowercase()).expect("validated").clone(),
+                        ),
+                        Action::PersistLat { table, lat } => CompiledAction::PersistLat {
+                            table: table.clone(),
+                            lat: lats.get(&lat.to_ascii_lowercase()).expect("validated").clone(),
+                        },
+                        other => CompiledAction::Other(other.clone()),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            (compiled_cond, compiled_actions)
+        };
+        let (compiled, compiled_actions) = compiled;
+        let mut rules = self.inner.rules.write();
+        if rules.iter().any(|r| r.rule.name == rule.name) {
+            return Err(Error::Monitor(format!("rule {} already exists", rule.name)));
+        }
+        let rule = Arc::new(rule);
+        let registered = Arc::new(Registered {
+            rule: rule.clone(),
+            compiled,
+            actions: compiled_actions,
+            cond_classes,
+            cond_lats: cond_lats.iter().map(|l| l.to_ascii_lowercase()).collect(),
+        });
+        rules.push(registered.clone());
+        self.inner
+            .rules_by_event
+            .write()
+            .entry(registered.rule.event.clone())
+            .or_default()
+            .push(registered);
+        Ok(rule)
+    }
+
+    /// Remove a rule; true when it existed.
+    pub fn remove_rule(&self, name: &str) -> bool {
+        let mut rules = self.inner.rules.write();
+        let before = rules.len();
+        rules.retain(|r| r.rule.name != name);
+        let mut by_event = self.inner.rules_by_event.write();
+        for rs in by_event.values_mut() {
+            rs.retain(|r| r.rule.name != name);
+        }
+        by_event.retain(|_, rs| !rs.is_empty());
+        rules.len() != before
+    }
+
+    pub fn rule(&self, name: &str) -> Option<Arc<Rule>> {
+        self.inner
+            .rules
+            .read()
+            .iter()
+            .find(|r| r.rule.name == name)
+            .map(|r| r.rule.clone())
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.inner.rules.read().len()
+    }
+
+    // ------------------------------------------------------------ timers
+
+    /// Arm a timer directly (equivalent to the `Set` action).
+    pub fn set_timer(&self, name: &str, period_micros: u64, number_alarms: i64) {
+        self.inner.timers.set(name, period_micros, number_alarms);
+    }
+
+    /// Fire due timers on the calling thread (deterministic testing with a
+    /// manual clock; the background thread calls this too).
+    pub fn poll_timers(&self) {
+        self.inner.poll_timers();
+    }
+
+    /// Start the background timer thread, polling at `interval`.
+    pub fn start_timer_thread(&self, interval: std::time::Duration) {
+        let mut guard = self.timer_thread.lock();
+        if guard.is_some() {
+            return;
+        }
+        let weak: Weak<SqlcmInner> = Arc::downgrade(&self.inner);
+        *guard = Some(std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            match weak.upgrade() {
+                Some(inner) => {
+                    if inner.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    inner.poll_timers();
+                }
+                None => break,
+            }
+        }));
+    }
+
+    // ------------------------------------------------------------ sinks & stats
+
+    /// The default recording outbox for `SendMail`.
+    pub fn outbox(&self) -> Arc<RecordingMailSink> {
+        self.inner.outbox.clone()
+    }
+
+    /// The default recording log for `RunExternal`.
+    pub fn command_log(&self) -> Arc<RecordingCommandSink> {
+        self.inner.command_log.clone()
+    }
+
+    pub fn set_mail_sink(&self, sink: Arc<dyn MailSink>) {
+        *self.inner.mail_sink.write() = sink;
+    }
+
+    pub fn set_command_sink(&self, sink: Arc<dyn CommandSink>) {
+        *self.inner.command_sink.write() = sink;
+    }
+
+    pub fn stats(&self) -> SqlcmStats {
+        SqlcmStats {
+            events: self.inner.events.load(Ordering::Relaxed),
+            evaluations: self.inner.evaluations.load(Ordering::Relaxed),
+            fires: self.inner.fires.load(Ordering::Relaxed),
+            actions: self.inner.actions.load(Ordering::Relaxed),
+            action_errors: self.inner.action_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Last swallowed action/condition error, for diagnostics.
+    pub fn last_error(&self) -> Option<String> {
+        self.inner.last_error.lock().clone()
+    }
+
+    /// Convenience used by examples/benches: quick top-k LAT over query
+    /// durations grouped by signature (the paper's Example 3 shape).
+    pub fn define_topk_duration_lat(&self, name: &str, k: usize) -> Result<Arc<Lat>> {
+        self.define_lat(
+            LatSpec::new(name)
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Max, "Query.Duration", "Duration")
+                .aggregate(LatAggFunc::Last, "Query.Query_Text", "Query_Text")
+                .order_by("Duration", true)
+                .max_rows(k),
+        )
+    }
+}
+
+impl Drop for Sqlcm {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        // The thread holds only a Weak; it exits on its next poll.
+        if let Some(h) = self.timer_thread.lock().take() {
+            let _ = h;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlcm_engine::engine::{EngineConfig, HistoryMode};
+
+    fn setup() -> (Engine, Sqlcm) {
+        let engine = Engine::new(EngineConfig {
+            history: HistoryMode::Disabled,
+            ..Default::default()
+        })
+        .unwrap();
+        engine
+            .execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);")
+            .unwrap();
+        let sqlcm = Sqlcm::attach(&engine);
+        (engine, sqlcm)
+    }
+
+    fn seed(engine: &Engine, n: i64) {
+        let mut s = engine.connect("seed", "seed");
+        for i in 0..n {
+            s.execute_params(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i), Value::Int(i * 10)],
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_rule_populates_lat() {
+        let (engine, sqlcm) = setup();
+        sqlcm
+            .define_lat(
+                LatSpec::new("ByType")
+                    .group_by("Query.Query_Type", "QType")
+                    .aggregate(LatAggFunc::Count, "", "N"),
+            )
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("track")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::insert("ByType")),
+            )
+            .unwrap();
+        seed(&engine, 5);
+        engine.query("SELECT * FROM t").unwrap();
+        let lat = sqlcm.lat("ByType").unwrap();
+        let rows = lat.rows();
+        let get = |ty: &str| {
+            rows.iter()
+                .find(|r| r[0] == Value::text(ty))
+                .map(|r| r[1].clone())
+        };
+        assert_eq!(get("INSERT"), Some(Value::Int(5)));
+        assert_eq!(get("SELECT"), Some(Value::Int(1)));
+        assert!(sqlcm.stats().fires >= 6);
+    }
+
+    #[test]
+    fn example1_outlier_detection() {
+        let (engine, sqlcm) = setup();
+        engine
+            .execute_batch("CREATE TABLE outliers (qtext TEXT, duration FLOAT);")
+            .unwrap();
+        sqlcm
+            .define_lat(
+                LatSpec::new("Duration_LAT")
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration")
+                    .order_by("Avg_Duration", true)
+                    .max_rows(100),
+            )
+            .unwrap();
+        // The paper's Example-1 rule, verbatim structure.
+        sqlcm
+            .add_rule(
+                Rule::new("report_outliers")
+                    .on(RuleEvent::QueryCommit)
+                    // The 1-second floor keeps scheduler noise on µs-scale
+                    // test queries from counting as outliers.
+                    .when("Query.Duration > 5 * Duration_LAT.Avg_Duration AND Query.Duration > 1")
+                    .then(Action::persist_object(
+                        "outliers",
+                        "Query",
+                        &["Query_Text", "Duration"],
+                    )),
+            )
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("track_durations")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::insert("Duration_LAT")),
+            )
+            .unwrap();
+        seed(&engine, 3);
+        // Build an average from several fast point selects (same template).
+        for i in 0..10 {
+            engine
+                .query(&format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap();
+        }
+        assert_eq!(
+            engine.query("SELECT COUNT(*) FROM outliers").unwrap()[0][0],
+            Value::Int(0),
+            "uniform durations: no outliers"
+        );
+        // A wildly slower instance of the same template: simulate by inserting
+        // a fabricated commit event directly (duration cannot be forced through
+        // the real engine deterministically).
+        let lat = sqlcm.lat("Duration_LAT").unwrap();
+        let sig_row = lat.rows();
+        assert!(!sig_row.is_empty());
+        let mut q = sqlcm_common::QueryInfo::synthetic(999, "SELECT v FROM t WHERE id = 0");
+        q.logical_signature = Some(sig_row[0][0].as_i64().unwrap() as u64);
+        q.duration_micros = 60_000_000; // 60 s ≫ 5×avg
+        let monitor = SqlcmMonitor {
+            inner: Sqlcm::attach(&engine).inner.clone(),
+        };
+        let _ = monitor; // silence: we use the original instance's dispatch
+        // Dispatch through the attached instance by emitting a real event:
+        sqlcm
+            .inner
+            .dispatch(RuleEvent::QueryCommit, vec![objects::query_object(&q)]);
+        assert_eq!(
+            engine.query("SELECT COUNT(*) FROM outliers").unwrap()[0][0],
+            Value::Int(1),
+            "outlier persisted"
+        );
+    }
+
+    #[test]
+    fn example3_topk_and_persist() {
+        let (engine, sqlcm) = setup();
+        engine
+            .execute_batch("CREATE TABLE topk (sig INT, duration FLOAT, qtext TEXT, at TIMESTAMP);")
+            .unwrap();
+        sqlcm.define_topk_duration_lat("Top3", 3).unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("track")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::insert("Top3")),
+            )
+            .unwrap();
+        // Synthetic commits with controlled durations and distinct signatures.
+        for (sig, secs) in [(1u64, 1.0), (2, 9.0), (3, 3.0), (4, 7.0), (5, 5.0)] {
+            let mut q = sqlcm_common::QueryInfo::synthetic(sig, format!("q{sig}"));
+            q.logical_signature = Some(sig);
+            q.duration_micros = (secs * 1e6) as u64;
+            sqlcm
+                .inner
+                .dispatch(RuleEvent::QueryCommit, vec![objects::query_object(&q)]);
+        }
+        let lat = sqlcm.lat("Top3").unwrap();
+        let kept: Vec<f64> = lat
+            .rows_ordered()
+            .iter()
+            .map(|r| r[1].as_f64().unwrap())
+            .collect();
+        assert_eq!(kept, vec![9.0, 7.0, 5.0]);
+        let n = sqlcm.persist_lat("Top3", "topk").unwrap();
+        assert_eq!(n, 3);
+        let rows = engine
+            .query("SELECT sig FROM topk ORDER BY duration DESC")
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn eviction_event_feeds_rules() {
+        let (engine, sqlcm) = setup();
+        engine
+            .execute_batch("CREATE TABLE evicted (sig INT, d FLOAT);")
+            .unwrap();
+        sqlcm
+            .define_lat(
+                LatSpec::new("Small")
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+                    .order_by("D", true)
+                    .max_rows(1),
+            )
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("track")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::insert("Small")),
+            )
+            .unwrap();
+        // Rule on the eviction event persists evicted rows (§4.3).
+        sqlcm
+            .add_rule(
+                Rule::new("keep_evicted")
+                    .on(RuleEvent::LatEviction("Small".into()))
+                    .then(Action::PersistObject {
+                        table: "evicted".into(),
+                        class: ClassName::Evicted("Small".into()),
+                        attrs: vec!["Sig".into(), "D".into()],
+                    }),
+            )
+            .unwrap();
+        for (sig, secs) in [(1u64, 5.0), (2, 9.0)] {
+            let mut q = sqlcm_common::QueryInfo::synthetic(sig, "q");
+            q.logical_signature = Some(sig);
+            q.duration_micros = (secs * 1e6) as u64;
+            sqlcm
+                .inner
+                .dispatch(RuleEvent::QueryCommit, vec![objects::query_object(&q)]);
+        }
+        let rows = engine.query("SELECT sig, d FROM evicted").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(1), Value::Float(5.0)]]);
+    }
+
+    #[test]
+    fn timer_rule_with_manual_clock() {
+        use sqlcm_common::ManualClock;
+        let (clock, handle) = ManualClock::shared(0);
+        let engine = Engine::new(EngineConfig {
+            clock: Some(clock),
+            ..Default::default()
+        })
+        .unwrap();
+        engine
+            .execute_batch("CREATE TABLE beats (name TEXT, at TIMESTAMP);")
+            .unwrap();
+        let sqlcm = Sqlcm::attach(&engine);
+        sqlcm
+            .add_rule(
+                Rule::new("heartbeat")
+                    .on(RuleEvent::TimerAlarm("hb".into()))
+                    .then(Action::PersistObject {
+                        table: "beats".into(),
+                        class: ClassName::Timer,
+                        attrs: vec!["Name".into(), "Time".into()],
+                    }),
+            )
+            .unwrap();
+        sqlcm.set_timer("hb", 1_000_000, 3);
+        for _ in 0..5 {
+            handle.advance(1_000_000);
+            sqlcm.poll_timers();
+        }
+        assert_eq!(
+            engine.query("SELECT COUNT(*) FROM beats").unwrap()[0][0],
+            Value::Int(3),
+            "timer fired exactly number_alarms times"
+        );
+    }
+
+    #[test]
+    fn send_mail_and_run_external() {
+        let (engine, sqlcm) = setup();
+        sqlcm
+            .add_rule(
+                Rule::new("alert")
+                    .on(RuleEvent::QueryCommit)
+                    .when("Query.Duration >= 0")
+                    .then(Action::send_mail(
+                        "dba@example.org",
+                        "query {Query.ID} by {Query.User}",
+                    ))
+                    .then(Action::run_external("log.sh {Query.ID}")),
+            )
+            .unwrap();
+        seed(&engine, 1);
+        assert_eq!(sqlcm.outbox().len(), 1);
+        let (to, body) = sqlcm.outbox().messages().pop().unwrap();
+        assert_eq!(to, "dba@example.org");
+        assert!(body.contains("by seed"), "{body}");
+        assert_eq!(sqlcm.command_log().len(), 1);
+    }
+
+    #[test]
+    fn rule_registration_validation() {
+        let (_engine, sqlcm) = setup();
+        // Unknown LAT in condition.
+        assert!(sqlcm
+            .add_rule(Rule::new("r").when("Nope_LAT.x > 1"))
+            .is_err());
+        // Unknown LAT in action.
+        assert!(sqlcm
+            .add_rule(Rule::new("r").then(Action::insert("nope")))
+            .is_err());
+        // Duplicate name.
+        sqlcm.add_rule(Rule::new("dup")).unwrap();
+        assert!(sqlcm.add_rule(Rule::new("dup")).is_err());
+        assert!(sqlcm.remove_rule("dup"));
+        assert!(!sqlcm.remove_rule("dup"));
+    }
+
+    #[test]
+    fn disabled_rule_does_not_fire() {
+        let (engine, sqlcm) = setup();
+        let rule = sqlcm
+            .add_rule(
+                Rule::new("maybe")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::send_mail("x", "y")),
+            )
+            .unwrap();
+        rule.set_enabled(false);
+        seed(&engine, 2);
+        assert_eq!(sqlcm.outbox().len(), 0);
+        rule.set_enabled(true);
+        seed_more(&engine);
+        assert_eq!(sqlcm.outbox().len(), 1);
+    }
+
+    fn seed_more(engine: &Engine) {
+        let mut s = engine.connect("seed", "seed");
+        s.execute("INSERT INTO t VALUES (1000, 1)").unwrap();
+    }
+
+    #[test]
+    fn lat_persist_restore_roundtrip() {
+        let (engine, sqlcm) = setup();
+        engine
+            .execute_batch("CREATE TABLE saved (sig INT, avg_d FLOAT, n INT, at TIMESTAMP);")
+            .unwrap();
+        sqlcm
+            .define_lat(
+                LatSpec::new("D")
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D")
+                    .aggregate(LatAggFunc::Count, "", "N"),
+            )
+            .unwrap();
+        for secs in [2.0, 4.0] {
+            let mut q = sqlcm_common::QueryInfo::synthetic(1, "q");
+            q.logical_signature = Some(7);
+            q.duration_micros = (secs * 1e6) as u64;
+            sqlcm.lat("D").unwrap().insert(&objects::query_object(&q)).unwrap();
+        }
+        sqlcm.persist_lat("D", "saved").unwrap();
+        // "Restart": reset, then restore from the table.
+        sqlcm.lat("D").unwrap().reset();
+        assert_eq!(sqlcm.lat("D").unwrap().row_count(), 0);
+        let n = sqlcm.restore_lat("D", "saved", Some("N")).unwrap();
+        assert_eq!(n, 1);
+        let rows = sqlcm.lat("D").unwrap().rows();
+        assert_eq!(rows[0][1], Value::Float(3.0));
+        assert_eq!(rows[0][2], Value::Int(2));
+    }
+
+    #[test]
+    fn detach_stops_monitoring() {
+        let (engine, sqlcm) = setup();
+        sqlcm
+            .add_rule(
+                Rule::new("m")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::send_mail("x", "y")),
+            )
+            .unwrap();
+        seed(&engine, 1);
+        assert_eq!(sqlcm.outbox().len(), 1);
+        assert!(sqlcm.detach(&engine));
+        seed_more(&engine);
+        assert_eq!(sqlcm.outbox().len(), 1, "no events after detach");
+    }
+
+    #[test]
+    fn action_errors_are_swallowed() {
+        let (engine, sqlcm) = setup();
+        // Persist into a table that doesn't exist: queries must keep working.
+        sqlcm
+            .add_rule(
+                Rule::new("broken")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::persist_object("missing_table", "Query", &["ID"])),
+            )
+            .unwrap();
+        seed(&engine, 2);
+        assert!(sqlcm.stats().action_errors >= 2);
+        assert!(sqlcm.last_error().unwrap().contains("missing_table"));
+        // The workload itself was unaffected.
+        assert_eq!(
+            engine.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn login_audit_rule() {
+        let (engine, sqlcm) = setup();
+        engine
+            .execute_batch("CREATE TABLE login_failures (who TEXT, app TEXT);")
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("audit_failures")
+                    .on(RuleEvent::Login)
+                    .when("Session.Success = FALSE")
+                    .then(Action::persist_object(
+                        "login_failures",
+                        "Session",
+                        &["User", "Application"],
+                    )),
+            )
+            .unwrap();
+        engine.connect("good", "app");
+        engine.failed_login("mallory", "cracker");
+        engine.failed_login("mallory", "cracker");
+        let rows = engine.query("SELECT COUNT(*) FROM login_failures").unwrap();
+        assert_eq!(rows[0][0], Value::Int(2));
+    }
+}

@@ -1,0 +1,440 @@
+//! Monitored objects: the SQLCM schema (paper Appendix A).
+//!
+//! A monitored object is a bag of named attribute values assembled on demand
+//! from engine probes. The classes of the prototype are `Query`, `Transaction`,
+//! `Blocker`, `Blocked` (both with the `Query` attribute set, per the paper) and
+//! `Timer`; we add `Session` for login/logout auditing (§5.1 allows widening the
+//! schema) and *evicted-row* objects whose attributes are the columns of the LAT
+//! they were evicted from (§4.3).
+//!
+//! Durations are exposed in **seconds** (`Float`), matching the paper's example
+//! conditions (`Query.Duration > 100`); raw probe values are microseconds.
+
+use std::sync::Arc;
+
+use sqlcm_common::{BlockPairInfo, QueryInfo, SessionInfo, Timestamp, TxnInfo, Value};
+
+/// Class of a monitored object. LAT-eviction objects carry the LAT name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClassName {
+    Query,
+    Transaction,
+    Blocker,
+    Blocked,
+    Timer,
+    Session,
+    /// A catalog table — the schema extension the paper names explicitly
+    /// ("this schema can be augmented to cover other relevant server objects
+    /// (e.g., Table)", §2.2).
+    Table,
+    /// Evicted row of the named LAT.
+    Evicted(String),
+}
+
+impl ClassName {
+    /// Parse a condition qualifier into a class, if it names one.
+    /// Allocation-free: this runs per attribute reference per rule evaluation.
+    pub fn parse(s: &str) -> Option<ClassName> {
+        if s.eq_ignore_ascii_case("query") {
+            Some(ClassName::Query)
+        } else if s.eq_ignore_ascii_case("transaction") {
+            Some(ClassName::Transaction)
+        } else if s.eq_ignore_ascii_case("blocker") {
+            Some(ClassName::Blocker)
+        } else if s.eq_ignore_ascii_case("blocked") {
+            Some(ClassName::Blocked)
+        } else if s.eq_ignore_ascii_case("timer") {
+            Some(ClassName::Timer)
+        } else if s.eq_ignore_ascii_case("session") {
+            Some(ClassName::Session)
+        } else if s.eq_ignore_ascii_case("table") {
+            Some(ClassName::Table)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for ClassName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassName::Query => f.write_str("Query"),
+            ClassName::Transaction => f.write_str("Transaction"),
+            ClassName::Blocker => f.write_str("Blocker"),
+            ClassName::Blocked => f.write_str("Blocked"),
+            ClassName::Timer => f.write_str("Timer"),
+            ClassName::Session => f.write_str("Session"),
+            ClassName::Table => f.write_str("Table"),
+            ClassName::Evicted(lat) => write!(f, "Evicted({lat})"),
+        }
+    }
+}
+
+/// A monitored object: class + attribute values. Attribute names are shared per
+/// construction site (`Arc<[String]>`), so objects are cheap to build.
+#[derive(Debug, Clone)]
+pub struct Object {
+    pub class: ClassName,
+    names: Arc<[String]>,
+    values: Vec<Value>,
+}
+
+impl Object {
+    pub fn new(class: ClassName, names: Arc<[String]>, values: Vec<Value>) -> Object {
+        debug_assert_eq!(names.len(), values.len());
+        Object {
+            class,
+            names,
+            values,
+        }
+    }
+
+    /// Attribute lookup, case-insensitive. Linear scan — attribute sets are tiny
+    /// and this beats hashing for ≤ 20 names.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(attr))
+            .map(|i| &self.values[i])
+    }
+
+    pub fn attribute_names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+/// Attribute position within the *static* classes' value layout (the layouts
+/// `query_object`, `block_pair_objects`, `txn_object`, `session_object` and
+/// `timer_object` produce). Used to compile rule conditions once at
+/// registration instead of string-matching per evaluation. Evicted-row classes
+/// have per-LAT layouts and are resolved against the LAT instead.
+pub fn static_attr_index(class: &ClassName, attr: &str) -> Option<usize> {
+    let names: &[&str] = match class {
+        ClassName::Query => QUERY_ATTRS,
+        ClassName::Blocker | ClassName::Blocked => {
+            return QUERY_ATTRS
+                .iter()
+                .chain(BLOCK_EXTRA_ATTRS)
+                .position(|n| n.eq_ignore_ascii_case(attr));
+        }
+        ClassName::Transaction => TXN_ATTRS,
+        ClassName::Session => SESSION_ATTRS,
+        ClassName::Timer => TIMER_ATTRS,
+        ClassName::Table => TABLE_ATTRS,
+        ClassName::Evicted(_) => return None,
+    };
+    names.iter().position(|n| n.eq_ignore_ascii_case(attr))
+}
+
+fn micros_to_secs(us: u64) -> Value {
+    Value::Float(us as f64 / 1_000_000.0)
+}
+
+/// Attribute names of the `Query` class (also used by `Blocker`/`Blocked`).
+pub const QUERY_ATTRS: &[&str] = &[
+    "ID",
+    "Query_Text",
+    "Logical_Signature",
+    "Physical_Signature",
+    "Start_Time",
+    "Duration",
+    "Estimated_Cost",
+    "Time_Blocked",
+    "Times_Blocked",
+    "Queries_Blocked",
+    "Number_of_instances",
+    "Query_Type",
+    "User",
+    "Application",
+    "Session_ID",
+    "Transaction_ID",
+    "Procedure",
+];
+
+/// Extra attributes present on `Blocker`/`Blocked` objects (lock-pair context).
+pub const BLOCK_EXTRA_ATTRS: &[&str] = &["Resource", "Wait_Time"];
+
+fn query_names() -> Arc<[String]> {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    NAMES
+        .get_or_init(|| QUERY_ATTRS.iter().map(|s| s.to_string()).collect())
+        .clone()
+}
+
+fn block_names() -> Arc<[String]> {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    NAMES
+        .get_or_init(|| {
+            QUERY_ATTRS
+                .iter()
+                .chain(BLOCK_EXTRA_ATTRS)
+                .map(|s| s.to_string())
+                .collect()
+        })
+        .clone()
+}
+
+fn query_values(q: &QueryInfo) -> Vec<Value> {
+    vec![
+        Value::Int(q.id as i64),
+        Value::Text(q.text.clone()),
+        q.logical_signature
+            .map(|s| Value::Int(s as i64))
+            .unwrap_or(Value::Null),
+        q.physical_signature
+            .map(|s| Value::Int(s as i64))
+            .unwrap_or(Value::Null),
+        Value::Timestamp(q.start_time),
+        micros_to_secs(q.duration_micros),
+        Value::Float(q.estimated_cost),
+        micros_to_secs(q.time_blocked_micros),
+        Value::Int(q.times_blocked as i64),
+        Value::Int(q.queries_blocked as i64),
+        Value::Int(1),
+        Value::Text(q.query_type.to_string()),
+        Value::Text(q.user.clone()),
+        Value::Text(q.application.clone()),
+        Value::Int(q.session_id as i64),
+        Value::Int(q.txn_id as i64),
+        q.procedure
+            .clone()
+            .map(Value::Text)
+            .unwrap_or(Value::Null),
+    ]
+}
+
+/// Build the `Query` object from a probe snapshot.
+pub fn query_object(q: &QueryInfo) -> Object {
+    Object::new(ClassName::Query, query_names(), query_values(q))
+}
+
+/// Build the `Blocker` / `Blocked` pair from a lock-conflict probe.
+pub fn block_pair_objects(p: &BlockPairInfo) -> (Object, Object) {
+    let mk = |class: ClassName, q: &QueryInfo| {
+        let mut values = query_values(q);
+        values.push(Value::Text(p.resource.clone()));
+        values.push(micros_to_secs(p.wait_micros));
+        Object::new(class, block_names(), values)
+    };
+    (
+        mk(ClassName::Blocker, &p.blocker),
+        mk(ClassName::Blocked, &p.blocked),
+    )
+}
+
+/// Attribute names of the `Transaction` class.
+pub const TXN_ATTRS: &[&str] = &[
+    "ID",
+    "Start_Time",
+    "Duration",
+    "Logical_Signature",
+    "Physical_Signature",
+    "Statements",
+    "User",
+    "Application",
+    "Session_ID",
+];
+
+/// Build the `Transaction` object. The signature *sequences* (§4.2 kinds 3–4)
+/// are exposed hashed into one integer each, the form LAT grouping uses.
+pub fn txn_object(t: &TxnInfo) -> Object {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    let names = NAMES
+        .get_or_init(|| TXN_ATTRS.iter().map(|s| s.to_string()).collect())
+        .clone();
+    let lsig = sqlcm_engine::signature::transaction_signature(&t.logical_signature);
+    let psig = sqlcm_engine::signature::transaction_signature(&t.physical_signature);
+    Object::new(
+        ClassName::Transaction,
+        names,
+        vec![
+            Value::Int(t.id as i64),
+            Value::Timestamp(t.start_time),
+            micros_to_secs(t.duration_micros),
+            Value::Int(lsig as i64),
+            Value::Int(psig as i64),
+            Value::Int(t.statements as i64),
+            Value::Text(t.user.clone()),
+            Value::Text(t.application.clone()),
+            Value::Int(t.session_id as i64),
+        ],
+    )
+}
+
+/// Attribute names of the `Session` class (login/logout auditing).
+pub const SESSION_ATTRS: &[&str] = &["Session_ID", "User", "Application", "Success"];
+
+pub fn session_object(s: &SessionInfo) -> Object {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    let names = NAMES
+        .get_or_init(|| SESSION_ATTRS.iter().map(|x| x.to_string()).collect())
+        .clone();
+    Object::new(
+        ClassName::Session,
+        names,
+        vec![
+            Value::Int(s.session_id as i64),
+            Value::Text(s.user.clone()),
+            Value::Text(s.application.clone()),
+            Value::Bool(s.success),
+        ],
+    )
+}
+
+/// Attribute names of the `Timer` class ("a Timer object also exposes the
+/// current time as an attribute").
+pub const TIMER_ATTRS: &[&str] = &["Name", "Time", "Alarms_Remaining"];
+
+pub fn timer_object(name: &str, now: Timestamp, remaining: i64) -> Object {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    let attr_names = NAMES
+        .get_or_init(|| TIMER_ATTRS.iter().map(|x| x.to_string()).collect())
+        .clone();
+    Object::new(
+        ClassName::Timer,
+        attr_names,
+        vec![
+            Value::Text(name.to_string()),
+            Value::Timestamp(now),
+            Value::Int(remaining),
+        ],
+    )
+}
+
+/// Attribute names of the `Table` class (schema extension, §2.2).
+pub const TABLE_ATTRS: &[&str] = &["Name", "Row_Count", "Columns", "Indexes", "Clustered"];
+
+/// Build the `Table` object from a catalog entry. Iterated by timer-driven
+/// rules (e.g. alert when a table outgrows a budget).
+pub fn table_object(t: &sqlcm_engine::catalog::TableInfo) -> Object {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    let names = NAMES
+        .get_or_init(|| TABLE_ATTRS.iter().map(|x| x.to_string()).collect())
+        .clone();
+    Object::new(
+        ClassName::Table,
+        names,
+        vec![
+            Value::Text(t.name.clone()),
+            Value::Int(t.row_count() as i64),
+            Value::Int(t.columns.len() as i64),
+            Value::Int(t.indexes.read().len() as i64),
+            Value::Bool(t.clustered_key().is_some()),
+        ],
+    )
+}
+
+/// Build the evicted-row object for a LAT eviction (§4.3): its attributes are
+/// exactly the LAT's columns.
+pub fn evicted_object(lat_name: &str, columns: Arc<[String]>, row: Vec<Value>) -> Object {
+    Object::new(ClassName::Evicted(lat_name.to_string()), columns, row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlcm_common::QueryType;
+
+    fn qinfo() -> QueryInfo {
+        QueryInfo {
+            id: 7,
+            text: "SELECT 1".into(),
+            logical_signature: Some(111),
+            physical_signature: Some(222),
+            start_time: 1_000_000,
+            duration_micros: 2_500_000,
+            estimated_cost: 12.5,
+            time_blocked_micros: 500_000,
+            times_blocked: 2,
+            queries_blocked: 3,
+            query_type: QueryType::Select,
+            session_id: 4,
+            txn_id: 5,
+            user: "alice".into(),
+            application: "ap".into(),
+            procedure: Some("p".into()),
+        }
+    }
+
+    #[test]
+    fn query_object_attributes() {
+        let o = query_object(&qinfo());
+        assert_eq!(o.class, ClassName::Query);
+        assert_eq!(o.get("ID"), Some(&Value::Int(7)));
+        assert_eq!(o.get("duration"), Some(&Value::Float(2.5)), "seconds");
+        assert_eq!(o.get("Time_Blocked"), Some(&Value::Float(0.5)));
+        assert_eq!(o.get("Logical_Signature"), Some(&Value::Int(111)));
+        assert_eq!(o.get("Query_Type"), Some(&Value::text("SELECT")));
+        assert_eq!(o.get("User"), Some(&Value::text("alice")));
+        assert_eq!(o.get("Number_of_instances"), Some(&Value::Int(1)));
+        assert_eq!(o.get("nope"), None);
+    }
+
+    #[test]
+    fn block_pair_has_resource_and_wait() {
+        let p = BlockPairInfo {
+            blocker: qinfo(),
+            blocked: qinfo(),
+            resource: "table:1/row:5".into(),
+            wait_micros: 3_000_000,
+        };
+        let (blocker, blocked) = block_pair_objects(&p);
+        assert_eq!(blocker.class, ClassName::Blocker);
+        assert_eq!(blocked.class, ClassName::Blocked);
+        assert_eq!(
+            blocked.get("Wait_Time"),
+            Some(&Value::Float(3.0)),
+            "seconds"
+        );
+        assert_eq!(blocker.get("Resource"), Some(&Value::text("table:1/row:5")));
+        assert_eq!(blocker.get("Duration"), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn txn_object_hashes_signature_sequences() {
+        let t = TxnInfo {
+            id: 1,
+            start_time: 0,
+            duration_micros: 1_000_000,
+            logical_signature: vec![1, 2, 3],
+            physical_signature: vec![4, 5, 6],
+            statements: 3,
+            session_id: 9,
+            user: "u".into(),
+            application: "a".into(),
+        };
+        let o = txn_object(&t);
+        assert_eq!(o.get("Statements"), Some(&Value::Int(3)));
+        let sig = o.get("Logical_Signature").unwrap().clone();
+        let t2 = TxnInfo {
+            logical_signature: vec![3, 2, 1],
+            ..t.clone()
+        };
+        assert_ne!(txn_object(&t2).get("Logical_Signature").unwrap(), &sig);
+    }
+
+    #[test]
+    fn class_name_parse() {
+        assert_eq!(ClassName::parse("query"), Some(ClassName::Query));
+        assert_eq!(ClassName::parse("BLOCKER"), Some(ClassName::Blocker));
+        assert_eq!(ClassName::parse("Duration_LAT"), None);
+    }
+
+    #[test]
+    fn evicted_object_mirrors_lat_columns() {
+        let cols: Arc<[String]> = vec!["Sig".to_string(), "Avg_Duration".to_string()].into();
+        let o = evicted_object("Duration_LAT", cols, vec![Value::Int(1), Value::Float(2.0)]);
+        assert_eq!(o.class, ClassName::Evicted("Duration_LAT".into()));
+        assert_eq!(o.get("avg_duration"), Some(&Value::Float(2.0)));
+    }
+}

@@ -1,0 +1,741 @@
+//! ECA rules: events, conditions, and their evaluation semantics (paper §5).
+//!
+//! A rule is `(Event, Condition, Actions)`. Conditions are ordinary expression
+//! trees (parsed by `sqlcm-sql`) over `Class.Attribute` and `Lat.Column`
+//! references:
+//!
+//! * when the condition references a class covered by the event's payload, the
+//!   rule's *scope* is the triggering object(s);
+//! * classes not covered by the event are iterated — "the engine iterates over
+//!   all combinations of objects of the given types currently registered"
+//!   (§5.2) — the monitor supplies those live sets;
+//! * LAT references bind the row whose grouping columns match the in-context
+//!   object; "all references to aggregation table rows are implicitly
+//!   ∃-quantified; if a matching row doesn't exist, the condition … is false".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sqlcm_common::{Error, Result, Value};
+use sqlcm_sql::{parse_expression, BinOp, Expr, UnaryOp};
+
+use crate::actions::Action;
+use crate::lat::Lat;
+use crate::objects::{ClassName, Object};
+
+/// The events a rule can subscribe to (paper §5.1 plus schema extensions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RuleEvent {
+    QueryStart,
+    QueryCompile,
+    QueryCommit,
+    QueryRollback,
+    QueryCancel,
+    QueryBlocked,
+    BlockReleased,
+    TxnBegin,
+    TxnCommit,
+    TxnRollback,
+    Login,
+    Logout,
+    /// `Timer.Alarm` of the named timer.
+    TimerAlarm(String),
+    /// Eviction from the named LAT (§4.3: evicted rows are monitored objects).
+    LatEviction(String),
+}
+
+impl RuleEvent {
+    /// The classes guaranteed present in the event's payload.
+    pub fn payload_classes(&self) -> Vec<ClassName> {
+        match self {
+            RuleEvent::QueryStart
+            | RuleEvent::QueryCompile
+            | RuleEvent::QueryCommit
+            | RuleEvent::QueryRollback
+            | RuleEvent::QueryCancel => vec![ClassName::Query],
+            RuleEvent::QueryBlocked | RuleEvent::BlockReleased => {
+                vec![ClassName::Blocker, ClassName::Blocked]
+            }
+            RuleEvent::TxnBegin | RuleEvent::TxnCommit | RuleEvent::TxnRollback => {
+                vec![ClassName::Transaction]
+            }
+            RuleEvent::Login | RuleEvent::Logout => vec![ClassName::Session],
+            RuleEvent::TimerAlarm(_) => vec![ClassName::Timer],
+            RuleEvent::LatEviction(lat) => vec![ClassName::Evicted(lat.clone())],
+        }
+    }
+}
+
+/// Rule-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleStats {
+    pub evaluations: u64,
+    pub fires: u64,
+    pub action_errors: u64,
+}
+
+/// A compiled ECA rule.
+pub struct Rule {
+    pub name: String,
+    pub event: RuleEvent,
+    /// Parsed condition; `None` ⇒ always true.
+    pub condition: Option<Expr>,
+    pub actions: Vec<Action>,
+    enabled: AtomicBool,
+    pub(crate) evaluations: AtomicU64,
+    pub(crate) fires: AtomicU64,
+    pub(crate) action_errors: AtomicU64,
+}
+
+impl Rule {
+    /// Start building a rule. Finish with [`Rule::on`] / [`Rule::when`] /
+    /// [`Rule::then`], then register via `Sqlcm::add_rule`.
+    pub fn new(name: impl Into<String>) -> Rule {
+        Rule {
+            name: name.into(),
+            event: RuleEvent::QueryCommit,
+            condition: None,
+            actions: Vec::new(),
+            enabled: AtomicBool::new(true),
+            evaluations: AtomicU64::new(0),
+            fires: AtomicU64::new(0),
+            action_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the triggering event (the E of ECA).
+    pub fn on(mut self, event: RuleEvent) -> Rule {
+        self.event = event;
+        self
+    }
+
+    /// Set the condition from text, e.g.
+    /// `"Query.Duration > 5 * Duration_LAT.Avg_Duration"`. Panics on syntax
+    /// errors (rules are authored, not data-driven; prefer failing loudly).
+    pub fn when(mut self, condition: &str) -> Rule {
+        self.condition = Some(parse_expression(condition).expect("rule condition parses"));
+        self
+    }
+
+    /// Set the condition from an already-built expression.
+    pub fn when_expr(mut self, condition: Expr) -> Rule {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// Append an action (the A of ECA); actions run in order (§5.3).
+    pub fn then(mut self, action: Action) -> Rule {
+        self.actions.push(action);
+        self
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Rules can be switched on/off dynamically (§3: "turning off/on rules
+    /// based on time of day").
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> RuleStats {
+        RuleStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            fires: self.fires.load(Ordering::Relaxed),
+            action_errors: self.action_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// All qualifiers referenced by the condition, split into monitored classes
+    /// and (assumed) LAT names. Unqualified columns are rejected.
+    pub fn condition_refs(&self) -> Result<(Vec<ClassName>, Vec<String>)> {
+        let mut classes = Vec::new();
+        let mut lats = Vec::new();
+        if let Some(c) = &self.condition {
+            let mut err = None;
+            c.walk(&mut |e| {
+                if let Expr::Column { qualifier, name } = e {
+                    match qualifier {
+                        Some(q) => match ClassName::parse(q) {
+                            Some(cl) => {
+                                if !classes.contains(&cl) {
+                                    classes.push(cl);
+                                }
+                            }
+                            None => {
+                                if !lats.iter().any(|l: &String| l.eq_ignore_ascii_case(q)) {
+                                    lats.push(q.clone());
+                                }
+                            }
+                        },
+                        None => {
+                            err = Some(Error::Monitor(format!(
+                                "unqualified column {name} in condition of rule {}",
+                                self.name
+                            )));
+                        }
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok((classes, lats))
+    }
+}
+
+/// Bound evaluation context: in-scope objects plus pre-bound LAT rows.
+pub struct EvalContext<'a> {
+    pub objects: &'a [Object],
+    /// LAT name (lowercased) → (lat handle, bound row). A `None` row means the
+    /// implicit ∃ failed and the condition is false.
+    pub lat_rows: &'a HashMap<String, (Arc<Lat>, Option<Vec<Value>>)>,
+}
+
+impl EvalContext<'_> {
+    fn object(&self, class: &ClassName) -> Option<&Object> {
+        self.objects.iter().find(|o| o.class == *class)
+    }
+
+    /// Resolve `Qualifier.Name`.
+    fn resolve(&self, qualifier: &str, name: &str) -> Result<Value> {
+        if let Some(class) = ClassName::parse(qualifier) {
+            if let Some(obj) = self.object(&class) {
+                return obj.get(name).cloned().ok_or_else(|| {
+                    Error::Monitor(format!("class {class} has no attribute {name}"))
+                });
+            }
+            return Err(Error::Monitor(format!(
+                "class {qualifier} is not in scope for this event"
+            )));
+        }
+        // LAT reference.
+        let key = qualifier.to_ascii_lowercase();
+        match self.lat_rows.get(&key) {
+            Some((lat, Some(row))) => {
+                let idx = lat.column_index(name).ok_or_else(|| {
+                    Error::Monitor(format!("LAT {qualifier} has no column {name}"))
+                })?;
+                Ok(row[idx].clone())
+            }
+            Some((_, None)) => {
+                // No matching row: signalled via a sentinel error the evaluator
+                // maps to FALSE at the condition root (implicit ∃).
+                Err(Error::Monitor(NO_ROW_SENTINEL.into()))
+            }
+            None => Err(Error::Monitor(format!("unknown LAT {qualifier}"))),
+        }
+    }
+}
+
+pub(crate) const NO_ROW_SENTINEL: &str = "__sqlcm_no_matching_lat_row__";
+
+// ------------------------------------------------------------ compiled form
+
+/// A condition compiled at rule-registration time: `Class.Attribute`
+/// references are resolved to value positions and `Lat.Column` references to
+/// column indexes, so per-event evaluation does no string matching. This is the
+/// "lightweight ECA rule engine" property the paper leans on (§2.1: low and
+/// controllable overhead beats expressive power).
+#[derive(Debug, Clone)]
+pub enum CompiledExpr {
+    Lit(Value),
+    /// Attribute `index` of the in-scope object of `class`.
+    Attr { class: ClassName, index: usize },
+    /// Column `index` of the bound row of the (lowercased) LAT.
+    LatCol { lat: String, index: usize },
+    Unary {
+        op: UnaryOp,
+        expr: Box<CompiledExpr>,
+    },
+    Binary {
+        left: Box<CompiledExpr>,
+        op: BinOp,
+        right: Box<CompiledExpr>,
+    },
+    IsNull {
+        expr: Box<CompiledExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<CompiledExpr>,
+        pattern: Box<CompiledExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<CompiledExpr>,
+        list: Vec<CompiledExpr>,
+        negated: bool,
+    },
+}
+
+/// Compile a parsed condition against the current LAT registry.
+pub fn compile(
+    e: &Expr,
+    lats: &HashMap<String, Arc<Lat>>,
+) -> Result<CompiledExpr> {
+    Ok(match e {
+        Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
+        Expr::Column { qualifier, name } => {
+            let q = qualifier.as_deref().ok_or_else(|| {
+                Error::Monitor(format!("unqualified column {name} in rule condition"))
+            })?;
+            if let Some(class) = ClassName::parse(q) {
+                let index = crate::objects::static_attr_index(&class, name)
+                    .ok_or_else(|| {
+                        Error::Monitor(format!("class {class} has no attribute {name}"))
+                    })?;
+                CompiledExpr::Attr { class, index }
+            } else {
+                let key = q.to_ascii_lowercase();
+                let lat = lats.get(&key).ok_or_else(|| {
+                    Error::Monitor(format!("unknown LAT {q} in rule condition"))
+                })?;
+                let index = lat.column_index(name).ok_or_else(|| {
+                    Error::Monitor(format!("LAT {q} has no column {name}"))
+                })?;
+                CompiledExpr::LatCol { lat: key, index }
+            }
+        }
+        Expr::Param(_) | Expr::NamedParam(_) => {
+            return Err(Error::Monitor(
+                "parameters are not allowed in rule conditions".into(),
+            ))
+        }
+        Expr::Unary { op, expr } => CompiledExpr::Unary {
+            op: *op,
+            expr: Box::new(compile(expr, lats)?),
+        },
+        Expr::Binary { left, op, right } => CompiledExpr::Binary {
+            left: Box::new(compile(left, lats)?),
+            op: *op,
+            right: Box::new(compile(right, lats)?),
+        },
+        Expr::IsNull { expr, negated } => CompiledExpr::IsNull {
+            expr: Box::new(compile(expr, lats)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => CompiledExpr::Like {
+            expr: Box::new(compile(expr, lats)?),
+            pattern: Box::new(compile(pattern, lats)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => CompiledExpr::InList {
+            expr: Box::new(compile(expr, lats)?),
+            list: list.iter().map(|e| compile(e, lats)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        other => {
+            return Err(Error::Monitor(format!(
+                "expression {other} is not supported in rule conditions"
+            )))
+        }
+    })
+}
+
+/// Evaluate a compiled condition with the ∃-semantics of [`eval_condition`].
+pub fn eval_condition_compiled(cond: &CompiledExpr, ctx: &EvalContext) -> Result<bool> {
+    match eval_compiled(cond, ctx) {
+        Ok(v) => Ok(v.as_bool() == Some(true)),
+        Err(Error::Monitor(m)) if m == NO_ROW_SENTINEL => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+fn eval_compiled(e: &CompiledExpr, ctx: &EvalContext) -> Result<Value> {
+    Ok(match e {
+        CompiledExpr::Lit(v) => v.clone(),
+        CompiledExpr::Attr { class, index } => {
+            let obj = ctx
+                .objects
+                .iter()
+                .find(|o| o.class == *class)
+                .ok_or_else(|| {
+                    Error::Monitor(format!("class {class} is not in scope for this event"))
+                })?;
+            obj.values()
+                .get(*index)
+                .cloned()
+                .ok_or_else(|| Error::Monitor(format!("attribute {index} out of range")))?
+        }
+        CompiledExpr::LatCol { lat, index } => match ctx.lat_rows.get(lat) {
+            Some((_, Some(row))) => row[*index].clone(),
+            Some((_, None)) => return Err(Error::Monitor(NO_ROW_SENTINEL.into())),
+            None => return Err(Error::Monitor(format!("unknown LAT {lat}"))),
+        },
+        CompiledExpr::Unary { op, expr } => {
+            let v = eval_compiled(expr, ctx)?;
+            match op {
+                UnaryOp::Neg => Value::Int(0).sub(&v)?,
+                UnaryOp::Not => match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                },
+            }
+        }
+        CompiledExpr::Binary { left, op, right } => {
+            let l = eval_compiled(left, ctx)?;
+            let r = eval_compiled(right, ctx)?;
+            match op {
+                BinOp::Add => l.add(&r)?,
+                BinOp::Sub => l.sub(&r)?,
+                BinOp::Mul => l.mul(&r)?,
+                BinOp::Div => l.div(&r)?,
+                BinOp::Mod => match (l.as_i64(), r.as_i64()) {
+                    (Some(a), Some(b)) if b != 0 => Value::Int(a % b),
+                    _ => Value::Null,
+                },
+                BinOp::And => match (l.as_bool(), r.as_bool()) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                },
+                BinOp::Or => match (l.as_bool(), r.as_bool()) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                },
+                cmp => match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match cmp {
+                        BinOp::Eq => ord.is_eq(),
+                        BinOp::NotEq => !ord.is_eq(),
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::LtEq => ord.is_le(),
+                        BinOp::GtEq => ord.is_ge(),
+                        _ => unreachable!(),
+                    }),
+                },
+            }
+        }
+        CompiledExpr::IsNull { expr, negated } => {
+            let v = eval_compiled(expr, ctx)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        CompiledExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_compiled(expr, ctx)?;
+            let p = eval_compiled(pattern, ctx)?;
+            match (v.as_str(), p.as_str()) {
+                (Some(sv), Some(pat)) => {
+                    Value::Bool(sqlcm_engine::expr::like_match(sv, pat) != *negated)
+                }
+                _ => Value::Null,
+            }
+        }
+        CompiledExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_compiled(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            let mut found = false;
+            for e in list {
+                let member = eval_compiled(e, ctx)?;
+                if member.is_null() {
+                    saw_null = true;
+                } else if member == v {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                Value::Bool(!*negated)
+            } else if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            }
+        }
+    })
+}
+
+/// Evaluate a rule condition. Missing LAT rows make the condition false
+/// (implicit ∃); genuine errors propagate.
+pub fn eval_condition(cond: &Expr, ctx: &EvalContext) -> Result<bool> {
+    match eval_expr(cond, ctx) {
+        Ok(v) => Ok(v.as_bool() == Some(true)),
+        Err(Error::Monitor(m)) if m == NO_ROW_SENTINEL => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Expression interpreter for conditions — the subset of §5.2: logical and
+/// arithmetic operators over attribute and LAT-column references.
+pub fn eval_expr(e: &Expr, ctx: &EvalContext) -> Result<Value> {
+    Ok(match e {
+        Expr::Literal(v) => v.clone(),
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => ctx.resolve(q, name)?,
+            None => {
+                return Err(Error::Monitor(format!(
+                    "unqualified column {name} in rule condition"
+                )))
+            }
+        },
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, ctx)?;
+            match op {
+                UnaryOp::Neg => Value::Int(0).sub(&v)?,
+                UnaryOp::Not => match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            // NOTE: no short-circuit across the NO_ROW sentinel — any reference
+            // to a missing LAT row poisons the condition to false, matching the
+            // paper's "if a matching row doesn't exist, the condition is
+            // evaluated to false".
+            let l = eval_expr(left, ctx)?;
+            let r = eval_expr(right, ctx)?;
+            match op {
+                BinOp::Add => l.add(&r)?,
+                BinOp::Sub => l.sub(&r)?,
+                BinOp::Mul => l.mul(&r)?,
+                BinOp::Div => l.div(&r)?,
+                BinOp::Mod => match (l.as_i64(), r.as_i64()) {
+                    (Some(a), Some(b)) if b != 0 => Value::Int(a % b),
+                    _ => Value::Null,
+                },
+                BinOp::And => match (l.as_bool(), r.as_bool()) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                },
+                BinOp::Or => match (l.as_bool(), r.as_bool()) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                },
+                cmp => match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match cmp {
+                        BinOp::Eq => ord.is_eq(),
+                        BinOp::NotEq => !ord.is_eq(),
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::LtEq => ord.is_le(),
+                        BinOp::GtEq => ord.is_ge(),
+                        _ => unreachable!(),
+                    }),
+                },
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, ctx)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_expr(expr, ctx)?;
+            let p = eval_expr(pattern, ctx)?;
+            match (v.as_str(), p.as_str()) {
+                (Some(s), Some(pat)) => {
+                    Value::Bool(sqlcm_engine::expr::like_match(s, pat) != *negated)
+                }
+                _ => Value::Null,
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_expr(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            let mut found = false;
+            for e in list {
+                let member = eval_expr(e, ctx)?;
+                if member.is_null() {
+                    saw_null = true;
+                } else if member == v {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                Value::Bool(!*negated)
+            } else if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            }
+        }
+        other => {
+            return Err(Error::Monitor(format!(
+                "expression {other} is not supported in rule conditions"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::query_object;
+    use sqlcm_common::QueryInfo;
+
+    fn ctx_with(
+        objects: &[Object],
+    ) -> HashMap<String, (Arc<Lat>, Option<Vec<Value>>)> {
+        let _ = objects;
+        HashMap::new()
+    }
+
+    fn qobj(duration_secs: f64) -> Object {
+        let mut q = QueryInfo::synthetic(1, "SELECT 1");
+        q.duration_micros = (duration_secs * 1e6) as u64;
+        q.logical_signature = Some(42);
+        query_object(&q)
+    }
+
+    #[test]
+    fn simple_threshold_condition() {
+        let objs = vec![qobj(150.0)];
+        let lats = ctx_with(&objs);
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &lats,
+        };
+        let c = parse_expression("Query.Duration > 100").unwrap();
+        assert!(eval_condition(&c, &ctx).unwrap());
+        let c = parse_expression("Query.Duration > 200").unwrap();
+        assert!(!eval_condition(&c, &ctx).unwrap());
+    }
+
+    #[test]
+    fn lat_reference_with_missing_row_is_false() {
+        use sqlcm_common::ManualClock;
+        let (clock, _) = ManualClock::shared(0);
+        let lat = Arc::new(
+            Lat::new(
+                crate::lat::LatSpec::new("Duration_LAT")
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(crate::lat::LatAggFunc::Avg, "Query.Duration", "Avg_Duration"),
+                clock,
+            )
+            .unwrap(),
+        );
+        let objs = vec![qobj(150.0)];
+        let mut lats = HashMap::new();
+        lats.insert("duration_lat".to_string(), (lat.clone(), None));
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &lats,
+        };
+        let c = parse_expression("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
+        assert!(!eval_condition(&c, &ctx).unwrap(), "∃ fails → false");
+        // Even when OR-ed with something true — the reference poisons it.
+        let c =
+            parse_expression("Query.Duration > 0 AND Duration_LAT.Avg_Duration > 0").unwrap();
+        assert!(!eval_condition(&c, &ctx).unwrap());
+
+        // Bound row: the paper's Example 1 condition.
+        lats.insert(
+            "duration_lat".to_string(),
+            (lat, Some(vec![Value::Int(42), Value::Float(20.0)])),
+        );
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &lats,
+        };
+        let c = parse_expression("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
+        assert!(eval_condition(&c, &ctx).unwrap(), "150 > 5 * 20");
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        let objs = vec![qobj(1.0)];
+        let lats = ctx_with(&objs);
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &lats,
+        };
+        let c = parse_expression("Query.Nope > 1").unwrap();
+        assert!(eval_condition(&c, &ctx).is_err());
+        let c = parse_expression("Transaction.ID > 1").unwrap();
+        assert!(eval_condition(&c, &ctx).is_err(), "class not in scope");
+    }
+
+    #[test]
+    fn condition_refs_classification() {
+        let r = Rule::new("r")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration > 5 * Duration_LAT.Avg_Duration AND Blocked.Wait_Time > 1");
+        let (classes, lats) = r.condition_refs().unwrap();
+        assert!(classes.contains(&ClassName::Query));
+        assert!(classes.contains(&ClassName::Blocked));
+        assert_eq!(lats, vec!["Duration_LAT"]);
+        let r = Rule::new("r").when("orphan > 1");
+        assert!(r.condition_refs().is_err());
+    }
+
+    #[test]
+    fn enable_disable() {
+        let r = Rule::new("r");
+        assert!(r.is_enabled());
+        r.set_enabled(false);
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn arithmetic_and_string_ops() {
+        let objs = vec![qobj(10.0)];
+        let lats = ctx_with(&objs);
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &lats,
+        };
+        for (cond, expect) in [
+            ("Query.Duration * 2 = 20", true),
+            ("(Query.Duration + 5) / 3 = 5", true),
+            ("Query.Query_Text LIKE 'SELECT%'", true),
+            ("Query.Query_Text NOT LIKE '%UPDATE%'", true),
+            ("Query.Procedure IS NULL", true),
+            ("NOT (Query.Duration > 5)", false),
+            ("Query.Query_Type = 'SELECT'", true),
+        ] {
+            let c = parse_expression(cond).unwrap();
+            assert_eq!(eval_condition(&c, &ctx).unwrap(), expect, "{cond}");
+        }
+    }
+
+    #[test]
+    fn payload_classes() {
+        assert_eq!(
+            RuleEvent::QueryBlocked.payload_classes(),
+            vec![ClassName::Blocker, ClassName::Blocked]
+        );
+        assert_eq!(
+            RuleEvent::TimerAlarm("t".into()).payload_classes(),
+            vec![ClassName::Timer]
+        );
+    }
+}

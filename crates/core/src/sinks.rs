@@ -1,0 +1,119 @@
+//! Pluggable sinks for the `SendMail` and `RunExternal` actions (§5.3).
+//!
+//! The paper's prototype sends real mail and launches real programs. In this
+//! reproduction the default sinks *record* what would have been sent/run — the
+//! experiments only need the action dispatched and its cost charged, and tests
+//! need determinism. [`SpawningCommandSink`] optionally launches processes for
+//! real.
+
+use parking_lot::Mutex;
+
+/// Receives `SendMail(Text, Address)` actions.
+pub trait MailSink: Send + Sync {
+    fn send(&self, to: &str, body: &str);
+}
+
+/// Receives `RunExternal(Command)` actions.
+pub trait CommandSink: Send + Sync {
+    fn run(&self, command: &str);
+}
+
+/// Default mail sink: an in-memory outbox.
+#[derive(Default)]
+pub struct RecordingMailSink {
+    outbox: Mutex<Vec<(String, String)>>,
+}
+
+impl RecordingMailSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All (address, body) pairs sent so far.
+    pub fn messages(&self) -> Vec<(String, String)> {
+        self.outbox.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.outbox.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MailSink for RecordingMailSink {
+    fn send(&self, to: &str, body: &str) {
+        self.outbox.lock().push((to.to_string(), body.to_string()));
+    }
+}
+
+/// Default command sink: an in-memory command log.
+#[derive(Default)]
+pub struct RecordingCommandSink {
+    log: Mutex<Vec<String>>,
+}
+
+impl RecordingCommandSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn commands(&self) -> Vec<String> {
+        self.log.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CommandSink for RecordingCommandSink {
+    fn run(&self, command: &str) {
+        self.log.lock().push(command.to_string());
+    }
+}
+
+/// Command sink that actually spawns `sh -c <command>`, detached. Failures are
+/// swallowed: a monitoring action must never take the server down.
+pub struct SpawningCommandSink;
+
+impl CommandSink for SpawningCommandSink {
+    fn run(&self, command: &str) {
+        let _ = std::process::Command::new("sh")
+            .arg("-c")
+            .arg(command)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_mail() {
+        let m = RecordingMailSink::new();
+        assert!(m.is_empty());
+        m.send("dba@example.org", "slow query!");
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.messages(),
+            vec![("dba@example.org".to_string(), "slow query!".to_string())]
+        );
+    }
+
+    #[test]
+    fn recording_commands() {
+        let c = RecordingCommandSink::new();
+        c.run("analyze.sh outliers");
+        assert_eq!(c.commands(), vec!["analyze.sh outliers"]);
+    }
+}

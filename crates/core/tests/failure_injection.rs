@@ -1,0 +1,206 @@
+//! Failure injection: the monitoring framework must degrade gracefully, never
+//! take the workload down, and keep its counters truthful under abuse.
+
+use std::sync::Arc;
+use sqlcm_common::{ManualClock, QueryInfo, Value};
+use sqlcm_core::objects::query_object;
+use sqlcm_core::{Action, Lat, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn qobj(sig: u64, secs: f64) -> sqlcm_core::Object {
+    let mut q = QueryInfo::synthetic(sig, format!("q{sig}"));
+    q.logical_signature = Some(sig);
+    q.duration_micros = (secs * 1e6) as u64;
+    query_object(&q)
+}
+
+#[test]
+fn lat_with_max_rows_zero_keeps_the_latest_row() {
+    // Degenerate bound: the implementation never evicts the row being inserted,
+    // so the LAT floors at one row (documented behaviour).
+    let (clock, _) = ManualClock::shared(0);
+    let lat = Lat::new(
+        LatSpec::new("Z")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+            .order_by("D", true)
+            .max_rows(0),
+        clock,
+    )
+    .unwrap();
+    for sig in 0..5 {
+        lat.insert(&qobj(sig, sig as f64)).unwrap();
+    }
+    assert_eq!(lat.row_count(), 1);
+    assert_eq!(lat.stats().evictions, 4);
+}
+
+#[test]
+fn rule_on_missing_attribute_is_rejected_at_registration() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    // Compiled conditions resolve attribute names at add_rule time.
+    let err = sqlcm
+        .add_rule(
+            Rule::new("typo")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Durationn > 1"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("no attribute"), "{err}");
+    assert_eq!(sqlcm.rule_count(), 0);
+}
+
+#[test]
+fn persist_schema_mismatch_is_swallowed_and_counted() {
+    let engine = Engine::in_memory();
+    engine
+        .execute_batch(
+            "CREATE TABLE t (id INT PRIMARY KEY, v INT);\
+             CREATE TABLE narrow (only_one INT);",
+        )
+        .unwrap();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("bad_persist")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::persist_object(
+                    "narrow",
+                    "Query",
+                    &["ID", "Duration"], // two attrs into a one-column table
+                )),
+        )
+        .unwrap();
+    let mut s = engine.connect("u", "a");
+    for i in 0..3 {
+        s.execute_params("INSERT INTO t VALUES (?, 0)", &[Value::Int(i)])
+            .unwrap();
+    }
+    assert_eq!(sqlcm.stats().action_errors, 3);
+    assert!(sqlcm.last_error().unwrap().contains("expects 1 columns"));
+    // The workload itself never noticed.
+    assert_eq!(
+        engine.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(3)
+    );
+}
+
+#[test]
+fn dropping_a_lat_under_live_rules_degrades_to_errors_not_panics() {
+    let engine = Engine::in_memory();
+    engine
+        .execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);")
+        .unwrap();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Gone")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("uses_gone")
+                .on(RuleEvent::QueryCommit)
+                .when("Gone.N >= 0")
+                .then(Action::insert("Gone")),
+        )
+        .unwrap();
+    let mut s = engine.connect("u", "a");
+    s.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    assert!(sqlcm.drop_lat("Gone"));
+    // The condition can no longer bind a row of the dropped LAT: the rule is
+    // skipped with a recorded diagnostic, and the workload is unaffected.
+    s.execute("INSERT INTO t VALUES (2, 0)").unwrap();
+    assert!(sqlcm.last_error().unwrap().contains("unknown LAT"));
+    // But a *new* rule can no longer reference it.
+    assert!(sqlcm
+        .add_rule(Rule::new("late").when("Gone.N >= 0"))
+        .is_err());
+}
+
+#[test]
+fn reset_under_concurrent_inserts_is_safe() {
+    let lat = Arc::new(
+        Lat::new(
+            LatSpec::new("R")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+            sqlcm_common::SystemClock::shared(),
+        )
+        .unwrap(),
+    );
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let lat = lat.clone();
+            scope.spawn(move || {
+                for i in 0..20_000u64 {
+                    lat.insert(&qobj((t * 7 + i) % 32, 1.0)).unwrap();
+                }
+            });
+        }
+        let lat = lat.clone();
+        scope.spawn(move || {
+            for _ in 0..50 {
+                lat.reset();
+                std::thread::yield_now();
+            }
+        });
+    });
+    // No panics, counters sane, and the table is readable.
+    assert!(lat.stats().inserts == 80_000);
+    assert!(lat.stats().resets == 50);
+    let _ = lat.rows();
+}
+
+#[test]
+fn cancel_action_on_finished_query_is_harmless() {
+    let engine = Engine::in_memory();
+    engine
+        .execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);")
+        .unwrap();
+    let sqlcm = Sqlcm::attach(&engine);
+    // QueryCommit fires after completion; Cancel() then targets a query that
+    // already unregistered — must be a silent no-op.
+    sqlcm
+        .add_rule(
+            Rule::new("too_late")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::cancel("Query")),
+        )
+        .unwrap();
+    let mut s = engine.connect("u", "a");
+    for i in 0..5 {
+        s.execute_params("INSERT INTO t VALUES (?, 0)", &[Value::Int(i)])
+            .unwrap();
+    }
+    assert_eq!(sqlcm.stats().action_errors, 0);
+    assert_eq!(
+        engine.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(5)
+    );
+}
+
+#[test]
+fn timer_storm_coalesces() {
+    use std::time::Duration;
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("beat")
+                .on(RuleEvent::TimerAlarm("storm".into()))
+                .then(Action::send_mail("x", "tick")),
+        )
+        .unwrap();
+    // 1 µs period, polled rarely: alarms must coalesce, not replay every
+    // missed period.
+    sqlcm.set_timer("storm", 1, -1);
+    std::thread::sleep(Duration::from_millis(20));
+    sqlcm.poll_timers();
+    sqlcm.poll_timers();
+    let n = sqlcm.outbox().len();
+    assert!(n <= 3, "coalesced, got {n}");
+}

@@ -1,0 +1,933 @@
+//! The query executor: physical plans → rows, plus DML with index maintenance,
+//! locking, undo logging, and cooperative cancellation.
+//!
+//! Locking protocol (strict 2PL, hierarchical):
+//!
+//! | operation | table lock | row lock |
+//! |---|---|---|
+//! | point select via clustered key | IS | S on the key |
+//! | range / full scan select | S | — |
+//! | point update/delete | IX | X on the key |
+//! | scan-driven update/delete | X | — |
+//! | insert | IX | X on the new key (clustered) |
+//!
+//! Cancellation is cooperative: the executor polls
+//! [`ActiveQueryState::is_cancelled`] between batches
+//! ([`CANCEL_CHECK_INTERVAL`] rows), which is how the paper's `Cancel()` action
+//! takes effect ("the action only sends the cancel signal to the thread(s)
+//! currently executing the query", §5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqlcm_common::{Error, Result, Value};
+use sqlcm_sql::Expr;
+use sqlcm_storage::btree::ScanBounds;
+use sqlcm_storage::{decode_row, encode_row, RowId};
+
+use crate::active::ActiveQueryState;
+use crate::catalog::{TableInfo, TableLayout};
+use crate::expr::{eval, is_truthy, Params, Schema};
+use crate::lock::{LockManager, LockMode, ResourceId};
+use crate::plan::{AggFunc, AggSpec, PhysicalPlan, SeekBounds};
+use crate::txn::{TxnState, UndoOp};
+
+/// Rows between cancellation checks.
+pub const CANCEL_CHECK_INTERVAL: usize = 256;
+
+/// Everything a statement needs to execute.
+pub struct ExecCtx<'a> {
+    pub locks: &'a LockManager,
+    pub txn: &'a mut TxnState,
+    pub query: &'a Arc<ActiveQueryState>,
+    pub params: Params<'a>,
+}
+
+impl ExecCtx<'_> {
+    fn lock(&mut self, res: ResourceId, mode: LockMode) -> Result<()> {
+        self.locks.acquire(self.txn.id, self.query, res.clone(), mode)?;
+        self.txn.note_lock(res);
+        Ok(())
+    }
+
+    fn check_cancel(&self) -> Result<()> {
+        if self.query.is_cancelled() {
+            Err(Error::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// =================================================================== SELECT
+
+/// Execute a physical plan, materializing the result rows.
+pub fn run_select(ctx: &mut ExecCtx, plan: &PhysicalPlan) -> Result<Vec<Vec<Value>>> {
+    match plan {
+        PhysicalPlan::DualScan => Ok(vec![vec![]]),
+        PhysicalPlan::SeqScan {
+            table, predicate, ..
+        } => seq_scan(ctx, plan, table, predicate.as_ref()),
+        PhysicalPlan::IndexSeek {
+            table,
+            bounds,
+            residual,
+            ..
+        } => index_seek(ctx, plan, table, bounds, residual.as_ref()),
+        PhysicalPlan::Filter { predicate, input } => {
+            let schema = input.schema();
+            let rows = run_select(ctx, input)?;
+            let mut out = Vec::new();
+            for (i, row) in rows.into_iter().enumerate() {
+                if i % CANCEL_CHECK_INTERVAL == 0 {
+                    ctx.check_cancel()?;
+                }
+                if is_truthy(&eval(predicate, &schema, &row, &ctx.params)?) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Project { exprs, input } => {
+            let schema = input.schema();
+            let rows = run_select(ctx, input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for (i, row) in rows.into_iter().enumerate() {
+                if i % CANCEL_CHECK_INTERVAL == 0 {
+                    ctx.check_cancel()?;
+                }
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(eval(e, &schema, &row, &ctx.params)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, on } => {
+            let joined_schema = plan.schema();
+            let left_rows = run_select(ctx, left)?;
+            let right_rows = run_select(ctx, right)?;
+            let mut out = Vec::new();
+            let mut i = 0usize;
+            for l in &left_rows {
+                for r in &right_rows {
+                    if i % CANCEL_CHECK_INTERVAL == 0 {
+                        ctx.check_cancel()?;
+                    }
+                    i += 1;
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    if is_truthy(&eval(on, &joined_schema, &row, &ctx.params)?) {
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let lschema = left.schema();
+            let rschema = right.schema();
+            let joined_schema = plan.schema();
+            let right_rows = run_select(ctx, right)?;
+            // Build side: right.
+            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, r) in right_rows.iter().enumerate() {
+                let key: Vec<Value> = right_keys
+                    .iter()
+                    .map(|k| eval(k, &rschema, r, &ctx.params))
+                    .collect::<Result<_>>()?;
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL never equi-joins.
+                }
+                table.entry(key).or_default().push(i);
+            }
+            let left_rows = run_select(ctx, left)?;
+            let mut out = Vec::new();
+            for (i, l) in left_rows.iter().enumerate() {
+                if i % CANCEL_CHECK_INTERVAL == 0 {
+                    ctx.check_cancel()?;
+                }
+                let key: Vec<Value> = left_keys
+                    .iter()
+                    .map(|k| eval(k, &lschema, l, &ctx.params))
+                    .collect::<Result<_>>()?;
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for &ri in matches {
+                        let mut row = l.clone();
+                        row.extend(right_rows[ri].iter().cloned());
+                        if let Some(res) = residual {
+                            if !is_truthy(&eval(res, &joined_schema, &row, &ctx.params)?) {
+                                continue;
+                            }
+                        }
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashAggregate {
+            group_by,
+            aggs,
+            input,
+        } => hash_aggregate(ctx, group_by, aggs, input),
+        PhysicalPlan::Sort { keys, input } => {
+            let schema = input.schema();
+            let rows = run_select(ctx, input)?;
+            // Precompute key vectors; DESC encoded per-key during compare.
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let kv: Vec<Value> = keys
+                    .iter()
+                    .map(|(e, _)| eval(e, &schema, &row, &ctx.params))
+                    .collect::<Result<_>>()?;
+                keyed.push((kv, row));
+            }
+            ctx.check_cancel()?;
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = a[i].cmp(&b[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        }
+        PhysicalPlan::Limit { n, input } => {
+            let mut rows = run_select(ctx, input)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+    }
+}
+
+fn seq_scan(
+    ctx: &mut ExecCtx,
+    plan: &PhysicalPlan,
+    table: &Arc<TableInfo>,
+    predicate: Option<&Expr>,
+) -> Result<Vec<Vec<Value>>> {
+    ctx.lock(ResourceId::Table(table.id), LockMode::Shared)?;
+    let schema = plan.schema();
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    let mut scan_err: Option<Error> = None;
+    match &table.layout {
+        TableLayout::Clustered { btree, .. } => {
+            btree.scan_with(&ScanBounds::all(), |_, bytes| {
+                n += 1;
+                if n % CANCEL_CHECK_INTERVAL == 0 && ctx.query.is_cancelled() {
+                    scan_err = Some(Error::Cancelled);
+                    return false;
+                }
+                match filter_decode(bytes, predicate, &schema, &ctx.params) {
+                    Ok(Some(row)) => out.push(row),
+                    Ok(None) => {}
+                    Err(e) => {
+                        scan_err = Some(e);
+                        return false;
+                    }
+                }
+                true
+            })?;
+        }
+        TableLayout::Heap { heap } => {
+            heap.for_each(|_, bytes| {
+                if scan_err.is_some() {
+                    return;
+                }
+                n += 1;
+                if n % CANCEL_CHECK_INTERVAL == 0 && ctx.query.is_cancelled() {
+                    scan_err = Some(Error::Cancelled);
+                    return;
+                }
+                match filter_decode(bytes, predicate, &schema, &ctx.params) {
+                    Ok(Some(row)) => out.push(row),
+                    Ok(None) => {}
+                    Err(e) => scan_err = Some(e),
+                }
+            })?;
+        }
+    }
+    match scan_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+fn filter_decode(
+    bytes: &[u8],
+    predicate: Option<&Expr>,
+    schema: &Schema,
+    params: &Params,
+) -> Result<Option<Vec<Value>>> {
+    let row = decode_row(bytes)?;
+    if let Some(p) = predicate {
+        if !is_truthy(&eval(p, schema, &row, params)?) {
+            return Ok(None);
+        }
+    }
+    Ok(Some(row))
+}
+
+/// Evaluate the seek bounds to concrete key values, coerced to key column types.
+fn eval_bounds(
+    ctx: &ExecCtx,
+    table: &TableInfo,
+    bounds: &SeekBounds,
+) -> Result<(Vec<Value>, Option<(Value, bool)>, Option<(Value, bool)>)> {
+    let empty = Schema::default();
+    let key_cols = table.clustered_key().expect("seek on clustered table");
+    let mut prefix = Vec::with_capacity(bounds.eq_prefix.len());
+    for (i, e) in bounds.eq_prefix.iter().enumerate() {
+        let v = eval(e, &empty, &[], &ctx.params)?;
+        let ty = table.columns[key_cols[i]].data_type;
+        prefix.push(v.cast(ty).unwrap_or(v));
+    }
+    let range_col_ty = key_cols
+        .get(bounds.eq_prefix.len())
+        .map(|&i| table.columns[i].data_type);
+    let eval_edge = |edge: &Option<(Expr, bool)>| -> Result<Option<(Value, bool)>> {
+        match edge {
+            Some((e, inc)) => {
+                let v = eval(e, &empty, &[], &ctx.params)?;
+                let v = match range_col_ty {
+                    Some(ty) => v.cast(ty).unwrap_or(v),
+                    None => v,
+                };
+                Ok(Some((v, *inc)))
+            }
+            None => Ok(None),
+        }
+    };
+    Ok((prefix, eval_edge(&bounds.lower)?, eval_edge(&bounds.upper)?))
+}
+
+fn index_seek(
+    ctx: &mut ExecCtx,
+    plan: &PhysicalPlan,
+    table: &Arc<TableInfo>,
+    bounds: &SeekBounds,
+    residual: Option<&Expr>,
+) -> Result<Vec<Vec<Value>>> {
+    let schema = plan.schema();
+    let key_cols = table
+        .clustered_key()
+        .ok_or_else(|| Error::Execution("index seek on heap table (planner bug)".into()))?;
+    let key_len = key_cols.len();
+    let (prefix, lower, upper) = eval_bounds(ctx, table, bounds)?;
+
+    let btree = match &table.layout {
+        TableLayout::Clustered { btree, .. } => btree,
+        TableLayout::Heap { .. } => unreachable!("clustered_key was Some"),
+    };
+
+    if prefix.len() == key_len && lower.is_none() && upper.is_none() {
+        // Point lookup: IS on the table, S on the row.
+        ctx.lock(ResourceId::Table(table.id), LockMode::IntentShared)?;
+        ctx.lock(
+            ResourceId::Row(table.id, prefix.clone()),
+            LockMode::Shared,
+        )?;
+        let mut out = Vec::new();
+        if let Some(bytes) = btree.get(&prefix)? {
+            if let Some(row) = filter_decode(&bytes, residual, &schema, &ctx.params)? {
+                out.push(row);
+            }
+        }
+        return Ok(out);
+    }
+
+    // Range: shared lock on the whole table (simple phantom-free choice).
+    ctx.lock(ResourceId::Table(table.id), LockMode::Shared)?;
+    let mut start_key = prefix.clone();
+    if let Some((v, _)) = &lower {
+        start_key.push(v.clone());
+    }
+    let scan_bounds = ScanBounds {
+        lower: if start_key.is_empty() {
+            None
+        } else {
+            Some((start_key, true))
+        },
+        upper: None,
+    };
+    let range_pos = prefix.len();
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    let mut scan_err: Option<Error> = None;
+    btree.scan_with(&scan_bounds, |key, bytes| {
+        n += 1;
+        if n % CANCEL_CHECK_INTERVAL == 0 && ctx.query.is_cancelled() {
+            scan_err = Some(Error::Cancelled);
+            return false;
+        }
+        // Stop once we leave the equality prefix.
+        if key[..prefix.len()] != prefix[..] {
+            return false;
+        }
+        if let Some((lo, inc)) = &lower {
+            let ord = key[range_pos].cmp(lo);
+            if ord.is_lt() || (!inc && ord.is_eq()) {
+                return true; // below the range start (exclusive edge)
+            }
+        }
+        if let Some((hi, inc)) = &upper {
+            let ord = key[range_pos].cmp(hi);
+            if ord.is_gt() || (!inc && ord.is_eq()) {
+                return false; // past the range end
+            }
+        }
+        match filter_decode(bytes, residual, &schema, &ctx.params) {
+            Ok(Some(row)) => out.push(row),
+            Ok(None) => {}
+            Err(e) => {
+                scan_err = Some(e);
+                return false;
+            }
+        }
+        true
+    })?;
+    match scan_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+// ------------------------------------------------------------- aggregation
+
+enum AggState {
+    Count(i64),
+    Sum { sum: f64, seen: bool },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    StdDev { n: i64, sum: f64, sumsq: f64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                seen: false,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::StdDev => AggState::StdDev {
+                n: 0,
+                sum: 0.0,
+                sumsq: 0.0,
+            },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) gets None (counts rows); COUNT(x) skips NULLs.
+                match v {
+                    None => *c += 1,
+                    Some(val) if !val.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum { sum, seen } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *sum += val.as_f64().ok_or_else(|| {
+                            Error::TypeError(format!("SUM of non-numeric {val}"))
+                        })?;
+                        *seen = true;
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *sum += val.as_f64().ok_or_else(|| {
+                            Error::TypeError(format!("AVG of non-numeric {val}"))
+                        })?;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().map_or(true, |c| val < c) {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().map_or(true, |c| val > c) {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            AggState::StdDev { n, sum, sumsq } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val.as_f64().ok_or_else(|| {
+                            Error::TypeError(format!("STDEV of non-numeric {val}"))
+                        })?;
+                        *n += 1;
+                        *sum += x;
+                        *sumsq += x * x;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum { sum, seen } => {
+                if seen {
+                    Value::Float(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if n > 0 {
+                    Value::Float(sum / n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::StdDev { n, sum, sumsq } => {
+                if n > 1 {
+                    let mean = sum / n as f64;
+                    let var = (sumsq / n as f64 - mean * mean).max(0.0);
+                    // Population stdev, matching the naive recomputation used in
+                    // the LAT property tests.
+                    Value::Float(var.sqrt())
+                } else if n == 1 {
+                    Value::Float(0.0)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+fn hash_aggregate(
+    ctx: &mut ExecCtx,
+    group_by: &[Expr],
+    aggs: &[AggSpec],
+    input: &PhysicalPlan,
+) -> Result<Vec<Vec<Value>>> {
+    let schema = input.schema();
+    let rows = run_select(ctx, input)?;
+    // Group key → (key values, agg states). Insertion order preserved for
+    // deterministic output.
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i % CANCEL_CHECK_INTERVAL == 0 {
+            ctx.check_cancel()?;
+        }
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|g| eval(g, &schema, row, &ctx.params))
+            .collect::<Result<_>>()?;
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect())
+            }
+        };
+        for (state, spec) in states.iter_mut().zip(aggs) {
+            let v = match (&spec.arg, spec.func) {
+                (_, AggFunc::CountStar) => None,
+                (Some(arg), _) => Some(eval(arg, &schema, row, &ctx.params)?),
+                (None, _) => {
+                    return Err(Error::Execution(format!(
+                        "aggregate {:?} needs an argument",
+                        spec.func
+                    )))
+                }
+            };
+            state.update(v.as_ref())?;
+        }
+    }
+    // Global aggregate over an empty input still yields one row.
+    if group_by.is_empty() && groups.is_empty() {
+        let states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.func)).collect();
+        return Ok(vec![states.into_iter().map(AggState::finish).collect()]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("group exists");
+        let mut row = key;
+        row.extend(states.into_iter().map(AggState::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// =================================================================== DML
+
+/// One row targeted by UPDATE/DELETE.
+struct Target {
+    key: Option<Vec<Value>>,
+    rowid: Option<RowId>,
+    row: Vec<Value>,
+}
+
+/// Insert fully-evaluated rows. Returns rows inserted.
+pub fn run_insert(
+    ctx: &mut ExecCtx,
+    table: &Arc<TableInfo>,
+    rows: Vec<Vec<Value>>,
+) -> Result<u64> {
+    let mut n = 0u64;
+    for row in rows {
+        ctx.check_cancel()?;
+        let row = table.check_row(row)?;
+        match &table.layout {
+            TableLayout::Clustered { btree, .. } => {
+                let key = table.key_of(&row).expect("clustered");
+                ctx.lock(ResourceId::Table(table.id), LockMode::IntentExclusive)?;
+                ctx.lock(ResourceId::Row(table.id, key.clone()), LockMode::Exclusive)?;
+                if btree.get(&key)?.is_some() {
+                    return Err(Error::Execution(format!(
+                        "duplicate primary key in {}",
+                        table.name
+                    )));
+                }
+                btree.insert(&key, &encode_row(&row))?;
+                index_insert(table, &row)?;
+                ctx.txn.undo.push(UndoOp::ClusteredInsert {
+                    table: table.clone(),
+                    key,
+                    row,
+                });
+            }
+            TableLayout::Heap { heap } => {
+                ctx.lock(ResourceId::Table(table.id), LockMode::IntentExclusive)?;
+                let rowid = heap.insert(&encode_row(&row))?;
+                ctx.txn.undo.push(UndoOp::HeapInsert {
+                    table: table.clone(),
+                    rowid,
+                });
+            }
+        }
+        table.add_rows(1);
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Find the rows a predicate targets, taking appropriate locks.
+fn collect_targets(
+    ctx: &mut ExecCtx,
+    table: &Arc<TableInfo>,
+    predicate: Option<&Expr>,
+) -> Result<Vec<Target>> {
+    let binding = table.name.clone();
+    let logical = crate::plan::LogicalPlan::Scan {
+        table: table.clone(),
+        binding: binding.clone(),
+        predicate: predicate.cloned(),
+    };
+    let (physical, _, _) = crate::optimizer::lower(&logical);
+    let schema = physical.schema();
+    match &physical {
+        PhysicalPlan::IndexSeek {
+            bounds, residual, ..
+        } if bounds.is_point(table.clustered_key().map_or(0, |k| k.len())) => {
+            let (prefix, _, _) = eval_bounds(ctx, table, bounds)?;
+            ctx.lock(ResourceId::Table(table.id), LockMode::IntentExclusive)?;
+            ctx.lock(
+                ResourceId::Row(table.id, prefix.clone()),
+                LockMode::Exclusive,
+            )?;
+            let btree = match &table.layout {
+                TableLayout::Clustered { btree, .. } => btree,
+                _ => unreachable!(),
+            };
+            let mut targets = Vec::new();
+            if let Some(bytes) = btree.get(&prefix)? {
+                if let Some(row) = filter_decode(&bytes, residual.as_ref(), &schema, &ctx.params)?
+                {
+                    targets.push(Target {
+                        key: Some(prefix),
+                        rowid: None,
+                        row,
+                    });
+                }
+            }
+            Ok(targets)
+        }
+        _ => {
+            // Scan-driven: exclusive table lock, then collect matches.
+            ctx.lock(ResourceId::Table(table.id), LockMode::Exclusive)?;
+            let mut targets = Vec::new();
+            match &table.layout {
+                TableLayout::Clustered { btree, .. } => {
+                    let mut err = None;
+                    btree.scan_with(&ScanBounds::all(), |key, bytes| {
+                        match filter_decode(bytes, predicate, &schema, &ctx.params) {
+                            Ok(Some(row)) => {
+                                targets.push(Target {
+                                    key: Some(key.to_vec()),
+                                    rowid: None,
+                                    row,
+                                });
+                                true
+                            }
+                            Ok(None) => true,
+                            Err(e) => {
+                                err = Some(e);
+                                false
+                            }
+                        }
+                    })?;
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
+                TableLayout::Heap { heap } => {
+                    let mut err = None;
+                    heap.for_each(|rowid, bytes| {
+                        if err.is_some() {
+                            return;
+                        }
+                        match filter_decode(bytes, predicate, &schema, &ctx.params) {
+                            Ok(Some(row)) => targets.push(Target {
+                                key: None,
+                                rowid: Some(rowid),
+                                row,
+                            }),
+                            Ok(None) => {}
+                            Err(e) => err = Some(e),
+                        }
+                    })?;
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(targets)
+        }
+    }
+}
+
+/// UPDATE. `assignments` are (column name, expression) pairs.
+pub fn run_update(
+    ctx: &mut ExecCtx,
+    table: &Arc<TableInfo>,
+    assignments: &[(String, Expr)],
+    predicate: Option<&Expr>,
+) -> Result<u64> {
+    let resolved: Vec<(usize, &Expr)> = assignments
+        .iter()
+        .map(|(name, e)| {
+            table
+                .column_index(name)
+                .map(|i| (i, e))
+                .ok_or_else(|| Error::Catalog(format!("no column {name} in {}", table.name)))
+        })
+        .collect::<Result<_>>()?;
+    let schema = Schema::for_table(&table.name, table.columns.iter().map(|c| c.name.clone()));
+    let targets = collect_targets(ctx, table, predicate)?;
+    let mut n = 0u64;
+    for t in targets {
+        ctx.check_cancel()?;
+        let mut new_row = t.row.clone();
+        for (idx, e) in &resolved {
+            new_row[*idx] = eval(e, &schema, &t.row, &ctx.params)?;
+        }
+        let new_row = table.check_row(new_row)?;
+        match &table.layout {
+            TableLayout::Clustered { btree, .. } => {
+                let old_key = t.key.expect("clustered target has key");
+                let new_key = table.key_of(&new_row).expect("clustered");
+                if new_key != old_key {
+                    ctx.lock(
+                        ResourceId::Row(table.id, new_key.clone()),
+                        LockMode::Exclusive,
+                    )?;
+                    if btree.get(&new_key)?.is_some() {
+                        return Err(Error::Execution(format!(
+                            "duplicate primary key in {}",
+                            table.name
+                        )));
+                    }
+                    btree.delete(&old_key)?;
+                }
+                btree.insert(&new_key, &encode_row(&new_row))?;
+                index_delete(table, &t.row)?;
+                index_insert(table, &new_row)?;
+                ctx.txn.undo.push(UndoOp::ClusteredUpdate {
+                    table: table.clone(),
+                    old_key,
+                    old_row: t.row,
+                    new_key,
+                    new_row,
+                });
+            }
+            TableLayout::Heap { heap } => {
+                let rowid = t.rowid.expect("heap target has rowid");
+                let new_rowid = heap
+                    .update(rowid, &encode_row(&new_row))?
+                    .ok_or_else(|| Error::Storage("heap row vanished during update".into()))?;
+                ctx.txn.undo.push(UndoOp::HeapUpdate {
+                    table: table.clone(),
+                    new_rowid,
+                    old_row: t.row,
+                });
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// DELETE.
+pub fn run_delete(
+    ctx: &mut ExecCtx,
+    table: &Arc<TableInfo>,
+    predicate: Option<&Expr>,
+) -> Result<u64> {
+    let targets = collect_targets(ctx, table, predicate)?;
+    let mut n = 0u64;
+    for t in targets {
+        ctx.check_cancel()?;
+        match &table.layout {
+            TableLayout::Clustered { btree, .. } => {
+                let key = t.key.expect("clustered target has key");
+                btree.delete(&key)?;
+                index_delete(table, &t.row)?;
+                ctx.txn.undo.push(UndoOp::ClusteredDelete {
+                    table: table.clone(),
+                    key,
+                    row: t.row,
+                });
+            }
+            TableLayout::Heap { heap } => {
+                let rowid = t.rowid.expect("heap target has rowid");
+                heap.delete(rowid)?;
+                ctx.txn.undo.push(UndoOp::HeapDelete {
+                    table: table.clone(),
+                    row: t.row,
+                });
+            }
+        }
+        table.add_rows(-1);
+        n += 1;
+    }
+    Ok(n)
+}
+
+// ------------------------------------------------------------- index upkeep
+
+fn secondary_key(table: &TableInfo, idx: &crate::catalog::SecondaryIndex, row: &[Value]) -> Vec<Value> {
+    let mut key: Vec<Value> = idx.key_cols.iter().map(|&i| row[i].clone()).collect();
+    if let Some(pk) = table.clustered_key() {
+        key.extend(pk.iter().map(|&i| row[i].clone()));
+    }
+    key
+}
+
+fn index_insert(table: &TableInfo, row: &[Value]) -> Result<()> {
+    for idx in table.indexes.read().iter() {
+        idx.btree.insert(&secondary_key(table, idx, row), &[])?;
+    }
+    Ok(())
+}
+
+fn index_delete(table: &TableInfo, row: &[Value]) -> Result<()> {
+    for idx in table.indexes.read().iter() {
+        idx.btree.delete(&secondary_key(table, idx, row))?;
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- undo
+
+/// Apply the undo log (in reverse) for a rolling-back transaction.
+pub fn apply_undo(undo: Vec<UndoOp>) -> Result<()> {
+    for op in undo.into_iter().rev() {
+        match op {
+            UndoOp::ClusteredInsert { table, key, row } => {
+                if let TableLayout::Clustered { btree, .. } = &table.layout {
+                    btree.delete(&key)?;
+                    index_delete(&table, &row)?;
+                }
+                table.add_rows(-1);
+            }
+            UndoOp::ClusteredDelete { table, key, row } => {
+                if let TableLayout::Clustered { btree, .. } = &table.layout {
+                    btree.insert(&key, &encode_row(&row))?;
+                    index_insert(&table, &row)?;
+                }
+                table.add_rows(1);
+            }
+            UndoOp::ClusteredUpdate {
+                table,
+                old_key,
+                old_row,
+                new_key,
+                new_row,
+            } => {
+                if let TableLayout::Clustered { btree, .. } = &table.layout {
+                    if new_key != old_key {
+                        btree.delete(&new_key)?;
+                    }
+                    btree.insert(&old_key, &encode_row(&old_row))?;
+                    index_delete(&table, &new_row)?;
+                    index_insert(&table, &old_row)?;
+                }
+            }
+            UndoOp::HeapInsert { table, rowid } => {
+                if let TableLayout::Heap { heap } = &table.layout {
+                    heap.delete(rowid)?;
+                }
+                table.add_rows(-1);
+            }
+            UndoOp::HeapDelete { table, row } => {
+                if let TableLayout::Heap { heap } = &table.layout {
+                    heap.insert(&encode_row(&row))?;
+                }
+                table.add_rows(1);
+            }
+            UndoOp::HeapUpdate {
+                table,
+                new_rowid,
+                old_row,
+            } => {
+                if let TableLayout::Heap { heap } = &table.layout {
+                    heap.delete(new_rowid)?;
+                    heap.insert(&encode_row(&old_row))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Server-kept history of completed queries — the PULL_history substrate.
+//!
+//! Section 6.2.2 (c) of the paper: "the server keeps a history of all queries and
+//! their execution times, which is only erased when being 'picked up' by the
+//! outside monitoring application. While this is not a realistic solution in
+//! practice, we use it to model a solution without push or filtering, but keeping
+//! history."
+//!
+//! The buffer tracks its own approximate memory footprint so Figure 3's
+//! discussion point — history memory "degrading the server's ability to cache
+//! pages" — can be reported, and accepts an optional capacity after which the
+//! oldest entries are dropped (drops are counted, making the loss observable).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use sqlcm_common::QueryInfo;
+
+struct Inner {
+    entries: VecDeque<QueryInfo>,
+    bytes: usize,
+    dropped: u64,
+    total_appended: u64,
+}
+
+/// Bounded FIFO of completed-query snapshots.
+pub struct HistoryBuffer {
+    inner: Mutex<Inner>,
+    capacity: Option<usize>,
+}
+
+fn approx_size(q: &QueryInfo) -> usize {
+    std::mem::size_of::<QueryInfo>()
+        + q.text.capacity()
+        + q.user.capacity()
+        + q.application.capacity()
+        + q.procedure.as_ref().map_or(0, |p| p.capacity())
+}
+
+impl HistoryBuffer {
+    /// `capacity = None` keeps everything (the paper's idealized variant).
+    pub fn new(capacity: Option<usize>) -> Self {
+        HistoryBuffer {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                bytes: 0,
+                dropped: 0,
+                total_appended: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Append one completed query (engine probe path).
+    pub fn append(&self, q: QueryInfo) {
+        let mut inner = self.inner.lock();
+        inner.bytes += approx_size(&q);
+        inner.entries.push_back(q);
+        inner.total_appended += 1;
+        if let Some(cap) = self.capacity {
+            while inner.entries.len() > cap {
+                if let Some(old) = inner.entries.pop_front() {
+                    inner.bytes -= approx_size(&old);
+                    inner.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Take everything collected so far, erasing the server-side copy — the
+    /// "picked up" semantics of the paper.
+    pub fn drain(&self) -> Vec<QueryInfo> {
+        let mut inner = self.inner.lock();
+        inner.bytes = 0;
+        inner.entries.drain(..).collect()
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes currently held server-side.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Entries lost to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Total entries ever appended.
+    pub fn total_appended(&self) -> u64 {
+        self.inner.lock().total_appended
+    }
+
+    /// High-water observation helper for benches: (len, bytes).
+    pub fn usage(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.entries.len(), inner.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64) -> QueryInfo {
+        QueryInfo::synthetic(id, format!("SELECT {id} FROM somewhere"))
+    }
+
+    #[test]
+    fn append_drain_cycle() {
+        let h = HistoryBuffer::new(None);
+        for i in 0..10 {
+            h.append(q(i));
+        }
+        assert_eq!(h.len(), 10);
+        assert!(h.memory_bytes() > 0);
+        let drained = h.drain();
+        assert_eq!(drained.len(), 10);
+        assert_eq!(drained[0].id, 0);
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.memory_bytes(), 0);
+        assert_eq!(h.total_appended(), 10);
+    }
+
+    #[test]
+    fn capacity_drops_oldest_and_counts() {
+        let h = HistoryBuffer::new(Some(3));
+        for i in 0..8 {
+            h.append(q(i));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.dropped(), 5);
+        let ids: Vec<u64> = h.drain().iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn memory_accounting_shrinks_on_drop() {
+        let h = HistoryBuffer::new(Some(2));
+        h.append(q(1));
+        let one = h.memory_bytes();
+        h.append(q(2));
+        h.append(q(3));
+        assert!(h.memory_bytes() <= 2 * one + 64);
+    }
+}

@@ -1,0 +1,210 @@
+//! The instrumentation boundary between the engine and attached monitors.
+//!
+//! The engine calls [`Instrumentation::on_event`] at every probe point,
+//! synchronously, in the thread that raised the event; control returns to the
+//! execution path when the call returns (paper §6.1: "rule evaluation is
+//! triggered in the code path of the event … branching into the SQLCM code and
+//! then resuming execution afterwards. Thus no context switching is required").
+//!
+//! SQLCM (`sqlcm-core`), the `Query_logging` baseline, and test spies all
+//! implement this trait. [`Multicast`] fans one event out to several monitors in
+//! registration order.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sqlcm_common::EngineEvent;
+
+/// A monitor attached to the engine. Implementations must be cheap: they run on
+/// the query's own thread.
+pub trait Instrumentation: Send + Sync {
+    /// Called at each probe point. Must not panic; errors must be swallowed or
+    /// recorded internally (a monitoring failure must never fail a query).
+    fn on_event(&self, event: &EngineEvent);
+
+    /// Declare interest in a probe kind. The engine skips *assembling* events
+    /// no attached monitor wants — the paper's "no monitoring is performed
+    /// unless it is required by a rule" (§2.1). Default: everything.
+    fn wants(&self, _kind: sqlcm_common::ProbeKind) -> bool {
+        true
+    }
+
+    /// Monitors that need lock-graph traversal (timer-driven Blocker/Blocked
+    /// rules) receive the engine handle after attachment via `sqlcm-core`'s own
+    /// channel; the trait itself stays minimal.
+    fn name(&self) -> &str {
+        "anonymous-monitor"
+    }
+}
+
+/// A monitor that ignores everything (the "no monitoring" baseline).
+#[derive(Debug, Default)]
+pub struct NullInstrumentation;
+
+impl Instrumentation for NullInstrumentation {
+    fn on_event(&self, _event: &EngineEvent) {}
+
+    fn name(&self) -> &str {
+        "null"
+    }
+}
+
+/// Fan-out to any number of dynamically attached monitors.
+///
+/// Detachment is supported so benches can attach/detach SQLCM between phases of
+/// the same engine lifetime.
+#[derive(Default)]
+pub struct Multicast {
+    sinks: RwLock<Vec<Arc<dyn Instrumentation>>>,
+}
+
+impl Multicast {
+    pub fn new() -> Self {
+        Multicast::default()
+    }
+
+    /// Attach a monitor; it starts receiving events immediately.
+    pub fn attach(&self, sink: Arc<dyn Instrumentation>) {
+        self.sinks.write().push(sink);
+    }
+
+    /// Detach by name; returns true when a monitor was removed.
+    pub fn detach(&self, name: &str) -> bool {
+        let mut sinks = self.sinks.write();
+        let before = sinks.len();
+        sinks.retain(|s| s.name() != name);
+        sinks.len() != before
+    }
+
+    /// Number of attached monitors.
+    pub fn len(&self) -> usize {
+        self.sinks.read().len()
+    }
+
+    /// True when no monitor is attached (the hot path checks this to skip event
+    /// assembly entirely — "no monitoring is performed unless it is required").
+    pub fn is_empty(&self) -> bool {
+        self.sinks.read().is_empty()
+    }
+
+    /// Deliver an event to every attached monitor, in attach order.
+    pub fn emit(&self, event: &EngineEvent) {
+        for sink in self.sinks.read().iter() {
+            sink.on_event(event);
+        }
+    }
+
+    /// Build an event lazily and deliver it only to monitors that declared
+    /// interest in `kind`; skip construction entirely when nobody did.
+    pub fn emit_with_kind(
+        &self,
+        kind: sqlcm_common::ProbeKind,
+        make: impl FnOnce() -> EngineEvent,
+    ) {
+        let sinks = self.sinks.read();
+        if !sinks.iter().any(|s| s.wants(kind)) {
+            return;
+        }
+        let event = make();
+        debug_assert_eq!(event.kind(), kind, "emitted event must match its kind");
+        for sink in sinks.iter() {
+            if sink.wants(kind) {
+                sink.on_event(&event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Records every event it sees; used across the engine's unit tests.
+    #[derive(Default)]
+    pub struct Spy {
+        pub events: Mutex<Vec<EngineEvent>>,
+    }
+
+    impl Instrumentation for Spy {
+        fn on_event(&self, event: &EngineEvent) {
+            self.events.lock().push(event.clone());
+        }
+
+        fn name(&self) -> &str {
+            "spy"
+        }
+    }
+
+    impl Spy {
+        pub fn names(&self) -> Vec<&'static str> {
+            self.events.lock().iter().map(|e| e.name()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::Spy;
+    use super::*;
+    use sqlcm_common::QueryInfo;
+
+    #[test]
+    fn multicast_attach_detach() {
+        let m = Multicast::new();
+        assert!(m.is_empty());
+        let spy = Arc::new(Spy::default());
+        m.attach(spy.clone());
+        assert_eq!(m.len(), 1);
+        m.emit(&EngineEvent::QueryStart(QueryInfo::synthetic(1, "q")));
+        assert_eq!(spy.events.lock().len(), 1);
+        assert!(m.detach("spy"));
+        assert!(!m.detach("spy"));
+        m.emit(&EngineEvent::QueryStart(QueryInfo::synthetic(2, "q")));
+        assert_eq!(spy.events.lock().len(), 1, "detached monitor sees nothing");
+    }
+
+    #[test]
+    fn emit_with_skips_construction_when_empty() {
+        let m = Multicast::new();
+        let mut built = false;
+        m.emit_with_kind(sqlcm_common::ProbeKind::QueryStart, || {
+            built = true;
+            EngineEvent::QueryStart(QueryInfo::synthetic(1, "q"))
+        });
+        assert!(!built, "event must not be constructed with no listeners");
+    }
+
+    /// A sink that only wants commits.
+    struct CommitOnly(Mutex<u32>);
+    impl Instrumentation for CommitOnly {
+        fn on_event(&self, _e: &EngineEvent) {
+            *self.0.lock() += 1;
+        }
+        fn wants(&self, kind: sqlcm_common::ProbeKind) -> bool {
+            kind == sqlcm_common::ProbeKind::QueryCommit
+        }
+        fn name(&self) -> &str {
+            "commit-only"
+        }
+    }
+    use parking_lot::Mutex;
+
+    #[test]
+    fn wants_filters_construction_and_delivery() {
+        let m = Multicast::new();
+        let sink = Arc::new(CommitOnly(Mutex::new(0)));
+        m.attach(sink.clone());
+        let mut built = 0;
+        m.emit_with_kind(sqlcm_common::ProbeKind::QueryStart, || {
+            built += 1;
+            EngineEvent::QueryStart(QueryInfo::synthetic(1, "q"))
+        });
+        m.emit_with_kind(sqlcm_common::ProbeKind::QueryCommit, || {
+            built += 1;
+            EngineEvent::QueryCommit(QueryInfo::synthetic(1, "q"))
+        });
+        assert_eq!(built, 1, "unwanted event never assembled");
+        assert_eq!(*sink.0.lock(), 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Stored procedures.
+//!
+//! Procedures matter to SQLCM for two reasons:
+//!
+//! * Example 1 of the paper monitors *outlier invocations of a stored procedure*;
+//! * the logical/physical **transaction signatures** (§4.2, kinds 3 & 4) exist to
+//!   distinguish the different *code paths* of a procedure (`IF cond THEN A ELSE
+//!   B`): two invocations taking different branches produce different statement
+//!   sequences and therefore different transaction signatures.
+//!
+//! A procedure is a named parameter list plus a body of statements and `IF`
+//! blocks whose conditions range over the parameters. Bodies can be built
+//! programmatically or parsed from text:
+//!
+//! ```text
+//! IF @mode > 0 THEN
+//!     SELECT * FROM orders WHERE id = @id;
+//! ELSE
+//!     UPDATE orders SET status = 'slow' WHERE id = @id;
+//! END;
+//! ```
+
+use sqlcm_common::{Error, Result, Value};
+use sqlcm_sql::{parse_expression, Expr, Parser, Statement};
+
+/// One element of a procedure body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcStatement {
+    /// An ordinary SQL statement; `@param` references bind at invocation.
+    Sql(Statement),
+    /// A two-way branch on a parameter expression.
+    If {
+        cond: Expr,
+        then_branch: Vec<ProcStatement>,
+        else_branch: Vec<ProcStatement>,
+    },
+}
+
+/// A stored procedure definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredProcedure {
+    pub name: String,
+    /// Parameter names, without the `@`.
+    pub params: Vec<String>,
+    pub body: Vec<ProcStatement>,
+}
+
+impl StoredProcedure {
+    /// Parse a procedure from its body text. See module docs for the grammar;
+    /// `IF expr THEN stmts [ELSE stmts] END` plus `;`-separated statements.
+    pub fn parse(name: &str, params: &[&str], body: &str) -> Result<StoredProcedure> {
+        let mut p = Parser::new(body)?;
+        let body = parse_block(&mut p, &[])?;
+        if !p.is_at_end() {
+            return Err(Error::Parse(
+                "unexpected trailing input in procedure body".into(),
+            ));
+        }
+        Ok(StoredProcedure {
+            name: name.to_string(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            body,
+        })
+    }
+
+    /// Flatten the statements this invocation would run for `args` — the exact
+    /// statement sequence that determines the transaction signature.
+    pub fn resolve_path(&self, args: &[Value]) -> Result<Vec<Statement>> {
+        if args.len() != self.params.len() {
+            return Err(Error::Execution(format!(
+                "procedure {} expects {} arguments, got {}",
+                self.name,
+                self.params.len(),
+                args.len()
+            )));
+        }
+        let mut out = Vec::new();
+        flatten(&self.body, &self.params, args, &mut out)?;
+        Ok(out)
+    }
+}
+
+fn flatten(
+    body: &[ProcStatement],
+    params: &[String],
+    args: &[Value],
+    out: &mut Vec<Statement>,
+) -> Result<()> {
+    for s in body {
+        match s {
+            ProcStatement::Sql(stmt) => out.push(stmt.clone()),
+            ProcStatement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let v = eval_param_expr(cond, params, args)?;
+                let truthy = v.as_bool().unwrap_or(false);
+                let branch = if truthy { then_branch } else { else_branch };
+                flatten(branch, params, args, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate an `IF` condition: only parameters, literals, arithmetic, and
+/// comparisons are allowed (no table data).
+pub fn eval_param_expr(expr: &Expr, params: &[String], args: &[Value]) -> Result<Value> {
+    use sqlcm_sql::{BinOp, UnaryOp};
+    Ok(match expr {
+        Expr::Literal(v) => v.clone(),
+        Expr::NamedParam(n) => {
+            let idx = params
+                .iter()
+                .position(|p| p.eq_ignore_ascii_case(n))
+                .ok_or_else(|| Error::Execution(format!("unknown procedure parameter @{n}")))?;
+            args[idx].clone()
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_param_expr(expr, params, args)?;
+            match op {
+                UnaryOp::Neg => Value::Int(0).sub(&v)?,
+                UnaryOp::Not => match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_param_expr(left, params, args)?;
+            let r = eval_param_expr(right, params, args)?;
+            match op {
+                BinOp::Add => l.add(&r)?,
+                BinOp::Sub => l.sub(&r)?,
+                BinOp::Mul => l.mul(&r)?,
+                BinOp::Div => l.div(&r)?,
+                BinOp::Mod => {
+                    let (a, b) = match (l.as_i64(), r.as_i64()) {
+                        (Some(a), Some(b)) if b != 0 => (a, b),
+                        _ => return Err(Error::Execution("bad % operands".into())),
+                    };
+                    Value::Int(a % b)
+                }
+                BinOp::And => three_valued_and(&l, &r),
+                BinOp::Or => three_valued_or(&l, &r),
+                cmp => match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match cmp {
+                        BinOp::Eq => ord.is_eq(),
+                        BinOp::NotEq => !ord.is_eq(),
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::LtEq => ord.is_le(),
+                        BinOp::GtEq => ord.is_ge(),
+                        _ => unreachable!(),
+                    }),
+                },
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_param_expr(expr, params, args)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_param_expr(expr, params, args)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for e in list {
+                if eval_param_expr(e, params, args)? == v {
+                    found = true;
+                    break;
+                }
+            }
+            Value::Bool(found != *negated)
+        }
+        other => {
+            return Err(Error::Execution(format!(
+                "expression {other} is not allowed in a procedure IF condition"
+            )))
+        }
+    })
+}
+
+fn three_valued_and(l: &Value, r: &Value) -> Value {
+    match (l.as_bool(), r.as_bool()) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn three_valued_or(l: &Value, r: &Value) -> Value {
+    match (l.as_bool(), r.as_bool()) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+/// Parse statements until one of `terminators` (a keyword) or end of input.
+fn parse_block(p: &mut Parser, terminators: &[&str]) -> Result<Vec<ProcStatement>> {
+    let mut out = Vec::new();
+    loop {
+        while p.eat_semicolon() {}
+        if p.is_at_end() {
+            break;
+        }
+        if let Some(kw) = p.peek_keyword() {
+            if terminators.contains(&kw.as_str()) {
+                break;
+            }
+            if kw == "IF" {
+                p.eat_keyword("IF");
+                let cond = p.expr()?;
+                if !p.eat_keyword("THEN") {
+                    return Err(Error::Parse("expected THEN after IF condition".into()));
+                }
+                let then_branch = parse_block(p, &["ELSE", "END"])?;
+                let else_branch = if p.eat_keyword("ELSE") {
+                    parse_block(p, &["END"])?
+                } else {
+                    Vec::new()
+                };
+                if !p.eat_keyword("END") {
+                    return Err(Error::Parse("expected END to close IF".into()));
+                }
+                out.push(ProcStatement::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                });
+                continue;
+            }
+        }
+        out.push(ProcStatement::Sql(p.statement()?));
+    }
+    Ok(out)
+}
+
+/// Convenience: parse a condition for programmatic `If` construction.
+pub fn parse_cond(text: &str) -> Result<Expr> {
+    parse_expression(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flat_body() {
+        let p = StoredProcedure::parse(
+            "touch",
+            &["id"],
+            "UPDATE t SET a = a + 1 WHERE id = @id; SELECT * FROM t WHERE id = @id;",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 2);
+        let path = p.resolve_path(&[Value::Int(5)]).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn if_else_selects_branch() {
+        let p = StoredProcedure::parse(
+            "branchy",
+            &["mode", "id"],
+            "IF @mode > 0 THEN SELECT * FROM a WHERE id = @id; ELSE SELECT * FROM b WHERE id = @id; END;",
+        )
+        .unwrap();
+        let fast = p.resolve_path(&[Value::Int(1), Value::Int(9)]).unwrap();
+        let slow = p.resolve_path(&[Value::Int(0), Value::Int(9)]).unwrap();
+        assert_ne!(fast, slow, "different code paths");
+        assert!(fast[0].to_string().contains("FROM a"));
+        assert!(slow[0].to_string().contains("FROM b"));
+    }
+
+    #[test]
+    fn nested_if() {
+        let p = StoredProcedure::parse(
+            "nested",
+            &["x"],
+            "IF @x > 10 THEN IF @x > 100 THEN SELECT 1; ELSE SELECT 2; END; ELSE SELECT 3; END;",
+        )
+        .unwrap();
+        let path = |v: i64| {
+            p.resolve_path(&[Value::Int(v)]).unwrap()[0]
+                .to_string()
+        };
+        assert_eq!(path(1000), "SELECT 1");
+        assert_eq!(path(50), "SELECT 2");
+        assert_eq!(path(5), "SELECT 3");
+    }
+
+    #[test]
+    fn missing_else_is_empty() {
+        let p = StoredProcedure::parse("opt", &["x"], "IF @x = 1 THEN SELECT 1; END;").unwrap();
+        assert!(p.resolve_path(&[Value::Int(0)]).unwrap().is_empty());
+        assert_eq!(p.resolve_path(&[Value::Int(1)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let p = StoredProcedure::parse("q", &["a", "b"], "SELECT 1;").unwrap();
+        assert!(p.resolve_path(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn unknown_param_in_cond() {
+        let p = StoredProcedure::parse("q", &["a"], "IF @nope = 1 THEN SELECT 1; END;").unwrap();
+        assert!(p.resolve_path(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(StoredProcedure::parse("p", &[], "IF 1 = 1 SELECT 1; END;").is_err());
+        assert!(StoredProcedure::parse("p", &[], "IF 1 = 1 THEN SELECT 1;").is_err());
+    }
+
+    #[test]
+    fn param_expr_arith_and_logic() {
+        let params = vec!["a".to_string(), "b".to_string()];
+        let args = vec![Value::Int(4), Value::Int(10)];
+        let e = parse_cond("@a * 2 < @b AND NOT (@a = 0)").unwrap();
+        assert_eq!(
+            eval_param_expr(&e, &params, &args).unwrap(),
+            Value::Bool(true)
+        );
+        let e = parse_cond("@a IS NULL").unwrap();
+        assert_eq!(
+            eval_param_expr(&e, &params, &args).unwrap(),
+            Value::Bool(false)
+        );
+    }
+}

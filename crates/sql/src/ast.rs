@@ -1,0 +1,665 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! Every node implements `Display`, printing canonical SQL. The printer is used
+//! by tests (parse → print → parse round-trips) and by the engine when it needs a
+//! normalized `Query.Text` probe value.
+
+use std::fmt;
+
+use sqlcm_common::{DataType, Value};
+
+/// Binary operators, in SQL spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Binding power for the pretty-printer (mirrors parser precedence).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Gt | BinOp::LtEq | BinOp::GtEq => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::LtEq => "<=",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// A scalar or boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A possibly-qualified column (`t.a` or `a`). Rule conditions reuse this for
+    /// `Class.Attribute` and `Lat.Column` references.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// Positional parameter `?` (0-based ordinal assigned by the parser).
+    Param(usize),
+    /// Named parameter `@name` (stored-procedure bodies).
+    NamedParam(String),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    /// Function call — scalar (`ABS`) or aggregate (`SUM`, `AVG`, `COUNT`, …).
+    /// `COUNT(*)` is represented with `star == true` and empty `args`.
+    FuncCall {
+        name: String,
+        args: Vec<Expr>,
+        star: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` with `%`/`_` wildcards.
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, …)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    pub fn qcol(q: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn bin(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// Visit every sub-expression (pre-order), including `self`.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::FuncCall { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Count atomic (non-logical) conditions — used by the Figure 2 bench to
+    /// report "number of atomic conditions" per rule exactly as the paper does.
+    pub fn atomic_condition_count(&self) -> usize {
+        match self {
+            Expr::Binary { left, op, right } => match op {
+                BinOp::And | BinOp::Or => {
+                    left.atomic_condition_count() + right.atomic_condition_count()
+                }
+                _ => 1,
+            },
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => expr.atomic_condition_count(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Literal(Value::Text(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Param(_) => write!(f, "?"),
+            Expr::NamedParam(n) => write!(f, "@{n}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => {
+                    write!(f, "-")?;
+                    expr.fmt_prec(f, 7)
+                }
+                UnaryOp::Not => {
+                    write!(f, "NOT ")?;
+                    expr.fmt_prec(f, 3)
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let p = op.precedence();
+                let need = p < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                left.fmt_prec(f, p)?;
+                write!(f, " {op} ")?;
+                right.fmt_prec(f, p + 1)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::FuncCall { name, args, star } => {
+                write!(f, "{name}(")?;
+                if *star {
+                    write!(f, "*")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                expr.fmt_prec(f, 7)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                expr.fmt_prec(f, 7)?;
+                write!(f, " {}LIKE ", if *negated { "NOT " } else { "" })?;
+                pattern.fmt_prec(f, 7)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                expr.fmt_prec(f, 7)?;
+                write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    e.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+/// `FROM`-clause table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Name the executor binds columns against (alias wins).
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An `INNER JOIN … ON …` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// One item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Wildcard,
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<Join>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<u64>,
+}
+
+/// Any statement the engine accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<String>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+    },
+    DropTable {
+        name: String,
+    },
+    Begin,
+    Commit,
+    Rollback,
+    Exec {
+        procedure: String,
+        args: Vec<Expr>,
+    },
+    /// `EXPLAIN <statement>` — returns the chosen physical plan as text rows.
+    Explain(Box<Statement>),
+}
+
+impl Statement {
+    /// Positional parameter count (`?` placeholders) in this statement.
+    pub fn param_count(&self) -> usize {
+        let mut max: Option<usize> = None;
+        let mut visit = |e: &Expr| {
+            e.walk(&mut |e| {
+                if let Expr::Param(i) = e {
+                    max = Some(max.map_or(*i, |m: usize| m.max(*i)));
+                }
+            })
+        };
+        match self {
+            Statement::Select(s) => {
+                for it in &s.items {
+                    if let SelectItem::Expr { expr, .. } = it {
+                        visit(expr);
+                    }
+                }
+                for j in &s.joins {
+                    visit(&j.on);
+                }
+                if let Some(p) = &s.predicate {
+                    visit(p);
+                }
+                for g in &s.group_by {
+                    visit(g);
+                }
+                if let Some(h) = &s.having {
+                    visit(h);
+                }
+                for o in &s.order_by {
+                    visit(&o.expr);
+                }
+            }
+            Statement::Insert { rows, .. } => {
+                for r in rows {
+                    for e in r {
+                        visit(e);
+                    }
+                }
+            }
+            Statement::Update {
+                assignments,
+                predicate,
+                ..
+            } => {
+                for (_, e) in assignments {
+                    visit(e);
+                }
+                if let Some(p) = predicate {
+                    visit(p);
+                }
+            }
+            Statement::Delete { predicate, .. } => {
+                if let Some(p) = predicate {
+                    visit(p);
+                }
+            }
+            Statement::Exec { args, .. } => {
+                for a in args {
+                    visit(a);
+                }
+            }
+            Statement::Explain(inner) => return inner.param_count(),
+            _ => {}
+        }
+        max.map_or(0, |m| m + 1)
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match it {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {}", from.name)?;
+            if let Some(a) = &from.alias {
+                write!(f, " AS {a}")?;
+            }
+            for j in &self.joins {
+                write!(f, " JOIN {}", j.table.name)?;
+                if let Some(a) = &j.table.alias {
+                    write!(f, " AS {a}")?;
+                }
+                write!(f, " ON {}", j.on)?;
+            }
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.expr, if o.desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                write!(f, " VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, predicate } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} {}", c.name, c.data_type)?;
+                    if c.not_null {
+                        write!(f, " NOT NULL")?;
+                    }
+                }
+                if !primary_key.is_empty() {
+                    write!(f, ", PRIMARY KEY ({})", primary_key.join(", "))?;
+                }
+                write!(f, ")")
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => write!(f, "CREATE INDEX {name} ON {table} ({})", columns.join(", ")),
+            Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
+            Statement::Begin => write!(f, "BEGIN"),
+            Statement::Commit => write!(f, "COMMIT"),
+            Statement::Rollback => write!(f, "ROLLBACK"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Exec { procedure, args } => {
+                write!(f, "EXEC {procedure}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_respects_precedence() {
+        // (1 + 2) * 3 must keep its parens.
+        let e = Expr::bin(
+            Expr::bin(Expr::lit(1), BinOp::Add, Expr::lit(2)),
+            BinOp::Mul,
+            Expr::lit(3),
+        );
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        // 1 + 2 * 3 does not need parens.
+        let e = Expr::bin(
+            Expr::lit(1),
+            BinOp::Add,
+            Expr::bin(Expr::lit(2), BinOp::Mul, Expr::lit(3)),
+        );
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn atomic_condition_count() {
+        let atom = |n: i64| Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(n));
+        let e = Expr::bin(
+            Expr::bin(atom(1), BinOp::And, atom(2)),
+            BinOp::Or,
+            atom(3),
+        );
+        assert_eq!(e.atomic_condition_count(), 3);
+        assert_eq!(atom(0).atomic_condition_count(), 1);
+    }
+
+    #[test]
+    fn string_literal_is_requoted() {
+        let e = Expr::lit("it's");
+        assert_eq!(e.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn param_count() {
+        let s = Statement::Select(SelectStmt {
+            items: vec![SelectItem::Wildcard],
+            from: Some(TableRef {
+                name: "t".into(),
+                alias: None,
+            }),
+            predicate: Some(Expr::bin(
+                Expr::bin(Expr::col("a"), BinOp::Eq, Expr::Param(0)),
+                BinOp::And,
+                Expr::bin(Expr::col("b"), BinOp::Eq, Expr::Param(1)),
+            )),
+            ..Default::default()
+        });
+        assert_eq!(s.param_count(), 2);
+        assert_eq!(Statement::Begin.param_count(), 0);
+    }
+}

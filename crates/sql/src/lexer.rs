@@ -1,0 +1,378 @@
+//! Hand-rolled SQL lexer.
+//!
+//! Produces a flat `Vec<Token>`; keywords are recognized case-insensitively and
+//! kept as uppercase identifiers (the parser matches on the uppercase form).
+//! `--` line comments and `/* */` block comments are skipped.
+
+use sqlcm_common::{Error, Result};
+
+/// A lexical token. Identifiers keep their original spelling; `upper` views are
+/// produced on demand by the parser for keyword matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`lineitem`, `SELECT`, …).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal, unescaped (`''` → `'`).
+    Str(String),
+    /// Positional parameter `?`.
+    Question,
+    /// Named parameter `@name`.
+    AtParam(String),
+    // Punctuation and operators.
+    Comma,
+    Period,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    Semicolon,
+}
+
+/// Tokenize `input`, or return a parse error naming the offending character.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::Parse(format!(
+                            "unterminated block comment starting at byte {start}"
+                        )));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Period);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Question);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Multi-byte UTF-8: copy the full char.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                            Error::Parse("invalid UTF-8 in string literal".into())
+                        })?);
+                        i += ch_len;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(Error::Parse("bare '@' without a parameter name".into()));
+                }
+                out.push(Token::AtParam(input[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad float literal {text}")))?;
+                    out.push(Token::Float(f));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad integer literal {text}")))?;
+                    out.push(Token::Int(n));
+                }
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let t = tokenize("SELECT a, b FROM t WHERE a >= 10.5").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Comma,
+                Token::Ident("b".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("a".into()),
+                Token::GtEq,
+                Token::Float(10.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let t = tokenize("'it''s' 'héllo'").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Str("it's".into()), Token::Str("héllo".into())]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("SELECT -- comment\n 1 /* block\ncomment */ + 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn params() {
+        let t = tokenize("? @p1 @name").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Question,
+                Token::AtParam("p1".into()),
+                Token::AtParam("name".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("<> != <= >= < > = * / % + -").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::NotEq,
+                Token::NotEq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Plus,
+                Token::Minus,
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_floats() {
+        let t = tokenize("1e3 2.5E-2 7").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Float(1e3), Token::Float(2.5e-2), Token::Int(7)]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("@ ").is_err());
+    }
+
+    #[test]
+    fn dotted_names() {
+        let t = tokenize("Query.Duration").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("Query".into()),
+                Token::Period,
+                Token::Ident("Duration".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,965 @@
+//! Recursive-descent parser for the SQL subset (see crate docs for coverage).
+
+use sqlcm_common::{DataType, Error, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+/// Words that can never be a table alias or bare column at clause boundaries.
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON",
+    "AS", "AND", "OR", "NOT", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+    "TABLE", "INDEX", "DROP", "BEGIN", "COMMIT", "ROLLBACK", "EXEC", "PRIMARY", "KEY", "NULL",
+    "IS", "LIKE", "ASC", "DESC", "TRUE", "FALSE", "TRANSACTION", "UNIQUE", "IF", "THEN", "ELSE",
+    "END", "IN", "EXPLAIN",
+];
+
+/// Parse exactly one statement (a trailing `;` is allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut p = Parser::new(input)?;
+    let stmt = p.statement()?;
+    p.eat(&Token::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(input)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.at_end() && !p.check(&Token::Semicolon) {
+            return Err(p.error("expected ';' between statements"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a standalone expression (used for ECA rule conditions).
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// The parser state. Exposed so the engine can drive statement-at-a-time parsing
+/// over procedure bodies.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_param: usize,
+}
+
+impl Parser {
+    pub fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            next_param: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, t: &Token) -> bool {
+        self.peek() == Some(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.check(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {t:?}")))
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error::Parse(format!(
+            "{msg} at token {:?} (position {})",
+            self.peek(),
+            self.pos
+        ))
+    }
+
+    /// Peek the uppercase spelling of an identifier token.
+    fn peek_kw(&self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    /// Consume the keyword `kw` (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    /// Consume a (non-reserved) identifier.
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    /// Top-level statement dispatch.
+    pub fn statement(&mut self) -> Result<Statement> {
+        let kw = self
+            .peek_kw()
+            .ok_or_else(|| self.error("expected a statement"))?;
+        match kw.as_str() {
+            "SELECT" => Ok(Statement::Select(self.select()?)),
+            "INSERT" => self.insert(),
+            "UPDATE" => self.update(),
+            "DELETE" => self.delete(),
+            "CREATE" => self.create(),
+            "DROP" => {
+                self.pos += 1;
+                self.expect_kw("TABLE")?;
+                Ok(Statement::DropTable { name: self.ident()? })
+            }
+            "BEGIN" => {
+                self.pos += 1;
+                self.eat_kw("TRANSACTION");
+                Ok(Statement::Begin)
+            }
+            "COMMIT" => {
+                self.pos += 1;
+                self.eat_kw("TRANSACTION");
+                Ok(Statement::Commit)
+            }
+            "ROLLBACK" => {
+                self.pos += 1;
+                self.eat_kw("TRANSACTION");
+                Ok(Statement::Rollback)
+            }
+            "EXEC" | "EXECUTE" => self.exec(),
+            "EXPLAIN" => {
+                self.pos += 1;
+                Ok(Statement::Explain(Box::new(self.statement()?)))
+            }
+            other => Err(self.error(&format!("unsupported statement {other}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut stmt = SelectStmt {
+            items,
+            ..Default::default()
+        };
+        if self.eat_kw("FROM") {
+            stmt.from = Some(self.table_ref()?);
+            loop {
+                if self.eat_kw("INNER") {
+                    self.expect_kw("JOIN")?;
+                } else if !self.eat_kw("JOIN") {
+                    break;
+                }
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                stmt.joins.push(Join { table, on });
+            }
+        }
+        if self.eat_kw("WHERE") {
+            stmt.predicate = Some(self.expr()?);
+        }
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("HAVING") {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                stmt.order_by.push(OrderKey { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("LIMIT") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => stmt.limit = Some(n as u64),
+                _ => return Err(self.error("LIMIT expects a non-negative integer")),
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(kw) = self.peek_kw() {
+            if RESERVED.contains(&kw.as_str()) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat(&Token::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            if !self.check(&Token::RParen) {
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            assignments.push((col, self.expr()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            let name = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            let mut primary_key = Vec::new();
+            loop {
+                if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    self.expect(&Token::LParen)?;
+                    loop {
+                        primary_key.push(self.ident()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                } else {
+                    let col = self.ident()?;
+                    let ty = self.data_type()?;
+                    let mut not_null = false;
+                    loop {
+                        if self.eat_kw("NOT") {
+                            self.expect_kw("NULL")?;
+                            not_null = true;
+                        } else if self.eat_kw("PRIMARY") {
+                            self.expect_kw("KEY")?;
+                            primary_key.push(col.clone());
+                            not_null = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    columns.push(ColumnDef {
+                        name: col,
+                        data_type: ty,
+                        not_null,
+                    });
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            })
+        } else if self.eat_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            })
+        } else {
+            Err(self.error("expected TABLE or INDEX after CREATE"))
+        }
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?.to_ascii_uppercase();
+        let ty = match name.as_str() {
+            "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+            "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
+            "TEXT" | "VARCHAR" | "STRING" | "CHAR" => {
+                // Optional length argument, ignored: VARCHAR(40).
+                if self.eat(&Token::LParen) {
+                    self.advance();
+                    self.expect(&Token::RParen)?;
+                }
+                DataType::Text
+            }
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            "TIMESTAMP" | "DATETIME" => DataType::Timestamp,
+            "BLOB" => DataType::Blob,
+            other => return Err(self.error(&format!("unknown type {other}"))),
+        };
+        Ok(ty)
+    }
+
+    fn exec(&mut self) -> Result<Statement> {
+        self.pos += 1; // EXEC / EXECUTE
+        let procedure = self.ident()?;
+        let mut args = Vec::new();
+        if self.eat(&Token::LParen) {
+            if !self.check(&Token::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(Statement::Exec { procedure, args })
+    }
+
+    // ---- public cursor helpers (used by the engine's procedure-body parser) ----
+
+    /// True when all tokens are consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.at_end()
+    }
+
+    /// Uppercase spelling of the next token if it is an identifier/keyword.
+    pub fn peek_keyword(&self) -> Option<String> {
+        self.peek_kw()
+    }
+
+    /// Consume `kw` (case-insensitive) if it is next; returns whether it was.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.eat_kw(kw)
+    }
+
+    /// Consume a `;` if it is next.
+    pub fn eat_semicolon(&mut self) -> bool {
+        self.eat(&Token::Semicolon)
+    }
+
+    // ---- expression grammar (precedence climbing) ----
+
+    /// Parse a full expression.
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::bin(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::bin(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] LIKE
+        let negated_like = if self.peek_kw().as_deref() == Some("NOT")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("LIKE"))
+        {
+            self.pos += 2;
+            Some(true)
+        } else if self.eat_kw("LIKE") {
+            Some(false)
+        } else {
+            None
+        };
+        if let Some(negated) = negated_like {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        // [NOT] IN (e1, e2, …)
+        let negated_in = if self.peek_kw().as_deref() == Some("NOT")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("IN"))
+        {
+            self.pos += 2;
+            Some(true)
+        } else if self.eat_kw("IN") {
+            Some(false)
+        } else {
+            None
+        };
+        if let Some(negated) = negated_in {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            if !self.check(&Token::RParen) {
+                loop {
+                    list.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::bin(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::bin(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::bin(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            // Fold negation of literals so `-5` is a literal, not an expression —
+            // this matters for signature wildcarding of constants.
+            if let Expr::Literal(Value::Int(i)) = inner {
+                return Ok(Expr::Literal(Value::Int(-i)));
+            }
+            if let Expr::Literal(Value::Float(x)) = inner {
+                return Ok(Expr::Literal(Value::Float(-x)));
+            }
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Some(Token::Question) => {
+                self.pos += 1;
+                let i = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(i))
+            }
+            Some(Token::AtParam(n)) => {
+                self.pos += 1;
+                Ok(Expr::NamedParam(n))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                match upper.as_str() {
+                    "TRUE" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Bool(true)));
+                    }
+                    "FALSE" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    "NULL" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    _ => {
+                        // A reserved word is still a valid *qualifier* when
+                        // followed by a dot (rule conditions use
+                        // `Transaction.Duration`).
+                        let dotted = self.tokens.get(self.pos + 1) == Some(&Token::Period);
+                        if RESERVED.contains(&upper.as_str()) && !dotted {
+                            return Err(
+                                self.error(&format!("reserved word {upper} in expression"))
+                            );
+                        }
+                    }
+                }
+                self.pos += 1;
+                // Function call?
+                if self.check(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    let mut star = false;
+                    if self.eat(&Token::Star) {
+                        star = true;
+                    } else if !self.check(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::FuncCall {
+                        name: upper,
+                        args,
+                        star,
+                    });
+                }
+                // Qualified column?
+                if self.eat(&Token::Period) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_roundtrip() {
+        let sql = "SELECT l.price, o.id FROM lineitem AS l JOIN orders AS o ON l.okey = o.id WHERE l.qty > 5 AND o.status = 'open' GROUP BY o.id HAVING COUNT(*) > 2 ORDER BY l.price DESC LIMIT 10";
+        let s = parse_statement(sql).unwrap();
+        let printed = s.to_string();
+        let s2 = parse_statement(&printed).unwrap();
+        assert_eq!(s, s2, "parse → print → parse is stable");
+    }
+
+    #[test]
+    fn select_star() {
+        let s = parse_statement("SELECT * FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items, vec![SelectItem::Wildcard]);
+                assert_eq!(sel.from.unwrap().name, "t");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn table_alias_without_as() {
+        let s = parse_statement("SELECT x.a FROM t x WHERE x.a = 1").unwrap();
+        match s {
+            Statement::Select(sel) => assert_eq!(sel.from.unwrap().alias.as_deref(), Some("x")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_forms() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Statement::Insert { table, columns, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+            }
+            _ => panic!(),
+        }
+        parse_statement("INSERT INTO t VALUES (1)").unwrap();
+    }
+
+    #[test]
+    fn update_delete() {
+        let s = parse_statement("UPDATE t SET a = a + 1, b = 'z' WHERE id = ?").unwrap();
+        assert_eq!(s.param_count(), 1);
+        let s = parse_statement("DELETE FROM t WHERE a < 0").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn create_table_with_pk() {
+        let s =
+            parse_statement("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, w FLOAT)")
+                .unwrap();
+        match s {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(primary_key, vec!["id"]);
+                assert!(columns[0].not_null);
+                assert_eq!(columns[1].data_type, DataType::Text);
+            }
+            _ => panic!(),
+        }
+        let s = parse_statement("CREATE TABLE u (a INT, b INT, PRIMARY KEY (a, b))").unwrap();
+        match s {
+            Statement::CreateTable { primary_key, .. } => {
+                assert_eq!(primary_key, vec!["a", "b"])
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn txn_statements() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin
+        );
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK;").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn exec_procedure() {
+        let s = parse_statement("EXEC get_order(42, 'fast')").unwrap();
+        match s {
+            Statement::Exec { procedure, args } => {
+                assert_eq!(procedure, "get_order");
+                assert_eq!(args.len(), 2);
+            }
+            _ => panic!(),
+        }
+        parse_statement("EXECUTE nightly").unwrap();
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let e = parse_expression("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = parse_expression("a > 1 AND b < 2 OR c = 3").unwrap();
+        // AND binds tighter than OR.
+        match &e {
+            Expr::Binary { op, .. } => assert_eq!(*op, BinOp::Or),
+            _ => panic!(),
+        }
+        assert_eq!(e.atomic_condition_count(), 3);
+    }
+
+    #[test]
+    fn rule_condition_expression() {
+        // The paper's Example-1 condition parses as an ordinary expression.
+        let e = parse_expression("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
+        match &e {
+            Expr::Binary { left, op, right } => {
+                assert_eq!(*op, BinOp::Gt);
+                assert_eq!(left.to_string(), "Query.Duration");
+                assert_eq!(right.to_string(), "5 * Duration_LAT.Avg_Duration");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn is_null_and_like() {
+        let e = parse_expression("a IS NOT NULL AND name LIKE 'x%'").unwrap();
+        assert_eq!(e.to_string(), "a IS NOT NULL AND name LIKE 'x%'");
+        let e = parse_expression("name NOT LIKE '%y'").unwrap();
+        assert_eq!(e.to_string(), "name NOT LIKE '%y'");
+    }
+
+    #[test]
+    fn params_are_ordered() {
+        let s = parse_statement("SELECT * FROM t WHERE a = ? AND b = ? AND c = ?").unwrap();
+        assert_eq!(s.param_count(), 3);
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let e = parse_expression("-5").unwrap();
+        assert_eq!(e, Expr::Literal(Value::Int(-5)));
+        let e = parse_expression("-2.5").unwrap();
+        assert_eq!(e, Expr::Literal(Value::Float(-2.5)));
+    }
+
+    #[test]
+    fn multi_statement_script() {
+        let v = parse_statements("BEGIN; UPDATE t SET a = 1; COMMIT;").unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(parse_statements("BEGIN COMMIT").is_err());
+    }
+
+    #[test]
+    fn count_star() {
+        let e = parse_expression("COUNT(*)").unwrap();
+        assert_eq!(
+            e,
+            Expr::FuncCall {
+                name: "COUNT".into(),
+                args: vec![],
+                star: true
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_errors_not_panics() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM",
+            "INSERT t",
+            "CREATE VIEW v",
+            "SELECT * FROM t WHERE",
+            "UPDATE t SET",
+            "LIMIT 5",
+            "SELECT * FROM t LIMIT -1",
+            "SELECT (1",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,748 @@
+//! A page-based B+tree.
+//!
+//! Used by the host engine for clustered indexes — the Figure 2/3 workloads of the
+//! paper are "single-row selections … that use a clustered index" and run through
+//! this structure.
+//!
+//! Design notes:
+//!
+//! * **Keys** are rows of [`Value`]s (composite keys supported); **values** are
+//!   opaque byte strings (a full encoded row for a clustered index, an encoded
+//!   [`crate::RowId`] for a secondary index).
+//! * **Unique semantics**: inserting an existing key replaces the value and
+//!   returns the old one. Non-unique indexes are built by appending a tiebreaker
+//!   column to the key (the engine does this with the row id).
+//! * **Node storage**: each node is (de)serialized whole from its page. Nodes are
+//!   decoded into a small in-memory struct, mutated, and re-encoded. This is
+//!   simpler and far easier to verify than in-page cell surgery, at the cost of a
+//!   memcpy per update — invisible next to the buffer-pool and executor costs in
+//!   our experiments.
+//! * **Deletion is lazy** (tombstone-free removal from the leaf, no rebalancing).
+//!   Leaves may become empty; scans skip them via sibling pointers. This is the
+//!   classic engineering shortcut (e.g. PostgreSQL only merges empty pages in
+//!   VACUUM); our workloads are insert/select-heavy.
+//! * **Concurrency**: one tree-level `RwLock`. Point/range reads share, writers
+//!   exclude. Fine-grained latching is not needed because the engine's lock
+//!   manager already serializes conflicting row access above this layer.
+//!
+//! Maximum entry size is [`MAX_ENTRY_SIZE`]; the engine enforces it when choosing
+//! a clustered layout.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sqlcm_common::{Error, Result, Value};
+
+use crate::buffer::BufferPool;
+use crate::codec::{decode_row, encode_row};
+use crate::disk::PageId;
+use crate::page::PAGE_SIZE;
+
+/// Serialized node must fit a page with this much slack for the header.
+const NODE_CAPACITY: usize = PAGE_SIZE - 16;
+
+/// Largest (key + value) an entry may occupy, guaranteeing every node can hold at
+/// least four entries so splits always terminate.
+pub const MAX_ENTRY_SIZE: usize = NODE_CAPACITY / 4;
+
+const NO_PAGE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<Vec<Value>>,
+        vals: Vec<Vec<u8>>,
+        right: Option<PageId>,
+    },
+    Internal {
+        keys: Vec<Vec<Value>>,
+        children: Vec<PageId>, // children.len() == keys.len() + 1
+    },
+}
+
+impl Node {
+    fn encoded_size(&self) -> usize {
+        match self {
+            Node::Leaf { keys, vals, .. } => {
+                9 + keys
+                    .iter()
+                    .zip(vals)
+                    .map(|(k, v)| 4 + encode_row(k).len() + v.len())
+                    .sum::<usize>()
+            }
+            Node::Internal { keys, children } => {
+                9 + children.len() * 4
+                    + keys.iter().map(|k| 2 + encode_row(k).len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf.fill(0);
+        let mut w = NodeWriter { buf, at: 0 };
+        match self {
+            Node::Leaf { keys, vals, right } => {
+                w.u8(0);
+                w.u16(keys.len() as u16);
+                w.u32(right.unwrap_or(NO_PAGE));
+                for (k, v) in keys.iter().zip(vals) {
+                    let kb = encode_row(k);
+                    w.u16(kb.len() as u16);
+                    w.bytes(&kb);
+                    w.u16(v.len() as u16);
+                    w.bytes(v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                w.u8(1);
+                w.u16(keys.len() as u16);
+                w.u32(children[0]);
+                for (k, c) in keys.iter().zip(&children[1..]) {
+                    let kb = encode_row(k);
+                    w.u16(kb.len() as u16);
+                    w.bytes(&kb);
+                    w.u32(*c);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let mut r = NodeReader { buf, at: 0 };
+        let tag = r.u8()?;
+        let n = r.u16()? as usize;
+        let first = r.u32()?;
+        match tag {
+            0 => {
+                let mut keys = Vec::with_capacity(n);
+                let mut vals = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen = r.u16()? as usize;
+                    keys.push(decode_row(r.slice(klen)?)?);
+                    let vlen = r.u16()? as usize;
+                    vals.push(r.slice(vlen)?.to_vec());
+                }
+                Ok(Node::Leaf {
+                    keys,
+                    vals,
+                    right: if first == NO_PAGE { None } else { Some(first) },
+                })
+            }
+            1 => {
+                let mut keys = Vec::with_capacity(n);
+                let mut children = Vec::with_capacity(n + 1);
+                children.push(first);
+                for _ in 0..n {
+                    let klen = r.u16()? as usize;
+                    keys.push(decode_row(r.slice(klen)?)?);
+                    children.push(r.u32()?);
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            _ => Err(Error::Storage("corrupt btree node".into())),
+        }
+    }
+}
+
+struct NodeWriter<'a> {
+    buf: &'a mut [u8],
+    at: usize,
+}
+
+impl NodeWriter<'_> {
+    fn u8(&mut self, v: u8) {
+        self.buf[self.at] = v;
+        self.at += 1;
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf[self.at..self.at + 2].copy_from_slice(&v.to_le_bytes());
+        self.at += 2;
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf[self.at..self.at + 4].copy_from_slice(&v.to_le_bytes());
+        self.at += 4;
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf[self.at..self.at + b.len()].copy_from_slice(b);
+        self.at += b.len();
+    }
+}
+
+struct NodeReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> NodeReader<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let v = *self
+            .buf
+            .get(self.at)
+            .ok_or_else(|| Error::Storage("truncated btree node".into()))?;
+        self.at += 1;
+        Ok(v)
+    }
+    fn u16(&mut self) -> Result<u16> {
+        let s = self.slice(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let s = self.slice(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn slice(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(Error::Storage("truncated btree node".into()));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+}
+
+/// Bounds for a range scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanBounds {
+    pub lower: Option<(Vec<Value>, bool)>, // (key, inclusive)
+    pub upper: Option<(Vec<Value>, bool)>,
+}
+
+impl ScanBounds {
+    pub fn all() -> Self {
+        ScanBounds::default()
+    }
+
+    pub fn point(key: Vec<Value>) -> Self {
+        ScanBounds {
+            lower: Some((key.clone(), true)),
+            upper: Some((key, true)),
+        }
+    }
+}
+
+/// A persistent, buffer-pool-backed B+tree. See module docs.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    state: RwLock<PageId>, // root page
+}
+
+impl BTree {
+    /// Create an empty tree (allocates the root leaf).
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let root = pool.new_page()?;
+        let node = Node::Leaf {
+            keys: vec![],
+            vals: vec![],
+            right: None,
+        };
+        write_node(&pool, root, &node)?;
+        Ok(BTree {
+            pool,
+            state: RwLock::new(root),
+        })
+    }
+
+    /// Re-attach to an existing tree rooted at `root`.
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> Self {
+        BTree {
+            pool,
+            state: RwLock::new(root),
+        }
+    }
+
+    /// Current root page id (persist this to reopen the tree).
+    pub fn root(&self) -> PageId {
+        *self.state.read()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[Value]) -> Result<Option<Vec<u8>>> {
+        let guard = self.state.read();
+        let mut page = *guard;
+        loop {
+            match read_node(&self.pool, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { keys, vals, .. } => {
+                    return Ok(match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                        Ok(i) => Some(vals[i].clone()),
+                        Err(_) => None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Insert or replace. Returns the previous value for the key, if any.
+    pub fn insert(&self, key: &[Value], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let entry = 4 + encode_row(key).len() + value.len();
+        if entry > MAX_ENTRY_SIZE {
+            return Err(Error::Storage(format!(
+                "btree entry of {entry} bytes exceeds the {MAX_ENTRY_SIZE}-byte limit"
+            )));
+        }
+        let guard = self.state.write();
+        let root = *guard;
+        let (old, split) = self.insert_rec(root, key, value)?;
+        if let Some((sep, right)) = split {
+            // Grow a new root.
+            let new_root = self.pool.new_page()?;
+            let node = Node::Internal {
+                keys: vec![sep],
+                children: vec![root, right],
+            };
+            write_node(&self.pool, new_root, &node)?;
+            drop(guard);
+            *self.state.write() = new_root;
+        }
+        Ok(old)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &self,
+        page: PageId,
+        key: &[Value],
+        value: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Option<(Vec<Value>, PageId)>)> {
+        match read_node(&self.pool, page)? {
+            Node::Leaf {
+                mut keys,
+                mut vals,
+                right,
+            } => {
+                let old = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut vals[i], value.to_vec())),
+                    Err(i) => {
+                        keys.insert(i, key.to_vec());
+                        vals.insert(i, value.to_vec());
+                        None
+                    }
+                };
+                let node = Node::Leaf { keys, vals, right };
+                if node.encoded_size() <= NODE_CAPACITY {
+                    write_node(&self.pool, page, &node)?;
+                    return Ok((old, None));
+                }
+                let (mut keys, mut vals, right) = match node {
+                    Node::Leaf { keys, vals, right } => (keys, vals, right),
+                    Node::Internal { .. } => unreachable!(),
+                };
+                // Split the leaf at the midpoint (by entry count).
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0].clone();
+                let right_page = self.pool.new_page()?;
+                write_node(
+                    &self.pool,
+                    right_page,
+                    &Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                        right,
+                    },
+                )?;
+                write_node(
+                    &self.pool,
+                    page,
+                    &Node::Leaf {
+                        keys,
+                        vals,
+                        right: Some(right_page),
+                    },
+                )?;
+                Ok((old, Some((sep, right_page))))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[idx];
+                let (old, split) = self.insert_rec(child, key, value)?;
+                let (sep, new_child) = match split {
+                    // Child handled it; nothing changed at this level.
+                    None => return Ok((old, None)),
+                    Some(s) => s,
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, new_child);
+                let node = Node::Internal { keys, children };
+                if node.encoded_size() <= NODE_CAPACITY {
+                    write_node(&self.pool, page, &node)?;
+                    return Ok((old, None));
+                }
+                let (mut keys, mut children) = match node {
+                    Node::Internal { keys, children } => (keys, children),
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                // Split the internal node; the middle key moves up.
+                let mid = keys.len() / 2;
+                let mut right_keys = keys.split_off(mid);
+                let up = right_keys.remove(0);
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.pool.new_page()?;
+                write_node(
+                    &self.pool,
+                    right_page,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )?;
+                write_node(&self.pool, page, &Node::Internal { keys, children })?;
+                Ok((old, Some((up, right_page))))
+            }
+        }
+    }
+
+    /// Remove a key. Returns its value if it existed. Lazy: no rebalancing.
+    pub fn delete(&self, key: &[Value]) -> Result<Option<Vec<u8>>> {
+        let guard = self.state.write();
+        let mut page = *guard;
+        loop {
+            match read_node(&self.pool, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf {
+                    mut keys,
+                    mut vals,
+                    right,
+                } => match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        let old = vals.remove(i);
+                        write_node(&self.pool, page, &Node::Leaf { keys, vals, right })?;
+                        return Ok(Some(old));
+                    }
+                    Err(_) => return Ok(None),
+                },
+            }
+        }
+    }
+
+    /// Range scan in key order. Materializes the qualifying entries.
+    pub fn scan(&self, bounds: &ScanBounds) -> Result<Vec<(Vec<Value>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan_with(bounds, |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming range scan; the callback returns `false` to stop early (LIMIT).
+    pub fn scan_with(
+        &self,
+        bounds: &ScanBounds,
+        mut f: impl FnMut(&[Value], &[u8]) -> bool,
+    ) -> Result<()> {
+        let guard = self.state.read();
+        // Descend to the first candidate leaf.
+        let mut page = *guard;
+        loop {
+            match read_node(&self.pool, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = match &bounds.lower {
+                        Some((k, _)) => keys.partition_point(|s| s.as_slice() <= k.as_slice()),
+                        None => 0,
+                    };
+                    page = children[idx];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut current = Some(page);
+        while let Some(p) = current {
+            let (keys, vals, right) = match read_node(&self.pool, p)? {
+                Node::Leaf { keys, vals, right } => (keys, vals, right),
+                _ => return Err(Error::Storage("internal node linked as leaf".into())),
+            };
+            for (k, v) in keys.iter().zip(&vals) {
+                if let Some((lo, inc)) = &bounds.lower {
+                    let ord = k.as_slice().cmp(lo.as_slice());
+                    if ord == std::cmp::Ordering::Less
+                        || (!inc && ord == std::cmp::Ordering::Equal)
+                    {
+                        continue;
+                    }
+                }
+                if let Some((hi, inc)) = &bounds.upper {
+                    let ord = k.as_slice().cmp(hi.as_slice());
+                    if ord == std::cmp::Ordering::Greater
+                        || (!inc && ord == std::cmp::Ordering::Equal)
+                    {
+                        return Ok(());
+                    }
+                }
+                if !f(k, v) {
+                    return Ok(());
+                }
+            }
+            current = right;
+        }
+        Ok(())
+    }
+
+    /// Total number of live entries (walks every leaf).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        self.scan_with(&ScanBounds::all(), |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Height of the tree (1 = a lone leaf). Used by tests and the cost model.
+    pub fn height(&self) -> Result<usize> {
+        let guard = self.state.read();
+        let mut page = *guard;
+        let mut h = 1;
+        loop {
+            match read_node(&self.pool, page)? {
+                Node::Internal { children, .. } => {
+                    page = children[0];
+                    h += 1;
+                }
+                Node::Leaf { .. } => return Ok(h),
+            }
+        }
+    }
+}
+
+fn read_node(pool: &BufferPool, page: PageId) -> Result<Node> {
+    pool.with_page_read(page, Node::decode)?
+}
+
+fn write_node(pool: &BufferPool, page: PageId, node: &Node) -> Result<()> {
+    debug_assert!(node.encoded_size() <= PAGE_SIZE);
+    pool.with_page_write(page, |buf| node.encode(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn tree() -> BTree {
+        BTree::create(Arc::new(BufferPool::new(InMemoryDisk::shared(), 256))).unwrap()
+    }
+
+    fn ikey(i: i64) -> Vec<Value> {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let t = tree();
+        assert_eq!(t.insert(&ikey(1), b"a").unwrap(), None);
+        assert_eq!(t.insert(&ikey(1), b"b").unwrap(), Some(b"a".to_vec()));
+        assert_eq!(t.get(&ikey(1)).unwrap(), Some(b"b".to_vec()));
+        assert_eq!(t.get(&ikey(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let t = tree();
+        let n = 5000i64;
+        // Insert in a scrambled order.
+        let mut order: Vec<i64> = (0..n).collect();
+        let mut s = 0xdeadbeefu64;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for &i in &order {
+            t.insert(&ikey(i), &i.to_le_bytes()).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2, "tree should have split");
+        assert_eq!(t.len().unwrap(), n as usize);
+        for i in 0..n {
+            assert_eq!(
+                t.get(&ikey(i)).unwrap(),
+                Some(i.to_le_bytes().to_vec()),
+                "key {i}"
+            );
+        }
+        // Full scan is in key order.
+        let scanned = t.scan(&ScanBounds::all()).unwrap();
+        let keys: Vec<i64> = scanned.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let t = tree();
+        for i in 0..100 {
+            t.insert(&ikey(i), b"x").unwrap();
+        }
+        let b = ScanBounds {
+            lower: Some((ikey(10), true)),
+            upper: Some((ikey(20), false)),
+        };
+        let got: Vec<i64> = t
+            .scan(&b)
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+
+        let b = ScanBounds {
+            lower: Some((ikey(95), false)),
+            upper: None,
+        };
+        let got: Vec<i64> = t
+            .scan(&b)
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, (96..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_scan_equals_get() {
+        let t = tree();
+        for i in 0..500 {
+            t.insert(&ikey(i), &i.to_le_bytes()).unwrap();
+        }
+        let hits = t.scan(&ScanBounds::point(ikey(250))).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 250i64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn delete_then_absent() {
+        let t = tree();
+        for i in 0..1000 {
+            t.insert(&ikey(i), b"v").unwrap();
+        }
+        for i in (0..1000).step_by(2) {
+            assert_eq!(t.delete(&ikey(i)).unwrap(), Some(b"v".to_vec()));
+        }
+        assert_eq!(t.delete(&ikey(0)).unwrap(), None);
+        assert_eq!(t.len().unwrap(), 500);
+        for i in 0..1000 {
+            let got = t.get(&ikey(i)).unwrap();
+            if i % 2 == 0 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(b"v".to_vec()));
+            }
+        }
+    }
+
+    #[test]
+    fn composite_keys() {
+        let t = tree();
+        for a in 0..20i64 {
+            for b in 0..20i64 {
+                t.insert(
+                    &[Value::Int(a), Value::Int(b)],
+                    format!("{a}/{b}").as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(
+            t.get(&[Value::Int(7), Value::Int(13)]).unwrap(),
+            Some(b"7/13".to_vec())
+        );
+        // Prefix range: all rows with a == 7.
+        let b = ScanBounds {
+            lower: Some((vec![Value::Int(7)], true)),
+            upper: Some((vec![Value::Int(8)], false)),
+        };
+        // Composite keys sort lexicographically; [7] < [7, x] < [8].
+        assert_eq!(t.scan(&b).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let t = tree();
+        let huge = vec![0u8; MAX_ENTRY_SIZE + 1];
+        assert!(t.insert(&ikey(1), &huge).is_err());
+    }
+
+    #[test]
+    fn reopen_by_root() {
+        let pool = Arc::new(BufferPool::new(InMemoryDisk::shared(), 64));
+        let root;
+        {
+            let t = BTree::create(pool.clone()).unwrap();
+            for i in 0..2000 {
+                t.insert(&ikey(i), b"p").unwrap();
+            }
+            root = t.root();
+        }
+        let t = BTree::open(pool, root);
+        assert_eq!(t.get(&ikey(1999)).unwrap(), Some(b"p".to_vec()));
+        assert_eq!(t.len().unwrap(), 2000);
+    }
+
+    #[test]
+    fn text_keys_sort_lexicographically() {
+        let t = tree();
+        for w in ["pear", "apple", "fig", "banana"] {
+            t.insert(&[Value::text(w)], w.as_bytes()).unwrap();
+        }
+        let all: Vec<String> = t
+            .scan(&ScanBounds::all())
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k[0].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(all, vec!["apple", "banana", "fig", "pear"]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_matches_btreemap_model(
+            ops in proptest::collection::vec(
+                (any::<u16>(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..24))),
+                1..400,
+            )
+        ) {
+            let t = tree();
+            let mut model: BTreeMap<i64, Vec<u8>> = BTreeMap::new();
+            for (k, v) in ops {
+                let k = k as i64;
+                match v {
+                    Some(val) => {
+                        let old = t.insert(&ikey(k), &val).unwrap();
+                        let mold = model.insert(k, val);
+                        prop_assert_eq!(old, mold);
+                    }
+                    None => {
+                        let old = t.delete(&ikey(k)).unwrap();
+                        let mold = model.remove(&k);
+                        prop_assert_eq!(old, mold);
+                    }
+                }
+            }
+            // Final state identical, in order.
+            let scanned = t.scan(&ScanBounds::all()).unwrap();
+            let got: Vec<(i64, Vec<u8>)> = scanned
+                .into_iter()
+                .map(|(k, v)| (k[0].as_i64().unwrap(), v))
+                .collect();
+            let want: Vec<(i64, Vec<u8>)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

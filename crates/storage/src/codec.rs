@@ -1,0 +1,210 @@
+//! Tuple codec: `Vec<Value>` ⇄ bytes.
+//!
+//! Rows are stored in page cells as a self-describing, length-prefixed encoding:
+//! a `u16` field count, then per field a one-byte type tag followed by the payload.
+//! The encoding is *not* order-preserving; B-tree comparisons decode keys and
+//! compare [`Value`]s (see `btree` module docs for the trade-off).
+
+use bytes::{Buf, BufMut};
+use sqlcm_common::{Error, Result, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+const TAG_TIMESTAMP: u8 = 6;
+const TAG_BLOB: u8 = 7;
+
+/// Serialize a row. The inverse of [`decode_row`].
+pub fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(estimated_size(row));
+    out.put_u16_le(row.len() as u16);
+    for v in row {
+        match v {
+            Value::Null => out.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                out.put_u8(TAG_INT);
+                out.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                out.put_u8(TAG_FLOAT);
+                out.put_f64_le(*f);
+            }
+            Value::Text(s) => {
+                out.put_u8(TAG_TEXT);
+                out.put_u32_le(s.len() as u32);
+                out.put_slice(s.as_bytes());
+            }
+            Value::Bool(false) => out.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => out.put_u8(TAG_BOOL_TRUE),
+            Value::Timestamp(t) => {
+                out.put_u8(TAG_TIMESTAMP);
+                out.put_u64_le(*t);
+            }
+            Value::Blob(b) => {
+                out.put_u8(TAG_BLOB);
+                out.put_u32_le(b.len() as u32);
+                out.put_slice(b);
+            }
+        }
+    }
+    out
+}
+
+/// Upper-bound estimate of the encoded size of a row, used to pre-size buffers and
+/// for coarse space accounting.
+pub fn estimated_size(row: &[Value]) -> usize {
+    2 + row
+        .iter()
+        .map(|v| match v {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 9,
+            Value::Text(s) => 5 + s.len(),
+            Value::Blob(b) => 5 + b.len(),
+        })
+        .sum::<usize>()
+}
+
+/// Deserialize a row previously produced by [`encode_row`].
+pub fn decode_row(mut bytes: &[u8]) -> Result<Vec<Value>> {
+    let corrupt = || Error::Storage("corrupt row encoding".into());
+    if bytes.remaining() < 2 {
+        return Err(corrupt());
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        if bytes.remaining() < 1 {
+            return Err(corrupt());
+        }
+        let tag = bytes.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                Value::Int(bytes.get_i64_le())
+            }
+            TAG_FLOAT => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                Value::Float(bytes.get_f64_le())
+            }
+            TAG_TEXT => {
+                if bytes.remaining() < 4 {
+                    return Err(corrupt());
+                }
+                let len = bytes.get_u32_le() as usize;
+                if bytes.remaining() < len {
+                    return Err(corrupt());
+                }
+                let s = std::str::from_utf8(&bytes[..len]).map_err(|_| corrupt())?;
+                let v = Value::Text(s.to_string());
+                bytes.advance(len);
+                v
+            }
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            TAG_TIMESTAMP => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                Value::Timestamp(bytes.get_u64_le())
+            }
+            TAG_BLOB => {
+                if bytes.remaining() < 4 {
+                    return Err(corrupt());
+                }
+                let len = bytes.get_u32_le() as usize;
+                if bytes.remaining() < len {
+                    return Err(corrupt());
+                }
+                let v = Value::Blob(bytes[..len].to_vec());
+                bytes.advance(len);
+                v
+            }
+            _ => return Err(corrupt()),
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(3.5),
+            Value::text("héllo"),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Timestamp(123456),
+            Value::Blob(vec![0, 255, 7]),
+        ];
+        let bytes = encode_row(&row);
+        assert_eq!(decode_row(&bytes).unwrap(), row);
+        assert!(bytes.len() <= estimated_size(&row));
+    }
+
+    #[test]
+    fn empty_row() {
+        let bytes = encode_row(&[]);
+        assert_eq!(decode_row(&bytes).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = encode_row(&[Value::text("hello world")]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_row(&bytes[..cut]).is_err(),
+                "prefix of len {cut} should not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_tag_is_an_error() {
+        let mut bytes = encode_row(&[Value::Int(1)]);
+        bytes[2] = 200;
+        assert!(decode_row(&bytes).is_err());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            ".{0,40}".prop_map(Value::Text),
+            any::<bool>().prop_map(Value::Bool),
+            any::<u64>().prop_map(Value::Timestamp),
+            proptest::collection::vec(any::<u8>(), 0..40).prop_map(Value::Blob),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(row in proptest::collection::vec(arb_value(), 0..12)) {
+            let bytes = encode_row(&row);
+            let back = decode_row(&bytes).unwrap();
+            // NaN != NaN under PartialEq via total order? Our Value::cmp uses
+            // total_cmp, so NaN round-trips as Equal. Direct compare is fine.
+            prop_assert_eq!(back, row);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_row(&bytes);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Disk managers: the page persistence layer under the buffer pool.
+//!
+//! Two implementations:
+//!
+//! * [`InMemoryDisk`] — pages live in a `Vec`; used by tests and by benches where
+//!   the experiment is CPU-bound (Figure 2's rule-evaluation stress test).
+//! * [`FileDisk`] — pages live in a real file. With `sync_on_write(true)` every
+//!   page write is followed by an fsync; the `Query_logging` baseline (Section
+//!   6.2.2 (a): "we force synchronous writes") routes its reporting table through
+//!   such a disk to model event logging's I/O cost honestly.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sqlcm_common::{Error, Result};
+
+use crate::page::PAGE_SIZE;
+
+/// Identifier of a page within a disk manager.
+pub type PageId = u32;
+
+/// Shared handle to a disk manager.
+pub type SharedDisk = Arc<dyn DiskManager>;
+
+/// The persistence interface the buffer pool talks to.
+pub trait DiskManager: Send + Sync {
+    /// Read page `id` into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+    /// Write `buf` to page `id`.
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()>;
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate_page(&self) -> Result<PageId>;
+    /// Number of pages allocated so far.
+    fn num_pages(&self) -> u32;
+    /// Flush any OS-level buffering.
+    fn sync(&self) -> Result<()>;
+    /// Total writes performed (for experiments that report I/O volume).
+    fn write_count(&self) -> u64;
+}
+
+/// Pages in a `Vec<Box<[u8]>>`. Reads and writes are whole-page memcpys.
+pub struct InMemoryDisk {
+    pages: Mutex<Vec<Box<[u8]>>>,
+    writes: AtomicU64,
+}
+
+impl InMemoryDisk {
+    pub fn new() -> Self {
+        InMemoryDisk {
+            pages: Mutex::new(Vec::new()),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    pub fn shared() -> SharedDisk {
+        Arc::new(InMemoryDisk::new())
+    }
+}
+
+impl Default for InMemoryDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskManager for InMemoryDisk {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let pages = self.pages.lock();
+        let page = pages
+            .get(id as usize)
+            .ok_or_else(|| Error::Storage(format!("read of unallocated page {id}")))?;
+        buf.copy_from_slice(page);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let mut pages = self.pages.lock();
+        let page = pages
+            .get_mut(id as usize)
+            .ok_or_else(|| Error::Storage(format!("write of unallocated page {id}")))?;
+        page.copy_from_slice(buf);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        let id = pages.len() as PageId;
+        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.pages.lock().len() as u32
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+/// Pages in a real file. A single `File` handle is shared behind a mutex; the
+/// buffer pool above already batches access, so per-page lock contention is not a
+/// bottleneck for our workloads.
+pub struct FileDisk {
+    file: Mutex<File>,
+    num_pages: AtomicU64,
+    writes: AtomicU64,
+    sync_on_write: bool,
+}
+
+impl FileDisk {
+    /// Create (truncating) a page file at `path`.
+    pub fn create(path: impl AsRef<Path>, sync_on_write: bool) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            num_pages: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            sync_on_write,
+        })
+    }
+
+    /// Open an existing page file.
+    pub fn open(path: impl AsRef<Path>, sync_on_write: bool) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(Error::Storage(format!(
+                "page file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            writes: AtomicU64::new(0),
+            sync_on_write,
+        })
+    }
+
+    fn check(&self, id: PageId, op: &str) -> Result<()> {
+        if (id as u64) < self.num_pages.load(Ordering::SeqCst) {
+            Ok(())
+        } else {
+            Err(Error::Storage(format!("{op} of unallocated page {id}")))
+        }
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.check(id, "read")?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.check(id, "write")?;
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+            file.write_all(buf)?;
+            if self.sync_on_write {
+                file.sync_data()?;
+            }
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        let mut file = self.file.lock();
+        let id = self.num_pages.fetch_add(1, Ordering::SeqCst);
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(&[0u8; PAGE_SIZE])?;
+        Ok(id as PageId)
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.num_pages.load(Ordering::SeqCst) as u32
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn DiskManager) {
+        let p0 = disk.allocate_page().unwrap();
+        let p1 = disk.allocate_page().unwrap();
+        assert_ne!(p0, p1);
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut buf = vec![0u8; PAGE_SIZE];
+        disk.read_page(p0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "fresh pages are zeroed");
+
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        disk.write_page(p1, &buf).unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        disk.read_page(p1, &mut back).unwrap();
+        assert_eq!(back, buf);
+        assert_eq!(disk.write_count(), 1);
+
+        assert!(disk.read_page(99, &mut back).is_err());
+        assert!(disk.write_page(99, &buf).is_err());
+        disk.sync().unwrap();
+    }
+
+    #[test]
+    fn in_memory_disk() {
+        exercise(&InMemoryDisk::new());
+    }
+
+    #[test]
+    fn file_disk() {
+        let dir = std::env::temp_dir().join(format!("sqlcm-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        exercise(&FileDisk::create(&path, false).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_disk_reopen() {
+        let dir = std::env::temp_dir().join(format!("sqlcm-disk-re-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        {
+            let d = FileDisk::create(&path, true).unwrap();
+            let p = d.allocate_page().unwrap();
+            let mut buf = vec![7u8; PAGE_SIZE];
+            buf[3] = 9;
+            d.write_page(p, &buf).unwrap();
+        }
+        let d = FileDisk::open(&path, false).unwrap();
+        assert_eq!(d.num_pages(), 1);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        d.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf[3], 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,341 @@
+//! Heap files: unordered row storage addressed by [`RowId`].
+//!
+//! A heap file owns a list of slotted pages in a buffer pool. Inserts go to the
+//! most recently touched page with room (plus a free-list of pages that have seen
+//! deletes); rows never move on delete, and updates move only when they outgrow
+//! their page, returning the new address.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+use sqlcm_common::{Error, Result};
+
+use crate::buffer::BufferPool;
+use crate::disk::PageId;
+use crate::page::SlottedPage;
+
+/// Stable address of a row in a heap file: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// An unordered collection of byte rows in buffer-pool pages.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    pages: RwLock<Vec<PageId>>,
+    /// Pages that have seen a delete since they last rejected an insert.
+    free_candidates: Mutex<Vec<PageId>>,
+    rows: Mutex<u64>,
+}
+
+impl HeapFile {
+    /// Create an empty heap file (no pages are allocated until the first insert).
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        HeapFile {
+            pool,
+            pages: RwLock::new(Vec::new()),
+            free_candidates: Mutex::new(Vec::new()),
+            rows: Mutex::new(0),
+        }
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> u64 {
+        *self.rows.lock()
+    }
+
+    /// Number of pages owned by this heap.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// The buffer pool backing this heap.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn try_insert_into(&self, page: PageId, bytes: &[u8]) -> Result<Option<u16>> {
+        self.pool
+            .with_page_write(page, |buf| SlottedPage::new(buf).insert(bytes))
+    }
+
+    /// Insert a row, returning its address.
+    pub fn insert(&self, bytes: &[u8]) -> Result<RowId> {
+        // 1. Pages that recently freed space.
+        loop {
+            let candidate = self.free_candidates.lock().pop();
+            match candidate {
+                Some(p) => {
+                    if let Some(slot) = self.try_insert_into(p, bytes)? {
+                        *self.rows.lock() += 1;
+                        return Ok(RowId { page: p, slot });
+                    }
+                }
+                None => break,
+            }
+        }
+        // 2. The last page.
+        let last = self.pages.read().last().copied();
+        if let Some(p) = last {
+            if let Some(slot) = self.try_insert_into(p, bytes)? {
+                *self.rows.lock() += 1;
+                return Ok(RowId { page: p, slot });
+            }
+        }
+        // 3. A fresh page.
+        let p = self.pool.new_page()?;
+        self.pool.with_page_write(p, |buf| {
+            SlottedPage::init(buf);
+        })?;
+        self.pages.write().push(p);
+        let slot = self
+            .try_insert_into(p, bytes)?
+            .ok_or_else(|| Error::Storage("row does not fit in an empty page".into()))?;
+        *self.rows.lock() += 1;
+        Ok(RowId { page: p, slot })
+    }
+
+    /// Fetch a row's bytes; `None` if it has been deleted.
+    pub fn get(&self, id: RowId) -> Result<Option<Vec<u8>>> {
+        if !self.owns(id.page) {
+            return Err(Error::Storage(format!(
+                "row {id} does not belong to this heap"
+            )));
+        }
+        self.pool
+            .with_page_read(id.page, |buf| {
+                // SlottedPage::new requires &mut; read path re-implements the tiny
+                // header/slot arithmetic to stay shared. Cheaper: clone via a
+                // throwaway mutable copy is wasteful, so decode inline:
+                read_cell(buf, id.slot).map(|c| c.to_vec())
+            })
+            .map_err(Into::into)
+    }
+
+    /// Delete a row. Returns true when the row was live.
+    pub fn delete(&self, id: RowId) -> Result<bool> {
+        if !self.owns(id.page) {
+            return Err(Error::Storage(format!(
+                "row {id} does not belong to this heap"
+            )));
+        }
+        let deleted = self
+            .pool
+            .with_page_write(id.page, |buf| SlottedPage::new(buf).delete(id.slot))?;
+        if deleted {
+            *self.rows.lock() -= 1;
+            self.free_candidates.lock().push(id.page);
+        }
+        Ok(deleted)
+    }
+
+    /// Update a row in place when possible, relocating otherwise.
+    ///
+    /// Returns the row's (possibly new) address, or `None` when the row no longer
+    /// exists.
+    pub fn update(&self, id: RowId, bytes: &[u8]) -> Result<Option<RowId>> {
+        if !self.owns(id.page) {
+            return Err(Error::Storage(format!(
+                "row {id} does not belong to this heap"
+            )));
+        }
+        enum Outcome {
+            Updated,
+            Gone,
+            Relocate,
+        }
+        let outcome = self.pool.with_page_write(id.page, |buf| {
+            let mut p = SlottedPage::new(buf);
+            if p.get(id.slot).is_none() {
+                Outcome::Gone
+            } else if p.update(id.slot, bytes) {
+                Outcome::Updated
+            } else {
+                p.delete(id.slot);
+                Outcome::Relocate
+            }
+        })?;
+        match outcome {
+            Outcome::Updated => Ok(Some(id)),
+            Outcome::Gone => Ok(None),
+            Outcome::Relocate => {
+                *self.rows.lock() -= 1; // insert() below re-adds it
+                self.free_candidates.lock().push(id.page);
+                Ok(Some(self.insert(bytes)?))
+            }
+        }
+    }
+
+    /// Visit every live row. The callback may not re-enter the heap.
+    pub fn for_each(&self, mut f: impl FnMut(RowId, &[u8])) -> Result<()> {
+        let pages = self.pages.read().clone();
+        for page in pages {
+            self.pool.with_page_read(page, |buf| {
+                for slot in 0..slot_count(buf) {
+                    if let Some(cell) = read_cell(buf, slot) {
+                        f(RowId { page, slot }, cell);
+                    }
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Materialize all live rows (address + bytes). Convenience for scans.
+    pub fn scan_all(&self) -> Result<Vec<(RowId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each(|id, bytes| out.push((id, bytes.to_vec())))?;
+        Ok(out)
+    }
+
+    fn owns(&self, page: PageId) -> bool {
+        self.pages.read().contains(&page)
+    }
+}
+
+/// Shared-access read of a cell straight from page bytes (mirrors
+/// `SlottedPage::get`, which needs `&mut`).
+fn read_cell(buf: &[u8], slot: u16) -> Option<&[u8]> {
+    if slot >= slot_count(buf) {
+        return None;
+    }
+    let base = 8 + slot as usize * 4;
+    let off = u16::from_le_bytes([buf[base], buf[base + 1]]) as usize;
+    let len = u16::from_le_bytes([buf[base + 2], buf[base + 3]]) as usize;
+    if off == 0 {
+        return None;
+    }
+    Some(&buf[off..off + len])
+}
+
+fn slot_count(buf: &[u8]) -> u16 {
+    u16::from_le_bytes([buf[0], buf[1]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn heap() -> HeapFile {
+        HeapFile::new(Arc::new(BufferPool::new(InMemoryDisk::shared(), 64)))
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let h = heap();
+        let id = h.insert(b"row one").unwrap();
+        assert_eq!(h.get(id).unwrap().unwrap(), b"row one");
+        assert_eq!(h.row_count(), 1);
+        assert!(h.delete(id).unwrap());
+        assert_eq!(h.get(id).unwrap(), None);
+        assert!(!h.delete(id).unwrap());
+        assert_eq!(h.row_count(), 0);
+    }
+
+    #[test]
+    fn spills_to_multiple_pages() {
+        let h = heap();
+        let row = vec![5u8; 1000];
+        let ids: Vec<_> = (0..50).map(|_| h.insert(&row).unwrap()).collect();
+        assert!(h.page_count() > 1);
+        for id in &ids {
+            assert_eq!(h.get(*id).unwrap().unwrap(), row);
+        }
+        assert_eq!(h.row_count(), 50);
+    }
+
+    #[test]
+    fn update_in_place_and_relocation() {
+        let h = heap();
+        // Fill a page almost fully so a grown row must relocate.
+        let filler = vec![1u8; 2000];
+        let id = h.insert(b"small").unwrap();
+        let mut fillers = vec![];
+        loop {
+            let f = h.insert(&filler).unwrap();
+            if f.page != id.page {
+                // First spill: the original page is now tight.
+                h.delete(f).unwrap();
+                break;
+            }
+            fillers.push(f);
+        }
+        // In-place shrink/replace.
+        let same = h.update(id, b"tiny!").unwrap().unwrap();
+        assert_eq!(same, id);
+        // Grow beyond the page's remaining space: relocates.
+        let grown = vec![7u8; 3000];
+        let moved = h.update(id, &grown).unwrap().unwrap();
+        assert_ne!(moved.page, id.page);
+        assert_eq!(h.get(moved).unwrap().unwrap(), grown);
+        assert_eq!(h.get(id).unwrap(), None, "old address is dead");
+    }
+
+    #[test]
+    fn update_of_deleted_row_is_none() {
+        let h = heap();
+        let id = h.insert(b"x").unwrap();
+        h.delete(id).unwrap();
+        assert_eq!(h.update(id, b"y").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_sees_all_live_rows() {
+        let h = heap();
+        let mut expect = vec![];
+        for i in 0..200u32 {
+            let bytes = i.to_le_bytes().to_vec();
+            let id = h.insert(&bytes).unwrap();
+            if i % 3 == 0 {
+                h.delete(id).unwrap();
+            } else {
+                expect.push(bytes);
+            }
+        }
+        let mut got: Vec<_> = h.scan_all().unwrap().into_iter().map(|(_, b)| b).collect();
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn deleted_space_is_reused() {
+        let h = heap();
+        let row = vec![9u8; 1000];
+        let ids: Vec<_> = (0..20).map(|_| h.insert(&row).unwrap()).collect();
+        let pages_before = h.page_count();
+        for id in &ids {
+            h.delete(*id).unwrap();
+        }
+        for _ in 0..20 {
+            h.insert(&row).unwrap();
+        }
+        assert_eq!(
+            h.page_count(),
+            pages_before,
+            "reinsertions should fill freed space, not allocate"
+        );
+    }
+
+    #[test]
+    fn foreign_rowid_is_an_error() {
+        let h = heap();
+        h.insert(b"a").unwrap();
+        let bogus = RowId {
+            page: 9999,
+            slot: 0,
+        };
+        assert!(h.get(bogus).is_err());
+        assert!(h.delete(bogus).is_err());
+        assert!(h.update(bogus, b"z").is_err());
+    }
+}

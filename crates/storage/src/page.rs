@@ -1,0 +1,375 @@
+//! Slotted page layout.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | header | slot directory -->        free        <-- cell data |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! * Header (8 bytes): `slot_count: u16`, `cell_start: u16` (offset of the lowest
+//!   cell byte), `live_count: u16`, `reserved: u16`.
+//! * Slot directory entry (4 bytes): `offset: u16`, `len: u16`. A slot with
+//!   `offset == 0` is a tombstone (offset 0 always lies inside the header, so it
+//!   can never be a valid cell offset).
+//! * Cells grow downward from the end of the page.
+//!
+//! Deleting leaves a tombstone so existing [`crate::RowId`]s stay stable; the dead
+//! bytes are reclaimed by [`SlottedPage::compact`], which is invoked automatically
+//! when an insert would otherwise fail but enough dead space exists.
+
+/// Size of every page in bytes. 8 KiB, matching SQL Server's page size — the host
+/// engine of the paper's prototype.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER_SIZE: usize = 8;
+const SLOT_SIZE: usize = 4;
+
+/// Maximum cell size that can ever be stored in a page (one slot, empty page).
+pub const MAX_CELL_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+/// A view over one page's bytes providing slotted-cell operations.
+///
+/// The page owns no memory: it borrows a `PAGE_SIZE` buffer (typically a buffer
+/// pool frame), so all mutations go straight to the frame.
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing, already-initialized page buffer.
+    pub fn new(buf: &'a mut [u8]) -> SlottedPage<'a> {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be PAGE_SIZE");
+        SlottedPage { buf }
+    }
+
+    /// Zero the buffer and write a fresh empty-page header.
+    pub fn init(buf: &'a mut [u8]) -> SlottedPage<'a> {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be PAGE_SIZE");
+        buf.fill(0);
+        let mut p = SlottedPage { buf };
+        p.set_slot_count(0);
+        p.set_cell_start(PAGE_SIZE as u16);
+        p.set_live_count(0);
+        p
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.buf[at], self.buf[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Total slots, live or tombstoned.
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(0)
+    }
+
+    fn set_slot_count(&mut self, v: u16) {
+        self.write_u16(0, v)
+    }
+
+    fn cell_start(&self) -> u16 {
+        self.read_u16(2)
+    }
+
+    fn set_cell_start(&mut self, v: u16) {
+        self.write_u16(2, v)
+    }
+
+    /// Number of live (non-tombstoned) cells.
+    pub fn live_count(&self) -> u16 {
+        self.read_u16(4)
+    }
+
+    fn set_live_count(&mut self, v: u16) {
+        self.write_u16(4, v)
+    }
+
+    fn slot_at(&self, slot: u16) -> (u16, u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        (self.read_u16(base), self.read_u16(base + 2))
+    }
+
+    fn set_slot(&mut self, slot: u16, offset: u16, len: u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        self.write_u16(base, offset);
+        self.write_u16(base + 2, len);
+    }
+
+    /// Bytes available for a new cell *without* compaction (includes its slot entry
+    /// unless a tombstone slot can be reused).
+    pub fn contiguous_free(&self) -> usize {
+        let dir_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
+        self.cell_start() as usize - dir_end
+    }
+
+    /// Bytes of dead (tombstoned) cell space reclaimable by compaction.
+    pub fn dead_space(&self) -> usize {
+        let mut dead = 0;
+        for s in 0..self.slot_count() {
+            let (off, len) = self.slot_at(s);
+            if off == 0 {
+                dead += len as usize;
+            }
+        }
+        dead
+    }
+
+    /// Whether a cell of `len` bytes can be inserted (possibly after compaction).
+    pub fn can_insert(&self, len: usize) -> bool {
+        let slot_cost = if self.first_tombstone().is_some() {
+            0
+        } else {
+            SLOT_SIZE
+        };
+        self.contiguous_free() + self.dead_space() >= len + slot_cost
+    }
+
+    fn first_tombstone(&self) -> Option<u16> {
+        (0..self.slot_count()).find(|&s| self.slot_at(s).0 == 0)
+    }
+
+    /// Insert a cell, returning its slot number, or `None` if it cannot fit even
+    /// after compaction.
+    pub fn insert(&mut self, cell: &[u8]) -> Option<u16> {
+        assert!(!cell.is_empty(), "empty cells are not supported");
+        assert!(cell.len() <= MAX_CELL_SIZE, "cell larger than a page");
+        if !self.can_insert(cell.len()) {
+            return None;
+        }
+        let reuse = self.first_tombstone();
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT_SIZE };
+        if self.contiguous_free() < cell.len() + slot_cost {
+            self.compact();
+        }
+        debug_assert!(self.contiguous_free() >= cell.len() + slot_cost);
+        let new_start = self.cell_start() as usize - cell.len();
+        self.buf[new_start..new_start + cell.len()].copy_from_slice(cell);
+        self.set_cell_start(new_start as u16);
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                s
+            }
+        };
+        self.set_slot(slot, new_start as u16, cell.len() as u16);
+        self.set_live_count(self.live_count() + 1);
+        Some(slot)
+    }
+
+    /// Read a live cell. Tombstoned or out-of-range slots return `None`.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_at(slot);
+        if off == 0 {
+            return None;
+        }
+        Some(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Tombstone a cell. Returns true if the slot was live. The tombstone keeps the
+    /// dead length so [`SlottedPage::dead_space`] can account for it.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (off, len) = self.slot_at(slot);
+        if off == 0 {
+            return false;
+        }
+        self.set_slot(slot, 0, len);
+        self.set_live_count(self.live_count() - 1);
+        true
+    }
+
+    /// Replace a cell's bytes, staying in the same slot. Fails (returning false)
+    /// when the new cell does not fit; the old cell is left untouched in that case.
+    pub fn update(&mut self, slot: u16, cell: &[u8]) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (off, len) = self.slot_at(slot);
+        if off == 0 {
+            return false;
+        }
+        if cell.len() <= len as usize {
+            // Shrinking in place: reuse the prefix of the old cell's bytes. The
+            // gap (len - cell.len()) becomes dead space only reclaimed on compact;
+            // record the shorter length so readers see exactly the new cell.
+            let off = off as usize;
+            self.buf[off..off + cell.len()].copy_from_slice(cell);
+            self.set_slot(slot, off as u16, cell.len() as u16);
+            return true;
+        }
+        // Growing: tombstone + re-insert into the same slot if space allows.
+        if self.contiguous_free() + self.dead_space() + (len as usize) < cell.len() {
+            return false;
+        }
+        self.set_slot(slot, 0, len);
+        if self.contiguous_free() < cell.len() {
+            self.compact();
+        }
+        if self.contiguous_free() < cell.len() {
+            // Undo the tombstone; cell bytes were untouched.
+            self.set_slot(slot, off, len);
+            return false;
+        }
+        let new_start = self.cell_start() as usize - cell.len();
+        self.buf[new_start..new_start + cell.len()].copy_from_slice(cell);
+        self.set_cell_start(new_start as u16);
+        self.set_slot(slot, new_start as u16, cell.len() as u16);
+        true
+    }
+
+    /// Iterate over `(slot, cell)` for all live cells.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|c| (s, c)))
+    }
+
+    /// Slide all live cells to the end of the page, erasing dead space. Slot
+    /// numbers are preserved.
+    pub fn compact(&mut self) {
+        let mut cells: Vec<(u16, Vec<u8>)> = self
+            .iter()
+            .map(|(s, c)| (s, c.to_vec()))
+            .collect();
+        // Write back from the end, largest offsets first; order among cells is
+        // irrelevant as long as slots are updated consistently.
+        let mut cursor = PAGE_SIZE;
+        for (slot, cell) in cells.iter_mut() {
+            cursor -= cell.len();
+            self.buf[cursor..cursor + cell.len()].copy_from_slice(cell);
+            self.set_slot(*slot, cursor as u16, cell.len() as u16);
+        }
+        self.set_cell_start(cursor as u16);
+        // Tombstones lose their recorded dead length — the space is reclaimed.
+        for s in 0..self.slot_count() {
+            if self.slot_at(s).0 == 0 {
+                self.set_slot(s, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_slot_reuse() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let a = p.insert(b"aaaa").unwrap();
+        let b = p.insert(b"bbbb").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete is a no-op");
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"bbbb"[..]));
+        let c = p.insert(b"cccc").unwrap();
+        assert_eq!(c, a, "tombstoned slot is reused");
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let cell = vec![7u8; 100];
+        let mut n = 0;
+        while p.insert(&cell).is_some() {
+            n += 1;
+        }
+        // 8184 usable bytes / 104 per (cell+slot) ≈ 78.
+        assert!(n >= 75, "expected ~78 cells, got {n}");
+        assert!(!p.can_insert(100));
+        assert!(p.can_insert(2)); // tiny cells may still fit
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let big = vec![1u8; 2000];
+        let s0 = p.insert(&big).unwrap();
+        let s1 = p.insert(&big).unwrap();
+        let s2 = p.insert(&big).unwrap();
+        let _s3 = p.insert(&big).unwrap();
+        assert!(p.insert(&big).is_none());
+        p.delete(s0);
+        p.delete(s2);
+        // 4000 dead bytes: insert must succeed via compaction.
+        let s4 = p.insert(&big).unwrap();
+        assert_eq!(p.get(s4), Some(&big[..]));
+        assert_eq!(p.get(s1), Some(&big[..]), "survivor intact after compaction");
+        assert_eq!(p.live_count(), 3);
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let s = p.insert(b"0123456789").unwrap();
+        assert!(p.update(s, b"abc"));
+        assert_eq!(p.get(s), Some(&b"abc"[..]));
+        assert!(p.update(s, b"a much longer cell than before"));
+        assert_eq!(p.get(s), Some(&b"a much longer cell than before"[..]));
+    }
+
+    #[test]
+    fn update_too_large_leaves_old_value() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let filler = vec![9u8; 4000];
+        let s = p.insert(b"tiny").unwrap();
+        p.insert(&filler).unwrap();
+        let huge = vec![2u8; 5000];
+        assert!(!p.update(s, &huge));
+        assert_eq!(p.get(s), Some(&b"tiny"[..]));
+    }
+
+    #[test]
+    fn iter_yields_only_live() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::init(&mut buf);
+        let a = p.insert(b"a").unwrap();
+        let _b = p.insert(b"b").unwrap();
+        p.delete(a);
+        let got: Vec<_> = p.iter().map(|(_, c)| c.to_vec()).collect();
+        assert_eq!(got, vec![b"b".to_vec()]);
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let mut buf = fresh();
+        let s;
+        {
+            let mut p = SlottedPage::init(&mut buf);
+            s = p.insert(b"persisted").unwrap();
+        }
+        let mut p = SlottedPage::new(&mut buf);
+        assert_eq!(p.get(s), Some(&b"persisted"[..]));
+        assert_eq!(p.live_count(), 1);
+        let _ = p.insert(b"more").unwrap();
+    }
+}

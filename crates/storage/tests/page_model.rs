@@ -1,0 +1,127 @@
+//! Model-based property tests for the slotted page and the heap file.
+
+use proptest::prelude::*;
+use sqlcm_storage::{BufferPool, HeapFile, InMemoryDisk, RowId, SlottedPage, PAGE_SIZE};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Update(usize, Vec<u8>),
+}
+
+fn arb_page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..200).prop_map(PageOp::Insert),
+        (any::<usize>()).prop_map(PageOp::Delete),
+        (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..200))
+            .prop_map(|(i, c)| PageOp::Update(i, c)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn slotted_page_matches_model(ops in proptest::collection::vec(arb_page_op(), 1..120)) {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPage::init(&mut buf);
+        // model: slot -> live cell
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut slots: Vec<u16> = Vec::new();
+        for op in ops {
+            match op {
+                PageOp::Insert(cell) => {
+                    if let Some(slot) = page.insert(&cell) {
+                        prop_assert!(!model.contains_key(&slot), "reused a live slot");
+                        model.insert(slot, cell);
+                        if !slots.contains(&slot) {
+                            slots.push(slot);
+                        }
+                    } else {
+                        // Full: the page must genuinely not have room.
+                        prop_assert!(!page.can_insert(cell.len()));
+                    }
+                }
+                PageOp::Delete(i) => {
+                    if slots.is_empty() { continue; }
+                    let slot = slots[i % slots.len()];
+                    let was_live = model.remove(&slot).is_some();
+                    prop_assert_eq!(page.delete(slot), was_live);
+                }
+                PageOp::Update(i, cell) => {
+                    if slots.is_empty() { continue; }
+                    let slot = slots[i % slots.len()];
+                    let live = model.contains_key(&slot);
+                    let ok = page.update(slot, &cell);
+                    if !live {
+                        prop_assert!(!ok, "update of dead slot must fail");
+                    } else if ok {
+                        model.insert(slot, cell);
+                    }
+                    // A failed update of a live slot (no room) leaves the old
+                    // value intact — checked below by the full comparison.
+                }
+            }
+            // Every live cell reads back exactly.
+            for (slot, cell) in &model {
+                prop_assert_eq!(page.get(*slot), Some(cell.as_slice()));
+            }
+            prop_assert_eq!(page.live_count() as usize, model.len());
+        }
+    }
+
+    #[test]
+    fn heap_file_matches_model(ops in proptest::collection::vec(arb_page_op(), 1..200)) {
+        let pool = Arc::new(BufferPool::new(InMemoryDisk::shared(), 64));
+        let heap = HeapFile::new(pool);
+        let mut model: HashMap<RowId, Vec<u8>> = HashMap::new();
+        let mut ids: Vec<RowId> = Vec::new();
+        for op in ops {
+            match op {
+                PageOp::Insert(cell) => {
+                    let id = heap.insert(&cell).unwrap();
+                    prop_assert!(!model.contains_key(&id), "live RowId reused");
+                    model.insert(id, cell);
+                    ids.push(id);
+                }
+                PageOp::Delete(i) => {
+                    if ids.is_empty() { continue; }
+                    let id = ids[i % ids.len()];
+                    let was_live = model.remove(&id).is_some();
+                    prop_assert_eq!(heap.delete(id).unwrap(), was_live);
+                }
+                PageOp::Update(i, cell) => {
+                    if ids.is_empty() { continue; }
+                    let id = ids[i % ids.len()];
+                    match heap.update(id, &cell).unwrap() {
+                        Some(new_id) => {
+                            prop_assert!(model.contains_key(&id), "updated a dead row");
+                            model.remove(&id);
+                            model.insert(new_id, cell);
+                            ids.push(new_id);
+                        }
+                        None => prop_assert!(!model.contains_key(&id)),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(heap.row_count() as usize, model.len());
+        for (id, cell) in &model {
+            let got = heap.get(*id).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(cell.as_slice()));
+        }
+        // Scan sees exactly the live rows.
+        let mut scanned: Vec<Vec<u8>> = heap
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
+        let mut expect: Vec<Vec<u8>> = model.values().cloned().collect();
+        scanned.sort();
+        expect.sort();
+        prop_assert_eq!(scanned, expect);
+    }
+}

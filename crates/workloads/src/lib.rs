@@ -1,0 +1,73 @@
+//! Workload generators for the SQLCM reproduction's experiments.
+//!
+//! The paper's evaluation (§6.2) runs on "a workload on the TPC-H schema (with 6
+//! million rows in the lineitem table) consisting of 20,000 short single-row
+//! selections from the lineitem and orders table interleaved with 100 selections
+//! of 1000-2000 rows from a join between lineitem, orders and parts. In all
+//! experiments we executed the exact same queries (i.e., identical constant
+//! parameters) in order."
+//!
+//! * [`tpch`] — a seeded TPC-H-lite generator (lineitem / orders / part). Scale
+//!   is configurable; benches default to a laptop-scale database because the
+//!   experiments stress per-query monitoring overhead, which depends on query
+//!   count and shape, not table cardinality (see DESIGN.md's substitution
+//!   table).
+//! * [`mixed`] — the Figure-3 mixed workload and the Figure-2 point-select
+//!   stress workload, generated deterministically from a seed.
+//! * [`procs`] — a stored-procedure workload with parameter-dependent code
+//!   paths and occasional slow invocations (Example 1, outlier detection).
+//! * [`blocking`] — a multi-session writer/reader workload that provokes lock
+//!   conflicts on hot rows (Example 2, blocking hotspots).
+//! * [`skewed`] — a second, skewed "customer-like" workload standing in for the
+//!   unreported real customer workload of §6.2.2.
+
+pub mod blocking;
+pub mod mixed;
+pub mod procs;
+pub mod skewed;
+pub mod tpch;
+
+pub use mixed::{point_select_workload, MixedConfig, WorkloadQuery};
+pub use tpch::{TpchConfig, TpchDb};
+
+use sqlcm_common::Result;
+use sqlcm_engine::Engine;
+use std::time::{Duration, Instant};
+
+/// Outcome of driving a query list through one session.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub queries: u64,
+    pub rows_returned: u64,
+    pub elapsed: Duration,
+    pub errors: u64,
+}
+
+impl RunStats {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Execute `queries` in order on a fresh session, timing the whole run.
+pub fn run_queries(engine: &Engine, queries: &[WorkloadQuery]) -> Result<RunStats> {
+    let mut session = engine.connect("bench", "workload");
+    let mut stats = RunStats {
+        queries: queries.len() as u64,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    for q in queries {
+        match session.execute_params(&q.sql, &q.params) {
+            Ok(r) => stats.rows_returned += r.rows.len() as u64,
+            Err(_) => stats.errors += 1,
+        }
+    }
+    stats.elapsed = start.elapsed();
+    Ok(stats)
+}

@@ -1,0 +1,208 @@
+//! The paper's benchmark workloads (§6.2).
+//!
+//! * [`MixedConfig`] / [`generate`] — Figure 3's mix: `point_selects` short
+//!   single-row selections from `lineitem` and `orders`, interleaved with
+//!   `join_selects` selections of 1,000–2,000 rows from a 3-way join of
+//!   `lineitem ⋈ orders ⋈ part`. Constants come from the seed, so every run
+//!   executes "the exact same queries in order".
+//! * [`point_select_workload`] — Figure 2's stress workload: `n` single-row
+//!   clustered-index selects on `lineitem`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sqlcm_common::Value;
+
+use crate::tpch::TpchDb;
+
+/// One workload statement: SQL text plus positional parameters. Using the same
+/// text with `?` parameters keeps the engine's plan cache hot, like the paper's
+/// prototype re-executing identical statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadQuery {
+    pub sql: String,
+    pub params: Vec<Value>,
+    /// True for the large join queries (used by reports).
+    pub is_join: bool,
+}
+
+/// Parameters of the Figure-3 mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixedConfig {
+    pub point_selects: u32,
+    pub join_selects: u32,
+    pub seed: u64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        // The paper's numbers.
+        MixedConfig {
+            point_selects: 20_000,
+            join_selects: 100,
+            seed: 4242,
+        }
+    }
+}
+
+const POINT_LINEITEM: &str =
+    "SELECT l_price, l_quantity FROM lineitem WHERE l_orderkey = ? AND l_linenumber = ?";
+const POINT_ORDERS: &str =
+    "SELECT o_status, o_totalprice FROM orders WHERE o_orderkey = ?";
+const JOIN_SQL: &str = "SELECT l.l_price, o.o_totalprice, p.p_name \
+     FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey \
+     JOIN part p ON l.l_partkey = p.p_partkey \
+     WHERE o.o_orderkey >= ? AND o.o_orderkey < ?";
+
+/// Width of the join's order-key range so it returns 1,000–2,000 rows: with an
+/// average of 4 line items per order, ~375 orders ⇒ ~1,500 rows.
+fn join_span(db: &TpchDb) -> i64 {
+    let avg_lines = db.lineitem_count.max(1) as f64 / db.config.orders.max(1) as f64;
+    ((1_500.0 / avg_lines).round() as i64).clamp(1, db.config.orders as i64)
+}
+
+/// Generate the mixed workload, joins evenly interleaved among the points.
+pub fn generate(db: &TpchDb, config: MixedConfig) -> Vec<WorkloadQuery> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let span = join_span(db);
+    let mut out = Vec::with_capacity((config.point_selects + config.join_selects) as usize);
+    let per_join = if config.join_selects == 0 {
+        u32::MAX
+    } else {
+        (config.point_selects / config.join_selects).max(1)
+    };
+    let mut points_emitted = 0u32;
+    let mut joins_emitted = 0u32;
+    while points_emitted < config.point_selects || joins_emitted < config.join_selects {
+        if points_emitted < config.point_selects {
+            out.push(random_point(db, &mut rng));
+            points_emitted += 1;
+        }
+        let due = points_emitted % per_join == 0 || points_emitted >= config.point_selects;
+        if due && joins_emitted < config.join_selects {
+            let max_start = (db.config.orders as i64 - span).max(1);
+            let start = rng.gen_range(1..=max_start);
+            out.push(WorkloadQuery {
+                sql: JOIN_SQL.to_string(),
+                params: vec![Value::Int(start), Value::Int(start + span)],
+                is_join: true,
+            });
+            joins_emitted += 1;
+        }
+    }
+    out
+}
+
+fn random_point(db: &TpchDb, rng: &mut SmallRng) -> WorkloadQuery {
+    let order = rng.gen_range(1..=db.config.orders) as usize;
+    if rng.gen_bool(0.5) {
+        let lines = db.lines_per_order[order - 1].max(1);
+        let line = rng.gen_range(1..=lines);
+        WorkloadQuery {
+            sql: POINT_LINEITEM.to_string(),
+            params: vec![Value::Int(order as i64), Value::Int(line as i64)],
+            is_join: false,
+        }
+    } else {
+        WorkloadQuery {
+            sql: POINT_ORDERS.to_string(),
+            params: vec![Value::Int(order as i64)],
+            is_join: false,
+        }
+    }
+}
+
+/// Figure 2's stress workload: `n` single-row clustered-index selects on
+/// `lineitem` ("10,000 single-row select statements … that use a clustered
+/// index").
+pub fn point_select_workload(db: &TpchDb, n: u32, seed: u64) -> Vec<WorkloadQuery> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let order = rng.gen_range(1..=db.config.orders) as usize;
+            let lines = db.lines_per_order[order - 1].max(1);
+            let line = rng.gen_range(1..=lines);
+            WorkloadQuery {
+                sql: POINT_LINEITEM.to_string(),
+                params: vec![Value::Int(order as i64), Value::Int(line as i64)],
+                is_join: false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{load, TpchConfig};
+    use sqlcm_engine::Engine;
+
+    fn tiny_db() -> (Engine, TpchDb) {
+        let engine = Engine::in_memory();
+        let db = load(&engine, TpchConfig::tiny()).unwrap();
+        (engine, db)
+    }
+
+    #[test]
+    fn generates_requested_mix() {
+        let (_e, db) = tiny_db();
+        let cfg = MixedConfig {
+            point_selects: 200,
+            join_selects: 4,
+            seed: 1,
+        };
+        let w = generate(&db, cfg);
+        assert_eq!(w.len(), 204);
+        assert_eq!(w.iter().filter(|q| q.is_join).count(), 4);
+        // Joins are interleaved, not clumped at the end.
+        let first_join = w.iter().position(|q| q.is_join).unwrap();
+        assert!(first_join < 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_e, db) = tiny_db();
+        let cfg = MixedConfig {
+            point_selects: 50,
+            join_selects: 2,
+            seed: 9,
+        };
+        assert_eq!(generate(&db, cfg), generate(&db, cfg));
+    }
+
+    #[test]
+    fn queries_execute_and_points_hit_one_row() {
+        let (engine, db) = tiny_db();
+        let cfg = MixedConfig {
+            point_selects: 30,
+            join_selects: 2,
+            seed: 3,
+        };
+        let w = generate(&db, cfg);
+        let stats = crate::run_queries(&engine, &w).unwrap();
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.queries, 32);
+        assert!(stats.rows_returned >= 30, "every point select hits");
+    }
+
+    #[test]
+    fn join_returns_rows_proportional_to_span() {
+        let (engine, db) = tiny_db();
+        let span = super::join_span(&db);
+        let mut s = engine.connect("t", "t");
+        let r = s
+            .execute_params(
+                super::JOIN_SQL,
+                &[Value::Int(1), Value::Int(1 + span.min(100))],
+            )
+            .unwrap();
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn point_workload_shape() {
+        let (_e, db) = tiny_db();
+        let w = point_select_workload(&db, 100, 5);
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|q| !q.is_join && q.sql == super::POINT_LINEITEM));
+    }
+}

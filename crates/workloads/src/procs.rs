@@ -1,0 +1,100 @@
+//! Stored-procedure workload for Example 1 (outlier detection).
+//!
+//! Registers `get_order(@mode, @okey)`:
+//!
+//! ```text
+//! IF @mode > 0 THEN    -- cheap path: one point select
+//!     SELECT o_status FROM orders WHERE o_orderkey = @okey;
+//! ELSE                 -- expensive path: order details via a scan-ish query
+//!     SELECT l_price FROM lineitem WHERE l_orderkey = @okey;
+//!     SELECT o_totalprice FROM orders WHERE o_orderkey = @okey;
+//! END
+//! ```
+//!
+//! The two paths produce different transaction signatures (§4.2 (3)), so
+//! outlier detection can monitor them separately. The invocation generator
+//! emits mostly cheap calls with occasional expensive ones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sqlcm_common::{Result, Value};
+use sqlcm_engine::{Engine, StoredProcedure};
+
+use crate::tpch::TpchDb;
+
+pub const PROC_NAME: &str = "get_order";
+
+/// Register the procedure with the engine.
+pub fn register(engine: &Engine) -> Result<()> {
+    let proc = StoredProcedure::parse(
+        PROC_NAME,
+        &["mode", "okey"],
+        "IF @mode > 0 THEN \
+             SELECT o_status FROM orders WHERE o_orderkey = @okey; \
+         ELSE \
+             SELECT l_price FROM lineitem WHERE l_orderkey = @okey; \
+             SELECT o_totalprice FROM orders WHERE o_orderkey = @okey; \
+         END;",
+    )?;
+    engine.catalog().create_procedure(proc)
+}
+
+/// One invocation's arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    pub mode: i64,
+    pub okey: i64,
+}
+
+/// Generate `n` invocations; roughly `slow_fraction` take the expensive path.
+pub fn invocations(db: &TpchDb, n: u32, slow_fraction: f64, seed: u64) -> Vec<Invocation> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Invocation {
+            mode: if rng.gen_bool(slow_fraction) { 0 } else { 1 },
+            okey: rng.gen_range(1..=db.config.orders) as i64,
+        })
+        .collect()
+}
+
+/// Run the invocations on one session.
+pub fn run(engine: &Engine, list: &[Invocation]) -> Result<u64> {
+    let mut session = engine.connect("app", "proc_workload");
+    let mut ok = 0;
+    for inv in list {
+        session.execute_params(
+            &format!("EXEC {PROC_NAME}(?, ?)"),
+            &[Value::Int(inv.mode), Value::Int(inv.okey)],
+        )?;
+        ok += 1;
+    }
+    Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{load, TpchConfig};
+
+    #[test]
+    fn register_and_run() {
+        let engine = Engine::in_memory();
+        let db = load(&engine, TpchConfig::tiny()).unwrap();
+        register(&engine).unwrap();
+        let invs = invocations(&db, 20, 0.3, 11);
+        assert_eq!(invs.len(), 20);
+        assert!(invs.iter().any(|i| i.mode == 0));
+        assert!(invs.iter().any(|i| i.mode == 1));
+        assert_eq!(run(&engine, &invs).unwrap(), 20);
+    }
+
+    #[test]
+    fn deterministic_invocations() {
+        let engine = Engine::in_memory();
+        let db = load(&engine, TpchConfig::tiny()).unwrap();
+        assert_eq!(
+            invocations(&db, 10, 0.5, 3),
+            invocations(&db, 10, 0.5, 3)
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Seeded TPC-H-lite schema and data generator.
+//!
+//! Three tables in the shape the paper's workload touches:
+//!
+//! * `lineitem(l_orderkey, l_linenumber, l_partkey, l_quantity, l_price,
+//!   l_shipmode)` — clustered on `(l_orderkey, l_linenumber)`;
+//! * `orders(o_orderkey, o_custkey, o_status, o_totalprice)` — clustered on
+//!   `o_orderkey`;
+//! * `part(p_partkey, p_name, p_retailprice)` — clustered on `p_partkey`.
+//!
+//! Orders have 1–7 line items (avg ≈ 4), like dbgen. All randomness flows from
+//! the config seed, so two loads with the same config are identical.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sqlcm_common::{Result, Value};
+use sqlcm_engine::Engine;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchConfig {
+    /// Number of orders (lineitems ≈ 4×).
+    pub orders: u32,
+    /// Number of parts.
+    pub parts: u32,
+    /// Number of distinct customers referenced by orders.
+    pub customers: u32,
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            orders: 25_000,
+            parts: 2_000,
+            customers: 1_000,
+            seed: 42,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> TpchConfig {
+        TpchConfig {
+            orders: 200,
+            parts: 50,
+            customers: 20,
+            seed: 7,
+        }
+    }
+}
+
+/// Handle to a loaded TPC-H-lite database.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    pub config: TpchConfig,
+    /// Line numbers per order key (index = orderkey - 1), for generating valid
+    /// point-select constants.
+    pub lines_per_order: Vec<u8>,
+    pub lineitem_count: u64,
+}
+
+pub const SHIP_MODES: &[&str] = &["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"];
+pub const STATUSES: &[&str] = &["open", "shipped", "done"];
+
+/// Create the schema and load generated data. Loading batches rows inside
+/// explicit transactions (1,000 rows each) to amortize per-statement overhead.
+pub fn load(engine: &Engine, config: TpchConfig) -> Result<TpchDb> {
+    engine.execute_batch(
+        "CREATE TABLE lineitem (
+            l_orderkey INT NOT NULL,
+            l_linenumber INT NOT NULL,
+            l_partkey INT NOT NULL,
+            l_quantity INT,
+            l_price FLOAT,
+            l_shipmode TEXT,
+            PRIMARY KEY (l_orderkey, l_linenumber)
+         );
+         CREATE TABLE orders (
+            o_orderkey INT PRIMARY KEY,
+            o_custkey INT,
+            o_status TEXT,
+            o_totalprice FLOAT
+         );
+         CREATE TABLE part (
+            p_partkey INT PRIMARY KEY,
+            p_name TEXT,
+            p_retailprice FLOAT
+         );",
+    )?;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut session = engine.connect("loader", "tpch");
+
+    // Parts.
+    let mut in_batch = 0u32;
+    session.execute("BEGIN")?;
+    for p in 1..=config.parts {
+        session.execute_params(
+            "INSERT INTO part VALUES (?, ?, ?)",
+            &[
+                Value::Int(p as i64),
+                Value::Text(format!("part-{p:06}")),
+                Value::Float(rng.gen_range(1.0..1000.0)),
+            ],
+        )?;
+        in_batch += 1;
+        if in_batch == 1000 {
+            session.execute("COMMIT")?;
+            session.execute("BEGIN")?;
+            in_batch = 0;
+        }
+    }
+
+    // Orders and their line items.
+    let mut lines_per_order = Vec::with_capacity(config.orders as usize);
+    let mut lineitem_count = 0u64;
+    for o in 1..=config.orders {
+        let lines = rng.gen_range(1..=7u8);
+        lines_per_order.push(lines);
+        let total: f64 = rng.gen_range(100.0..20_000.0);
+        session.execute_params(
+            "INSERT INTO orders VALUES (?, ?, ?, ?)",
+            &[
+                Value::Int(o as i64),
+                Value::Int(rng.gen_range(1..=config.customers) as i64),
+                Value::Text(STATUSES[rng.gen_range(0..STATUSES.len())].to_string()),
+                Value::Float(total),
+            ],
+        )?;
+        in_batch += 1;
+        for l in 1..=lines {
+            session.execute_params(
+                "INSERT INTO lineitem VALUES (?, ?, ?, ?, ?, ?)",
+                &[
+                    Value::Int(o as i64),
+                    Value::Int(l as i64),
+                    Value::Int(rng.gen_range(1..=config.parts) as i64),
+                    Value::Int(rng.gen_range(1..=50)),
+                    Value::Float(rng.gen_range(1.0..1000.0)),
+                    Value::Text(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string()),
+                ],
+            )?;
+            lineitem_count += 1;
+            in_batch += 1;
+            if in_batch >= 1000 {
+                session.execute("COMMIT")?;
+                session.execute("BEGIN")?;
+                in_batch = 0;
+            }
+        }
+    }
+    session.execute("COMMIT")?;
+    Ok(TpchDb {
+        config,
+        lines_per_order,
+        lineitem_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_consistent_counts() {
+        let engine = Engine::in_memory();
+        let db = load(&engine, TpchConfig::tiny()).unwrap();
+        let count = |sql: &str| engine.query(sql).unwrap()[0][0].as_i64().unwrap();
+        assert_eq!(count("SELECT COUNT(*) FROM orders"), 200);
+        assert_eq!(count("SELECT COUNT(*) FROM part"), 50);
+        assert_eq!(
+            count("SELECT COUNT(*) FROM lineitem"),
+            db.lineitem_count as i64
+        );
+        let expected: u64 = db.lines_per_order.iter().map(|&l| l as u64).sum();
+        assert_eq!(db.lineitem_count, expected);
+        // Every order has at least one line item; point select works.
+        let rows = engine
+            .query("SELECT l_price FROM lineitem WHERE l_orderkey = 1 AND l_linenumber = 1")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let cfg = TpchConfig::tiny();
+        let d1 = load(&e1, cfg).unwrap();
+        let d2 = load(&e2, cfg).unwrap();
+        assert_eq!(d1.lines_per_order, d2.lines_per_order);
+        assert_eq!(
+            e1.query("SELECT o_totalprice FROM orders WHERE o_orderkey = 5")
+                .unwrap(),
+            e2.query("SELECT o_totalprice FROM orders WHERE o_orderkey = 5")
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let d1 = load(&e1, TpchConfig { seed: 1, ..TpchConfig::tiny() }).unwrap();
+        let d2 = load(&e2, TpchConfig { seed: 2, ..TpchConfig::tiny() }).unwrap();
+        assert_ne!(d1.lines_per_order, d2.lines_per_order);
+    }
+}

@@ -1,0 +1,106 @@
+//! Example 1 of the paper: detecting outlier invocations of a stored procedure.
+//!
+//! A `Duration_LAT` maintains the (aging) average duration per code-path
+//! signature; a rule persists any invocation running 5× slower than its
+//! template's average. The workload mixes a cheap and an expensive code path of
+//! `get_order`, plus a handful of artificially slowed invocations that the rule
+//! must catch.
+//!
+//! ```sh
+//! cargo run --release --example outlier_detection
+//! ```
+
+use sqlcm_repro::prelude::*;
+use sqlcm_repro::workloads::{procs, tpch};
+
+fn main() -> Result<()> {
+    let engine = Engine::in_memory();
+    let db = tpch::load(
+        &engine,
+        tpch::TpchConfig {
+            orders: 2_000,
+            parts: 200,
+            customers: 100,
+            seed: 42,
+        },
+    )?;
+    procs::register(&engine)?;
+    engine.execute_batch(
+        "CREATE TABLE outliers (qtext TEXT, duration FLOAT);",
+    )?;
+
+    let sqlcm = Sqlcm::attach(&engine);
+    // The paper's Duration_LAT, with an aging average (baseline performance may
+    // drift over time, §4.3): 60 s window, 5 s blocks.
+    sqlcm.define_lat(
+        LatSpec::new("Duration_LAT")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration")
+            .aging(60_000_000, 5_000_000)
+            .aggregate(LatAggFunc::Count, "", "N")
+            .order_by("N", true)
+            .max_rows(100),
+    )?;
+    // Rule 1 (paper, §5.2): report instances 5× slower than their average.
+    sqlcm.add_rule(
+        Rule::new("report_outliers")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration > 5 * Duration_LAT.Avg_Duration AND Duration_LAT.N >= 10")
+            .then(Action::persist_object(
+                "outliers",
+                "Query",
+                &["Query_Text", "Duration"],
+            ))
+            .then(Action::send_mail(
+                "dba@example.org",
+                "outlier: {Query.Query_Text} took {Query.Duration}s (avg {Duration_LAT.Avg_Duration}s)",
+            )),
+    )?;
+    // Rule 2: maintain the LAT. Registered after rule 1 so an outlier is judged
+    // against the average of *previous* instances.
+    sqlcm.add_rule(
+        Rule::new("track_durations")
+            .on(RuleEvent::QueryCommit)
+            .then(Action::insert("Duration_LAT")),
+    )?;
+
+    // Normal traffic: builds per-code-path baselines.
+    let invocations = procs::invocations(&db, 2_000, 0.2, 7);
+    procs::run(&engine, &invocations)?;
+
+    // A few pathological invocations: the same EXEC but artificially delayed by
+    // holding a lock from another session (a realistic "bad day" scenario).
+    let mut blocker = engine.connect("batch", "nightly");
+    let mut app = engine.connect("app", "proc_workload");
+    for _ in 0..3 {
+        blocker.execute("BEGIN")?;
+        blocker.execute("UPDATE orders SET o_totalprice = o_totalprice WHERE o_orderkey = 1")?;
+        // The EXEC's point select on order 1 blocks behind the update lock;
+        // run it on its own thread and release the lock 300 ms later.
+        let handle = std::thread::spawn(move || {
+            let r = app.execute("EXEC get_order(0, 1)");
+            r.map(|_| app)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        blocker.execute("COMMIT")?;
+        app = handle.join().expect("EXEC thread")?;
+    }
+
+    let report = engine.query("SELECT qtext, duration FROM outliers")?;
+    println!("=== outlier invocations detected: {} ===", report.len());
+    for row in &report {
+        println!("  {:>9.4}s  {}", row[1].as_f64().unwrap_or(0.0), row[0]);
+    }
+    println!();
+    println!("alerts in outbox: {}", sqlcm.outbox().len());
+    let lat = sqlcm.lat("Duration_LAT").unwrap();
+    println!(
+        "Duration_LAT tracks {} distinct code-path templates",
+        lat.row_count()
+    );
+    assert!(
+        !report.is_empty(),
+        "the blocked EXEC invocations must register as outliers"
+    );
+    Ok(())
+}

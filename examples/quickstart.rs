@@ -1,0 +1,89 @@
+//! Quickstart: attach SQLCM to the host engine, define one LAT and one rule,
+//! run a small workload, and inspect the aggregated monitoring data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sqlcm_repro::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. A host engine with a table.
+    let engine = Engine::in_memory();
+    engine.execute_batch(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT);",
+    )?;
+
+    // 2. Attach SQLCM — from here on, probes stream into the monitor.
+    let sqlcm = Sqlcm::attach(&engine);
+
+    // 3. A LAT: per query template, how often it ran and its average duration.
+    sqlcm.define_lat(
+        LatSpec::new("Templates")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration")
+            .aggregate(LatAggFunc::Last, "Query.Query_Text", "Example_Text")
+            .order_by("N", true)
+            .max_rows(50),
+    )?;
+
+    // 4. An ECA rule: on every commit, fold the query into the LAT.
+    sqlcm.add_rule(
+        Rule::new("track_templates")
+            .on(RuleEvent::QueryCommit)
+            .then(Action::insert("Templates")),
+    )?;
+
+    // 5. A second rule: alert (to the recording outbox) when a query is slow.
+    sqlcm.add_rule(
+        Rule::new("slow_query_alert")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration > 0.5") // seconds
+            .then(Action::send_mail(
+                "dba@example.org",
+                "slow query {Query.ID}: {Query.Query_Text} took {Query.Duration}s",
+            )),
+    )?;
+
+    // 6. Run a workload: different constants, same templates.
+    let mut session = engine.connect("alice", "quickstart");
+    for i in 0..100 {
+        session.execute_params(
+            "INSERT INTO accounts VALUES (?, ?, ?)",
+            &[
+                Value::Int(i),
+                Value::text(format!("owner-{i}")),
+                Value::Float(100.0 + i as f64),
+            ],
+        )?;
+    }
+    for i in 0..200 {
+        session.execute_params(
+            "SELECT balance FROM accounts WHERE id = ?",
+            &[Value::Int(i % 100)],
+        )?;
+    }
+    session.execute("SELECT COUNT(*) AS n, AVG(balance) FROM accounts")?;
+
+    // 7. Inspect what the monitor aggregated.
+    let lat = sqlcm.lat("Templates").expect("defined above");
+    println!("=== Templates LAT ({} rows) ===", lat.row_count());
+    println!("{:>6} {:>10} {:>14}  {}", "N", "Sig", "Avg_Duration", "Example_Text");
+    for row in lat.rows_ordered() {
+        println!(
+            "{:>6} {:>10} {:>12}s  {}",
+            row[1],
+            format!("{:x}", row[0].as_i64().unwrap_or(0)),
+            format!("{:.6}", row[2].as_f64().unwrap_or(0.0)),
+            row[3]
+        );
+    }
+    println!();
+    println!(
+        "monitor stats: {:?}; alerts sent: {}",
+        sqlcm.stats(),
+        sqlcm.outbox().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Example 5 of the paper: resource governing.
+//!
+//! "(a) Stopping a runaway query (i.e., a query that has exceeded a certain
+//! budget on system resources)." — a `Timer` rule that iterates over all live
+//! `Query` objects (§5.2's iteration semantics) and `Cancel()`s any whose
+//! running time exceeds its budget. The cancel "only sends the cancel signal to
+//! the thread(s) currently executing the query" (§5); the executor notices at
+//! its next cancellation checkpoint.
+//!
+//! A server-side action without DBA intervention — the capability the paper
+//! highlights as unique to being *inside* the server.
+//!
+//! ```sh
+//! cargo run --release --example resource_governor
+//! ```
+
+use sqlcm_repro::prelude::*;
+use sqlcm_repro::workloads::tpch;
+use std::time::Duration;
+
+fn main() -> Result<()> {
+    let engine = Engine::in_memory();
+    println!("loading data …");
+    tpch::load(
+        &engine,
+        tpch::TpchConfig {
+            orders: 30_000,
+            parts: 1_000,
+            customers: 500,
+            seed: 3,
+        },
+    )?;
+    let sqlcm = Sqlcm::attach(&engine);
+
+    // The governor: every 50 ms, cancel queries running longer than 300 ms.
+    sqlcm.add_rule(
+        Rule::new("runaway_governor")
+            .on(RuleEvent::TimerAlarm("governor".into()))
+            .when("Query.Duration > 0.3")
+            .then(Action::cancel("Query"))
+            .then(Action::send_mail(
+                "dba@example.org",
+                "cancelled runaway query {Query.ID} ({Query.User}): {Query.Query_Text}",
+            )),
+    )?;
+    sqlcm.set_timer("governor", 50_000, -1);
+    sqlcm.start_timer_thread(Duration::from_millis(10));
+
+    // A well-behaved query: finishes untouched.
+    let t0 = std::time::Instant::now();
+    let quick = engine.query("SELECT COUNT(*) FROM orders")?;
+    println!(
+        "well-behaved query finished in {:?}: {} orders",
+        t0.elapsed(),
+        quick[0][0]
+    );
+
+    // The runaway: a cross-join-ish nested-loop monster that would take ages.
+    let mut rogue = engine.connect("intern", "adhoc");
+    let t0 = std::time::Instant::now();
+    let result = rogue.execute(
+        "SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_quantity < b.l_quantity",
+    );
+    let elapsed = t0.elapsed();
+    match result {
+        Err(Error::Cancelled) => {
+            println!("runaway query cancelled by the governor after {elapsed:?}")
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "governor must step in long before the join finishes"
+    );
+    println!("governor notifications: {}", sqlcm.outbox().len());
+    for (_, body) in sqlcm.outbox().messages() {
+        println!("  {body}");
+    }
+
+    // Normal service continues afterwards.
+    let after = engine.query("SELECT COUNT(*) FROM part")?;
+    println!("engine healthy after cancellation: {} parts", after[0][0]);
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Example 4 of the paper: auditing / summarizing system usage.
+//!
+//! Three auditing tasks in one monitor:
+//!
+//! * (b) "detecting potentially unauthorized access attempts, e.g., number of
+//!   login failures for each user" — a LAT over `Session` login events;
+//! * (c) "summarizing query/update 'templates' for a particular application,
+//!   their associated frequencies and average/max duration for each template …
+//!   over a 24 hour period" — a template LAT with aging aggregates, persisted
+//!   periodically by a `Timer` rule ("collect summaries synchronously … and in
+//!   addition have rules that persist these asynchronously, e.g. every 24
+//!   hours"). The 24-hour period is scaled to 200 ms so the example finishes.
+//!
+//! ```sh
+//! cargo run --release --example usage_audit
+//! ```
+
+use sqlcm_repro::prelude::*;
+use sqlcm_repro::workloads::{skewed, tpch};
+
+fn main() -> Result<()> {
+    let engine = Engine::in_memory();
+    let db = tpch::load(
+        &engine,
+        tpch::TpchConfig {
+            orders: 1_000,
+            parts: 100,
+            customers: 50,
+            seed: 5,
+        },
+    )?;
+    engine.execute_batch(
+        "CREATE TABLE template_report (sig INT, n INT, avg_d FLOAT, max_d FLOAT, qtext TEXT, at TIMESTAMP);\
+         CREATE TABLE login_failures (who TEXT, app TEXT);",
+    )?;
+    let sqlcm = Sqlcm::attach(&engine);
+
+    // (c) Template summary: frequency, average and max duration per template.
+    sqlcm.define_lat(
+        LatSpec::new("Templates")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D")
+            .aggregate(LatAggFunc::Max, "Query.Duration", "Max_D")
+            .aggregate(LatAggFunc::Last, "Query.Query_Text", "Example")
+            .order_by("N", true)
+            .max_rows(200),
+    )?;
+    sqlcm.add_rule(
+        Rule::new("summarize")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Application = 'workload'")
+            .then(Action::insert("Templates")),
+    )?;
+
+    // Periodic persist-and-reset via a Timer rule (the "every 24 hours" shape;
+    // scaled down to 200 ms).
+    sqlcm.add_rule(
+        Rule::new("nightly_report")
+            .on(RuleEvent::TimerAlarm("nightly".into()))
+            .then(Action::persist_lat("template_report", "Templates"))
+            .then(Action::reset("Templates")),
+    )?;
+    sqlcm.set_timer("nightly", 200_000, -1); // 200 ms, forever
+    sqlcm.start_timer_thread(std::time::Duration::from_millis(20));
+
+    // (b) Login-failure auditing.
+    sqlcm.define_lat(
+        LatSpec::new("FailuresPerUser")
+            .group_by("Session.User", "Who")
+            .aggregate(LatAggFunc::Count, "", "Failures")
+            .order_by("Failures", true)
+            .max_rows(100),
+    )?;
+    sqlcm.add_rule(
+        Rule::new("audit_failures")
+            .on(RuleEvent::Login)
+            .when("Session.Success = FALSE")
+            .then(Action::insert("FailuresPerUser"))
+            .then(Action::persist_object(
+                "login_failures",
+                "Session",
+                &["User", "Application"],
+            )),
+    )?;
+
+    // Workload across two "days" (timer periods).
+    let queries = skewed::generate(&db, 2_000, 99);
+    let mid = queries.len() / 2;
+    sqlcm_repro::workloads::run_queries(&engine, &queries[..mid])?;
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    sqlcm_repro::workloads::run_queries(&engine, &queries[mid..])?;
+    std::thread::sleep(std::time::Duration::from_millis(250));
+
+    // Some login failures.
+    for _ in 0..3 {
+        engine.failed_login("mallory", "sqlmap");
+    }
+    engine.failed_login("eve", "curl");
+
+    let reports = engine.query(
+        "SELECT COUNT(*) AS rows_persisted FROM template_report",
+    )?;
+    println!(
+        "template_report rows persisted by the timer rule: {}",
+        reports[0][0]
+    );
+    let per_period = engine.query(
+        "SELECT at, COUNT(*) FROM template_report GROUP BY at ORDER BY at",
+    )?;
+    println!("reporting periods: {}", per_period.len());
+    for p in &per_period {
+        println!("  period at t={} — {} templates", p[0], p[1]);
+    }
+
+    println!();
+    println!("=== login failures per user ===");
+    for row in sqlcm.lat("FailuresPerUser").unwrap().rows_ordered() {
+        println!("  {:>3} failures  {}", row[1], row[0]);
+    }
+    let failures = engine.query("SELECT COUNT(*) FROM login_failures")?;
+    assert_eq!(failures[0][0], Value::Int(4));
+    assert!(per_period.len() >= 2, "at least two reporting periods");
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Integration tests: multi-session behaviour — blocking, deadlocks,
+//! cancellation, monitor consistency under contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqlcm_repro::engine::engine::EngineConfig;
+use sqlcm_repro::prelude::*;
+
+fn engine() -> Engine {
+    let e = Engine::new(EngineConfig {
+        lock_wait_timeout: Duration::from_secs(5),
+        ..Default::default()
+    })
+    .unwrap();
+    e.execute_batch("CREATE TABLE acc (id INT PRIMARY KEY, bal INT);").unwrap();
+    let mut s = e.connect("setup", "t");
+    for i in 1..=10 {
+        s.execute_params("INSERT INTO acc VALUES (?, 100)", &[Value::Int(i)])
+            .unwrap();
+    }
+    e
+}
+
+#[test]
+fn writer_blocks_reader_then_unblocks() {
+    let e = engine();
+    let mut w = e.connect("writer", "t");
+    w.execute("BEGIN").unwrap();
+    w.execute("UPDATE acc SET bal = 0 WHERE id = 1").unwrap();
+
+    let mut r = e.connect("reader", "t");
+    let t = std::thread::spawn(move || {
+        let rows = r.execute("SELECT bal FROM acc WHERE id = 1").unwrap();
+        rows.rows[0][0].clone()
+    });
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(e.blocked_pairs().len(), 1, "reader visible as blocked");
+    w.execute("COMMIT").unwrap();
+    assert_eq!(t.join().unwrap(), Value::Int(0), "reader sees committed value");
+    assert!(e.blocked_pairs().is_empty());
+}
+
+#[test]
+fn deadlock_victim_can_retry() {
+    let e = engine();
+    let mut s1 = e.connect("a", "t");
+    let mut s2 = e.connect("b", "t");
+    s1.execute("BEGIN").unwrap();
+    s2.execute("BEGIN").unwrap();
+    s1.execute("UPDATE acc SET bal = 1 WHERE id = 1").unwrap();
+    s2.execute("UPDATE acc SET bal = 2 WHERE id = 2").unwrap();
+
+    // s2 waits on id=1; then s1 requests id=2 → deadlock, s1 is the victim.
+    let t = std::thread::spawn(move || {
+        let r = s2.execute("UPDATE acc SET bal = 2 WHERE id = 1");
+        (r.is_ok(), s2)
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let err = s1.execute("UPDATE acc SET bal = 1 WHERE id = 2").unwrap_err();
+    assert!(matches!(err, Error::Deadlock { .. }), "{err}");
+    assert!(!s1.in_transaction(), "victim txn rolled back");
+    let (ok, mut s2) = t.join().unwrap();
+    assert!(ok, "survivor proceeds after victim rollback");
+    s2.execute("COMMIT").unwrap();
+    // Victim's first update was undone.
+    assert_eq!(
+        e.query("SELECT bal FROM acc WHERE id = 1").unwrap()[0][0],
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn lock_timeout_reports_resource() {
+    let e = Engine::new(EngineConfig {
+        lock_wait_timeout: Duration::from_millis(80),
+        ..Default::default()
+    })
+    .unwrap();
+    e.execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);").unwrap();
+    e.query("SELECT 1").unwrap();
+    let mut a = e.connect("a", "t");
+    a.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+    a.execute("BEGIN").unwrap();
+    a.execute("UPDATE t SET v = 9 WHERE id = 1").unwrap();
+    let mut b = e.connect("b", "t");
+    let err = b.execute("SELECT v FROM t WHERE id = 1").unwrap_err();
+    match err {
+        Error::LockTimeout { resource, waited_micros } => {
+            assert!(resource.contains("row"), "{resource}");
+            assert!(waited_micros >= 60_000);
+        }
+        other => panic!("expected timeout, got {other}"),
+    }
+}
+
+#[test]
+fn monitor_counts_are_exact_under_concurrency() {
+    let e = engine();
+    let sqlcm = Sqlcm::attach(&e);
+    sqlcm
+        .define_lat(
+            LatSpec::new("PerUser")
+                .group_by("Query.User", "U")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("count")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("PerUser")),
+        )
+        .unwrap();
+
+    let per_thread = 300u64;
+    let threads = 4;
+    let committed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let e = &e;
+            let committed = committed.clone();
+            scope.spawn(move || {
+                let mut s = e.connect(&format!("user{t}"), "t");
+                for i in 0..per_thread {
+                    let id = 1 + ((t as u64 * per_thread + i) % 10) as i64;
+                    if s
+                        .execute_params(
+                            "UPDATE acc SET bal = bal + 1 WHERE id = ?",
+                            &[Value::Int(id)],
+                        )
+                        .is_ok()
+                    {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let lat = sqlcm.lat("PerUser").unwrap();
+    let counted: i64 = lat.rows().iter().map(|r| r[1].as_i64().unwrap()).sum();
+    assert_eq!(
+        counted as u64,
+        committed.load(Ordering::Relaxed),
+        "every committed statement counted exactly once"
+    );
+    // And the data agrees: sum of balances grew by exactly the commit count.
+    let total = e.query("SELECT SUM(bal) FROM acc").unwrap()[0][0]
+        .as_f64()
+        .unwrap();
+    assert_eq!(
+        total as u64,
+        1000 + committed.load(Ordering::Relaxed),
+        "no lost updates in the data either"
+    );
+}
+
+#[test]
+fn cancel_from_another_session() {
+    let e = engine();
+    // Grow the table so a self-join runs long enough to cancel.
+    let mut s = e.connect("setup2", "t");
+    s.execute("BEGIN").unwrap();
+    for i in 11..=2000 {
+        s.execute_params("INSERT INTO acc VALUES (?, 1)", &[Value::Int(i)])
+            .unwrap();
+    }
+    s.execute("COMMIT").unwrap();
+
+    let mut victim = e.connect("victim", "t");
+    let handle = std::thread::spawn(move || {
+        victim.execute("SELECT COUNT(*) FROM acc a JOIN acc b ON a.bal < b.bal")
+    });
+    // Find the running query via the snapshot API and cancel it.
+    let mut cancelled = false;
+    for _ in 0..500 {
+        if let Some(q) = e
+            .snapshot_active()
+            .into_iter()
+            .find(|q| q.user == "victim")
+        {
+            cancelled = e.cancel_query(q.id);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(cancelled, "query was found and signalled");
+    let err = handle.join().unwrap().unwrap_err();
+    assert_eq!(err, Error::Cancelled);
+}
