@@ -1,0 +1,202 @@
+//! Static per-firing cost estimate (W201).
+//!
+//! The paper's central argument is that monitoring must have *low and
+//! controllable* overhead (§2.1, Figure 2). The runtime controls what it can
+//! — compiled conditions, in-memory LATs — but a rule author can still attach
+//! arbitrarily heavy work to a hot event (persisting a LAT to a table on
+//! every `QueryCommit`, say). This pass attaches a unitless cost score to
+//! each rule — roughly "hash probes per firing" — and warns when it crosses
+//! the analyzer's threshold.
+//!
+//! The model is deliberately coarse but deterministic:
+//!
+//! * each distinct LAT probed by the condition: `1 + aging aggregates` (an
+//!   aging read folds the block ring);
+//! * `Insert`: `1 + aggregate columns + 2 × aging aggregates + 1 if bounded`
+//!   (aging inserts touch the ring twice: append + expire; bounded LATs pay
+//!   ordering/eviction bookkeeping);
+//! * `Reset`, `SetTimer`, `Cancel`: 1;
+//! * `PersistObject`: 4, `PersistLat`: 8 (synchronous table writes);
+//! * `SendMail`, `RunExternal`: 6 (sink formatting and queueing).
+
+use crate::diagnostics::{Code, Diagnostic};
+use crate::schema::SchemaUniverse;
+use crate::{expr_refs, ActionIr, RuleIr};
+
+/// Default threshold above which [`Code::W201`] fires.
+pub const DEFAULT_COST_THRESHOLD: u32 = 16;
+
+/// Estimate the per-firing cost of a rule; returns the total and a
+/// human-readable breakdown.
+pub fn rule_cost(universe: &SchemaUniverse, rule: &RuleIr) -> (u32, Vec<String>) {
+    let mut total = 0u32;
+    let mut parts = Vec::new();
+    if let Some(cond) = &rule.condition {
+        let (_, lats) = expr_refs(universe, cond);
+        for name in lats {
+            let c = match universe.lat(&name) {
+                Some(schema) => 1 + schema.aging_aggregates as u32,
+                None => 1,
+            };
+            total += c;
+            parts.push(format!("probe {name}: {c}"));
+        }
+    }
+    for action in &rule.actions {
+        let c = match action {
+            ActionIr::Insert { lat } => match universe.lat(lat) {
+                Some(schema) => {
+                    1 + schema.aggregate_count as u32
+                        + 2 * schema.aging_aggregates as u32
+                        + u32::from(schema.bounded)
+                }
+                None => 2,
+            },
+            ActionIr::Reset { .. } | ActionIr::SetTimer { .. } | ActionIr::Cancel { .. } => 1,
+            ActionIr::PersistObject { .. } => 4,
+            ActionIr::PersistLat { .. } => 8,
+            ActionIr::SendMail | ActionIr::RunExternal => 6,
+        };
+        total += c;
+        parts.push(format!("{}: {c}", action_name(action)));
+    }
+    (total, parts)
+}
+
+fn action_name(action: &ActionIr) -> &'static str {
+    match action {
+        ActionIr::Insert { .. } => "Insert",
+        ActionIr::Reset { .. } => "Reset",
+        ActionIr::PersistLat { .. } => "PersistLat",
+        ActionIr::PersistObject { .. } => "PersistObject",
+        ActionIr::SetTimer { .. } => "SetTimer",
+        ActionIr::Cancel { .. } => "Cancel",
+        ActionIr::SendMail => "SendMail",
+        ActionIr::RunExternal => "RunExternal",
+    }
+}
+
+/// Warn when the rule's estimated per-firing cost exceeds `threshold`.
+pub fn check_rule(
+    universe: &SchemaUniverse,
+    rule: &RuleIr,
+    threshold: u32,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (total, parts) = rule_cost(universe, rule);
+    if total > threshold {
+        diags.push(
+            Diagnostic::new(
+                Code::W201,
+                &rule.name,
+                format!(
+                    "estimated per-firing cost {total} exceeds threshold {threshold} \
+                     ({})",
+                    parts.join(", ")
+                ),
+            )
+            .with_help(
+                "heavy actions on hot events defeat the low-overhead design; move persists \
+                 and external actions behind a timer rule, or raise the analyzer threshold \
+                 if the event is rare",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggColumnIr, AggFuncIr, Analyzer, AttrIr, EventIr, GroupColumnIr, LatIr};
+
+    fn aging_lat() -> LatIr {
+        LatIr {
+            name: "Win".into(),
+            group_by: vec![GroupColumnIr {
+                source: AttrIr {
+                    class: "Query".into(),
+                    attr: "Logical_Signature".into(),
+                },
+                alias: "Sig".into(),
+            }],
+            aggregates: vec![
+                AggColumnIr {
+                    func: AggFuncIr::Count,
+                    source: None,
+                    alias: "N".into(),
+                    aging: true,
+                },
+                AggColumnIr {
+                    func: AggFuncIr::Avg,
+                    source: Some(AttrIr {
+                        class: "Query".into(),
+                        attr: "Duration".into(),
+                    }),
+                    alias: "Avg_D".into(),
+                    aging: true,
+                },
+            ],
+            bounded: true,
+        }
+    }
+
+    #[test]
+    fn cost_model_is_deterministic() {
+        let mut a = Analyzer::new();
+        assert!(a.check_lat(&aging_lat()).is_empty());
+        let rule = RuleIr {
+            name: "heavy".into(),
+            event: EventIr {
+                kind: "QueryCommit".into(),
+                arg: None,
+                payload: vec!["Query".into()],
+            },
+            condition: Some(sqlcm_sql::parse_expression("Win.Avg_D > 1").unwrap()),
+            actions: vec![
+                ActionIr::Insert { lat: "Win".into() },
+                ActionIr::PersistLat {
+                    lat: "Win".into(),
+                    table: "t".into(),
+                },
+            ],
+        };
+        // probe Win: 1 + 2 aging = 3; Insert: 1 + 2 aggs + 2*2 aging + 1 bounded = 8;
+        // PersistLat: 8. Total 19.
+        let (total, _) = rule_cost(a.universe(), &rule);
+        assert_eq!(total, 19);
+    }
+
+    #[test]
+    fn heavy_rule_is_w201_and_light_rule_is_clean() {
+        let mut a = Analyzer::new();
+        assert!(a.check_lat(&aging_lat()).is_empty());
+        let mut rule = RuleIr {
+            name: "heavy".into(),
+            event: EventIr {
+                kind: "QueryCommit".into(),
+                arg: None,
+                payload: vec!["Query".into()],
+            },
+            condition: Some(sqlcm_sql::parse_expression("Win.Avg_D > 1").unwrap()),
+            actions: vec![
+                ActionIr::Insert { lat: "Win".into() },
+                ActionIr::PersistLat {
+                    lat: "Win".into(),
+                    table: "t".into(),
+                },
+            ],
+        };
+        let diags = a.check_rule(&rule);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::W201);
+        assert!(diags[0].message.contains("19"));
+
+        // probe 3 + insert 8 = 11 <= 16: below threshold. The condition also
+        // changes so the admitted "heavy" rule doesn't trip W102.
+        rule.name = "light".into();
+        rule.actions = vec![ActionIr::Insert { lat: "Win".into() }];
+        rule.condition = Some(sqlcm_sql::parse_expression("Win.Avg_D > 2").unwrap());
+        let diags = a.check_rule(&rule);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Ruleset-level analysis: cascade/termination (E004) and duplicate rules
+//! (W102).
+//!
+//! Rules can trigger rules. The engine has exactly two such channels:
+//!
+//! * `Insert(L)` into a **bounded** LAT may evict a row, raising
+//!   `LatEviction(L)` — which feeds every rule registered on that event;
+//! * `SetTimer(t)` arms a timer whose `TimerAlarm(t)` events feed every rule
+//!   registered on them.
+//!
+//! The paper forbids recursive rule chains (§4, Appendix A) precisely because
+//! an `Insert` fired from a `LatEviction` rule back into the same LAT can
+//! cascade without bound. This module builds the rule → rule trigger graph
+//! and rejects any cycle the newly registered rule would close (**E004**).
+//! Because rules are admitted one at a time and the admitted set is acyclic,
+//! every new cycle must pass through the new rule — a DFS from it suffices.
+//!
+//! **W102** flags a rule whose event *and* condition are identical to an
+//! already-admitted rule: both will fire on exactly the same events, which is
+//! almost always a copy-paste mistake.
+
+use crate::diagnostics::{Code, Diagnostic};
+use crate::schema::SchemaUniverse;
+use crate::{ActionIr, RuleIr};
+
+/// Events (kind, argument) a rule's actions may raise.
+fn raised_events(universe: &SchemaUniverse, rule: &RuleIr) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    for action in &rule.actions {
+        match action {
+            ActionIr::Insert { lat } => {
+                // Only bounded LATs evict; an unknown LAT is an E001 elsewhere.
+                if let Some(schema) = universe.lat(lat) {
+                    if schema.bounded {
+                        out.push(("LatEviction", schema.name.clone()));
+                    }
+                }
+            }
+            ActionIr::SetTimer { timer } => out.push(("TimerAlarm", timer.clone())),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Reject a cascade cycle that `new` would close.
+pub fn check_cascades(
+    universe: &SchemaUniverse,
+    existing: &[RuleIr],
+    new: &RuleIr,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let all: Vec<&RuleIr> = existing.iter().chain(std::iter::once(new)).collect();
+    let start = all.len() - 1;
+    let successors = |i: usize| -> Vec<usize> {
+        raised_events(universe, all[i])
+            .into_iter()
+            .flat_map(|(kind, arg)| {
+                all.iter()
+                    .enumerate()
+                    .filter(move |(_, r)| r.event.is(kind, &arg))
+                    .map(|(j, _)| j)
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    // DFS from the new rule looking for a path back to it.
+    let mut path = vec![start];
+    let mut visited = vec![false; all.len()];
+    if let Some(cycle) = dfs(start, start, &successors, &mut visited, &mut path) {
+        let names: Vec<&str> = cycle.iter().map(|&i| all[i].name.as_str()).collect();
+        diags.push(
+            Diagnostic::new(
+                Code::E004,
+                &new.name,
+                format!(
+                    "cascade cycle: {} -> {}; rule chains must terminate (the framework \
+                     forbids recursive rules)",
+                    names.join(" -> "),
+                    names[0]
+                ),
+            )
+            .with_help(
+                "break the cycle: insert into an unbounded LAT, drop the SetTimer/Insert \
+                 action, or register the downstream rule on a different event",
+            ),
+        );
+    }
+}
+
+fn dfs(
+    cur: usize,
+    target: usize,
+    successors: &impl Fn(usize) -> Vec<usize>,
+    visited: &mut Vec<bool>,
+    path: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    for next in successors(cur) {
+        if next == target {
+            return Some(path.clone());
+        }
+        if !visited[next] {
+            visited[next] = true;
+            path.push(next);
+            if let Some(cycle) = dfs(next, target, successors, visited, path) {
+                return Some(cycle);
+            }
+            path.pop();
+        }
+    }
+    None
+}
+
+/// Warn when `new` duplicates an already-admitted rule: same event instance,
+/// structurally identical condition, and the same actions. (Same event and
+/// condition with *different* actions is the normal fan-out idiom — one
+/// event feeding several LATs — and is not flagged.)
+pub fn check_duplicates(existing: &[RuleIr], new: &RuleIr, diags: &mut Vec<Diagnostic>) {
+    for r in existing {
+        if r.event.same_as(&new.event) && r.condition == new.condition && r.actions == new.actions {
+            diags.push(
+                Diagnostic::new(
+                    Code::W102,
+                    &new.name,
+                    format!(
+                        "duplicates rule `{}`: same event ({}), identical condition and \
+                         actions — the work happens twice on every matching event",
+                        r.name, new.event
+                    ),
+                )
+                .with_help("remove one of the rules"),
+            );
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggColumnIr, AggFuncIr, Analyzer, AttrIr, EventIr, GroupColumnIr, LatIr};
+
+    fn bounded_lat(name: &str) -> LatIr {
+        LatIr {
+            name: name.into(),
+            group_by: vec![GroupColumnIr {
+                source: AttrIr {
+                    class: "Query".into(),
+                    attr: "ID".into(),
+                },
+                alias: "ID".into(),
+            }],
+            aggregates: vec![AggColumnIr {
+                func: AggFuncIr::Max,
+                source: Some(AttrIr {
+                    class: "Query".into(),
+                    attr: "Duration".into(),
+                }),
+                alias: "D".into(),
+                aging: false,
+            }],
+            bounded: true,
+        }
+    }
+
+    fn rule(
+        name: &str,
+        kind: &str,
+        arg: Option<&str>,
+        payload: &[&str],
+        actions: Vec<ActionIr>,
+    ) -> RuleIr {
+        RuleIr {
+            name: name.into(),
+            event: EventIr {
+                kind: kind.into(),
+                arg: arg.map(|s| s.to_string()),
+                payload: payload.iter().map(|s| s.to_string()).collect(),
+            },
+            condition: None,
+            actions,
+        }
+    }
+
+    #[test]
+    fn self_eviction_cycle_is_e004() {
+        let mut a = Analyzer::new();
+        assert!(a.check_lat(&bounded_lat("Top")).is_empty());
+        // Feeding the LAT from its own eviction event recurses forever.
+        let diags = a.check_rule(&rule(
+            "refill",
+            "LatEviction",
+            Some("Top"),
+            &["Evicted(Top)"],
+            vec![ActionIr::Insert { lat: "Top".into() }],
+        ));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::E004);
+        assert!(a.rules().is_empty());
+    }
+
+    #[test]
+    fn two_rule_timer_cycle_is_e004() {
+        let mut a = Analyzer::new();
+        assert!(a
+            .check_rule(&rule(
+                "arm",
+                "TimerAlarm",
+                Some("tick"),
+                &["Timer"],
+                vec![ActionIr::SetTimer {
+                    timer: "tock".into()
+                }],
+            ))
+            .is_empty());
+        let diags = a.check_rule(&rule(
+            "rearm",
+            "TimerAlarm",
+            Some("tock"),
+            &["Timer"],
+            vec![ActionIr::SetTimer {
+                timer: "tick".into(),
+            }],
+        ));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::E004);
+        assert!(diags[0].message.contains("rearm"));
+        assert!(diags[0].message.contains("arm"));
+    }
+
+    #[test]
+    fn eviction_chain_without_cycle_is_clean() {
+        let mut a = Analyzer::new();
+        assert!(a.check_lat(&bounded_lat("A")).is_empty());
+        assert!(a.check_lat(&bounded_lat("B")).is_empty());
+        assert!(a
+            .check_rule(&rule(
+                "feed_a",
+                "QueryCommit",
+                None,
+                &["Query"],
+                vec![ActionIr::Insert { lat: "A".into() }],
+            ))
+            .is_empty());
+        // A's evictions feed B; B's evictions go nowhere. Terminating chain.
+        let diags = a.check_rule(&rule(
+            "spill",
+            "LatEviction",
+            Some("A"),
+            &["Evicted(A)"],
+            vec![ActionIr::Insert { lat: "B".into() }],
+        ));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unbounded_lat_insert_creates_no_edge() {
+        let mut a = Analyzer::new();
+        let mut lat = bounded_lat("Open");
+        lat.bounded = false;
+        assert!(a.check_lat(&lat).is_empty());
+        // Unbounded LATs never evict, so the "cycle" cannot actually cascade.
+        let diags = a.check_rule(&rule(
+            "refill",
+            "LatEviction",
+            Some("Open"),
+            &["Evicted(Open)"],
+            vec![ActionIr::Insert { lat: "Open".into() }],
+        ));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_event_and_condition_is_w102() {
+        let mut a = Analyzer::new();
+        let mut first = rule(
+            "one",
+            "QueryCommit",
+            None,
+            &["Query"],
+            vec![ActionIr::SendMail],
+        );
+        first.condition = Some(sqlcm_sql::parse_expression("Query.Duration > 5").unwrap());
+        assert!(a.check_rule(&first).is_empty());
+        let mut second = first.clone();
+        second.name = "two".into();
+        let diags = a.check_rule(&second);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::W102);
+        // Warnings do not deny admission.
+        assert_eq!(a.rules().len(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Diagnostic model: stable codes, severities, and rendering.
+//!
+//! Every check in this crate reports through [`Diagnostic`]. Codes are stable
+//! API: tools (and tests) match on `E...`/`W...` strings, so once published a
+//! code keeps its meaning. `E` codes deny registration; `W` codes are
+//! collected and surfaced but never block.
+
+use std::fmt;
+
+/// How severe a diagnostic is. Errors deny rule/LAT registration; warnings
+/// are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// Stable diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// Unknown LAT, class attribute, or LAT column reference.
+    E001,
+    /// Condition type mismatch (e.g. a COUNT column compared with a string).
+    E002,
+    /// LAT reference whose grouping columns can never be matched from an
+    /// in-scope object: under missing-row ⇒ false semantics the condition is
+    /// statically always false.
+    E003,
+    /// Cascade cycle through LAT-eviction or timer events — the ruleset could
+    /// recurse without bound (the paper's no-recursion restriction, §4).
+    E004,
+    /// Dead rule: the condition references a class that is neither in the
+    /// event payload nor iterable, so the rule can never fire.
+    W101,
+    /// Duplicate rule: same event and identical condition as an earlier rule.
+    W102,
+    /// Estimated per-firing cost exceeds the analyzer's threshold.
+    W201,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::E003 => "E003",
+            Code::E004 => "E004",
+            Code::W101 => "W101",
+            Code::W102 => "W102",
+            Code::W201 => "W201",
+        }
+    }
+
+    /// Severity is determined by the code family.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::E001 | Code::E002 | Code::E003 | Code::E004 => Severity::Error,
+            Code::W101 | Code::W102 | Code::W201 => Severity::Warning,
+        }
+    }
+
+    /// Short human title, used by the lint front end.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::E001 => "unknown reference",
+            Code::E002 => "type mismatch",
+            Code::E003 => "unjoinable LAT reference",
+            Code::E004 => "cascade cycle",
+            Code::W101 => "dead rule",
+            Code::W102 => "duplicate rule",
+            Code::W201 => "costly rule",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Name of the rule (or LAT) the finding is attached to.
+    pub rule: String,
+    /// Textual locus inside the rule: a rendered sub-expression or action.
+    pub span: Option<String>,
+    pub message: String,
+    /// Optional suggestion for fixing the finding.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, rule: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            rule: rule.into(),
+            span: None,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub fn with_span(mut self, span: impl Into<String>) -> Diagnostic {
+        self.span = Some(span.into());
+        self
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.code, self.rule, self.message)?;
+        if let Some(span) = &self.span {
+            write!(f, " (at `{span}`)")?;
+        }
+        if let Some(help) = &self.help {
+            write!(f, "; help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True when any diagnostic in the slice denies registration.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::E001.as_str(), "E001");
+        assert_eq!(Code::W201.as_str(), "W201");
+        assert_eq!(Code::E004.severity(), Severity::Error);
+        assert_eq!(Code::W101.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn display_renders_code_rule_span_help() {
+        let d = Diagnostic::new(Code::E002, "r1", "cannot compare INT with TEXT")
+            .with_span("L.N = 'x'")
+            .with_help("compare with an integer literal");
+        let s = d.to_string();
+        assert!(s.contains("E002"));
+        assert!(s.contains("[r1]"));
+        assert!(s.contains("`L.N = 'x'`"));
+        assert!(s.contains("help:"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Static analysis of SQLCM ECA rules and LAT specifications.
+//!
+//! The monitoring framework of the paper deliberately keeps its rule language
+//! small so that evaluation is cheap (§2.1). The flip side is that a rule
+//! that is *well-formed* can still be *useless* — referencing a class the
+//! event never supplies, comparing a COUNT with a string, or probing a LAT
+//! whose grouping key can never be built from the objects in scope. At
+//! runtime those rules silently never fire (missing row ⇒ false, missing
+//! class ⇒ skip), which is exactly the kind of bug a monitoring system should
+//! not have: the alarm that cannot ring.
+//!
+//! This crate analyzes rules **at registration time** against a typed schema
+//! universe ([`schema::SchemaUniverse`]) and reports [`Diagnostic`]s with
+//! stable codes:
+//!
+//! | code | severity | check |
+//! |------|----------|-------|
+//! | E001 | error    | unknown LAT / attribute / column reference ([`typeck`]) |
+//! | E002 | error    | condition type mismatch ([`typeck`]) |
+//! | E003 | error    | LAT grouping columns unmatched in scope — condition statically false ([`joinability`]) |
+//! | E004 | error    | cascade cycle through eviction/timer events ([`depgraph`]) |
+//! | W101 | warning  | dead rule: class never in scope ([`joinability`]) |
+//! | W102 | warning  | duplicate rule: same event + identical condition ([`depgraph`]) |
+//! | W201 | warning  | estimated per-firing cost above threshold ([`cost`]) |
+//!
+//! The crate is deliberately independent of `sqlcm-core` (core calls *into*
+//! the analyzer); rules and LAT specs arrive as a small IR ([`RuleIr`],
+//! [`LatIr`]) that core's `analysis` module builds from its own types.
+
+pub mod cost;
+pub mod depgraph;
+pub mod diagnostics;
+pub mod joinability;
+pub mod schema;
+pub mod typeck;
+
+pub use cost::DEFAULT_COST_THRESHOLD;
+pub use diagnostics::{has_errors, Code, Diagnostic, Severity};
+pub use schema::{ClassSchema, LatColumn, LatSchema, SchemaUniverse};
+
+use sqlcm_sql::Expr;
+use std::fmt;
+
+// ------------------------------------------------------------ IR
+
+/// A `Class.Attribute` reference in a LAT spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrIr {
+    pub class: String,
+    pub attr: String,
+}
+
+/// Aggregate functions, mirroring `sqlcm-core`'s `LatAggFunc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFuncIr {
+    Count,
+    Sum,
+    Avg,
+    StdDev,
+    Min,
+    Max,
+    First,
+    Last,
+}
+
+/// One grouping column of a LAT spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupColumnIr {
+    pub source: AttrIr,
+    pub alias: String,
+}
+
+/// One aggregate column of a LAT spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggColumnIr {
+    pub func: AggFuncIr,
+    /// `None` only for `COUNT(*)`.
+    pub source: Option<AttrIr>,
+    pub alias: String,
+    /// True when the aggregate has an aging (moving-window) spec.
+    pub aging: bool,
+}
+
+/// Analyzer view of a LAT specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatIr {
+    pub name: String,
+    pub group_by: Vec<GroupColumnIr>,
+    pub aggregates: Vec<AggColumnIr>,
+    /// True when the LAT has a size bound and can therefore evict rows (and
+    /// raise `LatEviction` events).
+    pub bounded: bool,
+}
+
+/// Analyzer view of a rule's triggering event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventIr {
+    /// Event family, e.g. `"QueryCommit"`, `"TimerAlarm"`, `"LatEviction"`.
+    pub kind: String,
+    /// Timer or LAT name for the parameterized events.
+    pub arg: Option<String>,
+    /// Class names guaranteed present in the event payload.
+    pub payload: Vec<String>,
+}
+
+impl EventIr {
+    /// True when this event is the `kind(arg)` instance (names matched
+    /// case-insensitively, as LAT names are at runtime).
+    pub fn is(&self, kind: &str, arg: &str) -> bool {
+        self.kind == kind
+            && self
+                .arg
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(arg))
+    }
+
+    /// Same event instance as `other`?
+    pub fn same_as(&self, other: &EventIr) -> bool {
+        self.kind == other.kind
+            && match (&self.arg, &other.arg) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                _ => false,
+            }
+    }
+}
+
+impl fmt::Display for EventIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{}({a})", self.kind),
+            None => f.write_str(&self.kind),
+        }
+    }
+}
+
+/// Analyzer view of a rule action — just the parts the checks need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionIr {
+    Insert { lat: String },
+    Reset { lat: String },
+    PersistLat { lat: String, table: String },
+    PersistObject { class: String, table: String },
+    SetTimer { timer: String },
+    Cancel { class: String },
+    SendMail,
+    RunExternal,
+}
+
+impl ActionIr {
+    /// The LAT this action targets, if any.
+    pub fn lat(&self) -> Option<&str> {
+        match self {
+            ActionIr::Insert { lat }
+            | ActionIr::Reset { lat }
+            | ActionIr::PersistLat { lat, .. } => Some(lat),
+            _ => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            ActionIr::Insert { lat } => format!("Insert({lat})"),
+            ActionIr::Reset { lat } => format!("Reset({lat})"),
+            ActionIr::PersistLat { lat, table } => format!("PersistLat({lat} -> {table})"),
+            ActionIr::PersistObject { class, table } => {
+                format!("PersistObject({class} -> {table})")
+            }
+            ActionIr::SetTimer { timer } => format!("SetTimer({timer})"),
+            ActionIr::Cancel { class } => format!("Cancel({class})"),
+            ActionIr::SendMail => "SendMail".into(),
+            ActionIr::RunExternal => "RunExternal".into(),
+        }
+    }
+}
+
+/// Analyzer view of an ECA rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleIr {
+    pub name: String,
+    pub event: EventIr,
+    pub condition: Option<Expr>,
+    pub actions: Vec<ActionIr>,
+}
+
+// ------------------------------------------------------ reference gathering
+
+/// Qualifiers referenced by a condition, split the way the runtime splits
+/// them: a qualifier naming a monitored class resolves to that class
+/// (canonical spelling); anything else is assumed to be a LAT name (returned
+/// as written, deduplicated case-insensitively).
+pub(crate) fn expr_refs(universe: &SchemaUniverse, cond: &Expr) -> (Vec<String>, Vec<String>) {
+    let mut classes: Vec<String> = Vec::new();
+    let mut lats: Vec<String> = Vec::new();
+    cond.walk(&mut |e| {
+        if let Expr::Column {
+            qualifier: Some(q), ..
+        } = e
+        {
+            match universe.class(q) {
+                Some(c) => {
+                    if !classes.iter().any(|x| x == &c.name) {
+                        classes.push(c.name.clone());
+                    }
+                }
+                None => {
+                    if !lats.iter().any(|l| l.eq_ignore_ascii_case(q)) {
+                        lats.push(q.clone());
+                    }
+                }
+            }
+        }
+    });
+    (classes, lats)
+}
+
+// ------------------------------------------------------------ analyzer
+
+/// Stateful analyzer: a schema universe plus the rules admitted so far.
+///
+/// Feed it LATs ([`check_lat`](Analyzer::check_lat)) and rules
+/// ([`check_rule`](Analyzer::check_rule)) in registration order; each call
+/// returns the diagnostics for that item, and items are only admitted into
+/// the analyzer's state when they produced no error-severity diagnostics
+/// (mirroring a registration gate that denies on errors).
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    universe: SchemaUniverse,
+    rules: Vec<RuleIr>,
+    /// Per-firing cost above which [`Code::W201`] fires.
+    pub cost_threshold: u32,
+}
+
+impl Default for Analyzer {
+    fn default() -> Analyzer {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    pub fn new() -> Analyzer {
+        Analyzer {
+            universe: SchemaUniverse::builtin(),
+            rules: Vec::new(),
+            cost_threshold: DEFAULT_COST_THRESHOLD,
+        }
+    }
+
+    pub fn universe(&self) -> &SchemaUniverse {
+        &self.universe
+    }
+
+    /// Rules admitted so far.
+    pub fn rules(&self) -> &[RuleIr] {
+        &self.rules
+    }
+
+    /// Check a LAT spec; admits its schema when clean.
+    pub fn check_lat(&mut self, lat: &LatIr) -> Vec<Diagnostic> {
+        self.universe.register_lat(lat)
+    }
+
+    /// Admit a LAT or rule without checking — used to seed the analyzer with
+    /// items that were already validated at their own registration time.
+    pub fn seed_rule(&mut self, rule: RuleIr) {
+        self.rules.push(rule);
+    }
+
+    /// Run every check on one rule against the current universe and the
+    /// rules admitted so far; admits the rule when no error was found.
+    pub fn check_rule(&mut self, rule: &RuleIr) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if let Some(cond) = &rule.condition {
+            typeck::check_condition(&self.universe, &rule.name, cond, &mut diags);
+        }
+        self.check_action_targets(rule, &mut diags);
+        joinability::check_rule(&self.universe, rule, &mut diags);
+        depgraph::check_duplicates(&self.rules, rule, &mut diags);
+        depgraph::check_cascades(&self.universe, &self.rules, rule, &mut diags);
+        cost::check_rule(&self.universe, rule, self.cost_threshold, &mut diags);
+        if !has_errors(&diags) {
+            self.rules.push(rule.clone());
+        }
+        diags
+    }
+
+    /// E001 for actions that target a LAT the universe does not know.
+    fn check_action_targets(&self, rule: &RuleIr, diags: &mut Vec<Diagnostic>) {
+        for action in &rule.actions {
+            if let Some(lat) = action.lat() {
+                if self.universe.lat(lat).is_none() {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::E001,
+                            &rule.name,
+                            format!("action targets unknown LAT `{lat}`"),
+                        )
+                        .with_span(action.describe())
+                        .with_help("define the LAT before registering rules that use it"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lint a whole ruleset in registration order: every LAT first, then
+    /// every rule. Returns all diagnostics.
+    pub fn check_ruleset(lats: &[LatIr], rules: &[RuleIr]) -> Vec<Diagnostic> {
+        let mut analyzer = Analyzer::new();
+        let mut diags = Vec::new();
+        for lat in lats {
+            diags.extend(analyzer.check_lat(lat));
+        }
+        for rule in rules {
+            diags.extend(analyzer.check_rule(rule));
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_rule_is_admitted() {
+        let mut a = Analyzer::new();
+        let rule = RuleIr {
+            name: "r".into(),
+            event: EventIr {
+                kind: "QueryCommit".into(),
+                arg: None,
+                payload: vec!["Query".into()],
+            },
+            condition: Some(sqlcm_sql::parse_expression("Query.Duration > 1.5").unwrap()),
+            actions: vec![ActionIr::SendMail],
+        };
+        let diags = a.check_rule(&rule);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(a.rules().len(), 1);
+    }
+
+    #[test]
+    fn erroneous_rule_is_not_admitted() {
+        let mut a = Analyzer::new();
+        let rule = RuleIr {
+            name: "r".into(),
+            event: EventIr {
+                kind: "QueryCommit".into(),
+                arg: None,
+                payload: vec!["Query".into()],
+            },
+            condition: Some(sqlcm_sql::parse_expression("Nope_LAT.x > 1").unwrap()),
+            actions: vec![],
+        };
+        let diags = a.check_rule(&rule);
+        assert!(has_errors(&diags));
+        assert!(a.rules().is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! The typed schema universe the analyzer checks references against.
+//!
+//! Two kinds of "relations" can appear in a rule condition:
+//!
+//! * **monitored object classes** (`Query`, `Transaction`, …) — fixed schemas
+//!   mirroring `sqlcm-core`'s object constructors (a sync test in `sqlcm-core`
+//!   cross-checks the attribute names against the runtime tables);
+//! * **LATs** — schemas derived from the registered `LatSpec`s, with column
+//!   types inferred from the aggregate function and its source attribute.
+//!
+//! A class is *iterable* when the rule engine can enumerate live instances for
+//! it outside an event payload (active queries, blocked pairs, catalog
+//! tables). Non-iterable classes are only in scope when the event payload
+//! carries them — the joinability and dead-rule checks key off this flag.
+
+use std::collections::HashMap;
+
+use sqlcm_common::DataType;
+
+use crate::diagnostics::{Code, Diagnostic};
+use crate::{AggFuncIr, LatIr};
+
+/// Schema of one monitored object class.
+#[derive(Debug, Clone)]
+pub struct ClassSchema {
+    pub name: String,
+    /// Whether the rule engine can iterate live instances of this class when
+    /// it is referenced outside the event payload.
+    pub iterable: bool,
+    pub attrs: Vec<(String, DataType)>,
+}
+
+impl ClassSchema {
+    fn new(name: &str, iterable: bool, attrs: &[(&str, DataType)]) -> ClassSchema {
+        ClassSchema {
+            name: name.to_string(),
+            iterable,
+            attrs: attrs.iter().map(|(a, t)| (a.to_string(), *t)).collect(),
+        }
+    }
+
+    /// Case-insensitive attribute lookup.
+    pub fn attr_type(&self, attr: &str) -> Option<DataType> {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(attr))
+            .map(|(_, t)| *t)
+    }
+
+    /// Canonical spelling of an attribute, matched case-insensitively.
+    pub fn canonical_attr(&self, attr: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(attr))
+            .map(|(a, _)| a.as_str())
+    }
+}
+
+/// One column of a LAT schema.
+#[derive(Debug, Clone)]
+pub struct LatColumn {
+    pub name: String,
+    /// `None` when the type could not be inferred (bad source reference).
+    pub ty: Option<DataType>,
+    /// True for aging (moving-window) aggregates.
+    pub aging: bool,
+    /// True for grouping columns.
+    pub group: bool,
+}
+
+/// Schema of one registered LAT.
+#[derive(Debug, Clone)]
+pub struct LatSchema {
+    pub name: String,
+    /// Canonical name of the class the grouping columns come from; lookups
+    /// probe the LAT with the key built from an in-scope object of this class.
+    pub source_class: String,
+    pub columns: Vec<LatColumn>,
+    /// Whether the LAT has a size bound (`max_rows`/`max_bytes`) — only
+    /// bounded LATs evict rows and hence raise `LatEviction` events.
+    pub bounded: bool,
+    /// Number of aging aggregates (each adds block-ring maintenance cost).
+    pub aging_aggregates: usize,
+    /// Total number of aggregate columns.
+    pub aggregate_count: usize,
+}
+
+impl LatSchema {
+    /// Case-insensitive column lookup.
+    pub fn column(&self, name: &str) -> Option<&LatColumn> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// All relations a rule condition may reference.
+#[derive(Debug, Clone)]
+pub struct SchemaUniverse {
+    classes: Vec<ClassSchema>,
+    /// Keyed by lowercased LAT name (LAT names are case-insensitive at
+    /// runtime).
+    lats: HashMap<String, LatSchema>,
+}
+
+impl Default for SchemaUniverse {
+    fn default() -> SchemaUniverse {
+        SchemaUniverse::builtin()
+    }
+}
+
+impl SchemaUniverse {
+    /// The built-in monitored object classes of the SQLCM engine, with the
+    /// attribute types produced by the object constructors.
+    pub fn builtin() -> SchemaUniverse {
+        use DataType::{Bool, Float, Int, Text, Timestamp};
+        let query_attrs: [(&str, DataType); 17] = [
+            ("ID", Int),
+            ("Query_Text", Text),
+            ("Logical_Signature", Int),
+            ("Physical_Signature", Int),
+            ("Start_Time", Timestamp),
+            ("Duration", Float),
+            ("Estimated_Cost", Float),
+            ("Time_Blocked", Float),
+            ("Times_Blocked", Int),
+            ("Queries_Blocked", Int),
+            ("Number_of_instances", Int),
+            ("Query_Type", Text),
+            ("User", Text),
+            ("Application", Text),
+            ("Session_ID", Int),
+            ("Transaction_ID", Int),
+            ("Procedure", Text),
+        ];
+        let block_attrs: Vec<(&str, DataType)> = query_attrs
+            .iter()
+            .copied()
+            .chain([("Resource", Text), ("Wait_Time", Float)])
+            .collect();
+        let classes = vec![
+            ClassSchema::new("Query", true, &query_attrs),
+            ClassSchema::new("Blocker", true, &block_attrs),
+            ClassSchema::new("Blocked", true, &block_attrs),
+            ClassSchema::new(
+                "Transaction",
+                false,
+                &[
+                    ("ID", Int),
+                    ("Start_Time", Timestamp),
+                    ("Duration", Float),
+                    ("Logical_Signature", Int),
+                    ("Physical_Signature", Int),
+                    ("Statements", Int),
+                    ("User", Text),
+                    ("Application", Text),
+                    ("Session_ID", Int),
+                ],
+            ),
+            ClassSchema::new(
+                "Session",
+                false,
+                &[
+                    ("Session_ID", Int),
+                    ("User", Text),
+                    ("Application", Text),
+                    ("Success", Bool),
+                ],
+            ),
+            ClassSchema::new(
+                "Timer",
+                false,
+                &[
+                    ("Name", Text),
+                    ("Time", Timestamp),
+                    ("Alarms_Remaining", Int),
+                ],
+            ),
+            ClassSchema::new(
+                "Table",
+                true,
+                &[
+                    ("Name", Text),
+                    ("Row_Count", Int),
+                    ("Columns", Int),
+                    ("Indexes", Int),
+                    ("Clustered", Bool),
+                ],
+            ),
+        ];
+        SchemaUniverse {
+            classes,
+            lats: HashMap::new(),
+        }
+    }
+
+    /// Case-insensitive class lookup. LAT names never resolve here (mirroring
+    /// the runtime, where `ClassName::parse` rejects them).
+    pub fn class(&self, name: &str) -> Option<&ClassSchema> {
+        self.classes
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn classes(&self) -> impl Iterator<Item = &ClassSchema> {
+        self.classes.iter()
+    }
+
+    /// Case-insensitive LAT lookup.
+    pub fn lat(&self, name: &str) -> Option<&LatSchema> {
+        self.lats.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn lats(&self) -> impl Iterator<Item = &LatSchema> {
+        self.lats.values()
+    }
+
+    /// Derive a [`LatSchema`] from a LAT spec and register it. Reports `E001`
+    /// for grouping or aggregate sources that name an unknown class or
+    /// attribute; the schema is only registered when the spec is clean (a
+    /// denied `define_lat` must not leave a half-known LAT behind).
+    pub fn register_lat(&mut self, ir: &LatIr) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut columns = Vec::new();
+        let mut source_class: Option<String> = None;
+
+        for g in &ir.group_by {
+            let ty = self.resolve_attr(&ir.name, &g.source.class, &g.source.attr, &mut diags);
+            if source_class.is_none() {
+                if let Some(c) = self.class(&g.source.class) {
+                    source_class = Some(c.name.clone());
+                }
+            }
+            columns.push(LatColumn {
+                name: g.alias.clone(),
+                ty,
+                aging: false,
+                group: true,
+            });
+        }
+
+        let mut aging_aggregates = 0;
+        for a in &ir.aggregates {
+            if a.aging {
+                aging_aggregates += 1;
+            }
+            let source_ty = match &a.source {
+                Some(s) => self.resolve_attr(&ir.name, &s.class, &s.attr, &mut diags),
+                None => None,
+            };
+            let ty = match a.func {
+                AggFuncIr::Count => Some(DataType::Int),
+                AggFuncIr::Sum | AggFuncIr::Avg | AggFuncIr::StdDev => Some(DataType::Float),
+                AggFuncIr::Min | AggFuncIr::Max | AggFuncIr::First | AggFuncIr::Last => source_ty,
+            };
+            columns.push(LatColumn {
+                name: a.alias.clone(),
+                ty,
+                aging: a.aging,
+                group: false,
+            });
+        }
+
+        if diags.is_empty() {
+            self.lats.insert(
+                ir.name.to_ascii_lowercase(),
+                LatSchema {
+                    name: ir.name.clone(),
+                    source_class: source_class.unwrap_or_default(),
+                    columns,
+                    bounded: ir.bounded,
+                    aging_aggregates,
+                    aggregate_count: ir.aggregates.len(),
+                },
+            );
+        }
+        diags
+    }
+
+    fn resolve_attr(
+        &self,
+        lat: &str,
+        class: &str,
+        attr: &str,
+        diags: &mut Vec<Diagnostic>,
+    ) -> Option<DataType> {
+        let Some(schema) = self.class(class) else {
+            diags.push(
+                Diagnostic::new(
+                    Code::E001,
+                    lat,
+                    format!("unknown monitored class `{class}`"),
+                )
+                .with_span(format!("{class}.{attr}"))
+                .with_help(known_classes_help(self)),
+            );
+            return None;
+        };
+        match schema.attr_type(attr) {
+            Some(t) => Some(t),
+            None => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::E001,
+                        lat,
+                        format!("class {} has no attribute `{attr}`", schema.name),
+                    )
+                    .with_span(format!("{class}.{attr}"))
+                    .with_help(attrs_help(schema)),
+                );
+                None
+            }
+        }
+    }
+}
+
+pub(crate) fn known_classes_help(universe: &SchemaUniverse) -> String {
+    let names: Vec<&str> = universe.classes().map(|c| c.name.as_str()).collect();
+    format!("known classes: {}", names.join(", "))
+}
+
+pub(crate) fn attrs_help(schema: &ClassSchema) -> String {
+    let names: Vec<&str> = schema.attrs.iter().map(|(a, _)| a.as_str()).collect();
+    format!("{} attributes: {}", schema.name, names.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggColumnIr, AttrIr, GroupColumnIr};
+
+    fn demo_lat() -> LatIr {
+        LatIr {
+            name: "Duration_LAT".into(),
+            group_by: vec![GroupColumnIr {
+                source: AttrIr {
+                    class: "Query".into(),
+                    attr: "Logical_Signature".into(),
+                },
+                alias: "Sig".into(),
+            }],
+            aggregates: vec![
+                AggColumnIr {
+                    func: AggFuncIr::Count,
+                    source: None,
+                    alias: "N".into(),
+                    aging: false,
+                },
+                AggColumnIr {
+                    func: AggFuncIr::Avg,
+                    source: Some(AttrIr {
+                        class: "Query".into(),
+                        attr: "Duration".into(),
+                    }),
+                    alias: "Avg_Duration".into(),
+                    aging: true,
+                },
+                AggColumnIr {
+                    func: AggFuncIr::Max,
+                    source: Some(AttrIr {
+                        class: "Query".into(),
+                        attr: "User".into(),
+                    }),
+                    alias: "Last_User".into(),
+                    aging: false,
+                },
+            ],
+            bounded: true,
+        }
+    }
+
+    #[test]
+    fn lat_column_types_are_inferred() {
+        let mut u = SchemaUniverse::builtin();
+        assert!(u.register_lat(&demo_lat()).is_empty());
+        let lat = u.lat("duration_lat").expect("registered");
+        assert_eq!(lat.source_class, "Query");
+        assert_eq!(lat.column("Sig").unwrap().ty, Some(DataType::Int));
+        assert_eq!(lat.column("N").unwrap().ty, Some(DataType::Int));
+        assert_eq!(
+            lat.column("avg_duration").unwrap().ty,
+            Some(DataType::Float)
+        );
+        assert_eq!(lat.column("Last_User").unwrap().ty, Some(DataType::Text));
+        assert!(lat.column("Avg_Duration").unwrap().aging);
+        assert_eq!(lat.aging_aggregates, 1);
+        assert!(lat.bounded);
+    }
+
+    #[test]
+    fn bad_source_reference_reports_e001_and_skips_registration() {
+        let mut u = SchemaUniverse::builtin();
+        let mut ir = demo_lat();
+        ir.group_by[0].source.attr = "Bogus".into();
+        let diags = u.register_lat(&ir);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::E001);
+        assert!(u.lat("Duration_LAT").is_none());
+    }
+
+    #[test]
+    fn iterable_flags_match_runtime_iteration_sets() {
+        let u = SchemaUniverse::builtin();
+        for (class, iterable) in [
+            ("Query", true),
+            ("Blocker", true),
+            ("Blocked", true),
+            ("Table", true),
+            ("Transaction", false),
+            ("Session", false),
+            ("Timer", false),
+        ] {
+            assert_eq!(u.class(class).unwrap().iterable, iterable, "{class}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! One end-to-end test per diagnostic code: a bad ruleset fires it, and a
+//! known-good ruleset (the paper's Examples 1–3 shape) passes clean.
+
+use sqlcm_analyze::{
+    ActionIr, AggColumnIr, AggFuncIr, Analyzer, AttrIr, Code, EventIr, GroupColumnIr, LatIr, RuleIr,
+};
+use sqlcm_sql::parse_expression;
+
+fn attr(class: &str, attr: &str) -> AttrIr {
+    AttrIr {
+        class: class.into(),
+        attr: attr.into(),
+    }
+}
+
+fn duration_lat(bounded: bool) -> LatIr {
+    LatIr {
+        name: "Duration_LAT".into(),
+        group_by: vec![GroupColumnIr {
+            source: attr("Query", "Logical_Signature"),
+            alias: "Sig".into(),
+        }],
+        aggregates: vec![
+            AggColumnIr {
+                func: AggFuncIr::Count,
+                source: None,
+                alias: "N".into(),
+                aging: false,
+            },
+            AggColumnIr {
+                func: AggFuncIr::Avg,
+                source: Some(attr("Query", "Duration")),
+                alias: "Avg_Duration".into(),
+                aging: false,
+            },
+        ],
+        bounded,
+    }
+}
+
+fn on_query_commit(name: &str, cond: Option<&str>, actions: Vec<ActionIr>) -> RuleIr {
+    RuleIr {
+        name: name.into(),
+        event: EventIr {
+            kind: "QueryCommit".into(),
+            arg: None,
+            payload: vec!["Query".into()],
+        },
+        condition: cond.map(|c| parse_expression(c).unwrap()),
+        actions,
+    }
+}
+
+fn codes(diags: &[sqlcm_analyze::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn known_good_ruleset_passes_clean() {
+    // Example 1 (outliers), Example 3 (top-k + persist on timer), eviction
+    // spill — the idioms the paper's §3 examples use.
+    let lats = vec![
+        duration_lat(false),
+        LatIr {
+            name: "TopK".into(),
+            group_by: vec![GroupColumnIr {
+                source: attr("Query", "Logical_Signature"),
+                alias: "Sig".into(),
+            }],
+            aggregates: vec![AggColumnIr {
+                func: AggFuncIr::Max,
+                source: Some(attr("Query", "Duration")),
+                alias: "D".into(),
+                aging: false,
+            }],
+            bounded: true,
+        },
+    ];
+    let rules = vec![
+        on_query_commit(
+            "track",
+            None,
+            vec![ActionIr::Insert {
+                lat: "Duration_LAT".into(),
+            }],
+        ),
+        on_query_commit(
+            "report_outlier",
+            Some("Query.Duration > 5 * Duration_LAT.Avg_Duration AND Duration_LAT.N >= 30"),
+            vec![ActionIr::SendMail],
+        ),
+        on_query_commit(
+            "track_topk",
+            None,
+            vec![ActionIr::Insert { lat: "TopK".into() }],
+        ),
+        RuleIr {
+            name: "persist_topk".into(),
+            event: EventIr {
+                kind: "TimerAlarm".into(),
+                arg: Some("hourly".into()),
+                payload: vec!["Timer".into()],
+            },
+            condition: None,
+            actions: vec![ActionIr::PersistLat {
+                lat: "TopK".into(),
+                table: "topk_history".into(),
+            }],
+        },
+        RuleIr {
+            name: "keep_evicted".into(),
+            event: EventIr {
+                kind: "LatEviction".into(),
+                arg: Some("TopK".into()),
+                payload: vec!["Evicted(TopK)".into()],
+            },
+            condition: None,
+            actions: vec![ActionIr::PersistObject {
+                class: "Evicted(TopK)".into(),
+                table: "evicted".into(),
+            }],
+        },
+    ];
+    let diags = Analyzer::check_ruleset(&lats, &rules);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn e001_unknown_reference() {
+    let diags =
+        Analyzer::check_ruleset(&[], &[on_query_commit("r", Some("Nope_LAT.N > 1"), vec![])]);
+    assert_eq!(codes(&diags), vec![Code::E001]);
+}
+
+#[test]
+fn e002_type_mismatch() {
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(false)],
+        &[on_query_commit(
+            "r",
+            Some("Duration_LAT.N = 'many'"),
+            vec![],
+        )],
+    );
+    assert_eq!(codes(&diags), vec![Code::E002]);
+}
+
+#[test]
+fn e003_unjoinable_lat_probe() {
+    let rule = RuleIr {
+        name: "r".into(),
+        event: EventIr {
+            kind: "TxnCommit".into(),
+            arg: None,
+            payload: vec!["Transaction".into()],
+        },
+        condition: Some(parse_expression("Duration_LAT.Avg_Duration > 5").unwrap()),
+        actions: vec![],
+    };
+    let diags = Analyzer::check_ruleset(&[duration_lat(false)], &[rule]);
+    assert_eq!(codes(&diags), vec![Code::E003]);
+}
+
+#[test]
+fn e004_cascade_cycle() {
+    let refill = RuleIr {
+        name: "refill".into(),
+        event: EventIr {
+            kind: "LatEviction".into(),
+            arg: Some("Duration_LAT".into()),
+            payload: vec!["Evicted(Duration_LAT)".into()],
+        },
+        condition: None,
+        actions: vec![ActionIr::Insert {
+            lat: "Duration_LAT".into(),
+        }],
+    };
+    let diags = Analyzer::check_ruleset(&[duration_lat(true)], &[refill]);
+    assert_eq!(codes(&diags), vec![Code::E004]);
+}
+
+#[test]
+fn w101_dead_rule() {
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[on_query_commit(
+            "r",
+            Some("Session.Success = FALSE"),
+            vec![],
+        )],
+    );
+    assert_eq!(codes(&diags), vec![Code::W101]);
+}
+
+#[test]
+fn w102_duplicate_rule() {
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[
+            on_query_commit("a", Some("Query.Duration > 1"), vec![ActionIr::SendMail]),
+            on_query_commit("b", Some("Query.Duration > 1"), vec![ActionIr::SendMail]),
+        ],
+    );
+    assert_eq!(codes(&diags), vec![Code::W102]);
+}
+
+#[test]
+fn w201_costly_rule() {
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(true)],
+        &[on_query_commit(
+            "heavy",
+            Some("Duration_LAT.N > 100"),
+            vec![
+                ActionIr::PersistLat {
+                    lat: "Duration_LAT".into(),
+                    table: "h".into(),
+                },
+                ActionIr::SendMail,
+                ActionIr::RunExternal,
+            ],
+        )],
+    );
+    assert_eq!(codes(&diags), vec![Code::W201]);
+}

@@ -151,11 +151,8 @@ mod tests {
         log.attach(&engine);
         let mut s = engine.connect("u", "a");
         for i in 0..20 {
-            s.execute_params(
-                "INSERT INTO t VALUES (?, 1)",
-                &[Value::Int(i)],
-            )
-            .unwrap();
+            s.execute_params("INSERT INTO t VALUES (?, 1)", &[Value::Int(i)])
+                .unwrap();
         }
         s.execute("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(log.logged(), 21);

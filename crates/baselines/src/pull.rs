@@ -73,14 +73,12 @@ impl PullMonitor {
                         st.polls += 1;
                         st.records_copied += snapshot.len() as u64;
                         for q in snapshot {
-                            let entry =
-                                st.seen.entry(q.id).or_insert_with(|| QueryCost {
-                                    query_id: q.id,
-                                    text: q.text.clone(),
-                                    duration_micros: 0,
-                                });
-                            entry.duration_micros =
-                                entry.duration_micros.max(q.duration_micros);
+                            let entry = st.seen.entry(q.id).or_insert_with(|| QueryCost {
+                                query_id: q.id,
+                                text: q.text.clone(),
+                                duration_micros: 0,
+                            });
+                            entry.duration_micros = entry.duration_micros.max(q.duration_micros);
                         }
                     }
                     std::thread::sleep(interval);

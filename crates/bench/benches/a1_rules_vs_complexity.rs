@@ -32,7 +32,11 @@ fn cond(k: usize, fire: bool) -> String {
             ][i % 4]
         })
         .collect();
-    atoms.push(if fire { "Query.Session_ID >= 0" } else { "Query.ID < 0" });
+    atoms.push(if fire {
+        "Query.Session_ID >= 0"
+    } else {
+        "Query.ID < 0"
+    });
     atoms.join(" AND ")
 }
 

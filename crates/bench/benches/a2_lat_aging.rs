@@ -50,9 +50,7 @@ fn main() {
     let plain = lat(None);
     let t = Instant::now();
     for i in 0..n {
-        plain
-            .insert(&obj_cache[(i % 64) as usize])
-            .expect("insert");
+        plain.insert(&obj_cache[(i % 64) as usize]).expect("insert");
     }
     let plain_ns = t.elapsed().as_nanos() as f64 / n as f64;
     println!(

@@ -50,7 +50,11 @@ fn run(threads: usize, per_thread: u64, shared: Option<Arc<Lat>>, spread: u64) -
                     .unwrap_or_else(|| mk_lat(&format!("private_{t}")));
                 scope.spawn(move || {
                     for i in 0..per_thread {
-                        let sig = if spread == 1 { 0 } else { (i * 7 + t as u64) % spread };
+                        let sig = if spread == 1 {
+                            0
+                        } else {
+                            (i * 7 + t as u64) % spread
+                        };
                         lat.insert(&obj(sig)).expect("insert");
                     }
                     per_thread

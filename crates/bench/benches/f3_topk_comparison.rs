@@ -167,16 +167,12 @@ fn main() {
             )
             .expect("rule");
         sqlcm.detach(&engine_a);
-        let (base, t, over) = paired_overhead(
-            3,
-            run_a,
-            || {
-                sqlcm.reattach(&engine_a);
-                let d = run_a();
-                sqlcm.detach(&engine_a);
-                d
-            },
-        );
+        let (base, t, over) = paired_overhead(3, run_a, || {
+            sqlcm.reattach(&engine_a);
+            let d = run_a();
+            sqlcm.detach(&engine_a);
+            d
+        });
         // Copy-out volume: K rows, once.
         sqlcm.persist_lat("TopK", "topk_report").expect("persist");
         let exact = sqlcm.lat("TopK").unwrap().rows_ordered().len() == K;
@@ -197,16 +193,12 @@ fn main() {
         let dir = std::env::temp_dir().join(format!("sqlcm-f3-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let log = QueryLogging::create(dir.join("log.db")).expect("log file");
-        let (base, t, over) = paired_overhead(
-            2,
-            run_a,
-            || {
-                log.attach(&engine_a);
-                let d = run_a();
-                engine_a.detach_monitor("query_logging");
-                d
-            },
-        );
+        let (base, t, over) = paired_overhead(2, run_a, || {
+            log.attach(&engine_a);
+            let d = run_a();
+            engine_a.detach_monitor("query_logging");
+            d
+        });
         let top = log.top_k(K).expect("top-k from log");
         println!(
             "{:<22} {:>12.3?} {:>12.3?} {:>9.2}% {:>9} {:>14} {:>14}",

@@ -1,13 +1,16 @@
-//! Criterion microbenchmarks for the framework's primitive operations:
-//! LAT insert, rule-condition evaluation, signature computation, B-tree point
-//! lookup, lock acquire/release, slotted-page insert.
+//! Microbenchmarks for the framework's primitive operations: LAT insert,
+//! rule-condition evaluation, signature computation, B-tree point lookup,
+//! lock acquire/release, slotted-page insert.
 //!
 //! These are the per-operation numbers behind the figure-level harnesses; they
-//! are hardware-portable in a way the percentages are not.
+//! are hardware-portable in a way the percentages are not. The harness is a
+//! plain timing loop (no external bench framework): each case is warmed up,
+//! then timed over batches until `SQLCM_BENCH_MS` (default 200) of wall clock
+//! accumulates, and the per-iteration median of the batch means is printed.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sqlcm_common::{QueryInfo, SystemClock, Value};
 use sqlcm_core::objects::query_object;
 use sqlcm_core::rules::{eval_condition, EvalContext};
@@ -18,7 +21,37 @@ use sqlcm_engine::{optimizer, signature};
 use sqlcm_sql::parse_expression;
 use sqlcm_storage::{BTree, BufferPool, InMemoryDisk, SlottedPage, PAGE_SIZE};
 
-fn bench_lat_insert(c: &mut Criterion) {
+/// Time `f` in batches of `batch` iterations until `budget` elapses; print the
+/// median per-iteration time.
+fn bench_function(name: &str, mut f: impl FnMut()) {
+    let budget = Duration::from_millis(sqlcm_bench::env_u32("SQLCM_BENCH_MS", 200) as u64);
+    // Warmup + batch sizing: grow the batch until one batch takes >= 1ms.
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut per_iter: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        per_iter.push(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<36} {:>12.1} ns/iter", median * 1e9);
+}
+
+fn bench_lat_insert() {
     let lat = Lat::new(
         LatSpec::new("L")
             .group_by("Query.Logical_Signature", "Sig")
@@ -32,8 +65,8 @@ fn bench_lat_insert(c: &mut Criterion) {
     q.logical_signature = Some(7);
     q.duration_micros = 1234;
     let obj = query_object(&q);
-    c.bench_function("lat_insert_existing_group", |b| {
-        b.iter(|| lat.insert(std::hint::black_box(&obj)).unwrap())
+    bench_function("lat_insert_existing_group", || {
+        lat.insert(std::hint::black_box(&obj)).unwrap();
     });
 
     let topk = Lat::new(
@@ -46,17 +79,15 @@ fn bench_lat_insert(c: &mut Criterion) {
     )
     .unwrap();
     let mut id = 0u64;
-    c.bench_function("lat_insert_with_eviction", |b| {
-        b.iter(|| {
-            id += 1;
-            let mut q = QueryInfo::synthetic(id, "q");
-            q.duration_micros = id % 5000;
-            topk.insert(&query_object(&q)).unwrap()
-        })
+    bench_function("lat_insert_with_eviction", || {
+        id += 1;
+        let mut q = QueryInfo::synthetic(id, "q");
+        q.duration_micros = id % 5000;
+        topk.insert(&query_object(&q)).unwrap();
     });
 }
 
-fn bench_condition_eval(c: &mut Criterion) {
+fn bench_condition_eval() {
     let mut q = QueryInfo::synthetic(1, "SELECT 1");
     q.duration_micros = 1_000_000;
     let objs = vec![query_object(&q)];
@@ -73,15 +104,15 @@ fn bench_condition_eval(c: &mut Criterion) {
             .join(" AND "),
     )
     .unwrap();
-    c.bench_function("condition_eval_1_atom", |b| {
-        b.iter(|| eval_condition(std::hint::black_box(&one), &ctx).unwrap())
+    bench_function("condition_eval_1_atom", || {
+        eval_condition(std::hint::black_box(&one), &ctx).unwrap();
     });
-    c.bench_function("condition_eval_20_atoms", |b| {
-        b.iter(|| eval_condition(std::hint::black_box(&twenty), &ctx).unwrap())
+    bench_function("condition_eval_20_atoms", || {
+        eval_condition(std::hint::black_box(&twenty), &ctx).unwrap();
     });
 }
 
-fn bench_signature(c: &mut Criterion) {
+fn bench_signature() {
     let engine = sqlcm_engine::Engine::in_memory();
     engine
         .execute_batch(
@@ -98,30 +129,28 @@ fn bench_signature(c: &mut Criterion) {
         _ => unreachable!(),
     };
     let planned = optimizer::plan_select(engine.catalog(), &sel).unwrap();
-    c.bench_function("signature_compute_join_query", |b| {
-        b.iter(|| signature::compute(&planned.logical, &planned.physical))
+    bench_function("signature_compute_join_query", || {
+        std::hint::black_box(signature::compute(&planned.logical, &planned.physical));
     });
-    c.bench_function("optimize_join_query", |b| {
-        b.iter(|| optimizer::plan_select(engine.catalog(), &sel).unwrap())
+    bench_function("optimize_join_query", || {
+        optimizer::plan_select(engine.catalog(), &sel).unwrap();
     });
 }
 
-fn bench_btree(c: &mut Criterion) {
+fn bench_btree() {
     let pool = Arc::new(BufferPool::new(InMemoryDisk::shared(), 1024));
     let tree = BTree::create(pool).unwrap();
     for i in 0..100_000i64 {
         tree.insert(&[Value::Int(i)], &i.to_le_bytes()).unwrap();
     }
     let mut i = 0i64;
-    c.bench_function("btree_point_get_100k", |b| {
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            tree.get(&[Value::Int(i)]).unwrap()
-        })
+    bench_function("btree_point_get_100k", || {
+        i = (i + 7919) % 100_000;
+        std::hint::black_box(tree.get(&[Value::Int(i)]).unwrap());
     });
 }
 
-fn bench_locks(c: &mut Criterion) {
+fn bench_locks() {
     let mc = Arc::new(sqlcm_engine::instrument::Multicast::new());
     let mgr = LockManager::new(SystemClock::shared(), mc);
     let q = ActiveQueryState::new(
@@ -136,35 +165,32 @@ fn bench_locks(c: &mut Criterion) {
         0,
     );
     let mut k = 0i64;
-    c.bench_function("lock_acquire_release_uncontended", |b| {
-        b.iter(|| {
-            k += 1;
-            let r = ResourceId::Row(1, vec![Value::Int(k % 64)]);
-            mgr.acquire(1, &q, r.clone(), LockMode::Shared).unwrap();
-            mgr.release_all(1, std::slice::from_ref(&r));
-        })
+    bench_function("lock_acquire_release_uncontended", || {
+        k += 1;
+        let r = ResourceId::Row(1, vec![Value::Int(k % 64)]);
+        mgr.acquire(1, &q, r.clone(), LockMode::Shared).unwrap();
+        mgr.release_all(1, std::slice::from_ref(&r));
     });
 }
 
-fn bench_page(c: &mut Criterion) {
+fn bench_page() {
     let mut buf = vec![0u8; PAGE_SIZE];
-    c.bench_function("slotted_page_insert_delete", |b| {
-        let mut p = SlottedPage::init(&mut buf);
-        b.iter(|| {
-            let s = p.insert(b"0123456789abcdef").unwrap();
-            p.delete(s);
-        })
+    let mut p = SlottedPage::init(&mut buf);
+    bench_function("slotted_page_insert_delete", || {
+        let s = p.insert(b"0123456789abcdef").unwrap();
+        p.delete(s);
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_lat_insert,
-    bench_condition_eval,
-    bench_signature,
-    bench_btree,
-    bench_locks,
-    bench_page
-);
-criterion_main!(benches);
+fn main() {
+    sqlcm_bench::banner(
+        "micro",
+        "per-operation costs of the framework's primitives (median ns/iter)",
+    );
+    bench_lat_insert();
+    bench_condition_eval();
+    bench_signature();
+    bench_btree();
+    bench_locks();
+    bench_page();
+}

@@ -28,7 +28,10 @@ fn main() {
     let workload = mixed::point_select_workload(&db, n_queries, 7);
     banner(
         "T2: probe overhead with no / null / rule-less monitoring (§6.2.1)",
-        &format!("{n_queries} point selects on lineitem ({} rows)", db.lineitem_count),
+        &format!(
+            "{n_queries} point selects on lineitem ({} rows)",
+            db.lineitem_count
+        ),
     );
 
     // Interleave the three configurations round-robin so machine drift cancels

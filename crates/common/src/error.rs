@@ -30,6 +30,12 @@ pub enum Error {
     Cancelled,
     /// Monitoring-framework failure (unknown LAT, attribute, bad rule, …).
     Monitor(String),
+    /// A rule condition referenced a LAT row that does not exist for the
+    /// in-scope grouping key. Raised inside condition evaluation and mapped
+    /// to FALSE at the condition root — the paper's implicit ∃ semantics
+    /// ("if a matching row doesn't exist, the condition evaluates to false",
+    /// §5.2). Never surfaces to callers of the public API.
+    NoLatRow,
     /// Underlying OS I/O error, stringified so `Error` stays `Clone + PartialEq`.
     Io(String),
 }
@@ -62,6 +68,7 @@ impl fmt::Display for Error {
             }
             Error::Cancelled => write!(f, "query was cancelled"),
             Error::Monitor(m) => write!(f, "monitor error: {m}"),
+            Error::NoLatRow => write!(f, "no matching LAT row for the in-scope grouping key"),
             Error::Io(m) => write!(f, "io error: {m}"),
         }
     }
@@ -96,7 +103,7 @@ mod tests {
 
     #[test]
     fn io_conversion_preserves_message() {
-        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: Error = std::io::Error::other("boom").into();
         assert_eq!(e, Error::Io("boom".into()));
         assert!(e.to_string().contains("boom"));
     }

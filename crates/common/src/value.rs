@@ -389,7 +389,7 @@ mod tests {
 
     #[test]
     fn null_sorts_lowest() {
-        let mut vals = vec![Value::Int(1), Value::Null, Value::Float(-5.0)];
+        let mut vals = [Value::Int(1), Value::Null, Value::Float(-5.0)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
     }
@@ -428,10 +428,7 @@ mod tests {
     fn sql_cmp_null_is_unknown() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(1)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
     }
 
     #[test]

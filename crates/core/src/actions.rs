@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use sqlcm_common::{Error, QueryType, Result, Value};
+use sqlcm_common::{QueryType, Result, Value};
 use sqlcm_engine::active::ActiveQueryState;
 use sqlcm_engine::engine::EngineInner;
 use sqlcm_engine::exec::{self, ExecCtx};
@@ -168,11 +168,7 @@ pub fn substitute(template: &str, ctx: &EvalContext) -> String {
 /// short transaction. Used by `Persist` (§4.3/§5.3). The reporting table must
 /// not itself be under monitored-workload write locks, or Persist can block —
 /// the same operational caveat the prototype has.
-pub fn persist_rows(
-    engine: &Arc<EngineInner>,
-    table: &str,
-    rows: Vec<Vec<Value>>,
-) -> Result<u64> {
+pub fn persist_rows(engine: &Arc<EngineInner>, table: &str, rows: Vec<Vec<Value>>) -> Result<u64> {
     if rows.is_empty() {
         return Ok(0);
     }
@@ -244,7 +240,7 @@ pub fn read_table(engine: &Arc<EngineInner>, table: &str) -> Result<Vec<Vec<Valu
         exec::run_select(&mut ctx, &plan)
     };
     engine.locks.release_all(txn.id, txn.held_locks());
-    result.map_err(Error::from)
+    result
 }
 
 #[cfg(test)]
@@ -256,10 +252,7 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert_eq!(
-            Action::insert("L"),
-            Action::Insert { lat: "L".into() }
-        );
+        assert_eq!(Action::insert("L"), Action::Insert { lat: "L".into() });
         assert_eq!(
             Action::cancel("Blocker"),
             Action::Cancel {

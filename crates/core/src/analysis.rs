@@ -1,0 +1,197 @@
+//! Bridge between core's rule/LAT types and the `sqlcm-analyze` IR.
+//!
+//! The analyzer deliberately does not depend on this crate (core calls into
+//! it at registration time), so rules and LAT specs are lowered into the
+//! analyzer's small IR here. The lowering is purely structural — no
+//! validation happens in this module.
+
+use sqlcm_analyze::{ActionIr, AggFuncIr, AttrIr, EventIr, LatIr, RuleIr};
+
+use crate::actions::Action;
+use crate::lat::{AttrRef, LatAggFunc, LatSpec};
+use crate::rules::{Rule, RuleEvent};
+
+pub use sqlcm_analyze::{Analyzer, Code, Diagnostic, Severity};
+
+fn attr_ir(attr: &AttrRef) -> AttrIr {
+    AttrIr {
+        class: attr.class.to_string(),
+        attr: attr.attr.clone(),
+    }
+}
+
+/// Lower a LAT spec to the analyzer IR.
+pub fn lat_ir(spec: &LatSpec) -> LatIr {
+    LatIr {
+        name: spec.name.clone(),
+        group_by: spec
+            .group_by
+            .iter()
+            .map(|g| sqlcm_analyze::GroupColumnIr {
+                source: attr_ir(&g.source),
+                alias: g.alias.clone(),
+            })
+            .collect(),
+        aggregates: spec
+            .aggregates
+            .iter()
+            .map(|a| sqlcm_analyze::AggColumnIr {
+                func: match a.func {
+                    LatAggFunc::Count => AggFuncIr::Count,
+                    LatAggFunc::Sum => AggFuncIr::Sum,
+                    LatAggFunc::Avg => AggFuncIr::Avg,
+                    LatAggFunc::StdDev => AggFuncIr::StdDev,
+                    LatAggFunc::Min => AggFuncIr::Min,
+                    LatAggFunc::Max => AggFuncIr::Max,
+                    LatAggFunc::First => AggFuncIr::First,
+                    LatAggFunc::Last => AggFuncIr::Last,
+                },
+                source: a.source.as_ref().map(attr_ir),
+                alias: a.alias.clone(),
+                aging: a.aging.is_some(),
+            })
+            .collect(),
+        bounded: spec.max_rows.is_some() || spec.max_bytes.is_some(),
+    }
+}
+
+/// Lower a rule event to the analyzer IR.
+pub fn event_ir(event: &RuleEvent) -> EventIr {
+    let (kind, arg) = match event {
+        RuleEvent::QueryStart => ("QueryStart", None),
+        RuleEvent::QueryCompile => ("QueryCompile", None),
+        RuleEvent::QueryCommit => ("QueryCommit", None),
+        RuleEvent::QueryRollback => ("QueryRollback", None),
+        RuleEvent::QueryCancel => ("QueryCancel", None),
+        RuleEvent::QueryBlocked => ("QueryBlocked", None),
+        RuleEvent::BlockReleased => ("BlockReleased", None),
+        RuleEvent::TxnBegin => ("TxnBegin", None),
+        RuleEvent::TxnCommit => ("TxnCommit", None),
+        RuleEvent::TxnRollback => ("TxnRollback", None),
+        RuleEvent::Login => ("Login", None),
+        RuleEvent::Logout => ("Logout", None),
+        RuleEvent::TimerAlarm(t) => ("TimerAlarm", Some(t.clone())),
+        RuleEvent::LatEviction(l) => ("LatEviction", Some(l.clone())),
+    };
+    EventIr {
+        kind: kind.to_string(),
+        arg,
+        payload: event
+            .payload_classes()
+            .iter()
+            .map(|c| c.to_string())
+            .collect(),
+    }
+}
+
+/// Lower an action to the analyzer IR.
+pub fn action_ir(action: &Action) -> ActionIr {
+    match action {
+        Action::Insert { lat } => ActionIr::Insert { lat: lat.clone() },
+        Action::Reset { lat } => ActionIr::Reset { lat: lat.clone() },
+        Action::PersistLat { table, lat } => ActionIr::PersistLat {
+            lat: lat.clone(),
+            table: table.clone(),
+        },
+        Action::PersistObject { table, class, .. } => ActionIr::PersistObject {
+            class: class.to_string(),
+            table: table.clone(),
+        },
+        Action::SendMail { .. } => ActionIr::SendMail,
+        Action::RunExternal { .. } => ActionIr::RunExternal,
+        Action::Cancel { class } => ActionIr::Cancel {
+            class: class.to_string(),
+        },
+        Action::SetTimer { timer, .. } => ActionIr::SetTimer {
+            timer: timer.clone(),
+        },
+    }
+}
+
+/// Lower a rule to the analyzer IR.
+pub fn rule_ir(rule: &Rule) -> RuleIr {
+    RuleIr {
+        name: rule.name.clone(),
+        event: event_ir(&rule.event),
+        condition: rule.condition.clone(),
+        actions: rule.actions.iter().map(action_ir).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lowering_keeps_identity_and_payload() {
+        let e = event_ir(&RuleEvent::LatEviction("Top".into()));
+        assert_eq!(e.kind, "LatEviction");
+        assert_eq!(e.arg.as_deref(), Some("Top"));
+        assert_eq!(e.payload, vec!["Evicted(Top)".to_string()]);
+        let q = event_ir(&RuleEvent::QueryCommit);
+        assert_eq!(q.kind, "QueryCommit");
+        assert_eq!(q.payload, vec!["Query".to_string()]);
+    }
+
+    #[test]
+    fn lat_lowering_tracks_bounds_and_aging() {
+        let spec = LatSpec::new("L")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .max_rows(10);
+        let ir = lat_ir(&spec);
+        assert!(ir.bounded);
+        assert_eq!(ir.group_by[0].source.class, "Query");
+        assert_eq!(ir.aggregates[0].func, AggFuncIr::Count);
+        assert!(!ir.aggregates[0].aging);
+    }
+
+    /// The analyzer's built-in class schemas must stay in sync with the
+    /// runtime object constructors: every analyzer attribute must resolve via
+    /// `static_attr_index`, and every runtime attribute must be known to the
+    /// analyzer.
+    #[test]
+    fn analyzer_schema_matches_runtime_attribute_tables() {
+        use crate::objects::{self, ClassName};
+        let universe = sqlcm_analyze::SchemaUniverse::builtin();
+        let classes = [
+            (ClassName::Query, objects::QUERY_ATTRS.to_vec()),
+            (
+                ClassName::Blocker,
+                objects::QUERY_ATTRS
+                    .iter()
+                    .chain(objects::BLOCK_EXTRA_ATTRS)
+                    .copied()
+                    .collect(),
+            ),
+            (
+                ClassName::Blocked,
+                objects::QUERY_ATTRS
+                    .iter()
+                    .chain(objects::BLOCK_EXTRA_ATTRS)
+                    .copied()
+                    .collect(),
+            ),
+            (ClassName::Transaction, objects::TXN_ATTRS.to_vec()),
+            (ClassName::Session, objects::SESSION_ATTRS.to_vec()),
+            (ClassName::Timer, objects::TIMER_ATTRS.to_vec()),
+            (ClassName::Table, objects::TABLE_ATTRS.to_vec()),
+        ];
+        for (class, runtime_attrs) in classes {
+            let schema = universe
+                .class(&class.to_string())
+                .unwrap_or_else(|| panic!("analyzer misses class {class}"));
+            assert_eq!(
+                schema.attrs.len(),
+                runtime_attrs.len(),
+                "attribute count mismatch for {class}"
+            );
+            for (attr, _) in &schema.attrs {
+                assert!(
+                    objects::static_attr_index(&class, attr).is_some(),
+                    "analyzer attribute {class}.{attr} unknown to the runtime"
+                );
+            }
+        }
+    }
+}

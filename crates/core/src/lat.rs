@@ -317,14 +317,14 @@ impl AggState {
             }
             AggState::Min(cur) => {
                 if let Some(val) = v.filter(|v| !v.is_null()) {
-                    if cur.as_ref().map_or(true, |c| val < c) {
+                    if cur.as_ref().is_none_or(|c| val < c) {
                         *cur = Some(val.clone());
                     }
                 }
             }
             AggState::Max(cur) => {
                 if let Some(val) = v.filter(|v| !v.is_null()) {
-                    if cur.as_ref().map_or(true, |c| val > c) {
+                    if cur.as_ref().is_none_or(|c| val > c) {
                         *cur = Some(val.clone());
                     }
                 }
@@ -349,10 +349,7 @@ impl AggState {
     fn merge(&mut self, other: &AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (
-                AggState::Sum { sum: a, seen: sa },
-                AggState::Sum { sum: b, seen: sb },
-            ) => {
+            (AggState::Sum { sum: a, seen: sa }, AggState::Sum { sum: b, seen: sb }) => {
                 *a += b;
                 *sa |= sb;
             }
@@ -378,14 +375,14 @@ impl AggState {
             }
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv < av) {
+                    if a.as_ref().is_none_or(|av| bv < av) {
                         *a = Some(bv.clone());
                     }
                 }
             }
             (AggState::Max(a), AggState::Max(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv > av) {
+                    if a.as_ref().is_none_or(|av| bv > av) {
                         *a = Some(bv.clone());
                     }
                 }
@@ -591,6 +588,16 @@ pub struct Lat {
     resets: AtomicU64,
 }
 
+impl std::fmt::Debug for Lat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lat")
+            .field("name", &self.spec.name)
+            .field("columns", &self.columns)
+            .field("rows", &self.rows.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Lat {
     pub fn new(spec: LatSpec, clock: SharedClock) -> Result<Lat> {
         spec.validate()?;
@@ -748,10 +755,11 @@ impl Lat {
     ) -> Vec<Vec<Value>> {
         let mut evicted = Vec::new();
         loop {
-            let over_rows = self.spec.max_rows.map_or(false, |m| rows.len() > m);
-            let over_bytes = self.spec.max_bytes.map_or(false, |m| {
-                rows.values().map(|r| r.lock().size_bytes()).sum::<usize>() > m
-            });
+            let over_rows = self.spec.max_rows.is_some_and(|m| rows.len() > m);
+            let over_bytes = self
+                .spec
+                .max_bytes
+                .is_some_and(|m| rows.values().map(|r| r.lock().size_bytes()).sum::<usize>() > m);
             if !(over_rows || over_bytes) {
                 break;
             }
@@ -888,9 +896,10 @@ impl Lat {
                 None => ColumnState::Plain(state),
             });
         }
-        self.rows
-            .write()
-            .insert(key.clone(), Arc::new(Mutex::new(LatRow { group: key, aggs })));
+        self.rows.write().insert(
+            key.clone(),
+            Arc::new(Mutex::new(LatRow { group: key, aggs })),
+        );
         Ok(())
     }
 }
@@ -970,16 +979,22 @@ mod tests {
             .order_by("nope", true)
             .validate()
             .is_err());
-        assert!(LatSpec::new("x")
-            .group_by("Query.ID", "a")
-            .group_by("Query.ID", "A")
-            .validate()
-            .is_err(), "duplicate alias");
-        assert!(LatSpec::new("x")
-            .group_by("Query.ID", "a")
-            .aggregate(LatAggFunc::Avg, "Transaction.Duration", "d")
-            .validate()
-            .is_err(), "mixed classes");
+        assert!(
+            LatSpec::new("x")
+                .group_by("Query.ID", "a")
+                .group_by("Query.ID", "A")
+                .validate()
+                .is_err(),
+            "duplicate alias"
+        );
+        assert!(
+            LatSpec::new("x")
+                .group_by("Query.ID", "a")
+                .aggregate(LatAggFunc::Avg, "Transaction.Duration", "d")
+                .validate()
+                .is_err(),
+            "mixed classes"
+        );
     }
 
     #[test]
@@ -1187,9 +1202,7 @@ mod tests {
         lat.insert(&qobj(5, 15.0)).unwrap();
         let row = lat.lookup_for(&qobj(5, 0.0)).unwrap();
         assert_eq!(row[1], Value::Float((4.0 * 10.0 + 15.0) / 11.0));
-        assert!(lat
-            .seed_row(&[Value::Int(1)], 1)
-            .is_err(), "arity checked");
+        assert!(lat.seed_row(&[Value::Int(1)], 1).is_err(), "arity checked");
     }
 
     #[test]
@@ -1204,7 +1217,11 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..per {
                     // Half the inserts share group 0 (hot row), rest spread out.
-                    let sig = if i % 2 == 0 { 0 } else { (t * per + i) as i64 % 50 };
+                    let sig = if i % 2 == 0 {
+                        0
+                    } else {
+                        (t * per + i) as i64 % 50
+                    };
                     lat.insert(&qobj(sig, 1.0)).unwrap();
                 }
             }));
@@ -1212,11 +1229,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let total: i64 = lat
-            .rows()
-            .iter()
-            .map(|r| r[2].as_i64().unwrap())
-            .sum();
+        let total: i64 = lat.rows().iter().map(|r| r[2].as_i64().unwrap()).sum();
         assert_eq!(total, (threads * per) as i64, "no lost updates");
         assert_eq!(lat.stats().inserts, (threads * per) as u64);
     }

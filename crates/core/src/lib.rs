@@ -46,6 +46,7 @@
 //! ```
 
 pub mod actions;
+pub mod analysis;
 pub mod lat;
 pub mod monitor;
 pub mod objects;
@@ -54,6 +55,7 @@ pub mod sinks;
 pub mod timer;
 
 pub use actions::Action;
+pub use analysis::{Analyzer, Code, Diagnostic, Severity};
 pub use lat::{Lat, LatAggFunc, LatSpec};
 pub use monitor::{Sqlcm, SqlcmStats};
 pub use objects::{ClassName, Object};

@@ -23,11 +23,12 @@ use sqlcm_engine::engine::EngineInner;
 use sqlcm_engine::instrument::Instrumentation;
 use sqlcm_engine::Engine;
 
+use sqlcm_analyze::{Analyzer, Diagnostic};
+
 use crate::actions::{persist_rows, read_table, substitute, Action};
+use crate::analysis;
 use crate::lat::{Lat, LatAggFunc, LatSpec};
-use crate::objects::{
-    self, evicted_object, ClassName, Object,
-};
+use crate::objects::{self, evicted_object, ClassName, Object};
 use crate::rules::{EvalContext, Rule, RuleEvent};
 use crate::sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
 use crate::timer::TimerRegistry;
@@ -68,7 +69,10 @@ enum CompiledAction {
         eviction_event: RuleEvent,
     },
     Reset(Arc<Lat>),
-    PersistLat { table: String, lat: Arc<Lat> },
+    PersistLat {
+        table: String,
+        lat: Arc<Lat>,
+    },
     /// Everything else interprets the declarative [`Action`] directly.
     Other(Action),
 }
@@ -91,6 +95,8 @@ struct SqlcmInner {
     actions: AtomicU64,
     action_errors: AtomicU64,
     last_error: Mutex<Option<String>>,
+    /// Warnings collected by the static analyzer across registrations.
+    analysis_warnings: Mutex<Vec<Diagnostic>>,
     shutdown: AtomicBool,
 }
 
@@ -218,11 +224,7 @@ impl SqlcmInner {
             let by_event = self.rules_by_event.read();
             match by_event.get(kind) {
                 None => return,
-                Some(rs) => rs
-                    .iter()
-                    .filter(|r| r.rule.is_enabled())
-                    .cloned()
-                    .collect(),
+                Some(rs) => rs.iter().filter(|r| r.rule.is_enabled()).cloned().collect(),
             }
         };
         for reg in rules {
@@ -236,7 +238,7 @@ impl SqlcmInner {
         self.rules_by_event
             .read()
             .get(kind)
-            .map_or(false, |rs| !rs.is_empty())
+            .is_some_and(|rs| !rs.is_empty())
     }
 
     /// Evaluate one rule against the event context, iterating over live objects
@@ -340,11 +342,10 @@ impl SqlcmInner {
 
         // Bind LAT rows for the condition (implicit ∃, §5.2). The map is only
         // allocated when the condition actually references LATs.
-        static EMPTY: std::sync::OnceLock<HashMap<String, (Arc<Lat>, Option<Vec<Value>>)>> =
-            std::sync::OnceLock::new();
+        static EMPTY: std::sync::OnceLock<crate::rules::LatBindings> = std::sync::OnceLock::new();
         let mut lat_rows_storage = None;
         if !reg.cond_lats.is_empty() {
-            let mut lat_rows: HashMap<String, (Arc<Lat>, Option<Vec<Value>>)> = HashMap::new();
+            let mut lat_rows = crate::rules::LatBindings::new();
             let lats = self.lats.read();
             for name in &reg.cond_lats {
                 let lat = match lats.get(name) {
@@ -377,10 +378,7 @@ impl SqlcmInner {
                 Ok(b) => b,
                 Err(e) => {
                     reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
-                    self.record_error(format!(
-                        "condition of rule {} failed: {e}",
-                        reg.rule.name
-                    ));
+                    self.record_error(format!("condition of rule {} failed: {e}", reg.rule.name));
                     false
                 }
             },
@@ -395,10 +393,7 @@ impl SqlcmInner {
             if let Err(e) = self.execute_compiled_action(action, &ctx) {
                 reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
                 self.action_errors.fetch_add(1, Ordering::Relaxed);
-                self.record_error(format!(
-                    "action of rule {} failed: {e}",
-                    reg.rule.name
-                ));
+                self.record_error(format!("action of rule {} failed: {e}", reg.rule.name));
             }
         }
     }
@@ -413,9 +408,7 @@ impl SqlcmInner {
                 lat.reset();
                 Ok(())
             }
-            CompiledAction::PersistLat { table, lat } => {
-                self.persist_lat_rows(lat, table)
-            }
+            CompiledAction::PersistLat { table, lat } => self.persist_lat_rows(lat, table),
             CompiledAction::Other(a) => self.execute_action(a, ctx),
         }
     }
@@ -602,6 +595,7 @@ impl Sqlcm {
             actions: AtomicU64::new(0),
             action_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            analysis_warnings: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
         });
         engine.attach_monitor(Arc::new(SqlcmMonitor {
@@ -629,9 +623,13 @@ impl Sqlcm {
 
     // ------------------------------------------------------------ LATs
 
-    /// Define a light-weight aggregation table.
+    /// Define a light-weight aggregation table. The spec is validated
+    /// structurally and then checked by the static analyzer (unknown class or
+    /// attribute sources are denied with an `E001` diagnostic).
     pub fn define_lat(&self, spec: LatSpec) -> Result<Arc<Lat>> {
         spec.validate()?;
+        let diags = self.analyzer().check_lat(&analysis::lat_ir(&spec));
+        self.deny_on_errors(diags)?;
         let key = spec.name.to_ascii_lowercase();
         let mut lats = self.inner.lats.write();
         if lats.contains_key(&key) {
@@ -640,6 +638,53 @@ impl Sqlcm {
         let lat = Arc::new(Lat::new(spec, self.inner.clock.clone())?);
         lats.insert(key, lat.clone());
         Ok(lat)
+    }
+
+    /// A fresh analyzer seeded with the currently registered LATs and rules.
+    /// Rebuilt per registration: rule counts are small and this keeps the
+    /// analyzer state trivially consistent with `drop_lat`/`remove_rule`.
+    fn analyzer(&self) -> Analyzer {
+        let mut analyzer = Analyzer::new();
+        for lat in self.inner.lats.read().values() {
+            let diags = analyzer.check_lat(&analysis::lat_ir(&lat.spec));
+            debug_assert!(
+                diags.is_empty(),
+                "registered LAT re-checks clean: {diags:?}"
+            );
+        }
+        for reg in self.inner.rules.read().iter() {
+            analyzer.seed_rule(analysis::rule_ir(&reg.rule));
+        }
+        analyzer
+    }
+
+    /// Split analyzer output: error diagnostics deny the registration (joined
+    /// into one `Error::Monitor` whose message carries the stable codes);
+    /// warnings are appended to [`Sqlcm::analysis_warnings`].
+    fn deny_on_errors(&self, diags: Vec<Diagnostic>) -> Result<()> {
+        let (errors, warnings): (Vec<_>, Vec<_>) =
+            diags.into_iter().partition(Diagnostic::is_error);
+        self.inner.analysis_warnings.lock().extend(warnings);
+        if errors.is_empty() {
+            return Ok(());
+        }
+        let msg = errors
+            .iter()
+            .map(Diagnostic::to_string)
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(Error::Monitor(msg))
+    }
+
+    /// Warnings the static analyzer has collected across registrations.
+    pub fn analysis_warnings(&self) -> Vec<Diagnostic> {
+        self.inner.analysis_warnings.lock().clone()
+    }
+
+    /// Run the static analyzer on a rule against the current LATs and rules
+    /// without registering anything — a lint probe.
+    pub fn analyze_rule(&self, rule: &Rule) -> Vec<Diagnostic> {
+        self.analyzer().check_rule(&analysis::rule_ir(rule))
     }
 
     pub fn drop_lat(&self, name: &str) -> bool {
@@ -651,7 +696,11 @@ impl Sqlcm {
     }
 
     pub fn lat(&self, name: &str) -> Option<Arc<Lat>> {
-        self.inner.lats.read().get(&name.to_ascii_lowercase()).cloned()
+        self.inner
+            .lats
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     pub fn lat_names(&self) -> Vec<String> {
@@ -715,8 +764,24 @@ impl Sqlcm {
 
     // ------------------------------------------------------------ rules
 
-    /// Register a rule. Validates its condition references and action targets.
+    /// Register a rule. The static analyzer checks it first — unknown
+    /// references (E001), condition type errors (E002), unjoinable LAT
+    /// probes (E003) and cascade cycles (E004) deny registration with a
+    /// coded diagnostic; warnings (W101/W102/W201) are collected and
+    /// readable via [`Sqlcm::analysis_warnings`]. What the analyzer admits
+    /// is then compiled against the live LATs.
     pub fn add_rule(&self, rule: Rule) -> Result<Arc<Rule>> {
+        if self
+            .inner
+            .rules
+            .read()
+            .iter()
+            .any(|r| r.rule.name == rule.name)
+        {
+            return Err(Error::Monitor(format!("rule {} already exists", rule.name)));
+        }
+        let diags = self.analyzer().check_rule(&analysis::rule_ir(&rule));
+        self.deny_on_errors(diags)?;
         let (cond_classes, cond_lats) = rule.condition_refs()?;
         let compiled = {
             let lats = self.inner.lats.read();
@@ -753,19 +818,23 @@ impl Sqlcm {
                                 .get(&lat.to_ascii_lowercase())
                                 .expect("validated")
                                 .clone();
-                            let eviction_event =
-                                RuleEvent::LatEviction(lat_arc.spec.name.clone());
+                            let eviction_event = RuleEvent::LatEviction(lat_arc.spec.name.clone());
                             CompiledAction::Insert {
                                 lat: lat_arc,
                                 eviction_event,
                             }
                         }
                         Action::Reset { lat } => CompiledAction::Reset(
-                            lats.get(&lat.to_ascii_lowercase()).expect("validated").clone(),
+                            lats.get(&lat.to_ascii_lowercase())
+                                .expect("validated")
+                                .clone(),
                         ),
                         Action::PersistLat { table, lat } => CompiledAction::PersistLat {
                             table: table.clone(),
-                            lat: lats.get(&lat.to_ascii_lowercase()).expect("validated").clone(),
+                            lat: lats
+                                .get(&lat.to_ascii_lowercase())
+                                .expect("validated")
+                                .clone(),
                         },
                         other => CompiledAction::Other(other.clone()),
                     })
@@ -1037,7 +1106,7 @@ mod tests {
             inner: Sqlcm::attach(&engine).inner.clone(),
         };
         let _ = monitor; // silence: we use the original instance's dispatch
-        // Dispatch through the attached instance by emitting a real event:
+                         // Dispatch through the attached instance by emitting a real event:
         sqlcm
             .inner
             .dispatch(RuleEvent::QueryCommit, vec![objects::query_object(&q)]);
@@ -1250,7 +1319,11 @@ mod tests {
             let mut q = sqlcm_common::QueryInfo::synthetic(1, "q");
             q.logical_signature = Some(7);
             q.duration_micros = (secs * 1e6) as u64;
-            sqlcm.lat("D").unwrap().insert(&objects::query_object(&q)).unwrap();
+            sqlcm
+                .lat("D")
+                .unwrap()
+                .insert(&objects::query_object(&q))
+                .unwrap();
         }
         sqlcm.persist_lat("D", "saved").unwrap();
         // "Restart": reset, then restore from the table.

@@ -202,10 +202,7 @@ fn query_values(q: &QueryInfo) -> Vec<Value> {
         Value::Text(q.application.clone()),
         Value::Int(q.session_id as i64),
         Value::Int(q.txn_id as i64),
-        q.procedure
-            .clone()
-            .map(Value::Text)
-            .unwrap_or(Value::Null),
+        q.procedure.clone().map(Value::Text).unwrap_or(Value::Null),
     ]
 }
 

@@ -76,6 +76,7 @@ pub struct RuleStats {
 }
 
 /// A compiled ECA rule.
+#[derive(Debug)]
 pub struct Rule {
     pub name: String,
     pub event: RuleEvent,
@@ -187,12 +188,14 @@ impl Rule {
     }
 }
 
+/// LAT name (lowercased) → (lat handle, bound row). A `None` row means the
+/// implicit ∃ failed and the condition is false.
+pub type LatBindings = HashMap<String, (Arc<Lat>, Option<Vec<Value>>)>;
+
 /// Bound evaluation context: in-scope objects plus pre-bound LAT rows.
 pub struct EvalContext<'a> {
     pub objects: &'a [Object],
-    /// LAT name (lowercased) → (lat handle, bound row). A `None` row means the
-    /// implicit ∃ failed and the condition is false.
-    pub lat_rows: &'a HashMap<String, (Arc<Lat>, Option<Vec<Value>>)>,
+    pub lat_rows: &'a LatBindings,
 }
 
 impl EvalContext<'_> {
@@ -222,16 +225,14 @@ impl EvalContext<'_> {
                 Ok(row[idx].clone())
             }
             Some((_, None)) => {
-                // No matching row: signalled via a sentinel error the evaluator
+                // No matching row: signalled via a typed error the evaluator
                 // maps to FALSE at the condition root (implicit ∃).
-                Err(Error::Monitor(NO_ROW_SENTINEL.into()))
+                Err(Error::NoLatRow)
             }
             None => Err(Error::Monitor(format!("unknown LAT {qualifier}"))),
         }
     }
 }
-
-pub(crate) const NO_ROW_SENTINEL: &str = "__sqlcm_no_matching_lat_row__";
 
 // ------------------------------------------------------------ compiled form
 
@@ -244,9 +245,15 @@ pub(crate) const NO_ROW_SENTINEL: &str = "__sqlcm_no_matching_lat_row__";
 pub enum CompiledExpr {
     Lit(Value),
     /// Attribute `index` of the in-scope object of `class`.
-    Attr { class: ClassName, index: usize },
+    Attr {
+        class: ClassName,
+        index: usize,
+    },
     /// Column `index` of the bound row of the (lowercased) LAT.
-    LatCol { lat: String, index: usize },
+    LatCol {
+        lat: String,
+        index: usize,
+    },
     Unary {
         op: UnaryOp,
         expr: Box<CompiledExpr>,
@@ -273,10 +280,7 @@ pub enum CompiledExpr {
 }
 
 /// Compile a parsed condition against the current LAT registry.
-pub fn compile(
-    e: &Expr,
-    lats: &HashMap<String, Arc<Lat>>,
-) -> Result<CompiledExpr> {
+pub fn compile(e: &Expr, lats: &HashMap<String, Arc<Lat>>) -> Result<CompiledExpr> {
     Ok(match e {
         Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
         Expr::Column { qualifier, name } => {
@@ -284,19 +288,18 @@ pub fn compile(
                 Error::Monitor(format!("unqualified column {name} in rule condition"))
             })?;
             if let Some(class) = ClassName::parse(q) {
-                let index = crate::objects::static_attr_index(&class, name)
-                    .ok_or_else(|| {
-                        Error::Monitor(format!("class {class} has no attribute {name}"))
-                    })?;
+                let index = crate::objects::static_attr_index(&class, name).ok_or_else(|| {
+                    Error::Monitor(format!("class {class} has no attribute {name}"))
+                })?;
                 CompiledExpr::Attr { class, index }
             } else {
                 let key = q.to_ascii_lowercase();
-                let lat = lats.get(&key).ok_or_else(|| {
-                    Error::Monitor(format!("unknown LAT {q} in rule condition"))
-                })?;
-                let index = lat.column_index(name).ok_or_else(|| {
-                    Error::Monitor(format!("LAT {q} has no column {name}"))
-                })?;
+                let lat = lats
+                    .get(&key)
+                    .ok_or_else(|| Error::Monitor(format!("unknown LAT {q} in rule condition")))?;
+                let index = lat
+                    .column_index(name)
+                    .ok_or_else(|| Error::Monitor(format!("LAT {q} has no column {name}")))?;
                 CompiledExpr::LatCol { lat: key, index }
             }
         }
@@ -333,7 +336,10 @@ pub fn compile(
             negated,
         } => CompiledExpr::InList {
             expr: Box::new(compile(expr, lats)?),
-            list: list.iter().map(|e| compile(e, lats)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| compile(e, lats))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
         other => {
@@ -348,7 +354,7 @@ pub fn compile(
 pub fn eval_condition_compiled(cond: &CompiledExpr, ctx: &EvalContext) -> Result<bool> {
     match eval_compiled(cond, ctx) {
         Ok(v) => Ok(v.as_bool() == Some(true)),
-        Err(Error::Monitor(m)) if m == NO_ROW_SENTINEL => Ok(false),
+        Err(Error::NoLatRow) => Ok(false),
         Err(e) => Err(e),
     }
 }
@@ -371,7 +377,7 @@ fn eval_compiled(e: &CompiledExpr, ctx: &EvalContext) -> Result<Value> {
         }
         CompiledExpr::LatCol { lat, index } => match ctx.lat_rows.get(lat) {
             Some((_, Some(row))) => row[*index].clone(),
-            Some((_, None)) => return Err(Error::Monitor(NO_ROW_SENTINEL.into())),
+            Some((_, None)) => return Err(Error::NoLatRow),
             None => return Err(Error::Monitor(format!("unknown LAT {lat}"))),
         },
         CompiledExpr::Unary { op, expr } => {
@@ -474,7 +480,7 @@ fn eval_compiled(e: &CompiledExpr, ctx: &EvalContext) -> Result<Value> {
 pub fn eval_condition(cond: &Expr, ctx: &EvalContext) -> Result<bool> {
     match eval_expr(cond, ctx) {
         Ok(v) => Ok(v.as_bool() == Some(true)),
-        Err(Error::Monitor(m)) if m == NO_ROW_SENTINEL => Ok(false),
+        Err(Error::NoLatRow) => Ok(false),
         Err(e) => Err(e),
     }
 }
@@ -602,9 +608,7 @@ mod tests {
     use crate::objects::query_object;
     use sqlcm_common::QueryInfo;
 
-    fn ctx_with(
-        objects: &[Object],
-    ) -> HashMap<String, (Arc<Lat>, Option<Vec<Value>>)> {
+    fn ctx_with(objects: &[Object]) -> LatBindings {
         let _ = objects;
         HashMap::new()
     }
@@ -638,7 +642,11 @@ mod tests {
             Lat::new(
                 crate::lat::LatSpec::new("Duration_LAT")
                     .group_by("Query.Logical_Signature", "Sig")
-                    .aggregate(crate::lat::LatAggFunc::Avg, "Query.Duration", "Avg_Duration"),
+                    .aggregate(
+                        crate::lat::LatAggFunc::Avg,
+                        "Query.Duration",
+                        "Avg_Duration",
+                    ),
                 clock,
             )
             .unwrap(),
@@ -653,8 +661,7 @@ mod tests {
         let c = parse_expression("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
         assert!(!eval_condition(&c, &ctx).unwrap(), "∃ fails → false");
         // Even when OR-ed with something true — the reference poisons it.
-        let c =
-            parse_expression("Query.Duration > 0 AND Duration_LAT.Avg_Duration > 0").unwrap();
+        let c = parse_expression("Query.Duration > 0 AND Duration_LAT.Avg_Duration > 0").unwrap();
         assert!(!eval_condition(&c, &ctx).unwrap());
 
         // Bound row: the paper's Example 1 condition.

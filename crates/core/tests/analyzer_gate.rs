@@ -1,0 +1,227 @@
+//! Registration-time static analysis: `Sqlcm::add_rule` / `define_lat` deny
+//! rules with error-severity diagnostics (coded E001–E004) and collect
+//! warnings (W101/W102/W201) without blocking.
+
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn setup() -> (Engine, Sqlcm) {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    (engine, sqlcm)
+}
+
+fn duration_lat() -> LatSpec {
+    LatSpec::new("Duration_LAT")
+        .group_by("Query.Logical_Signature", "Sig")
+        .aggregate(LatAggFunc::Count, "", "N")
+        .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration")
+}
+
+#[test]
+fn unknown_lat_reference_is_denied_with_e001() {
+    let (_engine, sqlcm) = setup();
+    let err = sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .when("Nope_LAT.N > 1"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E001"), "{err}");
+    assert_eq!(sqlcm.rule_count(), 0);
+}
+
+#[test]
+fn unknown_attribute_is_denied_with_e001() {
+    let (_engine, sqlcm) = setup();
+    let err = sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Durration > 1"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E001"), "{err}");
+    assert!(err.to_string().contains("no attribute"), "{err}");
+}
+
+#[test]
+fn type_mismatched_condition_is_denied_with_e002() {
+    let (_engine, sqlcm) = setup();
+    sqlcm.define_lat(duration_lat()).unwrap();
+    // COUNT column (INT) compared with a string literal.
+    let err = sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .when("Duration_LAT.N = 'many'"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E002"), "{err}");
+    assert_eq!(sqlcm.rule_count(), 0);
+}
+
+#[test]
+fn unjoinable_lat_probe_is_denied_with_e003() {
+    let (_engine, sqlcm) = setup();
+    sqlcm.define_lat(duration_lat()).unwrap();
+    // TxnCommit carries only Transaction and the condition never names Query,
+    // so the Query-keyed LAT probe can never bind: statically always false.
+    let err = sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::TxnCommit)
+                .when("Duration_LAT.Avg_Duration > 5"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E003"), "{err}");
+}
+
+#[test]
+fn cascade_cycle_is_denied_with_e004() {
+    let (_engine, sqlcm) = setup();
+    sqlcm
+        .define_lat(
+            LatSpec::new("Top")
+                .group_by("Query.ID", "ID")
+                .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+                .order_by("D", true)
+                .max_rows(10),
+        )
+        .unwrap();
+    // Inserting into the LAT from its own eviction event cascades forever.
+    let err = sqlcm
+        .add_rule(
+            Rule::new("refill")
+                .on(RuleEvent::LatEviction("Top".into()))
+                .then(Action::insert("Top")),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E004"), "{err}");
+    assert_eq!(sqlcm.rule_count(), 0);
+
+    // Two-rule cycle: feeder is admitted, the rule closing the loop is not.
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Top")),
+        )
+        .unwrap();
+    sqlcm
+        .define_lat(
+            LatSpec::new("Spill")
+                .group_by("Query.ID", "ID")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .max_rows(5),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("spill")
+                .on(RuleEvent::LatEviction("Top".into()))
+                .then(Action::insert("Spill")),
+        )
+        .unwrap();
+    let err = sqlcm
+        .add_rule(
+            Rule::new("close_loop")
+                .on(RuleEvent::LatEviction("Spill".into()))
+                .then(Action::insert("Top")),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E004"), "{err}");
+    assert!(err.to_string().contains("close_loop"), "{err}");
+}
+
+#[test]
+fn bad_lat_spec_is_denied_with_e001() {
+    let (_engine, sqlcm) = setup();
+    let err = sqlcm
+        .define_lat(
+            LatSpec::new("Bad")
+                .group_by("Query.Logical_Signatur", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E001"), "{err}");
+    assert!(sqlcm.lat("Bad").is_none());
+}
+
+#[test]
+fn warnings_are_collected_but_do_not_deny() {
+    let (_engine, sqlcm) = setup();
+    // W101: Session is not in the QueryCommit payload and not iterable.
+    sqlcm
+        .add_rule(
+            Rule::new("dead")
+                .on(RuleEvent::QueryCommit)
+                .when("Session.Success = FALSE")
+                .then(Action::send_mail("dba", "x")),
+        )
+        .unwrap();
+    // W102: same event, identical (absent) condition and same actions as an
+    // earlier rule.
+    sqlcm
+        .add_rule(
+            Rule::new("a")
+                .on(RuleEvent::Login)
+                .then(Action::send_mail("dba", "x")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("b")
+                .on(RuleEvent::Login)
+                .then(Action::send_mail("dba", "x")),
+        )
+        .unwrap();
+    assert_eq!(sqlcm.rule_count(), 3);
+    let warnings = sqlcm.analysis_warnings();
+    let codes: Vec<&str> = warnings.iter().map(|d| d.code.as_str()).collect();
+    assert!(codes.contains(&"W101"), "{warnings:?}");
+    assert!(codes.contains(&"W102"), "{warnings:?}");
+    assert!(warnings.iter().all(|w| !w.is_error()));
+}
+
+#[test]
+fn costly_rule_warns_w201() {
+    let (_engine, sqlcm) = setup();
+    sqlcm
+        .define_lat(
+            duration_lat()
+                .aggregate(LatAggFunc::Avg, "Query.Duration", "Win_Avg")
+                .aging(60_000_000, 10_000_000)
+                .order_by("N", true)
+                .max_rows(100),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("heavy")
+                .on(RuleEvent::QueryCommit)
+                .when("Duration_LAT.Win_Avg > 1")
+                .then(Action::insert("Duration_LAT"))
+                .then(Action::persist_lat("history", "Duration_LAT"))
+                .then(Action::send_mail("dba", "slow")),
+        )
+        .unwrap();
+    let warnings = sqlcm.analysis_warnings();
+    assert!(
+        warnings.iter().any(|d| d.code.as_str() == "W201"),
+        "{warnings:?}"
+    );
+}
+
+#[test]
+fn analyze_rule_probe_reports_without_registering() {
+    let (_engine, sqlcm) = setup();
+    let diags = sqlcm.analyze_rule(
+        &Rule::new("probe")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration = 'slow'"),
+    );
+    assert!(diags.iter().any(|d| d.code.as_str() == "E002"), "{diags:?}");
+    assert_eq!(sqlcm.rule_count(), 0);
+}

@@ -1,11 +1,11 @@
 //! Failure injection: the monitoring framework must degrade gracefully, never
 //! take the workload down, and keep its counters truthful under abuse.
 
-use std::sync::Arc;
 use sqlcm_common::{ManualClock, QueryInfo, Value};
 use sqlcm_core::objects::query_object;
 use sqlcm_core::{Action, Lat, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
 use sqlcm_engine::Engine;
+use std::sync::Arc;
 
 fn qobj(sig: u64, secs: f64) -> sqlcm_core::Object {
     let mut q = QueryInfo::synthetic(sig, format!("q{sig}"));

@@ -217,7 +217,11 @@ impl Catalog {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().values().map(|t| t.name.clone()).collect()
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     /// Handles to every table — the iteration set for rules over the `Table`
@@ -238,9 +242,10 @@ impl Catalog {
             })
             .collect::<Result<_>>()?;
         let (btree_rows, pk_cols) = match &t.layout {
-            TableLayout::Clustered { btree, key_cols } => {
-                (btree.scan(&sqlcm_storage::btree::ScanBounds::all())?, key_cols.clone())
-            }
+            TableLayout::Clustered { btree, key_cols } => (
+                btree.scan(&sqlcm_storage::btree::ScanBounds::all())?,
+                key_cols.clone(),
+            ),
             TableLayout::Heap { .. } => {
                 return Err(Error::Catalog(
                     "secondary indexes require a clustered table".into(),
@@ -249,7 +254,10 @@ impl Catalog {
         };
         {
             let indexes = t.indexes.read();
-            if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
+            if indexes
+                .iter()
+                .any(|i| i.name.eq_ignore_ascii_case(index_name))
+            {
                 return Err(Error::Catalog(format!("index {index_name} already exists")));
             }
         }
@@ -365,15 +373,14 @@ mod tests {
     fn check_row_coercion_and_nulls() {
         let c = catalog();
         let t = c.create_table("t", cols(), &["id".into()]).unwrap();
-        let ok = t
-            .check_row(vec![Value::Float(3.0), Value::Null])
-            .unwrap();
+        let ok = t.check_row(vec![Value::Float(3.0), Value::Null]).unwrap();
         assert_eq!(ok[0], Value::Int(3));
-        assert!(t.check_row(vec![Value::Null, Value::Null]).is_err(), "pk null");
+        assert!(
+            t.check_row(vec![Value::Null, Value::Null]).is_err(),
+            "pk null"
+        );
         assert!(t.check_row(vec![Value::Int(1)]).is_err(), "arity");
-        assert!(t
-            .check_row(vec![Value::text("xx"), Value::Null])
-            .is_err());
+        assert!(t.check_row(vec![Value::text("xx"), Value::Null]).is_err());
     }
 
     #[test]

@@ -5,9 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use sqlcm_common::{
-    EngineEvent, Result, SessionInfo, SharedClock, SystemClock, Value,
-};
+use sqlcm_common::{EngineEvent, Result, SessionInfo, SharedClock, SystemClock, Value};
 use sqlcm_storage::{BufferPool, BufferStats, FileDisk, InMemoryDisk, SharedDisk};
 
 use crate::active::ActiveRegistry;
@@ -134,27 +132,31 @@ impl Engine {
     /// Open a session for `user` / `application`; emits a `Login` probe event.
     pub fn connect(&self, user: &str, application: &str) -> Session {
         let id = self.inner.next_session_id.fetch_add(1, Ordering::Relaxed);
-        self.inner.monitors.emit_with_kind(sqlcm_common::ProbeKind::Login, || {
-            EngineEvent::Login(SessionInfo {
-                session_id: id,
-                user: user.to_string(),
-                application: application.to_string(),
-                success: true,
-            })
-        });
+        self.inner
+            .monitors
+            .emit_with_kind(sqlcm_common::ProbeKind::Login, || {
+                EngineEvent::Login(SessionInfo {
+                    session_id: id,
+                    user: user.to_string(),
+                    application: application.to_string(),
+                    success: true,
+                })
+            });
         Session::new(self.inner.clone(), id, user, application)
     }
 
     /// Record a failed login attempt (auditing Example 4(b)).
     pub fn failed_login(&self, user: &str, application: &str) {
-        self.inner.monitors.emit_with_kind(sqlcm_common::ProbeKind::Login, || {
-            EngineEvent::Login(SessionInfo {
-                session_id: 0,
-                user: user.to_string(),
-                application: application.to_string(),
-                success: false,
-            })
-        });
+        self.inner
+            .monitors
+            .emit_with_kind(sqlcm_common::ProbeKind::Login, || {
+                EngineEvent::Login(SessionInfo {
+                    session_id: 0,
+                    user: user.to_string(),
+                    application: application.to_string(),
+                    success: false,
+                })
+            });
     }
 
     /// Attach a monitor (SQLCM, a baseline, a test spy).

@@ -45,7 +45,8 @@ pub struct ExecCtx<'a> {
 
 impl ExecCtx<'_> {
     fn lock(&mut self, res: ResourceId, mode: LockMode) -> Result<()> {
-        self.locks.acquire(self.txn.id, self.query, res.clone(), mode)?;
+        self.locks
+            .acquire(self.txn.id, self.query, res.clone(), mode)?;
         self.txn.note_lock(res);
         Ok(())
     }
@@ -112,7 +113,7 @@ pub fn run_select(ctx: &mut ExecCtx, plan: &PhysicalPlan) -> Result<Vec<Vec<Valu
             let mut i = 0usize;
             for l in &left_rows {
                 for r in &right_rows {
-                    if i % CANCEL_CHECK_INTERVAL == 0 {
+                    if i.is_multiple_of(CANCEL_CHECK_INTERVAL) {
                         ctx.check_cancel()?;
                     }
                     i += 1;
@@ -229,7 +230,7 @@ fn seq_scan(
         TableLayout::Clustered { btree, .. } => {
             btree.scan_with(&ScanBounds::all(), |_, bytes| {
                 n += 1;
-                if n % CANCEL_CHECK_INTERVAL == 0 && ctx.query.is_cancelled() {
+                if n.is_multiple_of(CANCEL_CHECK_INTERVAL) && ctx.query.is_cancelled() {
                     scan_err = Some(Error::Cancelled);
                     return false;
                 }
@@ -250,7 +251,7 @@ fn seq_scan(
                     return;
                 }
                 n += 1;
-                if n % CANCEL_CHECK_INTERVAL == 0 && ctx.query.is_cancelled() {
+                if n.is_multiple_of(CANCEL_CHECK_INTERVAL) && ctx.query.is_cancelled() {
                     scan_err = Some(Error::Cancelled);
                     return;
                 }
@@ -283,12 +284,15 @@ fn filter_decode(
     Ok(Some(row))
 }
 
+/// A range endpoint on the last key column: the value and whether it is inclusive.
+type KeyBound = Option<(Value, bool)>;
+
 /// Evaluate the seek bounds to concrete key values, coerced to key column types.
 fn eval_bounds(
     ctx: &ExecCtx,
     table: &TableInfo,
     bounds: &SeekBounds,
-) -> Result<(Vec<Value>, Option<(Value, bool)>, Option<(Value, bool)>)> {
+) -> Result<(Vec<Value>, KeyBound, KeyBound)> {
     let empty = Schema::default();
     let key_cols = table.clustered_key().expect("seek on clustered table");
     let mut prefix = Vec::with_capacity(bounds.eq_prefix.len());
@@ -338,10 +342,7 @@ fn index_seek(
     if prefix.len() == key_len && lower.is_none() && upper.is_none() {
         // Point lookup: IS on the table, S on the row.
         ctx.lock(ResourceId::Table(table.id), LockMode::IntentShared)?;
-        ctx.lock(
-            ResourceId::Row(table.id, prefix.clone()),
-            LockMode::Shared,
-        )?;
+        ctx.lock(ResourceId::Row(table.id, prefix.clone()), LockMode::Shared)?;
         let mut out = Vec::new();
         if let Some(bytes) = btree.get(&prefix)? {
             if let Some(row) = filter_decode(&bytes, residual, &schema, &ctx.params)? {
@@ -371,7 +372,7 @@ fn index_seek(
     let mut scan_err: Option<Error> = None;
     btree.scan_with(&scan_bounds, |key, bytes| {
         n += 1;
-        if n % CANCEL_CHECK_INTERVAL == 0 && ctx.query.is_cancelled() {
+        if n.is_multiple_of(CANCEL_CHECK_INTERVAL) && ctx.query.is_cancelled() {
             scan_err = Some(Error::Cancelled);
             return false;
         }
@@ -450,9 +451,9 @@ impl AggState {
             AggState::Sum { sum, seen } => {
                 if let Some(val) = v {
                     if !val.is_null() {
-                        *sum += val.as_f64().ok_or_else(|| {
-                            Error::TypeError(format!("SUM of non-numeric {val}"))
-                        })?;
+                        *sum += val
+                            .as_f64()
+                            .ok_or_else(|| Error::TypeError(format!("SUM of non-numeric {val}")))?;
                         *seen = true;
                     }
                 }
@@ -460,23 +461,23 @@ impl AggState {
             AggState::Avg { sum, n } => {
                 if let Some(val) = v {
                     if !val.is_null() {
-                        *sum += val.as_f64().ok_or_else(|| {
-                            Error::TypeError(format!("AVG of non-numeric {val}"))
-                        })?;
+                        *sum += val
+                            .as_f64()
+                            .ok_or_else(|| Error::TypeError(format!("AVG of non-numeric {val}")))?;
                         *n += 1;
                     }
                 }
             }
             AggState::Min(cur) => {
                 if let Some(val) = v {
-                    if !val.is_null() && cur.as_ref().map_or(true, |c| val < c) {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val < c) {
                         *cur = Some(val.clone());
                     }
                 }
             }
             AggState::Max(cur) => {
                 if let Some(val) = v {
-                    if !val.is_null() && cur.as_ref().map_or(true, |c| val > c) {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val > c) {
                         *cur = Some(val.clone());
                     }
                 }
@@ -600,11 +601,7 @@ struct Target {
 }
 
 /// Insert fully-evaluated rows. Returns rows inserted.
-pub fn run_insert(
-    ctx: &mut ExecCtx,
-    table: &Arc<TableInfo>,
-    rows: Vec<Vec<Value>>,
-) -> Result<u64> {
+pub fn run_insert(ctx: &mut ExecCtx, table: &Arc<TableInfo>, rows: Vec<Vec<Value>>) -> Result<u64> {
     let mut n = 0u64;
     for row in rows {
         ctx.check_cancel()?;
@@ -673,8 +670,7 @@ fn collect_targets(
             };
             let mut targets = Vec::new();
             if let Some(bytes) = btree.get(&prefix)? {
-                if let Some(row) = filter_decode(&bytes, residual.as_ref(), &schema, &ctx.params)?
-                {
+                if let Some(row) = filter_decode(&bytes, residual.as_ref(), &schema, &ctx.params)? {
                     targets.push(Target {
                         key: Some(prefix),
                         rowid: None,
@@ -847,7 +843,11 @@ pub fn run_delete(
 
 // ------------------------------------------------------------- index upkeep
 
-fn secondary_key(table: &TableInfo, idx: &crate::catalog::SecondaryIndex, row: &[Value]) -> Vec<Value> {
+fn secondary_key(
+    table: &TableInfo,
+    idx: &crate::catalog::SecondaryIndex,
+    row: &[Value],
+) -> Vec<Value> {
     let mut key: Vec<Value> = idx.key_cols.iter().map(|&i| row[i].clone()).collect();
     if let Some(pk) = table.clustered_key() {
         key.extend(pk.iter().map(|&i| row[i].clone()));

@@ -315,11 +315,7 @@ fn eval_scalar_func(
             .find(|v| !v.is_null())
             .cloned()
             .unwrap_or(Value::Null),
-        other => {
-            return Err(Error::Execution(format!(
-                "unknown scalar function {other}"
-            )))
-        }
+        other => return Err(Error::Execution(format!("unknown scalar function {other}"))),
     })
 }
 
@@ -470,10 +466,7 @@ mod tests {
         assert_eq!(ev("ABS(t.a)", &row).unwrap(), Value::Int(4));
         assert_eq!(ev("LENGTH(t.b)", &row).unwrap(), Value::Int(5));
         assert_eq!(ev("UPPER(t.b)", &row).unwrap(), Value::text("HÉLLO"));
-        assert_eq!(
-            ev("COALESCE(u.a, t.a)", &row).unwrap(),
-            Value::Int(-4)
-        );
+        assert_eq!(ev("COALESCE(u.a, t.a)", &row).unwrap(), Value::Int(-4));
         assert!(ev("NOSUCHFN(t.a)", &row).is_err());
     }
 

@@ -292,14 +292,15 @@ impl LockManager {
         // Probe: Query.Blocked — outside the entry lock so monitors may inspect
         // the lock graph without self-deadlock.
         if let Some(blocker) = &blocker_snapshot {
-            self.monitors.emit_with_kind(sqlcm_common::ProbeKind::QueryBlocked, || {
-                EngineEvent::QueryBlocked(BlockPairInfo {
-                    blocker: blocker.clone(),
-                    blocked: blocked_snapshot.clone(),
-                    resource: res.to_string(),
-                    wait_micros: 0,
-                })
-            });
+            self.monitors
+                .emit_with_kind(sqlcm_common::ProbeKind::QueryBlocked, || {
+                    EngineEvent::QueryBlocked(BlockPairInfo {
+                        blocker: blocker.clone(),
+                        blocked: blocked_snapshot.clone(),
+                        resource: res.to_string(),
+                        wait_micros: 0,
+                    })
+                });
         }
 
         // Park until granted or timeout.
@@ -343,14 +344,15 @@ impl LockManager {
         // Probe: Query.Block_Released with the measured wait.
         if let Some(blocker) = blocker_snapshot {
             let now = self.clock.now_micros();
-            self.monitors.emit_with_kind(sqlcm_common::ProbeKind::BlockReleased, || {
-                EngineEvent::BlockReleased(BlockPairInfo {
-                    blocker,
-                    blocked: query.snapshot(now),
-                    resource: res.to_string(),
-                    wait_micros: waited,
-                })
-            });
+            self.monitors
+                .emit_with_kind(sqlcm_common::ProbeKind::BlockReleased, || {
+                    EngineEvent::BlockReleased(BlockPairInfo {
+                        blocker,
+                        blocked: query.snapshot(now),
+                        resource: res.to_string(),
+                        wait_micros: waited,
+                    })
+                });
         }
         Ok(())
     }
@@ -514,9 +516,11 @@ mod tests {
     fn shared_locks_coexist() {
         let (m, _) = mgr();
         let r = ResourceId::Row(1, vec![Value::Int(5)]);
-        m.acquire(1, &mk_query(1), r.clone(), LockMode::Shared).unwrap();
-        m.acquire(2, &mk_query(2), r.clone(), LockMode::Shared).unwrap();
-        m.release_all(1, &[r.clone()]);
+        m.acquire(1, &mk_query(1), r.clone(), LockMode::Shared)
+            .unwrap();
+        m.acquire(2, &mk_query(2), r.clone(), LockMode::Shared)
+            .unwrap();
+        m.release_all(1, std::slice::from_ref(&r));
         m.release_all(2, &[r]);
     }
 
@@ -538,7 +542,8 @@ mod tests {
         let m = Arc::new(m);
         let r = ResourceId::Row(1, vec![Value::Int(9)]);
         let holder = mk_query(1);
-        m.acquire(1, &holder, r.clone(), LockMode::Exclusive).unwrap();
+        m.acquire(1, &holder, r.clone(), LockMode::Exclusive)
+            .unwrap();
 
         let m2 = m.clone();
         let r2 = r.clone();
@@ -547,7 +552,7 @@ mod tests {
         let t = thread::spawn(move || m2.acquire(2, &wq, r2, LockMode::Shared));
         thread::sleep(Duration::from_millis(30));
         assert_eq!(m.blocked_pairs().len(), 1, "pair visible while blocked");
-        m.release_all(1, &[r.clone()]);
+        m.release_all(1, std::slice::from_ref(&r));
         t.join().unwrap().unwrap();
 
         let names = spy.names();
@@ -586,7 +591,7 @@ mod tests {
         assert!(matches!(err, Error::Deadlock { .. }), "{err}");
         assert_eq!(m.stats().deadlocks, 1);
         // Unwind: txn 1 releases, txn 2 proceeds.
-        m.release_all(1, &[ra.clone()]);
+        m.release_all(1, std::slice::from_ref(&ra));
         t.join().unwrap().unwrap();
         m.release_all(2, &[ra, rb]);
     }
@@ -597,7 +602,8 @@ mod tests {
         m.wait_timeout = Duration::from_millis(50);
         let m = Arc::new(m);
         let r = ResourceId::Table(7);
-        m.acquire(1, &mk_query(1), r.clone(), LockMode::Exclusive).unwrap();
+        m.acquire(1, &mk_query(1), r.clone(), LockMode::Exclusive)
+            .unwrap();
         let err = m
             .acquire(2, &mk_query(2), r.clone(), LockMode::Shared)
             .unwrap_err();
@@ -611,7 +617,8 @@ mod tests {
         let (m, _) = mgr();
         let m = Arc::new(m);
         let r = ResourceId::Table(1);
-        m.acquire(1, &mk_query(1), r.clone(), LockMode::Exclusive).unwrap();
+        m.acquire(1, &mk_query(1), r.clone(), LockMode::Exclusive)
+            .unwrap();
 
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut handles = vec![];
@@ -646,8 +653,8 @@ mod tests {
             .unwrap();
         m.acquire(3, &mk_query(3), t.clone(), LockMode::IntentShared)
             .unwrap();
-        m.release_all(1, &[t.clone()]);
-        m.release_all(2, &[t.clone()]);
+        m.release_all(1, std::slice::from_ref(&t));
+        m.release_all(2, std::slice::from_ref(&t));
         m.release_all(3, &[t]);
     }
 
@@ -656,12 +663,13 @@ mod tests {
         let (m, _) = mgr();
         let m = Arc::new(m);
         let r = ResourceId::Table(2);
-        m.acquire(1, &mk_query(1), r.clone(), LockMode::Exclusive).unwrap();
+        m.acquire(1, &mk_query(1), r.clone(), LockMode::Exclusive)
+            .unwrap();
         let m2 = m.clone();
         let r2 = r.clone();
         let t = thread::spawn(move || m2.acquire(2, &mk_query(2), r2, LockMode::Exclusive));
         thread::sleep(Duration::from_millis(20));
-        m.release_all(1, &[r.clone()]);
+        m.release_all(1, std::slice::from_ref(&r));
         t.join().unwrap().unwrap();
         assert_eq!(m.stats().waits, 1);
         assert!(m.stats().acquisitions >= 2);

@@ -58,7 +58,7 @@ pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<PlannedSelect
     for order in &orders {
         let logical = build_logical_ordered(catalog, stmt, Some(order))?;
         let (physical, cost, _rows) = lower(&logical);
-        if best.as_ref().map_or(true, |b| cost < b.estimated_cost) {
+        if best.as_ref().is_none_or(|b| cost < b.estimated_cost) {
             let output_names = physical.schema().names();
             best = Some(PlannedSelect {
                 logical,
@@ -139,10 +139,7 @@ pub fn build_logical_ordered(
     // 1. FROM: base relations, reordered when an order is given.
     let mut relations: Vec<(String, Arc<crate::catalog::TableInfo>)> = Vec::new();
     if let Some(from) = &stmt.from {
-        relations.push((
-            from.binding_name().to_string(),
-            catalog.table(&from.name)?,
-        ));
+        relations.push((from.binding_name().to_string(), catalog.table(&from.name)?));
         for j in &stmt.joins {
             relations.push((
                 j.table.binding_name().to_string(),
@@ -370,34 +367,32 @@ pub fn build_logical_ordered(
                 // An order key matching a projected expression (or alias) is
                 // replaced by a reference to that output column.
                 let by_alias = match &e {
-                    Expr::Column { qualifier: None, name } => {
-                        out_schema.resolve(None, name).ok().map(|i| {
-                            (
-                                Expr::Column {
-                                    qualifier: None,
-                                    name: out_schema.columns()[i].1.clone(),
-                                },
-                                o.desc,
-                            )
-                        })
-                    }
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    } => out_schema.resolve(None, name).ok().map(|i| {
+                        (
+                            Expr::Column {
+                                qualifier: None,
+                                name: out_schema.columns()[i].1.clone(),
+                            },
+                            o.desc,
+                        )
+                    }),
                     _ => None,
                 };
                 if let Some(k) = by_alias {
                     return Some(k);
                 }
-                exprs
-                    .iter()
-                    .position(|(pe, _)| *pe == e)
-                    .map(|i| {
-                        (
-                            Expr::Column {
-                                qualifier: None,
-                                name: exprs[i].1.clone(),
-                            },
-                            o.desc,
-                        )
-                    })
+                exprs.iter().position(|(pe, _)| *pe == e).map(|i| {
+                    (
+                        Expr::Column {
+                            qualifier: None,
+                            name: exprs[i].1.clone(),
+                        },
+                        o.desc,
+                    )
+                })
             })
             .collect();
         plan = match keys_over_output {
@@ -418,10 +413,7 @@ pub fn build_logical_ordered(
                     .collect();
                 LogicalPlan::Project {
                     exprs,
-                    input: Box::new(LogicalPlan::Sort {
-                        keys,
-                        input,
-                    }),
+                    input: Box::new(LogicalPlan::Sort { keys, input }),
                 }
             }
         };
@@ -580,13 +572,15 @@ fn lower_scan(
         // Equality prefix over the clustered key.
         for &key_col in key_cols {
             let col_name = &table.columns[key_col].name;
-            let pos = conjuncts.iter().position(|c| {
-                extract_eq(c, &schema, col_name).is_some()
-            });
+            let pos = conjuncts
+                .iter()
+                .position(|c| extract_eq(c, &schema, col_name).is_some());
             match pos {
                 Some(i) => {
                     let c = conjuncts.remove(i);
-                    bounds.eq_prefix.push(extract_eq(&c, &schema, col_name).unwrap());
+                    bounds
+                        .eq_prefix
+                        .push(extract_eq(&c, &schema, col_name).unwrap());
                 }
                 None => break,
             }
@@ -613,10 +607,7 @@ fn lower_scan(
             let rows = if bounds.is_point(key_cols.len()) {
                 1.0
             } else if !bounds.eq_prefix.is_empty() {
-                (total.powf(
-                    1.0 - bounds.eq_prefix.len() as f64 / key_cols.len() as f64,
-                ))
-                .max(1.0)
+                (total.powf(1.0 - bounds.eq_prefix.len() as f64 / key_cols.len() as f64)).max(1.0)
             } else {
                 (total / 10.0).max(1.0)
             };
@@ -703,11 +694,7 @@ fn extract_range(c: &Expr, schema: &Schema, col_name: &str) -> Option<(Expr, Bin
     None
 }
 
-fn lower_join(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
-    on: &Expr,
-) -> (PhysicalPlan, f64, f64) {
+fn lower_join(left: &LogicalPlan, right: &LogicalPlan, on: &Expr) -> (PhysicalPlan, f64, f64) {
     let (lp, lc, lr) = lower(left);
     let (rp, rc, rr) = lower(right);
     let lschema = lp.schema();
@@ -861,9 +848,14 @@ mod tests {
     #[test]
     fn range_seek_on_key_prefix() {
         let c = catalog_with_tables();
-        let p = plan(&c, "SELECT * FROM lineitem WHERE okey = 5 AND line > 1 AND price > 0");
+        let p = plan(
+            &c,
+            "SELECT * FROM lineitem WHERE okey = 5 AND line > 1 AND price > 0",
+        );
         match find_seek(&p.physical) {
-            Some(PhysicalPlan::IndexSeek { bounds, residual, .. }) => {
+            Some(PhysicalPlan::IndexSeek {
+                bounds, residual, ..
+            }) => {
                 assert_eq!(bounds.eq_prefix.len(), 1);
                 assert!(bounds.lower.is_some());
                 assert!(residual.is_some(), "price predicate is residual");
@@ -950,8 +942,8 @@ mod tests {
     #[test]
     fn having_without_group_errors() {
         let c = catalog_with_tables();
-        let stmt = sqlcm_sql::parse_statement("SELECT status FROM orders HAVING status > 'a'")
-            .unwrap();
+        let stmt =
+            sqlcm_sql::parse_statement("SELECT status FROM orders HAVING status > 'a'").unwrap();
         match stmt {
             sqlcm_sql::Statement::Select(s) => {
                 assert!(plan_select(&c, &s).is_err())

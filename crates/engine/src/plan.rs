@@ -284,7 +284,10 @@ impl PhysicalPlan {
                     .map(|e| e.to_string())
                     .collect::<Vec<_>>()
                     .join(", "),
-                aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>().join(", ")
+                aggs.iter()
+                    .map(|a| a.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             PhysicalPlan::Project { exprs, .. } => format!(
                 "Project [{}]",
@@ -370,7 +373,10 @@ mod tests {
     #[test]
     fn agg_schema_names() {
         let s = agg_schema(
-            &[Expr::qcol("t", "a"), Expr::bin(Expr::col("b"), sqlcm_sql::BinOp::Add, Expr::lit(1))],
+            &[
+                Expr::qcol("t", "a"),
+                Expr::bin(Expr::col("b"), sqlcm_sql::BinOp::Add, Expr::lit(1)),
+            ],
             &[AggSpec {
                 func: AggFunc::Sum,
                 arg: Some(Expr::col("c")),

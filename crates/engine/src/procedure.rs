@@ -289,10 +289,7 @@ mod tests {
             "IF @x > 10 THEN IF @x > 100 THEN SELECT 1; ELSE SELECT 2; END; ELSE SELECT 3; END;",
         )
         .unwrap();
-        let path = |v: i64| {
-            p.resolve_path(&[Value::Int(v)]).unwrap()[0]
-                .to_string()
-        };
+        let path = |v: i64| p.resolve_path(&[Value::Int(v)]).unwrap()[0].to_string();
         assert_eq!(path(1000), "SELECT 1");
         assert_eq!(path(50), "SELECT 2");
         assert_eq!(path(5), "SELECT 3");

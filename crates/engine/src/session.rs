@@ -105,7 +105,9 @@ impl Session {
                         not_null: c.not_null,
                     })
                     .collect();
-                self.engine.catalog.create_table(&name, cols, &primary_key)?;
+                self.engine
+                    .catalog
+                    .create_table(&name, cols, &primary_key)?;
                 self.engine.plan_cache.clear();
                 Ok(QueryResult::default())
             }
@@ -170,7 +172,9 @@ impl Session {
             signatures,
             param_count,
         });
-        self.engine.plan_cache.insert(text.to_string(), plan.clone());
+        self.engine
+            .plan_cache
+            .insert(text.to_string(), plan.clone());
         Ok(plan)
     }
 
@@ -215,7 +219,9 @@ impl Session {
         engine.active.register(query.clone());
         engine
             .monitors
-            .emit_with_kind(sqlcm_common::ProbeKind::QueryStart, || EngineEvent::QueryStart(query.snapshot(now)));
+            .emit_with_kind(sqlcm_common::ProbeKind::QueryStart, || {
+                EngineEvent::QueryStart(query.snapshot(now))
+            });
 
         // "Compile": plan + signatures are available (instantly on cache hits).
         if let Some(sigs) = &cached.signatures {
@@ -224,9 +230,11 @@ impl Session {
         if let Some(sel) = &cached.select {
             query.set_estimated_cost(sel.estimated_cost);
         }
-        engine.monitors.emit_with_kind(sqlcm_common::ProbeKind::QueryCompile, || {
-            EngineEvent::QueryCompile(query.snapshot(engine.clock.now_micros()))
-        });
+        engine
+            .monitors
+            .emit_with_kind(sqlcm_common::ProbeKind::QueryCompile, || {
+                EngineEvent::QueryCompile(query.snapshot(engine.clock.now_micros()))
+            });
 
         let result = self.execute_body(cached, &params, &query);
 
@@ -246,7 +254,9 @@ impl Session {
                 query.finish(end);
                 engine
                     .monitors
-                    .emit_with_kind(sqlcm_common::ProbeKind::QueryCommit, || EngineEvent::QueryCommit(query.snapshot(end)));
+                    .emit_with_kind(sqlcm_common::ProbeKind::QueryCommit, || {
+                        EngineEvent::QueryCommit(query.snapshot(end))
+                    });
                 engine.active.unregister(query.id);
                 if let Some(h) = &engine.history {
                     h.append(query.snapshot(end));
@@ -265,7 +275,9 @@ impl Session {
                     if explicit {
                         engine
                             .monitors
-                            .emit_with_kind(sqlcm_common::ProbeKind::TxnRollback, || EngineEvent::TxnRollback(info.clone()));
+                            .emit_with_kind(sqlcm_common::ProbeKind::TxnRollback, || {
+                                EngineEvent::TxnRollback(info.clone())
+                            });
                     }
                 }
                 let end = engine.clock.now_micros();
@@ -274,11 +286,15 @@ impl Session {
                 if matches!(e, Error::Cancelled) {
                     engine
                         .monitors
-                        .emit_with_kind(sqlcm_common::ProbeKind::QueryCancel, || EngineEvent::QueryCancel(snap.clone()));
+                        .emit_with_kind(sqlcm_common::ProbeKind::QueryCancel, || {
+                            EngineEvent::QueryCancel(snap.clone())
+                        });
                 } else {
                     engine
                         .monitors
-                        .emit_with_kind(sqlcm_common::ProbeKind::QueryRollback, || EngineEvent::QueryRollback(snap.clone()));
+                        .emit_with_kind(sqlcm_common::ProbeKind::QueryRollback, || {
+                            EngineEvent::QueryRollback(snap.clone())
+                        });
                 }
                 engine.active.unregister(query.id);
                 if let Some(h) = &engine.history {
@@ -442,7 +458,9 @@ impl Session {
         self.txn = Some(txn);
         self.engine
             .monitors
-            .emit_with_kind(sqlcm_common::ProbeKind::TxnBegin, || EngineEvent::TxnBegin(info.clone()));
+            .emit_with_kind(sqlcm_common::ProbeKind::TxnBegin, || {
+                EngineEvent::TxnBegin(info.clone())
+            });
         Ok(QueryResult::default())
     }
 
@@ -455,7 +473,9 @@ impl Session {
         self.engine.locks.release_all(txn.id, txn.held_locks());
         self.engine
             .monitors
-            .emit_with_kind(sqlcm_common::ProbeKind::TxnCommit, || EngineEvent::TxnCommit(info.clone()));
+            .emit_with_kind(sqlcm_common::ProbeKind::TxnCommit, || {
+                EngineEvent::TxnCommit(info.clone())
+            });
         Ok(QueryResult::default())
     }
 
@@ -471,7 +491,9 @@ impl Session {
         self.engine.locks.release_all(id, &locks);
         self.engine
             .monitors
-            .emit_with_kind(sqlcm_common::ProbeKind::TxnRollback, || EngineEvent::TxnRollback(info.clone()));
+            .emit_with_kind(sqlcm_common::ProbeKind::TxnRollback, || {
+                EngineEvent::TxnRollback(info.clone())
+            });
         Ok(QueryResult::default())
     }
 
@@ -509,7 +531,9 @@ impl Session {
             self.txn = Some(txn);
             engine
                 .monitors
-                .emit_with_kind(sqlcm_common::ProbeKind::TxnBegin, || EngineEvent::TxnBegin(info.clone()));
+                .emit_with_kind(sqlcm_common::ProbeKind::TxnBegin, || {
+                    EngineEvent::TxnBegin(info.clone())
+                });
         }
         let txn_id = self.txn.as_ref().expect("txn open").id;
         let sig_start = self.txn.as_ref().expect("txn open").logical_sigs.len();
@@ -519,7 +543,10 @@ impl Session {
         let exec_text = format!(
             "EXEC {}({})",
             proc.name,
-            args.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            args.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         let pquery = ActiveQueryState::new(
             engine.next_query_id(),
@@ -535,7 +562,9 @@ impl Session {
         engine.active.register(pquery.clone());
         engine
             .monitors
-            .emit_with_kind(sqlcm_common::ProbeKind::QueryStart, || EngineEvent::QueryStart(pquery.snapshot(now)));
+            .emit_with_kind(sqlcm_common::ProbeKind::QueryStart, || {
+                EngineEvent::QueryStart(pquery.snapshot(now))
+            });
 
         let mut last = QueryResult::default();
         let body: Result<()> = (|| {
@@ -559,28 +588,32 @@ impl Session {
                 // Code-path signature = transaction signature over this proc's
                 // statement signatures.
                 if let Some(txn) = &self.txn {
-                    let lsig =
-                        signature::transaction_signature(&txn.logical_sigs[sig_start..]);
-                    let psig =
-                        signature::transaction_signature(&txn.physical_sigs[sig_start..]);
+                    let lsig = signature::transaction_signature(&txn.logical_sigs[sig_start..]);
+                    let psig = signature::transaction_signature(&txn.physical_sigs[sig_start..]);
                     pquery.set_signatures(lsig, psig);
                 }
-                engine.monitors.emit_with_kind(sqlcm_common::ProbeKind::QueryCompile, || {
-                    EngineEvent::QueryCompile(pquery.snapshot(engine.clock.now_micros()))
-                });
+                engine
+                    .monitors
+                    .emit_with_kind(sqlcm_common::ProbeKind::QueryCompile, || {
+                        EngineEvent::QueryCompile(pquery.snapshot(engine.clock.now_micros()))
+                    });
                 if wrapped {
                     let txn = self.txn.take().expect("txn open");
                     let info = self.txn_info(&txn);
                     engine.locks.release_all(txn.id, txn.held_locks());
                     engine
                         .monitors
-                        .emit_with_kind(sqlcm_common::ProbeKind::TxnCommit, || EngineEvent::TxnCommit(info.clone()));
+                        .emit_with_kind(sqlcm_common::ProbeKind::TxnCommit, || {
+                            EngineEvent::TxnCommit(info.clone())
+                        });
                 }
                 let end = engine.clock.now_micros();
                 pquery.finish(end);
                 engine
                     .monitors
-                    .emit_with_kind(sqlcm_common::ProbeKind::QueryCommit, || EngineEvent::QueryCommit(pquery.snapshot(end)));
+                    .emit_with_kind(sqlcm_common::ProbeKind::QueryCommit, || {
+                        EngineEvent::QueryCommit(pquery.snapshot(end))
+                    });
                 engine.active.unregister(pquery.id);
                 if let Some(h) = &engine.history {
                     h.append(pquery.snapshot(end));
@@ -601,11 +634,15 @@ impl Session {
                 if matches!(e, Error::Cancelled) {
                     engine
                         .monitors
-                        .emit_with_kind(sqlcm_common::ProbeKind::QueryCancel, || EngineEvent::QueryCancel(snap.clone()));
+                        .emit_with_kind(sqlcm_common::ProbeKind::QueryCancel, || {
+                            EngineEvent::QueryCancel(snap.clone())
+                        });
                 } else {
                     engine
                         .monitors
-                        .emit_with_kind(sqlcm_common::ProbeKind::QueryRollback, || EngineEvent::QueryRollback(snap.clone()));
+                        .emit_with_kind(sqlcm_common::ProbeKind::QueryRollback, || {
+                            EngineEvent::QueryRollback(snap.clone())
+                        });
                 }
                 engine.active.unregister(pquery.id);
                 Err(e)
@@ -620,14 +657,16 @@ impl Session {
             let _ = exec::apply_undo(txn.undo);
             self.engine.locks.release_all(txn.id, &locks);
         }
-        self.engine.monitors.emit_with_kind(sqlcm_common::ProbeKind::Logout, || {
-            EngineEvent::Logout(sqlcm_common::SessionInfo {
-                session_id: self.id,
-                user: self.user.clone(),
-                application: self.application.clone(),
-                success: true,
-            })
-        });
+        self.engine
+            .monitors
+            .emit_with_kind(sqlcm_common::ProbeKind::Logout, || {
+                EngineEvent::Logout(sqlcm_common::SessionInfo {
+                    session_id: self.id,
+                    user: self.user.clone(),
+                    application: self.application.clone(),
+                    success: true,
+                })
+            });
     }
 }
 
@@ -659,27 +698,30 @@ mod tests {
             .execute("INSERT INTO items VALUES (1, 'bolt', 10, 0.5), (2, 'nut', 20, 0.25)")
             .unwrap();
         assert_eq!(r.rows_affected, 2);
-        let r = s.execute("SELECT name, qty FROM items WHERE id = 2").unwrap();
+        let r = s
+            .execute("SELECT name, qty FROM items WHERE id = 2")
+            .unwrap();
         assert_eq!(r.columns, vec!["name", "qty"]);
         assert_eq!(r.rows, vec![vec![Value::text("nut"), Value::Int(20)]]);
         // Scan path.
         let r = s
             .execute("SELECT id FROM items WHERE qty > 5 ORDER BY id DESC")
             .unwrap();
-        assert_eq!(
-            r.rows,
-            vec![vec![Value::Int(2)], vec![Value::Int(1)]]
-        );
+        assert_eq!(r.rows, vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
     }
 
     #[test]
     fn update_delete_and_counts() {
         let e = engine();
         let mut s = e.connect("a", "b");
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
-        s.execute("INSERT INTO items VALUES (2, 'y', 2, 2.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
+        s.execute("INSERT INTO items VALUES (2, 'y', 2, 2.0)")
+            .unwrap();
         assert_eq!(e.catalog().table("items").unwrap().row_count(), 2);
-        let r = s.execute("UPDATE items SET qty = qty + 10 WHERE id = 1").unwrap();
+        let r = s
+            .execute("UPDATE items SET qty = qty + 10 WHERE id = 1")
+            .unwrap();
         assert_eq!(r.rows_affected, 1);
         let r = s.execute("SELECT qty FROM items WHERE id = 1").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(11));
@@ -704,7 +746,10 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(14)]]);
         let stats = e.plan_cache_stats();
-        assert!(stats.hits >= 19, "repeated template hits the cache: {stats:?}");
+        assert!(
+            stats.hits >= 19,
+            "repeated template hits the cache: {stats:?}"
+        );
     }
 
     #[test]
@@ -712,17 +757,25 @@ mod tests {
         let e = engine();
         let mut s = e.connect("a", "b");
         s.execute("BEGIN").unwrap();
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
         assert!(s.in_transaction());
         s.execute("COMMIT").unwrap();
         assert!(!s.in_transaction());
-        assert_eq!(e.query("SELECT COUNT(*) FROM items").unwrap()[0][0], Value::Int(1));
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM items").unwrap()[0][0],
+            Value::Int(1)
+        );
 
         s.execute("BEGIN").unwrap();
-        s.execute("INSERT INTO items VALUES (2, 'y', 2, 2.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (2, 'y', 2, 2.0)")
+            .unwrap();
         s.execute("UPDATE items SET qty = 99 WHERE id = 1").unwrap();
         s.execute("ROLLBACK").unwrap();
-        assert_eq!(e.query("SELECT COUNT(*) FROM items").unwrap()[0][0], Value::Int(1));
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM items").unwrap()[0][0],
+            Value::Int(1)
+        );
         assert_eq!(
             e.query("SELECT qty FROM items WHERE id = 1").unwrap()[0][0],
             Value::Int(1),
@@ -734,13 +787,20 @@ mod tests {
     fn failed_statement_rolls_back_txn() {
         let e = engine();
         let mut s = e.connect("a", "b");
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
         s.execute("BEGIN").unwrap();
-        s.execute("INSERT INTO items VALUES (2, 'y', 2, 2.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (2, 'y', 2, 2.0)")
+            .unwrap();
         // Duplicate key fails and aborts the transaction.
-        assert!(s.execute("INSERT INTO items VALUES (1, 'dup', 0, 0.0)").is_err());
+        assert!(s
+            .execute("INSERT INTO items VALUES (1, 'dup', 0, 0.0)")
+            .is_err());
         assert!(!s.in_transaction());
-        assert_eq!(e.query("SELECT COUNT(*) FROM items").unwrap()[0][0], Value::Int(1));
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM items").unwrap()[0][0],
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -749,7 +809,8 @@ mod tests {
         let mut s = e.connect("a", "b");
         let spy = Arc::new(Spy::default());
         e.attach_monitor(spy.clone());
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
         let names = spy.names();
         assert_eq!(names, vec!["Query.Start", "Query.Compile", "Query.Commit"]);
         let last = spy.events.lock().last().cloned().unwrap();
@@ -763,7 +824,8 @@ mod tests {
     fn history_records_completed_queries() {
         let e = engine();
         let mut s = e.connect("a", "b");
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
         s.execute("SELECT * FROM items").unwrap();
         let h = e.history().unwrap().drain();
         assert_eq!(h.len(), 2);
@@ -785,7 +847,8 @@ mod tests {
             )
             .unwrap();
         let mut s = e.connect("a", "b");
-        s.execute("INSERT INTO items VALUES (5, 'x', 42, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (5, 'x', 42, 1.0)")
+            .unwrap();
 
         let spy = Arc::new(Spy::default());
         e.attach_monitor(spy.clone());
@@ -797,7 +860,7 @@ mod tests {
                 .filter_map(|ev| ev.query())
                 .filter(|q| q.procedure.as_deref() == Some("stock") && q.text.starts_with("EXEC"))
                 .filter_map(|q| q.logical_signature)
-                .last()
+                .next_back()
                 .unwrap()
         };
         spy.events.lock().clear();
@@ -808,10 +871,13 @@ mod tests {
                 .filter_map(|ev| ev.query())
                 .filter(|q| q.procedure.as_deref() == Some("stock") && q.text.starts_with("EXEC"))
                 .filter_map(|q| q.logical_signature)
-                .last()
+                .next_back()
                 .unwrap()
         };
-        assert_ne!(sig_read, sig_write, "different code paths → different signatures");
+        assert_ne!(
+            sig_read, sig_write,
+            "different code paths → different signatures"
+        );
         assert_eq!(
             e.query("SELECT qty FROM items WHERE id = 5").unwrap()[0][0],
             Value::Int(0)
@@ -825,7 +891,7 @@ mod tests {
                 .filter_map(|ev| ev.query())
                 .filter(|q| q.procedure.as_deref() == Some("stock") && q.text.starts_with("EXEC"))
                 .filter_map(|q| q.logical_signature)
-                .last()
+                .next_back()
                 .unwrap()
         };
         assert_eq!(sig_read, sig_read2);
@@ -838,7 +904,8 @@ mod tests {
         e.attach_monitor(spy.clone());
         let mut s = e.connect("a", "b");
         s.execute("BEGIN").unwrap();
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
         s.execute("SELECT * FROM items WHERE id = 1").unwrap();
         s.execute("COMMIT").unwrap();
         let evs = spy.events.lock();
@@ -888,7 +955,8 @@ mod tests {
         e.execute_batch("CREATE TABLE tags (item_id INT PRIMARY KEY, tag TEXT);")
             .unwrap();
         let mut s = e.connect("a", "b");
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0), (2, 'y', 2, 2.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0), (2, 'y', 2, 2.0)")
+            .unwrap();
         s.execute("INSERT INTO tags VALUES (2, 'heavy')").unwrap();
         let r = s
             .execute("SELECT i.name, t.tag FROM items i JOIN tags t ON i.id = t.item_id")
@@ -964,12 +1032,17 @@ mod tests {
         e.attach_monitor(spy.clone());
         let mut s = e.connect("a", "b");
         s.execute("BEGIN").unwrap();
-        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
         s.close();
         assert!(spy.names().contains(&"Session.Logout"));
         // The uncommitted insert was rolled back and locks released.
-        assert_eq!(e.query("SELECT COUNT(*) FROM items").unwrap()[0][0], Value::Int(0));
+        assert_eq!(
+            e.query("SELECT COUNT(*) FROM items").unwrap()[0][0],
+            Value::Int(0)
+        );
         let mut s2 = e.connect("c", "d");
-        s2.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)").unwrap();
+        s2.execute("INSERT INTO items VALUES (1, 'x', 1, 1.0)")
+            .unwrap();
     }
 }

@@ -240,7 +240,11 @@ pub fn template_statement(stmt: &Statement) -> String {
                 template_opt_pred(&s.predicate)
             )
         }
-        Statement::Insert { table, columns, rows } => format!(
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => format!(
             "insert({};cols={:?};arity={};rows={})",
             table.to_ascii_lowercase(),
             columns
@@ -593,7 +597,11 @@ mod tests {
         let c = catalog();
         let s1 = sig(&c, "SELECT b FROM t WHERE a = 1");
         let s2 = sig(&c, "SELECT b FROM t WHERE a = 99999");
-        assert_eq!(s1.logical, s2.logical, "{}\n{}", s1.logical_text, s2.logical_text);
+        assert_eq!(
+            s1.logical, s2.logical,
+            "{}\n{}",
+            s1.logical_text, s2.logical_text
+        );
         assert_eq!(s1.physical, s2.physical);
     }
 

@@ -44,8 +44,14 @@ fn join_order_is_cost_chosen_not_from_order() {
     let e = engine_with_skewed_tables();
     // Whichever order the user writes, the chosen plan (and therefore the
     // physical signature) is the same.
-    let a = explain(&e, "SELECT b.id FROM big b JOIN tiny t ON b.k = t.k WHERE t.k = 3");
-    let b = explain(&e, "SELECT b.id FROM tiny t JOIN big b ON b.k = t.k WHERE t.k = 3");
+    let a = explain(
+        &e,
+        "SELECT b.id FROM big b JOIN tiny t ON b.k = t.k WHERE t.k = 3",
+    );
+    let b = explain(
+        &e,
+        "SELECT b.id FROM tiny t JOIN big b ON b.k = t.k WHERE t.k = 3",
+    );
     let sig = |s: &str| {
         s.lines()
             .find(|l| l.contains("physical signature"))

@@ -1,0 +1,134 @@
+//! Offline shim for the `bytes` API subset this workspace uses: `Buf` on
+//! `&[u8]` for little-endian decoding and `BufMut` on `Vec<u8>` for
+//! little-endian encoding. Reads panic on underflow, matching the real
+//! crate's contract.
+
+/// Sequential little-endian reader, implemented for `&[u8]`.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Sequential little-endian writer, implemented for `Vec<u8>`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEADBEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_i64_le(-42);
+        out.put_f64_le(3.5);
+        out.put_slice(b"xyz");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0x1234);
+        assert_eq!(buf.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_i64_le(), -42);
+        assert_eq!(buf.get_f64_le(), 3.5);
+        assert_eq!(buf.remaining(), 3);
+        buf.advance(1);
+        assert_eq!(buf, b"yz");
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn underflow_panics() {
+        let mut buf: &[u8] = &[1];
+        let _ = buf.get_u16_le();
+    }
+}

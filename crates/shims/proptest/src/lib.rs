@@ -1,0 +1,642 @@
+//! Offline shim for the `proptest` API subset this workspace uses: a small
+//! property-testing framework with deterministic generation.
+//!
+//! Supported surface: `Strategy` (with `prop_map`/`boxed`), `any::<T>()`,
+//! `Just`, tuple strategies, `&'static str` regex-subset string strategies,
+//! `collection::vec`, `option::of`, `prop_oneof!`, the `proptest!` macro with
+//! optional `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`, and
+//! `test_runner::{Config, TestRunner, TestCaseError, TestError}`.
+//!
+//! Differences from the real crate: no shrinking (a failing case is reported
+//! as-is), and generation is seeded deterministically per runner so failures
+//! reproduce across runs.
+
+pub mod strategy {
+    use std::rc::Rc;
+
+    /// Deterministic generator state (splitmix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Value generator, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy (cheap to clone).
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniformly picks one of several boxed strategies (backs `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    let off = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    // ------------------------------------------------------------- strings
+    //
+    // `&'static str` is a strategy whose pattern is a small regex subset:
+    // literal chars, `[...]` classes with ranges, `.` and `\PC` (printable),
+    // and `{m,n}` / `{n}` quantifiers on the preceding atom.
+
+    enum CharSet {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let mut chars = pat.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '.' => CharSet::Printable,
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC` — any non-control character.
+                        let cat = chars.next();
+                        assert_eq!(cat, Some('C'), "unsupported \\P category in {pat:?}");
+                        CharSet::Printable
+                    }
+                    Some(esc) => CharSet::Lit(esc),
+                    None => panic!("dangling escape in pattern {pat:?}"),
+                },
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    CharSet::Class(ranges)
+                }
+                other => CharSet::Lit(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad quantifier"),
+                        hi.parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: u32 = spec.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Lit(c) => *c,
+            CharSet::Printable => {
+                // Printable ASCII; enough to exercise "never panics" paths.
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+            }
+            CharSet::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32)
+                            .expect("class range covers invalid char");
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+                for _ in 0..reps {
+                    out.push(sample_char(&atom.set, rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only, like the real crate's default f64 strategy.
+            loop {
+                let f = f64::from_bits(rng.next_u64());
+                if f.is_finite() {
+                    return f;
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Option`s (`None` with probability 1/4).
+    pub struct OptionStrategy<S>(S);
+
+    /// Mirrors `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::{Strategy, TestRng};
+    use std::fmt;
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A single test-case failure (produced by `prop_assert!` et al.).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Overall run failure: the assertion message plus the failing input's
+    /// `Debug` rendering (no shrinking in this shim).
+    pub struct TestError<V> {
+        pub reason: TestCaseError,
+        pub input: String,
+        _marker: std::marker::PhantomData<V>,
+    }
+
+    impl<V> fmt::Debug for TestError<V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{} (input: {})", self.reason, self.input)
+        }
+    }
+
+    /// Executes a strategy against a test closure for `config.cases` cases.
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> TestRunner {
+            TestRunner {
+                config,
+                // Fixed seed: runs are reproducible across invocations.
+                rng: TestRng::new(0x5eed_cafe_f00d_d00d),
+            }
+        }
+
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError<S::Value>>
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for _ in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let rendered = format!("{value:?}");
+                if let Err(reason) = test(value) {
+                    return Err(TestError {
+                        reason,
+                        input: rendered,
+                        _marker: std::marker::PhantomData,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner
+                    .run(&($($strat,)+), |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Uniformly picks among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::strategy::TestRng::new(1);
+        for _ in 0..200 {
+            let s = "c_[a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(s.starts_with("c_"));
+            assert!(s.len() <= 8);
+            assert!(s[2..]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let p = "\\PC{0,10}".generate(&mut rng);
+            assert!(p.len() <= 10);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = crate::strategy::TestRng::new(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn runner_reports_failure_with_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(50));
+        let result = runner.run(&(0u64..100), |x| {
+            prop_assert!(x < 90, "too big: {}", x);
+            Ok(())
+        });
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_defined_test_runs(v in crate::collection::vec(0i64..10, 0..5), b in any::<bool>()) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn mut_binding_works(mut v in crate::collection::vec(0u8..10, 0..6)) {
+            v.sort();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

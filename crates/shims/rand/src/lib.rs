@@ -1,0 +1,192 @@
+//! Offline shim for the `rand` API subset this workspace uses:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! integer/float ranges, and `Rng::gen_bool`.
+//!
+//! The generator is splitmix64-seeded xoshiro256**, which is the same
+//! family real `rand` uses for `SmallRng` on 64-bit targets. Streams are
+//! deterministic for a given seed but are not guaranteed to match the
+//! real crate's output bit-for-bit; workspace code only relies on
+//! determinism, not on specific sequences.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable RNG constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers, mirroring the `rand::Rng` methods the workspace calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+    {
+        let (low, high_inclusive) = range.bounds();
+        T::sample(self.next_u64(), low, high_inclusive)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Types `gen_range` can produce. `sample` maps one uniform `u64` draw onto
+/// the inclusive interval `[low, high]`.
+pub trait SampleUniform: Copy {
+    fn sample(raw: u64, low: Self, high_inclusive: Self) -> Self;
+}
+
+/// Range forms accepted by `gen_range`, normalised to inclusive bounds.
+pub trait IntoUniformRange<T> {
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample(raw: u64, low: Self, high_inclusive: Self) -> Self {
+                assert!(low <= high_inclusive, "gen_range: empty range");
+                let span = (high_inclusive as $wide).wrapping_sub(low as $wide) as u128 + 1;
+                let offset = (raw as u128 % span) as $wide;
+                ((low as $wide).wrapping_add(offset)) as $t
+            }
+        }
+
+        impl IntoUniformRange<$t> for Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoUniformRange<$t> for RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )+};
+}
+
+impl_uniform_int!(
+    u8 => u64,
+    u16 => u64,
+    u32 => u64,
+    u64 => u64,
+    usize => u64,
+    i8 => i64,
+    i16 => i64,
+    i32 => i64,
+    i64 => i64,
+    isize => i64,
+);
+
+impl SampleUniform for f64 {
+    fn sample(raw: u64, low: Self, high_inclusive: Self) -> Self {
+        let unit = (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high_inclusive - low)
+    }
+}
+
+impl IntoUniformRange<f64> for Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoUniformRange<f64> for RangeInclusive<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small fast RNG (xoshiro256** seeded via splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(1..=10);
+            assert!((1..=10).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let z: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&z));
+            let f: f64 = rng.gen_range(0.0..1.5);
+            assert!((0.0..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 hits: {hits}");
+    }
+}

@@ -177,12 +177,11 @@ impl Expr {
     /// report "number of atomic conditions" per rule exactly as the paper does.
     pub fn atomic_condition_count(&self) -> usize {
         match self {
-            Expr::Binary { left, op, right } => match op {
-                BinOp::And | BinOp::Or => {
-                    left.atomic_condition_count() + right.atomic_condition_count()
-                }
-                _ => 1,
-            },
+            Expr::Binary {
+                left,
+                op: BinOp::And | BinOp::Or,
+                right,
+            } => left.atomic_condition_count() + right.atomic_condition_count(),
             Expr::Unary {
                 op: UnaryOp::Not,
                 expr,
@@ -429,11 +428,9 @@ impl Statement {
                     visit(p);
                 }
             }
-            Statement::Delete { predicate, .. } => {
-                if let Some(p) = predicate {
-                    visit(p);
-                }
-            }
+            Statement::Delete {
+                predicate: Some(p), ..
+            } => visit(p),
             Statement::Exec { args, .. } => {
                 for a in args {
                     visit(a);
@@ -629,11 +626,7 @@ mod tests {
     #[test]
     fn atomic_condition_count() {
         let atom = |n: i64| Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(n));
-        let e = Expr::bin(
-            Expr::bin(atom(1), BinOp::And, atom(2)),
-            BinOp::Or,
-            atom(3),
-        );
+        let e = Expr::bin(Expr::bin(atom(1), BinOp::And, atom(2)), BinOp::Or, atom(3));
         assert_eq!(e.atomic_condition_count(), 3);
         assert_eq!(atom(0).atomic_condition_count(), 1);
     }

@@ -163,9 +163,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     } else {
                         // Multi-byte UTF-8: copy the full char.
                         let ch_len = utf8_len(bytes[i]);
-                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
-                            Error::Parse("invalid UTF-8 in string literal".into())
-                        })?);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                Error::Parse("invalid UTF-8 in string literal".into())
+                            })?,
+                        );
                         i += ch_len;
                     }
                 }

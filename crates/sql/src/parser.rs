@@ -7,11 +7,52 @@ use crate::lexer::{tokenize, Token};
 
 /// Words that can never be a table alias or bare column at clause boundaries.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON",
-    "AS", "AND", "OR", "NOT", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
-    "TABLE", "INDEX", "DROP", "BEGIN", "COMMIT", "ROLLBACK", "EXEC", "PRIMARY", "KEY", "NULL",
-    "IS", "LIKE", "ASC", "DESC", "TRUE", "FALSE", "TRANSACTION", "UNIQUE", "IF", "THEN", "ELSE",
-    "END", "IN", "EXPLAIN",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "JOIN",
+    "INNER",
+    "ON",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "INDEX",
+    "DROP",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "EXEC",
+    "PRIMARY",
+    "KEY",
+    "NULL",
+    "IS",
+    "LIKE",
+    "ASC",
+    "DESC",
+    "TRUE",
+    "FALSE",
+    "TRANSACTION",
+    "UNIQUE",
+    "IF",
+    "THEN",
+    "ELSE",
+    "END",
+    "IN",
+    "EXPLAIN",
 ];
 
 /// Parse exactly one statement (a trailing `;` is allowed).
@@ -170,7 +211,9 @@ impl Parser {
             "DROP" => {
                 self.pos += 1;
                 self.expect_kw("TABLE")?;
-                Ok(Statement::DropTable { name: self.ident()? })
+                Ok(Statement::DropTable {
+                    name: self.ident()?,
+                })
             }
             "BEGIN" => {
                 self.pos += 1;
@@ -719,9 +762,7 @@ impl Parser {
                         // `Transaction.Duration`).
                         let dotted = self.tokens.get(self.pos + 1) == Some(&Token::Period);
                         if RESERVED.contains(&upper.as_str()) && !dotted {
-                            return Err(
-                                self.error(&format!("reserved word {upper} in expression"))
-                            );
+                            return Err(self.error(&format!("reserved word {upper} in expression")));
                         }
                     }
                 }
@@ -804,7 +845,11 @@ mod tests {
     fn insert_forms() {
         let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
@@ -824,9 +869,10 @@ mod tests {
 
     #[test]
     fn create_table_with_pk() {
-        let s =
-            parse_statement("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, w FLOAT)")
-                .unwrap();
+        let s = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, w FLOAT)",
+        )
+        .unwrap();
         match s {
             Statement::CreateTable {
                 name,

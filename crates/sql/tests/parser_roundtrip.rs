@@ -27,7 +27,10 @@ fn arb_select() -> impl Strategy<Value = String> {
             if let Some((c, list)) = inlist {
                 preds.push(format!(
                     "{c} IN ({})",
-                    list.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+                    list.iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
             if !preds.is_empty() {

@@ -71,8 +71,7 @@ impl Node {
                     .sum::<usize>()
             }
             Node::Internal { keys, children } => {
-                9 + children.len() * 4
-                    + keys.iter().map(|k| 2 + encode_row(k).len()).sum::<usize>()
+                9 + children.len() * 4 + keys.iter().map(|k| 2 + encode_row(k).len()).sum::<usize>()
             }
         }
     }
@@ -445,17 +444,12 @@ impl BTree {
         let guard = self.state.read();
         // Descend to the first candidate leaf.
         let mut page = *guard;
-        loop {
-            match read_node(&self.pool, page)? {
-                Node::Internal { keys, children } => {
-                    let idx = match &bounds.lower {
-                        Some((k, _)) => keys.partition_point(|s| s.as_slice() <= k.as_slice()),
-                        None => 0,
-                    };
-                    page = children[idx];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { keys, children } = read_node(&self.pool, page)? {
+            let idx = match &bounds.lower {
+                Some((k, _)) => keys.partition_point(|s| s.as_slice() <= k.as_slice()),
+                None => 0,
+            };
+            page = children[idx];
         }
         let mut current = Some(page);
         while let Some(p) = current {
@@ -466,8 +460,7 @@ impl BTree {
             for (k, v) in keys.iter().zip(&vals) {
                 if let Some((lo, inc)) = &bounds.lower {
                     let ord = k.as_slice().cmp(lo.as_slice());
-                    if ord == std::cmp::Ordering::Less
-                        || (!inc && ord == std::cmp::Ordering::Equal)
+                    if ord == std::cmp::Ordering::Less || (!inc && ord == std::cmp::Ordering::Equal)
                     {
                         continue;
                     }
@@ -579,7 +572,10 @@ mod tests {
         }
         // Full scan is in key order.
         let scanned = t.scan(&ScanBounds::all()).unwrap();
-        let keys: Vec<i64> = scanned.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
+        let keys: Vec<i64> = scanned
+            .iter()
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
         assert_eq!(keys, (0..n).collect::<Vec<_>>());
     }
 

@@ -218,9 +218,7 @@ impl BufferPool {
             .filter(|(_, i)| i.pins == 0 && i.page != PageId::MAX)
             .min_by_key(|(_, i)| i.last_used)
             .map(|(idx, _)| idx)
-            .ok_or_else(|| {
-                Error::Storage("buffer pool exhausted: every frame is pinned".into())
-            })?;
+            .ok_or_else(|| Error::Storage("buffer pool exhausted: every frame is pinned".into()))?;
         let page = meta.frame_info[victim].page;
         {
             let mut frame = self.frames[victim].write();

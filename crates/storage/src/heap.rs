@@ -110,14 +110,12 @@ impl HeapFile {
                 "row {id} does not belong to this heap"
             )));
         }
-        self.pool
-            .with_page_read(id.page, |buf| {
-                // SlottedPage::new requires &mut; read path re-implements the tiny
-                // header/slot arithmetic to stay shared. Cheaper: clone via a
-                // throwaway mutable copy is wasteful, so decode inline:
-                read_cell(buf, id.slot).map(|c| c.to_vec())
-            })
-            .map_err(Into::into)
+        self.pool.with_page_read(id.page, |buf| {
+            // SlottedPage::new requires &mut; read path re-implements the tiny
+            // header/slot arithmetic to stay shared. Cheaper: clone via a
+            // throwaway mutable copy is wasteful, so decode inline:
+            read_cell(buf, id.slot).map(|c| c.to_vec())
+        })
     }
 
     /// Delete a row. Returns true when the row was live.

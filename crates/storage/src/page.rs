@@ -235,10 +235,7 @@ impl<'a> SlottedPage<'a> {
     /// Slide all live cells to the end of the page, erasing dead space. Slot
     /// numbers are preserved.
     pub fn compact(&mut self) {
-        let mut cells: Vec<(u16, Vec<u8>)> = self
-            .iter()
-            .map(|(s, c)| (s, c.to_vec()))
-            .collect();
+        let mut cells: Vec<(u16, Vec<u8>)> = self.iter().map(|(s, c)| (s, c.to_vec())).collect();
         // Write back from the end, largest offsets first; order among cells is
         // irrelevant as long as slots are updated consistently.
         let mut cursor = PAGE_SIZE;
@@ -321,7 +318,11 @@ mod tests {
         // 4000 dead bytes: insert must succeed via compaction.
         let s4 = p.insert(&big).unwrap();
         assert_eq!(p.get(s4), Some(&big[..]));
-        assert_eq!(p.get(s1), Some(&big[..]), "survivor intact after compaction");
+        assert_eq!(
+            p.get(s1),
+            Some(&big[..]),
+            "survivor intact after compaction"
+        );
         assert_eq!(p.live_count(), 3);
     }
 

@@ -16,7 +16,10 @@ fn arb_page_op() -> impl Strategy<Value = PageOp> {
     prop_oneof![
         proptest::collection::vec(any::<u8>(), 1..200).prop_map(PageOp::Insert),
         (any::<usize>()).prop_map(PageOp::Delete),
-        (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..200))
+        (
+            any::<usize>(),
+            proptest::collection::vec(any::<u8>(), 1..200)
+        )
             .prop_map(|(i, c)| PageOp::Update(i, c)),
     ]
 }

@@ -46,8 +46,7 @@ impl Default for MixedConfig {
 
 const POINT_LINEITEM: &str =
     "SELECT l_price, l_quantity FROM lineitem WHERE l_orderkey = ? AND l_linenumber = ?";
-const POINT_ORDERS: &str =
-    "SELECT o_status, o_totalprice FROM orders WHERE o_orderkey = ?";
+const POINT_ORDERS: &str = "SELECT o_status, o_totalprice FROM orders WHERE o_orderkey = ?";
 const JOIN_SQL: &str = "SELECT l.l_price, o.o_totalprice, p.p_name \
      FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey \
      JOIN part p ON l.l_partkey = p.p_partkey \
@@ -65,11 +64,10 @@ pub fn generate(db: &TpchDb, config: MixedConfig) -> Vec<WorkloadQuery> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let span = join_span(db);
     let mut out = Vec::with_capacity((config.point_selects + config.join_selects) as usize);
-    let per_join = if config.join_selects == 0 {
-        u32::MAX
-    } else {
-        (config.point_selects / config.join_selects).max(1)
-    };
+    let per_join = config
+        .point_selects
+        .checked_div(config.join_selects)
+        .map_or(u32::MAX, |n| n.max(1));
     let mut points_emitted = 0u32;
     let mut joins_emitted = 0u32;
     while points_emitted < config.point_selects || joins_emitted < config.join_selects {
@@ -77,7 +75,7 @@ pub fn generate(db: &TpchDb, config: MixedConfig) -> Vec<WorkloadQuery> {
             out.push(random_point(db, &mut rng));
             points_emitted += 1;
         }
-        let due = points_emitted % per_join == 0 || points_emitted >= config.point_selects;
+        let due = points_emitted.is_multiple_of(per_join) || points_emitted >= config.point_selects;
         if due && joins_emitted < config.join_selects {
             let max_start = (db.config.orders as i64 - span).max(1);
             let start = rng.gen_range(1..=max_start);
@@ -203,6 +201,8 @@ mod tests {
         let (_e, db) = tiny_db();
         let w = point_select_workload(&db, 100, 5);
         assert_eq!(w.len(), 100);
-        assert!(w.iter().all(|q| !q.is_join && q.sql == super::POINT_LINEITEM));
+        assert!(w
+            .iter()
+            .all(|q| !q.is_join && q.sql == super::POINT_LINEITEM));
     }
 }

@@ -92,9 +92,6 @@ mod tests {
     fn deterministic_invocations() {
         let engine = Engine::in_memory();
         let db = load(&engine, TpchConfig::tiny()).unwrap();
-        assert_eq!(
-            invocations(&db, 10, 0.5, 3),
-            invocations(&db, 10, 0.5, 3)
-        );
+        assert_eq!(invocations(&db, 10, 0.5, 3), invocations(&db, 10, 0.5, 3));
     }
 }

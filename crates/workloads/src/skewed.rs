@@ -76,7 +76,9 @@ mod tests {
         let w = generate(&db, 2_000, 17);
         let mut freq: HashMap<&str, u32> = HashMap::new();
         for q in &w {
-            *freq.entry(TEMPLATES.iter().find(|t| **t == q.sql).unwrap()).or_default() += 1;
+            *freq
+                .entry(TEMPLATES.iter().find(|t| **t == q.sql).unwrap())
+                .or_default() += 1;
         }
         assert_eq!(freq.len(), TEMPLATES.len(), "all templates appear");
         assert!(

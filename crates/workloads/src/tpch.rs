@@ -202,8 +202,22 @@ mod tests {
     fn different_seed_differs() {
         let e1 = Engine::in_memory();
         let e2 = Engine::in_memory();
-        let d1 = load(&e1, TpchConfig { seed: 1, ..TpchConfig::tiny() }).unwrap();
-        let d2 = load(&e2, TpchConfig { seed: 2, ..TpchConfig::tiny() }).unwrap();
+        let d1 = load(
+            &e1,
+            TpchConfig {
+                seed: 1,
+                ..TpchConfig::tiny()
+            },
+        )
+        .unwrap();
+        let d2 = load(
+            &e2,
+            TpchConfig {
+                seed: 2,
+                ..TpchConfig::tiny()
+            },
+        )
+        .unwrap();
         assert_ne!(d1.lines_per_order, d2.lines_per_order);
     }
 }

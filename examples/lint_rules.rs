@@ -1,0 +1,148 @@
+//! Standalone lint front end for the static rule analyzer.
+//!
+//! Lints a ruleset *offline* — no engine, no event stream — exactly as
+//! `Sqlcm::add_rule` / `define_lat` would at registration time, and prints
+//! every diagnostic with its stable code.
+//!
+//! ```text
+//! cargo run --example lint_rules          # the paper's example ruleset: clean
+//! cargo run --example lint_rules -- --bad # adds one broken rule per code
+//! ```
+//!
+//! Exits non-zero when any error-severity diagnostic is reported, so the
+//! command slots into CI for rule catalogs kept under version control.
+
+use sqlcm_core::analysis::{lat_ir, rule_ir};
+use sqlcm_core::{Action, Analyzer, Diagnostic, LatAggFunc, LatSpec, Rule, RuleEvent, Severity};
+
+/// The paper's §3 idioms: outlier detection (Example 1), top-k with periodic
+/// persist (Example 3), and an eviction spill rule (§4.3).
+fn good_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
+    let lats = vec![
+        LatSpec::new("Duration_LAT")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration"),
+        LatSpec::new("TopK")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+            .order_by("D", true)
+            .max_rows(10),
+    ];
+    let rules = vec![
+        Rule::new("track")
+            .on(RuleEvent::QueryCommit)
+            .then(Action::insert("Duration_LAT")),
+        Rule::new("report_outlier")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration > 5 * Duration_LAT.Avg_Duration AND Duration_LAT.N >= 30")
+            .then(Action::send_mail("dba", "outlier: $Query.Query_Text")),
+        Rule::new("track_topk")
+            .on(RuleEvent::QueryCommit)
+            .then(Action::insert("TopK")),
+        Rule::new("persist_topk")
+            .on(RuleEvent::TimerAlarm("hourly".into()))
+            .then(Action::persist_lat("topk_history", "TopK")),
+    ];
+    (lats, rules)
+}
+
+/// One deliberately broken rule (or LAT) per diagnostic code.
+fn bad_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
+    let (mut lats, mut rules) = good_ruleset();
+    // E001: LAT spec with a misspelled source attribute.
+    lats.push(
+        LatSpec::new("Broken_LAT")
+            .group_by("Query.Logical_Signatur", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N"),
+    );
+    rules.extend([
+        // E001: probing a LAT that was never defined.
+        Rule::new("probe_missing")
+            .on(RuleEvent::QueryCommit)
+            .when("Nope_LAT.N > 1"),
+        // E002: COUNT column compared with a string.
+        Rule::new("count_vs_text")
+            .on(RuleEvent::QueryCommit)
+            .when("Duration_LAT.N = 'many'"),
+        // E003: Query-keyed LAT probed from a transaction event that never
+        // has a Query in scope.
+        Rule::new("unjoinable")
+            .on(RuleEvent::TxnCommit)
+            .when("Duration_LAT.Avg_Duration > 5"),
+        // E004: feeding a bounded LAT from its own eviction event.
+        Rule::new("refill")
+            .on(RuleEvent::LatEviction("TopK".into()))
+            .then(Action::insert("TopK")),
+        // W101: Session never in scope on QueryCommit — the rule is dead.
+        Rule::new("dead")
+            .on(RuleEvent::QueryCommit)
+            .when("Session.Success = FALSE")
+            .then(Action::send_mail("dba", "x")),
+        // W102: exact duplicate of `track`.
+        Rule::new("track_again")
+            .on(RuleEvent::QueryCommit)
+            .then(Action::insert("Duration_LAT")),
+        // W201: persist + mail + external command on every query commit.
+        Rule::new("heavy")
+            .on(RuleEvent::QueryCommit)
+            .when("Duration_LAT.N > 100")
+            .then(Action::persist_lat("history", "Duration_LAT"))
+            .then(Action::send_mail("dba", "x"))
+            .then(Action::run_external("archive $Query.ID")),
+    ]);
+    (lats, rules)
+}
+
+fn print_diag(d: &Diagnostic) {
+    let sev = match d.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    println!("{sev}[{}] {} — {}", d.code, d.rule, d.message);
+    if let Some(span) = &d.span {
+        println!("    at: {span}");
+    }
+    if let Some(help) = &d.help {
+        println!("    help: {help}");
+    }
+}
+
+fn main() {
+    let mut bad = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--bad" => bad = true,
+            other => {
+                eprintln!("unknown argument `{other}` (usage: lint_rules [--bad])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (lats, rules) = if bad { bad_ruleset() } else { good_ruleset() };
+
+    let mut analyzer = Analyzer::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for spec in &lats {
+        diags.extend(analyzer.check_lat(&lat_ir(spec)));
+    }
+    for rule in &rules {
+        diags.extend(analyzer.check_rule(&rule_ir(rule)));
+    }
+
+    println!(
+        "linted {} LAT spec(s), {} rule(s): {} diagnostic(s)\n",
+        lats.len(),
+        rules.len(),
+        diags.len()
+    );
+    for d in &diags {
+        print_diag(d);
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    println!("\n{errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

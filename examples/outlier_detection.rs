@@ -25,9 +25,7 @@ fn main() -> Result<()> {
         },
     )?;
     procs::register(&engine)?;
-    engine.execute_batch(
-        "CREATE TABLE outliers (qtext TEXT, duration FLOAT);",
-    )?;
+    engine.execute_batch("CREATE TABLE outliers (qtext TEXT, duration FLOAT);")?;
 
     let sqlcm = Sqlcm::attach(&engine);
     // The paper's Duration_LAT, with an aging average (baseline performance may

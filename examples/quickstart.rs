@@ -10,9 +10,8 @@ use sqlcm_repro::prelude::*;
 fn main() -> Result<()> {
     // 1. A host engine with a table.
     let engine = Engine::in_memory();
-    engine.execute_batch(
-        "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT);",
-    )?;
+    engine
+        .execute_batch("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT);")?;
 
     // 2. Attach SQLCM — from here on, probes stream into the monitor.
     let sqlcm = Sqlcm::attach(&engine);
@@ -69,7 +68,10 @@ fn main() -> Result<()> {
     // 7. Inspect what the monitor aggregated.
     let lat = sqlcm.lat("Templates").expect("defined above");
     println!("=== Templates LAT ({} rows) ===", lat.row_count());
-    println!("{:>6} {:>10} {:>14}  {}", "N", "Sig", "Avg_Duration", "Example_Text");
+    println!(
+        "{:>6} {:>10} {:>14}  Example_Text",
+        "N", "Sig", "Avg_Duration"
+    );
     for row in lat.rows_ordered() {
         println!(
             "{:>6} {:>10} {:>12}s  {}",

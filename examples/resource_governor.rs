@@ -58,9 +58,8 @@ fn main() -> Result<()> {
     // The runaway: a cross-join-ish nested-loop monster that would take ages.
     let mut rogue = engine.connect("intern", "adhoc");
     let t0 = std::time::Instant::now();
-    let result = rogue.execute(
-        "SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_quantity < b.l_quantity",
-    );
+    let result = rogue
+        .execute("SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_quantity < b.l_quantity");
     let elapsed = t0.elapsed();
     match result {
         Err(Error::Cancelled) => {

@@ -98,16 +98,13 @@ fn main() -> Result<()> {
     }
     engine.failed_login("eve", "curl");
 
-    let reports = engine.query(
-        "SELECT COUNT(*) AS rows_persisted FROM template_report",
-    )?;
+    let reports = engine.query("SELECT COUNT(*) AS rows_persisted FROM template_report")?;
     println!(
         "template_report rows persisted by the timer rule: {}",
         reports[0][0]
     );
-    let per_period = engine.query(
-        "SELECT at, COUNT(*) FROM template_report GROUP BY at ORDER BY at",
-    )?;
+    let per_period =
+        engine.query("SELECT at, COUNT(*) FROM template_report GROUP BY at ORDER BY at")?;
     println!("reporting periods: {}", per_period.len());
     for p in &per_period {
         println!("  period at t={} — {} templates", p[0], p[1]);

@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 
+use sqlcm_repro::baselines::{missed_count, top_k, QueryCost};
 use sqlcm_repro::engine::engine::{EngineConfig, HistoryMode};
 use sqlcm_repro::prelude::*;
-use sqlcm_repro::baselines::{missed_count, top_k, QueryCost};
 use sqlcm_repro::workloads::{mixed, run_queries, tpch};
 
 fn history_engine() -> (Engine, sqlcm_repro::workloads::TpchDb) {
@@ -26,10 +26,7 @@ fn history_engine() -> (Engine, sqlcm_repro::workloads::TpchDb) {
     (engine, db)
 }
 
-fn run_and_truth(
-    engine: &Engine,
-    w: &[mixed::WorkloadQuery],
-) -> Vec<QueryCost> {
+fn run_and_truth(engine: &Engine, w: &[mixed::WorkloadQuery]) -> Vec<QueryCost> {
     engine.history().unwrap().drain();
     run_queries(engine, w).unwrap();
     engine

@@ -14,7 +14,8 @@ fn engine() -> Engine {
         ..Default::default()
     })
     .unwrap();
-    e.execute_batch("CREATE TABLE acc (id INT PRIMARY KEY, bal INT);").unwrap();
+    e.execute_batch("CREATE TABLE acc (id INT PRIMARY KEY, bal INT);")
+        .unwrap();
     let mut s = e.connect("setup", "t");
     for i in 1..=10 {
         s.execute_params("INSERT INTO acc VALUES (?, 100)", &[Value::Int(i)])
@@ -38,7 +39,11 @@ fn writer_blocks_reader_then_unblocks() {
     std::thread::sleep(Duration::from_millis(40));
     assert_eq!(e.blocked_pairs().len(), 1, "reader visible as blocked");
     w.execute("COMMIT").unwrap();
-    assert_eq!(t.join().unwrap(), Value::Int(0), "reader sees committed value");
+    assert_eq!(
+        t.join().unwrap(),
+        Value::Int(0),
+        "reader sees committed value"
+    );
     assert!(e.blocked_pairs().is_empty());
 }
 
@@ -58,7 +63,9 @@ fn deadlock_victim_can_retry() {
         (r.is_ok(), s2)
     });
     std::thread::sleep(Duration::from_millis(50));
-    let err = s1.execute("UPDATE acc SET bal = 1 WHERE id = 2").unwrap_err();
+    let err = s1
+        .execute("UPDATE acc SET bal = 1 WHERE id = 2")
+        .unwrap_err();
     assert!(matches!(err, Error::Deadlock { .. }), "{err}");
     assert!(!s1.in_transaction(), "victim txn rolled back");
     let (ok, mut s2) = t.join().unwrap();
@@ -78,7 +85,8 @@ fn lock_timeout_reports_resource() {
         ..Default::default()
     })
     .unwrap();
-    e.execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);").unwrap();
+    e.execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);")
+        .unwrap();
     e.query("SELECT 1").unwrap();
     let mut a = e.connect("a", "t");
     a.execute("INSERT INTO t VALUES (1, 1)").unwrap();
@@ -87,7 +95,10 @@ fn lock_timeout_reports_resource() {
     let mut b = e.connect("b", "t");
     let err = b.execute("SELECT v FROM t WHERE id = 1").unwrap_err();
     match err {
-        Error::LockTimeout { resource, waited_micros } => {
+        Error::LockTimeout {
+            resource,
+            waited_micros,
+        } => {
             assert!(resource.contains("row"), "{resource}");
             assert!(waited_micros >= 60_000);
         }
@@ -125,12 +136,11 @@ fn monitor_counts_are_exact_under_concurrency() {
                 let mut s = e.connect(&format!("user{t}"), "t");
                 for i in 0..per_thread {
                     let id = 1 + ((t as u64 * per_thread + i) % 10) as i64;
-                    if s
-                        .execute_params(
-                            "UPDATE acc SET bal = bal + 1 WHERE id = ?",
-                            &[Value::Int(id)],
-                        )
-                        .is_ok()
+                    if s.execute_params(
+                        "UPDATE acc SET bal = bal + 1 WHERE id = ?",
+                        &[Value::Int(id)],
+                    )
+                    .is_ok()
                     {
                         committed.fetch_add(1, Ordering::Relaxed);
                     }
@@ -175,11 +185,7 @@ fn cancel_from_another_session() {
     // Find the running query via the snapshot API and cancel it.
     let mut cancelled = false;
     for _ in 0..500 {
-        if let Some(q) = e
-            .snapshot_active()
-            .into_iter()
-            .find(|q| q.user == "victim")
-        {
+        if let Some(q) = e.snapshot_active().into_iter().find(|q| q.user == "victim") {
             cancelled = e.cancel_query(q.id);
             break;
         }

@@ -1,9 +1,9 @@
 //! Integration tests: the five Section-3 monitoring scenarios, end to end
 //! through the public API (engine + SQLCM attached as a monitor).
 
-use sqlcm_repro::prelude::*;
 use sqlcm_repro::engine::engine::{EngineConfig as Cfg, HistoryMode};
 use sqlcm_repro::monitor::objects;
+use sqlcm_repro::prelude::*;
 use sqlcm_repro::workloads::{blocking, mixed, procs, run_queries, tpch};
 
 fn small_db(engine: &Engine) -> sqlcm_repro::workloads::TpchDb {
@@ -45,7 +45,11 @@ fn example1_outliers_against_aging_average() {
                     "Query.Duration > 5 * Duration_LAT.Avg_Duration \
                      AND Duration_LAT.N >= 5 AND Query.Duration > 0.05",
                 )
-                .then(Action::persist_object("outliers", "Query", &["Query_Text", "Duration"])),
+                .then(Action::persist_object(
+                    "outliers",
+                    "Query",
+                    &["Query_Text", "Duration"],
+                )),
         )
         .unwrap();
     sqlcm
@@ -383,8 +387,10 @@ fn table_class_watchdog_rule() {
     })
     .unwrap();
     engine
-        .execute_batch("CREATE TABLE small (id INT PRIMARY KEY, v INT);\
-                        CREATE TABLE big (id INT PRIMARY KEY, v INT);")
+        .execute_batch(
+            "CREATE TABLE small (id INT PRIMARY KEY, v INT);\
+                        CREATE TABLE big (id INT PRIMARY KEY, v INT);",
+        )
         .unwrap();
     let mut s = engine.connect("u", "a");
     for i in 0..50 {

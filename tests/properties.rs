@@ -12,9 +12,8 @@ use sqlcm_repro::prelude::*;
 /// naive recomputation per group.
 #[test]
 fn lat_aggregates_match_naive_recomputation() {
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(64),
-    );
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(64));
     runner
         .run(
             &proptest::collection::vec((0u64..6, 1u64..100_000), 1..200),
@@ -41,10 +40,7 @@ fn lat_aggregates_match_naive_recomputation() {
                     q.logical_signature = Some(*sig);
                     q.duration_micros = *dur;
                     lat.insert(&query_object(&q)).unwrap();
-                    model
-                        .entry(*sig)
-                        .or_default()
-                        .push(*dur as f64 / 1e6);
+                    model.entry(*sig).or_default().push(*dur as f64 / 1e6);
                 }
                 for (sig, vals) in model {
                     let mut probe = QueryInfo::synthetic(1, "q");
@@ -81,9 +77,8 @@ fn lat_aggregates_match_naive_recomputation() {
 fn aging_sum_matches_block_model() {
     let window = 10_000u64;
     let block = 1_000u64;
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(64),
-    );
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(64));
     runner
         .run(
             // (advance clock by, value) steps.
@@ -136,9 +131,8 @@ fn aging_sum_matches_block_model() {
 /// A top-k LAT must contain exactly the k largest per-group maxima.
 #[test]
 fn topk_lat_equals_sorting() {
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(64),
-    );
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(64));
     runner
         .run(
             &proptest::collection::vec((0u64..50, 1u64..1_000_000), 1..300),
@@ -164,8 +158,7 @@ fn topk_lat_equals_sorting() {
                     let e = model.entry(*sig).or_insert(0);
                     *e = (*e).max(*dur);
                 }
-                let mut expect: Vec<f64> =
-                    model.values().map(|&d| d as f64 / 1e6).collect();
+                let mut expect: Vec<f64> = model.values().map(|&d| d as f64 / 1e6).collect();
                 expect.sort_by(|a, b| b.total_cmp(a));
                 expect.truncate(k);
                 let got: Vec<f64> = lat
@@ -206,9 +199,8 @@ fn signature_invariant_under_constants_end_to_end() {
                 .then(Action::insert("Sigs")),
         )
         .unwrap();
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(32),
-    );
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(32));
     runner
         .run(
             &proptest::collection::vec((any::<i32>(), any::<i32>()), 1..20),
@@ -216,10 +208,8 @@ fn signature_invariant_under_constants_end_to_end() {
                 let mut s = engine.connect("p", "t");
                 for (a, b) in &consts {
                     // Same template, different constants, assorted whitespace.
-                    s.execute(&format!(
-                        "SELECT   b FROM t   WHERE a = {a} AND b < {b}"
-                    ))
-                    .unwrap();
+                    s.execute(&format!("SELECT   b FROM t   WHERE a = {a} AND b < {b}"))
+                        .unwrap();
                 }
                 let lat = sqlcm.lat("Sigs").unwrap();
                 prop_assert_eq!(
@@ -240,9 +230,8 @@ fn signature_invariant_under_constants_end_to_end() {
 /// a model, across clustered and heap tables.
 #[test]
 fn dml_counts_match_model() {
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(24),
-    );
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(24));
     runner
         .run(
             &proptest::collection::vec((any::<bool>(), 0i64..40), 1..120),
@@ -260,17 +249,11 @@ fn dml_counts_match_model() {
                 for (insert, id) in &ops {
                     if *insert {
                         if model.insert(*id) {
-                            s.execute_params(
-                                "INSERT INTO c VALUES (?, 0)",
-                                &[Value::Int(*id)],
-                            )
-                            .unwrap();
+                            s.execute_params("INSERT INTO c VALUES (?, 0)", &[Value::Int(*id)])
+                                .unwrap();
                         } else {
                             assert!(s
-                                .execute_params(
-                                    "INSERT INTO c VALUES (?, 0)",
-                                    &[Value::Int(*id)],
-                                )
+                                .execute_params("INSERT INTO c VALUES (?, 0)", &[Value::Int(*id)],)
                                 .is_err());
                         }
                         s.execute_params("INSERT INTO h VALUES (?, 0)", &[Value::Int(*id)])
@@ -279,10 +262,7 @@ fn dml_counts_match_model() {
                     } else {
                         let removed = model.remove(id);
                         let r = s
-                            .execute_params(
-                                "DELETE FROM c WHERE id = ?",
-                                &[Value::Int(*id)],
-                            )
+                            .execute_params("DELETE FROM c WHERE id = ?", &[Value::Int(*id)])
                             .unwrap();
                         prop_assert_eq!(r.rows_affected, removed as u64);
                     }
@@ -304,9 +284,8 @@ fn dml_counts_match_model() {
 /// GROUP BY through SQL equals a hand-rolled aggregation, for random data.
 #[test]
 fn sql_group_by_matches_model() {
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(24),
-    );
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(24));
     runner
         .run(
             &proptest::collection::vec((0i64..5, 0i64..1000), 1..100),

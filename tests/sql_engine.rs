@@ -97,7 +97,10 @@ fn primary_key_change_relocates_row() {
     let e = engine();
     let mut s = e.connect("u", "t");
     s.execute("UPDATE emp SET id = 100 WHERE id = 1").unwrap();
-    assert!(e.query("SELECT name FROM emp WHERE id = 1").unwrap().is_empty());
+    assert!(e
+        .query("SELECT name FROM emp WHERE id = 1")
+        .unwrap()
+        .is_empty());
     assert_eq!(
         e.query("SELECT name FROM emp WHERE id = 100").unwrap()[0][0],
         Value::text("ada")
@@ -115,7 +118,9 @@ fn delete_and_reinsert() {
     let e = engine();
     let mut s = e.connect("u", "t");
     assert_eq!(
-        s.execute("DELETE FROM emp WHERE dept_id = 2").unwrap().rows_affected,
+        s.execute("DELETE FROM emp WHERE dept_id = 2")
+            .unwrap()
+            .rows_affected,
         2
     );
     assert_eq!(
@@ -134,7 +139,9 @@ fn delete_and_reinsert() {
 fn constraint_violations_are_clean_errors() {
     let e = engine();
     let mut s = e.connect("u", "t");
-    assert!(s.execute("INSERT INTO emp VALUES (1, 1, 'dup', 1.0)").is_err());
+    assert!(s
+        .execute("INSERT INTO emp VALUES (1, 1, 'dup', 1.0)")
+        .is_err());
     assert!(s
         .execute("INSERT INTO emp VALUES (NULL, 1, 'nokey', 1.0)")
         .is_err());
@@ -157,7 +164,8 @@ fn ddl_invalidates_plan_cache() {
     assert!(before.misses > 0);
     s.execute("DROP TABLE emp").unwrap();
     assert!(s.execute("SELECT COUNT(*) FROM emp").is_err());
-    s.execute("CREATE TABLE emp (id INT PRIMARY KEY, x INT)").unwrap();
+    s.execute("CREATE TABLE emp (id INT PRIMARY KEY, x INT)")
+        .unwrap();
     let rows = e.query("SELECT COUNT(*) FROM emp").unwrap();
     assert_eq!(rows[0][0], Value::Int(0), "new table, fresh plan");
 }
@@ -166,13 +174,19 @@ fn ddl_invalidates_plan_cache() {
 fn secondary_index_backfill_and_consistency() {
     let e = engine();
     let mut s = e.connect("u", "t");
-    s.execute("CREATE INDEX emp_by_dept ON emp (dept_id)").unwrap();
+    s.execute("CREATE INDEX emp_by_dept ON emp (dept_id)")
+        .unwrap();
     // DML keeps the index in sync (verified via catalog internals).
-    s.execute("INSERT INTO emp VALUES (6, 1, 'finn', 70.0)").unwrap();
+    s.execute("INSERT INTO emp VALUES (6, 1, 'finn', 70.0)")
+        .unwrap();
     s.execute("DELETE FROM emp WHERE id = 2").unwrap();
     let t = e.catalog().table("emp").unwrap();
     let idx = t.indexes.read()[0].clone();
-    assert_eq!(idx.btree.len().unwrap(), 5, "4 original + 1 insert - 1 delete + 1 = 5");
+    assert_eq!(
+        idx.btree.len().unwrap(),
+        5,
+        "4 original + 1 insert - 1 delete + 1 = 5"
+    );
 }
 
 #[test]
@@ -194,12 +208,12 @@ fn transactions_isolate_and_unwind() {
     let mut s = e.connect("u", "t");
     s.execute("BEGIN").unwrap();
     s.execute("DELETE FROM emp WHERE id = 1").unwrap();
-    s.execute("UPDATE emp SET salary = 1.0 WHERE id = 2").unwrap();
-    s.execute("INSERT INTO emp VALUES (50, 1, 'temp', 9.0)").unwrap();
-    s.execute("ROLLBACK").unwrap();
-    let rows = e
-        .query("SELECT COUNT(*), SUM(salary) FROM emp")
+    s.execute("UPDATE emp SET salary = 1.0 WHERE id = 2")
         .unwrap();
+    s.execute("INSERT INTO emp VALUES (50, 1, 'temp', 9.0)")
+        .unwrap();
+    s.execute("ROLLBACK").unwrap();
+    let rows = e.query("SELECT COUNT(*), SUM(salary) FROM emp").unwrap();
     assert_eq!(rows[0][0], Value::Int(5));
     assert_eq!(rows[0][1], Value::Float(500.0));
 }
@@ -215,7 +229,10 @@ fn prepared_reuse_with_parameters() {
         assert_eq!(rows.rows.len(), 1);
     }
     let stats = e.plan_cache_stats();
-    assert!(stats.hits >= 4, "template cached across executions: {stats:?}");
+    assert!(
+        stats.hits >= 4,
+        "template cached across executions: {stats:?}"
+    );
 }
 
 #[test]
@@ -261,7 +278,9 @@ fn explain_shows_plan_and_signatures() {
     assert!(joined.contains("logical signature"), "{joined}");
 
     // Point select explains to an index seek.
-    let r = e.query("EXPLAIN SELECT name FROM emp WHERE id = 3").unwrap();
+    let r = e
+        .query("EXPLAIN SELECT name FROM emp WHERE id = 3")
+        .unwrap();
     let joined: String = r
         .iter()
         .map(|row| row[0].as_str().unwrap().to_string() + "\n")
