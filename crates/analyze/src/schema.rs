@@ -187,6 +187,29 @@ impl SchemaUniverse {
                     ("Clustered", Bool),
                 ],
             ),
+            // SQLCM's own health snapshot, dispatched by the self-monitoring
+            // bridge on MonitorTick. Latencies are seconds, like every other
+            // duration attribute.
+            ClassSchema::new(
+                "Monitor",
+                false,
+                &[
+                    ("Name", Text),
+                    ("Events", Int),
+                    ("Evaluations", Int),
+                    ("Fires", Int),
+                    ("Actions", Int),
+                    ("Action_Errors", Int),
+                    ("Eval_P50", Float),
+                    ("Eval_P95", Float),
+                    ("Eval_P99", Float),
+                    ("Eval_Max", Float),
+                    ("Probe_P99", Float),
+                    ("Lat_Memory", Int),
+                    ("Rule_Count", Int),
+                    ("Lat_Count", Int),
+                ],
+            ),
         ];
         SchemaUniverse {
             classes,
@@ -409,6 +432,7 @@ mod tests {
             ("Transaction", false),
             ("Session", false),
             ("Timer", false),
+            ("Monitor", false),
         ] {
             assert_eq!(u.class(class).unwrap().iterable, iterable, "{class}");
         }

@@ -1,0 +1,95 @@
+//! **T2 companion — self-telemetry overhead smoke test.**
+//!
+//! The telemetry subsystem instruments the monitor's hottest paths
+//! (`on_event`, rule evaluation), so it must obey the same discipline the
+//! paper demands of the probes themselves (§7: monitoring overhead stays
+//! small). Same point-select workload, SQLCM attached with a firing rule,
+//! telemetry latency collection off vs on, interleaved round-robin so machine
+//! drift cancels out of the ratio.
+//!
+//! Writes `BENCH_t2_probe_overhead.json` (events/sec off vs on) and exits
+//! non-zero when the median paired overhead exceeds the threshold
+//! (`SQLCM_TELEMETRY_MAX_PCT`, default 10%), so CI can gate on it.
+
+use sqlcm_bench::{banner, engine_with_db, env_u32};
+use sqlcm_core::{Action, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::engine::HistoryMode;
+use sqlcm_workloads::{mixed, run_queries};
+
+fn main() {
+    let orders = env_u32("SQLCM_ORDERS", 2_000);
+    let n_queries = env_u32("SQLCM_QUERIES", 4_000);
+    let rounds = env_u32("SQLCM_ROUNDS", 5) as usize;
+    let max_pct = env_u32("SQLCM_TELEMETRY_MAX_PCT", 10) as f64;
+    let (engine, db) = engine_with_db(orders, HistoryMode::Disabled);
+    let workload = mixed::point_select_workload(&db, n_queries, 7);
+    banner(
+        "T2 smoke: self-telemetry overhead (latency histograms + flight recorder)",
+        &format!(
+            "{n_queries} point selects on lineitem ({} rows), one Insert rule",
+            db.lineitem_count
+        ),
+    );
+
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_topk_duration_lat("TopK", 10)
+        .expect("LAT definition");
+    sqlcm
+        .add_rule(
+            Rule::new("track")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("TopK")),
+        )
+        .expect("rule registration");
+
+    let run = || {
+        let t = std::time::Instant::now();
+        run_queries(&engine, &workload).expect("workload");
+        t.elapsed()
+    };
+    run(); // warmup
+    let mut offs = Vec::new();
+    let mut ratios = Vec::new();
+    for _ in 0..rounds {
+        sqlcm.set_telemetry_enabled(false);
+        let off = run();
+        sqlcm.set_telemetry_enabled(true);
+        let on = run();
+        ratios.push(on.as_secs_f64() / off.as_secs_f64());
+        offs.push(off);
+    }
+    offs.sort();
+    ratios.sort_by(f64::total_cmp);
+    let off_median = offs[rounds / 2];
+    let ratio = ratios[rounds / 2];
+    let overhead_pct = (ratio - 1.0) * 100.0;
+    let events_per_sec_off = n_queries as f64 / off_median.as_secs_f64();
+    let events_per_sec_on = events_per_sec_off / ratio;
+
+    println!("telemetry off:  {off_median:>10.3?}  ({events_per_sec_off:.0} events/s, baseline)");
+    println!(
+        "telemetry on:   {:>+9.2}%  (median paired ratio, {:.0} events/s)",
+        overhead_pct, events_per_sec_on
+    );
+    let snap = sqlcm.telemetry();
+    println!(
+        "collected: {} firings recorded, p99 condition latency {}ns",
+        snap.flight_total,
+        snap.merged_condition_latency().p99()
+    );
+
+    let json = format!(
+        "{{\"bench\":\"t2_telemetry_smoke\",\"queries\":{n_queries},\"rounds\":{rounds},\
+         \"events_per_sec_off\":{events_per_sec_off:.1},\"events_per_sec_on\":{events_per_sec_on:.1},\
+         \"overhead_pct\":{overhead_pct:.2},\"threshold_pct\":{max_pct:.1}}}"
+    );
+    std::fs::write("BENCH_t2_probe_overhead.json", &json).expect("write BENCH json");
+    println!("wrote BENCH_t2_probe_overhead.json: {json}");
+
+    if overhead_pct > max_pct {
+        eprintln!("FAIL: telemetry-on overhead {overhead_pct:.2}% exceeds {max_pct:.1}%");
+        std::process::exit(1);
+    }
+    println!("PASS: overhead within {max_pct:.1}%");
+}

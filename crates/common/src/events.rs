@@ -194,6 +194,51 @@ pub enum ProbeKind {
     Logout,
 }
 
+impl ProbeKind {
+    /// Number of probe points.
+    pub const COUNT: usize = 12;
+
+    /// Every probe kind, in `index()` order — for building per-kind tables
+    /// and interest masks.
+    pub const ALL: [ProbeKind; ProbeKind::COUNT] = [
+        ProbeKind::QueryStart,
+        ProbeKind::QueryCompile,
+        ProbeKind::QueryCommit,
+        ProbeKind::QueryRollback,
+        ProbeKind::QueryCancel,
+        ProbeKind::QueryBlocked,
+        ProbeKind::BlockReleased,
+        ProbeKind::TxnBegin,
+        ProbeKind::TxnCommit,
+        ProbeKind::TxnRollback,
+        ProbeKind::Login,
+        ProbeKind::Logout,
+    ];
+
+    /// Dense index in `0..COUNT`, usable as a table offset or bitmask bit.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable name, matching [`EngineEvent::name`] for the same probe.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKind::QueryStart => "Query.Start",
+            ProbeKind::QueryCompile => "Query.Compile",
+            ProbeKind::QueryCommit => "Query.Commit",
+            ProbeKind::QueryRollback => "Query.Rollback",
+            ProbeKind::QueryCancel => "Query.Cancel",
+            ProbeKind::QueryBlocked => "Query.Blocked",
+            ProbeKind::BlockReleased => "Query.Block_Released",
+            ProbeKind::TxnBegin => "Transaction.Begin",
+            ProbeKind::TxnCommit => "Transaction.Commit",
+            ProbeKind::TxnRollback => "Transaction.Rollback",
+            ProbeKind::Login => "Session.Login",
+            ProbeKind::Logout => "Session.Logout",
+        }
+    }
+}
+
 impl EngineEvent {
     /// The probe point this event came from.
     pub fn kind(&self) -> ProbeKind {
@@ -279,5 +324,16 @@ mod tests {
         })
         .query()
         .is_none());
+    }
+
+    #[test]
+    fn probe_kind_index_is_dense_and_names_match_events() {
+        assert_eq!(ProbeKind::ALL.len(), ProbeKind::COUNT);
+        for (i, kind) in ProbeKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i, "ALL must be in index() order");
+        }
+        let q = QueryInfo::synthetic(1, "SELECT 1");
+        let commit = EngineEvent::QueryCommit(q);
+        assert_eq!(commit.kind().name(), commit.name());
     }
 }

@@ -72,6 +72,7 @@ pub fn event_ir(event: &RuleEvent) -> EventIr {
         RuleEvent::Logout => ("Logout", None),
         RuleEvent::TimerAlarm(t) => ("TimerAlarm", Some(t.clone())),
         RuleEvent::LatEviction(l) => ("LatEviction", Some(l.clone())),
+        RuleEvent::MonitorTick => ("MonitorTick", None),
     };
     EventIr {
         kind: kind.to_string(),
@@ -176,6 +177,7 @@ mod tests {
             (ClassName::Session, objects::SESSION_ATTRS.to_vec()),
             (ClassName::Timer, objects::TIMER_ATTRS.to_vec()),
             (ClassName::Table, objects::TABLE_ATTRS.to_vec()),
+            (ClassName::Monitor, objects::MONITOR_ATTRS.to_vec()),
         ];
         for (class, runtime_attrs) in classes {
             let schema = universe

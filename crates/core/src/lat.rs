@@ -475,18 +475,22 @@ impl AgingState {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>, now: Timestamp) -> Result<()> {
+    /// Returns whether the value opened a new aging block (a "roll").
+    fn update(&mut self, v: Option<&Value>, now: Timestamp) -> Result<bool> {
         self.expire(now);
         let block_start = now - now % self.spec.block_micros;
         match self.blocks.back_mut() {
-            Some((start, state)) if *start == block_start => state.update(v)?,
+            Some((start, state)) if *start == block_start => {
+                state.update(v)?;
+                Ok(false)
+            }
             _ => {
                 let mut state = AggState::new(self.func);
                 state.update(v)?;
                 self.blocks.push_back((block_start, state));
+                Ok(true)
             }
         }
-        Ok(())
     }
 
     fn finish(&self, now: Timestamp) -> Value {
@@ -521,9 +525,10 @@ enum ColumnState {
 }
 
 impl ColumnState {
-    fn update(&mut self, v: Option<&Value>, now: Timestamp) -> Result<()> {
+    /// Returns whether an aging column rolled over to a new block.
+    fn update(&mut self, v: Option<&Value>, now: Timestamp) -> Result<bool> {
         match self {
-            ColumnState::Plain(s) => s.update(v),
+            ColumnState::Plain(s) => s.update(v).map(|()| false),
             ColumnState::Aging(s) => s.update(v, now),
         }
     }
@@ -568,6 +573,10 @@ pub struct LatStats {
     pub inserts: u64,
     pub evictions: u64,
     pub resets: u64,
+    /// Aging blocks opened (paper §4.3's Δ-block rollover), across all rows.
+    pub aging_rolls: u64,
+    /// Highest row count ever observed (size-bound headroom indicator).
+    pub row_high_water: u64,
 }
 
 /// A live light-weight aggregation table.
@@ -586,6 +595,8 @@ pub struct Lat {
     inserts: AtomicU64,
     evictions: AtomicU64,
     resets: AtomicU64,
+    aging_rolls: AtomicU64,
+    row_high_water: AtomicU64,
 }
 
 impl std::fmt::Debug for Lat {
@@ -642,6 +653,8 @@ impl Lat {
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             resets: AtomicU64::new(0),
+            aging_rolls: AtomicU64::new(0),
+            row_high_water: AtomicU64::new(0),
         })
     }
 
@@ -659,6 +672,8 @@ impl Lat {
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
+            aging_rolls: self.aging_rolls.load(Ordering::Relaxed),
+            row_high_water: self.row_high_water.load(Ordering::Relaxed),
         }
     }
 
@@ -726,6 +741,8 @@ impl Lat {
             self.update_row(&mut row, obj, now)?;
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.row_high_water
+            .fetch_max(rows.len() as u64, Ordering::Relaxed);
         Ok(self.enforce_size_locked(&mut rows, now, want_evicted))
     }
 
@@ -741,7 +758,9 @@ impl Lat {
                     ))
                 })?),
             };
-            state.update(v, now)?;
+            if state.update(v, now)? {
+                self.aging_rolls.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(())
     }
@@ -896,10 +915,13 @@ impl Lat {
                 None => ColumnState::Plain(state),
             });
         }
-        self.rows.write().insert(
+        let mut rows = self.rows.write();
+        rows.insert(
             key.clone(),
             Arc::new(Mutex::new(LatRow { group: key, aggs })),
         );
+        self.row_high_water
+            .fetch_max(rows.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -1010,6 +1032,32 @@ mod tests {
         assert_eq!(row[1], Value::Float(3.0), "AVG");
         assert_eq!(row[2], Value::Int(2), "COUNT");
         assert!(lat.lookup_for(&qobj(99, 0.0)).is_none());
+    }
+
+    #[test]
+    fn aging_rolls_and_row_high_water_counted() {
+        let (clock, handle) = ManualClock::shared(0);
+        let spec = LatSpec::new("Rolling")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .aging(1_000, 100)
+            .order_by("N", true)
+            .max_rows(2);
+        let lat = Lat::new(spec, clock).unwrap();
+        lat.insert(&qobj(1, 1.0)).unwrap(); // opens block 0
+        lat.insert(&qobj(1, 1.0)).unwrap(); // same block
+        handle.advance(100);
+        lat.insert(&qobj(1, 1.0)).unwrap(); // rolls to block 1
+        lat.insert(&qobj(2, 1.0)).unwrap(); // new group: its first block
+        assert_eq!(lat.stats().aging_rolls, 3);
+        assert_eq!(lat.stats().row_high_water, 2);
+        // Eviction shrinks the table but not the high-water mark.
+        lat.insert(&qobj(3, 1.0)).unwrap();
+        assert_eq!(lat.row_count(), 2);
+        assert_eq!(lat.stats().row_high_water, 3);
+        lat.reset();
+        assert_eq!(lat.row_count(), 0);
+        assert_eq!(lat.stats().row_high_water, 3, "high water survives reset");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod monitor;
 pub mod objects;
 pub mod rules;
 pub mod sinks;
+pub mod telemetry;
 pub mod timer;
 
 pub use actions::Action;
@@ -61,4 +62,5 @@ pub use monitor::{Sqlcm, SqlcmStats};
 pub use objects::{ClassName, Object};
 pub use rules::{Rule, RuleEvent};
 pub use sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
+pub use telemetry::{LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, TelemetrySnapshot};
 pub use timer::TimerRegistry;

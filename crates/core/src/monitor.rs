@@ -24,6 +24,7 @@ use sqlcm_engine::instrument::Instrumentation;
 use sqlcm_engine::Engine;
 
 use sqlcm_analyze::{Analyzer, Diagnostic};
+use sqlcm_telemetry::{FlightRecord, LatencyHistogram, Stopwatch};
 
 use crate::actions::{persist_rows, read_table, substitute, Action};
 use crate::analysis;
@@ -31,6 +32,10 @@ use crate::lat::{Lat, LatAggFunc, LatSpec};
 use crate::objects::{self, evicted_object, ClassName, Object};
 use crate::rules::{EvalContext, Rule, RuleEvent};
 use crate::sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
+use crate::telemetry::{
+    LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, Telem, TelemetrySnapshot,
+    SELF_MONITOR_TIMER,
+};
 use crate::timer::TimerRegistry;
 
 /// Aggregate counters for one SQLCM instance.
@@ -58,6 +63,10 @@ struct Registered {
     cond_classes: Vec<ClassName>,
     /// LAT names the condition references (lowercased).
     cond_lats: Vec<String>,
+    /// Condition-evaluation wall time, nanoseconds (telemetry).
+    cond_latency: LatencyHistogram,
+    /// Action-execution wall time per firing, nanoseconds (telemetry).
+    action_latency: LatencyHistogram,
 }
 
 /// An action with its LAT target (if any) pre-resolved — no name lookup on the
@@ -97,6 +106,8 @@ struct SqlcmInner {
     last_error: Mutex<Option<String>>,
     /// Warnings collected by the static analyzer across registrations.
     analysis_warnings: Mutex<Vec<Diagnostic>>,
+    /// Self-telemetry state (probe/rule/LAT metrics, flight recorder).
+    telemetry: Telem,
     shutdown: AtomicBool,
 }
 
@@ -120,15 +131,24 @@ thread_local! {
 impl Instrumentation for SqlcmMonitor {
     fn on_event(&self, event: &EngineEvent) {
         self.inner.events.fetch_add(1, Ordering::Relaxed);
+        let probe = event.kind();
+        let telem = &self.inner.telemetry;
+        // Per-kind attribution is a single sharded-counter increment and stays
+        // on even when latency telemetry is off, so the per-probe counts always
+        // sum to `SqlcmStats::events`.
+        telem.probe_events[probe.index()].incr();
+        let sw = telem.enabled().then(Stopwatch::start);
         // Cheap pre-filter: assembling monitored objects clones strings, so do
         // it only when some rule subscribes to this event kind — "no monitoring
         // is performed unless it is required by a rule" (§2.1).
         let kind = kind_of(event);
-        if !self.inner.has_rules_for(&kind) {
-            return;
+        if self.inner.has_rules_for(&kind) {
+            let objects = payload_objects(event);
+            self.inner.dispatch(kind, objects);
         }
-        let objects = payload_objects(event);
-        self.inner.dispatch(kind, objects);
+        if let Some(sw) = sw {
+            telem.probe_latency[probe.index()].record(sw.elapsed_nanos());
+        }
     }
 
     fn name(&self) -> &str {
@@ -339,6 +359,10 @@ impl SqlcmInner {
     fn evaluate_combo(&self, reg: &Registered, combo: &[Object]) {
         reg.rule.evaluations.fetch_add(1, Ordering::Relaxed);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        // One clock read here, one after the condition, one after the actions
+        // (only when the rule fires) — the condition and action spans are both
+        // derived from the same stopwatch.
+        let sw = self.telemetry.enabled().then(Stopwatch::start);
 
         // Bind LAT rows for the condition (implicit ∃, §5.2). The map is only
         // allocated when the condition actually references LATs.
@@ -351,10 +375,10 @@ impl SqlcmInner {
                 let lat = match lats.get(name) {
                     Some(l) => l.clone(),
                     None => {
-                        self.record_error(format!(
-                            "rule {} references unknown LAT {name}",
-                            reg.rule.name
-                        ));
+                        self.record_error(
+                            &reg.rule.name,
+                            format!("rule {} references unknown LAT {name}", reg.rule.name),
+                        );
                         return;
                     }
                 };
@@ -372,29 +396,71 @@ impl SqlcmInner {
                 .as_ref()
                 .unwrap_or_else(|| EMPTY.get_or_init(HashMap::new)),
         };
+        let mut cond_error = false;
         let fire = match &reg.compiled {
             None => true,
             Some(c) => match crate::rules::eval_condition_compiled(c, &ctx) {
                 Ok(b) => b,
                 Err(e) => {
+                    cond_error = true;
                     reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
-                    self.record_error(format!("condition of rule {} failed: {e}", reg.rule.name));
+                    self.record_error(
+                        &reg.rule.name,
+                        format!("condition of rule {} failed: {e}", reg.rule.name),
+                    );
                     false
                 }
             },
         };
+        let cond_nanos = sw.as_ref().map(|s| s.elapsed_nanos());
+        if let Some(ns) = cond_nanos {
+            reg.cond_latency.record(ns);
+        }
         if !fire {
+            // Errored evaluations are worth replaying; silent non-fires are not.
+            if cond_error {
+                if let Some(ns) = cond_nanos {
+                    self.telemetry.recorder.record(FlightRecord {
+                        seq: 0,
+                        event: reg.rule.event.to_string(),
+                        rule: reg.rule.name.clone(),
+                        fired: false,
+                        actions: 0,
+                        errors: 1,
+                        duration_nanos: ns,
+                    });
+                }
+            }
             return;
         }
         reg.rule.fires.fetch_add(1, Ordering::Relaxed);
         self.fires.fetch_add(1, Ordering::Relaxed);
+        let mut errors = 0u32;
         for action in &reg.actions {
             self.actions.fetch_add(1, Ordering::Relaxed);
+            reg.rule.executed_actions.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = self.execute_compiled_action(action, &ctx) {
+                errors += 1;
                 reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
                 self.action_errors.fetch_add(1, Ordering::Relaxed);
-                self.record_error(format!("action of rule {} failed: {e}", reg.rule.name));
+                self.record_error(
+                    &reg.rule.name,
+                    format!("action of rule {} failed: {e}", reg.rule.name),
+                );
             }
+        }
+        if let (Some(sw), Some(cond_ns)) = (sw.as_ref(), cond_nanos) {
+            let total = sw.elapsed_nanos();
+            reg.action_latency.record(total.saturating_sub(cond_ns));
+            self.telemetry.recorder.record(FlightRecord {
+                seq: 0,
+                event: reg.rule.event.to_string(),
+                rule: reg.rule.name.clone(),
+                fired: true,
+                actions: reg.actions.len() as u32,
+                errors,
+                duration_nanos: total,
+            });
         }
     }
 
@@ -558,15 +624,115 @@ impl SqlcmInner {
             .ok_or_else(|| Error::Monitor(format!("unknown LAT {name}")))
     }
 
-    fn record_error(&self, msg: String) {
+    /// Record a swallowed error both globally (`last_error`) and in the
+    /// bounded per-rule map.
+    fn record_error(&self, rule: &str, msg: String) {
+        self.telemetry.record_rule_error(rule, msg.clone());
         *self.last_error.lock() = Some(msg);
     }
 
-    /// Fire due timers on the calling thread.
+    /// Fire due timers on the calling thread. Alarms on the reserved
+    /// self-monitoring timer become `Monitor.Tick` events instead of
+    /// `Timer.Alarm` ones.
     fn poll_timers(&self) {
         for alarm in self.timers.due_timers() {
+            if alarm.name == SELF_MONITOR_TIMER {
+                self.poll_self_monitor();
+                continue;
+            }
             let obj = objects::timer_object(&alarm.name, alarm.fired_at, alarm.remaining);
             self.dispatch(RuleEvent::TimerAlarm(alarm.name.clone()), vec![obj]);
+        }
+    }
+
+    /// The self-monitoring bridge: materialize the telemetry snapshot as a
+    /// synthetic `Monitor` object and dispatch it as `Monitor.Tick`, so ECA
+    /// rules can watch the monitor's own health. Skipped entirely when no
+    /// rule subscribes (§2.1 applies to self-observation too).
+    fn poll_self_monitor(&self) {
+        if !self.has_rules_for(&RuleEvent::MonitorTick) {
+            return;
+        }
+        let health = self.telemetry_snapshot().health();
+        self.dispatch(
+            RuleEvent::MonitorTick,
+            vec![objects::monitor_object(&health)],
+        );
+    }
+
+    fn stats_now(&self) -> SqlcmStats {
+        SqlcmStats {
+            events: self.events.load(Ordering::Relaxed),
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            fires: self.fires.load(Ordering::Relaxed),
+            actions: self.actions.load(Ordering::Relaxed),
+            action_errors: self.action_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Assemble an owned point-in-time view of all telemetry.
+    fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        use sqlcm_common::ProbeKind;
+        let telem = &self.telemetry;
+        let probes = ProbeKind::ALL
+            .iter()
+            .map(|k| ProbeTelemetry {
+                kind: k.name(),
+                events: telem.probe_events[k.index()].get(),
+                on_event: telem.probe_latency[k.index()].snapshot(),
+            })
+            .collect();
+        let rules = {
+            let rule_errors = telem.rule_errors.lock();
+            self.rules
+                .read()
+                .iter()
+                .map(|reg| {
+                    let stats = reg.rule.stats();
+                    RuleTelemetry {
+                        name: reg.rule.name.clone(),
+                        event: reg.rule.event.to_string(),
+                        evaluations: stats.evaluations,
+                        fires: stats.fires,
+                        actions: stats.actions,
+                        action_errors: stats.action_errors,
+                        condition: reg.cond_latency.snapshot(),
+                        action: reg.action_latency.snapshot(),
+                        last_error: rule_errors.get(&reg.rule.name).map(|e| RuleError {
+                            rule: reg.rule.name.clone(),
+                            count: e.count,
+                            message: e.message.clone(),
+                        }),
+                    }
+                })
+                .collect()
+        };
+        let mut lats: Vec<LatTelemetry> = self
+            .lats
+            .read()
+            .values()
+            .map(|lat| {
+                let stats = lat.stats();
+                LatTelemetry {
+                    name: lat.spec.name.clone(),
+                    inserts: stats.inserts,
+                    evictions: stats.evictions,
+                    resets: stats.resets,
+                    aging_rolls: stats.aging_rolls,
+                    rows: lat.row_count() as u64,
+                    row_high_water: stats.row_high_water,
+                    memory_bytes: lat.memory_bytes() as u64,
+                }
+            })
+            .collect();
+        lats.sort_by(|a, b| a.name.cmp(&b.name));
+        TelemetrySnapshot {
+            stats: self.stats_now(),
+            probes,
+            rules,
+            lats,
+            flight_records: telem.recorder.snapshot(),
+            flight_total: telem.recorder.total_recorded(),
         }
     }
 }
@@ -596,6 +762,7 @@ impl Sqlcm {
             action_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
             analysis_warnings: Mutex::new(Vec::new()),
+            telemetry: Telem::new(),
             shutdown: AtomicBool::new(false),
         });
         engine.attach_monitor(Arc::new(SqlcmMonitor {
@@ -854,6 +1021,8 @@ impl Sqlcm {
             actions: compiled_actions,
             cond_classes,
             cond_lats: cond_lats.iter().map(|l| l.to_ascii_lowercase()).collect(),
+            cond_latency: LatencyHistogram::new(),
+            action_latency: LatencyHistogram::new(),
         });
         rules.push(registered.clone());
         self.inner
@@ -862,20 +1031,32 @@ impl Sqlcm {
             .entry(registered.rule.event.clone())
             .or_default()
             .push(registered);
+        drop(rules);
+        // The engine caches which probe kinds any sink wants; fold the new
+        // subscription into that mask or its events never reach us.
+        self.inner.engine.monitors.refresh_interest();
         Ok(rule)
     }
 
     /// Remove a rule; true when it existed.
     pub fn remove_rule(&self, name: &str) -> bool {
-        let mut rules = self.inner.rules.write();
-        let before = rules.len();
-        rules.retain(|r| r.rule.name != name);
-        let mut by_event = self.inner.rules_by_event.write();
-        for rs in by_event.values_mut() {
-            rs.retain(|r| r.rule.name != name);
+        let removed = {
+            let mut rules = self.inner.rules.write();
+            let before = rules.len();
+            rules.retain(|r| r.rule.name != name);
+            let mut by_event = self.inner.rules_by_event.write();
+            for rs in by_event.values_mut() {
+                rs.retain(|r| r.rule.name != name);
+            }
+            by_event.retain(|_, rs| !rs.is_empty());
+            rules.len() != before
+        };
+        if removed {
+            // Shrink the engine's probe-interest mask (guards are released
+            // first: refreshing reads `rules_by_event` through `wants`).
+            self.inner.engine.monitors.refresh_interest();
         }
-        by_event.retain(|_, rs| !rs.is_empty());
-        rules.len() != before
+        removed
     }
 
     pub fn rule(&self, name: &str) -> Option<Arc<Rule>> {
@@ -946,18 +1127,58 @@ impl Sqlcm {
     }
 
     pub fn stats(&self) -> SqlcmStats {
-        SqlcmStats {
-            events: self.inner.events.load(Ordering::Relaxed),
-            evaluations: self.inner.evaluations.load(Ordering::Relaxed),
-            fires: self.inner.fires.load(Ordering::Relaxed),
-            actions: self.inner.actions.load(Ordering::Relaxed),
-            action_errors: self.inner.action_errors.load(Ordering::Relaxed),
-        }
+        self.inner.stats_now()
     }
 
     /// Last swallowed action/condition error, for diagnostics.
     pub fn last_error(&self) -> Option<String> {
         self.inner.last_error.lock().clone()
+    }
+
+    // ------------------------------------------------------------ telemetry
+
+    /// Point-in-time snapshot of everything the monitor knows about itself:
+    /// per-probe counts and `on_event` latency, per-rule evaluation/fire/action
+    /// counts with condition and action latency, per-LAT occupancy and churn,
+    /// and the flight recorder of recent firings.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry_snapshot()
+    }
+
+    /// Toggle latency histograms and the flight recorder (per-probe and global
+    /// *counters* stay on; only state requiring clock reads is gated).
+    pub fn set_telemetry_enabled(&self, on: bool) {
+        self.inner.telemetry.set_enabled(on);
+    }
+
+    pub fn telemetry_enabled(&self) -> bool {
+        self.inner.telemetry.enabled()
+    }
+
+    /// Per-rule last errors (bounded map; sorted by rule name).
+    pub fn rule_errors(&self) -> Vec<RuleError> {
+        self.inner.telemetry.rule_errors_snapshot()
+    }
+
+    /// Run one self-monitoring tick synchronously: if any rule subscribes to
+    /// [`RuleEvent::MonitorTick`], a synthetic `Monitor` object carrying the
+    /// current [`TelemetrySnapshot::health`] is dispatched through the normal
+    /// rule pipeline.
+    pub fn poll_self_monitor(&self) {
+        self.inner.poll_self_monitor();
+    }
+
+    /// Arm the reserved self-monitoring timer: every `period_micros`, timer
+    /// polling emits a `Monitor.Tick` (see [`Sqlcm::poll_self_monitor`])
+    /// instead of a `Timer.Alarm`. Pair with [`Sqlcm::start_timer_thread`]
+    /// for wall-clock driving, or [`Sqlcm::poll_timers`] under a manual clock.
+    pub fn enable_self_monitoring(&self, period_micros: u64) {
+        self.set_timer(SELF_MONITOR_TIMER, period_micros, -1);
+    }
+
+    /// Disarm the reserved self-monitoring timer.
+    pub fn disable_self_monitoring(&self) {
+        self.set_timer(SELF_MONITOR_TIMER, 1, 0);
     }
 
     /// Convenience used by examples/benches: quick top-k LAT over query
@@ -1397,5 +1618,220 @@ mod tests {
         engine.failed_login("mallory", "cracker");
         let rows = engine.query("SELECT COUNT(*) FROM login_failures").unwrap();
         assert_eq!(rows[0][0], Value::Int(2));
+    }
+
+    // ------------------------------------------------------------ telemetry
+
+    #[test]
+    fn telemetry_snapshot_is_consistent_with_stats() {
+        let (engine, sqlcm) = setup();
+        sqlcm
+            .define_lat(
+                LatSpec::new("ByType")
+                    .group_by("Query.Query_Type", "QType")
+                    .aggregate(LatAggFunc::Count, "", "N"),
+            )
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("track")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::insert("ByType")),
+            )
+            .unwrap();
+        seed(&engine, 4);
+        engine.query("SELECT * FROM t").unwrap();
+
+        let snap = sqlcm.telemetry();
+        let stats = sqlcm.stats();
+        assert_eq!(snap.stats, stats);
+        // Per-probe counts partition the global event count exactly.
+        assert_eq!(
+            snap.probes.iter().map(|p| p.events).sum::<u64>(),
+            stats.events
+        );
+        // Per-rule counters partition the global ones (one rule here).
+        assert_eq!(
+            snap.rules.iter().map(|r| r.evaluations).sum::<u64>(),
+            stats.evaluations
+        );
+        assert_eq!(snap.rules.iter().map(|r| r.fires).sum::<u64>(), stats.fires);
+        assert_eq!(
+            snap.rules.iter().map(|r| r.actions).sum::<u64>(),
+            stats.actions
+        );
+        let track = &snap.rules[0];
+        assert_eq!(track.name, "track");
+        assert_eq!(track.event, "Query.Commit");
+        assert_eq!(track.condition.count, track.evaluations);
+        assert_eq!(track.action.count, track.fires);
+        // LAT attribution made it into the snapshot.
+        let by_type = snap.lats.iter().find(|l| l.name == "ByType").unwrap();
+        assert_eq!(by_type.inserts, stats.fires);
+        assert!(by_type.rows >= 2 && by_type.row_high_water >= by_type.rows);
+        // Every firing is in the flight recorder (workload fits the ring).
+        assert_eq!(snap.flight_total, stats.fires);
+        assert!(snap
+            .flight_records
+            .iter()
+            .all(|r| r.rule == "track" && r.fired && r.event == "Query.Commit"));
+        // Renderers don't panic and carry the headline numbers.
+        assert!(snap.to_text().contains("Query.Commit"));
+        assert!(snap.to_json().contains("\"rules\":[{\"name\":\"track\""));
+    }
+
+    #[test]
+    fn telemetry_disabled_gates_clocks_but_not_counts() {
+        let (engine, sqlcm) = setup();
+        sqlcm
+            .add_rule(
+                Rule::new("mail")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::send_mail("x", "y")),
+            )
+            .unwrap();
+        assert!(sqlcm.telemetry_enabled());
+        sqlcm.set_telemetry_enabled(false);
+        seed(&engine, 3);
+        let snap = sqlcm.telemetry();
+        // Counters still attribute...
+        assert_eq!(
+            snap.probes.iter().map(|p| p.events).sum::<u64>(),
+            snap.stats.events
+        );
+        assert_eq!(snap.rules[0].fires, 3);
+        // ...but nothing that needs a clock read was recorded.
+        assert!(snap.rules[0].condition.is_empty());
+        assert!(snap.rules[0].action.is_empty());
+        assert!(snap.probes.iter().all(|p| p.on_event.is_empty()));
+        assert!(snap.flight_records.is_empty());
+        sqlcm.set_telemetry_enabled(true);
+        seed_more(&engine);
+        assert!(!sqlcm.telemetry().flight_records.is_empty());
+    }
+
+    #[test]
+    fn rule_errors_are_attributed_per_rule() {
+        let (engine, sqlcm) = setup();
+        sqlcm
+            .add_rule(
+                Rule::new("broken")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::persist_object("missing_table", "Query", &["ID"])),
+            )
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("fine")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::send_mail("x", "y")),
+            )
+            .unwrap();
+        seed(&engine, 3);
+        let errors = sqlcm.rule_errors();
+        assert_eq!(errors.len(), 1, "only the broken rule has errors");
+        assert_eq!(errors[0].rule, "broken");
+        assert_eq!(errors[0].count, 3);
+        assert!(errors[0].message.contains("missing_table"));
+        // The snapshot carries the same attribution per rule.
+        let snap = sqlcm.telemetry();
+        let broken = snap.rules.iter().find(|r| r.name == "broken").unwrap();
+        assert_eq!(broken.last_error.as_ref().unwrap().count, 3);
+        assert!(snap
+            .rules
+            .iter()
+            .find(|r| r.name == "fine")
+            .unwrap()
+            .last_error
+            .is_none());
+        // Firings with failed actions show their error count in the recorder.
+        assert!(snap
+            .flight_records
+            .iter()
+            .filter(|r| r.rule == "broken")
+            .all(|r| r.errors == 1));
+    }
+
+    /// End-to-end self-monitoring bridge: an ECA rule subscribed to
+    /// `Monitor.Tick` observes the monitor's own health as a synthetic
+    /// `Monitor` object (and the static analyzer admits the class).
+    #[test]
+    fn self_monitoring_rule_fires_on_monitor_tick() {
+        use sqlcm_common::ManualClock;
+        let (clock, handle) = ManualClock::shared(0);
+        let engine = Engine::new(EngineConfig {
+            clock: Some(clock),
+            ..Default::default()
+        })
+        .unwrap();
+        engine
+            .execute_batch(
+                "CREATE TABLE t (id INT PRIMARY KEY, v INT);\
+                 CREATE TABLE health_log (name TEXT, events INT, rules INT);",
+            )
+            .unwrap();
+        let sqlcm = Sqlcm::attach(&engine);
+        // A probe-subscribed rule so engine events actually reach the monitor
+        // ("no monitoring unless required by a rule" — with only a
+        // Monitor.Tick rule the probe-interest mask stays empty).
+        sqlcm
+            .add_rule(
+                Rule::new("audit")
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::send_mail("dba", "commit {Query.ID}")),
+            )
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new("watch_self")
+                    .on(RuleEvent::MonitorTick)
+                    .when("Monitor.Events >= 0 AND Monitor.Action_Errors = 0")
+                    .then(Action::persist_object(
+                        "health_log",
+                        "Monitor",
+                        &["Name", "Events", "Rule_Count"],
+                    )),
+            )
+            .unwrap();
+        let mut s = engine.connect("dba", "demo");
+        s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        let events_before = sqlcm.stats().events;
+        assert!(events_before > 0);
+
+        // Timer-driven path: the reserved timer raises Monitor.Tick.
+        sqlcm.enable_self_monitoring(1_000_000);
+        handle.advance(1_000_000);
+        sqlcm.poll_timers();
+        let rows = engine
+            .query("SELECT name, events, rules FROM health_log")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::text("sqlcm"));
+        assert_eq!(rows[0][1], Value::Int(events_before as i64));
+        assert_eq!(rows[0][2], Value::Int(2));
+
+        // Direct path, after disarming the timer.
+        sqlcm.disable_self_monitoring();
+        handle.advance(5_000_000);
+        sqlcm.poll_timers();
+        assert_eq!(
+            engine.query("SELECT COUNT(*) FROM health_log").unwrap()[0][0],
+            Value::Int(1),
+            "disarmed timer raises no more ticks"
+        );
+        sqlcm.poll_self_monitor();
+        assert_eq!(
+            engine.query("SELECT COUNT(*) FROM health_log").unwrap()[0][0],
+            Value::Int(2)
+        );
+        // The tick itself was counted as a monitor evaluation.
+        assert!(sqlcm.rule("watch_self").unwrap().stats().fires >= 2);
+    }
+
+    #[test]
+    fn self_monitor_tick_without_subscribers_is_free() {
+        let (_engine, sqlcm) = setup();
+        sqlcm.poll_self_monitor();
+        assert_eq!(sqlcm.stats().evaluations, 0, "no rules: tick is a no-op");
     }
 }

@@ -27,6 +27,9 @@ pub enum ClassName {
     /// ("this schema can be augmented to cover other relevant server objects
     /// (e.g., Table)", §2.2).
     Table,
+    /// SQLCM's own health: a snapshot of the monitor's telemetry, so ECA
+    /// rules can watch the watcher (raised by the self-monitoring bridge).
+    Monitor,
     /// Evicted row of the named LAT.
     Evicted(String),
 }
@@ -49,6 +52,8 @@ impl ClassName {
             Some(ClassName::Session)
         } else if s.eq_ignore_ascii_case("table") {
             Some(ClassName::Table)
+        } else if s.eq_ignore_ascii_case("monitor") {
+            Some(ClassName::Monitor)
         } else {
             None
         }
@@ -65,6 +70,7 @@ impl std::fmt::Display for ClassName {
             ClassName::Timer => f.write_str("Timer"),
             ClassName::Session => f.write_str("Session"),
             ClassName::Table => f.write_str("Table"),
+            ClassName::Monitor => f.write_str("Monitor"),
             ClassName::Evicted(lat) => write!(f, "Evicted({lat})"),
         }
     }
@@ -125,6 +131,7 @@ pub fn static_attr_index(class: &ClassName, attr: &str) -> Option<usize> {
         ClassName::Session => SESSION_ATTRS,
         ClassName::Timer => TIMER_ATTRS,
         ClassName::Table => TABLE_ATTRS,
+        ClassName::Monitor => MONITOR_ATTRS,
         ClassName::Evicted(_) => return None,
     };
     names.iter().position(|n| n.eq_ignore_ascii_case(attr))
@@ -327,6 +334,74 @@ pub fn table_object(t: &sqlcm_engine::catalog::TableInfo) -> Object {
             Value::Int(t.columns.len() as i64),
             Value::Int(t.indexes.read().len() as i64),
             Value::Bool(t.clustered_key().is_some()),
+        ],
+    )
+}
+
+/// Attribute names of the `Monitor` class — SQLCM's own health, materialized
+/// by the self-monitoring bridge. Latency attributes are seconds (`Float`),
+/// like every other duration in the schema.
+pub const MONITOR_ATTRS: &[&str] = &[
+    "Name",
+    "Events",
+    "Evaluations",
+    "Fires",
+    "Actions",
+    "Action_Errors",
+    "Eval_P50",
+    "Eval_P95",
+    "Eval_P99",
+    "Eval_Max",
+    "Probe_P99",
+    "Lat_Memory",
+    "Rule_Count",
+    "Lat_Count",
+];
+
+/// The monitor-health values carried by a `Monitor` object. Latencies are in
+/// seconds; counts are totals since attach.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MonitorHealth {
+    pub events: u64,
+    pub evaluations: u64,
+    pub fires: u64,
+    pub actions: u64,
+    pub action_errors: u64,
+    pub eval_p50_secs: f64,
+    pub eval_p95_secs: f64,
+    pub eval_p99_secs: f64,
+    pub eval_max_secs: f64,
+    pub probe_p99_secs: f64,
+    pub lat_memory_bytes: u64,
+    pub rule_count: u64,
+    pub lat_count: u64,
+}
+
+/// Build the `Monitor` object the self-monitoring bridge dispatches.
+pub fn monitor_object(h: &MonitorHealth) -> Object {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    let names = NAMES
+        .get_or_init(|| MONITOR_ATTRS.iter().map(|x| x.to_string()).collect())
+        .clone();
+    Object::new(
+        ClassName::Monitor,
+        names,
+        vec![
+            Value::Text("sqlcm".to_string()),
+            Value::Int(h.events as i64),
+            Value::Int(h.evaluations as i64),
+            Value::Int(h.fires as i64),
+            Value::Int(h.actions as i64),
+            Value::Int(h.action_errors as i64),
+            Value::Float(h.eval_p50_secs),
+            Value::Float(h.eval_p95_secs),
+            Value::Float(h.eval_p99_secs),
+            Value::Float(h.eval_max_secs),
+            Value::Float(h.probe_p99_secs),
+            Value::Int(h.lat_memory_bytes as i64),
+            Value::Int(h.rule_count as i64),
+            Value::Int(h.lat_count as i64),
         ],
     )
 }

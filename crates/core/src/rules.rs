@@ -43,6 +43,9 @@ pub enum RuleEvent {
     TimerAlarm(String),
     /// Eviction from the named LAT (§4.3: evicted rows are monitored objects).
     LatEviction(String),
+    /// The self-monitoring bridge materialized a health snapshot: the payload
+    /// is one `Monitor` object, so rules can watch the watcher.
+    MonitorTick,
 }
 
 impl RuleEvent {
@@ -63,6 +66,31 @@ impl RuleEvent {
             RuleEvent::Login | RuleEvent::Logout => vec![ClassName::Session],
             RuleEvent::TimerAlarm(_) => vec![ClassName::Timer],
             RuleEvent::LatEviction(lat) => vec![ClassName::Evicted(lat.clone())],
+            RuleEvent::MonitorTick => vec![ClassName::Monitor],
+        }
+    }
+}
+
+impl std::fmt::Display for RuleEvent {
+    /// Event names in the probe `Class.Event` convention (used by the flight
+    /// recorder and telemetry exports).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleEvent::QueryStart => f.write_str("Query.Start"),
+            RuleEvent::QueryCompile => f.write_str("Query.Compile"),
+            RuleEvent::QueryCommit => f.write_str("Query.Commit"),
+            RuleEvent::QueryRollback => f.write_str("Query.Rollback"),
+            RuleEvent::QueryCancel => f.write_str("Query.Cancel"),
+            RuleEvent::QueryBlocked => f.write_str("Query.Blocked"),
+            RuleEvent::BlockReleased => f.write_str("Query.Block_Released"),
+            RuleEvent::TxnBegin => f.write_str("Transaction.Begin"),
+            RuleEvent::TxnCommit => f.write_str("Transaction.Commit"),
+            RuleEvent::TxnRollback => f.write_str("Transaction.Rollback"),
+            RuleEvent::Login => f.write_str("Session.Login"),
+            RuleEvent::Logout => f.write_str("Session.Logout"),
+            RuleEvent::TimerAlarm(t) => write!(f, "Timer.Alarm({t})"),
+            RuleEvent::LatEviction(lat) => write!(f, "Lat.Eviction({lat})"),
+            RuleEvent::MonitorTick => f.write_str("Monitor.Tick"),
         }
     }
 }
@@ -72,6 +100,8 @@ impl RuleEvent {
 pub struct RuleStats {
     pub evaluations: u64,
     pub fires: u64,
+    /// Actions executed (attempted) on behalf of this rule.
+    pub actions: u64,
     pub action_errors: u64,
 }
 
@@ -86,6 +116,7 @@ pub struct Rule {
     enabled: AtomicBool,
     pub(crate) evaluations: AtomicU64,
     pub(crate) fires: AtomicU64,
+    pub(crate) executed_actions: AtomicU64,
     pub(crate) action_errors: AtomicU64,
 }
 
@@ -101,6 +132,7 @@ impl Rule {
             enabled: AtomicBool::new(true),
             evaluations: AtomicU64::new(0),
             fires: AtomicU64::new(0),
+            executed_actions: AtomicU64::new(0),
             action_errors: AtomicU64::new(0),
         }
     }
@@ -145,6 +177,7 @@ impl Rule {
         RuleStats {
             evaluations: self.evaluations.load(Ordering::Relaxed),
             fires: self.fires.load(Ordering::Relaxed),
+            actions: self.executed_actions.load(Ordering::Relaxed),
             action_errors: self.action_errors.load(Ordering::Relaxed),
         }
     }
@@ -744,5 +777,20 @@ mod tests {
             RuleEvent::TimerAlarm("t".into()).payload_classes(),
             vec![ClassName::Timer]
         );
+        assert_eq!(
+            RuleEvent::MonitorTick.payload_classes(),
+            vec![ClassName::Monitor]
+        );
+    }
+
+    #[test]
+    fn event_display_matches_probe_names() {
+        assert_eq!(RuleEvent::QueryCommit.to_string(), "Query.Commit");
+        assert_eq!(RuleEvent::BlockReleased.to_string(), "Query.Block_Released");
+        assert_eq!(
+            RuleEvent::TimerAlarm("audit".into()).to_string(),
+            "Timer.Alarm(audit)"
+        );
+        assert_eq!(RuleEvent::MonitorTick.to_string(), "Monitor.Tick");
     }
 }

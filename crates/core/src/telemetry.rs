@@ -1,0 +1,495 @@
+//! Self-telemetry for the monitor: per-probe / per-rule / per-LAT metrics,
+//! a bounded flight recorder of recent rule firings, and the snapshot types
+//! exposed through [`crate::Sqlcm::telemetry`].
+//!
+//! The paper argues monitoring must be cheap enough to leave on (§2.1, §7);
+//! the same discipline applies to the monitor watching itself. All hot-path
+//! state lives in lock-free primitives from `sqlcm-telemetry`:
+//!
+//! * per-probe event counts are **always on** — one sharded-counter increment
+//!   per event, so `sum(probe events) == SqlcmStats::events` at any quiescent
+//!   point;
+//! * latency histograms and the flight recorder read the clock and therefore
+//!   honour the [`Telem::enabled`] switch (`Sqlcm::set_telemetry_enabled`);
+//! * the per-rule last-error map is bounded (`RULE_ERRORS_CAPACITY`) and
+//!   evicts the entry with the fewest occurrences when full.
+//!
+//! Snapshots are plain owned data: safe to hold, print ([`TelemetrySnapshot::to_text`]),
+//! serialize ([`TelemetrySnapshot::to_json`]), or feed back into the rule
+//! engine as a synthetic `Monitor` object ([`TelemetrySnapshot::health`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use sqlcm_common::ProbeKind;
+use sqlcm_telemetry::{
+    FlightRecord, FlightRecorder, HistogramSnapshot, LatencyHistogram, ShardedCounter,
+};
+
+use crate::monitor::SqlcmStats;
+use crate::objects::MonitorHealth;
+
+/// Flight-recorder depth: last N rule firings (and errored evaluations).
+pub const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// Bound on the per-rule last-error map.
+pub const RULE_ERRORS_CAPACITY: usize = 64;
+
+/// Reserved timer name used by `Sqlcm::enable_self_monitoring`; alarms on it
+/// raise `RuleEvent::MonitorTick` instead of `Timer.Alarm`.
+pub const SELF_MONITOR_TIMER: &str = "__sqlcm_self_monitor";
+
+/// Last error recorded for a rule, with how many errors that rule produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleError {
+    pub rule: String,
+    /// Errors attributed to this rule since attach (not just the last one).
+    pub count: u64,
+    pub message: String,
+}
+
+pub(crate) struct RuleErrorEntry {
+    pub count: u64,
+    pub message: String,
+}
+
+/// Internal telemetry state owned by `SqlcmInner`.
+pub(crate) struct Telem {
+    enabled: AtomicBool,
+    /// Per-probe-kind event counts (always on; indexed by `ProbeKind::index`).
+    pub probe_events: [ShardedCounter; ProbeKind::COUNT],
+    /// Per-probe-kind `on_event` wall time in nanoseconds (gated by `enabled`).
+    pub probe_latency: [LatencyHistogram; ProbeKind::COUNT],
+    /// Ring of recent rule firings (gated by `enabled`).
+    pub recorder: FlightRecorder,
+    /// rule name → last error + count, bounded by `RULE_ERRORS_CAPACITY`.
+    pub rule_errors: Mutex<HashMap<String, RuleErrorEntry>>,
+}
+
+impl Telem {
+    pub fn new() -> Telem {
+        Telem {
+            enabled: AtomicBool::new(true),
+            probe_events: std::array::from_fn(|_| ShardedCounter::new()),
+            probe_latency: std::array::from_fn(|_| LatencyHistogram::new()),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            rule_errors: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record `message` as `rule`'s latest error. When the map is full and the
+    /// rule is new, the entry with the fewest occurrences is evicted — a rule
+    /// failing repeatedly is more interesting than one that failed once.
+    pub fn record_rule_error(&self, rule: &str, message: String) {
+        let mut map = self.rule_errors.lock();
+        if let Some(entry) = map.get_mut(rule) {
+            entry.count += 1;
+            entry.message = message;
+            return;
+        }
+        if map.len() >= RULE_ERRORS_CAPACITY {
+            if let Some(least) = map
+                .iter()
+                .min_by_key(|(_, e)| e.count)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&least);
+            }
+        }
+        map.insert(rule.to_string(), RuleErrorEntry { count: 1, message });
+    }
+
+    /// All per-rule errors, sorted by rule name for determinism.
+    pub fn rule_errors_snapshot(&self) -> Vec<RuleError> {
+        let map = self.rule_errors.lock();
+        let mut out: Vec<RuleError> = map
+            .iter()
+            .map(|(rule, e)| RuleError {
+                rule: rule.clone(),
+                count: e.count,
+                message: e.message.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.rule.cmp(&b.rule));
+        out
+    }
+}
+
+/// Per-probe-kind slice of a telemetry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeTelemetry {
+    /// Probe name in `Class.Event` convention (e.g. `"Query.Commit"`).
+    pub kind: &'static str,
+    /// Events of this kind delivered to the monitor.
+    pub events: u64,
+    /// Wall time spent in `on_event` for this kind, nanoseconds.
+    pub on_event: HistogramSnapshot,
+}
+
+/// Per-rule slice of a telemetry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleTelemetry {
+    pub name: String,
+    /// Triggering event, in probe naming convention (`"Query.Commit"`).
+    pub event: String,
+    pub evaluations: u64,
+    pub fires: u64,
+    pub actions: u64,
+    pub action_errors: u64,
+    /// Condition-evaluation wall time, nanoseconds.
+    pub condition: HistogramSnapshot,
+    /// Action-execution wall time (all actions of one firing), nanoseconds.
+    pub action: HistogramSnapshot,
+    /// Last error attributed to this rule, if any.
+    pub last_error: Option<RuleError>,
+}
+
+/// Per-LAT slice of a telemetry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatTelemetry {
+    pub name: String,
+    pub inserts: u64,
+    pub evictions: u64,
+    pub resets: u64,
+    /// Aging-window block rolls (§4.3).
+    pub aging_rolls: u64,
+    /// Current row count.
+    pub rows: u64,
+    /// High-water mark of row occupancy (before size enforcement).
+    pub row_high_water: u64,
+    /// Approximate bytes held right now.
+    pub memory_bytes: u64,
+}
+
+/// A point-in-time, owned view of everything the monitor knows about itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// The global counters (same numbers as [`crate::Sqlcm::stats`]).
+    pub stats: SqlcmStats,
+    /// One entry per [`ProbeKind`], in `ProbeKind::ALL` order.
+    pub probes: Vec<ProbeTelemetry>,
+    /// One entry per registered rule, in registration order.
+    pub rules: Vec<RuleTelemetry>,
+    /// One entry per defined LAT, sorted by name.
+    pub lats: Vec<LatTelemetry>,
+    /// Recent rule firings, oldest first (bounded by `FLIGHT_RECORDER_CAPACITY`).
+    pub flight_records: Vec<FlightRecord>,
+    /// Total records ever written to the flight recorder (including evicted).
+    pub flight_total: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Condition-evaluation latency merged across all rules.
+    pub fn merged_condition_latency(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for rule in &self.rules {
+            merged.merge(&rule.condition);
+        }
+        merged
+    }
+
+    /// `on_event` latency merged across all probe kinds.
+    pub fn merged_probe_latency(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for probe in &self.probes {
+            merged.merge(&probe.on_event);
+        }
+        merged
+    }
+
+    /// Condense the snapshot into the health summary that becomes the
+    /// synthetic `Monitor` object (self-monitoring bridge).
+    pub fn health(&self) -> MonitorHealth {
+        const NANO: f64 = 1e-9;
+        let eval = self.merged_condition_latency();
+        let probe = self.merged_probe_latency();
+        MonitorHealth {
+            events: self.stats.events,
+            evaluations: self.stats.evaluations,
+            fires: self.stats.fires,
+            actions: self.stats.actions,
+            action_errors: self.stats.action_errors,
+            eval_p50_secs: eval.p50() as f64 * NANO,
+            eval_p95_secs: eval.p95() as f64 * NANO,
+            eval_p99_secs: eval.p99() as f64 * NANO,
+            eval_max_secs: eval.max as f64 * NANO,
+            probe_p99_secs: probe.p99() as f64 * NANO,
+            lat_memory_bytes: self.lats.iter().map(|l| l.memory_bytes).sum(),
+            rule_count: self.rules.len() as u64,
+            lat_count: self.lats.len() as u64,
+        }
+    }
+
+    /// Human-readable multi-line report.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sqlcm telemetry: events={} evaluations={} fires={} actions={} action_errors={}",
+            self.stats.events,
+            self.stats.evaluations,
+            self.stats.fires,
+            self.stats.actions,
+            self.stats.action_errors
+        );
+        let _ = writeln!(out, "probes:");
+        for p in &self.probes {
+            if p.events == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<22} events={:<8} on_event p50={} p95={} p99={} max={}",
+                p.kind,
+                p.events,
+                fmt_nanos(p.on_event.p50()),
+                fmt_nanos(p.on_event.p95()),
+                fmt_nanos(p.on_event.p99()),
+                fmt_nanos(p.on_event.max),
+            );
+        }
+        let _ = writeln!(out, "rules:");
+        for r in &self.rules {
+            let _ = writeln!(
+                out,
+                "  {:<22} on={:<18} evals={:<8} fires={:<8} actions={:<8} errors={:<4} cond p99={} action p99={}",
+                r.name,
+                r.event,
+                r.evaluations,
+                r.fires,
+                r.actions,
+                r.action_errors,
+                fmt_nanos(r.condition.p99()),
+                fmt_nanos(r.action.p99()),
+            );
+            if let Some(e) = &r.last_error {
+                let _ = writeln!(out, "    last error (x{}): {}", e.count, e.message);
+            }
+        }
+        let _ = writeln!(out, "lats:");
+        for l in &self.lats {
+            let _ = writeln!(
+                out,
+                "  {:<22} inserts={:<8} evictions={:<6} resets={:<4} aging_rolls={:<6} rows={}/{} bytes={}",
+                l.name,
+                l.inserts,
+                l.evictions,
+                l.resets,
+                l.aging_rolls,
+                l.rows,
+                l.row_high_water,
+                l.memory_bytes,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "flight recorder ({} shown, {} total):",
+            self.flight_records.len(),
+            self.flight_total
+        );
+        for rec in &self.flight_records {
+            let _ = writeln!(
+                out,
+                "  #{:<6} {:<18} {:<22} fired={:<5} actions={} errors={} took={}",
+                rec.seq,
+                rec.event,
+                rec.rule,
+                rec.fired,
+                rec.actions,
+                rec.errors,
+                fmt_nanos(rec.duration_nanos),
+            );
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled; the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!(
+            "\"stats\":{{\"events\":{},\"evaluations\":{},\"fires\":{},\"actions\":{},\"action_errors\":{}}}",
+            self.stats.events,
+            self.stats.evaluations,
+            self.stats.fires,
+            self.stats.actions,
+            self.stats.action_errors
+        ));
+        out.push_str(",\"probes\":[");
+        for (i, p) in self.probes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":{},\"events\":{},\"on_event\":{}}}",
+                json_str(p.kind),
+                p.events,
+                json_hist(&p.on_event)
+            ));
+        }
+        out.push_str("],\"rules\":[");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"event\":{},\"evaluations\":{},\"fires\":{},\"actions\":{},\"action_errors\":{},\"condition\":{},\"action\":{},\"last_error\":{}}}",
+                json_str(&r.name),
+                json_str(&r.event),
+                r.evaluations,
+                r.fires,
+                r.actions,
+                r.action_errors,
+                json_hist(&r.condition),
+                json_hist(&r.action),
+                match &r.last_error {
+                    None => "null".to_string(),
+                    Some(e) => format!(
+                        "{{\"count\":{},\"message\":{}}}",
+                        e.count,
+                        json_str(&e.message)
+                    ),
+                }
+            ));
+        }
+        out.push_str("],\"lats\":[");
+        for (i, l) in self.lats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"inserts\":{},\"evictions\":{},\"resets\":{},\"aging_rolls\":{},\"rows\":{},\"row_high_water\":{},\"memory_bytes\":{}}}",
+                json_str(&l.name),
+                l.inserts,
+                l.evictions,
+                l.resets,
+                l.aging_rolls,
+                l.rows,
+                l.row_high_water,
+                l.memory_bytes
+            ));
+        }
+        out.push_str("],\"flight_recorder\":{\"total\":");
+        out.push_str(&self.flight_total.to_string());
+        out.push_str(",\"records\":[");
+        for (i, rec) in self.flight_records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"event\":{},\"rule\":{},\"fired\":{},\"actions\":{},\"errors\":{},\"duration_nanos\":{}}}",
+                rec.seq,
+                json_str(&rec.event),
+                json_str(&rec.rule),
+                rec.fired,
+                rec.actions,
+                rec.errors,
+                rec.duration_nanos
+            ));
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+/// Compact nanosecond formatting for the text report.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Histogram as JSON: summary stats only (the 64 raw buckets stay internal).
+fn json_hist(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.p50(),
+        h.p95(),
+        h.p99()
+    )
+}
+
+/// Minimal JSON string escape (quote, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_error_map_updates_and_evicts_least_frequent() {
+        let telem = Telem::new();
+        // "hot" fails often; it must survive eviction pressure.
+        for _ in 0..5 {
+            telem.record_rule_error("hot", "boom".into());
+        }
+        for i in 0..RULE_ERRORS_CAPACITY {
+            telem.record_rule_error(&format!("cold_{i}"), "meh".into());
+        }
+        let errors = telem.rule_errors_snapshot();
+        assert_eq!(errors.len(), RULE_ERRORS_CAPACITY);
+        let hot = errors.iter().find(|e| e.rule == "hot").expect("hot kept");
+        assert_eq!(hot.count, 5);
+        assert_eq!(hot.message, "boom");
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_shapes() {
+        let snap = TelemetrySnapshot {
+            stats: SqlcmStats::default(),
+            probes: Vec::new(),
+            rules: Vec::new(),
+            lats: Vec::new(),
+            flight_records: Vec::new(),
+            flight_total: 0,
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"probes\":[]"));
+        assert!(snap
+            .to_text()
+            .contains("flight recorder (0 shown, 0 total)"));
+        assert_eq!(snap.health(), MonitorHealth::default());
+    }
+}

@@ -10,10 +10,11 @@
 //! implement this trait. [`Multicast`] fans one event out to several monitors in
 //! registration order.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use sqlcm_common::EngineEvent;
+use sqlcm_common::{EngineEvent, ProbeKind};
 
 /// A monitor attached to the engine. Implementations must be cheap: they run on
 /// the query's own thread.
@@ -25,7 +26,7 @@ pub trait Instrumentation: Send + Sync {
     /// Declare interest in a probe kind. The engine skips *assembling* events
     /// no attached monitor wants — the paper's "no monitoring is performed
     /// unless it is required by a rule" (§2.1). Default: everything.
-    fn wants(&self, _kind: sqlcm_common::ProbeKind) -> bool {
+    fn wants(&self, _kind: ProbeKind) -> bool {
         true
     }
 
@@ -53,9 +54,19 @@ impl Instrumentation for NullInstrumentation {
 ///
 /// Detachment is supported so benches can attach/detach SQLCM between phases of
 /// the same engine lifetime.
+///
+/// The union of every sink's [`Instrumentation::wants`] answers is cached as a
+/// per-kind bitmask, so the probe hot path decides "does *anyone* want this?"
+/// with one relaxed atomic load instead of querying every monitor per event.
+/// The mask is recomputed on [`attach`](Multicast::attach) /
+/// [`detach`](Multicast::detach); a monitor whose interest changes while
+/// attached (SQLCM's does, whenever a rule is added or removed) must call
+/// [`refresh_interest`](Multicast::refresh_interest).
 #[derive(Default)]
 pub struct Multicast {
     sinks: RwLock<Vec<Arc<dyn Instrumentation>>>,
+    /// Bit `ProbeKind::index()` is set iff some attached sink wants that kind.
+    interest: AtomicU32,
 }
 
 impl Multicast {
@@ -63,9 +74,32 @@ impl Multicast {
         Multicast::default()
     }
 
+    fn interest_of(sinks: &[Arc<dyn Instrumentation>]) -> u32 {
+        let mut mask = 0u32;
+        for sink in sinks {
+            for kind in ProbeKind::ALL {
+                if sink.wants(kind) {
+                    mask |= 1 << kind.index();
+                }
+            }
+        }
+        mask
+    }
+
+    /// Recompute the cached interest bitmask from the attached sinks. Cheap
+    /// (called per attach/detach/rule change, never per event).
+    pub fn refresh_interest(&self) {
+        let sinks = self.sinks.read();
+        self.interest
+            .store(Multicast::interest_of(&sinks), Ordering::Release);
+    }
+
     /// Attach a monitor; it starts receiving events immediately.
     pub fn attach(&self, sink: Arc<dyn Instrumentation>) {
-        self.sinks.write().push(sink);
+        let mut sinks = self.sinks.write();
+        sinks.push(sink);
+        self.interest
+            .store(Multicast::interest_of(&sinks), Ordering::Release);
     }
 
     /// Detach by name; returns true when a monitor was removed.
@@ -73,6 +107,8 @@ impl Multicast {
         let mut sinks = self.sinks.write();
         let before = sinks.len();
         sinks.retain(|s| s.name() != name);
+        self.interest
+            .store(Multicast::interest_of(&sinks), Ordering::Release);
         sinks.len() != before
     }
 
@@ -95,16 +131,13 @@ impl Multicast {
     }
 
     /// Build an event lazily and deliver it only to monitors that declared
-    /// interest in `kind`; skip construction entirely when nobody did.
-    pub fn emit_with_kind(
-        &self,
-        kind: sqlcm_common::ProbeKind,
-        make: impl FnOnce() -> EngineEvent,
-    ) {
-        let sinks = self.sinks.read();
-        if !sinks.iter().any(|s| s.wants(kind)) {
+    /// interest in `kind`; skip construction entirely when nobody did. The
+    /// no-listener fast path is a single atomic load of the cached bitmask.
+    pub fn emit_with_kind(&self, kind: ProbeKind, make: impl FnOnce() -> EngineEvent) {
+        if self.interest.load(Ordering::Acquire) & (1 << kind.index()) == 0 {
             return;
         }
+        let sinks = self.sinks.read();
         let event = make();
         debug_assert_eq!(event.kind(), kind, "emitted event must match its kind");
         for sink in sinks.iter() {
@@ -206,5 +239,88 @@ mod tests {
         });
         assert_eq!(built, 1, "unwanted event never assembled");
         assert_eq!(*sink.0.lock(), 1);
+    }
+
+    /// A sink whose interest can be flipped after attachment, like SQLCM's
+    /// (whose `wants` answers depend on the registered rules).
+    struct Toggle {
+        interested: std::sync::atomic::AtomicBool,
+        seen: Mutex<u32>,
+    }
+    impl Instrumentation for Toggle {
+        fn on_event(&self, _e: &EngineEvent) {
+            *self.seen.lock() += 1;
+        }
+        fn wants(&self, _kind: ProbeKind) -> bool {
+            self.interested.load(Ordering::Relaxed)
+        }
+        fn name(&self) -> &str {
+            "toggle"
+        }
+    }
+
+    #[test]
+    fn refresh_interest_picks_up_dynamic_wants() {
+        let m = Multicast::new();
+        let sink = Arc::new(Toggle {
+            interested: std::sync::atomic::AtomicBool::new(false),
+            seen: Mutex::new(0),
+        });
+        m.attach(sink.clone());
+        let mut built = 0;
+        let emit = |m: &Multicast, built: &mut u32| {
+            m.emit_with_kind(ProbeKind::QueryCommit, || {
+                *built += 1;
+                EngineEvent::QueryCommit(QueryInfo::synthetic(1, "q"))
+            });
+        };
+        emit(&m, &mut built);
+        assert_eq!(built, 0, "mask cached at attach: not interested");
+        sink.interested.store(true, Ordering::Relaxed);
+        emit(&m, &mut built);
+        assert_eq!(built, 0, "stale mask until refresh_interest");
+        m.refresh_interest();
+        emit(&m, &mut built);
+        assert_eq!(built, 1);
+        assert_eq!(*sink.seen.lock(), 1);
+        sink.interested.store(false, Ordering::Relaxed);
+        m.refresh_interest();
+        emit(&m, &mut built);
+        assert_eq!(built, 1, "refresh also clears bits");
+    }
+
+    /// A sink that tags deliveries into a shared log, to observe fan-out order.
+    struct Tagged(&'static str, Arc<Mutex<Vec<&'static str>>>);
+    impl Instrumentation for Tagged {
+        fn on_event(&self, _e: &EngineEvent) {
+            self.1.lock().push(self.0);
+        }
+        fn name(&self) -> &str {
+            self.0
+        }
+    }
+
+    #[test]
+    fn fan_out_follows_attach_order() {
+        let m = Multicast::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            m.attach(Arc::new(Tagged(tag, log.clone())));
+        }
+        m.emit_with_kind(ProbeKind::QueryCommit, || {
+            EngineEvent::QueryCommit(QueryInfo::synthetic(1, "q"))
+        });
+        m.emit(&EngineEvent::QueryStart(QueryInfo::synthetic(2, "q")));
+        assert_eq!(
+            *log.lock(),
+            vec!["first", "second", "third", "first", "second", "third"]
+        );
+        // Detaching the middle sink preserves the relative order of the rest.
+        assert!(m.detach("second"));
+        log.lock().clear();
+        m.emit_with_kind(ProbeKind::QueryCommit, || {
+            EngineEvent::QueryCommit(QueryInfo::synthetic(3, "q"))
+        });
+        assert_eq!(*log.lock(), vec!["first", "third"]);
     }
 }

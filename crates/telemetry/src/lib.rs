@@ -1,0 +1,29 @@
+//! Self-telemetry primitives for the SQLCM monitor.
+//!
+//! The paper's headline claim (§7) is that in-engine synchronous monitoring
+//! costs "typically less than 5%" — which means the monitor's own bookkeeping
+//! must be cheaper still. Everything in this crate is built for the probe hot
+//! path:
+//!
+//! * [`ShardedCounter`] — a per-thread-sharded atomic counter: increments hit
+//!   a thread-local shard (no contended cache line), reads sum the shards.
+//! * [`LatencyHistogram`] — 64 log2-bucketed atomic buckets with running sum
+//!   and max; [`HistogramSnapshot`] derives p50/p95/p99 from the buckets.
+//! * [`Stopwatch`] / [`TimerGuard`] — `std::time::Instant`-based timing with
+//!   an RAII guard that records into a histogram on drop.
+//! * [`FlightRecorder`] — a bounded ring of the last N rule firings, kept so
+//!   a test failure or cancel storm can be reconstructed after the fact.
+//!
+//! No dependencies, std only: the crate must be linkable from every layer
+//! (engine, core, benches) without widening the build.
+
+mod counter;
+mod histogram;
+mod recorder;
+mod timer;
+
+pub use counter::ShardedCounter;
+pub use histogram::{bucket_index, bucket_lower_bound, bucket_upper_bound};
+pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use recorder::{FlightRecord, FlightRecorder};
+pub use timer::{Stopwatch, TimerGuard};

@@ -1,0 +1,76 @@
+//! Wall-clock timing for the probe path.
+
+use crate::LatencyHistogram;
+use std::time::Instant;
+
+/// A started `Instant`, read in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    pub fn elapsed_nanos(&self) -> u64 {
+        // Saturating: a u64 of nanoseconds covers ~584 years.
+        self.0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// RAII guard that records the elapsed time into a histogram when dropped —
+/// covers early returns in the guarded scope for free.
+#[derive(Debug)]
+pub struct TimerGuard<'a> {
+    hist: &'a LatencyHistogram,
+    sw: Stopwatch,
+}
+
+impl LatencyHistogram {
+    /// Start timing; the elapsed nanoseconds are recorded when the returned
+    /// guard drops.
+    pub fn time(&self) -> TimerGuard<'_> {
+        TimerGuard {
+            hist: self,
+            sw: Stopwatch::start(),
+        }
+    }
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.sw.elapsed_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let h = LatencyHistogram::new();
+        {
+            let _g = h.time();
+            std::hint::black_box(17u64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max > 0, "a real Instant elapsed");
+    }
+
+    #[test]
+    fn guard_records_on_early_return() {
+        fn inner(h: &LatencyHistogram, bail: bool) -> u32 {
+            let _g = h.time();
+            if bail {
+                return 1;
+            }
+            2
+        }
+        let h = LatencyHistogram::new();
+        inner(&h, true);
+        inner(&h, false);
+        assert_eq!(h.snapshot().count, 2);
+    }
+}

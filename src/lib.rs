@@ -8,6 +8,8 @@
 //! * [`baselines`] — Query_logging / PULL / PULL_history (`sqlcm-baselines`);
 //! * [`workloads`] — TPC-H-lite generator and workload drivers
 //!   (`sqlcm-workloads`);
+//! * [`telemetry`] — lock-free metric primitives behind the monitor's
+//!   self-telemetry (`sqlcm-telemetry`);
 //! * [`common`], [`sql`], [`storage`] — the substrates.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper-to-module map.
@@ -18,12 +20,15 @@ pub use sqlcm_core as monitor;
 pub use sqlcm_engine as engine;
 pub use sqlcm_sql as sql;
 pub use sqlcm_storage as storage;
+pub use sqlcm_telemetry as telemetry;
 pub use sqlcm_workloads as workloads;
 
 /// Convenience prelude with the names almost every user needs.
 pub mod prelude {
     pub use sqlcm_baselines::{PullHistory, PullMonitor, QueryLogging};
     pub use sqlcm_common::{Error, Result, Value};
-    pub use sqlcm_core::{Action, Lat, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+    pub use sqlcm_core::{
+        Action, Lat, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm, TelemetrySnapshot,
+    };
     pub use sqlcm_engine::{Engine, EngineConfig, Session};
 }
