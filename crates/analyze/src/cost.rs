@@ -137,6 +137,8 @@ mod tests {
                 },
             ],
             bounded: true,
+            max_rows: None,
+            shards: None,
         }
     }
 

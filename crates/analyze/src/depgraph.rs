@@ -160,6 +160,8 @@ mod tests {
                 aging: false,
             }],
             bounded: true,
+            max_rows: None,
+            shards: None,
         }
     }
 

@@ -38,6 +38,8 @@ pub enum Code {
     /// Cascade cycle through LAT-eviction or timer events — the ruleset could
     /// recurse without bound (the paper's no-recursion restriction, §4).
     E004,
+    /// Invalid shard count on a LAT spec (zero, or above the runtime ceiling).
+    E005,
     /// Dead rule: the condition references a class that is neither in the
     /// event payload nor iterable, so the rule can never fire.
     W101,
@@ -45,6 +47,9 @@ pub enum Code {
     W102,
     /// Estimated per-firing cost exceeds the analyzer's threshold.
     W201,
+    /// More shards than the LAT's row bound — the extra shards can never all
+    /// be occupied and only add eviction-scan overhead.
+    W202,
 }
 
 impl Code {
@@ -54,17 +59,19 @@ impl Code {
             Code::E002 => "E002",
             Code::E003 => "E003",
             Code::E004 => "E004",
+            Code::E005 => "E005",
             Code::W101 => "W101",
             Code::W102 => "W102",
             Code::W201 => "W201",
+            Code::W202 => "W202",
         }
     }
 
     /// Severity is determined by the code family.
     pub fn severity(self) -> Severity {
         match self {
-            Code::E001 | Code::E002 | Code::E003 | Code::E004 => Severity::Error,
-            Code::W101 | Code::W102 | Code::W201 => Severity::Warning,
+            Code::E001 | Code::E002 | Code::E003 | Code::E004 | Code::E005 => Severity::Error,
+            Code::W101 | Code::W102 | Code::W201 | Code::W202 => Severity::Warning,
         }
     }
 
@@ -75,9 +82,11 @@ impl Code {
             Code::E002 => "type mismatch",
             Code::E003 => "unjoinable LAT reference",
             Code::E004 => "cascade cycle",
+            Code::E005 => "invalid shard count",
             Code::W101 => "dead rule",
             Code::W102 => "duplicate rule",
             Code::W201 => "costly rule",
+            Code::W202 => "over-sharded LAT",
         }
     }
 }

@@ -113,6 +113,8 @@ mod tests {
                 aging: false,
             }],
             bounded: false,
+            max_rows: None,
+            shards: None,
         }
     }
 

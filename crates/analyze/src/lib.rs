@@ -81,6 +81,10 @@ pub struct AggColumnIr {
     pub aging: bool,
 }
 
+/// Mirror of `sqlcm-core`'s shard-count ceiling (kept in sync by a test in
+/// core's `analysis` module).
+pub const MAX_LAT_SHARDS: usize = 4096;
+
 /// Analyzer view of a LAT specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatIr {
@@ -90,6 +94,10 @@ pub struct LatIr {
     /// True when the LAT has a size bound and can therefore evict rows (and
     /// raise `LatEviction` events).
     pub bounded: bool,
+    /// Row bound, when one is set (drives the shard-vs-bound lint).
+    pub max_rows: Option<usize>,
+    /// Explicit shard-count override (`None` = runtime default).
+    pub shards: Option<usize>,
 }
 
 /// Analyzer view of a rule's triggering event.

@@ -1,0 +1,138 @@
+//! **T3 — sharded LAT insert scaling.**
+//!
+//! The row map of every LAT is sharded by group-key hash (default 16 shards,
+//! `LatSpec::shards`), so concurrent probes updating disjoint groups should
+//! scale instead of serializing on one table latch. This bench measures raw
+//! insert throughput at 1/2/4/8 threads over overlapping keys (every thread
+//! touches every group) and writes `BENCH_t3_lat_scaling.json`.
+//!
+//! Gate: on a machine with ≥ 4 cores the 8-thread run must reach at least
+//! `SQLCM_SCALING_MIN_X` (default 2.0) times single-thread throughput.
+//! On smaller machines real parallel speedup is physically impossible, so the
+//! gate degrades to a no-collapse floor: 8 threads must retain at least 0.8×
+//! of single-thread throughput (sharding must not make contention *worse*).
+//! The core count is recorded in the JSON so CI dashboards can tell the two
+//! regimes apart.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sqlcm_bench::{banner, env_u32};
+use sqlcm_common::{QueryInfo, SystemClock};
+use sqlcm_core::objects::query_object;
+use sqlcm_core::{Lat, LatAggFunc, LatSpec};
+
+const GROUPS: u64 = 256;
+
+fn mk_lat(shards: usize) -> Arc<Lat> {
+    Arc::new(
+        Lat::new(
+            LatSpec::new("Scaling")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D")
+                .shards(shards),
+            SystemClock::shared(),
+        )
+        .expect("lat"),
+    )
+}
+
+fn obj(sig: u64) -> sqlcm_core::Object {
+    let mut q = QueryInfo::synthetic(sig, "q");
+    q.logical_signature = Some(sig);
+    q.duration_micros = 1000;
+    query_object(&q)
+}
+
+/// Run `threads` × `per_thread` inserts over overlapping keys; returns
+/// (M inserts/sec, lock contentions observed).
+fn run(lat: &Arc<Lat>, threads: u64, per_thread: u64) -> (f64, u64) {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lat = Arc::clone(lat);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Knuth-hash the index so threads walk the groups in
+                    // decorrelated orders but all overlap on all groups.
+                    let sig = (t * per_thread + i).wrapping_mul(2654435761) % GROUPS;
+                    lat.insert(&obj(sig)).expect("insert");
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let tput = (threads * per_thread) as f64 / secs / 1e6;
+    (tput, lat.lock_contentions())
+}
+
+fn main() {
+    let per_thread = env_u32("SQLCM_QUERIES", 200_000) as u64;
+    let shards = env_u32("SQLCM_SHARDS", 16) as usize;
+    let min_x = env_u32("SQLCM_SCALING_MIN_X", 2) as f64;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "T3: sharded LAT insert scaling (1/2/4/8 threads, overlapping keys)",
+        &format!("{per_thread} inserts/thread, {GROUPS} groups, {shards} shards, {cores} cores"),
+    );
+    println!(
+        "{:<12} {:>16} {:>14} {:>12}",
+        "threads", "M inserts/sec", "speedup vs 1", "contentions"
+    );
+
+    let mut results = Vec::new();
+    let mut base = 0.0f64;
+    for threads in [1u64, 2, 4, 8] {
+        let lat = mk_lat(shards);
+        let (tput, contentions) = run(&lat, threads, per_thread);
+        // Conservation sanity: the bench must not report throughput for
+        // inserts that were silently lost.
+        let counted: i64 = lat.rows().iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(counted as u64, threads * per_thread, "lost inserts");
+        if threads == 1 {
+            base = tput;
+        }
+        let speedup = tput / base.max(1e-9);
+        println!("{threads:<12} {tput:>16.2} {speedup:>13.2}x {contentions:>12}");
+        results.push((threads, tput, speedup, contentions));
+    }
+
+    let eight_x = results.last().map(|r| r.2).unwrap_or(0.0);
+    // Strict parallel-speedup gate only where the hardware can deliver it;
+    // otherwise demand that contention does not collapse throughput.
+    let (threshold, gate) = if cores >= 4 {
+        (min_x, "parallel")
+    } else {
+        (0.8, "no-collapse")
+    };
+
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(t, tput, s, c)| {
+            format!(
+                "{{\"threads\":{t},\"m_inserts_per_sec\":{tput:.3},\"speedup\":{s:.3},\
+                 \"lock_contentions\":{c}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"t3_lat_scaling\",\"per_thread\":{per_thread},\"groups\":{GROUPS},\
+         \"shards\":{shards},\"cores\":{cores},\"gate\":\"{gate}\",\
+         \"threshold_x\":{threshold:.2},\"speedup_8t\":{eight_x:.3},\
+         \"results\":[{}]}}",
+        rows.join(",")
+    );
+    std::fs::write("BENCH_t3_lat_scaling.json", &json).expect("write BENCH json");
+    println!("\nwrote BENCH_t3_lat_scaling.json: {json}");
+
+    if eight_x < threshold {
+        eprintln!(
+            "FAIL: 8-thread speedup {eight_x:.2}x below {threshold:.2}x ({gate} gate, {cores} cores)"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: 8-thread speedup {eight_x:.2}x ≥ {threshold:.2}x ({gate} gate)");
+}

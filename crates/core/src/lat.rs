@@ -14,13 +14,29 @@
 //! * **persistence**: rows can be written to an ordinary table (plus a timestamp
 //!   column) and re-seeded from one at startup.
 //!
-//! Concurrency: the row map is under an `RwLock`; each row has its own `Mutex`,
-//! so concurrent inserts into different groups only share the brief read lock —
-//! mirroring the paper's fine-grained latching ("each LAT row as well as … the
-//! hash table are protected through latches"). The A3 bench stresses this.
+//! Concurrency: the row map is **sharded** by group-key hash into
+//! [`LatSpec::shards`] independently locked shards (default
+//! [`DEFAULT_LAT_SHARDS`]); each row additionally has its own `Mutex`. Probe
+//! threads folding different groups therefore touch different locks entirely —
+//! mirroring (and extending) the paper's fine-grained latching ("each LAT row
+//! as well as … the hash table are protected through latches"). Operations
+//! that need a cross-shard view keep the paper's single-table semantics:
+//!
+//! * **eviction** is two-phase — every shard nominates its local minimum under
+//!   the ordering spec, then a coordinator (serialized by a per-LAT eviction
+//!   lock) removes the global victim, so the evicted row is still the
+//!   *globally* least important one (§3.2.4);
+//! * **reset** and **snapshot/iteration** acquire all shard locks in index
+//!   order, presenting one consistent point-in-time view.
+//!
+//! The A3 and T3 benches stress this; `ReferenceLat` (see [`crate::lat_ref`])
+//! is a deliberately naive single-lock implementation used as a differential
+//! oracle for the sharded one.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,6 +44,12 @@ use parking_lot::{Mutex, RwLock};
 use sqlcm_common::{Error, Result, SharedClock, Timestamp, Value};
 
 use crate::objects::{ClassName, Object};
+
+/// Default number of row-map shards per LAT (see [`LatSpec::shards`]).
+pub const DEFAULT_LAT_SHARDS: usize = 16;
+
+/// Upper bound on the per-LAT shard count; specs beyond this are rejected.
+pub const MAX_LAT_SHARDS: usize = 4096;
 
 /// Aggregation functions available in LATs (paper §4.3: "in addition to the
 /// standard aggregation functions COUNT, SUM, and AVG, SQLCM also supports …
@@ -102,6 +124,9 @@ pub struct LatSpec {
     pub ordering: Vec<(String, bool)>,
     pub max_rows: Option<usize>,
     pub max_bytes: Option<usize>,
+    /// Number of independently locked row-map shards; `None` means
+    /// [`DEFAULT_LAT_SHARDS`]. Must be in `1..=`[`MAX_LAT_SHARDS`].
+    pub shards: Option<usize>,
 }
 
 impl LatSpec {
@@ -113,6 +138,7 @@ impl LatSpec {
             ordering: Vec::new(),
             max_rows: None,
             max_bytes: None,
+            shards: None,
         }
     }
 
@@ -167,6 +193,18 @@ impl LatSpec {
     pub fn max_bytes(mut self, n: usize) -> LatSpec {
         self.max_bytes = Some(n);
         self
+    }
+
+    /// Override the shard count (default [`DEFAULT_LAT_SHARDS`]). Use 1 to
+    /// recover a single-lock table, more for heavily concurrent probe paths.
+    pub fn shards(mut self, n: usize) -> LatSpec {
+        self.shards = Some(n);
+        self
+    }
+
+    /// The shard count this spec resolves to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(DEFAULT_LAT_SHARDS)
     }
 
     /// Output column names: group aliases then aggregate aliases.
@@ -235,6 +273,14 @@ impl LatSpec {
             if g.source.class != self.group_by[0].source.class {
                 return Err(Error::Monitor(format!(
                     "LAT {}: all grouping columns must come from one class",
+                    self.name
+                )));
+            }
+        }
+        if let Some(n) = self.shards {
+            if n == 0 || n > MAX_LAT_SHARDS {
+                return Err(Error::Monitor(format!(
+                    "LAT {}: shard count {n} must be in 1..={MAX_LAT_SHARDS}",
                     self.name
                 )));
             }
@@ -575,8 +621,60 @@ pub struct LatStats {
     pub resets: u64,
     /// Aging blocks opened (paper §4.3's Δ-block rollover), across all rows.
     pub aging_rolls: u64,
-    /// Highest row count ever observed (size-bound headroom indicator).
+    /// Highest row count observed after size enforcement — never exceeds
+    /// `max_rows` on a bounded LAT.
     pub row_high_water: u64,
+}
+
+/// Point-in-time occupancy and contention numbers of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatShardStats {
+    pub rows: usize,
+    /// Shard-lock acquisitions that found the lock held (fast-path `try_*`
+    /// failed and the thread had to block).
+    pub contentions: u64,
+}
+
+/// One independently locked slice of the row map.
+struct Shard {
+    rows: RwLock<HashMap<Vec<Value>, Arc<Mutex<LatRow>>>>,
+    contentions: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            rows: RwLock::new(HashMap::new()),
+            contentions: AtomicU64::new(0),
+        }
+    }
+
+    /// Read-lock this shard, counting contention.
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, HashMap<Vec<Value>, Arc<Mutex<LatRow>>>> {
+        match self.rows.try_read() {
+            Some(g) => g,
+            None => {
+                self.contentions.fetch_add(1, Ordering::Relaxed);
+                self.rows.read()
+            }
+        }
+    }
+
+    /// Write-lock this shard, counting contention.
+    fn write(&self) -> parking_lot::RwLockWriteGuard<'_, HashMap<Vec<Value>, Arc<Mutex<LatRow>>>> {
+        match self.rows.try_write() {
+            Some(g) => g,
+            None => {
+                self.contentions.fetch_add(1, Ordering::Relaxed);
+                self.rows.write()
+            }
+        }
+    }
+
+    /// Approximate bytes of this shard's rows (per-shard size accounting).
+    fn memory_bytes(&self) -> usize {
+        self.read().values().map(|r| r.lock().size_bytes()).sum()
+    }
 }
 
 /// A live light-weight aggregation table.
@@ -591,7 +689,12 @@ pub struct Lat {
     group_attr_idx: Vec<usize>,
     /// Pre-resolved positions of each aggregate's source attribute.
     agg_attr_idx: Vec<Option<usize>>,
-    rows: RwLock<HashMap<Vec<Value>, Arc<Mutex<LatRow>>>>,
+    /// Row map, sharded by group-key hash.
+    shards: Box<[Shard]>,
+    /// Serializes size enforcement (and hence new-group inserts on bounded
+    /// LATs): the two-phase evict's coordinator lock. Keeps the occupancy
+    /// invariant `rows ≤ max_rows` visible at every quiescent point.
+    evict_lock: Mutex<()>,
     inserts: AtomicU64,
     evictions: AtomicU64,
     resets: AtomicU64,
@@ -604,7 +707,8 @@ impl std::fmt::Debug for Lat {
         f.debug_struct("Lat")
             .field("name", &self.spec.name)
             .field("columns", &self.columns)
-            .field("rows", &self.rows.read().len())
+            .field("shards", &self.shards.len())
+            .field("rows", &self.row_count())
             .finish_non_exhaustive()
     }
 }
@@ -642,6 +746,7 @@ impl Lat {
             .iter()
             .map(|a| a.source.as_ref().map(&resolve).transpose())
             .collect::<Result<_>>()?;
+        let n_shards = spec.shard_count();
         Ok(Lat {
             spec,
             clock,
@@ -649,7 +754,8 @@ impl Lat {
             ordering_idx,
             group_attr_idx,
             agg_attr_idx,
-            rows: RwLock::new(HashMap::new()),
+            shards: (0..n_shards).map(|_| Shard::new()).collect(),
+            evict_lock: Mutex::new(()),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             resets: AtomicU64::new(0),
@@ -663,8 +769,40 @@ impl Lat {
         self.columns.clone()
     }
 
+    /// Which shard owns a group key.
+    fn shard_of(&self, key: &[Value]) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Number of row-map shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total shard-lock contention events since creation (fast-path `try_*`
+    /// acquisitions that found the lock held and had to block).
+    pub fn lock_contentions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.contentions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard occupancy and contention snapshot.
+    pub fn shard_stats(&self) -> Vec<LatShardStats> {
+        self.shards
+            .iter()
+            .map(|s| LatShardStats {
+                rows: s.read().len(),
+                contentions: s.contentions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     pub fn row_count(&self) -> usize {
-        self.rows.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     pub fn stats(&self) -> LatStats {
@@ -677,10 +815,10 @@ impl Lat {
         }
     }
 
-    /// Approximate bytes held (group keys + aggregate states).
+    /// Approximate bytes held (group keys + aggregate states), summed over the
+    /// per-shard accounts.
     pub fn memory_bytes(&self) -> usize {
-        let rows = self.rows.read();
-        rows.values().map(|r| r.lock().size_bytes()).sum()
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
     }
 
     /// Extract this LAT's grouping key from an object (`None` if the object
@@ -709,9 +847,12 @@ impl Lat {
                 obj.class, self.spec.name
             ))
         })?;
-        // Fast path: existing group, shared map lock + row latch.
+        let shard = self.shard_of(&key);
+        // Fast path: existing group, shared shard lock + row latch. Probes
+        // touching different groups land on different shards and different row
+        // latches, so they never contend on an exclusive lock.
         {
-            let rows = self.rows.read();
+            let rows = shard.read();
             if let Some(row) = rows.get(&key) {
                 let mut row = row.lock();
                 self.update_row(&mut row, obj, now)?;
@@ -719,31 +860,60 @@ impl Lat {
                 return Ok(Vec::new());
             }
         }
-        // New group: exclusive map lock; eviction runs under the same guard so
-        // a full LAT costs exactly one lock round trip per insert.
-        let mut rows = self.rows.write();
-        let entry = rows.entry(key).or_insert_with_key(|k| {
-            Arc::new(Mutex::new(LatRow {
-                group: k.clone(),
-                aggs: self
-                    .spec
-                    .aggregates
-                    .iter()
-                    .map(|a| match &a.aging {
-                        Some(ag) => ColumnState::Aging(AgingState::new(a.func, *ag)),
-                        None => ColumnState::Plain(AggState::new(a.func)),
-                    })
-                    .collect(),
-            }))
-        });
-        {
-            let mut row = entry.lock();
-            self.update_row(&mut row, obj, now)?;
-        }
+        // New group. On a bounded LAT the coordinator lock serializes map
+        // growth with two-phase eviction, so the occupancy bound holds at
+        // every quiescent point (row high-water never exceeds `max_rows`).
+        let bounded = self.spec.max_rows.is_some() || self.spec.max_bytes.is_some();
+        let _coord = if bounded {
+            Some(self.evict_lock.lock())
+        } else {
+            None
+        };
+        let created = {
+            let mut rows = shard.write();
+            match rows.entry(key) {
+                // Raced with another creator of the same group: fold in and
+                // return. Updating an existing group never evicts (§3.2.4's
+                // eviction event fires only when a row is truly discarded).
+                Entry::Occupied(e) => {
+                    let mut row = e.get().lock();
+                    self.update_row(&mut row, obj, now)?;
+                    false
+                }
+                Entry::Vacant(e) => {
+                    let mut row = LatRow {
+                        group: e.key().clone(),
+                        aggs: self
+                            .spec
+                            .aggregates
+                            .iter()
+                            .map(|a| match &a.aging {
+                                Some(ag) => ColumnState::Aging(AgingState::new(a.func, *ag)),
+                                None => ColumnState::Plain(AggState::new(a.func)),
+                            })
+                            .collect(),
+                    };
+                    // Fold before publishing: a failed update leaves no row.
+                    self.update_row(&mut row, obj, now)?;
+                    e.insert(Arc::new(Mutex::new(row)));
+                    true
+                }
+            }
+        };
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        if !created {
+            return Ok(Vec::new());
+        }
+        let evicted = if bounded {
+            self.enforce_size(now, want_evicted)
+        } else {
+            Vec::new()
+        };
+        // High water records post-enforcement occupancy; on a bounded LAT the
+        // coordinator lock is still held here, so the count is exact.
         self.row_high_water
-            .fetch_max(rows.len() as u64, Ordering::Relaxed);
-        Ok(self.enforce_size_locked(&mut rows, now, want_evicted))
+            .fetch_max(self.row_count() as u64, Ordering::Relaxed);
+        Ok(evicted)
     }
 
     fn update_row(&self, row: &mut LatRow, obj: &Object, now: Timestamp) -> Result<()> {
@@ -765,44 +935,56 @@ impl Lat {
         Ok(())
     }
 
-    /// Evict while over the row/byte bound; returns evicted output rows.
-    fn enforce_size_locked(
-        &self,
-        rows: &mut HashMap<Vec<Value>, Arc<Mutex<LatRow>>>,
-        now: Timestamp,
-        want_evicted: bool,
-    ) -> Vec<Vec<Value>> {
+    /// Two-phase global eviction while over the row/byte bound; returns
+    /// evicted output rows. Callers hold `evict_lock`, which serializes this
+    /// with other new-group inserts — at most one shard lock is held at any
+    /// instant, so probe fast paths on other shards keep flowing.
+    fn enforce_size(&self, now: Timestamp, want_evicted: bool) -> Vec<Vec<Value>> {
         let mut evicted = Vec::new();
         loop {
-            let over_rows = self.spec.max_rows.is_some_and(|m| rows.len() > m);
-            let over_bytes = self
-                .spec
-                .max_bytes
-                .is_some_and(|m| rows.values().map(|r| r.lock().size_bytes()).sum::<usize>() > m);
+            let total_rows = self.row_count();
+            let over_rows = self.spec.max_rows.is_some_and(|m| total_rows > m);
+            let over_bytes = self.spec.max_bytes.is_some_and(|m| self.memory_bytes() > m);
             if !(over_rows || over_bytes) {
                 break;
             }
-            if rows.len() <= 1 {
+            if total_rows <= 1 {
                 break; // never evict the last row — it is the one being inserted
             }
-            // "SQLCM automatically discards the row(s) … having smallest value
-            // of the ordering columns" (§4.3). With no ordering specified we
-            // fall back to an arbitrary victim. Only the *ordering* column
-            // values are materialized for the victim scan.
-            let victim_key = rows
-                .iter()
-                .map(|(k, r)| (k, self.ordering_key(&r.lock(), now)))
-                .min_by(|(_, a), (_, b)| self.cmp_ordering_keys(a, b))
-                .map(|(k, _)| k.clone());
-            if let Some(k) = victim_key {
-                if let Some(row) = rows.remove(&k) {
-                    if want_evicted {
-                        evicted.push(row.lock().output(now));
-                    }
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+            // Phase 1: each shard nominates its local minimum under the
+            // ordering spec ("SQLCM automatically discards the row(s) …
+            // having smallest value of the ordering columns", §4.3; no
+            // ordering spec falls back to an arbitrary victim). Only the
+            // ordering-column values are materialized for the scan.
+            let mut nominees = Vec::with_capacity(self.shards.len());
+            for (si, shard) in self.shards.iter().enumerate() {
+                let rows = shard.read();
+                if let Some((k, ok)) = rows
+                    .iter()
+                    .map(|(k, r)| (k, self.ordering_key(&r.lock(), now)))
+                    .min_by(|(_, a), (_, b)| self.cmp_ordering_keys(a, b))
+                    .map(|(k, ok)| (k.clone(), ok))
+                {
+                    nominees.push((si, k, ok));
                 }
-            } else {
-                break;
+            }
+            // Phase 2: the coordinator picks the globally worst nominee and
+            // removes it from its owning shard.
+            let victim = nominees
+                .into_iter()
+                .min_by(|(_, _, a), (_, _, b)| self.cmp_ordering_keys(a, b));
+            match victim {
+                Some((si, key, _)) => {
+                    // `remove` can miss if a concurrent `reset` cleared the
+                    // shard between phases; the loop re-checks the bound.
+                    if let Some(row) = self.shards[si].write().remove(&key) {
+                        if want_evicted {
+                            evicted.push(row.lock().output(now));
+                        }
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
             }
         }
         evicted
@@ -854,7 +1036,7 @@ impl Lat {
     pub fn lookup_for(&self, obj: &Object) -> Option<Vec<Value>> {
         let key = self.group_key_of(obj)?;
         let now = self.clock.now_micros();
-        let rows = self.rows.read();
+        let rows = self.shard_of(&key).read();
         rows.get(&key).map(|r| r.lock().output(now))
     }
 
@@ -865,13 +1047,16 @@ impl Lat {
             .position(|c| c.eq_ignore_ascii_case(name))
     }
 
-    /// Materialize all rows (order unspecified).
+    /// Materialize all rows (order unspecified). All shard read locks are
+    /// acquired (in index order) before any row is materialized, so the
+    /// snapshot is a consistent cross-shard view: no concurrent new-group
+    /// insert, eviction, or reset can interleave mid-iteration.
     pub fn rows(&self) -> Vec<Vec<Value>> {
         let now = self.clock.now_micros();
-        self.rows
-            .read()
-            .values()
-            .map(|r| r.lock().output(now))
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        guards
+            .iter()
+            .flat_map(|g| g.values().map(|r| r.lock().output(now)))
             .collect()
     }
 
@@ -882,9 +1067,14 @@ impl Lat {
         rows
     }
 
-    /// `Reset(LATName)`: clear contents and free memory.
+    /// `Reset(LATName)`: clear contents and free memory. All shard write
+    /// locks are held (acquired in index order) before the first shard is
+    /// cleared, so observers never see a partially reset table.
     pub fn reset(&self) {
-        self.rows.write().clear();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        for g in guards.iter_mut() {
+            g.clear();
+        }
         self.resets.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -915,13 +1105,15 @@ impl Lat {
                 None => ColumnState::Plain(state),
             });
         }
-        let mut rows = self.rows.write();
-        rows.insert(
-            key.clone(),
-            Arc::new(Mutex::new(LatRow { group: key, aggs })),
-        );
+        {
+            let mut rows = self.shard_of(&key).write();
+            rows.insert(
+                key.clone(),
+                Arc::new(Mutex::new(LatRow { group: key, aggs })),
+            );
+        }
         self.row_high_water
-            .fetch_max(rows.len() as u64, Ordering::Relaxed);
+            .fetch_max(self.row_count() as u64, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -1051,13 +1243,82 @@ mod tests {
         lat.insert(&qobj(2, 1.0)).unwrap(); // new group: its first block
         assert_eq!(lat.stats().aging_rolls, 3);
         assert_eq!(lat.stats().row_high_water, 2);
-        // Eviction shrinks the table but not the high-water mark.
+        // High water records post-enforcement occupancy, so it never exceeds
+        // the row bound even when an insert transiently overfills the table.
         lat.insert(&qobj(3, 1.0)).unwrap();
         assert_eq!(lat.row_count(), 2);
-        assert_eq!(lat.stats().row_high_water, 3);
+        assert_eq!(lat.stats().row_high_water, 2);
         lat.reset();
         assert_eq!(lat.row_count(), 0);
-        assert_eq!(lat.stats().row_high_water, 3, "high water survives reset");
+        assert_eq!(lat.stats().row_high_water, 2, "high water survives reset");
+    }
+
+    #[test]
+    fn update_of_existing_group_under_full_lat_never_evicts() {
+        // Regression: folding into an existing group must not run size
+        // enforcement — eviction events fire only on true evictions.
+        let (clock, _) = ManualClock::shared(0);
+        let spec = LatSpec::new("Full")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .order_by("N", true)
+            .max_rows(2);
+        let lat = Lat::new(spec, clock).unwrap();
+        lat.insert(&qobj(1, 1.0)).unwrap();
+        lat.insert(&qobj(2, 1.0)).unwrap();
+        assert_eq!(lat.row_count(), 2, "LAT is exactly full");
+        for _ in 0..10 {
+            let evicted = lat.insert(&qobj(1, 1.0)).unwrap();
+            assert!(evicted.is_empty(), "existing-group update evicted a row");
+        }
+        assert_eq!(lat.stats().evictions, 0);
+        assert_eq!(lat.row_count(), 2);
+        // A genuinely new group does evict — exactly once.
+        let evicted = lat.insert(&qobj(3, 1.0)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(lat.stats().evictions, 1);
+        assert_eq!(lat.row_count(), 2);
+    }
+
+    #[test]
+    fn shard_count_defaults_and_overrides() {
+        let (clock, _) = ManualClock::shared(0);
+        let base = || {
+            LatSpec::new("Sharded")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+        };
+        let lat = Lat::new(base(), clock.clone()).unwrap();
+        assert_eq!(lat.shard_count(), DEFAULT_LAT_SHARDS);
+        let lat = Lat::new(base().shards(4), clock.clone()).unwrap();
+        assert_eq!(lat.shard_count(), 4);
+        assert_eq!(lat.shard_stats().len(), 4);
+        assert_eq!(lat.lock_contentions(), 0);
+        assert!(Lat::new(base().shards(0), clock.clone()).is_err());
+        assert!(Lat::new(base().shards(MAX_LAT_SHARDS + 1), clock).is_err());
+    }
+
+    #[test]
+    fn rows_spread_across_shards_and_single_shard_still_works() {
+        let (clock, _) = ManualClock::shared(0);
+        for n_shards in [1, 3, 16] {
+            let spec = LatSpec::new("Spread")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .shards(n_shards);
+            let lat = Lat::new(spec, clock.clone()).unwrap();
+            for sig in 0..64 {
+                lat.insert(&qobj(sig, 1.0)).unwrap();
+            }
+            assert_eq!(lat.row_count(), 64);
+            assert_eq!(lat.rows().len(), 64);
+            let per_shard: usize = lat.shard_stats().iter().map(|s| s.rows).sum();
+            assert_eq!(per_shard, 64);
+            if n_shards > 1 {
+                let occupied = lat.shard_stats().iter().filter(|s| s.rows > 0).count();
+                assert!(occupied > 1, "hash should spread 64 groups over shards");
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@
 pub mod actions;
 pub mod analysis;
 pub mod lat;
+pub mod lat_ref;
 pub mod monitor;
 pub mod objects;
 pub mod rules;
@@ -57,7 +58,8 @@ pub mod timer;
 
 pub use actions::Action;
 pub use analysis::{Analyzer, Code, Diagnostic, Severity};
-pub use lat::{Lat, LatAggFunc, LatSpec};
+pub use lat::{Lat, LatAggFunc, LatShardStats, LatSpec, DEFAULT_LAT_SHARDS, MAX_LAT_SHARDS};
+pub use lat_ref::ReferenceLat;
 pub use monitor::{Sqlcm, SqlcmStats};
 pub use objects::{ClassName, Object};
 pub use rules::{Rule, RuleEvent};

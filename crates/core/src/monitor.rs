@@ -722,6 +722,8 @@ impl SqlcmInner {
                     rows: lat.row_count() as u64,
                     row_high_water: stats.row_high_water,
                     memory_bytes: lat.memory_bytes() as u64,
+                    shards: lat.shard_count() as u64,
+                    lock_contentions: lat.lock_contentions(),
                 }
             })
             .collect();

@@ -164,10 +164,16 @@ pub struct LatTelemetry {
     pub aging_rolls: u64,
     /// Current row count.
     pub rows: u64,
-    /// High-water mark of row occupancy (before size enforcement).
+    /// High-water mark of row occupancy after size enforcement (never above
+    /// `max_rows` on a bounded LAT).
     pub row_high_water: u64,
     /// Approximate bytes held right now.
     pub memory_bytes: u64,
+    /// Number of row-map shards.
+    pub shards: u64,
+    /// Shard-lock acquisitions that found the lock held (contention events
+    /// summed over all shards).
+    pub lock_contentions: u64,
 }
 
 /// A point-in-time, owned view of everything the monitor knows about itself.
@@ -280,7 +286,7 @@ impl TelemetrySnapshot {
         for l in &self.lats {
             let _ = writeln!(
                 out,
-                "  {:<22} inserts={:<8} evictions={:<6} resets={:<4} aging_rolls={:<6} rows={}/{} bytes={}",
+                "  {:<22} inserts={:<8} evictions={:<6} resets={:<4} aging_rolls={:<6} rows={}/{} bytes={} shards={} contentions={}",
                 l.name,
                 l.inserts,
                 l.evictions,
@@ -289,6 +295,8 @@ impl TelemetrySnapshot {
                 l.rows,
                 l.row_high_water,
                 l.memory_bytes,
+                l.shards,
+                l.lock_contentions,
             );
         }
         let _ = writeln!(
@@ -368,7 +376,7 @@ impl TelemetrySnapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":{},\"inserts\":{},\"evictions\":{},\"resets\":{},\"aging_rolls\":{},\"rows\":{},\"row_high_water\":{},\"memory_bytes\":{}}}",
+                "{{\"name\":{},\"inserts\":{},\"evictions\":{},\"resets\":{},\"aging_rolls\":{},\"rows\":{},\"row_high_water\":{},\"memory_bytes\":{},\"shards\":{},\"lock_contentions\":{}}}",
                 json_str(&l.name),
                 l.inserts,
                 l.evictions,
@@ -376,7 +384,9 @@ impl TelemetrySnapshot {
                 l.aging_rolls,
                 l.rows,
                 l.row_high_water,
-                l.memory_bytes
+                l.memory_bytes,
+                l.shards,
+                l.lock_contentions
             ));
         }
         out.push_str("],\"flight_recorder\":{\"total\":");

@@ -166,6 +166,139 @@ fn monitor_counts_are_exact_under_concurrency() {
     );
 }
 
+/// Stress: 8 threads × 10k events over overlapping keys into a bounded,
+/// sharded LAT. COUNT is conserved — every delivered event is counted exactly
+/// once, either in an evicted row snapshot or in a surviving row — the row
+/// high-water mark never exceeds the size bound, and the insert counter
+/// matches the events delivered.
+#[test]
+fn lat_stress_conserves_counts_under_8_thread_contention() {
+    use sqlcm_repro::common::{QueryInfo, SystemClock};
+    use sqlcm_repro::monitor::objects::query_object;
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    const MAX_ROWS: usize = 32;
+    const GROUPS: u64 = 64; // overlapping keys: every thread hits every group
+
+    let spec = LatSpec::new("Stress")
+        .group_by("Query.Logical_Signature", "Sig")
+        .aggregate(LatAggFunc::Count, "", "N")
+        .order_by("N", false)
+        .max_rows(MAX_ROWS);
+    let lat = Arc::new(sqlcm_repro::monitor::Lat::new(spec, SystemClock::shared()).unwrap());
+
+    let evicted_count: i64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let lat = Arc::clone(&lat);
+                scope.spawn(move || {
+                    let mut evicted = 0i64;
+                    for i in 0..PER_THREAD {
+                        let sig = (t * PER_THREAD + i).wrapping_mul(2654435761) % GROUPS;
+                        let mut q = QueryInfo::synthetic(1, format!("q{sig}"));
+                        q.logical_signature = Some(sig);
+                        for row in lat.insert(&query_object(&q)).unwrap() {
+                            evicted += row[1].as_i64().unwrap();
+                        }
+                    }
+                    evicted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let surviving: i64 = lat.rows().iter().map(|r| r[1].as_i64().unwrap()).sum();
+    let delivered = THREADS * PER_THREAD;
+    assert_eq!(
+        (evicted_count + surviving) as u64,
+        delivered,
+        "every event counted exactly once across evicted + surviving rows"
+    );
+    let stats = lat.stats();
+    assert_eq!(stats.inserts, delivered, "insert counter exact");
+    assert!(
+        stats.row_high_water <= MAX_ROWS as u64,
+        "high water {} exceeds bound {MAX_ROWS}",
+        stats.row_high_water
+    );
+    assert!(lat.row_count() <= MAX_ROWS);
+}
+
+/// Stress: the telemetry snapshot's per-LAT insert counters sum exactly to
+/// the events delivered — two QueryCommit rules each feed one LAT, so the sum
+/// over LATs must be exactly twice the committed-statement count.
+#[test]
+fn telemetry_lat_insert_counts_sum_to_events_delivered() {
+    let e = engine();
+    let sqlcm = Sqlcm::attach(&e);
+    for name in ["ByUser", "BySig"] {
+        let (attr, alias) = match name {
+            "ByUser" => ("Query.User", "U"),
+            _ => ("Query.Logical_Signature", "Sig"),
+        };
+        sqlcm
+            .define_lat(LatSpec::new(name).group_by(attr, alias).aggregate(
+                LatAggFunc::Count,
+                "",
+                "N",
+            ))
+            .unwrap();
+        sqlcm
+            .add_rule(
+                Rule::new(format!("feed_{name}"))
+                    .on(RuleEvent::QueryCommit)
+                    .then(Action::insert(name)),
+            )
+            .unwrap();
+    }
+
+    let per_thread = 200u64;
+    let threads = 8;
+    let committed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let e = &e;
+            let committed = committed.clone();
+            scope.spawn(move || {
+                let mut s = e.connect(&format!("user{t}"), "t");
+                for i in 0..per_thread {
+                    let id = 1 + ((t as u64 * per_thread + i) % 10) as i64;
+                    if s.execute_params(
+                        "UPDATE acc SET bal = bal + 1 WHERE id = ?",
+                        &[Value::Int(id)],
+                    )
+                    .is_ok()
+                    {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let delivered = committed.load(Ordering::Relaxed);
+    let snap = sqlcm.telemetry();
+    let per_lat: Vec<(String, u64)> = snap
+        .lats
+        .iter()
+        .map(|l| (l.name.clone(), l.inserts))
+        .collect();
+    for (name, inserts) in &per_lat {
+        assert_eq!(
+            *inserts, delivered,
+            "LAT {name} insert count matches committed statements"
+        );
+    }
+    let total: u64 = per_lat.iter().map(|(_, n)| n).sum();
+    assert_eq!(
+        total,
+        2 * delivered,
+        "per-LAT insert counts sum exactly to events delivered"
+    );
+}
+
 #[test]
 fn cancel_from_another_session() {
     let e = engine();
