@@ -34,12 +34,28 @@ pub fn rule_cost(universe: &SchemaUniverse, rule: &RuleIr) -> (u32, Vec<String>)
     if let Some(cond) = &rule.condition {
         let (_, lats) = expr_refs(universe, cond);
         for name in lats {
-            let c = match universe.lat(&name) {
+            let schema = universe.lat(&name);
+            let c = match schema {
                 Some(schema) => 1 + schema.aging_aggregates as u32,
                 None => 1,
             };
             total += c;
-            parts.push(format!("probe {name}: {c}"));
+            // The dispatch plan hoists a lookup to event level when the LAT's
+            // key class is in the event payload: rules on the same event then
+            // share one row snapshot, so the probe cost amortizes across the
+            // ruleset instead of accruing per rule. Surfaced here so authors
+            // can see which probes the runtime de-duplicates.
+            let hoisted = schema.is_some_and(|sc| {
+                rule.event
+                    .payload
+                    .iter()
+                    .any(|p| p.eq_ignore_ascii_case(&sc.source_class))
+            });
+            if hoisted {
+                parts.push(format!("probe {name}: {c} (hoisted: shared per event)"));
+            } else {
+                parts.push(format!("probe {name}: {c}"));
+            }
         }
     }
     for action in &rule.actions {
@@ -164,8 +180,32 @@ mod tests {
         };
         // probe Win: 1 + 2 aging = 3; Insert: 1 + 2 aggs + 2*2 aging + 1 bounded = 8;
         // PersistLat: 8. Total 19.
-        let (total, _) = rule_cost(a.universe(), &rule);
+        let (total, parts) = rule_cost(a.universe(), &rule);
         assert_eq!(total, 19);
+        // The probe is keyed by Query, which is in the QueryCommit payload:
+        // the dispatch plan hoists it, and the breakdown says so.
+        assert!(
+            parts[0].contains("(hoisted: shared per event)"),
+            "{parts:?}"
+        );
+    }
+
+    #[test]
+    fn probe_outside_event_payload_is_not_marked_hoisted() {
+        let mut a = Analyzer::new();
+        assert!(a.check_lat(&aging_lat()).is_empty());
+        let rule = RuleIr {
+            name: "timer_probe".into(),
+            event: EventIr {
+                kind: "TimerAlarm".into(),
+                arg: Some("t".into()),
+                payload: vec!["Timer".into()],
+            },
+            condition: Some(sqlcm_sql::parse_expression("Win.Avg_D > 1").unwrap()),
+            actions: vec![],
+        };
+        let (_, parts) = rule_cost(a.universe(), &rule);
+        assert!(!parts[0].contains("hoisted"), "{parts:?}");
     }
 
     #[test]

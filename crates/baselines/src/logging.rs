@@ -70,7 +70,7 @@ impl QueryLogging {
             if let Ok(row) = decode_row(bytes) {
                 out.push(QueryCost {
                     query_id: row[0].as_i64().unwrap_or(0) as u64,
-                    text: row[1].as_str().unwrap_or("").to_string(),
+                    text: row[1].as_str().unwrap_or("").into(),
                     duration_micros: row[2].as_i64().unwrap_or(0) as u64,
                 });
             }
@@ -118,7 +118,7 @@ impl Instrumentation for QueryLogging {
             Value::Float(q.estimated_cost),
             Value::Text(q.user.clone()),
             Value::Text(q.application.clone()),
-            Value::Text(q.query_type.to_string()),
+            Value::text(q.query_type.to_string()),
         ]);
         // A monitoring failure must never fail the query; drop the event.
         if self.heap.insert(&row).is_ok() {

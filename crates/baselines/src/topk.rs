@@ -7,7 +7,7 @@
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryCost {
     pub query_id: u64,
-    pub text: String,
+    pub text: std::sync::Arc<str>,
     pub duration_micros: u64,
 }
 
@@ -38,7 +38,7 @@ mod tests {
     fn c(id: u64, d: u64) -> QueryCost {
         QueryCost {
             query_id: id,
-            text: format!("q{id}"),
+            text: format!("q{id}").into(),
             duration_micros: d,
         }
     }

@@ -91,10 +91,9 @@ fn bench_condition_eval() {
     let mut q = QueryInfo::synthetic(1, "SELECT 1");
     q.duration_micros = 1_000_000;
     let objs = vec![query_object(&q)];
-    let lats = std::collections::HashMap::new();
     let ctx = EvalContext {
         objects: &objs,
-        lat_rows: &lats,
+        lat_rows: &[],
     };
     let one = parse_expression("Query.Duration > 100").unwrap();
     let twenty = parse_expression(

@@ -9,6 +9,8 @@
 //!
 //! The attribute set mirrors Appendix A of the paper.
 
+use std::sync::Arc;
+
 use crate::clock::Timestamp;
 
 /// The statement class of a query (Appendix A: `Query_Type`).
@@ -44,8 +46,8 @@ impl std::fmt::Display for QueryType {
 pub struct QueryInfo {
     /// Server-wide unique id of this query execution.
     pub id: u64,
-    /// The raw query text.
-    pub text: String,
+    /// The raw query text, shared with the engine's active-query registry.
+    pub text: Arc<str>,
     /// Logical query signature (Section 4.2), if signature computation is enabled.
     pub logical_signature: Option<u64>,
     /// Physical plan signature (Section 4.2).
@@ -69,16 +71,16 @@ pub struct QueryInfo {
     /// Transaction the query runs in (0 = autocommit wrapper).
     pub txn_id: u64,
     /// User that issued the query (for auditing / resource-governing rules).
-    pub user: String,
+    pub user: Arc<str>,
     /// Application name the session reported at login.
-    pub application: String,
+    pub application: Arc<str>,
     /// Name of the stored procedure this statement belongs to, if any.
-    pub procedure: Option<String>,
+    pub procedure: Option<Arc<str>>,
 }
 
 impl QueryInfo {
     /// A minimal, fully-defaulted info — handy in tests of downstream crates.
-    pub fn synthetic(id: u64, text: impl Into<String>) -> QueryInfo {
+    pub fn synthetic(id: u64, text: impl Into<Arc<str>>) -> QueryInfo {
         QueryInfo {
             id,
             text: text.into(),
@@ -93,8 +95,8 @@ impl QueryInfo {
             query_type: QueryType::Select,
             session_id: 0,
             txn_id: 0,
-            user: String::new(),
-            application: String::new(),
+            user: "".into(),
+            application: "".into(),
             procedure: None,
         }
     }
@@ -116,8 +118,8 @@ pub struct TxnInfo {
     pub physical_signature: Vec<u64>,
     pub statements: u32,
     pub session_id: u64,
-    pub user: String,
-    pub application: String,
+    pub user: Arc<str>,
+    pub application: Arc<str>,
 }
 
 /// A (blocker, blocked) pair on a lock resource (Appendix A, `Blocker`/`Blocked`).
@@ -132,7 +134,7 @@ pub struct BlockPairInfo {
     /// The query waiting on the resource.
     pub blocked: QueryInfo,
     /// Human-readable lock resource name, e.g. `"orders/row/42"`.
-    pub resource: String,
+    pub resource: Arc<str>,
     /// How long `blocked` has been (or was, on release) waiting on the resource (µs).
     pub wait_micros: u64,
 }
@@ -141,8 +143,8 @@ pub struct BlockPairInfo {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionInfo {
     pub session_id: u64,
-    pub user: String,
-    pub application: String,
+    pub user: Arc<str>,
+    pub application: Arc<str>,
     /// False for a failed login attempt (auditing Example 4(b) in the paper).
     pub success: bool,
 }
@@ -239,6 +241,67 @@ impl ProbeKind {
     }
 }
 
+/// A packed set of probe kinds — one bit per [`ProbeKind::index()`].
+///
+/// This is the currency of the monitoring fast path: the engine's multicast
+/// keeps the union of all attached monitors' masks in an atomic, and a monitor's
+/// dispatch plan keeps its own mask, so "does anyone care about this probe?" is
+/// a single load-and-test with no locks and no payload assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeMask(u32);
+
+impl ProbeMask {
+    /// The empty mask: no probe is interesting.
+    pub const EMPTY: ProbeMask = ProbeMask(0);
+    /// Every probe kind.
+    pub const ALL: ProbeMask = ProbeMask((1u32 << ProbeKind::COUNT) - 1);
+
+    /// Mask with exactly one kind set.
+    pub fn only(kind: ProbeKind) -> ProbeMask {
+        ProbeMask(1 << kind.index())
+    }
+
+    /// Add a kind to the mask.
+    pub fn set(&mut self, kind: ProbeKind) {
+        self.0 |= 1 << kind.index();
+    }
+
+    /// Whether the mask contains `kind`.
+    pub fn contains(self, kind: ProbeKind) -> bool {
+        self.0 & (1 << kind.index()) != 0
+    }
+
+    /// Set-union of two masks.
+    pub fn union(self, other: ProbeMask) -> ProbeMask {
+        ProbeMask(self.0 | other.0)
+    }
+
+    /// True when no kind is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits, for storage in an atomic.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from raw bits (unknown high bits are discarded).
+    pub fn from_bits(bits: u32) -> ProbeMask {
+        ProbeMask(bits & Self::ALL.0)
+    }
+}
+
+impl FromIterator<ProbeKind> for ProbeMask {
+    fn from_iter<I: IntoIterator<Item = ProbeKind>>(iter: I) -> ProbeMask {
+        let mut m = ProbeMask::EMPTY;
+        for k in iter {
+            m.set(k);
+        }
+        m
+    }
+}
+
 impl EngineEvent {
     /// The probe point this event came from.
     pub fn kind(&self) -> ProbeKind {
@@ -324,6 +387,23 @@ mod tests {
         })
         .query()
         .is_none());
+    }
+
+    #[test]
+    fn probe_mask_set_contains_union() {
+        let mut m = ProbeMask::EMPTY;
+        assert!(m.is_empty());
+        m.set(ProbeKind::QueryCommit);
+        assert!(m.contains(ProbeKind::QueryCommit));
+        assert!(!m.contains(ProbeKind::Login));
+        let n = ProbeMask::only(ProbeKind::Login);
+        let u = m.union(n);
+        assert!(u.contains(ProbeKind::QueryCommit) && u.contains(ProbeKind::Login));
+        assert_eq!(ProbeMask::from_bits(u.bits()), u);
+        // Unknown high bits are dropped on the floor.
+        assert_eq!(ProbeMask::from_bits(u32::MAX), ProbeMask::ALL);
+        let all: ProbeMask = ProbeKind::ALL.into_iter().collect();
+        assert_eq!(all, ProbeMask::ALL);
     }
 
     #[test]

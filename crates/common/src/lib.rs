@@ -22,6 +22,6 @@ pub mod value;
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock, Timestamp};
 pub use error::{Error, Result};
 pub use events::{
-    BlockPairInfo, EngineEvent, ProbeKind, QueryInfo, QueryType, SessionInfo, TxnInfo,
+    BlockPairInfo, EngineEvent, ProbeKind, ProbeMask, QueryInfo, QueryType, SessionInfo, TxnInfo,
 };
 pub use value::{DataType, Value};

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 
@@ -55,7 +56,10 @@ pub enum Value {
     Null,
     Int(i64),
     Float(f64),
-    Text(String),
+    /// UTF-8 text. Stored as a shared `Arc<str>` so probe payloads can hand the
+    /// same query text / user name to every rule (and every LAT row) with a
+    /// refcount bump instead of a heap copy.
+    Text(Arc<str>),
     Bool(bool),
     /// Microseconds since the engine clock origin.
     Timestamp(u64),
@@ -81,7 +85,7 @@ impl Value {
     }
 
     /// Build a text value from anything string-like.
-    pub fn text(s: impl Into<String>) -> Value {
+    pub fn text(s: impl Into<Arc<str>>) -> Value {
         Value::Text(s.into())
     }
 
@@ -143,7 +147,7 @@ impl Value {
                 Value::Text(s) => s.trim().parse::<f64>().map_err(|_| err())?,
                 v => v.as_f64().ok_or_else(err)?,
             }),
-            DataType::Text => Value::Text(self.to_string()),
+            DataType::Text => Value::Text(self.to_string().into()),
             DataType::Bool => Value::Bool(self.as_bool().ok_or_else(err)?),
             DataType::Timestamp => match self {
                 Value::Timestamp(t) => Value::Timestamp(*t),
@@ -240,7 +244,7 @@ impl Value {
     pub fn size_bytes(&self) -> usize {
         let inline = std::mem::size_of::<Value>();
         match self {
-            Value::Text(s) => inline + s.capacity(),
+            Value::Text(s) => inline + s.len(),
             Value::Blob(b) => inline + b.capacity(),
             _ => inline,
         }
@@ -367,12 +371,22 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(v.into())
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Text(v)
+    }
+}
+impl From<&Arc<str>> for Value {
+    fn from(v: &Arc<str>) -> Self {
+        Value::Text(Arc::clone(v))
     }
 }
 

@@ -13,7 +13,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
         any::<f64>().prop_map(Value::Float),
-        "[a-z]{0,8}".prop_map(Value::Text),
+        "[a-z]{0,8}".prop_map(Value::text),
         any::<bool>().prop_map(Value::Bool),
         any::<u64>().prop_map(Value::Timestamp),
         proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::Blob),

@@ -177,7 +177,7 @@ pub fn persist_rows(engine: &Arc<EngineInner>, table: &str, rows: Vec<Vec<Value>
     let mut txn = TxnState::new(engine.allocate_txn_id(), false, now);
     let query = ActiveQueryState::new(
         engine.allocate_query_id(),
-        format!("/*SQLCM*/ INSERT INTO {table}"),
+        format!("/*SQLCM*/ INSERT INTO {table}").into(),
         QueryType::Insert,
         0,
         txn.id,
@@ -216,7 +216,7 @@ pub fn read_table(engine: &Arc<EngineInner>, table: &str) -> Result<Vec<Vec<Valu
     let mut txn = TxnState::new(engine.allocate_txn_id(), false, now);
     let query = ActiveQueryState::new(
         engine.allocate_query_id(),
-        format!("/*SQLCM*/ SELECT * FROM {table}"),
+        format!("/*SQLCM*/ SELECT * FROM {table}").into(),
         QueryType::Select,
         0,
         txn.id,
@@ -248,7 +248,6 @@ mod tests {
     use super::*;
     use crate::objects::query_object;
     use sqlcm_common::QueryInfo;
-    use std::collections::HashMap;
 
     #[test]
     fn constructors() {
@@ -275,10 +274,9 @@ mod tests {
         q.duration_micros = 1_500_000;
         q.user = "alice".into();
         let objs = vec![query_object(&q)];
-        let lats = HashMap::new();
         let ctx = EvalContext {
             objects: &objs,
-            lat_rows: &lats,
+            lat_rows: &[],
         };
         let s = substitute(
             "user {Query.User} ran '{Query.Query_Text}' in {Query.Duration}s",

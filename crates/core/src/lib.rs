@@ -51,6 +51,7 @@ pub mod lat;
 pub mod lat_ref;
 pub mod monitor;
 pub mod objects;
+pub mod plan;
 pub mod rules;
 pub mod sinks;
 pub mod telemetry;
@@ -62,7 +63,10 @@ pub use lat::{Lat, LatAggFunc, LatShardStats, LatSpec, DEFAULT_LAT_SHARDS, MAX_L
 pub use lat_ref::ReferenceLat;
 pub use monitor::{Sqlcm, SqlcmStats};
 pub use objects::{ClassName, Object};
+pub use plan::{HoistGroup, PlanSummary};
 pub use rules::{Rule, RuleEvent};
 pub use sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
-pub use telemetry::{LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, TelemetrySnapshot};
+pub use telemetry::{
+    DispatchTelemetry, LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, TelemetrySnapshot,
+};
 pub use timer::TimerRegistry;

@@ -11,6 +11,13 @@
 //! Rule-evaluation order is fixed: registration order, and "for any given
 //! event, all applicable rules are triggered before any later event is
 //! processed".
+//!
+//! The hot path runs on an immutable, atomically-published [`DispatchPlan`]
+//! (see [`crate::plan`]): one atomic load per event, no registry locks, and
+//! payload objects assembled from pooled thread-local buffers — steady-state
+//! dispatch performs zero heap allocations for payload assembly. Plans are
+//! rebuilt (and the epoch bumped) on every registry mutation:
+//! `add_rule`, `remove_rule`, `define_lat`, `drop_lat`, `set_rule_enabled`.
 
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
@@ -30,11 +37,15 @@ use crate::actions::{persist_rows, read_table, substitute, Action};
 use crate::analysis;
 use crate::lat::{Lat, LatAggFunc, LatSpec};
 use crate::objects::{self, evicted_object, ClassName, Object};
-use crate::rules::{EvalContext, Rule, RuleEvent};
+use crate::plan::{
+    CompiledAction, DispatchPlan, EventPlan, HoistState, PlanCell, PlanRule, PlanSummary,
+    Registered, NO_HOIST,
+};
+use crate::rules::{EvalContext, LatBinding, Rule, RuleEvent};
 use crate::sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
 use crate::telemetry::{
-    LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, Telem, TelemetrySnapshot,
-    SELF_MONITOR_TIMER,
+    DispatchTelemetry, LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, Telem,
+    TelemetrySnapshot, SELF_MONITOR_TIMER,
 };
 use crate::timer::TimerRegistry;
 
@@ -53,46 +64,19 @@ pub struct SqlcmStats {
     pub action_errors: u64,
 }
 
-struct Registered {
-    rule: Arc<Rule>,
-    /// Condition compiled at registration (references resolved to indexes).
-    compiled: Option<crate::rules::CompiledExpr>,
-    /// Actions with LAT handles resolved at registration.
-    actions: Vec<CompiledAction>,
-    /// Classes the condition references.
-    cond_classes: Vec<ClassName>,
-    /// LAT names the condition references (lowercased).
-    cond_lats: Vec<String>,
-    /// Condition-evaluation wall time, nanoseconds (telemetry).
-    cond_latency: LatencyHistogram,
-    /// Action-execution wall time per firing, nanoseconds (telemetry).
-    action_latency: LatencyHistogram,
-}
-
-/// An action with its LAT target (if any) pre-resolved — no name lookup on the
-/// hot path.
-enum CompiledAction {
-    Insert {
-        lat: Arc<Lat>,
-        /// Pre-built key for the eviction-subscription check.
-        eviction_event: RuleEvent,
-    },
-    Reset(Arc<Lat>),
-    PersistLat {
-        table: String,
-        lat: Arc<Lat>,
-    },
-    /// Everything else interprets the declarative [`Action`] directly.
-    Other(Action),
-}
-
 struct SqlcmInner {
     engine: Arc<EngineInner>,
     clock: SharedClock,
     lats: RwLock<HashMap<String, Arc<Lat>>>,
     rules: RwLock<Vec<Arc<Registered>>>,
-    /// Per-event index into `rules` (same Arc entries, registration order kept).
-    rules_by_event: RwLock<HashMap<RuleEvent, Vec<Arc<Registered>>>>,
+    /// The published dispatch plan the hot path runs on (RCU; `crate::plan`).
+    plan: PlanCell,
+    /// Serializes plan rebuilds: the registry snapshot is taken under this
+    /// mutex *after* the caller's mutation, so concurrent registrations can
+    /// never publish a plan missing one of them.
+    plan_rebuild: Mutex<()>,
+    /// Monotone plan epoch (0 = the empty plan installed at attach).
+    plan_epoch: AtomicU64,
     timers: TimerRegistry,
     outbox: Arc<RecordingMailSink>,
     command_log: Arc<RecordingCommandSink>,
@@ -126,7 +110,26 @@ thread_local! {
     static PROCESSING: Cell<bool> = const { Cell::new(false) };
     static PENDING: RefCell<VecDeque<(RuleEvent, Vec<Object>)>> =
         const { RefCell::new(VecDeque::new()) };
+    /// Pooled payload buffers; borrowed only in short spans that never run
+    /// user code, so re-entrant probes cannot observe an active borrow.
+    static SCRATCH: RefCell<PayloadScratch> = const {
+        RefCell::new(PayloadScratch {
+            objects: Vec::new(),
+            values: Vec::new(),
+        })
+    };
 }
+
+/// Thread-local pools recycling the payload `Vec<Object>` and each object's
+/// value buffer across events: steady-state payload assembly allocates
+/// nothing. Bounds keep a pathological thread from hoarding buffers.
+struct PayloadScratch {
+    objects: Vec<Vec<Object>>,
+    values: Vec<Vec<Value>>,
+}
+
+const OBJECT_POOL_BOUND: usize = 4;
+const VALUE_POOL_BOUND: usize = 8;
 
 impl Instrumentation for SqlcmMonitor {
     fn on_event(&self, event: &EngineEvent) {
@@ -138,13 +141,12 @@ impl Instrumentation for SqlcmMonitor {
         // sum to `SqlcmStats::events`.
         telem.probe_events[probe.index()].incr();
         let sw = telem.enabled().then(Stopwatch::start);
-        // Cheap pre-filter: assembling monitored objects clones strings, so do
-        // it only when some rule subscribes to this event kind — "no monitoring
-        // is performed unless it is required by a rule" (§2.1).
-        let kind = kind_of(event);
-        if self.inner.has_rules_for(&kind) {
-            let objects = payload_objects(event);
-            self.inner.dispatch(kind, objects);
+        // One atomic plan load and one bit test replace the two registry-lock
+        // reads the old path took (`wants` + the dispatch-side index) — "no
+        // monitoring is performed unless it is required by a rule" (§2.1).
+        let plan = self.inner.plan.load();
+        if plan.probe_mask.contains(probe) {
+            self.inner.dispatch_event(plan, event);
         }
         if let Some(sw) = sw {
             telem.probe_latency[probe.index()].record(sw.elapsed_nanos());
@@ -155,28 +157,10 @@ impl Instrumentation for SqlcmMonitor {
         "sqlcm"
     }
 
-    /// Let the engine skip assembling events no rule subscribes to.
+    /// Let the engine skip assembling events no rule subscribes to. One
+    /// atomic load, no locks.
     fn wants(&self, kind: sqlcm_common::ProbeKind) -> bool {
-        self.inner.has_rules_for(&rule_event_of(kind))
-    }
-}
-
-/// The [`RuleEvent`] a probe kind maps to.
-fn rule_event_of(kind: sqlcm_common::ProbeKind) -> RuleEvent {
-    use sqlcm_common::ProbeKind as K;
-    match kind {
-        K::QueryStart => RuleEvent::QueryStart,
-        K::QueryCompile => RuleEvent::QueryCompile,
-        K::QueryCommit => RuleEvent::QueryCommit,
-        K::QueryRollback => RuleEvent::QueryRollback,
-        K::QueryCancel => RuleEvent::QueryCancel,
-        K::QueryBlocked => RuleEvent::QueryBlocked,
-        K::BlockReleased => RuleEvent::BlockReleased,
-        K::TxnBegin => RuleEvent::TxnBegin,
-        K::TxnCommit => RuleEvent::TxnCommit,
-        K::TxnRollback => RuleEvent::TxnRollback,
-        K::Login => RuleEvent::Login,
-        K::Logout => RuleEvent::Logout,
+        self.inner.plan.load().probe_mask.contains(kind)
     }
 }
 
@@ -217,21 +201,143 @@ fn payload_objects(event: &EngineEvent) -> Vec<Object> {
     }
 }
 
+/// Build the context objects of an engine event into pooled buffers (the
+/// zero-allocation twin of [`payload_objects`]).
+fn payload_objects_in(event: &EngineEvent, out: &mut Vec<Object>, bufs: &mut Vec<Vec<Value>>) {
+    out.clear();
+    match event {
+        EngineEvent::QueryStart(q)
+        | EngineEvent::QueryCompile(q)
+        | EngineEvent::QueryCommit(q)
+        | EngineEvent::QueryRollback(q)
+        | EngineEvent::QueryCancel(q) => {
+            let buf = bufs.pop().unwrap_or_default();
+            out.push(objects::query_object_in(q, buf));
+        }
+        EngineEvent::QueryBlocked(p) | EngineEvent::BlockReleased(p) => {
+            let b1 = bufs.pop().unwrap_or_default();
+            let b2 = bufs.pop().unwrap_or_default();
+            let (blocker, blocked) = objects::block_pair_objects_in(p, b1, b2);
+            out.push(blocker);
+            out.push(blocked);
+        }
+        EngineEvent::TxnBegin(t) | EngineEvent::TxnCommit(t) | EngineEvent::TxnRollback(t) => {
+            let buf = bufs.pop().unwrap_or_default();
+            out.push(objects::txn_object_in(t, buf));
+        }
+        EngineEvent::Login(s) | EngineEvent::Logout(s) => {
+            let buf = bufs.pop().unwrap_or_default();
+            out.push(objects::session_object_in(s, buf));
+        }
+    }
+}
+
 impl SqlcmInner {
-    /// Entry point for every event: enqueue if re-entrant, else process and
-    /// drain whatever the processing generated.
+    // -------------------------------------------------- counted registry locks
+
+    // Dispatch never touches the registry locks; registration, mutation and
+    // action-interpretation paths acquire them through these counted helpers
+    // so tests can pin the hot path at zero acquisitions. Pure observability
+    // accessors (telemetry snapshot, `Sqlcm::lat` & co.) read the registries
+    // uncounted so *reading* the counter does not perturb it.
+
+    fn lats_read(&self) -> parking_lot::RwLockReadGuard<'_, HashMap<String, Arc<Lat>>> {
+        self.telemetry.reg_lock_acquisitions.incr();
+        self.lats.read()
+    }
+
+    fn lats_write(&self) -> parking_lot::RwLockWriteGuard<'_, HashMap<String, Arc<Lat>>> {
+        self.telemetry.reg_lock_acquisitions.incr();
+        self.lats.write()
+    }
+
+    fn rules_read(&self) -> parking_lot::RwLockReadGuard<'_, Vec<Arc<Registered>>> {
+        self.telemetry.reg_lock_acquisitions.incr();
+        self.rules.read()
+    }
+
+    fn rules_write(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<Arc<Registered>>> {
+        self.telemetry.reg_lock_acquisitions.incr();
+        self.rules.write()
+    }
+
+    /// Rebuild and publish the dispatch plan from the current registries.
+    /// Serialized by `plan_rebuild`: the snapshot is taken under the mutex
+    /// *after* the caller's registry mutation, so any interleaving of
+    /// concurrent registrations converges on a plan containing all of them.
+    fn rebuild_plan(&self) {
+        let _guard = self.plan_rebuild.lock();
+        let epoch = self.plan_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let rules = self.rules_read().clone();
+        let lats = self.lats_read().clone();
+        let plan = DispatchPlan::build(epoch, &rules, &lats);
+        self.plan.swap(Arc::new(plan));
+        self.telemetry.plan_rebuilds.incr();
+    }
+
+    // ------------------------------------------------------------ dispatch
+
+    /// Dispatch an engine event under `plan`: assemble its payload from the
+    /// thread-local pools (zero allocations in steady state), run every
+    /// subscribed rule, then recycle the buffers.
+    fn dispatch_event(&self, plan: &DispatchPlan, event: &EngineEvent) {
+        let kind = kind_of(event);
+        if PROCESSING.with(|p| p.get()) {
+            // Re-entrant probe (a rule action touched the engine): queue an
+            // owned payload for the outer dispatch to drain.
+            PENDING.with(|q| q.borrow_mut().push_back((kind, payload_objects(event))));
+            return;
+        }
+        let (mut objs, mut bufs) = SCRATCH.with(|s| {
+            let mut sc = s.borrow_mut();
+            (
+                sc.objects.pop().unwrap_or_default(),
+                std::mem::take(&mut sc.values),
+            )
+        });
+        payload_objects_in(event, &mut objs, &mut bufs);
+        self.dispatch_with(plan, &kind, &objs);
+        SCRATCH.with(|s| {
+            let mut sc = s.borrow_mut();
+            // Recycle: the value buffers go back into `bufs`, and `bufs` —
+            // which still owns the pool's backing storage — is moved back
+            // whole, so steady state never reallocates the pool itself.
+            for o in objs.drain(..) {
+                let mut v = o.into_values();
+                v.clear();
+                if bufs.len() < VALUE_POOL_BOUND {
+                    bufs.push(v);
+                }
+            }
+            sc.values = std::mem::take(&mut bufs);
+            if sc.objects.len() < OBJECT_POOL_BOUND {
+                sc.objects.push(std::mem::take(&mut objs));
+            }
+        });
+    }
+
+    /// Entry point for internally raised events (timers, self-monitoring,
+    /// tests): enqueue if re-entrant, else process under the current plan.
     fn dispatch(&self, kind: RuleEvent, objects: Vec<Object>) {
-        let reentrant = PROCESSING.with(|p| p.get());
-        if reentrant {
+        if PROCESSING.with(|p| p.get()) {
             PENDING.with(|q| q.borrow_mut().push_back((kind, objects)));
             return;
         }
+        let plan = self.plan.load();
+        self.dispatch_with(plan, &kind, &objects);
+    }
+
+    /// Process one event and drain whatever the processing generated, all
+    /// under a single plan: "for any given event, all applicable rules are
+    /// triggered before any later event is processed" — the applicable set is
+    /// whatever plan was current when the batch started.
+    fn dispatch_with(&self, plan: &DispatchPlan, kind: &RuleEvent, objects: &[Object]) {
         PROCESSING.with(|p| p.set(true));
-        self.handle_one(&kind, &objects);
+        self.handle_one(plan, kind, objects);
         loop {
             let next = PENDING.with(|q| q.borrow_mut().pop_front());
             match next {
-                Some((k, o)) => self.handle_one(&k, &o),
+                Some((k, o)) => self.handle_one(plan, &k, &o),
                 None => break,
             }
         }
@@ -239,44 +345,78 @@ impl SqlcmInner {
     }
 
     /// Evaluate every rule subscribed to this event, in registration order.
-    fn handle_one(&self, kind: &RuleEvent, objects: &[Object]) {
-        let rules: Vec<Arc<Registered>> = {
-            let by_event = self.rules_by_event.read();
-            match by_event.get(kind) {
-                None => return,
-                Some(rs) => rs.iter().filter(|r| r.rule.is_enabled()).cloned().collect(),
-            }
+    fn handle_one(&self, plan: &DispatchPlan, kind: &RuleEvent, objects: &[Object]) {
+        let Some(ep) = plan.event_plan(kind) else {
+            return;
         };
-        for reg in rules {
-            self.evaluate_rule(&reg, objects);
+        // Enabled-ness snapshot: fixed before any rule runs, so an action
+        // disabling a later rule mid-event does not affect the current event
+        // (see `Rule::set_enabled` for the pinned semantics).
+        const INLINE_RULES: usize = 64;
+        let n = ep.rules.len();
+        let mut enabled_inline = [false; INLINE_RULES];
+        let mut enabled_heap;
+        let enabled: &mut [bool] = if n <= INLINE_RULES {
+            &mut enabled_inline[..n]
+        } else {
+            enabled_heap = vec![false; n];
+            &mut enabled_heap
+        };
+        for (i, pr) in ep.rules.iter().enumerate() {
+            enabled[i] = pr.reg.rule.is_enabled();
+        }
+        // Shared hoist-slot store for this event: each slot is fetched at
+        // most once and reused by every rule referencing that LAT.
+        const INLINE_SLOTS: usize = 8;
+        let m = ep.hoisted.len();
+        let mut slots_inline: [HoistState; INLINE_SLOTS] = Default::default();
+        let mut slots_heap;
+        let slots: &mut [HoistState] = if m <= INLINE_SLOTS {
+            &mut slots_inline[..m]
+        } else {
+            slots_heap = std::iter::repeat_with(HoistState::default)
+                .take(m)
+                .collect::<Vec<_>>();
+            &mut slots_heap
+        };
+        for (i, pr) in ep.rules.iter().enumerate() {
+            if enabled[i] {
+                self.evaluate_rule(ep, pr, objects, slots);
+            }
         }
     }
 
-    /// Does any registered rule subscribe to this event? Lets hot paths skip
-    /// building event payloads nobody consumes.
+    /// Does any registered rule subscribe to this event? One atomic plan
+    /// load — no locks (used by the eviction path while actions run).
     fn has_rules_for(&self, kind: &RuleEvent) -> bool {
-        self.rules_by_event
-            .read()
-            .get(kind)
-            .is_some_and(|rs| !rs.is_empty())
+        self.plan.load().has_event(kind)
     }
 
     /// Evaluate one rule against the event context, iterating over live objects
-    /// for classes the event does not cover (§5.2).
-    fn evaluate_rule(&self, reg: &Registered, base: &[Object]) {
+    /// for classes the event does not cover (§5.2). `slots` is the event-shared
+    /// hoisted LAT-row store.
+    fn evaluate_rule(
+        &self,
+        ep: &EventPlan,
+        pr: &PlanRule,
+        base: &[Object],
+        slots: &mut [HoistState],
+    ) {
         // Fast path (the overwhelmingly common case, and the one Figure 2
         // stresses): every class the condition references is already in the
         // event payload — evaluate in place, no cloning, no combo machinery.
-        if reg
+        if pr
+            .reg
             .cond_classes
             .iter()
             .all(|c| base.iter().any(|o| o.class == *c))
         {
-            self.evaluate_combo(reg, base);
+            self.evaluate_combo(ep, pr, base, slots);
             return;
         }
         let covered: Vec<&ClassName> = base.iter().map(|o| &o.class).collect();
-        let missing: Vec<&ClassName> = reg
+        let missing: Vec<&ClassName> = pr
+            .reg
             .cond_classes
             .iter()
             .filter(|c| !covered.contains(c))
@@ -350,51 +490,118 @@ impl SqlcmInner {
                     if let Some(t) = t {
                         combo.push(t.clone());
                     }
-                    self.evaluate_combo(reg, &combo);
+                    self.evaluate_combo(ep, pr, &combo, slots);
                 }
             }
         }
     }
 
-    fn evaluate_combo(&self, reg: &Registered, combo: &[Object]) {
+    /// Evaluate the condition against one object combination — LAT rows come
+    /// from the event-shared hoist `slots` where the plan hoisted the lookup —
+    /// and run the actions when it fires.
+    fn evaluate_combo(
+        &self,
+        _ep: &EventPlan,
+        pr: &PlanRule,
+        combo: &[Object],
+        slots: &mut [HoistState],
+    ) {
+        let reg = &*pr.reg;
         reg.rule.evaluations.fetch_add(1, Ordering::Relaxed);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        if let Some(msg) = &pr.broken {
+            // A cond-LAT was dropped after registration: the evaluation is
+            // still counted (matching the old per-evaluation resolution), then
+            // recorded as an error.
+            self.record_error(&reg.rule.name, msg.clone());
+            return;
+        }
         // One clock read here, one after the condition, one after the actions
         // (only when the rule fires) — the condition and action spans are both
         // derived from the same stopwatch.
         let sw = self.telemetry.enabled().then(Stopwatch::start);
 
-        // Bind LAT rows for the condition (implicit ∃, §5.2). The map is only
-        // allocated when the condition actually references LATs.
-        static EMPTY: std::sync::OnceLock<crate::rules::LatBindings> = std::sync::OnceLock::new();
-        let mut lat_rows_storage = None;
-        if !reg.cond_lats.is_empty() {
-            let mut lat_rows = crate::rules::LatBindings::new();
-            let lats = self.lats.read();
-            for name in &reg.cond_lats {
-                let lat = match lats.get(name) {
-                    Some(l) => l.clone(),
-                    None => {
-                        self.record_error(
-                            &reg.rule.name,
-                            format!("rule {} references unknown LAT {name}", reg.rule.name),
-                        );
-                        return;
-                    }
-                };
-                let row = combo
+        // Phase A — materialize LAT rows for the condition (implicit ∃, §5.2).
+        // Hoisted lookups land in the event-shared `slots` (fetched at most
+        // once per event, reused by every rule on the same LAT); non-hoistable
+        // ones go to a per-combo local. Inline storage covers realistic rule
+        // shapes, so the steady state allocates nothing here.
+        const INLINE_LATS: usize = 8;
+        let n_lats = pr.lats.len();
+        let mut local_inline: [Option<Vec<Value>>; INLINE_LATS] = Default::default();
+        let mut local_heap;
+        let local: &mut [Option<Vec<Value>>] = if n_lats <= INLINE_LATS {
+            &mut local_inline[..n_lats]
+        } else {
+            local_heap = vec![None; n_lats];
+            &mut local_heap
+        };
+        for (i, lat) in pr.lats.iter().enumerate() {
+            let slot = pr.lat_slots[i];
+            if slot == NO_HOIST {
+                self.telemetry.lat_row_fetches.incr();
+                local[i] = combo
                     .iter()
                     .find(|o| o.class == *lat.spec.source_class())
                     .and_then(|o| lat.lookup_for(o));
-                lat_rows.insert(name.clone(), (lat, row));
+            } else {
+                let slot = &mut slots[slot as usize];
+                match slot {
+                    HoistState::Fetched(_) => self.telemetry.hoisted_lookup_hits.incr(),
+                    HoistState::Empty => {
+                        self.telemetry.lat_row_fetches.incr();
+                        let row = combo
+                            .iter()
+                            .find(|o| o.class == *lat.spec.source_class())
+                            .and_then(|o| lat.lookup_for(o));
+                        *slot = HoistState::Fetched(row);
+                    }
+                }
             }
-            lat_rows_storage = Some(lat_rows);
         }
+
+        // Phase B — borrow the rows into fixed-layout bindings indexed by the
+        // rule's `cond_lats` order (what `CompiledExpr::LatCol` points into).
+        let slots_ro: &[HoistState] = &*slots;
+        let row_of = |i: usize| {
+            let slot = pr.lat_slots[i];
+            if slot == NO_HOIST {
+                local[i].as_deref()
+            } else {
+                match &slots_ro[slot as usize] {
+                    HoistState::Fetched(row) => row.as_deref(),
+                    HoistState::Empty => None,
+                }
+            }
+        };
+        const INLINE_BINDS: usize = 8;
+        let mut bind_inline: [std::mem::MaybeUninit<LatBinding>; INLINE_BINDS] =
+            [std::mem::MaybeUninit::uninit(); INLINE_BINDS];
+        let bind_heap: Vec<LatBinding>;
+        let bindings: &[LatBinding] = if n_lats <= INLINE_BINDS {
+            for (i, slot) in bind_inline.iter_mut().take(n_lats).enumerate() {
+                slot.write(LatBinding {
+                    name: &reg.cond_lats[i],
+                    lat: &pr.lats[i],
+                    row: row_of(i),
+                });
+            }
+            // SAFETY: the first `n_lats` elements were initialized just above,
+            // and `LatBinding` is `Copy` (no drop obligations).
+            unsafe { std::slice::from_raw_parts(bind_inline.as_ptr().cast::<LatBinding>(), n_lats) }
+        } else {
+            bind_heap = (0..n_lats)
+                .map(|i| LatBinding {
+                    name: &reg.cond_lats[i],
+                    lat: &pr.lats[i],
+                    row: row_of(i),
+                })
+                .collect();
+            &bind_heap
+        };
         let ctx = EvalContext {
             objects: combo,
-            lat_rows: lat_rows_storage
-                .as_ref()
-                .unwrap_or_else(|| EMPTY.get_or_init(HashMap::new)),
+            lat_rows: bindings,
         };
         let mut cond_error = false;
         let fire = match &reg.compiled {
@@ -461,6 +668,12 @@ impl SqlcmInner {
                 errors,
                 duration_nanos: total,
             });
+        }
+        // Phase C — a fired rule's Insert/Reset may have changed the hoisted
+        // rows; drop those slots so later rules on this event re-fetch
+        // (read-your-predecessors'-writes, §5 ordering).
+        for &slot in &pr.invalidates {
+            slots[slot as usize] = HoistState::Empty;
         }
     }
 
@@ -617,8 +830,7 @@ impl SqlcmInner {
     }
 
     fn lat(&self, name: &str) -> Result<Arc<Lat>> {
-        self.lats
-            .read()
+        self.lats_read()
             .get(&name.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| Error::Monitor(format!("unknown LAT {name}")))
@@ -733,6 +945,13 @@ impl SqlcmInner {
             probes,
             rules,
             lats,
+            dispatch: DispatchTelemetry {
+                plan_epoch: self.plan.load().epoch,
+                plan_rebuilds: telem.plan_rebuilds.get(),
+                hoisted_lookup_hits: telem.hoisted_lookup_hits.get(),
+                lat_row_fetches: telem.lat_row_fetches.get(),
+                reg_lock_acquisitions: telem.reg_lock_acquisitions.get(),
+            },
             flight_records: telem.recorder.snapshot(),
             flight_total: telem.recorder.total_recorded(),
         }
@@ -751,7 +970,9 @@ impl Sqlcm {
             clock: clock.clone(),
             lats: RwLock::new(HashMap::new()),
             rules: RwLock::new(Vec::new()),
-            rules_by_event: RwLock::new(HashMap::new()),
+            plan: PlanCell::new(Arc::new(DispatchPlan::build(0, &[], &HashMap::new()))),
+            plan_rebuild: Mutex::new(()),
+            plan_epoch: AtomicU64::new(0),
             timers: TimerRegistry::new(clock),
             mail_sink: RwLock::new(outbox.clone() as Arc<dyn MailSink>),
             command_sink: RwLock::new(command_log.clone() as Arc<dyn CommandSink>),
@@ -800,12 +1021,18 @@ impl Sqlcm {
         let diags = self.analyzer().check_lat(&analysis::lat_ir(&spec));
         self.deny_on_errors(diags)?;
         let key = spec.name.to_ascii_lowercase();
-        let mut lats = self.inner.lats.write();
-        if lats.contains_key(&key) {
-            return Err(Error::Monitor(format!("LAT {} already exists", spec.name)));
-        }
-        let lat = Arc::new(Lat::new(spec, self.inner.clock.clone())?);
-        lats.insert(key, lat.clone());
+        let lat = {
+            let mut lats = self.inner.lats_write();
+            if lats.contains_key(&key) {
+                return Err(Error::Monitor(format!("LAT {} already exists", spec.name)));
+            }
+            let lat = Arc::new(Lat::new(spec, self.inner.clock.clone())?);
+            lats.insert(key, lat.clone());
+            lat
+        };
+        // A dropped-and-redefined LAT un-breaks rules conditioned on it;
+        // republish so the new plan binds the fresh handle.
+        self.inner.rebuild_plan();
         Ok(lat)
     }
 
@@ -814,14 +1041,14 @@ impl Sqlcm {
     /// analyzer state trivially consistent with `drop_lat`/`remove_rule`.
     fn analyzer(&self) -> Analyzer {
         let mut analyzer = Analyzer::new();
-        for lat in self.inner.lats.read().values() {
+        for lat in self.inner.lats_read().values() {
             let diags = analyzer.check_lat(&analysis::lat_ir(&lat.spec));
             debug_assert!(
                 diags.is_empty(),
                 "registered LAT re-checks clean: {diags:?}"
             );
         }
-        for reg in self.inner.rules.read().iter() {
+        for reg in self.inner.rules_read().iter() {
             analyzer.seed_rule(analysis::rule_ir(&reg.rule));
         }
         analyzer
@@ -857,11 +1084,18 @@ impl Sqlcm {
     }
 
     pub fn drop_lat(&self, name: &str) -> bool {
-        self.inner
-            .lats
-            .write()
+        let removed = self
+            .inner
+            .lats_write()
             .remove(&name.to_ascii_lowercase())
-            .is_some()
+            .is_some();
+        if removed {
+            // Rules conditioned on the dropped LAT become `broken` in the new
+            // plan (they error per evaluation, as the old per-event resolution
+            // did); Insert targets keep their resolved handle.
+            self.inner.rebuild_plan();
+        }
+        removed
     }
 
     pub fn lat(&self, name: &str) -> Option<Arc<Lat>> {
@@ -942,8 +1176,7 @@ impl Sqlcm {
     pub fn add_rule(&self, rule: Rule) -> Result<Arc<Rule>> {
         if self
             .inner
-            .rules
-            .read()
+            .rules_read()
             .iter()
             .any(|r| r.rule.name == rule.name)
         {
@@ -952,8 +1185,9 @@ impl Sqlcm {
         let diags = self.analyzer().check_rule(&analysis::rule_ir(&rule));
         self.deny_on_errors(diags)?;
         let (cond_classes, cond_lats) = rule.condition_refs()?;
+        let cond_lats_lc: Vec<String> = cond_lats.iter().map(|l| l.to_ascii_lowercase()).collect();
         let compiled = {
-            let lats = self.inner.lats.read();
+            let lats = self.inner.lats_read();
             for l in &cond_lats {
                 if !lats.contains_key(&l.to_ascii_lowercase()) {
                     return Err(Error::Monitor(format!(
@@ -975,7 +1209,7 @@ impl Sqlcm {
             let compiled_cond = rule
                 .condition
                 .as_ref()
-                .map(|c| crate::rules::compile(c, &lats))
+                .map(|c| crate::rules::compile(c, &lats, &cond_lats_lc))
                 .transpose()?;
             let compiled_actions = rule
                 .actions
@@ -1012,30 +1246,25 @@ impl Sqlcm {
             (compiled_cond, compiled_actions)
         };
         let (compiled, compiled_actions) = compiled;
-        let mut rules = self.inner.rules.write();
+        let mut rules = self.inner.rules_write();
         if rules.iter().any(|r| r.rule.name == rule.name) {
             return Err(Error::Monitor(format!("rule {} already exists", rule.name)));
         }
         let rule = Arc::new(rule);
-        let registered = Arc::new(Registered {
+        rules.push(Arc::new(Registered {
             rule: rule.clone(),
             compiled,
             actions: compiled_actions,
             cond_classes,
-            cond_lats: cond_lats.iter().map(|l| l.to_ascii_lowercase()).collect(),
+            cond_lats: cond_lats_lc,
             cond_latency: LatencyHistogram::new(),
             action_latency: LatencyHistogram::new(),
-        });
-        rules.push(registered.clone());
-        self.inner
-            .rules_by_event
-            .write()
-            .entry(registered.rule.event.clone())
-            .or_default()
-            .push(registered);
+        }));
         drop(rules);
-        // The engine caches which probe kinds any sink wants; fold the new
-        // subscription into that mask or its events never reach us.
+        // Publish a plan containing the new rule, then fold its subscription
+        // into the engine's probe-interest mask (`wants` reads the plan, so
+        // the rebuild must come first or its events never reach us).
+        self.inner.rebuild_plan();
         self.inner.engine.monitors.refresh_interest();
         Ok(rule)
     }
@@ -1043,22 +1272,55 @@ impl Sqlcm {
     /// Remove a rule; true when it existed.
     pub fn remove_rule(&self, name: &str) -> bool {
         let removed = {
-            let mut rules = self.inner.rules.write();
+            let mut rules = self.inner.rules_write();
             let before = rules.len();
             rules.retain(|r| r.rule.name != name);
-            let mut by_event = self.inner.rules_by_event.write();
-            for rs in by_event.values_mut() {
-                rs.retain(|r| r.rule.name != name);
-            }
-            by_event.retain(|_, rs| !rs.is_empty());
             rules.len() != before
         };
         if removed {
-            // Shrink the engine's probe-interest mask (guards are released
-            // first: refreshing reads `rules_by_event` through `wants`).
+            // Publish the shrunken plan, then shrink the engine's
+            // probe-interest mask (`wants` reads the plan).
+            self.inner.rebuild_plan();
             self.inner.engine.monitors.refresh_interest();
         }
         removed
+    }
+
+    /// Enable or disable a rule by name and republish the dispatch plan
+    /// (epoch bump). Returns whether the rule exists.
+    ///
+    /// Toggling through the [`Rule`] handle directly also works — the plan's
+    /// interest mask conservatively includes disabled rules, and dispatch
+    /// re-snapshots enabled-ness per event — but does not bump the epoch.
+    pub fn set_rule_enabled(&self, name: &str, on: bool) -> bool {
+        let found = match self.inner.rules_read().iter().find(|r| r.rule.name == name) {
+            Some(r) => {
+                r.rule.set_enabled(on);
+                true
+            }
+            None => false,
+        };
+        if found {
+            self.inner.rebuild_plan();
+            self.inner.engine.monitors.refresh_interest();
+        }
+        found
+    }
+
+    /// Dispatch an engine event through the monitor exactly as a probe would —
+    /// the stress/bench entry point exercising the real hot path (probe
+    /// counters, plan load, interest mask, payload pooling).
+    pub fn inject_event(&self, event: &EngineEvent) {
+        SqlcmMonitor {
+            inner: self.inner.clone(),
+        }
+        .on_event(event);
+    }
+
+    /// A summary of the currently published dispatch plan: epoch, rule count,
+    /// and per-event hoist groups (which rules share which LAT lookup).
+    pub fn plan_summary(&self) -> PlanSummary {
+        self.inner.plan.load().summary()
     }
 
     pub fn rule(&self, name: &str) -> Option<Arc<Rule>> {

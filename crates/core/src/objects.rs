@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use sqlcm_common::{BlockPairInfo, QueryInfo, SessionInfo, Timestamp, TxnInfo, Value};
+use sqlcm_common::{BlockPairInfo, QueryInfo, QueryType, SessionInfo, Timestamp, TxnInfo, Value};
 
 /// Class of a monitored object. LAT-eviction objects carry the LAT name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -111,6 +111,13 @@ impl Object {
     pub fn values(&self) -> &[Value] {
         &self.values
     }
+
+    /// Take back the value buffer for reuse (payload scratch pooling): the
+    /// dispatcher recycles these `Vec`s across events so steady-state payload
+    /// assembly performs no heap allocation.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
 }
 
 /// Attribute position within the *static* classes' value layout (the layouts
@@ -139,6 +146,31 @@ pub fn static_attr_index(class: &ClassName, attr: &str) -> Option<usize> {
 
 fn micros_to_secs(us: u64) -> Value {
     Value::Float(us as f64 / 1_000_000.0)
+}
+
+/// The `Query_Type` attribute value, interned once per variant so payload
+/// assembly clones an `Arc<str>` instead of formatting a fresh `String` on
+/// every event.
+fn query_type_value(t: QueryType) -> Value {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<[Arc<str>; 5]> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        [
+            Arc::from("SELECT"),
+            Arc::from("INSERT"),
+            Arc::from("UPDATE"),
+            Arc::from("DELETE"),
+            Arc::from("OTHER"),
+        ]
+    });
+    let idx = match t {
+        QueryType::Select => 0,
+        QueryType::Insert => 1,
+        QueryType::Update => 2,
+        QueryType::Delete => 3,
+        QueryType::Other => 4,
+    };
+    Value::Text(cache[idx].clone())
 }
 
 /// Attribute names of the `Query` class (also used by `Blocker`/`Blocked`).
@@ -187,8 +219,11 @@ fn block_names() -> Arc<[String]> {
         .clone()
 }
 
-fn query_values(q: &QueryInfo) -> Vec<Value> {
-    vec![
+/// Append the `Query` attribute values to `out` (no clear — block-pair layouts
+/// append extra columns after these). Text values are `Arc<str>` refcount
+/// bumps: with `out` capacity already grown, this allocates nothing.
+fn query_values_into(q: &QueryInfo, out: &mut Vec<Value>) {
+    out.extend([
         Value::Int(q.id as i64),
         Value::Text(q.text.clone()),
         q.logical_signature
@@ -204,31 +239,49 @@ fn query_values(q: &QueryInfo) -> Vec<Value> {
         Value::Int(q.times_blocked as i64),
         Value::Int(q.queries_blocked as i64),
         Value::Int(1),
-        Value::Text(q.query_type.to_string()),
+        query_type_value(q.query_type),
         Value::Text(q.user.clone()),
         Value::Text(q.application.clone()),
         Value::Int(q.session_id as i64),
         Value::Int(q.txn_id as i64),
         q.procedure.clone().map(Value::Text).unwrap_or(Value::Null),
-    ]
+    ]);
 }
 
 /// Build the `Query` object from a probe snapshot.
 pub fn query_object(q: &QueryInfo) -> Object {
-    Object::new(ClassName::Query, query_names(), query_values(q))
+    query_object_in(q, Vec::new())
+}
+
+/// Like [`query_object`], but fills a recycled value buffer (cleared first,
+/// capacity retained) instead of allocating a fresh one.
+pub fn query_object_in(q: &QueryInfo, mut buf: Vec<Value>) -> Object {
+    buf.clear();
+    query_values_into(q, &mut buf);
+    Object::new(ClassName::Query, query_names(), buf)
 }
 
 /// Build the `Blocker` / `Blocked` pair from a lock-conflict probe.
 pub fn block_pair_objects(p: &BlockPairInfo) -> (Object, Object) {
-    let mk = |class: ClassName, q: &QueryInfo| {
-        let mut values = query_values(q);
+    block_pair_objects_in(p, Vec::new(), Vec::new())
+}
+
+/// Like [`block_pair_objects`], with recycled value buffers.
+pub fn block_pair_objects_in(
+    p: &BlockPairInfo,
+    blocker_buf: Vec<Value>,
+    blocked_buf: Vec<Value>,
+) -> (Object, Object) {
+    let mk = |class: ClassName, q: &QueryInfo, mut values: Vec<Value>| {
+        values.clear();
+        query_values_into(q, &mut values);
         values.push(Value::Text(p.resource.clone()));
         values.push(micros_to_secs(p.wait_micros));
         Object::new(class, block_names(), values)
     };
     (
-        mk(ClassName::Blocker, &p.blocker),
-        mk(ClassName::Blocked, &p.blocked),
+        mk(ClassName::Blocker, &p.blocker, blocker_buf),
+        mk(ClassName::Blocked, &p.blocked, blocked_buf),
     )
 }
 
@@ -248,6 +301,11 @@ pub const TXN_ATTRS: &[&str] = &[
 /// Build the `Transaction` object. The signature *sequences* (§4.2 kinds 3–4)
 /// are exposed hashed into one integer each, the form LAT grouping uses.
 pub fn txn_object(t: &TxnInfo) -> Object {
+    txn_object_in(t, Vec::new())
+}
+
+/// Like [`txn_object`], with a recycled value buffer.
+pub fn txn_object_in(t: &TxnInfo, mut buf: Vec<Value>) -> Object {
     use std::sync::OnceLock;
     static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
     let names = NAMES
@@ -255,42 +313,43 @@ pub fn txn_object(t: &TxnInfo) -> Object {
         .clone();
     let lsig = sqlcm_engine::signature::transaction_signature(&t.logical_signature);
     let psig = sqlcm_engine::signature::transaction_signature(&t.physical_signature);
-    Object::new(
-        ClassName::Transaction,
-        names,
-        vec![
-            Value::Int(t.id as i64),
-            Value::Timestamp(t.start_time),
-            micros_to_secs(t.duration_micros),
-            Value::Int(lsig as i64),
-            Value::Int(psig as i64),
-            Value::Int(t.statements as i64),
-            Value::Text(t.user.clone()),
-            Value::Text(t.application.clone()),
-            Value::Int(t.session_id as i64),
-        ],
-    )
+    buf.clear();
+    buf.extend([
+        Value::Int(t.id as i64),
+        Value::Timestamp(t.start_time),
+        micros_to_secs(t.duration_micros),
+        Value::Int(lsig as i64),
+        Value::Int(psig as i64),
+        Value::Int(t.statements as i64),
+        Value::Text(t.user.clone()),
+        Value::Text(t.application.clone()),
+        Value::Int(t.session_id as i64),
+    ]);
+    Object::new(ClassName::Transaction, names, buf)
 }
 
 /// Attribute names of the `Session` class (login/logout auditing).
 pub const SESSION_ATTRS: &[&str] = &["Session_ID", "User", "Application", "Success"];
 
 pub fn session_object(s: &SessionInfo) -> Object {
+    session_object_in(s, Vec::new())
+}
+
+/// Like [`session_object`], with a recycled value buffer.
+pub fn session_object_in(s: &SessionInfo, mut buf: Vec<Value>) -> Object {
     use std::sync::OnceLock;
     static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
     let names = NAMES
         .get_or_init(|| SESSION_ATTRS.iter().map(|x| x.to_string()).collect())
         .clone();
-    Object::new(
-        ClassName::Session,
-        names,
-        vec![
-            Value::Int(s.session_id as i64),
-            Value::Text(s.user.clone()),
-            Value::Text(s.application.clone()),
-            Value::Bool(s.success),
-        ],
-    )
+    buf.clear();
+    buf.extend([
+        Value::Int(s.session_id as i64),
+        Value::Text(s.user.clone()),
+        Value::Text(s.application.clone()),
+        Value::Bool(s.success),
+    ]);
+    Object::new(ClassName::Session, names, buf)
 }
 
 /// Attribute names of the `Timer` class ("a Timer object also exposes the
@@ -307,7 +366,7 @@ pub fn timer_object(name: &str, now: Timestamp, remaining: i64) -> Object {
         ClassName::Timer,
         attr_names,
         vec![
-            Value::Text(name.to_string()),
+            Value::text(name),
             Value::Timestamp(now),
             Value::Int(remaining),
         ],
@@ -329,7 +388,7 @@ pub fn table_object(t: &sqlcm_engine::catalog::TableInfo) -> Object {
         ClassName::Table,
         names,
         vec![
-            Value::Text(t.name.clone()),
+            Value::text(t.name.clone()),
             Value::Int(t.row_count() as i64),
             Value::Int(t.columns.len() as i64),
             Value::Int(t.indexes.read().len() as i64),
@@ -388,7 +447,7 @@ pub fn monitor_object(h: &MonitorHealth) -> Object {
         ClassName::Monitor,
         names,
         vec![
-            Value::Text("sqlcm".to_string()),
+            Value::text("sqlcm"),
             Value::Int(h.events as i64),
             Value::Int(h.evaluations as i64),
             Value::Int(h.fires as i64),

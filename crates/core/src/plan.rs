@@ -1,0 +1,518 @@
+//! Compiled dispatch plans: the immutable, RCU-published data structure the
+//! event hot path runs on.
+//!
+//! The paper's viability argument (§2.1, §6.2) is that probes are near-free
+//! when idle and cheap when active. A mutable registry guarded by RwLocks
+//! contradicts that: every event would pay lock acquisitions and index-map
+//! clones whether or not anything subscribes. Instead, every registration-time
+//! mutation (`add_rule`/`remove_rule`/`define_lat`/`drop_lat`/
+//! `set_rule_enabled`) rebuilds a [`DispatchPlan`] from scratch and publishes
+//! it with one atomic pointer swap ([`PlanCell`]). Dispatch then needs exactly
+//! one atomic load per event — no locks, no clones:
+//!
+//! * `wants()` / `on_event` consult a packed [`ProbeMask`] interest bit;
+//! * per event the plan holds the precompiled rule slice in registration
+//!   order, with pre-resolved LAT handles and [`CompiledAction`]s;
+//! * rules on the same event whose conditions read the same LAT share one
+//!   **hoist slot** ([`HoistSlot`]): the row snapshot is fetched once per
+//!   event and reused across their condition evaluations — the paper's
+//!   grouping idea applied to rule evaluation itself.
+//!
+//! Reclamation is deliberately simple: superseded plans are parked in a
+//! retired list until the cell drops. Plans are rebuilt at *registration*
+//! rate (human-driven, low), not event rate, so the parked memory is bounded
+//! by the number of registry mutations over the instance's lifetime.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sqlcm_common::{ProbeKind, ProbeMask, Value};
+use sqlcm_telemetry::LatencyHistogram;
+
+use crate::actions::Action;
+use crate::lat::Lat;
+use crate::objects::ClassName;
+use crate::rules::{Rule, RuleEvent};
+
+/// Sentinel in [`PlanRule::lat_slots`]: this LAT reference is not hoistable
+/// (its source class is not part of the event payload, so the bound row can
+/// differ per object combination) and is fetched per combination instead.
+pub(crate) const NO_HOIST: u32 = u32::MAX;
+
+/// A registered rule with everything resolvable at registration time resolved:
+/// compiled condition, pre-bound action targets, referenced classes and LATs.
+pub(crate) struct Registered {
+    pub rule: Arc<Rule>,
+    /// Condition compiled at registration (references resolved to indexes).
+    pub compiled: Option<crate::rules::CompiledExpr>,
+    /// Actions with LAT handles resolved at registration.
+    pub actions: Vec<CompiledAction>,
+    /// Classes the condition references.
+    pub cond_classes: Vec<ClassName>,
+    /// LAT names the condition references (lowercased, in first-reference
+    /// order — the order `CompiledExpr::LatCol::lat_idx` indexes).
+    pub cond_lats: Vec<String>,
+    /// Condition-evaluation wall time, nanoseconds (telemetry).
+    pub cond_latency: LatencyHistogram,
+    /// Action-execution wall time per firing, nanoseconds (telemetry).
+    pub action_latency: LatencyHistogram,
+}
+
+/// An action with its LAT target (if any) pre-resolved — no name lookup on the
+/// hot path.
+pub(crate) enum CompiledAction {
+    Insert {
+        lat: Arc<Lat>,
+        /// Pre-built key for the eviction-subscription check.
+        eviction_event: RuleEvent,
+    },
+    Reset(Arc<Lat>),
+    PersistLat {
+        table: String,
+        lat: Arc<Lat>,
+    },
+    /// Everything else interprets the declarative [`Action`] directly.
+    Other(Action),
+}
+
+impl CompiledAction {
+    /// Lowercased name of the LAT this action mutates (Insert/Reset), used to
+    /// compute hoist-slot invalidation at plan build. Persist only reads.
+    fn mutated_lat(&self) -> Option<String> {
+        match self {
+            CompiledAction::Insert { lat, .. } => Some(lat.spec.name.to_ascii_lowercase()),
+            CompiledAction::Reset(lat) => Some(lat.spec.name.to_ascii_lowercase()),
+            CompiledAction::PersistLat { .. } => None,
+            CompiledAction::Other(a) => match a {
+                Action::Insert { lat } | Action::Reset { lat } => Some(lat.to_ascii_lowercase()),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// One shared LAT lookup hoisted to event level: every rule on the event whose
+/// condition reads `lat` keyed by an object class the event payload carries
+/// shares a single row snapshot, fetched lazily at most once per event.
+pub(crate) struct HoistSlot {
+    pub lat: Arc<Lat>,
+    /// Lowercased LAT name (slot identity within the event plan).
+    pub name: String,
+}
+
+/// Per-event mutable fetch state for the hoist slots, owned by the dispatch
+/// stack frame (the plan itself stays immutable and shared).
+#[derive(Default)]
+pub(crate) enum HoistState {
+    #[default]
+    Empty,
+    /// Fetched; `None` means the LAT had no row for the in-context key (the
+    /// implicit ∃ failed) — that outcome is shared too.
+    Fetched(Option<Vec<Value>>),
+}
+
+/// One rule within an [`EventPlan`].
+pub(crate) struct PlanRule {
+    pub reg: Arc<Registered>,
+    /// Resolved handle per `reg.cond_lats` entry. Empty when `broken`.
+    pub lats: Vec<Arc<Lat>>,
+    /// Per `reg.cond_lats` entry: index into `EventPlan::hoisted`, or
+    /// [`NO_HOIST`] for per-combination fetches. Empty when `broken`.
+    pub lat_slots: Vec<u32>,
+    /// Hoist slots this rule's actions mutate (Insert/Reset targets); cleared
+    /// after the rule fires so later rules re-fetch fresh rows, preserving
+    /// the sequential read-your-predecessors'-writes semantics of unhoisted
+    /// dispatch.
+    pub invalidates: Vec<u32>,
+    /// Set when the rule cannot run under the current registry (a condition
+    /// LAT was dropped); evaluation records this error instead of running.
+    pub broken: Option<String>,
+}
+
+/// All rules subscribed to one event, in registration order, plus the shared
+/// lookup slots their conditions hoist to event level.
+#[derive(Default)]
+pub(crate) struct EventPlan {
+    pub rules: Vec<PlanRule>,
+    pub hoisted: Vec<HoistSlot>,
+}
+
+/// Number of statically-indexed events: the 12 probe kinds plus MonitorTick.
+const STATIC_EVENTS: usize = ProbeKind::COUNT + 1;
+
+/// Index into [`DispatchPlan::statics`] for events with no payload parameter;
+/// `None` for the dynamic (name-carrying) events.
+fn static_index(kind: &RuleEvent) -> Option<usize> {
+    use sqlcm_common::ProbeKind as K;
+    let probe = match kind {
+        RuleEvent::QueryStart => K::QueryStart,
+        RuleEvent::QueryCompile => K::QueryCompile,
+        RuleEvent::QueryCommit => K::QueryCommit,
+        RuleEvent::QueryRollback => K::QueryRollback,
+        RuleEvent::QueryCancel => K::QueryCancel,
+        RuleEvent::QueryBlocked => K::QueryBlocked,
+        RuleEvent::BlockReleased => K::BlockReleased,
+        RuleEvent::TxnBegin => K::TxnBegin,
+        RuleEvent::TxnCommit => K::TxnCommit,
+        RuleEvent::TxnRollback => K::TxnRollback,
+        RuleEvent::Login => K::Login,
+        RuleEvent::Logout => K::Logout,
+        RuleEvent::MonitorTick => return Some(ProbeKind::COUNT),
+        RuleEvent::TimerAlarm(_) | RuleEvent::LatEviction(_) => return None,
+    };
+    Some(probe.index())
+}
+
+/// The immutable dispatch plan. Built by [`DispatchPlan::build`] on every
+/// registry mutation, published via [`PlanCell::swap`], read lock-free by
+/// every dispatch thread.
+pub(crate) struct DispatchPlan {
+    /// Monotone rebuild counter (0 = the empty plan installed at attach).
+    pub epoch: u64,
+    /// Probe kinds at least one rule (enabled or not) subscribes to. Kept
+    /// conservative w.r.t. disabled rules because `Rule::set_enabled` can
+    /// flip a rule back on without a rebuild; dispatch filters by the
+    /// per-event enabled snapshot.
+    pub probe_mask: ProbeMask,
+    /// Plans for the statically-indexed events (probe kinds + MonitorTick).
+    statics: [EventPlan; STATIC_EVENTS],
+    /// Plans for name-carrying events (`Timer.Alarm`, LAT evictions).
+    /// Immutable after build, so lookups are lock-free.
+    dynamics: HashMap<RuleEvent, EventPlan>,
+    /// Every registered rule in registration order (telemetry iteration).
+    pub rules: Vec<Arc<Registered>>,
+}
+
+impl DispatchPlan {
+    /// Compile the registry snapshot into a plan. Infallible: rules whose
+    /// condition LATs have been dropped are carried as `broken` (evaluation
+    /// reports the error, matching the previous per-evaluation resolution
+    /// behavior) rather than silently dropped.
+    pub fn build(
+        epoch: u64,
+        rules: &[Arc<Registered>],
+        lats: &HashMap<String, Arc<Lat>>,
+    ) -> DispatchPlan {
+        let mut statics: [EventPlan; STATIC_EVENTS] = std::array::from_fn(|_| EventPlan::default());
+        let mut dynamics: HashMap<RuleEvent, EventPlan> = HashMap::new();
+        for reg in rules {
+            let event = &reg.rule.event;
+            let ep = match static_index(event) {
+                Some(i) => &mut statics[i],
+                None => dynamics.entry(event.clone()).or_default(),
+            };
+            let payload = event.payload_classes();
+            let plan_rule = Self::plan_rule(reg, lats, &payload, &mut ep.hoisted);
+            ep.rules.push(plan_rule);
+        }
+        let mut probe_mask = ProbeMask::EMPTY;
+        for kind in ProbeKind::ALL {
+            if !statics[kind.index()].rules.is_empty() {
+                probe_mask.set(kind);
+            }
+        }
+        DispatchPlan {
+            epoch,
+            probe_mask,
+            statics,
+            dynamics,
+            rules: rules.to_vec(),
+        }
+    }
+
+    /// Resolve one rule against the LAT registry and assign hoist slots.
+    fn plan_rule(
+        reg: &Arc<Registered>,
+        lats: &HashMap<String, Arc<Lat>>,
+        payload: &[ClassName],
+        hoisted: &mut Vec<HoistSlot>,
+    ) -> PlanRule {
+        let mut resolved = Vec::with_capacity(reg.cond_lats.len());
+        for name in &reg.cond_lats {
+            match lats.get(name) {
+                Some(lat) => resolved.push(lat.clone()),
+                None => {
+                    return PlanRule {
+                        reg: reg.clone(),
+                        lats: Vec::new(),
+                        lat_slots: Vec::new(),
+                        invalidates: Vec::new(),
+                        broken: Some(format!(
+                            "rule {} references unknown LAT {name}",
+                            reg.rule.name
+                        )),
+                    };
+                }
+            }
+        }
+        let mut lat_slots = Vec::with_capacity(resolved.len());
+        for (name, lat) in reg.cond_lats.iter().zip(&resolved) {
+            let source = lat.spec.source_class();
+            // Hoistable iff the bound object is a payload object: then it is
+            // identical in every combination of this event, so one fetch
+            // serves every rule and every combination.
+            if !payload.contains(source) {
+                lat_slots.push(NO_HOIST);
+                continue;
+            }
+            let slot = match hoisted.iter().position(|h| h.name == *name) {
+                Some(i) => i,
+                None => {
+                    hoisted.push(HoistSlot {
+                        lat: lat.clone(),
+                        name: name.clone(),
+                    });
+                    hoisted.len() - 1
+                }
+            };
+            lat_slots.push(slot as u32);
+        }
+        let mut invalidates: Vec<u32> = reg
+            .actions
+            .iter()
+            .filter_map(CompiledAction::mutated_lat)
+            .filter_map(|name| hoisted.iter().position(|h| h.name == name))
+            .map(|i| i as u32)
+            .collect();
+        invalidates.sort_unstable();
+        invalidates.dedup();
+        PlanRule {
+            reg: reg.clone(),
+            lats: resolved,
+            lat_slots,
+            invalidates,
+            broken: None,
+        }
+    }
+
+    /// The event plan for `kind`, if any rule subscribes.
+    pub fn event_plan(&self, kind: &RuleEvent) -> Option<&EventPlan> {
+        let ep = match static_index(kind) {
+            Some(i) => &self.statics[i],
+            None => self.dynamics.get(kind)?,
+        };
+        (!ep.rules.is_empty()).then_some(ep)
+    }
+
+    /// Does any registered rule subscribe to this event?
+    pub fn has_event(&self, kind: &RuleEvent) -> bool {
+        self.event_plan(kind).is_some()
+    }
+
+    /// Condense the plan into the public, printable summary.
+    pub fn summary(&self) -> PlanSummary {
+        let mut groups = Vec::new();
+        let mut per_event = |event: String, ep: &EventPlan| {
+            for (i, slot) in ep.hoisted.iter().enumerate() {
+                let rules: Vec<String> = ep
+                    .rules
+                    .iter()
+                    .filter(|pr| pr.lat_slots.contains(&(i as u32)))
+                    .map(|pr| pr.reg.rule.name.clone())
+                    .collect();
+                groups.push(HoistGroup {
+                    event: event.clone(),
+                    lat: slot.lat.spec.name.clone(),
+                    rules,
+                });
+            }
+        };
+        for ep in &self.statics {
+            if let Some(pr) = ep.rules.first() {
+                per_event(pr.reg.rule.event.to_string(), ep);
+            }
+        }
+        let mut dynamic: Vec<(&RuleEvent, &EventPlan)> = self.dynamics.iter().collect();
+        dynamic.sort_by_key(|(k, _)| k.to_string());
+        for (kind, ep) in dynamic {
+            per_event(kind.to_string(), ep);
+        }
+        groups.sort_by(|a, b| (&a.event, &a.lat).cmp(&(&b.event, &b.lat)));
+        PlanSummary {
+            epoch: self.epoch,
+            rule_count: self.rules.len(),
+            hoist_groups: groups,
+        }
+    }
+}
+
+/// One shared-lookup group in a [`PlanSummary`]: the rules on `event` whose
+/// conditions all read `lat` through one hoisted row snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoistGroup {
+    /// Event name in probe convention (`"Query.Commit"`).
+    pub event: String,
+    /// LAT name as defined.
+    pub lat: String,
+    /// Rule names sharing the slot, in registration order.
+    pub rules: Vec<String>,
+}
+
+/// Public, owned description of the currently published dispatch plan —
+/// surfaced through `Sqlcm::plan_summary` and the `lint_rules` example so
+/// operators can see which rules share hoisted lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Epoch of the plan this summary describes.
+    pub epoch: u64,
+    /// Registered rules (enabled or not).
+    pub rule_count: usize,
+    /// Shared-lookup groups, sorted by (event, LAT). Groups with a single
+    /// rule still get a slot (one fetch per event either way); groups with
+    /// two or more are where hoisting beats per-rule fetching.
+    pub hoist_groups: Vec<HoistGroup>,
+}
+
+impl PlanSummary {
+    /// Groups actually shared by ≥ 2 rules — the hoisting wins.
+    pub fn shared_groups(&self) -> impl Iterator<Item = &HoistGroup> {
+        self.hoist_groups.iter().filter(|g| g.rules.len() >= 2)
+    }
+}
+
+/// RCU-style publication cell for the current [`DispatchPlan`].
+///
+/// `load` is a single `Acquire` pointer load returning a reference valid for
+/// the cell's lifetime: `swap` never frees the superseded plan, it parks the
+/// owning `Arc` in `retired` until the cell itself drops. That trades bounded
+/// memory (one plan per registry mutation) for a hot path with no
+/// reference-counting traffic and no epoch/hazard machinery — the right trade
+/// at registration rates.
+pub(crate) struct PlanCell {
+    current: AtomicPtr<DispatchPlan>,
+    retired: Mutex<Vec<Arc<DispatchPlan>>>,
+}
+
+// SAFETY: the raw pointer always originates from `Arc::into_raw` of a plan
+// kept alive by this cell (either `current` or `retired`), and `DispatchPlan`
+// is itself `Send + Sync`.
+unsafe impl Send for PlanCell {}
+unsafe impl Sync for PlanCell {}
+
+impl PlanCell {
+    pub fn new(plan: Arc<DispatchPlan>) -> PlanCell {
+        PlanCell {
+            current: AtomicPtr::new(Arc::into_raw(plan).cast_mut()),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The currently published plan: one atomic load, no locks, no refcount.
+    pub fn load(&self) -> &DispatchPlan {
+        // SAFETY: the pointee is kept alive until `self` drops (see `swap`),
+        // and the returned borrow cannot outlive `&self`.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    /// Publish a new plan. Readers that already loaded the old pointer keep a
+    /// valid reference: the superseded Arc is parked, not dropped.
+    pub fn swap(&self, plan: Arc<DispatchPlan>) {
+        let fresh = Arc::into_raw(plan).cast_mut();
+        let old = self.current.swap(fresh, Ordering::AcqRel);
+        // SAFETY: `old` came from `Arc::into_raw` in `new` or a prior `swap`,
+        // and ownership of that count transfers back exactly once, here.
+        let old = unsafe { Arc::from_raw(old) };
+        self.retired.lock().push(old);
+    }
+}
+
+impl Drop for PlanCell {
+    fn drop(&mut self) {
+        let p = *self.current.get_mut();
+        // SAFETY: reconstitutes the Arc count owned by `current`; retired
+        // plans drop with the Vec.
+        unsafe { drop(Arc::from_raw(p)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lat::{LatAggFunc, LatSpec};
+    use sqlcm_common::ManualClock;
+
+    fn test_lat(name: &str) -> Arc<Lat> {
+        let (clock, _) = ManualClock::shared(0);
+        Arc::new(
+            Lat::new(
+                LatSpec::new(name)
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration"),
+                clock,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn registered(name: &str, event: RuleEvent, cond_lats: &[&str]) -> Arc<Registered> {
+        Arc::new(Registered {
+            rule: Arc::new(Rule::new(name).on(event)),
+            compiled: None,
+            actions: Vec::new(),
+            cond_classes: vec![ClassName::Query],
+            cond_lats: cond_lats.iter().map(|s| s.to_string()).collect(),
+            cond_latency: LatencyHistogram::new(),
+            action_latency: LatencyHistogram::new(),
+        })
+    }
+
+    #[test]
+    fn rules_on_same_event_share_one_hoist_slot() {
+        let lat = test_lat("L");
+        let mut lats = HashMap::new();
+        lats.insert("l".to_string(), lat);
+        let rules = vec![
+            registered("a", RuleEvent::QueryCommit, &["l"]),
+            registered("b", RuleEvent::QueryCommit, &["l"]),
+            registered("c", RuleEvent::QueryStart, &["l"]),
+        ];
+        let plan = DispatchPlan::build(1, &rules, &lats);
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        assert_eq!(ep.rules.len(), 2);
+        assert_eq!(ep.hoisted.len(), 1, "a and b share one slot");
+        assert_eq!(ep.rules[0].lat_slots, vec![0]);
+        assert_eq!(ep.rules[1].lat_slots, vec![0]);
+        // QueryStart gets its own plan and its own slot.
+        let ep = plan.event_plan(&RuleEvent::QueryStart).unwrap();
+        assert_eq!(ep.hoisted.len(), 1);
+        let summary = plan.summary();
+        assert_eq!(summary.hoist_groups.len(), 2);
+        assert_eq!(summary.shared_groups().count(), 1);
+        assert_eq!(
+            summary.shared_groups().next().unwrap().rules,
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn missing_lat_marks_rule_broken() {
+        let rules = vec![registered("a", RuleEvent::QueryCommit, &["gone"])];
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new());
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        assert!(ep.rules[0].broken.as_deref().unwrap().contains("gone"));
+        assert!(ep.hoisted.is_empty());
+    }
+
+    #[test]
+    fn probe_mask_tracks_subscribed_kinds_only() {
+        let rules = vec![registered("a", RuleEvent::QueryCommit, &[])];
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new());
+        assert!(plan.probe_mask.contains(ProbeKind::QueryCommit));
+        assert!(!plan.probe_mask.contains(ProbeKind::Login));
+        assert!(!plan.has_event(&RuleEvent::MonitorTick));
+        assert!(!plan.has_event(&RuleEvent::TimerAlarm("t".into())));
+    }
+
+    #[test]
+    fn plan_cell_load_survives_swap() {
+        let p1 = Arc::new(DispatchPlan::build(1, &[], &HashMap::new()));
+        let cell = PlanCell::new(p1);
+        let held = cell.load();
+        cell.swap(Arc::new(DispatchPlan::build(2, &[], &HashMap::new())));
+        // The pre-swap reference is still valid (parked, not freed).
+        assert_eq!(held.epoch, 1);
+        assert_eq!(cell.load().epoch, 2);
+    }
+}

@@ -169,6 +169,19 @@ impl Rule {
 
     /// Rules can be switched on/off dynamically (§3: "turning off/on rules
     /// based on time of day").
+    ///
+    /// **Mid-dispatch semantics**: enabled-ness is *snapshotted once per event*,
+    /// before any rule for that event runs. A rule disabled while an event is
+    /// being dispatched — including by an earlier rule's action in the same
+    /// event — still fires for that event; the change takes effect from the
+    /// next event on. This keeps "for any given event, all applicable rules
+    /// are triggered" deterministic: the applicable set is fixed at event
+    /// arrival and cannot be mutated out from under the dispatch loop.
+    ///
+    /// Flipping the flag here takes effect on the next event but does not
+    /// rebuild the dispatch plan; prefer `Sqlcm::set_rule_enabled`, which also
+    /// republishes the plan (bumping its epoch) so the change is visible in
+    /// telemetry.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
     }
@@ -221,14 +234,30 @@ impl Rule {
     }
 }
 
-/// LAT name (lowercased) → (lat handle, bound row). A `None` row means the
-/// implicit ∃ failed and the condition is false.
-pub type LatBindings = HashMap<String, (Arc<Lat>, Option<Vec<Value>>)>;
+/// One LAT bound for a single condition evaluation: the name it was referenced
+/// by, the LAT handle, and the row the implicit ∃ bound (`None` ⇒ no matching
+/// row ⇒ the condition is false).
+///
+/// Bindings are *borrowed views*: the dispatcher owns the fetched rows (either
+/// in a per-event hoist slot shared by every rule on the event, or in a
+/// per-combination scratch buffer) and hands rules a slice of these `Copy`
+/// views, so binding construction never allocates.
+#[derive(Clone, Copy)]
+pub struct LatBinding<'a> {
+    /// Lowercased LAT name, as referenced by the condition.
+    pub name: &'a str,
+    pub lat: &'a Lat,
+    pub row: Option<&'a [Value]>,
+}
 
 /// Bound evaluation context: in-scope objects plus pre-bound LAT rows.
+///
+/// `lat_rows` is ordered like the owning rule's `condition_refs()` LAT list, so
+/// compiled conditions address bindings by position ([`CompiledExpr::LatCol`])
+/// and the interpreted path ([`eval_expr`]) falls back to a name scan.
 pub struct EvalContext<'a> {
     pub objects: &'a [Object],
-    pub lat_rows: &'a LatBindings,
+    pub lat_rows: &'a [LatBinding<'a>],
 }
 
 impl EvalContext<'_> {
@@ -249,15 +278,22 @@ impl EvalContext<'_> {
             )));
         }
         // LAT reference.
-        let key = qualifier.to_ascii_lowercase();
-        match self.lat_rows.get(&key) {
-            Some((lat, Some(row))) => {
+        match self
+            .lat_rows
+            .iter()
+            .find(|b| b.name.eq_ignore_ascii_case(qualifier))
+        {
+            Some(LatBinding {
+                lat,
+                row: Some(row),
+                ..
+            }) => {
                 let idx = lat.column_index(name).ok_or_else(|| {
                     Error::Monitor(format!("LAT {qualifier} has no column {name}"))
                 })?;
                 Ok(row[idx].clone())
             }
-            Some((_, None)) => {
+            Some(LatBinding { row: None, .. }) => {
                 // No matching row: signalled via a typed error the evaluator
                 // maps to FALSE at the condition root (implicit ∃).
                 Err(Error::NoLatRow)
@@ -282,9 +318,12 @@ pub enum CompiledExpr {
         class: ClassName,
         index: usize,
     },
-    /// Column `index` of the bound row of the (lowercased) LAT.
+    /// Column `index` of the bound row of the rule's `lat_idx`-th referenced
+    /// LAT (position in the rule's `condition_refs()` LAT list — and therefore
+    /// in `EvalContext::lat_rows`). Rule-local, so a compiled condition stays
+    /// valid across dispatch-plan rebuilds.
     LatCol {
-        lat: String,
+        lat_idx: usize,
         index: usize,
     },
     Unary {
@@ -312,8 +351,14 @@ pub enum CompiledExpr {
     },
 }
 
-/// Compile a parsed condition against the current LAT registry.
-pub fn compile(e: &Expr, lats: &HashMap<String, Arc<Lat>>) -> Result<CompiledExpr> {
+/// Compile a parsed condition against the current LAT registry. `cond_lats`
+/// is the rule's ordered LAT reference list (lowercased, from
+/// [`Rule::condition_refs`]); LAT references compile to positions in it.
+pub fn compile(
+    e: &Expr,
+    lats: &HashMap<String, Arc<Lat>>,
+    cond_lats: &[String],
+) -> Result<CompiledExpr> {
     Ok(match e {
         Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
         Expr::Column { qualifier, name } => {
@@ -333,7 +378,13 @@ pub fn compile(e: &Expr, lats: &HashMap<String, Arc<Lat>>) -> Result<CompiledExp
                 let index = lat
                     .column_index(name)
                     .ok_or_else(|| Error::Monitor(format!("LAT {q} has no column {name}")))?;
-                CompiledExpr::LatCol { lat: key, index }
+                let lat_idx = cond_lats
+                    .iter()
+                    .position(|l| l.eq_ignore_ascii_case(&key))
+                    .ok_or_else(|| {
+                        Error::Monitor(format!("LAT {q} missing from rule reference list"))
+                    })?;
+                CompiledExpr::LatCol { lat_idx, index }
             }
         }
         Expr::Param(_) | Expr::NamedParam(_) => {
@@ -343,15 +394,15 @@ pub fn compile(e: &Expr, lats: &HashMap<String, Arc<Lat>>) -> Result<CompiledExp
         }
         Expr::Unary { op, expr } => CompiledExpr::Unary {
             op: *op,
-            expr: Box::new(compile(expr, lats)?),
+            expr: Box::new(compile(expr, lats, cond_lats)?),
         },
         Expr::Binary { left, op, right } => CompiledExpr::Binary {
-            left: Box::new(compile(left, lats)?),
+            left: Box::new(compile(left, lats, cond_lats)?),
             op: *op,
-            right: Box::new(compile(right, lats)?),
+            right: Box::new(compile(right, lats, cond_lats)?),
         },
         Expr::IsNull { expr, negated } => CompiledExpr::IsNull {
-            expr: Box::new(compile(expr, lats)?),
+            expr: Box::new(compile(expr, lats, cond_lats)?),
             negated: *negated,
         },
         Expr::Like {
@@ -359,8 +410,8 @@ pub fn compile(e: &Expr, lats: &HashMap<String, Arc<Lat>>) -> Result<CompiledExp
             pattern,
             negated,
         } => CompiledExpr::Like {
-            expr: Box::new(compile(expr, lats)?),
-            pattern: Box::new(compile(pattern, lats)?),
+            expr: Box::new(compile(expr, lats, cond_lats)?),
+            pattern: Box::new(compile(pattern, lats, cond_lats)?),
             negated: *negated,
         },
         Expr::InList {
@@ -368,10 +419,10 @@ pub fn compile(e: &Expr, lats: &HashMap<String, Arc<Lat>>) -> Result<CompiledExp
             list,
             negated,
         } => CompiledExpr::InList {
-            expr: Box::new(compile(expr, lats)?),
+            expr: Box::new(compile(expr, lats, cond_lats)?),
             list: list
                 .iter()
-                .map(|e| compile(e, lats))
+                .map(|e| compile(e, lats, cond_lats))
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
@@ -408,10 +459,14 @@ fn eval_compiled(e: &CompiledExpr, ctx: &EvalContext) -> Result<Value> {
                 .cloned()
                 .ok_or_else(|| Error::Monitor(format!("attribute {index} out of range")))?
         }
-        CompiledExpr::LatCol { lat, index } => match ctx.lat_rows.get(lat) {
-            Some((_, Some(row))) => row[*index].clone(),
-            Some((_, None)) => return Err(Error::NoLatRow),
-            None => return Err(Error::Monitor(format!("unknown LAT {lat}"))),
+        CompiledExpr::LatCol { lat_idx, index } => match ctx.lat_rows.get(*lat_idx) {
+            Some(LatBinding { row: Some(row), .. }) => row[*index].clone(),
+            Some(LatBinding { row: None, .. }) => return Err(Error::NoLatRow),
+            None => {
+                return Err(Error::Monitor(format!(
+                    "LAT binding {lat_idx} missing from evaluation context"
+                )))
+            }
         },
         CompiledExpr::Unary { op, expr } => {
             let v = eval_compiled(expr, ctx)?;
@@ -641,10 +696,7 @@ mod tests {
     use crate::objects::query_object;
     use sqlcm_common::QueryInfo;
 
-    fn ctx_with(objects: &[Object]) -> LatBindings {
-        let _ = objects;
-        HashMap::new()
-    }
+    const NO_LATS: &[LatBinding<'static>] = &[];
 
     fn qobj(duration_secs: f64) -> Object {
         let mut q = QueryInfo::synthetic(1, "SELECT 1");
@@ -656,10 +708,9 @@ mod tests {
     #[test]
     fn simple_threshold_condition() {
         let objs = vec![qobj(150.0)];
-        let lats = ctx_with(&objs);
         let ctx = EvalContext {
             objects: &objs,
-            lat_rows: &lats,
+            lat_rows: NO_LATS,
         };
         let c = parse_expression("Query.Duration > 100").unwrap();
         assert!(eval_condition(&c, &ctx).unwrap());
@@ -685,11 +736,14 @@ mod tests {
             .unwrap(),
         );
         let objs = vec![qobj(150.0)];
-        let mut lats = HashMap::new();
-        lats.insert("duration_lat".to_string(), (lat.clone(), None));
+        let bindings = [LatBinding {
+            name: "duration_lat",
+            lat: &lat,
+            row: None,
+        }];
         let ctx = EvalContext {
             objects: &objs,
-            lat_rows: &lats,
+            lat_rows: &bindings,
         };
         let c = parse_expression("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
         assert!(!eval_condition(&c, &ctx).unwrap(), "∃ fails → false");
@@ -698,13 +752,15 @@ mod tests {
         assert!(!eval_condition(&c, &ctx).unwrap());
 
         // Bound row: the paper's Example 1 condition.
-        lats.insert(
-            "duration_lat".to_string(),
-            (lat, Some(vec![Value::Int(42), Value::Float(20.0)])),
-        );
+        let row = vec![Value::Int(42), Value::Float(20.0)];
+        let bindings = [LatBinding {
+            name: "duration_lat",
+            lat: &lat,
+            row: Some(&row),
+        }];
         let ctx = EvalContext {
             objects: &objs,
-            lat_rows: &lats,
+            lat_rows: &bindings,
         };
         let c = parse_expression("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
         assert!(eval_condition(&c, &ctx).unwrap(), "150 > 5 * 20");
@@ -713,10 +769,9 @@ mod tests {
     #[test]
     fn unknown_attribute_is_error() {
         let objs = vec![qobj(1.0)];
-        let lats = ctx_with(&objs);
         let ctx = EvalContext {
             objects: &objs,
-            lat_rows: &lats,
+            lat_rows: NO_LATS,
         };
         let c = parse_expression("Query.Nope > 1").unwrap();
         assert!(eval_condition(&c, &ctx).is_err());
@@ -748,10 +803,9 @@ mod tests {
     #[test]
     fn arithmetic_and_string_ops() {
         let objs = vec![qobj(10.0)];
-        let lats = ctx_with(&objs);
         let ctx = EvalContext {
             objects: &objs,
-            lat_rows: &lats,
+            lat_rows: NO_LATS,
         };
         for (cond, expect) in [
             ("Query.Duration * 2 = 20", true),

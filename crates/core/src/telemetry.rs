@@ -65,6 +65,17 @@ pub(crate) struct Telem {
     pub recorder: FlightRecorder,
     /// rule name → last error + count, bounded by `RULE_ERRORS_CAPACITY`.
     pub rule_errors: Mutex<HashMap<String, RuleErrorEntry>>,
+    /// Dispatch plans built since attach (registration-rate, not event-rate).
+    pub plan_rebuilds: ShardedCounter,
+    /// LAT row lookups served from a shared per-event hoist slot instead of
+    /// re-fetching (the shared-lookup hoisting win; see `plan::HoistSlot`).
+    pub hoisted_lookup_hits: ShardedCounter,
+    /// LAT rows actually fetched by condition evaluation.
+    pub lat_row_fetches: ShardedCounter,
+    /// Rule/LAT registry lock acquisitions. Cold paths only: the dispatch hot
+    /// path works off the immutable plan and must never move this counter —
+    /// the no-subscriber regression test pins that.
+    pub reg_lock_acquisitions: ShardedCounter,
 }
 
 impl Telem {
@@ -75,6 +86,10 @@ impl Telem {
             probe_latency: std::array::from_fn(|_| LatencyHistogram::new()),
             recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
             rule_errors: Mutex::new(HashMap::new()),
+            plan_rebuilds: ShardedCounter::new(),
+            hoisted_lookup_hits: ShardedCounter::new(),
+            lat_row_fetches: ShardedCounter::new(),
+            reg_lock_acquisitions: ShardedCounter::new(),
         }
     }
 
@@ -122,6 +137,23 @@ impl Telem {
         out.sort_by(|a, b| a.rule.cmp(&b.rule));
         out
     }
+}
+
+/// Dispatch-plan slice of a telemetry snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchTelemetry {
+    /// Epoch of the currently published plan; bumps on every rebuild
+    /// (`add_rule`/`remove_rule`/`define_lat`/`drop_lat`/`set_rule_enabled`).
+    pub plan_epoch: u64,
+    /// Plans built since attach.
+    pub plan_rebuilds: u64,
+    /// LAT lookups served from a shared per-event hoist slot.
+    pub hoisted_lookup_hits: u64,
+    /// LAT rows actually fetched by condition evaluation.
+    pub lat_row_fetches: u64,
+    /// Rule/LAT registry lock acquisitions (cold paths only; steady-state
+    /// dispatch must not move this).
+    pub reg_lock_acquisitions: u64,
 }
 
 /// Per-probe-kind slice of a telemetry snapshot.
@@ -181,6 +213,8 @@ pub struct LatTelemetry {
 pub struct TelemetrySnapshot {
     /// The global counters (same numbers as [`crate::Sqlcm::stats`]).
     pub stats: SqlcmStats,
+    /// Dispatch-plan state: epoch, rebuilds, hoisting effectiveness.
+    pub dispatch: DispatchTelemetry,
     /// One entry per [`ProbeKind`], in `ProbeKind::ALL` order.
     pub probes: Vec<ProbeTelemetry>,
     /// One entry per registered rule, in registration order.
@@ -247,6 +281,15 @@ impl TelemetrySnapshot {
             self.stats.fires,
             self.stats.actions,
             self.stats.action_errors
+        );
+        let _ = writeln!(
+            out,
+            "dispatch plan: epoch={} rebuilds={} lat_row_fetches={} hoisted_hits={} reg_locks={}",
+            self.dispatch.plan_epoch,
+            self.dispatch.plan_rebuilds,
+            self.dispatch.lat_row_fetches,
+            self.dispatch.hoisted_lookup_hits,
+            self.dispatch.reg_lock_acquisitions,
         );
         let _ = writeln!(out, "probes:");
         for p in &self.probes {
@@ -332,6 +375,14 @@ impl TelemetrySnapshot {
             self.stats.fires,
             self.stats.actions,
             self.stats.action_errors
+        ));
+        out.push_str(&format!(
+            ",\"dispatch\":{{\"plan_epoch\":{},\"plan_rebuilds\":{},\"hoisted_lookup_hits\":{},\"lat_row_fetches\":{},\"reg_lock_acquisitions\":{}}}",
+            self.dispatch.plan_epoch,
+            self.dispatch.plan_rebuilds,
+            self.dispatch.hoisted_lookup_hits,
+            self.dispatch.lat_row_fetches,
+            self.dispatch.reg_lock_acquisitions
         ));
         out.push_str(",\"probes\":[");
         for (i, p) in self.probes.iter().enumerate() {
@@ -488,6 +539,7 @@ mod tests {
     fn empty_snapshot_renders_valid_shapes() {
         let snap = TelemetrySnapshot {
             stats: SqlcmStats::default(),
+            dispatch: DispatchTelemetry::default(),
             probes: Vec::new(),
             rules: Vec::new(),
             lats: Vec::new(),
@@ -497,6 +549,7 @@ mod tests {
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"probes\":[]"));
+        assert!(json.contains("\"dispatch\":{\"plan_epoch\":0"));
         assert!(snap
             .to_text()
             .contains("flight recorder (0 shown, 0 total)"));

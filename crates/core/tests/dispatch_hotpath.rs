@@ -1,0 +1,278 @@
+//! Hot-path regression tests for the compiled dispatch plan: the steady-state
+//! event path must take no registry locks and perform no heap allocations, the
+//! per-event enabled-ness snapshot must pin the documented mid-dispatch
+//! `set_enabled` semantics, and shared LAT-lookup hoisting must cap row
+//! fetches per event.
+//!
+//! Allocation counting uses a wrapping `#[global_allocator]`, so this file is
+//! its own test binary — the counter only observes this process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::sinks::CommandSink;
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+/// Counts allocations made by this test binary.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn commit_event(sig: u64, secs: f64) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(sig, "SELECT 1");
+    q.logical_signature = Some(sig);
+    q.duration_micros = (secs * 1e6) as u64;
+    EngineEvent::QueryCommit(q)
+}
+
+/// An event no rule subscribes to must cost one atomic plan load: no registry
+/// lock acquisitions, no heap allocations, no plan-epoch movement.
+#[test]
+fn unsubscribed_event_takes_no_locks_and_allocates_nothing() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    // Subscribe something so the plan is non-trivial — but only to Logout,
+    // leaving QueryCommit uninterested.
+    sqlcm
+        .add_rule(
+            Rule::new("logout_only")
+                .on(RuleEvent::Logout)
+                .when("Session.Success = TRUE"),
+        )
+        .unwrap();
+
+    let ev = commit_event(1, 0.5);
+    // Warm up lazily initialized state (thread-local shards, clock paths).
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+    }
+
+    let before = sqlcm.telemetry().dispatch;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sqlcm.inject_event(&ev);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = sqlcm.telemetry().dispatch;
+
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "uninterested probe path allocated"
+    );
+    assert_eq!(
+        after.reg_lock_acquisitions, before.reg_lock_acquisitions,
+        "uninterested probe path took a registry lock"
+    );
+    assert_eq!(after.plan_epoch, before.plan_epoch);
+    assert_eq!(after.plan_rebuilds, before.plan_rebuilds);
+}
+
+/// Steady-state dispatch of a *subscribed* event — compiled condition over
+/// payload attributes, rule evaluated but not firing — must also be
+/// lock-free and allocation-free (pooled payload buffers, borrowed bindings).
+#[test]
+fn subscribed_nonfiring_dispatch_allocates_nothing() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("slow")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 1000000"),
+        )
+        .unwrap();
+
+    let ev = commit_event(7, 0.001);
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+    }
+
+    let before = sqlcm.telemetry().dispatch;
+    let evals_before = sqlcm.rule("slow").unwrap().stats().evaluations;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sqlcm.inject_event(&ev);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = sqlcm.telemetry().dispatch;
+
+    assert_eq!(
+        sqlcm.rule("slow").unwrap().stats().evaluations - evals_before,
+        1_000,
+        "every event must evaluate the rule"
+    );
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "steady-state subscribed dispatch allocated"
+    );
+    assert_eq!(after.reg_lock_acquisitions, before.reg_lock_acquisitions);
+}
+
+/// Plan bookkeeping: every registry mutation republishes the plan exactly once
+/// and bumps the epoch monotonically.
+#[test]
+fn registry_mutations_bump_plan_epoch() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    assert_eq!(sqlcm.telemetry().dispatch.plan_epoch, 0);
+
+    sqlcm
+        .define_lat(
+            LatSpec::new("L")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    assert_eq!(sqlcm.telemetry().dispatch.plan_epoch, 1);
+
+    sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("L")),
+        )
+        .unwrap();
+    assert_eq!(sqlcm.telemetry().dispatch.plan_epoch, 2);
+
+    assert!(sqlcm.set_rule_enabled("r", false));
+    assert!(!sqlcm.set_rule_enabled("nope", true));
+    assert_eq!(sqlcm.telemetry().dispatch.plan_epoch, 3);
+
+    assert!(sqlcm.remove_rule("r"));
+    assert!(sqlcm.drop_lat("L"));
+    let d = sqlcm.telemetry().dispatch;
+    assert_eq!(d.plan_epoch, 5);
+    assert_eq!(d.plan_rebuilds, 5);
+}
+
+/// A sink that flips a rule off the moment an earlier rule's action runs.
+struct DisablingSink {
+    target: Arc<Rule>,
+}
+
+impl CommandSink for DisablingSink {
+    fn run(&self, _command: &str) {
+        self.target.set_enabled(false);
+    }
+}
+
+/// Mid-dispatch `set_enabled` semantics (documented on [`Rule::set_enabled`]):
+/// enabled-ness is snapshotted once per event before any rule runs, so a rule
+/// disabled by an earlier rule's action in the same event still fires for that
+/// event — and stops firing from the next event on.
+#[test]
+fn mid_dispatch_disable_applies_from_next_event() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("first")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::run_external("disable second")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("second")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::send_mail("dba", "second fired")),
+        )
+        .unwrap();
+    let second = sqlcm.rule("second").unwrap();
+    sqlcm.set_command_sink(Arc::new(DisablingSink {
+        target: second.clone(),
+    }));
+
+    let ev = commit_event(1, 0.1);
+    sqlcm.inject_event(&ev);
+    // "first" ran before "second" and disabled it mid-event; the snapshot
+    // taken at event start means "second" still fired this event.
+    assert_eq!(second.stats().fires, 1, "snapshot semantics violated");
+    assert!(!second.is_enabled());
+
+    sqlcm.inject_event(&ev);
+    assert_eq!(second.stats().fires, 1, "disabled rule fired on next event");
+    assert_eq!(sqlcm.rule("first").unwrap().stats().fires, 2);
+}
+
+/// Shared LAT-lookup hoisting: N rules on one event conditioned on the same
+/// LAT share one row snapshot per event instead of fetching N times. An
+/// interleaved Insert invalidates the shared row so later rules re-read their
+/// predecessor's write — at most 2 fetches per event here.
+#[test]
+fn shared_lat_lookup_is_hoisted_and_invalidated_by_inserts() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Sig_LAT")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Sig_LAT")),
+        )
+        .unwrap();
+    for i in 0..8 {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("watch{i}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!("Sig_LAT.N >= {}", 1_000_000 + i)),
+            )
+            .unwrap();
+    }
+
+    // The plan summary exposes the grouping: one shared group, 8 rules.
+    let summary = sqlcm.plan_summary();
+    let shared: Vec<_> = summary.shared_groups().collect();
+    assert_eq!(shared.len(), 1, "{summary:?}");
+    assert_eq!(shared[0].rules.len(), 8);
+
+    let ev = commit_event(3, 0.2);
+    sqlcm.inject_event(&ev); // cold: populate the LAT group
+    let before = sqlcm.telemetry().dispatch;
+    let events = 500;
+    for _ in 0..events {
+        sqlcm.inject_event(&ev);
+    }
+    let after = sqlcm.telemetry().dispatch;
+    let fetches = after.lat_row_fetches - before.lat_row_fetches;
+    let hits = after.hoisted_lookup_hits - before.hoisted_lookup_hits;
+    // "feed" runs first and invalidates; the first watcher fetches once, the
+    // other 7 hit the shared slot.
+    assert!(
+        fetches <= 2 * events,
+        "expected ≤2 LAT row fetches/event, got {} for {events} events",
+        fetches
+    );
+    assert_eq!(hits, 7 * events, "hoisted slot was not shared");
+}

@@ -22,13 +22,13 @@ use sqlcm_common::{QueryInfo, QueryType, SharedClock, Timestamp};
 #[derive(Debug)]
 pub struct ActiveQueryState {
     pub id: u64,
-    pub text: String,
+    pub text: Arc<str>,
     pub query_type: QueryType,
     pub session_id: u64,
     pub txn_id: u64,
-    pub user: String,
-    pub application: String,
-    pub procedure: Option<String>,
+    pub user: Arc<str>,
+    pub application: Arc<str>,
+    pub procedure: Option<Arc<str>>,
     pub start_time: Timestamp,
     /// Set once by the optimizer (f64 bits).
     estimated_cost: AtomicU64,
@@ -47,13 +47,13 @@ impl ActiveQueryState {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: u64,
-        text: String,
+        text: Arc<str>,
         query_type: QueryType,
         session_id: u64,
         txn_id: u64,
-        user: String,
-        application: String,
-        procedure: Option<String>,
+        user: Arc<str>,
+        application: Arc<str>,
+        procedure: Option<Arc<str>>,
         start_time: Timestamp,
     ) -> Arc<Self> {
         Arc::new(ActiveQueryState {
@@ -211,7 +211,7 @@ impl ActiveRegistry {
         self.queries
             .read()
             .values()
-            .filter(|q| q.user == user)
+            .filter(|q| &*q.user == user)
             .count()
     }
 
@@ -252,7 +252,7 @@ mod tests {
     fn q(id: u64) -> Arc<ActiveQueryState> {
         ActiveQueryState::new(
             id,
-            format!("SELECT {id}"),
+            format!("SELECT {id}").into(),
             QueryType::Select,
             1,
             0,

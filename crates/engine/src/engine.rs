@@ -137,8 +137,8 @@ impl Engine {
             .emit_with_kind(sqlcm_common::ProbeKind::Login, || {
                 EngineEvent::Login(SessionInfo {
                     session_id: id,
-                    user: user.to_string(),
-                    application: application.to_string(),
+                    user: user.into(),
+                    application: application.into(),
                     success: true,
                 })
             });
@@ -152,8 +152,8 @@ impl Engine {
             .emit_with_kind(sqlcm_common::ProbeKind::Login, || {
                 EngineEvent::Login(SessionInfo {
                     session_id: 0,
-                    user: user.to_string(),
-                    application: application.to_string(),
+                    user: user.into(),
+                    application: application.into(),
                     success: false,
                 })
             });

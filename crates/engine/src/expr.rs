@@ -297,7 +297,7 @@ fn eval_scalar_func(
         "UPPER" => {
             need(1)?;
             match &argv[0] {
-                Value::Text(s) => Value::Text(s.to_uppercase()),
+                Value::Text(s) => Value::Text(s.to_uppercase().into()),
                 Value::Null => Value::Null,
                 v => return Err(Error::TypeError(format!("UPPER of {v}"))),
             }
@@ -305,7 +305,7 @@ fn eval_scalar_func(
         "LOWER" => {
             need(1)?;
             match &argv[0] {
-                Value::Text(s) => Value::Text(s.to_lowercase()),
+                Value::Text(s) => Value::Text(s.to_lowercase().into()),
                 Value::Null => Value::Null,
                 v => return Err(Error::TypeError(format!("LOWER of {v}"))),
             }

@@ -31,10 +31,10 @@ pub struct HistoryBuffer {
 
 fn approx_size(q: &QueryInfo) -> usize {
     std::mem::size_of::<QueryInfo>()
-        + q.text.capacity()
-        + q.user.capacity()
-        + q.application.capacity()
-        + q.procedure.as_ref().map_or(0, |p| p.capacity())
+        + q.text.len()
+        + q.user.len()
+        + q.application.len()
+        + q.procedure.as_ref().map_or(0, |p| p.len())
 }
 
 impl HistoryBuffer {

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use sqlcm_common::{EngineEvent, ProbeKind};
+use sqlcm_common::{EngineEvent, ProbeKind, ProbeMask};
 
 /// A monitor attached to the engine. Implementations must be cheap: they run on
 /// the query's own thread.
@@ -65,7 +65,8 @@ impl Instrumentation for NullInstrumentation {
 #[derive(Default)]
 pub struct Multicast {
     sinks: RwLock<Vec<Arc<dyn Instrumentation>>>,
-    /// Bit `ProbeKind::index()` is set iff some attached sink wants that kind.
+    /// [`ProbeMask`] bits: bit `ProbeKind::index()` is set iff some attached
+    /// sink wants that kind.
     interest: AtomicU32,
 }
 
@@ -74,16 +75,21 @@ impl Multicast {
         Multicast::default()
     }
 
-    fn interest_of(sinks: &[Arc<dyn Instrumentation>]) -> u32 {
-        let mut mask = 0u32;
+    fn interest_of(sinks: &[Arc<dyn Instrumentation>]) -> ProbeMask {
+        let mut mask = ProbeMask::EMPTY;
         for sink in sinks {
             for kind in ProbeKind::ALL {
                 if sink.wants(kind) {
-                    mask |= 1 << kind.index();
+                    mask.set(kind);
                 }
             }
         }
         mask
+    }
+
+    /// The cached union interest mask (one relaxed load; for telemetry/tests).
+    pub fn interest(&self) -> ProbeMask {
+        ProbeMask::from_bits(self.interest.load(Ordering::Acquire))
     }
 
     /// Recompute the cached interest bitmask from the attached sinks. Cheap
@@ -91,7 +97,7 @@ impl Multicast {
     pub fn refresh_interest(&self) {
         let sinks = self.sinks.read();
         self.interest
-            .store(Multicast::interest_of(&sinks), Ordering::Release);
+            .store(Multicast::interest_of(&sinks).bits(), Ordering::Release);
     }
 
     /// Attach a monitor; it starts receiving events immediately.
@@ -99,7 +105,7 @@ impl Multicast {
         let mut sinks = self.sinks.write();
         sinks.push(sink);
         self.interest
-            .store(Multicast::interest_of(&sinks), Ordering::Release);
+            .store(Multicast::interest_of(&sinks).bits(), Ordering::Release);
     }
 
     /// Detach by name; returns true when a monitor was removed.
@@ -108,7 +114,7 @@ impl Multicast {
         let before = sinks.len();
         sinks.retain(|s| s.name() != name);
         self.interest
-            .store(Multicast::interest_of(&sinks), Ordering::Release);
+            .store(Multicast::interest_of(&sinks).bits(), Ordering::Release);
         sinks.len() != before
     }
 
@@ -134,7 +140,7 @@ impl Multicast {
     /// interest in `kind`; skip construction entirely when nobody did. The
     /// no-listener fast path is a single atomic load of the cached bitmask.
     pub fn emit_with_kind(&self, kind: ProbeKind, make: impl FnOnce() -> EngineEvent) {
-        if self.interest.load(Ordering::Acquire) & (1 << kind.index()) == 0 {
+        if !self.interest().contains(kind) {
             return;
         }
         let sinks = self.sinks.read();

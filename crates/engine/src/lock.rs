@@ -297,7 +297,7 @@ impl LockManager {
                     EngineEvent::QueryBlocked(BlockPairInfo {
                         blocker: blocker.clone(),
                         blocked: blocked_snapshot.clone(),
-                        resource: res.to_string(),
+                        resource: res.to_string().into(),
                         wait_micros: 0,
                     })
                 });
@@ -349,7 +349,7 @@ impl LockManager {
                     EngineEvent::BlockReleased(BlockPairInfo {
                         blocker,
                         blocked: query.snapshot(now),
-                        resource: res.to_string(),
+                        resource: res.to_string().into(),
                         wait_micros: waited,
                     })
                 });
@@ -443,7 +443,7 @@ impl LockManager {
                     out.push(BlockPairInfo {
                         blocker: h.query.snapshot(now),
                         blocked: w.query.snapshot(now),
-                        resource: res.to_string(),
+                        resource: res.to_string().into(),
                         wait_micros: now.saturating_sub(w.since_micros),
                     });
                 }
@@ -479,7 +479,7 @@ mod tests {
     fn mk_query(id: u64) -> Arc<ActiveQueryState> {
         ActiveQueryState::new(
             id,
-            format!("q{id}"),
+            format!("q{id}").into(),
             QueryType::Select,
             1,
             id,

@@ -41,8 +41,8 @@ pub struct QueryResult {
 pub struct Session {
     engine: Arc<EngineInner>,
     pub id: u64,
-    pub user: String,
-    pub application: String,
+    pub user: Arc<str>,
+    pub application: Arc<str>,
     txn: Option<TxnState>,
 }
 
@@ -51,8 +51,8 @@ impl Session {
         Session {
             engine,
             id,
-            user: user.to_string(),
-            application: application.to_string(),
+            user: user.into(),
+            application: application.into(),
             txn: None,
         }
     }
@@ -207,13 +207,13 @@ impl Session {
         let txn_id = self.txn.as_ref().expect("txn just ensured").id;
         let query = ActiveQueryState::new(
             engine.next_query_id(),
-            text.to_string(),
+            text.into(),
             Self::query_type(&cached.statement),
             self.id,
             txn_id,
             self.user.clone(),
             self.application.clone(),
-            procedure,
+            procedure.map(Into::into),
             now,
         );
         engine.active.register(query.clone());
@@ -424,7 +424,7 @@ impl Session {
         };
         Ok(QueryResult {
             columns: vec!["plan".to_string()],
-            rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+            rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
             rows_affected: 0,
         })
     }
@@ -550,13 +550,13 @@ impl Session {
         );
         let pquery = ActiveQueryState::new(
             engine.next_query_id(),
-            exec_text,
+            exec_text.into(),
             QueryType::Other,
             self.id,
             txn_id,
             self.user.clone(),
             self.application.clone(),
-            Some(proc.name.clone()),
+            Some(proc.name.clone().into()),
             now,
         );
         engine.active.register(pquery.clone());
@@ -817,7 +817,7 @@ mod tests {
         let q = last.query().unwrap();
         assert!(q.logical_signature.is_some(), "signatures on by default");
         assert_eq!(q.query_type, QueryType::Insert);
-        assert_eq!(q.user, "a");
+        assert_eq!(&*q.user, "a");
     }
 
     #[test]

@@ -723,7 +723,7 @@ impl Parser {
             }
             Some(Token::Str(s)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::Text(s)))
+                Ok(Expr::Literal(Value::text(s)))
             }
             Some(Token::Question) => {
                 self.pos += 1;

@@ -103,7 +103,7 @@ pub fn decode_row(mut bytes: &[u8]) -> Result<Vec<Value>> {
                     return Err(corrupt());
                 }
                 let s = std::str::from_utf8(&bytes[..len]).map_err(|_| corrupt())?;
-                let v = Value::Text(s.to_string());
+                let v = Value::text(s);
                 bytes.advance(len);
                 v
             }
@@ -185,7 +185,7 @@ mod tests {
             Just(Value::Null),
             any::<i64>().prop_map(Value::Int),
             any::<f64>().prop_map(Value::Float),
-            ".{0,40}".prop_map(Value::Text),
+            ".{0,40}".prop_map(Value::text),
             any::<bool>().prop_map(Value::Bool),
             any::<u64>().prop_map(Value::Timestamp),
             proptest::collection::vec(any::<u8>(), 0..40).prop_map(Value::Blob),

@@ -100,7 +100,7 @@ pub fn load(engine: &Engine, config: TpchConfig) -> Result<TpchDb> {
             "INSERT INTO part VALUES (?, ?, ?)",
             &[
                 Value::Int(p as i64),
-                Value::Text(format!("part-{p:06}")),
+                Value::text(format!("part-{p:06}")),
                 Value::Float(rng.gen_range(1.0..1000.0)),
             ],
         )?;
@@ -124,7 +124,7 @@ pub fn load(engine: &Engine, config: TpchConfig) -> Result<TpchDb> {
             &[
                 Value::Int(o as i64),
                 Value::Int(rng.gen_range(1..=config.customers) as i64),
-                Value::Text(STATUSES[rng.gen_range(0..STATUSES.len())].to_string()),
+                Value::text(STATUSES[rng.gen_range(0..STATUSES.len())]),
                 Value::Float(total),
             ],
         )?;
@@ -138,7 +138,7 @@ pub fn load(engine: &Engine, config: TpchConfig) -> Result<TpchDb> {
                     Value::Int(rng.gen_range(1..=config.parts) as i64),
                     Value::Int(rng.gen_range(1..=50)),
                     Value::Float(rng.gen_range(1.0..1000.0)),
-                    Value::Text(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string()),
+                    Value::text(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]),
                 ],
             )?;
             lineitem_count += 1;

@@ -53,6 +53,20 @@ fn main() -> Result<()> {
             .when("Query.Duration > 0.5")
             .then(Action::send_mail("dba@example.org", "slow: {Query.ID}")),
     )?;
+    // Two rules conditioned on the same LAT: the dispatch plan hoists the
+    // shared lookup so one row snapshot per event serves both conditions.
+    sqlcm.add_rule(
+        Rule::new("hot_template")
+            .on(RuleEvent::QueryCommit)
+            .when("Templates.N >= 500 AND Templates.Avg_Duration > 0.2")
+            .then(Action::send_mail("dba@example.org", "hot template")),
+    )?;
+    sqlcm.add_rule(
+        Rule::new("busy_template")
+            .on(RuleEvent::QueryCommit)
+            .when("Templates.N >= 2000")
+            .then(Action::send_mail("dba@example.org", "busy template")),
+    )?;
     // Self-monitoring bridge: the monitor's own health flows back through the
     // rule pipeline as a synthetic Monitor object.
     sqlcm.add_rule(
@@ -88,6 +102,18 @@ fn main() -> Result<()> {
             stats.qps()
         );
         print!("{}", snapshot.to_text());
+        let plan = sqlcm.plan_summary();
+        println!(
+            "\ndispatch plan: epoch={} rules={} (rebuilds={}, hoisted hits={}, LAT row fetches={})",
+            plan.epoch,
+            plan.rule_count,
+            snapshot.dispatch.plan_rebuilds,
+            snapshot.dispatch.hoisted_lookup_hits,
+            snapshot.dispatch.lat_row_fetches
+        );
+        for g in plan.shared_groups() {
+            println!("  shared hoist on {}: {} <- {:?}", g.event, g.lat, g.rules);
+        }
         let health = engine.query("SELECT name, events, fires FROM health_log")?;
         println!("\nself-monitoring rows (Monitor.Tick → health_log): {health:?}");
     }
@@ -100,5 +126,16 @@ fn main() -> Result<()> {
         "workload fired no rules"
     );
     assert!(!snapshot.flight_records.is_empty(), "flight recorder empty");
+    // The two Templates-conditioned rules share one hoisted lookup, so hits
+    // accrue and the plan was republished once per registration.
+    assert!(
+        sqlcm.plan_summary().shared_groups().next().is_some(),
+        "no shared hoist group"
+    );
+    assert!(
+        snapshot.dispatch.hoisted_lookup_hits > 0,
+        "hoisted lookups never shared"
+    );
+    assert!(snapshot.dispatch.plan_rebuilds >= 6, "plan not republished");
     Ok(())
 }

@@ -318,7 +318,11 @@ fn cancel_from_another_session() {
     // Find the running query via the snapshot API and cancel it.
     let mut cancelled = false;
     for _ in 0..500 {
-        if let Some(q) = e.snapshot_active().into_iter().find(|q| q.user == "victim") {
+        if let Some(q) = e
+            .snapshot_active()
+            .into_iter()
+            .find(|q| &*q.user == "victim")
+        {
             cancelled = e.cancel_query(q.id);
             break;
         }
