@@ -1,0 +1,55 @@
+//! Repro: drop + redefine a LAT with a narrower schema leaves a rule's
+//! compiled LatCol index pointing past the new row layout.
+
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn commit_event(sig: u64, secs: f64) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(sig, "SELECT 1");
+    q.logical_signature = Some(sig);
+    q.duration_micros = (secs * 1e6) as u64;
+    EngineEvent::QueryCommit(q)
+}
+
+#[test]
+fn stale_compiled_index_after_lat_redefinition() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    // Wide LAT: columns [Sig, N, Avg_Dur] -> rule references Avg_Dur (index 2).
+    sqlcm
+        .define_lat(
+            LatSpec::new("L")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Dur"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::Insert { lat: "L".into() }),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .when("L.Avg_Dur > 0"),
+        )
+        .unwrap();
+    // Redefine with a narrower schema: columns [Sig, N] only.
+    assert!(sqlcm.drop_lat("L"));
+    sqlcm
+        .define_lat(
+            LatSpec::new("L")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    // Feed a row so the lookup succeeds, then evaluate rule "r".
+    sqlcm.inject_event(&commit_event(7, 1.0));
+    sqlcm.inject_event(&commit_event(7, 1.0));
+    println!("last_error={:?}", sqlcm.last_error());
+}
