@@ -234,11 +234,13 @@ mod tests {
         assert!(diags[0].message.contains("19"));
 
         // probe 3 + insert 8 = 11 <= 16: below threshold. The condition also
-        // changes so the admitted "heavy" rule doesn't trip W102.
+        // changes so the admitted "heavy" rule doesn't trip W102. (The pair is
+        // legitimately order-sensitive — heavy reads Avg_D, light writes it —
+        // so only the cost verdict is asserted here.)
         rule.name = "light".into();
         rule.actions = vec![ActionIr::Insert { lat: "Win".into() }];
         rule.condition = Some(sqlcm_sql::parse_expression("Win.Avg_D > 2").unwrap());
         let diags = a.check_rule(&rule);
-        assert!(diags.is_empty(), "{diags:?}");
+        assert!(diags.iter().all(|d| d.code != Code::W201), "{diags:?}");
     }
 }

@@ -24,7 +24,10 @@ use crate::schema::SchemaUniverse;
 use crate::{ActionIr, RuleIr};
 
 /// Events (kind, argument) a rule's actions may raise.
-fn raised_events(universe: &SchemaUniverse, rule: &RuleIr) -> Vec<(&'static str, String)> {
+pub(crate) fn raised_events(
+    universe: &SchemaUniverse,
+    rule: &RuleIr,
+) -> Vec<(&'static str, String)> {
     let mut out = Vec::new();
     for action in &rule.actions {
         match action {

@@ -50,9 +50,47 @@ pub enum Code {
     /// More shards than the LAT's row bound — the extra shards can never all
     /// be occupied and only add eviction-scan overhead.
     W202,
+    /// Condition provably unsatisfiable under the attribute interval domains
+    /// (e.g. a COUNT column compared `< 0`) — the rule can never fire.
+    E006,
+    /// Condition provably tautological — the rule fires on every event it
+    /// sees, so the condition is dead weight (or a comparison is inverted).
+    W103,
+    /// Division whose divisor is an aggregate column that may be zero or
+    /// NULL (AVG/SUM over an empty or never-fed window).
+    W104,
+    /// Condition reads a LAT aggregate column that no admitted rule's
+    /// `Insert` ever feeds — the column stays at its initial aggregate.
+    W203,
+    /// Order-sensitive pair: an earlier same-event rule reads columns this
+    /// rule writes, so swapping the two changes observable behaviour.
+    W301,
+    /// Cascade amplification: a single event can transitively trigger more
+    /// rule evaluations than the analyzer's threshold.
+    W302,
 }
 
 impl Code {
+    /// Every code, in documentation order. New codes must be added here —
+    /// the exhaustiveness test in `tests/codes.rs` walks this list.
+    pub const ALL: [Code; 15] = [
+        Code::E001,
+        Code::E002,
+        Code::E003,
+        Code::E004,
+        Code::E005,
+        Code::E006,
+        Code::W101,
+        Code::W102,
+        Code::W103,
+        Code::W104,
+        Code::W201,
+        Code::W202,
+        Code::W203,
+        Code::W301,
+        Code::W302,
+    ];
+
     pub fn as_str(self) -> &'static str {
         match self {
             Code::E001 => "E001",
@@ -60,18 +98,34 @@ impl Code {
             Code::E003 => "E003",
             Code::E004 => "E004",
             Code::E005 => "E005",
+            Code::E006 => "E006",
             Code::W101 => "W101",
             Code::W102 => "W102",
+            Code::W103 => "W103",
+            Code::W104 => "W104",
             Code::W201 => "W201",
             Code::W202 => "W202",
+            Code::W203 => "W203",
+            Code::W301 => "W301",
+            Code::W302 => "W302",
         }
     }
 
     /// Severity is determined by the code family.
     pub fn severity(self) -> Severity {
         match self {
-            Code::E001 | Code::E002 | Code::E003 | Code::E004 | Code::E005 => Severity::Error,
-            Code::W101 | Code::W102 | Code::W201 | Code::W202 => Severity::Warning,
+            Code::E001 | Code::E002 | Code::E003 | Code::E004 | Code::E005 | Code::E006 => {
+                Severity::Error
+            }
+            Code::W101
+            | Code::W102
+            | Code::W103
+            | Code::W104
+            | Code::W201
+            | Code::W202
+            | Code::W203
+            | Code::W301
+            | Code::W302 => Severity::Warning,
         }
     }
 
@@ -83,10 +137,16 @@ impl Code {
             Code::E003 => "unjoinable LAT reference",
             Code::E004 => "cascade cycle",
             Code::E005 => "invalid shard count",
+            Code::E006 => "unsatisfiable condition",
             Code::W101 => "dead rule",
             Code::W102 => "duplicate rule",
+            Code::W103 => "tautological condition",
+            Code::W104 => "possible division by zero",
             Code::W201 => "costly rule",
             Code::W202 => "over-sharded LAT",
+            Code::W203 => "read-only LAT column",
+            Code::W301 => "order-sensitive rule pair",
+            Code::W302 => "cascade amplification",
         }
     }
 }

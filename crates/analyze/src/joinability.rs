@@ -131,10 +131,30 @@ mod tests {
         }
     }
 
+    /// Admit a feeder rule so probes of `Duration_LAT` aggregates are not
+    /// flagged as reads of a never-written column (W203) — this module only
+    /// exercises the scope checks.
+    fn admit_feeder(a: &mut Analyzer) {
+        let feed = RuleIr {
+            name: "feed".into(),
+            event: EventIr {
+                kind: "QueryCommit".into(),
+                arg: None,
+                payload: vec!["Query".into()],
+            },
+            condition: None,
+            actions: vec![crate::ActionIr::Insert {
+                lat: "Duration_LAT".into(),
+            }],
+        };
+        assert!(a.check_rule(&feed).is_empty());
+    }
+
     #[test]
     fn lat_probe_from_source_payload_is_clean() {
         let mut a = Analyzer::new();
         assert!(a.check_lat(&duration_lat()).is_empty());
+        admit_feeder(&mut a);
         let diags = a.check_rule(&rule_on(
             "QueryCommit",
             &["Query"],
@@ -147,6 +167,7 @@ mod tests {
     fn lat_probe_without_source_in_scope_is_e003() {
         let mut a = Analyzer::new();
         assert!(a.check_lat(&duration_lat()).is_empty());
+        admit_feeder(&mut a);
         // TxnCommit carries only Transaction; the condition never names Query,
         // so no Query object is ever in scope to build the grouping key.
         let diags = a.check_rule(&rule_on(
@@ -162,6 +183,7 @@ mod tests {
     fn lat_probe_with_iterated_source_is_clean() {
         let mut a = Analyzer::new();
         assert!(a.check_lat(&duration_lat()).is_empty());
+        admit_feeder(&mut a);
         // Query is named directly, so the engine iterates active queries and
         // the probe binds per iterated object.
         let diags = a.check_rule(&rule_on(

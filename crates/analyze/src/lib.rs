@@ -19,24 +19,46 @@
 //! | E002 | error    | condition type mismatch ([`typeck`]) |
 //! | E003 | error    | LAT grouping columns unmatched in scope — condition statically false ([`joinability`]) |
 //! | E004 | error    | cascade cycle through eviction/timer events ([`depgraph`]) |
+//! | E005 | error    | invalid LAT shard count ([`schema`]) |
+//! | E006 | error    | condition provably unsatisfiable under attribute intervals ([`intervals`]) |
 //! | W101 | warning  | dead rule: class never in scope ([`joinability`]) |
 //! | W102 | warning  | duplicate rule: same event + identical condition ([`depgraph`]) |
+//! | W103 | warning  | condition provably tautological ([`intervals`]) |
+//! | W104 | warning  | division by a possibly-zero/NULL aggregate ([`intervals`]) |
 //! | W201 | warning  | estimated per-firing cost above threshold ([`cost`]) |
+//! | W202 | warning  | over-sharded LAT ([`schema`]) |
+//! | W203 | warning  | condition reads a LAT column no rule's Insert feeds ([`effects`]) |
+//! | W301 | warning  | adjacent same-event rules are order-sensitive ([`confluence`]) |
+//! | W302 | warning  | one event can trigger more evaluations than the cascade threshold ([`confluence`]) |
+//!
+//! Beyond lints, the [`effects`] pass exports machine-consumable
+//! [`RuleEffects`] summaries (column-level read/write sets with an
+//! interference relation); `sqlcm-core`'s dispatch-plan compiler uses them to
+//! invalidate hoisted LAT row snapshots only when an interposed rule's write
+//! set actually intersects the readers' read set.
 //!
 //! The crate is deliberately independent of `sqlcm-core` (core calls *into*
 //! the analyzer); rules and LAT specs arrive as a small IR ([`RuleIr`],
 //! [`LatIr`]) that core's `analysis` module builds from its own types.
 
+pub mod confluence;
 pub mod cost;
 pub mod depgraph;
 pub mod diagnostics;
+pub mod effects;
+pub mod intervals;
 pub mod joinability;
 pub mod schema;
 pub mod typeck;
 
 pub use cost::DEFAULT_COST_THRESHOLD;
 pub use diagnostics::{has_errors, Code, Diagnostic, Severity};
+pub use effects::{rule_effects, LatWriteEffect, RuleEffects};
 pub use schema::{ClassSchema, LatColumn, LatSchema, SchemaUniverse};
+
+/// Default for [`Analyzer::cascade_threshold`]: the worst-case number of rule
+/// evaluations one event may transitively trigger before W302 fires.
+pub const DEFAULT_CASCADE_THRESHOLD: usize = 64;
 
 use sqlcm_sql::Expr;
 use std::fmt;
@@ -237,6 +259,9 @@ pub struct Analyzer {
     rules: Vec<RuleIr>,
     /// Per-firing cost above which [`Code::W201`] fires.
     pub cost_threshold: u32,
+    /// Worst-case transitive evaluations per event above which
+    /// [`Code::W302`] fires.
+    pub cascade_threshold: usize,
 }
 
 impl Default for Analyzer {
@@ -251,6 +276,7 @@ impl Analyzer {
             universe: SchemaUniverse::builtin(),
             rules: Vec::new(),
             cost_threshold: DEFAULT_COST_THRESHOLD,
+            cascade_threshold: DEFAULT_CASCADE_THRESHOLD,
         }
     }
 
@@ -280,16 +306,41 @@ impl Analyzer {
         let mut diags = Vec::new();
         if let Some(cond) = &rule.condition {
             typeck::check_condition(&self.universe, &rule.name, cond, &mut diags);
+            // Interval reasoning assumes well-typed operands; on a type error
+            // the E002 already explains everything the intervals would.
+            if !has_errors(&diags) {
+                intervals::check_condition(&self.universe, &rule.name, cond, &mut diags);
+            }
         }
         self.check_action_targets(rule, &mut diags);
         joinability::check_rule(&self.universe, rule, &mut diags);
         depgraph::check_duplicates(&self.rules, rule, &mut diags);
         depgraph::check_cascades(&self.universe, &self.rules, rule, &mut diags);
         cost::check_rule(&self.universe, rule, self.cost_threshold, &mut diags);
+        // Effect/confluence lints describe how the rule will behave once
+        // admitted; a rule an error already denies never runs, so piling
+        // style warnings on top of the denial is noise.
+        if !has_errors(&diags) {
+            effects::check_unfed_reads(&self.universe, &self.rules, rule, &mut diags);
+            confluence::check_order(&self.universe, &self.rules, rule, &mut diags);
+            confluence::check_amplification(
+                &self.universe,
+                &self.rules,
+                rule,
+                self.cascade_threshold,
+                &mut diags,
+            );
+        }
         if !has_errors(&diags) {
             self.rules.push(rule.clone());
         }
         diags
+    }
+
+    /// Column-level read/write summary of `rule` against the current
+    /// universe. Pure: does not admit the rule or touch analyzer state.
+    pub fn effects_of(&self, rule: &RuleIr) -> RuleEffects {
+        effects::rule_effects(&self.universe, rule)
     }
 
     /// E001 for actions that target a LAT the universe does not know.

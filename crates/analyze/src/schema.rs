@@ -66,6 +66,12 @@ pub struct LatColumn {
     pub aging: bool,
     /// True for grouping columns.
     pub group: bool,
+    /// Aggregate function for aggregate columns; `None` for grouping columns.
+    pub func: Option<AggFuncIr>,
+    /// `Class.Attribute` the column is computed from — the grouping source
+    /// for group columns, the aggregate source for aggregate columns
+    /// (`None` for `COUNT(*)`).
+    pub source: Option<(String, String)>,
 }
 
 /// Schema of one registered LAT.
@@ -91,6 +97,16 @@ impl LatSchema {
         self.columns
             .iter()
             .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The grouping (key) columns.
+    pub fn group_columns(&self) -> impl Iterator<Item = &LatColumn> {
+        self.columns.iter().filter(|c| c.group)
+    }
+
+    /// The aggregate (non-key) columns.
+    pub fn aggregate_columns(&self) -> impl Iterator<Item = &LatColumn> {
+        self.columns.iter().filter(|c| !c.group)
     }
 }
 
@@ -288,6 +304,8 @@ impl SchemaUniverse {
                 ty,
                 aging: false,
                 group: true,
+                func: None,
+                source: Some((g.source.class.clone(), g.source.attr.clone())),
             });
         }
 
@@ -310,6 +328,8 @@ impl SchemaUniverse {
                 ty,
                 aging: a.aging,
                 group: false,
+                func: Some(a.func),
+                source: a.source.as_ref().map(|s| (s.class.clone(), s.attr.clone())),
             });
         }
 

@@ -2,7 +2,8 @@
 //! known-good ruleset (the paper's Examples 1–3 shape) passes clean.
 
 use sqlcm_analyze::{
-    ActionIr, AggColumnIr, AggFuncIr, Analyzer, AttrIr, Code, EventIr, GroupColumnIr, LatIr, RuleIr,
+    ActionIr, AggColumnIr, AggFuncIr, Analyzer, AttrIr, Code, Diagnostic, EventIr, GroupColumnIr,
+    LatIr, RuleIr,
 };
 use sqlcm_sql::parse_expression;
 
@@ -252,21 +253,214 @@ fn w102_duplicate_rule() {
 }
 
 #[test]
+fn e006_unsatisfiable_condition() {
+    // Count aggregates are non-negative; N < 0 can never hold.
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(false)],
+        &[
+            on_query_commit(
+                "feed",
+                None,
+                vec![ActionIr::Insert {
+                    lat: "Duration_LAT".into(),
+                }],
+            ),
+            on_query_commit("dead", Some("Duration_LAT.N < 0"), vec![ActionIr::SendMail]),
+        ],
+    );
+    assert_eq!(codes(&diags), vec![Code::E006]);
+
+    // An unsatisfiable condition is an error: the rule is denied.
+    let mut analyzer = Analyzer::new();
+    assert!(analyzer.check_lat(&duration_lat(false)).is_empty());
+    analyzer.check_rule(&on_query_commit(
+        "dead",
+        Some("Duration_LAT.N < 0"),
+        vec![ActionIr::SendMail],
+    ));
+    assert!(analyzer.rules().is_empty());
+}
+
+#[test]
+fn w103_tautological_condition() {
+    // Durations are non-negative, so `>= 0` always holds: the condition is
+    // dead weight (and usually a sign the predicate is wrong).
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[on_query_commit(
+            "always",
+            Some("Query.Duration >= 0"),
+            vec![ActionIr::SendMail],
+        )],
+    );
+    assert_eq!(codes(&diags), vec![Code::W103]);
+}
+
+#[test]
+fn w104_possible_division_by_zero() {
+    // N counts rows and may be 0 for a fresh group; dividing by it is a
+    // runtime hazard the intervals can see statically.
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(false)],
+        &[
+            on_query_commit(
+                "feed",
+                None,
+                vec![ActionIr::Insert {
+                    lat: "Duration_LAT".into(),
+                }],
+            ),
+            on_query_commit(
+                "ratio",
+                Some("Query.Duration / Duration_LAT.N > 2"),
+                vec![ActionIr::SendMail],
+            ),
+        ],
+    );
+    assert_eq!(codes(&diags), vec![Code::W104]);
+}
+
+#[test]
+fn w203_read_only_lat_column() {
+    // No admitted rule inserts into Duration_LAT, so its aggregates stay at
+    // their initial state forever; reading them is almost certainly a bug.
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(false)],
+        &[on_query_commit(
+            "probe",
+            Some("Duration_LAT.Avg_Duration > 100"),
+            vec![ActionIr::SendMail],
+        )],
+    );
+    assert_eq!(codes(&diags), vec![Code::W203]);
+
+    // A warning does not deny registration.
+    let mut analyzer = Analyzer::new();
+    assert!(analyzer.check_lat(&duration_lat(false)).is_empty());
+    analyzer.check_rule(&on_query_commit(
+        "probe",
+        Some("Duration_LAT.Avg_Duration > 100"),
+        vec![ActionIr::SendMail],
+    ));
+    assert_eq!(analyzer.rules().len(), 1);
+}
+
+#[test]
+fn w301_order_sensitive_pair() {
+    // The reader is registered before the writer, so it observes the state
+    // left by the previous event; registering the writer afterwards flags the
+    // adjacent pair. (A conditional feeder keeps the reader's probe fed so
+    // only the ordering is at issue.)
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(false)],
+        &[
+            on_query_commit(
+                "feed_slow",
+                Some("Query.Duration > 5"),
+                vec![ActionIr::Insert {
+                    lat: "Duration_LAT".into(),
+                }],
+            ),
+            on_query_commit(
+                "reader",
+                Some("Duration_LAT.Avg_Duration > 100"),
+                vec![ActionIr::SendMail],
+            ),
+            on_query_commit(
+                "writer",
+                None,
+                vec![ActionIr::Insert {
+                    lat: "Duration_LAT".into(),
+                }],
+            ),
+        ],
+    );
+    assert_eq!(codes(&diags), vec![Code::W301]);
+}
+
+#[test]
+fn w302_cascade_amplification() {
+    let mut analyzer = Analyzer::new();
+    analyzer.cascade_threshold = 5;
+    assert!(analyzer.check_lat(&duration_lat(true)).is_empty());
+    for i in 0..5 {
+        let spill = RuleIr {
+            name: format!("spill{i}"),
+            event: EventIr {
+                kind: "LatEviction".into(),
+                arg: Some("Duration_LAT".into()),
+                payload: vec!["Evicted(Duration_LAT)".into()],
+            },
+            condition: None,
+            // Distinct target tables so the spills are not W102 duplicates.
+            actions: vec![ActionIr::PersistObject {
+                class: "Evicted(Duration_LAT)".into(),
+                table: format!("spilled_{i}"),
+            }],
+        };
+        assert!(analyzer.check_rule(&spill).is_empty(), "spill{i}");
+    }
+    // One commit insert may evict, fanning out to the 5 spill rules:
+    // 1 + 5 = 6 > 5 worst-case evaluations per event. (The spill rules
+    // themselves sit exactly at the threshold and stay clean.)
+    let diags = analyzer.check_rule(&on_query_commit(
+        "feed",
+        None,
+        vec![ActionIr::Insert {
+            lat: "Duration_LAT".into(),
+        }],
+    ));
+    assert_eq!(codes(&diags), vec![Code::W302]);
+}
+
+#[test]
+fn code_table_is_exhaustive_and_distinct() {
+    use std::collections::BTreeSet;
+    let strs: BTreeSet<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+    assert_eq!(strs.len(), Code::ALL.len(), "duplicate code strings");
+    for code in Code::ALL {
+        let s = code.as_str();
+        assert!(!code.title().is_empty(), "{s} has no title");
+        let expected = if s.starts_with('E') {
+            sqlcm_analyze::Severity::Error
+        } else {
+            assert!(s.starts_with('W'), "{s}: codes are E.. or W..");
+            sqlcm_analyze::Severity::Warning
+        };
+        assert_eq!(code.severity(), expected, "{s} severity");
+        assert_eq!(
+            Diagnostic::new(code, "r", "m").is_error(),
+            expected == sqlcm_analyze::Severity::Error,
+            "{s} is_error"
+        );
+    }
+}
+
+#[test]
 fn w201_costly_rule() {
     let diags = Analyzer::check_ruleset(
         &[duration_lat(true)],
-        &[on_query_commit(
-            "heavy",
-            Some("Duration_LAT.N > 100"),
-            vec![
-                ActionIr::PersistLat {
+        &[
+            on_query_commit(
+                "feed",
+                None,
+                vec![ActionIr::Insert {
                     lat: "Duration_LAT".into(),
-                    table: "h".into(),
-                },
-                ActionIr::SendMail,
-                ActionIr::RunExternal,
-            ],
-        )],
+                }],
+            ),
+            on_query_commit(
+                "heavy",
+                Some("Duration_LAT.N > 100"),
+                vec![
+                    ActionIr::PersistLat {
+                        lat: "Duration_LAT".into(),
+                        table: "h".into(),
+                    },
+                    ActionIr::SendMail,
+                    ActionIr::RunExternal,
+                ],
+            ),
+        ],
     );
     assert_eq!(codes(&diags), vec![Code::W201]);
 }

@@ -1,0 +1,142 @@
+//! **T6 — analysis-driven hoist invalidation precision** (§2.1 low-overhead
+//! goal; DESIGN.md §11 plan-invalidation contract).
+//!
+//! A 32-rule mix on one event: 1 key-reader registered before 16 `Insert`
+//! mutators, then 15 more key-readers. Every reader probes only the LAT's
+//! group-key column, and an existing row's key is immutable under `Insert` —
+//! so the effect analysis proves the mutators cannot change what the readers
+//! see and downgrades their invalidations to `only_if_missing`. The hoisted
+//! row snapshot then survives the whole event: ~1.0 LAT row fetch/event.
+//! Coarse invalidation (every mutation clears the snapshot) pays a re-fetch
+//! after the mutator block: ~2.0 fetches/event.
+//!
+//! Writes `BENCH_t6_hoist_precision.json` and exits non-zero when the
+//! precision gate fails (precise fetches/event ≤ 1.2 with
+//! `hoist_invalidations_avoided > 0`), so CI can gate on it.
+
+use std::time::Instant;
+
+use sqlcm_bench::{banner, env_u32};
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn commit_event(sig: u64) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(sig, "SELECT x FROM t WHERE id = ?");
+    q.logical_signature = Some(sig);
+    q.duration_micros = 1_500;
+    EngineEvent::QueryCommit(q)
+}
+
+/// Median ns/event over `rounds` batches of `events` injections, plus the
+/// LAT-fetch and avoided-invalidation deltas across the measured span.
+fn measure(sqlcm: &Sqlcm, ev: &EngineEvent, events: u32, rounds: usize) -> (f64, f64, u64) {
+    for _ in 0..1_000 {
+        sqlcm.inject_event(ev);
+    }
+    let before = sqlcm.telemetry().dispatch;
+    let before_events = sqlcm.stats().events;
+    let mut per_event = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..events {
+            sqlcm.inject_event(ev);
+        }
+        per_event.push(t.elapsed().as_secs_f64() * 1e9 / events as f64);
+    }
+    per_event.sort_by(f64::total_cmp);
+    let after = sqlcm.telemetry().dispatch;
+    let measured = (sqlcm.stats().events - before_events) as f64;
+    (
+        per_event[rounds / 2],
+        (after.lat_row_fetches - before.lat_row_fetches) as f64 / measured,
+        after.hoist_invalidations_avoided - before.hoist_invalidations_avoided,
+    )
+}
+
+fn main() {
+    let events = env_u32("SQLCM_EVENTS", 200_000);
+    let rounds = env_u32("SQLCM_ROUNDS", 5) as usize;
+    banner(
+        "T6: hoist invalidation precision — 16 mutators between 16 key-readers",
+        &format!("{events} injected QueryCommit events per round, {rounds} rounds"),
+    );
+
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Sig_LAT")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D"),
+        )
+        .expect("LAT");
+    // Key-reader first: it fetches the row cold, before any mutator runs.
+    sqlcm
+        .add_rule(
+            Rule::new("reader00")
+                .on(RuleEvent::QueryCommit)
+                .when("Sig_LAT.Sig = 42"),
+        )
+        .expect("rule");
+    // 16 mutators. Distinct (always-true) conditions keep them from being
+    // literal duplicates of one another; all fire on every event.
+    for i in 0..16 {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("feed{i:02}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!("Query.Duration > 0.000{i}"))
+                    .then(Action::insert("Sig_LAT")),
+            )
+            .expect("rule");
+    }
+    // 15 more key-readers after the mutator block.
+    for i in 0..15 {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("reader{:02}", i + 1))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!("Sig_LAT.Sig = {i}")),
+            )
+            .expect("rule");
+    }
+
+    let ev = commit_event(42);
+    let (precise_ns, precise_fetches, avoided) = measure(&sqlcm, &ev, events, rounds);
+    println!("precise (analysis-driven):        {precise_ns:>8.1} ns/event");
+    println!("  LAT row fetches/event: {precise_fetches:.3} (invalidations avoided: {avoided})");
+
+    // Same monitor, same rules, coarse invalidation forced: every Insert
+    // clears the snapshot and the first reader after the block re-fetches.
+    sqlcm.set_coarse_invalidation(true);
+    let (coarse_ns, coarse_fetches, coarse_avoided) = measure(&sqlcm, &ev, events, rounds);
+    println!("coarse (every mutation clears):   {coarse_ns:>8.1} ns/event");
+    println!("  LAT row fetches/event: {coarse_fetches:.3}");
+    assert_eq!(coarse_avoided, 0, "coarse mode must never skip a clear");
+
+    let json = format!(
+        "{{\"bench\":\"t6_hoist_precision\",\"events\":{events},\"rounds\":{rounds},\
+         \"precise_ns_per_event\":{precise_ns:.1},\"coarse_ns_per_event\":{coarse_ns:.1},\
+         \"precise_fetches_per_event\":{precise_fetches:.3},\
+         \"coarse_fetches_per_event\":{coarse_fetches:.3},\
+         \"hoist_invalidations_avoided\":{avoided},\"gate_fetches_per_event\":1.2}}"
+    );
+    std::fs::write("BENCH_t6_hoist_precision.json", &json).expect("write BENCH json");
+    println!("\nwrote BENCH_t6_hoist_precision.json: {json}");
+
+    // Gate: the effect analysis must keep the snapshot alive across the
+    // mutator block (≈1 fetch/event; the coarse baseline is ≈2).
+    if precise_fetches > 1.2 || avoided == 0 {
+        eprintln!(
+            "FAIL: precise mode fetched {precise_fetches:.3} rows/event \
+             (gate 1.2) with {avoided} avoided invalidations"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: analysis-driven invalidation holds LAT row fetches at \
+         {precise_fetches:.3}/event vs {coarse_fetches:.3} coarse"
+    );
+}

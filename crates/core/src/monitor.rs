@@ -49,6 +49,9 @@ use crate::telemetry::{
 };
 use crate::timer::TimerRegistry;
 
+/// Upper bound on retained analyzer warnings; the oldest are dropped first.
+const MAX_ANALYSIS_WARNINGS: usize = 1024;
+
 /// Aggregate counters for one SQLCM instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SqlcmStats {
@@ -89,7 +92,12 @@ struct SqlcmInner {
     action_errors: AtomicU64,
     last_error: Mutex<Option<String>>,
     /// Warnings collected by the static analyzer across registrations.
+    /// Deduplicated by (code, rule, message) and capped at
+    /// [`MAX_ANALYSIS_WARNINGS`], oldest dropped first.
     analysis_warnings: Mutex<Vec<Diagnostic>>,
+    /// Force coarse (always-clear) hoist invalidation, ignoring the
+    /// analyzer's effect summaries. Differential-testing/rollback switch.
+    coarse_invalidation: AtomicBool,
     /// Self-telemetry state (probe/rule/LAT metrics, flight recorder).
     telemetry: Telem,
     shutdown: AtomicBool,
@@ -270,7 +278,8 @@ impl SqlcmInner {
         let epoch = self.plan_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let rules = self.rules_read().clone();
         let lats = self.lats_read().clone();
-        let plan = DispatchPlan::build(epoch, &rules, &lats);
+        let coarse = self.coarse_invalidation.load(Ordering::Relaxed);
+        let plan = DispatchPlan::build(epoch, &rules, &lats, coarse);
         self.plan.swap(Arc::new(plan));
         self.telemetry.plan_rebuilds.incr();
     }
@@ -671,9 +680,23 @@ impl SqlcmInner {
         }
         // Phase C — a fired rule's Insert/Reset may have changed the hoisted
         // rows; drop those slots so later rules on this event re-fetch
-        // (read-your-predecessors'-writes, §5 ordering).
-        for &slot in &pr.invalidates {
-            slots[slot as usize] = HoistState::Empty;
+        // (read-your-predecessors'-writes, §5 ordering). Entries the analyzer
+        // proved disjoint from every reader keep a live snapshot: an Insert
+        // never moves an existing row's key, so only the missing-row outcome
+        // (which the insert may have flipped) is discarded.
+        for inv in &pr.invalidates {
+            let slot = &mut slots[inv.slot as usize];
+            if inv.only_if_missing {
+                match slot {
+                    HoistState::Fetched(Some(_)) => {
+                        self.telemetry.hoist_invalidations_avoided.incr()
+                    }
+                    HoistState::Fetched(None) => *slot = HoistState::Empty,
+                    HoistState::Empty => {}
+                }
+            } else {
+                *slot = HoistState::Empty;
+            }
         }
     }
 
@@ -951,6 +974,7 @@ impl SqlcmInner {
                 hoisted_lookup_hits: telem.hoisted_lookup_hits.get(),
                 lat_row_fetches: telem.lat_row_fetches.get(),
                 reg_lock_acquisitions: telem.reg_lock_acquisitions.get(),
+                hoist_invalidations_avoided: telem.hoist_invalidations_avoided.get(),
             },
             flight_records: telem.recorder.snapshot(),
             flight_total: telem.recorder.total_recorded(),
@@ -970,7 +994,12 @@ impl Sqlcm {
             clock: clock.clone(),
             lats: RwLock::new(HashMap::new()),
             rules: RwLock::new(Vec::new()),
-            plan: PlanCell::new(Arc::new(DispatchPlan::build(0, &[], &HashMap::new()))),
+            plan: PlanCell::new(Arc::new(DispatchPlan::build(
+                0,
+                &[],
+                &HashMap::new(),
+                false,
+            ))),
             plan_rebuild: Mutex::new(()),
             plan_epoch: AtomicU64::new(0),
             timers: TimerRegistry::new(clock),
@@ -985,6 +1014,7 @@ impl Sqlcm {
             action_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
             analysis_warnings: Mutex::new(Vec::new()),
+            coarse_invalidation: AtomicBool::new(false),
             telemetry: Telem::new(),
             shutdown: AtomicBool::new(false),
         });
@@ -1060,7 +1090,7 @@ impl Sqlcm {
     fn deny_on_errors(&self, diags: Vec<Diagnostic>) -> Result<()> {
         let (errors, warnings): (Vec<_>, Vec<_>) =
             diags.into_iter().partition(Diagnostic::is_error);
-        self.inner.analysis_warnings.lock().extend(warnings);
+        self.record_warnings(warnings);
         if errors.is_empty() {
             return Ok(());
         }
@@ -1072,9 +1102,51 @@ impl Sqlcm {
         Err(Error::Monitor(msg))
     }
 
+    /// Append analyzer warnings to the log, skipping (code, rule, message)
+    /// repeats — re-registration loops would otherwise fill the log with
+    /// copies — and dropping the oldest entries past the cap so the log's
+    /// memory stays bounded over the instance's lifetime.
+    fn record_warnings(&self, warnings: Vec<Diagnostic>) {
+        if warnings.is_empty() {
+            return;
+        }
+        let mut log = self.inner.analysis_warnings.lock();
+        for w in warnings {
+            if log
+                .iter()
+                .any(|e| e.code == w.code && e.rule == w.rule && e.message == w.message)
+            {
+                continue;
+            }
+            if log.len() >= MAX_ANALYSIS_WARNINGS {
+                log.remove(0);
+            }
+            log.push(w);
+        }
+    }
+
     /// Warnings the static analyzer has collected across registrations.
     pub fn analysis_warnings(&self) -> Vec<Diagnostic> {
         self.inner.analysis_warnings.lock().clone()
+    }
+
+    /// Drop every collected analyzer warning (an operator "mark as read").
+    pub fn clear_analysis_warnings(&self) {
+        self.inner.analysis_warnings.lock().clear();
+    }
+
+    /// Force coarse (always-clear) hoist-slot invalidation, ignoring the
+    /// analyzer's effect summaries, and republish the plan. The default
+    /// (`false`) keeps a hoisted row snapshot live across a fired rule whose
+    /// writes are provably disjoint from every reader of the slot. The
+    /// coarse mode exists for differential testing and as an operational
+    /// rollback: both modes must produce identical firings and LAT contents,
+    /// differing only in `lat_row_fetches`.
+    pub fn set_coarse_invalidation(&self, coarse: bool) {
+        self.inner
+            .coarse_invalidation
+            .store(coarse, Ordering::Relaxed);
+        self.inner.rebuild_plan();
     }
 
     /// Run the static analyzer on a rule against the current LATs and rules
@@ -1182,8 +1254,13 @@ impl Sqlcm {
         {
             return Err(Error::Monitor(format!("rule {} already exists", rule.name)));
         }
-        let diags = self.analyzer().check_rule(&analysis::rule_ir(&rule));
+        let mut analyzer = self.analyzer();
+        let ir = analysis::rule_ir(&rule);
+        let diags = analyzer.check_rule(&ir);
         self.deny_on_errors(diags)?;
+        // Captured for the dispatch plan: the rule's column-level read/write
+        // sets drive precise hoist-slot invalidation.
+        let effects = Arc::new(analyzer.effects_of(&ir));
         let (cond_classes, cond_lats) = rule.condition_refs()?;
         let cond_lats_lc: Vec<String> = cond_lats.iter().map(|l| l.to_ascii_lowercase()).collect();
         let compiled = {
@@ -1259,6 +1336,7 @@ impl Sqlcm {
             cond_lats: cond_lats_lc,
             cond_latency: LatencyHistogram::new(),
             action_latency: LatencyHistogram::new(),
+            effects: Some(effects),
         }));
         drop(rules);
         // Publish a plan containing the new rule, then fold its subscription

@@ -23,11 +23,12 @@
 //! rate (human-driven, low), not event rate, so the parked memory is bounded
 //! by the number of registry mutations over the instance's lifetime.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sqlcm_analyze::RuleEffects;
 use sqlcm_common::{ProbeKind, ProbeMask, Value};
 use sqlcm_telemetry::LatencyHistogram;
 
@@ -58,6 +59,10 @@ pub(crate) struct Registered {
     pub cond_latency: LatencyHistogram,
     /// Action-execution wall time per firing, nanoseconds (telemetry).
     pub action_latency: LatencyHistogram,
+    /// Column-level read/write summary from the static analyzer, captured at
+    /// registration. `None` (rule admitted without analysis, e.g. in unit
+    /// tests) falls back to coarse whole-LAT invalidation.
+    pub effects: Option<Arc<RuleEffects>>,
 }
 
 /// An action with its LAT target (if any) pre-resolved — no name lookup on the
@@ -75,22 +80,6 @@ pub(crate) enum CompiledAction {
     },
     /// Everything else interprets the declarative [`Action`] directly.
     Other(Action),
-}
-
-impl CompiledAction {
-    /// Lowercased name of the LAT this action mutates (Insert/Reset), used to
-    /// compute hoist-slot invalidation at plan build. Persist only reads.
-    fn mutated_lat(&self) -> Option<String> {
-        match self {
-            CompiledAction::Insert { lat, .. } => Some(lat.spec.name.to_ascii_lowercase()),
-            CompiledAction::Reset(lat) => Some(lat.spec.name.to_ascii_lowercase()),
-            CompiledAction::PersistLat { .. } => None,
-            CompiledAction::Other(a) => match a {
-                Action::Insert { lat } | Action::Reset { lat } => Some(lat.to_ascii_lowercase()),
-                _ => None,
-            },
-        }
-    }
 }
 
 /// One shared LAT lookup hoisted to event level: every rule on the event whose
@@ -113,6 +102,21 @@ pub(crate) enum HoistState {
     Fetched(Option<Vec<Value>>),
 }
 
+/// How a fired rule invalidates one hoist slot (Phase C of dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Invalidation {
+    /// Index into [`EventPlan::hoisted`].
+    pub slot: u32,
+    /// Analysis-refined mode: the writer's `Insert` touches no column any
+    /// slot-sharing reader reads — the readers only consult group-key
+    /// columns, and an `Insert` can never change an existing row's key — so
+    /// a `Fetched(Some)` snapshot stays valid and is kept (counted as an
+    /// avoided invalidation). Only `Fetched(None)` is dropped, because the
+    /// insert may have *created* the row and flipped the implicit ∃ of §5.2.
+    /// `false` is the coarse mode: the slot is always cleared.
+    pub only_if_missing: bool,
+}
+
 /// One rule within an [`EventPlan`].
 pub(crate) struct PlanRule {
     pub reg: Arc<Registered>,
@@ -124,8 +128,10 @@ pub(crate) struct PlanRule {
     /// Hoist slots this rule's actions mutate (Insert/Reset targets); cleared
     /// after the rule fires so later rules re-fetch fresh rows, preserving
     /// the sequential read-your-predecessors'-writes semantics of unhoisted
-    /// dispatch.
-    pub invalidates: Vec<u32>,
+    /// dispatch. When the analyzer proved the writer disjoint from every
+    /// reader of the slot, the entry is `only_if_missing` and a live
+    /// snapshot survives the firing.
+    pub invalidates: Vec<Invalidation>,
     /// Set when the rule cannot run under the current registry (a condition
     /// LAT was dropped); evaluation records this error instead of running.
     pub broken: Option<String>,
@@ -194,6 +200,7 @@ impl DispatchPlan {
         epoch: u64,
         rules: &[Arc<Registered>],
         lats: &HashMap<String, Arc<Lat>>,
+        coarse_invalidation: bool,
     ) -> DispatchPlan {
         let mut statics: [EventPlan; STATIC_EVENTS] = std::array::from_fn(|_| EventPlan::default());
         let mut dynamics: HashMap<RuleEvent, EventPlan> = HashMap::new();
@@ -206,6 +213,12 @@ impl DispatchPlan {
             let payload = event.payload_classes();
             let plan_rule = Self::plan_rule(reg, lats, &payload, &mut ep.hoisted);
             ep.rules.push(plan_rule);
+        }
+        // Second pass: invalidation modes need the *complete* per-slot read
+        // union (a slot's readers can be registered after its writers), so
+        // they are computed only once every rule of the event is planned.
+        for ep in statics.iter_mut().chain(dynamics.values_mut()) {
+            Self::compute_invalidations(ep, coarse_invalidation);
         }
         let mut probe_mask = ProbeMask::EMPTY;
         for kind in ProbeKind::ALL {
@@ -269,21 +282,134 @@ impl DispatchPlan {
             };
             lat_slots.push(slot as u32);
         }
-        let mut invalidates: Vec<u32> = reg
-            .actions
-            .iter()
-            .filter_map(CompiledAction::mutated_lat)
-            .filter_map(|name| hoisted.iter().position(|h| h.name == name))
-            .map(|i| i as u32)
-            .collect();
-        invalidates.sort_unstable();
-        invalidates.dedup();
         PlanRule {
             reg: reg.clone(),
             lats: resolved,
             lat_slots,
-            invalidates,
+            invalidates: Vec::new(),
             broken: None,
+        }
+    }
+
+    /// Per-slot union of the columns read through the slot, lowercased.
+    /// `None` means "unknown — assume every column": a rule whose condition
+    /// was admitted without compilation, or whose action templates can read
+    /// the bound row (`{...}` substitution evaluates against the same
+    /// bindings the condition uses).
+    fn slot_read_columns(ep: &EventPlan) -> Vec<Option<BTreeSet<String>>> {
+        let slot_cols: Vec<Vec<String>> = ep
+            .hoisted
+            .iter()
+            .map(|h| {
+                h.lat
+                    .spec
+                    .columns()
+                    .iter()
+                    .map(|c| c.to_ascii_lowercase())
+                    .collect()
+            })
+            .collect();
+        let mut reads: Vec<Option<BTreeSet<String>>> =
+            vec![Some(BTreeSet::new()); ep.hoisted.len()];
+        for pr in &ep.rules {
+            if pr.lat_slots.iter().all(|&s| s == NO_HOIST) {
+                continue;
+            }
+            let templated = pr.reg.actions.iter().any(|a| match a {
+                CompiledAction::Other(Action::SendMail { to, template }) => {
+                    to.contains('{') || template.contains('{')
+                }
+                CompiledAction::Other(Action::RunExternal { template }) => template.contains('{'),
+                _ => false,
+            });
+            // `compiled: None` with LAT references only happens for rules
+            // admitted outside the normal registration path — unknown reads.
+            if templated || (pr.reg.compiled.is_none() && !pr.reg.cond_lats.is_empty()) {
+                for &slot in &pr.lat_slots {
+                    if slot != NO_HOIST {
+                        reads[slot as usize] = None;
+                    }
+                }
+                continue;
+            }
+            if let Some(c) = &pr.reg.compiled {
+                crate::rules::for_each_lat_col(c, &mut |lat_idx, col| {
+                    let Some(&slot) = pr.lat_slots.get(lat_idx) else {
+                        return;
+                    };
+                    if slot == NO_HOIST {
+                        return;
+                    }
+                    match slot_cols[slot as usize].get(col) {
+                        Some(name) => {
+                            if let Some(set) = reads[slot as usize].as_mut() {
+                                set.insert(name.clone());
+                            }
+                        }
+                        // Out-of-range column index: stale compilation,
+                        // give up on precision for this slot.
+                        None => reads[slot as usize] = None,
+                    }
+                });
+            }
+        }
+        reads
+    }
+
+    /// Assign each rule its Phase C invalidation entries. A slot mutated by
+    /// the rule is always invalidated — the refinement is the *mode*: when
+    /// the analyzer's write set for an `Insert` is disjoint from everything
+    /// the slot's readers read, the entry degrades to `only_if_missing` and
+    /// a live snapshot survives the firing. `Reset`, unknown effects, and
+    /// `coarse` all stay in always-clear mode.
+    fn compute_invalidations(ep: &mut EventPlan, coarse: bool) {
+        if ep.hoisted.is_empty() {
+            return;
+        }
+        let slot_reads = Self::slot_read_columns(ep);
+        let hoist_names: Vec<String> = ep.hoisted.iter().map(|h| h.name.clone()).collect();
+        for pr in &mut ep.rules {
+            let mut invalidates: Vec<Invalidation> = Vec::new();
+            for action in &pr.reg.actions {
+                let (name, is_insert) = match action {
+                    CompiledAction::Insert { lat, .. } => {
+                        (lat.spec.name.to_ascii_lowercase(), true)
+                    }
+                    CompiledAction::Reset(lat) => (lat.spec.name.to_ascii_lowercase(), false),
+                    CompiledAction::Other(Action::Insert { lat }) => {
+                        (lat.to_ascii_lowercase(), true)
+                    }
+                    CompiledAction::Other(Action::Reset { lat }) => {
+                        (lat.to_ascii_lowercase(), false)
+                    }
+                    _ => continue,
+                };
+                let Some(slot) = hoist_names.iter().position(|h| *h == name) else {
+                    continue;
+                };
+                let only_if_missing = is_insert
+                    && !coarse
+                    && match (&pr.reg.effects, &slot_reads[slot]) {
+                        (Some(eff), Some(reads)) => match eff.lat_writes.get(&name) {
+                            Some(w) if !w.whole_lat => reads
+                                .iter()
+                                .all(|r| !w.columns.iter().any(|c| c.eq_ignore_ascii_case(r))),
+                            _ => false,
+                        },
+                        _ => false,
+                    };
+                let entry = Invalidation {
+                    slot: slot as u32,
+                    only_if_missing,
+                };
+                match invalidates.iter_mut().find(|i| i.slot == entry.slot) {
+                    // Two actions on the same slot: the stricter mode wins.
+                    Some(prev) => prev.only_if_missing &= only_if_missing,
+                    None => invalidates.push(entry),
+                }
+            }
+            invalidates.sort_unstable_by_key(|i| i.slot);
+            pr.invalidates = invalidates;
         }
     }
 
@@ -455,6 +581,7 @@ mod tests {
             cond_lats: cond_lats.iter().map(|s| s.to_string()).collect(),
             cond_latency: LatencyHistogram::new(),
             action_latency: LatencyHistogram::new(),
+            effects: None,
         })
     }
 
@@ -468,7 +595,7 @@ mod tests {
             registered("b", RuleEvent::QueryCommit, &["l"]),
             registered("c", RuleEvent::QueryStart, &["l"]),
         ];
-        let plan = DispatchPlan::build(1, &rules, &lats);
+        let plan = DispatchPlan::build(1, &rules, &lats, false);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert_eq!(ep.rules.len(), 2);
         assert_eq!(ep.hoisted.len(), 1, "a and b share one slot");
@@ -489,7 +616,7 @@ mod tests {
     #[test]
     fn missing_lat_marks_rule_broken() {
         let rules = vec![registered("a", RuleEvent::QueryCommit, &["gone"])];
-        let plan = DispatchPlan::build(1, &rules, &HashMap::new());
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert!(ep.rules[0].broken.as_deref().unwrap().contains("gone"));
         assert!(ep.hoisted.is_empty());
@@ -498,7 +625,7 @@ mod tests {
     #[test]
     fn probe_mask_tracks_subscribed_kinds_only() {
         let rules = vec![registered("a", RuleEvent::QueryCommit, &[])];
-        let plan = DispatchPlan::build(1, &rules, &HashMap::new());
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false);
         assert!(plan.probe_mask.contains(ProbeKind::QueryCommit));
         assert!(!plan.probe_mask.contains(ProbeKind::Login));
         assert!(!plan.has_event(&RuleEvent::MonitorTick));
@@ -507,10 +634,15 @@ mod tests {
 
     #[test]
     fn plan_cell_load_survives_swap() {
-        let p1 = Arc::new(DispatchPlan::build(1, &[], &HashMap::new()));
+        let p1 = Arc::new(DispatchPlan::build(1, &[], &HashMap::new(), false));
         let cell = PlanCell::new(p1);
         let held = cell.load();
-        cell.swap(Arc::new(DispatchPlan::build(2, &[], &HashMap::new())));
+        cell.swap(Arc::new(DispatchPlan::build(
+            2,
+            &[],
+            &HashMap::new(),
+            false,
+        )));
         // The pre-swap reference is still valid (parked, not freed).
         assert_eq!(held.epoch, 1);
         assert_eq!(cell.load().epoch, 2);

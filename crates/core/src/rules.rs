@@ -434,6 +434,33 @@ pub fn compile(
     })
 }
 
+/// Visit every `LatCol` reference in a compiled condition — `(lat_idx,
+/// column_index)` per reference. Used at plan build to compute the exact set
+/// of columns each rule reads through its hoist slots.
+pub(crate) fn for_each_lat_col(e: &CompiledExpr, f: &mut impl FnMut(usize, usize)) {
+    match e {
+        CompiledExpr::LatCol { lat_idx, index } => f(*lat_idx, *index),
+        CompiledExpr::Lit(_) | CompiledExpr::Attr { .. } => {}
+        CompiledExpr::Unary { expr, .. } | CompiledExpr::IsNull { expr, .. } => {
+            for_each_lat_col(expr, f)
+        }
+        CompiledExpr::Binary { left, right, .. } => {
+            for_each_lat_col(left, f);
+            for_each_lat_col(right, f);
+        }
+        CompiledExpr::Like { expr, pattern, .. } => {
+            for_each_lat_col(expr, f);
+            for_each_lat_col(pattern, f);
+        }
+        CompiledExpr::InList { expr, list, .. } => {
+            for_each_lat_col(expr, f);
+            for e in list {
+                for_each_lat_col(e, f);
+            }
+        }
+    }
+}
+
 /// Evaluate a compiled condition with the ∃-semantics of [`eval_condition`].
 pub fn eval_condition_compiled(cond: &CompiledExpr, ctx: &EvalContext) -> Result<bool> {
     match eval_compiled(cond, ctx) {

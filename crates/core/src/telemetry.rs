@@ -72,6 +72,10 @@ pub(crate) struct Telem {
     pub hoisted_lookup_hits: ShardedCounter,
     /// LAT rows actually fetched by condition evaluation.
     pub lat_row_fetches: ShardedCounter,
+    /// Hoist-slot clears skipped because the analyzer proved the fired
+    /// rule's writes disjoint from every reader of the slot (each one is a
+    /// re-fetch the next reader did not pay).
+    pub hoist_invalidations_avoided: ShardedCounter,
     /// Rule/LAT registry lock acquisitions. Cold paths only: the dispatch hot
     /// path works off the immutable plan and must never move this counter —
     /// the no-subscriber regression test pins that.
@@ -89,6 +93,7 @@ impl Telem {
             plan_rebuilds: ShardedCounter::new(),
             hoisted_lookup_hits: ShardedCounter::new(),
             lat_row_fetches: ShardedCounter::new(),
+            hoist_invalidations_avoided: ShardedCounter::new(),
             reg_lock_acquisitions: ShardedCounter::new(),
         }
     }
@@ -154,6 +159,9 @@ pub struct DispatchTelemetry {
     /// Rule/LAT registry lock acquisitions (cold paths only; steady-state
     /// dispatch must not move this).
     pub reg_lock_acquisitions: u64,
+    /// Hoist-slot clears skipped because the fired rule's writes were
+    /// provably disjoint from the slot's readers.
+    pub hoist_invalidations_avoided: u64,
 }
 
 /// Per-probe-kind slice of a telemetry snapshot.
@@ -284,11 +292,13 @@ impl TelemetrySnapshot {
         );
         let _ = writeln!(
             out,
-            "dispatch plan: epoch={} rebuilds={} lat_row_fetches={} hoisted_hits={} reg_locks={}",
+            "dispatch plan: epoch={} rebuilds={} lat_row_fetches={} hoisted_hits={} \
+             invalidations_avoided={} reg_locks={}",
             self.dispatch.plan_epoch,
             self.dispatch.plan_rebuilds,
             self.dispatch.lat_row_fetches,
             self.dispatch.hoisted_lookup_hits,
+            self.dispatch.hoist_invalidations_avoided,
             self.dispatch.reg_lock_acquisitions,
         );
         let _ = writeln!(out, "probes:");
@@ -377,12 +387,13 @@ impl TelemetrySnapshot {
             self.stats.action_errors
         ));
         out.push_str(&format!(
-            ",\"dispatch\":{{\"plan_epoch\":{},\"plan_rebuilds\":{},\"hoisted_lookup_hits\":{},\"lat_row_fetches\":{},\"reg_lock_acquisitions\":{}}}",
+            ",\"dispatch\":{{\"plan_epoch\":{},\"plan_rebuilds\":{},\"hoisted_lookup_hits\":{},\"lat_row_fetches\":{},\"reg_lock_acquisitions\":{},\"hoist_invalidations_avoided\":{}}}",
             self.dispatch.plan_epoch,
             self.dispatch.plan_rebuilds,
             self.dispatch.hoisted_lookup_hits,
             self.dispatch.lat_row_fetches,
-            self.dispatch.reg_lock_acquisitions
+            self.dispatch.reg_lock_acquisitions,
+            self.dispatch.hoist_invalidations_avoided
         ));
         out.push_str(",\"probes\":[");
         for (i, p) in self.probes.iter().enumerate() {

@@ -1,6 +1,6 @@
 //! Registration-time static analysis: `Sqlcm::add_rule` / `define_lat` deny
-//! rules with error-severity diagnostics (coded E001–E004) and collect
-//! warnings (W101/W102/W201) without blocking.
+//! rules with error-severity diagnostics (coded E001–E006) and collect
+//! warnings (W1xx/W2xx/W3xx) without blocking.
 
 use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
 use sqlcm_engine::Engine;
@@ -212,6 +212,105 @@ fn costly_rule_warns_w201() {
         warnings.iter().any(|d| d.code.as_str() == "W201"),
         "{warnings:?}"
     );
+}
+
+#[test]
+fn unsatisfiable_condition_is_denied_with_e006() {
+    let (_engine, sqlcm) = setup();
+    sqlcm.define_lat(duration_lat()).unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Duration_LAT")),
+        )
+        .unwrap();
+    // COUNT columns are non-negative: the interval analysis proves the
+    // condition can never hold and denies the rule.
+    let err = sqlcm
+        .add_rule(
+            Rule::new("dead")
+                .on(RuleEvent::QueryCommit)
+                .when("Duration_LAT.N < 0")
+                .then(Action::send_mail("dba", "never")),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("E006"), "{err}");
+    assert_eq!(sqlcm.rule_count(), 1);
+}
+
+#[test]
+fn read_only_lat_column_warns_w203_but_registers() {
+    let (_engine, sqlcm) = setup();
+    sqlcm.define_lat(duration_lat()).unwrap();
+    // No rule inserts into Duration_LAT, so its aggregates never change:
+    // the probe is almost certainly missing its feeder. Warning, not denial.
+    sqlcm
+        .add_rule(
+            Rule::new("probe")
+                .on(RuleEvent::QueryCommit)
+                .when("Duration_LAT.Avg_Duration > 100")
+                .then(Action::send_mail("dba", "slow")),
+        )
+        .unwrap();
+    assert_eq!(sqlcm.rule_count(), 1);
+    let warnings = sqlcm.analysis_warnings();
+    assert!(
+        warnings.iter().any(|d| d.code.as_str() == "W203"),
+        "{warnings:?}"
+    );
+}
+
+#[test]
+fn analysis_warnings_dedupe_cap_and_clear() {
+    let (_engine, sqlcm) = setup();
+    // Re-registering the same shape re-emits the same (code, rule, message)
+    // warning; the log keeps a single copy.
+    for _ in 0..3 {
+        sqlcm
+            .add_rule(
+                Rule::new("dead")
+                    .on(RuleEvent::QueryCommit)
+                    .when("Session.Success = FALSE")
+                    .then(Action::send_mail("dba", "x")),
+            )
+            .unwrap();
+        assert!(sqlcm.remove_rule("dead"));
+    }
+    let warnings = sqlcm.analysis_warnings();
+    let w101 = warnings
+        .iter()
+        .filter(|d| d.code.as_str() == "W101" && d.rule == "dead")
+        .count();
+    assert_eq!(w101, 1, "{warnings:?}");
+
+    // Distinct rule names produce distinct entries, and the log is bounded:
+    // the oldest entries fall off once the cap is reached.
+    for i in 0..1100 {
+        let name = format!("dead{i}");
+        sqlcm
+            .add_rule(
+                Rule::new(&name)
+                    .on(RuleEvent::QueryCommit)
+                    .when("Session.Success = FALSE")
+                    .then(Action::send_mail("dba", "x")),
+            )
+            .unwrap();
+        assert!(sqlcm.remove_rule(&name));
+    }
+    let warnings = sqlcm.analysis_warnings();
+    assert_eq!(warnings.len(), 1024, "cap is 1024, oldest dropped");
+    assert!(
+        !warnings.iter().any(|d| d.rule == "dead"),
+        "the very first entry was evicted"
+    );
+    assert!(
+        warnings.iter().any(|d| d.rule == "dead1099"),
+        "the newest entry is retained"
+    );
+
+    sqlcm.clear_analysis_warnings();
+    assert!(sqlcm.analysis_warnings().is_empty());
 }
 
 #[test]

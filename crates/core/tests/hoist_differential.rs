@@ -1,0 +1,175 @@
+//! Differential test for analysis-driven hoist invalidation: the precise
+//! mode (effect summaries decide whether a fired rule's writes can be seen
+//! by later readers of the shared row snapshot) must be observationally
+//! identical to the coarse mode (every mutation clears the snapshot) —
+//! same rule firings, same evaluations, same final LAT contents — on a
+//! randomized mutate/read event mix. Only the fetch counters may differ,
+//! and they must differ in the right direction: the precise monitor avoids
+//! re-fetches the coarse one pays.
+
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn commit_event(sig: u64, secs: f64) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(sig, "SELECT 1");
+    q.logical_signature = Some(sig);
+    q.duration_micros = (secs * 1e6) as u64;
+    EngineEvent::QueryCommit(q)
+}
+
+/// Key-readers before and after a block of Insert mutators, plus aggregate
+/// readers on a second LAT (which genuinely see the mutators' writes) and a
+/// periodic Reset. The layout exercises every invalidation mode:
+/// * key-reader after Insert → `only_if_missing` (snapshot survives),
+/// * aggregate-reader after Insert → always clear (read-your-writes),
+/// * everyone after Reset → always clear.
+///
+/// The aggregate readers live on Stats_LAT rather than Wide_LAT because the
+/// row snapshot is shared per (event, LAT): one aggregate reader would widen
+/// the slot's read union to the feeds' write columns and force the coarse
+/// path for the key-readers too.
+fn build_monitor(coarse: bool) -> (Engine, Sqlcm) {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm.set_coarse_invalidation(coarse);
+    for name in ["Wide_LAT", "Stats_LAT"] {
+        sqlcm
+            .define_lat(
+                LatSpec::new(name)
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Count, "", "N")
+                    .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D"),
+            )
+            .unwrap();
+    }
+    sqlcm
+        .add_rule(
+            Rule::new("key_before")
+                .on(RuleEvent::QueryCommit)
+                .when("Wide_LAT.Sig = 3")
+                .then(Action::send_mail("dba", "sig3 exists")),
+        )
+        .unwrap();
+    for i in 0..4 {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("feed{i}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!("Query.Duration > 0.{}", 2 * i))
+                    .then(Action::insert("Wide_LAT"))
+                    .then(Action::insert("Stats_LAT")),
+            )
+            .unwrap();
+    }
+    for i in 0..4 {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("key_after{i}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!("Wide_LAT.Sig = {i}"))
+                    .then(Action::send_mail("dba", "sig seen")),
+            )
+            .unwrap();
+    }
+    sqlcm
+        .add_rule(
+            Rule::new("agg_after")
+                .on(RuleEvent::QueryCommit)
+                .when("Stats_LAT.N >= 5 AND Stats_LAT.Avg_D > 0.2")
+                .then(Action::send_mail("dba", "hot signature")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("flush")
+                .on(RuleEvent::QueryCommit)
+                .when("Stats_LAT.N >= 40")
+                .then(Action::reset("Wide_LAT"))
+                .then(Action::reset("Stats_LAT")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("key_last")
+                .on(RuleEvent::QueryCommit)
+                .when("Wide_LAT.Sig = 2")
+                .then(Action::send_mail("dba", "sig2 exists")),
+        )
+        .unwrap();
+    (engine, sqlcm)
+}
+
+fn rule_names() -> Vec<String> {
+    let mut names = vec!["key_before".to_string()];
+    names.extend((0..4).map(|i| format!("feed{i}")));
+    names.extend((0..4).map(|i| format!("key_after{i}")));
+    names.extend([
+        "agg_after".to_string(),
+        "flush".to_string(),
+        "key_last".to_string(),
+    ]);
+    names
+}
+
+#[test]
+fn precise_and_coarse_invalidation_agree_observably() {
+    let (_e1, precise) = build_monitor(false);
+    let (_e2, coarse) = build_monitor(true);
+
+    // Deterministic LCG over (signature, duration) pairs; small signature
+    // space so rows are created, re-read, and reset many times over.
+    let mut state = 0x2545f491_4f6cdd1d_u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for _ in 0..2_000 {
+        let sig = next() % 6;
+        let secs = (next() % 1_000) as f64 / 1e3;
+        let ev = commit_event(sig, secs);
+        precise.inject_event(&ev);
+        coarse.inject_event(&ev);
+    }
+
+    // Observable behavior must match exactly.
+    for name in rule_names() {
+        let p = precise.rule(&name).unwrap().stats();
+        let c = coarse.rule(&name).unwrap().stats();
+        assert_eq!(
+            (p.evaluations, p.fires, p.action_errors),
+            (c.evaluations, c.fires, c.action_errors),
+            "rule {name} diverged"
+        );
+        assert!(p.fires > 0, "rule {name} never fired: weak scenario");
+    }
+    for lat in ["Wide_LAT", "Stats_LAT"] {
+        assert_eq!(
+            precise.lat(lat).unwrap().rows_ordered(),
+            coarse.lat(lat).unwrap().rows_ordered(),
+            "{lat} contents diverged"
+        );
+    }
+    assert_eq!(precise.stats(), coarse.stats());
+
+    // The modes must differ exactly where intended: the precise monitor
+    // skips clears the analyzer proved unnecessary and so fetches less.
+    let pd = precise.telemetry().dispatch;
+    let cd = coarse.telemetry().dispatch;
+    assert!(
+        pd.hoist_invalidations_avoided > 0,
+        "precise mode never exercised its refinement"
+    );
+    assert_eq!(
+        cd.hoist_invalidations_avoided, 0,
+        "coarse mode must not skip"
+    );
+    assert!(
+        pd.lat_row_fetches < cd.lat_row_fetches,
+        "precise fetched {} rows, coarse {} — no win",
+        pd.lat_row_fetches,
+        cd.lat_row_fetches
+    );
+}

@@ -20,14 +20,18 @@
 //!   conflicts on hot rows (Example 2, blocking hotspots).
 //! * [`skewed`] — a second, skewed "customer-like" workload standing in for the
 //!   unreported real customer workload of §6.2.2.
+//! * [`rules`] — the lint-clean monitoring rule catalog each workload runs
+//!   under; CI re-lints every catalog in deny-warnings mode.
 
 pub mod blocking;
 pub mod mixed;
 pub mod procs;
+pub mod rules;
 pub mod skewed;
 pub mod tpch;
 
 pub use mixed::{point_select_workload, MixedConfig, WorkloadQuery};
+pub use rules::{catalogs, RuleCatalog};
 pub use tpch::{TpchConfig, TpchDb};
 
 use sqlcm_common::Result;

@@ -5,15 +5,24 @@
 //! every diagnostic with its stable code.
 //!
 //! ```text
-//! cargo run --example lint_rules          # the paper's example ruleset: clean
-//! cargo run --example lint_rules -- --bad # adds one broken rule per code
+//! cargo run --example lint_rules                  # the paper's example ruleset: clean
+//! cargo run --example lint_rules -- --bad         # adds broken rules, ≥1 per code
+//! cargo run --example lint_rules -- --workloads   # lint the shipped workload catalogs
+//! cargo run --example lint_rules -- --workloads --deny-warnings   # CI mode
 //! ```
 //!
-//! Exits non-zero when any error-severity diagnostic is reported, so the
-//! command slots into CI for rule catalogs kept under version control.
+//! Exits non-zero when any error-severity diagnostic is reported — or, with
+//! `--deny-warnings`, when any diagnostic at all is reported — so the command
+//! slots into CI for rule catalogs kept under version control.
 
 use sqlcm_core::analysis::{lat_ir, rule_ir};
 use sqlcm_core::{Action, Analyzer, Diagnostic, LatAggFunc, LatSpec, Rule, RuleEvent, Severity};
+use sqlcm_repro::workloads::rules::catalogs;
+
+/// Cascade threshold used in `--bad` mode. The default (64) is sized for real
+/// deployments; the demo lowers it so a 13-evaluation cascade is enough to
+/// show W302 without drowning the output in filler rules.
+const DEMO_CASCADE_THRESHOLD: usize = 12;
 
 /// The paper's §3 idioms: outlier detection (Example 1), top-k with periodic
 /// persist (Example 3), and an eviction spill rule (§4.3).
@@ -47,7 +56,7 @@ fn good_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
     (lats, rules)
 }
 
-/// One deliberately broken rule (or LAT) per diagnostic code.
+/// At least one deliberately broken rule (or LAT) per diagnostic code.
 fn bad_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
     let (mut lats, mut rules) = good_ruleset();
     // E001: LAT spec with a misspelled source attribute.
@@ -55,6 +64,35 @@ fn bad_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
         LatSpec::new("Broken_LAT")
             .group_by("Query.Logical_Signatur", "Sig")
             .aggregate(LatAggFunc::Count, "", "N"),
+    );
+    // E005: shard count outside the supported range.
+    lats.push(
+        LatSpec::new("Oversharded_LAT")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .shards(0),
+    );
+    // W202: more shards than the LAT can ever hold rows.
+    lats.push(
+        LatSpec::new("Tiny_LAT")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+            .order_by("D", true)
+            .max_rows(4)
+            .shards(16),
+    );
+    // W203: defined and read below, but never fed by any Insert.
+    lats.push(
+        LatSpec::new("Idle_LAT")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N"),
+    );
+    // W302: a bounded LAT whose eviction fans out into many spill rules.
+    lats.push(
+        LatSpec::new("Spill_LAT")
+            .group_by("Transaction.ID", "Txn")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .max_rows(5),
     );
     rules.extend([
         // E001: probing a LAT that was never defined.
@@ -74,6 +112,11 @@ fn bad_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
         Rule::new("refill")
             .on(RuleEvent::LatEviction("TopK".into()))
             .then(Action::insert("TopK")),
+        // E006: COUNT columns are non-negative — provably unsatisfiable.
+        Rule::new("never_fires")
+            .on(RuleEvent::QueryCommit)
+            .when("Duration_LAT.N < 0")
+            .then(Action::send_mail("dba", "unreachable")),
         // W101: Session never in scope on QueryCommit — the rule is dead.
         Rule::new("dead")
             .on(RuleEvent::QueryCommit)
@@ -90,7 +133,49 @@ fn bad_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
             .then(Action::persist_lat("history", "Duration_LAT"))
             .then(Action::send_mail("dba", "x"))
             .then(Action::run_external("archive $Query.ID")),
+        // W103: COUNT is always >= 0 — the condition is a tautology.
+        Rule::new("always_fires")
+            .on(RuleEvent::QueryCommit)
+            .when("Duration_LAT.N >= 0")
+            .then(Action::send_mail("dba", "every single commit")),
+        // W104: the average can be zero (or still NULL) — possible div by 0.
+        Rule::new("ratio_probe")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration / Duration_LAT.Avg_Duration > 5")
+            .then(Action::send_mail("dba", "slow ratio")),
+        // W203: Idle_LAT has no feeder anywhere in the ruleset.
+        Rule::new("readonly_probe")
+            .on(RuleEvent::QueryCommit)
+            .when("Idle_LAT.N > 10")
+            .then(Action::send_mail("dba", "idle lat moved?")),
+        // W301: `order_writer` mutates what the adjacent earlier rule reads —
+        // swapping the pair changes what `order_reader` observes.
+        Rule::new("order_reader")
+            .on(RuleEvent::QueryCommit)
+            .when("Duration_LAT.Avg_Duration > 2")
+            .then(Action::send_mail("dba", "avg drifted")),
+        Rule::new("order_writer")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration > 30")
+            .then(Action::insert("Duration_LAT")),
     ]);
+    // W302: each eviction from Spill_LAT triggers 12 spill handlers; the
+    // feeding rule amplifies one commit past the (demo) cascade threshold.
+    for i in 0..DEMO_CASCADE_THRESHOLD {
+        rules.push(
+            Rule::new(format!("spill{i}"))
+                .on(RuleEvent::LatEviction("Spill_LAT".into()))
+                .then(Action::persist_lat(
+                    &format!("spill_shard_{i}"),
+                    "Spill_LAT",
+                )),
+        );
+    }
+    rules.push(
+        Rule::new("cascade_src")
+            .on(RuleEvent::TxnCommit)
+            .then(Action::insert("Spill_LAT")),
+    );
     (lats, rules)
 }
 
@@ -108,41 +193,80 @@ fn print_diag(d: &Diagnostic) {
     }
 }
 
+/// Lint one (LAT, rule) set with a fresh analyzer; returns its diagnostics.
+fn lint(lats: &[LatSpec], rules: &[Rule], cascade_threshold: Option<usize>) -> Vec<Diagnostic> {
+    let mut analyzer = Analyzer::new();
+    if let Some(t) = cascade_threshold {
+        analyzer.cascade_threshold = t;
+    }
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for spec in lats {
+        diags.extend(analyzer.check_lat(&lat_ir(spec)));
+    }
+    for rule in rules {
+        diags.extend(analyzer.check_rule(&rule_ir(rule)));
+    }
+    diags
+}
+
 fn main() {
     let mut bad = false;
+    let mut workloads = false;
+    let mut deny_warnings = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--bad" => bad = true,
+            "--workloads" => workloads = true,
+            "--deny-warnings" => deny_warnings = true,
             other => {
-                eprintln!("unknown argument `{other}` (usage: lint_rules [--bad])");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (usage: lint_rules [--bad] [--workloads] [--deny-warnings])"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let (lats, rules) = if bad { bad_ruleset() } else { good_ruleset() };
 
-    let mut analyzer = Analyzer::new();
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    for spec in &lats {
-        diags.extend(analyzer.check_lat(&lat_ir(spec)));
-    }
-    for rule in &rules {
-        diags.extend(analyzer.check_rule(&rule_ir(rule)));
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    if workloads {
+        // Each workload catalog is an independent ruleset: fresh analyzer each.
+        for catalog in catalogs() {
+            let diags = lint(&catalog.lats, &catalog.rules, None);
+            println!(
+                "catalog `{}` ({}): {} LAT(s), {} rule(s), {} diagnostic(s)",
+                catalog.name,
+                catalog.scenario,
+                catalog.lats.len(),
+                catalog.rules.len(),
+                diags.len()
+            );
+            for d in &diags {
+                print_diag(d);
+            }
+            errors += diags.iter().filter(|d| d.is_error()).count();
+            warnings += diags.iter().filter(|d| !d.is_error()).count();
+        }
+    } else {
+        let (lats, rules) = if bad { bad_ruleset() } else { good_ruleset() };
+        let threshold = bad.then_some(DEMO_CASCADE_THRESHOLD);
+        let diags = lint(&lats, &rules, threshold);
+        println!(
+            "linted {} LAT spec(s), {} rule(s): {} diagnostic(s)\n",
+            lats.len(),
+            rules.len(),
+            diags.len()
+        );
+        for d in &diags {
+            print_diag(d);
+        }
+        errors = diags.iter().filter(|d| d.is_error()).count();
+        warnings = diags.iter().filter(|d| !d.is_error()).count();
     }
 
-    println!(
-        "linted {} LAT spec(s), {} rule(s): {} diagnostic(s)\n",
-        lats.len(),
-        rules.len(),
-        diags.len()
-    );
-    for d in &diags {
-        print_diag(d);
-    }
-    let errors = diags.iter().filter(|d| d.is_error()).count();
-    let warnings = diags.len() - errors;
     println!("\n{errors} error(s), {warnings} warning(s)");
-    if errors > 0 {
+    if errors > 0 || (deny_warnings && warnings > 0) {
         std::process::exit(1);
     }
 }
