@@ -46,6 +46,51 @@ pub(crate) fn raised_events(
     out
 }
 
+/// Longest cascade chain an admitted ruleset can produce, measured in
+/// *cascaded events*: a root event handled directly is depth 0, every
+/// eviction/timer event a handler's actions raise sits one deeper. The
+/// runtime's causal traces record the same measure per dispatched event, so
+/// observed trace depths must never exceed this bound — the cross-check the
+/// trace-tree tests pin.
+///
+/// The admitted set is acyclic (E004 denies cycles at registration), but the
+/// walk still guards against one defensively — a rule on a cycle reports the
+/// trivial upper bound `rules.len()` instead of recursing forever.
+pub fn max_cascade_depth(universe: &SchemaUniverse, rules: &[RuleIr]) -> usize {
+    fn depth_of(
+        universe: &SchemaUniverse,
+        all: &[RuleIr],
+        i: usize,
+        visiting: &mut [bool],
+        memo: &mut [Option<usize>],
+    ) -> usize {
+        if let Some(d) = memo[i] {
+            return d;
+        }
+        if visiting[i] {
+            return all.len();
+        }
+        visiting[i] = true;
+        let mut deepest = 0usize;
+        for (kind, arg) in raised_events(universe, &all[i]) {
+            for (j, r) in all.iter().enumerate() {
+                if r.event.is(kind, &arg) {
+                    deepest = deepest.max(1 + depth_of(universe, all, j, visiting, memo));
+                }
+            }
+        }
+        visiting[i] = false;
+        memo[i] = Some(deepest);
+        deepest
+    }
+    let mut visiting = vec![false; rules.len()];
+    let mut memo = vec![None; rules.len()];
+    (0..rules.len())
+        .map(|i| depth_of(universe, rules, i, &mut visiting, &mut memo))
+        .max()
+        .unwrap_or(0)
+}
+
 /// Reject a cascade cycle that `new` would close.
 pub fn check_cascades(
     universe: &SchemaUniverse,
@@ -273,6 +318,77 @@ mod tests {
             vec![ActionIr::Insert { lat: "Open".into() }],
         ));
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cascade_depth_bound_follows_the_eviction_chain() {
+        let mut a = Analyzer::new();
+        assert!(a.check_lat(&bounded_lat("A")).is_empty());
+        assert!(a.check_lat(&bounded_lat("B")).is_empty());
+        assert_eq!(a.max_cascade_depth(), 0, "no rules, no cascades");
+        assert!(a
+            .check_rule(&rule(
+                "feed_a",
+                "QueryCommit",
+                None,
+                &["Query"],
+                vec![ActionIr::Insert { lat: "A".into() }],
+            ))
+            .is_empty());
+        // Nothing subscribes to A's evictions yet: the insert raises an
+        // event no rule handles, so no *rule chain* extends past depth 0.
+        assert_eq!(a.max_cascade_depth(), 0);
+        assert!(a
+            .check_rule(&rule(
+                "spill",
+                "LatEviction",
+                Some("A"),
+                &["Evicted(A)"],
+                vec![ActionIr::Insert { lat: "B".into() }],
+            ))
+            .is_empty());
+        assert_eq!(a.max_cascade_depth(), 1, "commit -> eviction(A)");
+        assert!(a
+            .check_rule(&rule(
+                "archive",
+                "LatEviction",
+                Some("B"),
+                &["Evicted(B)"],
+                vec![ActionIr::SendMail],
+            ))
+            .is_empty());
+        assert_eq!(
+            a.max_cascade_depth(),
+            2,
+            "commit -> eviction(A) -> eviction(B)"
+        );
+    }
+
+    #[test]
+    fn cascade_depth_bound_ignores_unbounded_inserts() {
+        let mut a = Analyzer::new();
+        let mut lat = bounded_lat("Open");
+        lat.bounded = false;
+        assert!(a.check_lat(&lat).is_empty());
+        assert!(a
+            .check_rule(&rule(
+                "feed",
+                "QueryCommit",
+                None,
+                &["Query"],
+                vec![ActionIr::Insert { lat: "Open".into() }],
+            ))
+            .is_empty());
+        assert!(a
+            .check_rule(&rule(
+                "never",
+                "LatEviction",
+                Some("Open"),
+                &["Evicted(Open)"],
+                vec![ActionIr::SendMail],
+            ))
+            .is_empty());
+        assert_eq!(a.max_cascade_depth(), 0, "unbounded LATs never evict");
     }
 
     #[test]

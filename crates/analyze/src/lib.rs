@@ -343,6 +343,15 @@ impl Analyzer {
         effects::rule_effects(&self.universe, rule)
     }
 
+    /// Longest cascade chain the admitted ruleset can produce, in cascaded
+    /// events (root events are depth 0). Runtime causal traces record the
+    /// same measure, so their observed depths must stay within this bound —
+    /// the trace-vs-analyzer cross-check. See
+    /// [`depgraph::max_cascade_depth`].
+    pub fn max_cascade_depth(&self) -> usize {
+        depgraph::max_cascade_depth(&self.universe, &self.rules)
+    }
+
     /// E001 for actions that target a LAT the universe does not know.
     fn check_action_targets(&self, rule: &RuleIr, diags: &mut Vec<Diagnostic>) {
         for action in &rule.actions {

@@ -56,6 +56,7 @@ pub mod rules;
 pub mod sinks;
 pub mod telemetry;
 pub mod timer;
+pub mod trace;
 
 pub use actions::Action;
 pub use analysis::{Analyzer, Code, Diagnostic, Severity};
@@ -70,3 +71,6 @@ pub use telemetry::{
     DispatchTelemetry, LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, TelemetrySnapshot,
 };
 pub use timer::TimerRegistry;
+pub use trace::{
+    chrome_trace_json, SpanKind, TraceSampling, TraceSnapshot, TraceSpan, TracingTelemetry,
+};

@@ -48,6 +48,7 @@ use crate::telemetry::{
     TelemetrySnapshot, SELF_MONITOR_TIMER,
 };
 use crate::timer::TimerRegistry;
+use crate::trace::{explain_condition, TraceCtx, TraceSampling, TraceSnapshot, Tracer, NONE_SPAN};
 
 /// Upper bound on retained analyzer warnings; the oldest are dropped first.
 const MAX_ANALYSIS_WARNINGS: usize = 1024;
@@ -100,6 +101,8 @@ struct SqlcmInner {
     coarse_invalidation: AtomicBool,
     /// Self-telemetry state (probe/rule/LAT metrics, flight recorder).
     telemetry: Telem,
+    /// Causal-trace state (sampling policy, trace ring, span pool).
+    tracer: Tracer,
     shutdown: AtomicBool,
 }
 
@@ -116,8 +119,7 @@ struct SqlcmMonitor {
 
 thread_local! {
     static PROCESSING: Cell<bool> = const { Cell::new(false) };
-    static PENDING: RefCell<VecDeque<(RuleEvent, Vec<Object>)>> =
-        const { RefCell::new(VecDeque::new()) };
+    static PENDING: RefCell<VecDeque<Queued>> = const { RefCell::new(VecDeque::new()) };
     /// Pooled payload buffers; borrowed only in short spans that never run
     /// user code, so re-entrant probes cannot observe an active borrow.
     static SCRATCH: RefCell<PayloadScratch> = const {
@@ -126,6 +128,23 @@ thread_local! {
             values: Vec::new(),
         })
     };
+    /// Provenance of the currently executing action: `(causing span,
+    /// cascade depth of events it queues)`. Set only while a *traced* action
+    /// runs, so deferred side effects — re-entrant probes and LAT evictions
+    /// queued to [`PENDING`] — carry the cause link and depth of the trace.
+    /// `(NONE_SPAN, 0)` whenever no traced action is on the stack.
+    static CASCADE_ORIGIN: Cell<(u32, u32)> = const { Cell::new((NONE_SPAN, 0)) };
+}
+
+/// One deferred event awaiting the drain loop of [`SqlcmInner::dispatch_with`]:
+/// the deferred-side-effect semantics of §5, plus the causal-trace links.
+struct Queued {
+    kind: RuleEvent,
+    objects: Vec<Object>,
+    /// Span that caused this event ([`NONE_SPAN`] when untraced).
+    cause: u32,
+    /// Cascade depth (root events are 0; each deferred hop adds 1).
+    depth: u32,
 }
 
 /// Thread-local pools recycling the payload `Vec<Object>` and each object's
@@ -187,6 +206,25 @@ fn kind_of(event: &EngineEvent) -> RuleEvent {
         EngineEvent::TxnRollback(_) => RuleEvent::TxnRollback,
         EngineEvent::Login(_) => RuleEvent::Login,
         EngineEvent::Logout(_) => RuleEvent::Logout,
+    }
+}
+
+/// Static display label of a compiled action, for trace action spans.
+fn compiled_action_label(action: &CompiledAction) -> &'static str {
+    match action {
+        CompiledAction::Insert { .. } => "Insert",
+        CompiledAction::Reset(_) => "Reset",
+        CompiledAction::PersistLat { .. } => "PersistLat",
+        CompiledAction::Other(a) => match a {
+            Action::Insert { .. } => "Insert",
+            Action::Reset { .. } => "Reset",
+            Action::PersistObject { .. } => "PersistObject",
+            Action::PersistLat { .. } => "PersistLat",
+            Action::SendMail { .. } => "SendMail",
+            Action::RunExternal { .. } => "RunExternal",
+            Action::Cancel { .. } => "Cancel",
+            Action::SetTimer { .. } => "SetTimer",
+        },
     }
 }
 
@@ -293,10 +331,24 @@ impl SqlcmInner {
         let kind = kind_of(event);
         if PROCESSING.with(|p| p.get()) {
             // Re-entrant probe (a rule action touched the engine): queue an
-            // owned payload for the outer dispatch to drain.
-            PENDING.with(|q| q.borrow_mut().push_back((kind, payload_objects(event))));
+            // owned payload for the outer dispatch to drain, citing the
+            // running action (if traced) as its cause.
+            let (cause, depth) = CASCADE_ORIGIN.with(|c| c.get());
+            PENDING.with(|q| {
+                q.borrow_mut().push_back(Queued {
+                    kind,
+                    objects: payload_objects(event),
+                    cause,
+                    depth,
+                })
+            });
             return;
         }
+        // Sampling decision: with tracing off this is one relaxed atomic
+        // load — the clock is read only when the event is actually sampled.
+        let mut trace = self
+            .tracer
+            .sample_probe(event.kind(), || self.clock.now_micros());
         let (mut objs, mut bufs) = SCRATCH.with(|s| {
             let mut sc = s.borrow_mut();
             (
@@ -305,7 +357,10 @@ impl SqlcmInner {
             )
         });
         payload_objects_in(event, &mut objs, &mut bufs);
-        self.dispatch_with(plan, &kind, &objs);
+        self.dispatch_with(plan, &kind, &objs, &mut trace);
+        if let Some(ctx) = trace {
+            self.tracer.finish(ctx);
+        }
         SCRATCH.with(|s| {
             let mut sc = s.borrow_mut();
             // Recycle: the value buffers go back into `bufs`, and `bufs` —
@@ -329,24 +384,43 @@ impl SqlcmInner {
     /// tests): enqueue if re-entrant, else process under the current plan.
     fn dispatch(&self, kind: RuleEvent, objects: Vec<Object>) {
         if PROCESSING.with(|p| p.get()) {
-            PENDING.with(|q| q.borrow_mut().push_back((kind, objects)));
+            let (cause, depth) = CASCADE_ORIGIN.with(|c| c.get());
+            PENDING.with(|q| {
+                q.borrow_mut().push_back(Queued {
+                    kind,
+                    objects,
+                    cause,
+                    depth,
+                })
+            });
             return;
         }
         let plan = self.plan.load();
-        self.dispatch_with(plan, &kind, &objects);
+        let mut trace = self.tracer.sample_internal(|| self.clock.now_micros());
+        self.dispatch_with(plan, &kind, &objects, &mut trace);
+        if let Some(ctx) = trace {
+            self.tracer.finish(ctx);
+        }
     }
 
     /// Process one event and drain whatever the processing generated, all
     /// under a single plan: "for any given event, all applicable rules are
     /// triggered before any later event is processed" — the applicable set is
-    /// whatever plan was current when the batch started.
-    fn dispatch_with(&self, plan: &DispatchPlan, kind: &RuleEvent, objects: &[Object]) {
+    /// whatever plan was current when the batch started. When `trace` is
+    /// active, the root and every drained cascade hop record into it.
+    fn dispatch_with(
+        &self,
+        plan: &DispatchPlan,
+        kind: &RuleEvent,
+        objects: &[Object],
+        trace: &mut Option<TraceCtx>,
+    ) {
         PROCESSING.with(|p| p.set(true));
-        self.handle_one(plan, kind, objects);
+        self.handle_one(plan, kind, objects, trace, NONE_SPAN, 0);
         loop {
             let next = PENDING.with(|q| q.borrow_mut().pop_front());
             match next {
-                Some((k, o)) => self.handle_one(plan, &k, &o),
+                Some(q) => self.handle_one(plan, &q.kind, &q.objects, trace, q.cause, q.depth),
                 None => break,
             }
         }
@@ -354,9 +428,23 @@ impl SqlcmInner {
     }
 
     /// Evaluate every rule subscribed to this event, in registration order.
-    fn handle_one(&self, plan: &DispatchPlan, kind: &RuleEvent, objects: &[Object]) {
+    /// `cause`/`depth` are the trace-provenance link of a drained deferred
+    /// event ([`NONE_SPAN`]/0 for the root).
+    fn handle_one(
+        &self,
+        plan: &DispatchPlan,
+        kind: &RuleEvent,
+        objects: &[Object],
+        trace: &mut Option<TraceCtx>,
+        cause: u32,
+        depth: u32,
+    ) {
         let Some(ep) = plan.event_plan(kind) else {
             return;
+        };
+        let event_span = match trace.as_mut() {
+            Some(ctx) => ctx.open_event(ep.label.clone(), cause, depth),
+            None => NONE_SPAN,
         };
         // Enabled-ness snapshot: fixed before any rule runs, so an action
         // disabling a later rule mid-event does not affect the current event
@@ -390,8 +478,11 @@ impl SqlcmInner {
         };
         for (i, pr) in ep.rules.iter().enumerate() {
             if enabled[i] {
-                self.evaluate_rule(ep, pr, objects, slots);
+                self.evaluate_rule(ep, pr, objects, slots, trace, event_span, depth);
             }
+        }
+        if let Some(ctx) = trace.as_mut() {
+            ctx.close(event_span);
         }
     }
 
@@ -404,12 +495,16 @@ impl SqlcmInner {
     /// Evaluate one rule against the event context, iterating over live objects
     /// for classes the event does not cover (§5.2). `slots` is the event-shared
     /// hoisted LAT-row store.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_rule(
         &self,
         ep: &EventPlan,
         pr: &PlanRule,
         base: &[Object],
         slots: &mut [HoistState],
+        trace: &mut Option<TraceCtx>,
+        event_span: u32,
+        depth: u32,
     ) {
         // Fast path (the overwhelmingly common case, and the one Figure 2
         // stresses): every class the condition references is already in the
@@ -420,7 +515,7 @@ impl SqlcmInner {
             .iter()
             .all(|c| base.iter().any(|o| o.class == *c))
         {
-            self.evaluate_combo(ep, pr, base, slots);
+            self.evaluate_combo(ep, pr, base, slots, trace, event_span, depth);
             return;
         }
         let covered: Vec<&ClassName> = base.iter().map(|o| &o.class).collect();
@@ -499,7 +594,7 @@ impl SqlcmInner {
                     if let Some(t) = t {
                         combo.push(t.clone());
                     }
-                    self.evaluate_combo(ep, pr, &combo, slots);
+                    self.evaluate_combo(ep, pr, &combo, slots, trace, event_span, depth);
                 }
             }
         }
@@ -508,21 +603,33 @@ impl SqlcmInner {
     /// Evaluate the condition against one object combination — LAT rows come
     /// from the event-shared hoist `slots` where the plan hoisted the lookup —
     /// and run the actions when it fires.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_combo(
         &self,
         _ep: &EventPlan,
         pr: &PlanRule,
         combo: &[Object],
         slots: &mut [HoistState],
+        trace: &mut Option<TraceCtx>,
+        event_span: u32,
+        depth: u32,
     ) {
         let reg = &*pr.reg;
         reg.rule.evaluations.fetch_add(1, Ordering::Relaxed);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let rule_span = match trace.as_mut() {
+            Some(ctx) => ctx.open_rule(event_span, &reg.rule.name),
+            None => NONE_SPAN,
+        };
         if let Some(msg) = &pr.broken {
             // A cond-LAT was dropped after registration: the evaluation is
             // still counted (matching the old per-evaluation resolution), then
             // recorded as an error.
             self.record_error(&reg.rule.name, msg.clone());
+            if let Some(ctx) = trace.as_mut() {
+                ctx.rule_outcome(rule_span, false, format!("broken: {msg}"));
+                ctx.close(rule_span);
+            }
             return;
         }
         // One clock read here, one after the condition, one after the actions
@@ -553,16 +660,27 @@ impl SqlcmInner {
                     .iter()
                     .find(|o| o.class == *lat.spec.source_class())
                     .and_then(|o| lat.lookup_for(o));
+                if let Some(ctx) = trace.as_mut() {
+                    ctx.lat_lookup(rule_span, &lat.spec.name, local[i].is_some(), false);
+                }
             } else {
                 let slot = &mut slots[slot as usize];
                 match slot {
-                    HoistState::Fetched(_) => self.telemetry.hoisted_lookup_hits.incr(),
+                    HoistState::Fetched(row) => {
+                        self.telemetry.hoisted_lookup_hits.incr();
+                        if let Some(ctx) = trace.as_mut() {
+                            ctx.lat_lookup(rule_span, &lat.spec.name, row.is_some(), true);
+                        }
+                    }
                     HoistState::Empty => {
                         self.telemetry.lat_row_fetches.incr();
                         let row = combo
                             .iter()
                             .find(|o| o.class == *lat.spec.source_class())
                             .and_then(|o| lat.lookup_for(o));
+                        if let Some(ctx) = trace.as_mut() {
+                            ctx.lat_lookup(rule_span, &lat.spec.name, row.is_some(), false);
+                        }
                         *slot = HoistState::Fetched(row);
                     }
                 }
@@ -632,6 +750,13 @@ impl SqlcmInner {
         if let Some(ns) = cond_nanos {
             reg.cond_latency.record(ns);
         }
+        // The explainer re-resolves the condition's references — allocation
+        // and extra lookups happen only on sampled evaluations.
+        if let Some(tctx) = trace.as_mut() {
+            let why = explain_condition(reg.rule.condition.as_ref(), &ctx, fire, cond_error);
+            tctx.rule_outcome(rule_span, fire, why);
+        }
+        let trace_id = trace.as_ref().map(|c| c.trace_id()).unwrap_or(0);
         if !fire {
             // Errored evaluations are worth replaying; silent non-fires are not.
             if cond_error {
@@ -644,8 +769,12 @@ impl SqlcmInner {
                         actions: 0,
                         errors: 1,
                         duration_nanos: ns,
+                        trace_id,
                     });
                 }
+            }
+            if let Some(tctx) = trace.as_mut() {
+                tctx.close(rule_span);
             }
             return;
         }
@@ -655,7 +784,25 @@ impl SqlcmInner {
         for action in &reg.actions {
             self.actions.fetch_add(1, Ordering::Relaxed);
             reg.rule.executed_actions.fetch_add(1, Ordering::Relaxed);
-            if let Err(e) = self.execute_compiled_action(action, &ctx) {
+            let action_span = match trace.as_mut() {
+                Some(tctx) => {
+                    let s = tctx.open_action(rule_span, compiled_action_label(action));
+                    // Deferred side effects raised by this action (re-entrant
+                    // probes, LAT evictions) cite it as their cascade cause.
+                    CASCADE_ORIGIN.with(|c| c.set((s, depth + 1)));
+                    s
+                }
+                None => NONE_SPAN,
+            };
+            let result = self.execute_compiled_action(action, &ctx, trace, action_span);
+            if let Some(tctx) = trace.as_mut() {
+                CASCADE_ORIGIN.with(|c| c.set((NONE_SPAN, 0)));
+                if result.is_err() {
+                    tctx.action_failed(action_span);
+                }
+                tctx.close(action_span);
+            }
+            if let Err(e) = result {
                 errors += 1;
                 reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
                 self.action_errors.fetch_add(1, Ordering::Relaxed);
@@ -664,6 +811,9 @@ impl SqlcmInner {
                     format!("action of rule {} failed: {e}", reg.rule.name),
                 );
             }
+        }
+        if let Some(tctx) = trace.as_mut() {
+            tctx.close(rule_span);
         }
         if let (Some(sw), Some(cond_ns)) = (sw.as_ref(), cond_nanos) {
             let total = sw.elapsed_nanos();
@@ -676,6 +826,7 @@ impl SqlcmInner {
                 actions: reg.actions.len() as u32,
                 errors,
                 duration_nanos: total,
+                trace_id,
             });
         }
         // Phase C — a fired rule's Insert/Reset may have changed the hoisted
@@ -700,18 +851,27 @@ impl SqlcmInner {
         }
     }
 
-    fn execute_compiled_action(&self, action: &CompiledAction, ctx: &EvalContext) -> Result<()> {
+    fn execute_compiled_action(
+        &self,
+        action: &CompiledAction,
+        ctx: &EvalContext,
+        trace: &mut Option<TraceCtx>,
+        action_span: u32,
+    ) -> Result<()> {
         match action {
             CompiledAction::Insert {
                 lat,
                 eviction_event,
-            } => self.insert_into_lat(lat, Some(eviction_event), ctx),
+            } => self.insert_into_lat(lat, Some(eviction_event), ctx, trace, action_span),
             CompiledAction::Reset(lat) => {
                 lat.reset();
+                if let Some(tctx) = trace.as_mut() {
+                    tctx.lat_mutation(action_span, &lat.spec.name, "reset", 0);
+                }
                 Ok(())
             }
             CompiledAction::PersistLat { table, lat } => self.persist_lat_rows(lat, table),
-            CompiledAction::Other(a) => self.execute_action(a, ctx),
+            CompiledAction::Other(a) => self.execute_action(a, ctx, trace, action_span),
         }
     }
 
@@ -723,6 +883,8 @@ impl SqlcmInner {
         lat: &Arc<Lat>,
         eviction_event: Option<&RuleEvent>,
         ctx: &EvalContext,
+        trace: &mut Option<TraceCtx>,
+        action_span: u32,
     ) -> Result<()> {
         let obj = ctx
             .objects
@@ -745,7 +907,17 @@ impl SqlcmInner {
         };
         let want_evicted = self.has_rules_for(event_key);
         let evicted = lat.insert_and(obj, want_evicted)?;
+        // The mutation span is the provenance anchor: each eviction event
+        // queued below cites it as `cause`, at the depth the running action
+        // established (CASCADE_ORIGIN).
+        let mutation_span = match trace.as_mut() {
+            Some(tctx) => {
+                tctx.lat_mutation(action_span, &lat.spec.name, "insert", evicted.len() as u32)
+            }
+            None => NONE_SPAN,
+        };
         if want_evicted && !evicted.is_empty() {
+            let depth = CASCADE_ORIGIN.with(|c| c.get().1);
             let name = lat.spec.name.clone();
             let columns = lat.columns();
             for row in evicted {
@@ -753,8 +925,12 @@ impl SqlcmInner {
                 // Deferred: queued and processed after the current event's
                 // rules complete (§5).
                 PENDING.with(|q| {
-                    q.borrow_mut()
-                        .push_back((RuleEvent::LatEviction(name.clone()), vec![obj]))
+                    q.borrow_mut().push_back(Queued {
+                        kind: RuleEvent::LatEviction(name.clone()),
+                        objects: vec![obj],
+                        cause: mutation_span,
+                        depth,
+                    })
                 });
             }
         }
@@ -777,14 +953,24 @@ impl SqlcmInner {
         Ok(())
     }
 
-    fn execute_action(&self, action: &Action, ctx: &EvalContext) -> Result<()> {
+    fn execute_action(
+        &self,
+        action: &Action,
+        ctx: &EvalContext,
+        trace: &mut Option<TraceCtx>,
+        action_span: u32,
+    ) -> Result<()> {
         match action {
             Action::Insert { lat } => {
                 let lat = self.lat(lat)?;
-                self.insert_into_lat(&lat, None, ctx)
+                self.insert_into_lat(&lat, None, ctx, trace, action_span)
             }
             Action::Reset { lat } => {
-                self.lat(lat)?.reset();
+                let lat = self.lat(lat)?;
+                lat.reset();
+                if let Some(tctx) = trace.as_mut() {
+                    tctx.lat_mutation(action_span, &lat.spec.name, "reset", 0);
+                }
                 Ok(())
             }
             Action::PersistObject {
@@ -978,6 +1164,7 @@ impl SqlcmInner {
             },
             flight_records: telem.recorder.snapshot(),
             flight_total: telem.recorder.total_recorded(),
+            tracing: self.tracer.telemetry(),
         }
     }
 }
@@ -1016,6 +1203,7 @@ impl Sqlcm {
             analysis_warnings: Mutex::new(Vec::new()),
             coarse_invalidation: AtomicBool::new(false),
             telemetry: Telem::new(),
+            tracer: Tracer::new(),
             shutdown: AtomicBool::new(false),
         });
         engine.attach_monitor(Arc::new(SqlcmMonitor {
@@ -1500,6 +1688,54 @@ impl Sqlcm {
     /// Per-rule last errors (bounded map; sorted by rule name).
     pub fn rule_errors(&self) -> Vec<RuleError> {
         self.inner.telemetry.rule_errors_snapshot()
+    }
+
+    /// Resize the flight recorder in place (clamped to at least 1; the
+    /// default is [`crate::telemetry::FLIGHT_RECORDER_CAPACITY`]). Shrinking
+    /// evicts the oldest records immediately.
+    pub fn set_flight_recorder_capacity(&self, capacity: usize) {
+        self.inner.telemetry.recorder.set_capacity(capacity);
+    }
+
+    pub fn flight_recorder_capacity(&self) -> usize {
+        self.inner.telemetry.recorder.capacity()
+    }
+
+    // ------------------------------------------------------------ tracing
+
+    /// Set the causal-trace sampling policy (default [`TraceSampling::Off`]).
+    /// A sampled root event records a full span tree — LAT lookups, per-rule
+    /// condition decisions with explainers, actions, LAT mutations, and every
+    /// cascaded event linked to the span that caused it — into a bounded ring
+    /// readable via [`Sqlcm::traces`]. With sampling off, the only per-event
+    /// cost is one relaxed atomic load.
+    pub fn set_trace_sampling(&self, sampling: TraceSampling) {
+        self.inner.tracer.set_sampling(sampling);
+    }
+
+    pub fn trace_sampling(&self) -> TraceSampling {
+        self.inner.tracer.sampling()
+    }
+
+    /// Completed traces, oldest first (bounded ring, drop-oldest; see
+    /// [`crate::trace::TRACE_RING_CAPACITY`]). Each snapshot renders as an
+    /// indented provenance tree ([`TraceSnapshot::to_text_tree`]) or exports
+    /// as Chrome trace-event JSON ([`crate::trace::chrome_trace_json`]).
+    pub fn traces(&self) -> Vec<TraceSnapshot> {
+        self.inner.tracer.snapshot()
+    }
+
+    /// Drop all retained traces (their span buffers are recycled).
+    pub fn clear_traces(&self) {
+        self.inner.tracer.clear();
+    }
+
+    /// The static analyzer's bound on cascade depth for the currently
+    /// registered rules: the longest raised-event → subscribed-rule chain.
+    /// Observed trace depths ([`TraceSnapshot::max_cascade_depth`]) can never
+    /// exceed this (E004 denies cyclic rule sets at registration).
+    pub fn cascade_depth_bound(&self) -> usize {
+        self.analyzer().max_cascade_depth()
     }
 
     /// Run one self-monitoring tick synchronously: if any rule subscribes to

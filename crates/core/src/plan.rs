@@ -143,6 +143,9 @@ pub(crate) struct PlanRule {
 pub(crate) struct EventPlan {
     pub rules: Vec<PlanRule>,
     pub hoisted: Vec<HoistSlot>,
+    /// Display name in probe convention (`"Query.Commit"`), cached at build
+    /// so the tracer never formats an event name on the dispatch path.
+    pub label: String,
 }
 
 /// Number of statically-indexed events: the 12 probe kinds plus MonitorTick.
@@ -210,6 +213,9 @@ impl DispatchPlan {
                 Some(i) => &mut statics[i],
                 None => dynamics.entry(event.clone()).or_default(),
             };
+            if ep.label.is_empty() {
+                ep.label = event.to_string();
+            }
             let payload = event.payload_classes();
             let plan_rule = Self::plan_rule(reg, lats, &payload, &mut ep.hoisted);
             ep.rules.push(plan_rule);

@@ -265,8 +265,10 @@ impl EvalContext<'_> {
         self.objects.iter().find(|o| o.class == *class)
     }
 
-    /// Resolve `Qualifier.Name`.
-    fn resolve(&self, qualifier: &str, name: &str) -> Result<Value> {
+    /// Resolve `Qualifier.Name`. `pub(crate)` so the trace explainer can
+    /// re-resolve the condition's references when a sampled evaluation needs
+    /// its "why it fired" line.
+    pub(crate) fn resolve(&self, qualifier: &str, name: &str) -> Result<Value> {
         if let Some(class) = ClassName::parse(qualifier) {
             if let Some(obj) = self.object(&class) {
                 return obj.get(name).cloned().ok_or_else(|| {

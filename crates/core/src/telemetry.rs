@@ -29,8 +29,11 @@ use sqlcm_telemetry::{
 
 use crate::monitor::SqlcmStats;
 use crate::objects::MonitorHealth;
+use crate::trace::TracingTelemetry;
 
-/// Flight-recorder depth: last N rule firings (and errored evaluations).
+/// Default flight-recorder depth: last N rule firings (and errored
+/// evaluations). Adjustable at runtime via
+/// [`crate::Sqlcm::set_flight_recorder_capacity`].
 pub const FLIGHT_RECORDER_CAPACITY: usize = 256;
 
 /// Bound on the per-rule last-error map.
@@ -229,10 +232,14 @@ pub struct TelemetrySnapshot {
     pub rules: Vec<RuleTelemetry>,
     /// One entry per defined LAT, sorted by name.
     pub lats: Vec<LatTelemetry>,
-    /// Recent rule firings, oldest first (bounded by `FLIGHT_RECORDER_CAPACITY`).
+    /// Recent rule firings, oldest first (bounded by the flight recorder's
+    /// current capacity, `FLIGHT_RECORDER_CAPACITY` by default).
     pub flight_records: Vec<FlightRecord>,
     /// Total records ever written to the flight recorder (including evicted).
     pub flight_total: u64,
+    /// Causal-tracing state: sampling policy, traces completed/dropped,
+    /// deepest cascade observed (see `crate::trace`).
+    pub tracing: TracingTelemetry,
 }
 
 impl TelemetrySnapshot {
@@ -354,6 +361,18 @@ impl TelemetrySnapshot {
         }
         let _ = writeln!(
             out,
+            "tracing: sampling={} sampled={} completed={} dropped={} spans={} max_cascade_depth={} ring={}/{}",
+            self.tracing.sampling,
+            self.tracing.sampled,
+            self.tracing.completed,
+            self.tracing.dropped,
+            self.tracing.spans,
+            self.tracing.max_cascade_depth,
+            self.tracing.ring_len,
+            self.tracing.ring_capacity,
+        );
+        let _ = writeln!(
+            out,
             "flight recorder ({} shown, {} total):",
             self.flight_records.len(),
             self.flight_total
@@ -361,7 +380,7 @@ impl TelemetrySnapshot {
         for rec in &self.flight_records {
             let _ = writeln!(
                 out,
-                "  #{:<6} {:<18} {:<22} fired={:<5} actions={} errors={} took={}",
+                "  #{:<6} {:<18} {:<22} fired={:<5} actions={} errors={} took={}{}",
                 rec.seq,
                 rec.event,
                 rec.rule,
@@ -369,6 +388,11 @@ impl TelemetrySnapshot {
                 rec.actions,
                 rec.errors,
                 fmt_nanos(rec.duration_nanos),
+                if rec.trace_id != 0 {
+                    format!(" trace=#{}", rec.trace_id)
+                } else {
+                    String::new()
+                },
             );
         }
         out
@@ -451,7 +475,19 @@ impl TelemetrySnapshot {
                 l.lock_contentions
             ));
         }
-        out.push_str("],\"flight_recorder\":{\"total\":");
+        out.push_str("],\"tracing\":");
+        out.push_str(&format!(
+            "{{\"sampling\":{},\"sampled\":{},\"completed\":{},\"dropped\":{},\"spans\":{},\"max_cascade_depth\":{},\"ring_len\":{},\"ring_capacity\":{}}}",
+            json_str(&self.tracing.sampling),
+            self.tracing.sampled,
+            self.tracing.completed,
+            self.tracing.dropped,
+            self.tracing.spans,
+            self.tracing.max_cascade_depth,
+            self.tracing.ring_len,
+            self.tracing.ring_capacity
+        ));
+        out.push_str(",\"flight_recorder\":{\"total\":");
         out.push_str(&self.flight_total.to_string());
         out.push_str(",\"records\":[");
         for (i, rec) in self.flight_records.iter().enumerate() {
@@ -459,14 +495,15 @@ impl TelemetrySnapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"seq\":{},\"event\":{},\"rule\":{},\"fired\":{},\"actions\":{},\"errors\":{},\"duration_nanos\":{}}}",
+                "{{\"seq\":{},\"event\":{},\"rule\":{},\"fired\":{},\"actions\":{},\"errors\":{},\"duration_nanos\":{},\"trace_id\":{}}}",
                 rec.seq,
                 json_str(&rec.event),
                 json_str(&rec.rule),
                 rec.fired,
                 rec.actions,
                 rec.errors,
-                rec.duration_nanos
+                rec.duration_nanos,
+                rec.trace_id
             ));
         }
         out.push_str("]}}");
@@ -500,8 +537,9 @@ fn json_hist(h: &HistogramSnapshot) -> String {
     )
 }
 
-/// Minimal JSON string escape (quote, backslash, control chars).
-fn json_str(s: &str) -> String {
+/// Minimal JSON string escape (quote, backslash, control chars). Shared with
+/// the Chrome trace exporter in `crate::trace`.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -556,11 +594,14 @@ mod tests {
             lats: Vec::new(),
             flight_records: Vec::new(),
             flight_total: 0,
+            tracing: TracingTelemetry::default(),
         };
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"probes\":[]"));
         assert!(json.contains("\"dispatch\":{\"plan_epoch\":0"));
+        assert!(json.contains("\"tracing\":{\"sampling\":\"off\""));
+        assert!(snap.to_text().contains("tracing: sampling=off"));
         assert!(snap
             .to_text()
             .contains("flight recorder (0 shown, 0 total)"));

@@ -1,0 +1,957 @@
+//! Causal tracing: per-event span trees, cascade provenance, and rule-firing
+//! explainers.
+//!
+//! Aggregate telemetry ([`crate::telemetry`]) answers *how many* — events,
+//! firings, fetches. It cannot answer *which event caused which cascade* or
+//! *why a condition evaluated false*. This module answers those: a sampled
+//! root event gets a trace ID and a span tree recording everything its
+//! dispatch did — event receipt, hoisted LAT lookups (hit/miss), each rule's
+//! condition decision with the bound attribute values spelled out, action
+//! execution, LAT mutations, and every cascaded event (LAT eviction, timer,
+//! re-entrant probe) linked back to the span that caused it, so the full
+//! provenance tree of a cascade is reconstructable after the fact.
+//!
+//! # Span relations
+//!
+//! Spans carry **two** links:
+//!
+//! * `parent` — strict stack nesting: a child starts after its parent starts
+//!   and closes before it closes (the flame-graph relation, what Chrome's
+//!   timeline renders). Cascaded events are *deferred* (paper §5: queued and
+//!   drained after the current event's rules complete), so they are **not**
+//!   nested under the span that raised them — they are top-level spans in
+//!   the same trace.
+//! * `cause` — provenance: for a cascaded [`SpanKind::Event`], the
+//!   [`SpanKind::LatMutation`] or [`SpanKind::Action`] span whose side
+//!   effect queued it. The rendered text tree and the Chrome flow arrows
+//!   both follow `cause`, which is what makes "this commit evicted that row
+//!   which fired that rule" readable.
+//!
+//! Every event span also records its **cascade depth** — root events are 0,
+//! each deferred hop adds 1 — the same measure
+//! [`sqlcm_analyze::Analyzer::max_cascade_depth`] bounds statically, so
+//! traces cross-check the analyzer (and `stats`: with every event sampled,
+//! span counts must reconcile with the evaluation/fire counters).
+//!
+//! # Cost model
+//!
+//! Sampling ([`TraceSampling`]) decides everything. Disabled (the default)
+//! costs one relaxed atomic load per dispatched event — the hot path stays
+//! allocation-free and registry-lock-free, pinned by
+//! `tests/dispatch_hotpath.rs`. A *sampled* event stages its spans in a
+//! buffer local to the dispatching thread's stack (no shared state, no
+//! locks while recording) and hands the buffer to the bounded trace ring on
+//! completion: one short uncontended mutex per completed trace, with
+//! evicted traces' span buffers recycled through a [`BufferPool`] so steady
+//! state re-uses rather than reallocates. The `t7_trace_overhead` bench
+//! gates both modes.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+use sqlcm_common::ProbeKind;
+use sqlcm_sql::Expr;
+use sqlcm_telemetry::{BoundedRing, BufferPool, Stopwatch};
+
+use crate::rules::EvalContext;
+use crate::telemetry::json_str;
+
+/// Trace ring depth: the most recent N completed traces are retained,
+/// oldest dropped first.
+pub const TRACE_RING_CAPACITY: usize = 64;
+
+/// Hard cap on spans staged per trace; a pathological cascade truncates
+/// (flagged on the snapshot) instead of growing without bound.
+pub const MAX_SPANS_PER_TRACE: usize = 4096;
+
+/// Bound on pooled span buffers (covers the ring plus in-flight staging).
+const SPAN_POOL_BOUND: usize = 8;
+
+/// Sentinel span ID: "no span" (used on the untraced path and for truncated
+/// traces; all recording methods ignore it).
+pub(crate) const NONE_SPAN: u32 = u32::MAX;
+
+const MODE_OFF: u8 = 0;
+const MODE_EVERY_NTH: u8 = 1;
+const MODE_PER_PROBE: u8 = 2;
+
+/// Trace sampling policy (see [`crate::Sqlcm::set_trace_sampling`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceSampling {
+    /// No tracing (the default): one relaxed atomic load per event.
+    #[default]
+    Off,
+    /// Trace every Nth sampled-eligible root event (engine probes and
+    /// internally raised roots such as timer alarms). `0` and `1` both mean
+    /// "every event".
+    EveryNth(u32),
+    /// Per-probe-kind rates: trace every Nth root event of each listed kind;
+    /// unlisted kinds (and internal roots) are not traced. A rate of `0`
+    /// disables that kind.
+    PerProbe(Vec<(ProbeKind, u32)>),
+}
+
+/// One span in a trace. Times are nanoseconds relative to the trace start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Span ID, unique within the trace (dense, in open order).
+    pub id: u32,
+    /// Nesting parent (`None` for event spans — each dispatched event of the
+    /// batch is top-level; deferral breaks stack nesting across events).
+    pub parent: Option<u32>,
+    /// Provenance link for cascaded events: the span whose side effect
+    /// queued this event.
+    pub cause: Option<u32>,
+    pub start_nanos: u64,
+    pub end_nanos: u64,
+    pub kind: SpanKind,
+}
+
+/// What a [`TraceSpan`] describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An event entering dispatch (the root, or a cascaded/deferred one).
+    Event {
+        /// Probe-convention name, e.g. `"Query.Commit"` or
+        /// `"Lat.Eviction(Hot)"`.
+        name: String,
+        /// Cascade depth: 0 for the root, +1 per deferred hop.
+        depth: u32,
+    },
+    /// A LAT row lookup binding the condition's implicit ∃ (instant).
+    LatLookup {
+        lat: String,
+        /// Whether a row was found for the in-scope grouping key.
+        hit: bool,
+        /// Served from the event-shared hoist slot instead of fetching.
+        hoisted: bool,
+    },
+    /// One rule's condition evaluation (plus its actions as child spans).
+    Rule {
+        name: String,
+        fired: bool,
+        /// "Why it fired / why it didn't": the condition's bound attribute
+        /// values and its decision, e.g.
+        /// `Query.Duration=1500000, Hot.N=<no row> -> false (missing LAT row)`.
+        explain: String,
+    },
+    /// One action execution.
+    Action { action: &'static str, ok: bool },
+    /// A LAT mutation performed by an action (instant). Cascaded eviction
+    /// events point their `cause` at this span.
+    LatMutation {
+        lat: String,
+        op: &'static str,
+        /// Rows evicted by this mutation (each queues one deferred event
+        /// when a rule subscribes).
+        evicted: u32,
+    },
+}
+
+impl SpanKind {
+    /// Short label for renderers.
+    fn label(&self) -> &str {
+        match self {
+            SpanKind::Event { name, .. } => name,
+            SpanKind::LatLookup { lat, .. } => lat,
+            SpanKind::Rule { name, .. } => name,
+            SpanKind::Action { action, .. } => action,
+            SpanKind::LatMutation { lat, .. } => lat,
+        }
+    }
+}
+
+/// A completed trace: one sampled root event and everything its dispatch
+/// did, including all deferred cascade hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// Monotone per-instance trace ID (starts at 1; 0 is reserved for "not
+    /// traced" in flight-recorder cross-links).
+    pub trace_id: u64,
+    /// Name of the root event.
+    pub root_event: String,
+    /// Wall-clock microseconds (monitor clock) when the trace started.
+    pub started_micros: u64,
+    /// Total wall time of the dispatch batch, nanoseconds.
+    pub duration_nanos: u64,
+    /// Deepest cascade hop observed (0 = no cascading).
+    pub max_cascade_depth: u32,
+    /// Rule-condition evaluations recorded.
+    pub evaluations: u32,
+    /// Evaluations that fired.
+    pub fires: u32,
+    /// Span recording hit [`MAX_SPANS_PER_TRACE`] and stopped early.
+    pub truncated: bool,
+    /// All spans, in open order (span `id` == index).
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceSnapshot {
+    /// Render as an indented tree. Children follow the nesting `parent`
+    /// link; cascaded events are placed under their provenance `cause`, so
+    /// the output reads as a causal tree even though deferred events ran
+    /// after their cause's span closed.
+    pub fn to_text_tree(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace #{} {} spans={} depth={} evals={} fires={} took={}ns{}",
+            self.trace_id,
+            self.root_event,
+            self.spans.len(),
+            self.max_cascade_depth,
+            self.evaluations,
+            self.fires,
+            self.duration_nanos,
+            if self.truncated { " [truncated]" } else { "" },
+        );
+        for root in self.spans.iter().filter(|s| self.tree_parent(s).is_none()) {
+            self.render_span(&mut out, root, 1);
+        }
+        out
+    }
+
+    /// The node a span hangs under in the rendered tree: `cause` for
+    /// cascaded events, `parent` for everything else.
+    fn tree_parent(&self, span: &TraceSpan) -> Option<u32> {
+        span.cause.or(span.parent)
+    }
+
+    fn render_span(&self, out: &mut String, span: &TraceSpan, indent: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(indent);
+        let line = match &span.kind {
+            SpanKind::Event { name, depth } => {
+                format!(
+                    "event {name} depth={depth} [{}ns]",
+                    span.end_nanos - span.start_nanos
+                )
+            }
+            SpanKind::LatLookup { lat, hit, hoisted } => format!(
+                "lookup {lat} {}{}",
+                if *hit { "hit" } else { "miss" },
+                if *hoisted { " (hoisted)" } else { "" },
+            ),
+            SpanKind::Rule {
+                name,
+                fired,
+                explain,
+            } => format!(
+                "rule {name} {}: {explain} [{}ns]",
+                if *fired { "FIRED" } else { "skipped" },
+                span.end_nanos - span.start_nanos,
+            ),
+            SpanKind::Action { action, ok } => format!(
+                "action {action} {} [{}ns]",
+                if *ok { "ok" } else { "FAILED" },
+                span.end_nanos - span.start_nanos,
+            ),
+            SpanKind::LatMutation { lat, op, evicted } => {
+                format!("mutate {lat} {op} evicted={evicted}")
+            }
+        };
+        let _ = writeln!(out, "{pad}{line}");
+        for child in self
+            .spans
+            .iter()
+            .filter(|s| self.tree_parent(s) == Some(span.id))
+        {
+            self.render_span(out, child, indent + 1);
+        }
+    }
+
+    /// This trace's spans as Chrome trace-event objects, appended to `out`.
+    /// `links` numbers flow arrows uniquely across an export.
+    fn chrome_events(&self, out: &mut Vec<String>, links: &mut u64) {
+        let ts = |nanos: u64| -> String {
+            // Chrome expects microseconds; keep sub-µs precision as decimals.
+            format!("{:.3}", self.started_micros as f64 + nanos as f64 / 1000.0)
+        };
+        for span in &self.spans {
+            let (cat, args) = match &span.kind {
+                SpanKind::Event { depth, .. } => {
+                    ("event".to_string(), format!("{{\"depth\":{depth}}}"))
+                }
+                SpanKind::LatLookup { hit, hoisted, .. } => (
+                    "lookup".to_string(),
+                    format!("{{\"hit\":{hit},\"hoisted\":{hoisted}}}"),
+                ),
+                SpanKind::Rule { fired, explain, .. } => (
+                    "rule".to_string(),
+                    format!("{{\"fired\":{fired},\"explain\":{}}}", json_str(explain)),
+                ),
+                SpanKind::Action { ok, .. } => ("action".to_string(), format!("{{\"ok\":{ok}}}")),
+                SpanKind::LatMutation { op, evicted, .. } => (
+                    "mutation".to_string(),
+                    format!("{{\"op\":{},\"evicted\":{evicted}}}", json_str(op)),
+                ),
+            };
+            let name = json_str(span.kind.label());
+            let instant = span.end_nanos == span.start_nanos;
+            if instant {
+                out.push(format!(
+                    "{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{args}}}",
+                    ts(span.start_nanos),
+                    self.trace_id,
+                ));
+            } else {
+                out.push(format!(
+                    "{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{args}}}",
+                    ts(span.start_nanos),
+                    (span.end_nanos - span.start_nanos) as f64 / 1000.0,
+                    self.trace_id,
+                ));
+            }
+            // Cascade provenance as a flow arrow: cause span -> event span.
+            if let Some(cause) = span.cause {
+                if let Some(from) = self.spans.get(cause as usize) {
+                    *links += 1;
+                    let id = *links;
+                    out.push(format!(
+                        "{{\"name\":\"cascade\",\"cat\":\"cascade\",\"ph\":\"s\",\"id\":{id},\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                        ts(from.start_nanos),
+                        self.trace_id,
+                    ));
+                    out.push(format!(
+                        "{{\"name\":\"cascade\",\"cat\":\"cascade\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                        ts(span.start_nanos),
+                        self.trace_id,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// This trace alone as a `chrome://tracing`-loadable JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(std::slice::from_ref(self))
+    }
+}
+
+/// Export traces as one Chrome trace-event JSON document
+/// (`{"traceEvents":[...]}`), loadable in `chrome://tracing` / Perfetto.
+/// Each trace renders on its own thread row (`tid` = trace ID) with cascade
+/// provenance drawn as flow arrows.
+pub fn chrome_trace_json(traces: &[TraceSnapshot]) -> String {
+    let mut events = Vec::new();
+    let mut links = 0u64;
+    for trace in traces {
+        trace.chrome_events(&mut events, &mut links);
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&events.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Tracing slice of a telemetry snapshot (the `tracing` section of
+/// [`crate::TelemetrySnapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracingTelemetry {
+    /// Active sampling policy, rendered (`"off"`, `"every_nth(64)"`,
+    /// `"per_probe"`).
+    pub sampling: String,
+    /// Root events sampled into a trace.
+    pub sampled: u64,
+    /// Traces completed and retained (a sampled event whose dispatch
+    /// recorded no spans — no subscribed rules — is discarded).
+    pub completed: u64,
+    /// Completed traces evicted from the ring (drop-oldest).
+    pub dropped: u64,
+    /// Spans across all completed traces.
+    pub spans: u64,
+    /// Deepest cascade observed in any completed trace.
+    pub max_cascade_depth: u64,
+    /// Traces currently in the ring.
+    pub ring_len: u64,
+    pub ring_capacity: u64,
+}
+
+impl Default for TracingTelemetry {
+    fn default() -> TracingTelemetry {
+        TracingTelemetry {
+            sampling: "off".to_string(),
+            sampled: 0,
+            completed: 0,
+            dropped: 0,
+            spans: 0,
+            max_cascade_depth: 0,
+            ring_len: 0,
+            ring_capacity: TRACE_RING_CAPACITY as u64,
+        }
+    }
+}
+
+// ------------------------------------------------------------ staging
+
+/// Per-dispatch staging for one sampled trace. Lives on the dispatching
+/// thread's stack for the duration of the batch (root event + all deferred
+/// hops); recording touches nothing shared.
+pub(crate) struct TraceCtx {
+    id: u64,
+    started_micros: u64,
+    sw: Stopwatch,
+    spans: Vec<TraceSpan>,
+    max_depth: u32,
+    evaluations: u32,
+    fires: u32,
+    truncated: bool,
+}
+
+impl TraceCtx {
+    pub fn trace_id(&self) -> u64 {
+        self.id
+    }
+
+    fn now(&self) -> u64 {
+        self.sw.elapsed_nanos()
+    }
+
+    fn open(&mut self, parent: Option<u32>, cause: Option<u32>, kind: SpanKind) -> u32 {
+        if self.spans.len() >= MAX_SPANS_PER_TRACE {
+            self.truncated = true;
+            return NONE_SPAN;
+        }
+        let id = self.spans.len() as u32;
+        let now = self.now();
+        self.spans.push(TraceSpan {
+            id,
+            parent,
+            cause,
+            start_nanos: now,
+            end_nanos: now,
+            kind,
+        });
+        id
+    }
+
+    fn valid(parent: u32) -> Option<u32> {
+        (parent != NONE_SPAN).then_some(parent)
+    }
+
+    /// Open an event-receipt span. `cause` is the queueing span for
+    /// deferred events ([`NONE_SPAN`] for the root).
+    pub fn open_event(&mut self, name: String, cause: u32, depth: u32) -> u32 {
+        self.max_depth = self.max_depth.max(depth);
+        self.open(None, Self::valid(cause), SpanKind::Event { name, depth })
+    }
+
+    /// Open a rule-evaluation span under an event span.
+    pub fn open_rule(&mut self, event_span: u32, name: &str) -> u32 {
+        self.evaluations += 1;
+        self.open(
+            Self::valid(event_span),
+            None,
+            SpanKind::Rule {
+                name: name.to_string(),
+                fired: false,
+                explain: String::new(),
+            },
+        )
+    }
+
+    /// Record the condition decision and explainer on an open rule span.
+    pub fn rule_outcome(&mut self, rule_span: u32, did_fire: bool, why: String) {
+        if did_fire {
+            self.fires += 1;
+        }
+        if let Some(span) = self.span_mut(rule_span) {
+            if let SpanKind::Rule { fired, explain, .. } = &mut span.kind {
+                *fired = did_fire;
+                *explain = why;
+            }
+        }
+    }
+
+    /// Open an action-execution span under a rule span.
+    pub fn open_action(&mut self, rule_span: u32, action: &'static str) -> u32 {
+        self.open(
+            Self::valid(rule_span),
+            None,
+            SpanKind::Action { action, ok: true },
+        )
+    }
+
+    /// Mark an open action span failed.
+    pub fn action_failed(&mut self, action_span: u32) {
+        if let Some(span) = self.span_mut(action_span) {
+            if let SpanKind::Action { ok, .. } = &mut span.kind {
+                *ok = false;
+            }
+        }
+    }
+
+    /// Record an instant LAT-lookup span under a rule span.
+    pub fn lat_lookup(&mut self, rule_span: u32, lat: &str, hit: bool, hoisted: bool) {
+        self.open(
+            Self::valid(rule_span),
+            None,
+            SpanKind::LatLookup {
+                lat: lat.to_string(),
+                hit,
+                hoisted,
+            },
+        );
+    }
+
+    /// Record an instant LAT-mutation span under an action span; returns the
+    /// span ID so queued eviction events can cite it as their `cause`.
+    pub fn lat_mutation(
+        &mut self,
+        action_span: u32,
+        lat: &str,
+        op: &'static str,
+        evicted: u32,
+    ) -> u32 {
+        self.open(
+            Self::valid(action_span),
+            None,
+            SpanKind::LatMutation {
+                lat: lat.to_string(),
+                op,
+                evicted,
+            },
+        )
+    }
+
+    /// Close a span (idempotent enough for our stack discipline: called
+    /// exactly once per open).
+    pub fn close(&mut self, span: u32) {
+        let now = self.now();
+        if let Some(span) = self.span_mut(span) {
+            span.end_nanos = now;
+        }
+    }
+
+    fn span_mut(&mut self, id: u32) -> Option<&mut TraceSpan> {
+        if id == NONE_SPAN {
+            return None;
+        }
+        self.spans.get_mut(id as usize)
+    }
+}
+
+// ------------------------------------------------------------ tracer
+
+/// Per-instance tracing state: sampling policy, trace-ID source, the
+/// bounded ring of completed traces, and the span-buffer pool.
+pub(crate) struct Tracer {
+    mode: AtomicU8,
+    every_n: AtomicU32,
+    per_probe: [AtomicU32; ProbeKind::COUNT],
+    /// Root events seen while in every-Nth mode (the modulus source).
+    seen: AtomicU64,
+    /// Per-kind root events seen while in per-probe mode.
+    probe_seen: [AtomicU64; ProbeKind::COUNT],
+    next_id: AtomicU64,
+    ring: BoundedRing<TraceSnapshot>,
+    pool: BufferPool<TraceSpan>,
+    sampled: AtomicU64,
+    completed: AtomicU64,
+    spans_recorded: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer {
+            mode: AtomicU8::new(MODE_OFF),
+            every_n: AtomicU32::new(0),
+            per_probe: std::array::from_fn(|_| AtomicU32::new(0)),
+            seen: AtomicU64::new(0),
+            probe_seen: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_id: AtomicU64::new(1),
+            ring: BoundedRing::new(TRACE_RING_CAPACITY),
+            pool: BufferPool::new(SPAN_POOL_BOUND),
+            sampled: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            spans_recorded: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set_sampling(&self, sampling: TraceSampling) {
+        match sampling {
+            TraceSampling::Off => self.mode.store(MODE_OFF, Ordering::Relaxed),
+            TraceSampling::EveryNth(n) => {
+                self.every_n.store(n.max(1), Ordering::Relaxed);
+                self.mode.store(MODE_EVERY_NTH, Ordering::Relaxed);
+            }
+            TraceSampling::PerProbe(rates) => {
+                for slot in &self.per_probe {
+                    slot.store(0, Ordering::Relaxed);
+                }
+                for (kind, n) in rates {
+                    self.per_probe[kind.index()].store(n, Ordering::Relaxed);
+                }
+                self.mode.store(MODE_PER_PROBE, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn sampling(&self) -> TraceSampling {
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_EVERY_NTH => TraceSampling::EveryNth(self.every_n.load(Ordering::Relaxed)),
+            MODE_PER_PROBE => TraceSampling::PerProbe(
+                ProbeKind::ALL
+                    .iter()
+                    .filter_map(|k| {
+                        let n = self.per_probe[k.index()].load(Ordering::Relaxed);
+                        (n != 0).then_some((*k, n))
+                    })
+                    .collect(),
+            ),
+            _ => TraceSampling::Off,
+        }
+    }
+
+    /// Sampling decision for an engine-probe root event. The disabled path is
+    /// one relaxed load and a predictable branch; `now_micros` (a clock read)
+    /// is invoked only when the event is actually sampled.
+    #[inline]
+    pub fn sample_probe(
+        &self,
+        kind: ProbeKind,
+        now_micros: impl FnOnce() -> u64,
+    ) -> Option<TraceCtx> {
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_OFF => None,
+            MODE_EVERY_NTH => self.sample_nth(now_micros),
+            _ => {
+                let n = self.per_probe[kind.index()].load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let c = self.probe_seen[kind.index()].fetch_add(1, Ordering::Relaxed);
+                c.is_multiple_of(u64::from(n))
+                    .then(|| self.start(now_micros()))
+            }
+        }
+    }
+
+    /// Sampling decision for an internally raised root event (timer alarm,
+    /// monitor tick, test dispatch). Only every-Nth mode samples these —
+    /// per-probe mode is scoped to engine probes by construction.
+    #[inline]
+    pub fn sample_internal(&self, now_micros: impl FnOnce() -> u64) -> Option<TraceCtx> {
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_EVERY_NTH => self.sample_nth(now_micros),
+            _ => None,
+        }
+    }
+
+    fn sample_nth(&self, now_micros: impl FnOnce() -> u64) -> Option<TraceCtx> {
+        let n = u64::from(self.every_n.load(Ordering::Relaxed).max(1));
+        let c = self.seen.fetch_add(1, Ordering::Relaxed);
+        c.is_multiple_of(n).then(|| self.start(now_micros()))
+    }
+
+    fn start(&self, now_micros: u64) -> TraceCtx {
+        self.sampled.fetch_add(1, Ordering::Relaxed);
+        TraceCtx {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            started_micros: now_micros,
+            sw: Stopwatch::start(),
+            spans: self.pool.take(),
+            max_depth: 0,
+            evaluations: 0,
+            fires: 0,
+            truncated: false,
+        }
+    }
+
+    /// Seal a staged trace into the ring. Empty traces (the sampled event
+    /// had no subscribed rules) are discarded; evicted traces' span buffers
+    /// go back to the pool.
+    pub fn finish(&self, ctx: TraceCtx) {
+        if ctx.spans.is_empty() {
+            self.pool.put(ctx.spans);
+            return;
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.spans_recorded
+            .fetch_add(ctx.spans.len() as u64, Ordering::Relaxed);
+        self.max_depth
+            .fetch_max(u64::from(ctx.max_depth), Ordering::Relaxed);
+        let snapshot = TraceSnapshot {
+            trace_id: ctx.id,
+            root_event: ctx
+                .spans
+                .first()
+                .map(|s| s.kind.label().to_string())
+                .unwrap_or_default(),
+            started_micros: ctx.started_micros,
+            duration_nanos: ctx.sw.elapsed_nanos(),
+            max_cascade_depth: ctx.max_depth,
+            evaluations: ctx.evaluations,
+            fires: ctx.fires,
+            truncated: ctx.truncated,
+            spans: ctx.spans,
+        };
+        if let Some(evicted) = self.ring.push(snapshot) {
+            self.pool.put(evicted.spans);
+        }
+    }
+
+    /// Completed traces, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceSnapshot> {
+        self.ring.snapshot()
+    }
+
+    /// Drop all retained traces (their buffers are recycled).
+    pub fn clear(&self) {
+        for trace in self.ring.drain() {
+            self.pool.put(trace.spans);
+        }
+    }
+
+    pub fn telemetry(&self) -> TracingTelemetry {
+        let sampling = match self.sampling() {
+            TraceSampling::Off => "off".to_string(),
+            TraceSampling::EveryNth(n) => format!("every_nth({n})"),
+            TraceSampling::PerProbe(_) => "per_probe".to_string(),
+        };
+        TracingTelemetry {
+            sampling,
+            sampled: self.sampled.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            dropped: self.ring.dropped(),
+            spans: self.spans_recorded.load(Ordering::Relaxed),
+            max_cascade_depth: self.max_depth.load(Ordering::Relaxed),
+            ring_len: self.ring.len() as u64,
+            ring_capacity: self.ring.capacity() as u64,
+        }
+    }
+}
+
+// ------------------------------------------------------------ explainer
+
+/// Build the "why it fired / why it didn't" explainer for one condition
+/// evaluation: every `Qualifier.Name` leaf the condition references, with
+/// the value it bound to (or `<no row>` for a failed implicit ∃), then the
+/// decision. Runs only on sampled evaluations.
+pub(crate) fn explain_condition(
+    condition: Option<&Expr>,
+    ctx: &EvalContext,
+    fired: bool,
+    cond_error: bool,
+) -> String {
+    let Some(cond) = condition else {
+        return "no condition -> always fires".to_string();
+    };
+    let mut refs: Vec<(String, String)> = Vec::new();
+    cond.walk(&mut |e| {
+        if let Expr::Column {
+            qualifier: Some(q),
+            name,
+        } = e
+        {
+            if !refs.iter().any(|(rq, rn)| rq == q && rn == name) {
+                refs.push((q.clone(), name.clone()));
+            }
+        }
+    });
+    let mut out = String::new();
+    let mut missing_row = false;
+    for (q, name) in &refs {
+        if !out.is_empty() {
+            out.push_str(", ");
+        }
+        match ctx.resolve(q, name) {
+            Ok(v) => out.push_str(&format!("{q}.{name}={v}")),
+            Err(sqlcm_common::Error::NoLatRow) => {
+                missing_row = true;
+                out.push_str(&format!("{q}.{name}=<no row>"));
+            }
+            Err(e) => out.push_str(&format!("{q}.{name}=<error: {e}>")),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no bound references)");
+    }
+    if cond_error {
+        out.push_str(" -> error");
+    } else if fired {
+        out.push_str(" -> true");
+    } else if missing_row {
+        out.push_str(" -> false (missing LAT row)");
+    } else {
+        out.push_str(" -> false");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_trace() -> TraceCtx {
+        Tracer::new().start(5)
+    }
+
+    #[test]
+    fn span_ids_are_dense_and_nesting_links_hold() {
+        let mut t = ctx_trace();
+        let ev = t.open_event("Query.Commit".into(), NONE_SPAN, 0);
+        let rule = t.open_rule(ev, "track");
+        t.lat_lookup(rule, "Hot", true, true);
+        let action = t.open_action(rule, "Insert");
+        let mutation = t.lat_mutation(action, "Hot", "insert", 1);
+        let child = t.open_event("Lat.Eviction(Hot)".into(), mutation, 1);
+        t.close(child);
+        t.close(action);
+        t.rule_outcome(rule, true, "x -> true".into());
+        t.close(rule);
+        t.close(ev);
+        assert_eq!(t.spans.len(), 6);
+        assert!(t.spans.iter().enumerate().all(|(i, s)| s.id as usize == i));
+        assert_eq!(t.spans[1].parent, Some(ev));
+        assert_eq!(t.spans[3].parent, Some(rule));
+        assert_eq!(t.spans[4].parent, Some(action));
+        assert_eq!(t.spans[5].parent, None, "events are top-level");
+        assert_eq!(t.spans[5].cause, Some(mutation), "provenance via cause");
+        assert_eq!(t.max_depth, 1);
+        assert_eq!((t.evaluations, t.fires), (1, 1));
+    }
+
+    #[test]
+    fn truncation_stops_recording_and_flags_the_trace() {
+        let mut t = ctx_trace();
+        let ev = t.open_event("Query.Commit".into(), NONE_SPAN, 0);
+        for _ in 0..MAX_SPANS_PER_TRACE + 10 {
+            t.lat_lookup(ev, "L", false, false);
+        }
+        assert_eq!(t.spans.len(), MAX_SPANS_PER_TRACE);
+        assert!(t.truncated);
+        // Opens past the cap return NONE_SPAN and later ops on it no-op.
+        let dead = t.open_rule(ev, "r");
+        assert_eq!(dead, NONE_SPAN);
+        t.rule_outcome(dead, true, "ignored".into());
+        t.close(dead);
+        assert_eq!(t.fires, 1, "outcome on a dead span still counts the fire");
+    }
+
+    #[test]
+    fn tracer_round_trip_and_ring_drop_oldest() {
+        let tracer = Tracer::new();
+        tracer.set_sampling(TraceSampling::EveryNth(1));
+        for i in 0..(TRACE_RING_CAPACITY + 5) {
+            let mut ctx = tracer.sample_internal(|| i as u64).expect("every event");
+            let ev = ctx.open_event("Monitor.Tick".into(), NONE_SPAN, 0);
+            ctx.close(ev);
+            tracer.finish(ctx);
+        }
+        let traces = tracer.snapshot();
+        assert_eq!(traces.len(), TRACE_RING_CAPACITY);
+        // Oldest dropped: the first retained trace is #6.
+        assert_eq!(traces[0].trace_id, 6);
+        assert!(traces.windows(2).all(|w| w[0].trace_id < w[1].trace_id));
+        let tt = tracer.telemetry();
+        assert_eq!(tt.dropped, 5);
+        assert_eq!(tt.completed, (TRACE_RING_CAPACITY + 5) as u64);
+        tracer.clear();
+        assert!(tracer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn empty_traces_are_discarded() {
+        let tracer = Tracer::new();
+        tracer.set_sampling(TraceSampling::EveryNth(1));
+        let ctx = tracer.sample_internal(|| 0).unwrap();
+        tracer.finish(ctx);
+        assert!(tracer.snapshot().is_empty());
+        let tt = tracer.telemetry();
+        assert_eq!(tt.sampled, 1);
+        assert_eq!(tt.completed, 0);
+    }
+
+    #[test]
+    fn every_nth_samples_at_the_requested_rate() {
+        let tracer = Tracer::new();
+        tracer.set_sampling(TraceSampling::EveryNth(4));
+        let sampled = (0..100)
+            .filter(|_| tracer.sample_internal(|| 0).is_some())
+            .count();
+        assert_eq!(sampled, 25);
+        assert_eq!(tracer.sampling(), TraceSampling::EveryNth(4));
+    }
+
+    #[test]
+    fn per_probe_scopes_sampling_to_listed_kinds() {
+        let tracer = Tracer::new();
+        tracer.set_sampling(TraceSampling::PerProbe(vec![(ProbeKind::QueryCommit, 2)]));
+        let commits = (0..10)
+            .filter(|_| tracer.sample_probe(ProbeKind::QueryCommit, || 0).is_some())
+            .count();
+        let logins = (0..10)
+            .filter(|_| tracer.sample_probe(ProbeKind::Login, || 0).is_some())
+            .count();
+        assert_eq!(commits, 5);
+        assert_eq!(logins, 0);
+        assert!(
+            tracer.sample_internal(|| 0).is_none(),
+            "internal roots excluded"
+        );
+        assert_eq!(
+            tracer.sampling(),
+            TraceSampling::PerProbe(vec![(ProbeKind::QueryCommit, 2)])
+        );
+    }
+
+    #[test]
+    fn text_tree_places_cascades_under_their_cause() {
+        let tracer = Tracer::new();
+        tracer.set_sampling(TraceSampling::EveryNth(1));
+        let mut ctx = tracer.sample_internal(|| 0).unwrap();
+        let ev = ctx.open_event("Query.Commit".into(), NONE_SPAN, 0);
+        let rule = ctx.open_rule(ev, "track");
+        let action = ctx.open_action(rule, "Insert");
+        let mutation = ctx.lat_mutation(action, "Hot", "insert", 1);
+        ctx.close(action);
+        ctx.rule_outcome(rule, true, "always".into());
+        ctx.close(rule);
+        ctx.close(ev);
+        let child = ctx.open_event("Lat.Eviction(Hot)".into(), mutation, 1);
+        ctx.close(child);
+        tracer.finish(ctx);
+        let trace = tracer.snapshot().pop().unwrap();
+        let tree = trace.to_text_tree();
+        let mutation_line = tree
+            .lines()
+            .find(|l| l.contains("mutate Hot"))
+            .expect("mutation rendered");
+        let event_line = tree
+            .lines()
+            .find(|l| l.contains("event Lat.Eviction(Hot)"))
+            .expect("cascaded event rendered");
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(
+            indent(event_line) > indent(mutation_line),
+            "cascaded event is nested under its cause:\n{tree}"
+        );
+        assert!(tree.contains("rule track FIRED"));
+    }
+
+    #[test]
+    fn chrome_export_is_structurally_sound() {
+        let tracer = Tracer::new();
+        tracer.set_sampling(TraceSampling::EveryNth(1));
+        let mut ctx = tracer.sample_internal(|| 123).unwrap();
+        let ev = ctx.open_event("Query.Commit".into(), NONE_SPAN, 0);
+        let rule = ctx.open_rule(ev, "needs \"escaping\"");
+        ctx.rule_outcome(rule, false, "Hot.N=<no row> -> false".into());
+        ctx.close(rule);
+        ctx.close(ev);
+        tracer.finish(ctx);
+        let json = chrome_trace_json(&tracer.snapshot());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ns\"}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("needs \\\"escaping\\\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+}

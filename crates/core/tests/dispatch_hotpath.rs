@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use sqlcm_common::{EngineEvent, QueryInfo};
 use sqlcm_core::sinks::CommandSink;
-use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm, TraceSampling};
 use sqlcm_engine::Engine;
 
 /// Counts allocations made by this test binary.
@@ -130,6 +130,60 @@ fn subscribed_nonfiring_dispatch_allocates_nothing() {
         "steady-state subscribed dispatch allocated"
     );
     assert_eq!(after.reg_lock_acquisitions, before.reg_lock_acquisitions);
+}
+
+/// Causal tracing must be pay-for-what-you-use: with sampling off the
+/// dispatch path takes one relaxed atomic load and nothing else — no heap
+/// allocations, no registry locks. That must hold on a fresh instance *and*
+/// after an enable → trace → disable cycle (no sticky state left behind).
+#[test]
+fn tracing_disabled_dispatch_stays_allocation_and_lock_free() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("slow")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 1000000"),
+        )
+        .unwrap();
+    let ev = commit_event(7, 0.001);
+
+    // Cycle tracing on, capture some traces, then off again.
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+    }
+    assert!(!sqlcm.traces().is_empty(), "sampled events must trace");
+    sqlcm.set_trace_sampling(TraceSampling::Off);
+    let traces_before = sqlcm.telemetry().tracing.sampled;
+
+    // Warm the pools, then measure the steady state.
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+    }
+    let before = sqlcm.telemetry().dispatch;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sqlcm.inject_event(&ev);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = sqlcm.telemetry().dispatch;
+
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "tracing-disabled dispatch allocated after an enable/disable cycle"
+    );
+    assert_eq!(
+        after.reg_lock_acquisitions, before.reg_lock_acquisitions,
+        "tracing-disabled dispatch took a registry lock"
+    );
+    assert_eq!(
+        sqlcm.telemetry().tracing.sampled,
+        traces_before,
+        "no events may be sampled while tracing is off"
+    );
 }
 
 /// Plan bookkeeping: every registry mutation republishes the plan exactly once

@@ -1,0 +1,750 @@
+//! Integration tests for the causal-tracing subsystem: provenance trees over
+//! cascading dispatches, rule-firing explainers, sampling policies, the
+//! bounded trace ring, flight-recorder cross-links, and the Chrome
+//! trace-event export.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use sqlcm_common::{EngineEvent, ProbeKind, QueryInfo};
+use sqlcm_core::sinks::CommandSink;
+use sqlcm_core::trace::TRACE_RING_CAPACITY;
+use sqlcm_core::{
+    chrome_trace_json, Action, LatAggFunc, LatSpec, Rule, RuleEvent, SpanKind, Sqlcm,
+    TraceSampling, TraceSnapshot,
+};
+use sqlcm_engine::Engine;
+
+fn commit_event(sig: u64, secs: f64) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(sig, "SELECT 1");
+    q.logical_signature = Some(sig);
+    q.duration_micros = (secs * 1e6) as u64;
+    EngineEvent::QueryCommit(q)
+}
+
+/// Bounded LAT + feed rule + eviction-subscribed rule: once the LAT is full,
+/// each new group cascades a `Lat.Eviction(Hot)` event in the same dispatch.
+fn cascading_monitor() -> (Engine, Sqlcm) {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Hot")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Max, "Query.Duration", "D")
+                .order_by("D", true)
+                .max_rows(2),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Hot")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("spill")
+                .on(RuleEvent::LatEviction("Hot".into()))
+                .then(Action::send_mail("dba", "row spilled")),
+        )
+        .unwrap();
+    (engine, sqlcm)
+}
+
+/// Structural invariants every trace must satisfy: dense span IDs, parents
+/// open before and close after their children, instants never parent
+/// anything, and only cascaded `Event` spans carry a `cause` link.
+fn assert_well_formed(trace: &TraceSnapshot) {
+    for (i, span) in trace.spans.iter().enumerate() {
+        assert_eq!(span.id as usize, i, "span ids are dense indices");
+        assert!(span.end_nanos >= span.start_nanos);
+        if let Some(p) = span.parent {
+            let parent = &trace.spans[p as usize];
+            assert!(p < span.id, "parents open before their children");
+            assert!(span.start_nanos >= parent.start_nanos);
+            assert!(
+                span.end_nanos <= parent.end_nanos,
+                "children must close before their parent"
+            );
+            assert!(
+                !matches!(
+                    parent.kind,
+                    SpanKind::LatLookup { .. } | SpanKind::LatMutation { .. }
+                ),
+                "instant spans cannot parent anything"
+            );
+        }
+        if let Some(c) = span.cause {
+            assert!((c as usize) < trace.spans.len());
+            assert!(
+                matches!(span.kind, SpanKind::Event { .. }),
+                "only cascaded events carry a cause link"
+            );
+        }
+    }
+}
+
+#[test]
+fn eviction_cascade_is_traced_with_provenance() {
+    let (_engine, sqlcm) = cascading_monitor();
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+    for (sig, secs) in [(1u64, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)] {
+        sqlcm.inject_event(&commit_event(sig, secs));
+    }
+    let traces = sqlcm.traces();
+    assert_eq!(traces.len(), 4);
+    for t in &traces {
+        assert_well_formed(t);
+    }
+
+    // Commits 3 and 4 overflow the 2-row LAT: their traces carry the cascade.
+    let t = traces.last().unwrap();
+    assert_eq!(t.root_event, "Query.Commit");
+    assert_eq!(t.max_cascade_depth, 1);
+    let evict = t
+        .spans
+        .iter()
+        .find(|s| matches!(&s.kind, SpanKind::Event { name, .. } if name == "Lat.Eviction(Hot)"))
+        .expect("the eviction dispatch must appear as an event span");
+    let SpanKind::Event { depth, .. } = &evict.kind else {
+        unreachable!()
+    };
+    assert_eq!(*depth, 1);
+    assert!(
+        evict.parent.is_none(),
+        "cascaded events are top-level spans"
+    );
+
+    // Provenance chain: eviction event <- LAT mutation <- Insert <- "feed".
+    let cause = &t.spans[evict.cause.expect("cascaded event has a cause") as usize];
+    match &cause.kind {
+        SpanKind::LatMutation { lat, op, evicted } => {
+            assert_eq!(lat, "Hot");
+            assert_eq!(*op, "insert");
+            assert_eq!(*evicted, 1);
+        }
+        other => panic!("cause must be the LAT mutation span, got {other:?}"),
+    }
+    let action = &t.spans[cause.parent.expect("mutation nests under its action") as usize];
+    assert!(matches!(
+        &action.kind,
+        SpanKind::Action {
+            action: "Insert",
+            ok: true
+        }
+    ));
+    let rule = &t.spans[action.parent.expect("action nests under its rule") as usize];
+    assert!(matches!(&rule.kind, SpanKind::Rule { name, fired: true, .. } if name == "feed"));
+    // The eviction event evaluated "spill", which sent the mail.
+    assert!(t
+        .spans
+        .iter()
+        .any(|s| matches!(&s.kind, SpanKind::Rule { name, fired: true, .. } if name == "spill")));
+    assert_eq!(
+        sqlcm.outbox().len(),
+        2,
+        "commits 3 and 4 each spill one row"
+    );
+
+    // Depth agrees everywhere: per-trace, telemetry, and the analyzer's
+    // static bound (observed depth can never exceed the bound).
+    assert_eq!(sqlcm.cascade_depth_bound(), 1);
+    let tel = sqlcm.telemetry().tracing;
+    assert_eq!(tel.max_cascade_depth, 1);
+    assert!(tel.max_cascade_depth as usize <= sqlcm.cascade_depth_bound());
+    assert_eq!(tel.sampled, 4);
+    assert_eq!(tel.completed, 4);
+
+    // With EveryNth(1) every evaluation and fire is traced, so the per-trace
+    // counters reconcile exactly with the global stats.
+    let evals: u32 = traces.iter().map(|t| t.evaluations).sum();
+    let fires: u32 = traces.iter().map(|t| t.fires).sum();
+    let stats = sqlcm.stats();
+    assert_eq!(u64::from(evals), stats.evaluations);
+    assert_eq!(u64::from(fires), stats.fires);
+
+    // The text tree renders the cascade under its cause.
+    let tree = t.to_text_tree();
+    assert!(tree.contains("event Lat.Eviction(Hot) depth=1"), "{tree}");
+    assert!(tree.contains("mutate Hot insert evicted=1"), "{tree}");
+}
+
+#[test]
+fn rule_explainers_show_bound_values_and_missing_rows() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Seen")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    // Registered before "feed", so on the first commit the LAT has no row yet.
+    sqlcm
+        .add_rule(
+            Rule::new("watch")
+                .on(RuleEvent::QueryCommit)
+                .when("Seen.N >= 2")
+                .then(Action::send_mail("dba", "hot template")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Seen")),
+        )
+        .unwrap();
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+    for _ in 0..3 {
+        sqlcm.inject_event(&commit_event(7, 0.5));
+    }
+    let traces = sqlcm.traces();
+    assert_eq!(traces.len(), 3);
+
+    let explain_of = |t: &TraceSnapshot, rule: &str| -> (bool, String) {
+        t.spans
+            .iter()
+            .find_map(|s| match &s.kind {
+                SpanKind::Rule {
+                    name,
+                    fired,
+                    explain,
+                } if name == rule => Some((*fired, explain.clone())),
+                _ => None,
+            })
+            .expect("rule span present in trace")
+    };
+
+    // Event 1: no LAT row yet — the implicit ∃ fails and the explainer says so.
+    let (fired, why) = explain_of(&traces[0], "watch");
+    assert!(!fired);
+    assert_eq!(why, "Seen.N=<no row> -> false (missing LAT row)");
+    assert!(traces[0]
+        .spans
+        .iter()
+        .any(|s| matches!(&s.kind, SpanKind::LatLookup { lat, hit: false, .. } if lat == "Seen")));
+
+    // Event 2: the row exists with N=1 — bound value shown, still false.
+    let (fired, why) = explain_of(&traces[1], "watch");
+    assert!(!fired);
+    assert_eq!(why, "Seen.N=1 -> false");
+
+    // Event 3: N=2 — the condition holds.
+    let (fired, why) = explain_of(&traces[2], "watch");
+    assert!(fired);
+    assert_eq!(why, "Seen.N=2 -> true");
+    assert!(traces[2]
+        .spans
+        .iter()
+        .any(|s| matches!(&s.kind, SpanKind::LatLookup { lat, hit: true, .. } if lat == "Seen")));
+
+    // Unconditional rules get the degenerate explainer.
+    let (fired, why) = explain_of(&traces[0], "feed");
+    assert!(fired);
+    assert_eq!(why, "no condition -> always fires");
+}
+
+#[test]
+fn sampling_modes_gate_trace_collection() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 1000000"),
+        )
+        .unwrap();
+    let ev = commit_event(1, 0.1);
+
+    assert_eq!(sqlcm.trace_sampling(), TraceSampling::Off);
+    sqlcm.inject_event(&ev);
+    assert!(sqlcm.traces().is_empty(), "tracing is off by default");
+
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(4));
+    assert_eq!(sqlcm.trace_sampling(), TraceSampling::EveryNth(4));
+    for _ in 0..100 {
+        sqlcm.inject_event(&ev);
+    }
+    assert_eq!(sqlcm.traces().len(), 25, "1-in-4 of 100 events");
+    assert_eq!(sqlcm.telemetry().tracing.sampled, 25);
+
+    // Per-probe sampling only traces the listed kinds.
+    sqlcm.clear_traces();
+    sqlcm.set_trace_sampling(TraceSampling::PerProbe(vec![(ProbeKind::QueryStart, 1)]));
+    for _ in 0..10 {
+        sqlcm.inject_event(&ev);
+    }
+    assert!(
+        sqlcm.traces().is_empty(),
+        "commits are not in the per-probe list"
+    );
+    sqlcm.set_trace_sampling(TraceSampling::PerProbe(vec![(ProbeKind::QueryCommit, 2)]));
+    for _ in 0..10 {
+        sqlcm.inject_event(&ev);
+    }
+    assert_eq!(sqlcm.traces().len(), 5, "1-in-2 of 10 commits");
+
+    sqlcm.set_trace_sampling(TraceSampling::Off);
+    for _ in 0..10 {
+        sqlcm.inject_event(&ev);
+    }
+    assert_eq!(sqlcm.traces().len(), 5, "disabling stops collection");
+}
+
+#[test]
+fn trace_ring_keeps_the_newest_and_reports_drops() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .add_rule(
+            Rule::new("r")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 1000000"),
+        )
+        .unwrap();
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+    let ev = commit_event(1, 0.1);
+    let total = TRACE_RING_CAPACITY + 6;
+    for _ in 0..total {
+        sqlcm.inject_event(&ev);
+    }
+    let traces = sqlcm.traces();
+    assert_eq!(traces.len(), TRACE_RING_CAPACITY);
+    assert_eq!(traces[0].trace_id, 7, "the six oldest traces were dropped");
+    for w in traces.windows(2) {
+        assert!(w[0].trace_id < w[1].trace_id, "ring preserves order");
+    }
+    let tel = sqlcm.telemetry().tracing;
+    assert_eq!(tel.completed, total as u64);
+    assert_eq!(tel.dropped, 6);
+    assert_eq!(tel.ring_len, TRACE_RING_CAPACITY as u64);
+    assert_eq!(tel.ring_capacity, TRACE_RING_CAPACITY as u64);
+
+    sqlcm.clear_traces();
+    assert!(sqlcm.traces().is_empty());
+    assert_eq!(sqlcm.telemetry().tracing.ring_len, 0);
+}
+
+#[test]
+fn flight_recorder_capacity_and_trace_ids_cross_link() {
+    let (_engine, sqlcm) = cascading_monitor();
+    sqlcm.set_telemetry_enabled(true);
+    sqlcm.set_flight_recorder_capacity(4);
+    assert_eq!(sqlcm.flight_recorder_capacity(), 4);
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+    for sig in 1..=10u64 {
+        sqlcm.inject_event(&commit_event(sig, sig as f64));
+    }
+    let tel = sqlcm.telemetry();
+    assert_eq!(tel.flight_records.len(), 4, "capacity shrunk to 4");
+    let ids: HashSet<u64> = sqlcm.traces().iter().map(|t| t.trace_id).collect();
+    for rec in &tel.flight_records {
+        assert_ne!(rec.trace_id, 0, "traced firings carry the trace id");
+        assert!(
+            ids.contains(&rec.trace_id),
+            "record's trace id {} resolves to a retained trace",
+            rec.trace_id
+        );
+    }
+
+    // Untraced firings stamp trace id 0.
+    sqlcm.set_trace_sampling(TraceSampling::Off);
+    sqlcm.inject_event(&commit_event(99, 99.0));
+    let records = sqlcm.telemetry().flight_records;
+    assert_eq!(records.last().unwrap().trace_id, 0);
+}
+
+/// A command sink that injects a fresh engine event from inside an action —
+/// the re-entrant path: the probe defers to the pending queue and dispatches
+/// in the same batch, one cascade hop deeper.
+struct Reinjector {
+    target: Mutex<Option<Arc<Sqlcm>>>,
+    ev: EngineEvent,
+}
+
+impl CommandSink for Reinjector {
+    fn run(&self, _command: &str) {
+        if let Some(s) = self.target.lock().unwrap().as_ref() {
+            s.inject_event(&self.ev);
+        }
+    }
+}
+
+#[test]
+fn reentrant_probe_inherits_cause_and_depth() {
+    let engine = Engine::in_memory();
+    let sqlcm = Arc::new(Sqlcm::attach(&engine));
+    sqlcm
+        .add_rule(
+            Rule::new("kick")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 1")
+                .then(Action::run_external("probe self")),
+        )
+        .unwrap();
+    // The re-injected commit is fast enough that "kick" does not re-fire.
+    let sink = Arc::new(Reinjector {
+        target: Mutex::new(None),
+        ev: commit_event(99, 0.001),
+    });
+    *sink.target.lock().unwrap() = Some(sqlcm.clone());
+    sqlcm.set_command_sink(sink.clone());
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+
+    sqlcm.inject_event(&commit_event(1, 2.0));
+
+    let traces = sqlcm.traces();
+    assert_eq!(
+        traces.len(),
+        1,
+        "the re-entrant event joins the root trace instead of starting its own"
+    );
+    let t = &traces[0];
+    assert_well_formed(t);
+    assert_eq!(t.max_cascade_depth, 1);
+    let inner = t
+        .spans
+        .iter()
+        .filter(|s| matches!(&s.kind, SpanKind::Event { .. }))
+        .nth(1)
+        .expect("deferred event span");
+    let SpanKind::Event { name, depth } = &inner.kind else {
+        unreachable!()
+    };
+    assert_eq!(name, "Query.Commit");
+    assert_eq!(*depth, 1);
+    let cause = &t.spans[inner
+        .cause
+        .expect("re-entrant event links its causing action") as usize];
+    assert!(matches!(
+        &cause.kind,
+        SpanKind::Action {
+            action: "RunExternal",
+            ok: true
+        }
+    ));
+    // "kick" evaluated for both commits but fired only for the slow root.
+    assert_eq!(t.evaluations, 2);
+    assert_eq!(t.fires, 1);
+}
+
+// --------------------------------------------------------------- Chrome JSON
+
+/// Minimal JSON model — enough to validate the Chrome trace export without
+/// external dependencies. Object keys keep insertion order.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Canonical re-serialization (used to prove the parse round-trips).
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Strict recursive-descent JSON parser: rejects trailing garbage.
+fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = input_slice(bytes, *pos + 1, 4)?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("bad code point {code}"))?,
+                                );
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&b) if b < 0x80 => {
+                        s.push(b as char);
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8: decode via str.
+                        let rest = std::str::from_utf8(&bytes[*pos..])
+                            .map_err(|e| format!("bad utf8: {e}"))?;
+                        let c = rest.chars().next().unwrap();
+                        s.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+        Some(b't') => {
+            literal(bytes, pos, "true")?;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') => {
+            literal(bytes, pos, "false")?;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') => {
+            literal(bytes, pos, "null")?;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn input_slice(bytes: &[u8], start: usize, len: usize) -> Result<&str, String> {
+    bytes
+        .get(start..start + len)
+        .ok_or_else(|| "truncated escape".to_string())
+        .and_then(|s| std::str::from_utf8(s).map_err(|e| format!("bad utf8: {e}")))
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("expected literal {word}"))
+    }
+}
+
+#[test]
+fn chrome_export_parses_and_round_trips() {
+    let (_engine, sqlcm) = cascading_monitor();
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(1));
+    for (sig, secs) in [(1u64, 1.0), (2, 2.0), (3, 3.0)] {
+        sqlcm.inject_event(&commit_event(sig, secs));
+    }
+    let traces = sqlcm.traces();
+    let json = chrome_trace_json(&traces);
+    let doc = parse_json(&json).expect("export must be valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    let mut by_ph: HashMap<String, usize> = HashMap::new();
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event has a phase");
+        *by_ph.entry(ph.to_string()).or_insert(0) += 1;
+        for key in ["name", "pid", "tid", "ts"] {
+            assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+        }
+        if ph == "X" {
+            assert!(e.get("dur").is_some(), "complete events carry a duration");
+        }
+    }
+    let span_count: usize = traces.iter().map(|t| t.spans.len()).sum();
+    assert_eq!(
+        by_ph.get("X").copied().unwrap_or(0) + by_ph.get("i").copied().unwrap_or(0),
+        span_count,
+        "every span exports exactly one X or i event"
+    );
+    // Cascade provenance renders as matched flow-arrow pairs.
+    let cascades = traces
+        .iter()
+        .flat_map(|t| &t.spans)
+        .filter(|s| s.cause.is_some())
+        .count();
+    assert!(cascades >= 1, "the workload must cascade at least once");
+    assert_eq!(by_ph.get("s").copied().unwrap_or(0), cascades);
+    assert_eq!(by_ph.get("f").copied().unwrap_or(0), cascades);
+
+    // Round trip: parse → serialize → parse is a fixed point.
+    let mut rendered = String::new();
+    doc.write(&mut rendered);
+    assert_eq!(parse_json(&rendered).unwrap(), doc);
+
+    // Single-trace export has the same document shape.
+    let single = parse_json(&traces[0].to_chrome_json()).unwrap();
+    assert!(single.get("traceEvents").is_some());
+}

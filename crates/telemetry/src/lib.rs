@@ -13,6 +13,9 @@
 //!   an RAII guard that records into a histogram on drop.
 //! * [`FlightRecorder`] — a bounded ring of the last N rule firings, kept so
 //!   a test failure or cancel storm can be reconstructed after the fact.
+//! * [`BoundedRing`] / [`BufferPool`] — drop-oldest retention and span-buffer
+//!   recycling for the causal-trace subsystem (`sqlcm-core::trace`): touched
+//!   once per completed sampled trace, never on the per-event path.
 //!
 //! No dependencies, std only: the crate must be linkable from every layer
 //! (engine, core, benches) without widening the build.
@@ -20,10 +23,12 @@
 mod counter;
 mod histogram;
 mod recorder;
+mod ring;
 mod timer;
 
 pub use counter::ShardedCounter;
 pub use histogram::{bucket_index, bucket_lower_bound, bucket_upper_bound};
 pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use recorder::{FlightRecord, FlightRecorder};
+pub use ring::{BoundedRing, BufferPool};
 pub use timer::{Stopwatch, TimerGuard};

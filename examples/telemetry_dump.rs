@@ -80,6 +80,10 @@ fn main() -> Result<()> {
             )),
     )?;
 
+    // Sample a slice of events so the snapshot's tracing section is live
+    // (see examples/trace_export.rs for the full causal-tracing tour).
+    sqlcm.set_trace_sampling(TraceSampling::EveryNth(64));
+
     let workload = mixed::generate(
         &db,
         mixed::MixedConfig {
@@ -137,5 +141,6 @@ fn main() -> Result<()> {
         "hoisted lookups never shared"
     );
     assert!(snapshot.dispatch.plan_rebuilds >= 6, "plan not republished");
+    assert!(snapshot.tracing.sampled > 0, "tracing section is empty");
     Ok(())
 }
