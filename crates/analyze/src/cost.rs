@@ -18,6 +18,12 @@
 //! * `Reset`, `SetTimer`, `Cancel`: 1;
 //! * `PersistObject`: 4, `PersistLat`: 8 (synchronous table writes);
 //! * `SendMail`, `RunExternal`: 6 (sink formatting and queueing).
+//!
+//! A second lint here (W204) flags the sharpest instance of the same
+//! problem regardless of total score: an *unconditional* external action
+//! (`SendMail`/`RunExternal`) attached to a hot event class. With no
+//! condition to thin the firings, every single event pays the sink — and
+//! under sink failure, every single event feeds the circuit breaker.
 
 use crate::diagnostics::{Code, Diagnostic};
 use crate::schema::SchemaUniverse;
@@ -117,6 +123,43 @@ pub fn check_rule(
                  if the event is rare",
             ),
         );
+    }
+}
+
+/// Event classes considered "hot": fired on the per-query / per-transaction
+/// path, where rates are bounded only by engine throughput. Session
+/// lifecycle (`Login`/`Logout`), blocking, timer, and monitor events are
+/// orders of magnitude rarer and excluded.
+fn is_hot_event(kind: &str) -> bool {
+    kind.starts_with("Query") || kind.starts_with("Txn")
+}
+
+/// Warn (W204) when a rule attaches an unconditional external action to a
+/// hot event class.
+pub fn check_unconditional_external(rule: &RuleIr, diags: &mut Vec<Diagnostic>) {
+    if rule.condition.is_some() || !is_hot_event(&rule.event.kind) {
+        return;
+    }
+    for action in &rule.actions {
+        if matches!(action, ActionIr::SendMail | ActionIr::RunExternal) {
+            diags.push(
+                Diagnostic::new(
+                    Code::W204,
+                    &rule.name,
+                    format!(
+                        "unconditional {} on hot event {}: every event pays the \
+                         external-sink cost",
+                        action_name(action),
+                        rule.event.kind
+                    ),
+                )
+                .with_span(action_name(action))
+                .with_help(
+                    "add a condition to thin the firings, or move the action behind a \
+                     timer rule that aggregates over a window",
+                ),
+            );
+        }
     }
 }
 

@@ -62,6 +62,10 @@ pub enum Code {
     /// Condition reads a LAT aggregate column that no admitted rule's
     /// `Insert` ever feeds — the column stays at its initial aggregate.
     W203,
+    /// Unconditional external action (`SendMail`/`RunExternal`) on a hot
+    /// event class — every single event pays the external-sink cost, with no
+    /// condition to thin the firings.
+    W204,
     /// Order-sensitive pair: an earlier same-event rule reads columns this
     /// rule writes, so swapping the two changes observable behaviour.
     W301,
@@ -73,7 +77,7 @@ pub enum Code {
 impl Code {
     /// Every code, in documentation order. New codes must be added here —
     /// the exhaustiveness test in `tests/codes.rs` walks this list.
-    pub const ALL: [Code; 15] = [
+    pub const ALL: [Code; 16] = [
         Code::E001,
         Code::E002,
         Code::E003,
@@ -87,6 +91,7 @@ impl Code {
         Code::W201,
         Code::W202,
         Code::W203,
+        Code::W204,
         Code::W301,
         Code::W302,
     ];
@@ -106,6 +111,7 @@ impl Code {
             Code::W201 => "W201",
             Code::W202 => "W202",
             Code::W203 => "W203",
+            Code::W204 => "W204",
             Code::W301 => "W301",
             Code::W302 => "W302",
         }
@@ -124,6 +130,7 @@ impl Code {
             | Code::W201
             | Code::W202
             | Code::W203
+            | Code::W204
             | Code::W301
             | Code::W302 => Severity::Warning,
         }
@@ -145,6 +152,7 @@ impl Code {
             Code::W201 => "costly rule",
             Code::W202 => "over-sharded LAT",
             Code::W203 => "read-only LAT column",
+            Code::W204 => "unconditional external action",
             Code::W301 => "order-sensitive rule pair",
             Code::W302 => "cascade amplification",
         }

@@ -28,6 +28,7 @@
 //! | W201 | warning  | estimated per-firing cost above threshold ([`cost`]) |
 //! | W202 | warning  | over-sharded LAT ([`schema`]) |
 //! | W203 | warning  | condition reads a LAT column no rule's Insert feeds ([`effects`]) |
+//! | W204 | warning  | unconditional external action on a hot event class ([`cost`]) |
 //! | W301 | warning  | adjacent same-event rules are order-sensitive ([`confluence`]) |
 //! | W302 | warning  | one event can trigger more evaluations than the cascade threshold ([`confluence`]) |
 //!
@@ -317,6 +318,7 @@ impl Analyzer {
         depgraph::check_duplicates(&self.rules, rule, &mut diags);
         depgraph::check_cascades(&self.universe, &self.rules, rule, &mut diags);
         cost::check_rule(&self.universe, rule, self.cost_threshold, &mut diags);
+        cost::check_unconditional_external(rule, &mut diags);
         // Effect/confluence lints describe how the rule will behave once
         // admitted; a rule an error already denies never runs, so piling
         // style warnings on top of the denial is noise.

@@ -224,6 +224,9 @@ impl SchemaUniverse {
                     ("Lat_Memory", Int),
                     ("Rule_Count", Int),
                     ("Lat_Count", Int),
+                    ("Overload_Stage", Int),
+                    ("Quarantined_Rules", Int),
+                    ("Deferred_Depth", Int),
                 ],
             ),
         ];

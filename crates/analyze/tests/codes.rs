@@ -414,6 +414,60 @@ fn w302_cascade_amplification() {
 }
 
 #[test]
+fn w204_unconditional_external_action() {
+    // No condition + SendMail on QueryCommit: every query pays the sink.
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[on_query_commit("blast", None, vec![ActionIr::SendMail])],
+    );
+    assert_eq!(codes(&diags), vec![Code::W204]);
+
+    // RunExternal on a Txn event is flagged the same way.
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[RuleIr {
+            name: "hook".into(),
+            event: EventIr {
+                kind: "TxnCommit".into(),
+                arg: None,
+                payload: vec!["Transaction".into()],
+            },
+            condition: None,
+            actions: vec![ActionIr::RunExternal],
+        }],
+    );
+    assert_eq!(codes(&diags), vec![Code::W204]);
+
+    // A condition thins the firings: clean.
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[on_query_commit(
+            "filtered",
+            Some("Query.Duration > 30"),
+            vec![ActionIr::SendMail],
+        )],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // Cold events (session lifecycle, timers) are excluded: an unconditional
+    // mail on login is deliberate, not a hot-path hazard.
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[RuleIr {
+            name: "greet".into(),
+            event: EventIr {
+                kind: "Login".into(),
+                arg: None,
+                payload: vec!["Session".into()],
+            },
+            condition: None,
+            actions: vec![ActionIr::SendMail],
+        }],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn code_table_is_exhaustive_and_distinct() {
     use std::collections::BTreeSet;
     let strs: BTreeSet<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();

@@ -1,0 +1,227 @@
+//! Seeded fault injection for external-action sinks.
+//!
+//! A [`FaultPlan`] describes which external-action kinds fail (mail, command,
+//! persist), at what rate, and whether the sink also *stalls* before
+//! answering. Installed via `Sqlcm::inject_faults`, it is consulted at the
+//! exact points where the monitor would touch a sink — the synchronous
+//! `SendMail`/`RunExternal`/`Persist` branches and the deferred-action pump —
+//! so the breaker, retry, and overload machinery exercise their real code
+//! paths under deterministic, seed-reproducible failure schedules.
+//!
+//! Probabilistic rates draw from a single seeded `SmallRng` behind a mutex;
+//! this is a test-only control surface (the hot path checks one relaxed
+//! `AtomicBool` before ever reaching it), so the lock is acceptable — and it
+//! keeps the schedule identical for a given seed regardless of thread
+//! interleaving *count* (per-kind `EveryNth` rates are interleaving-proof;
+//! `Prob` rates are reproducible per draw sequence).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How often an injected fault fires for one action kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultRate {
+    /// Never fail (the default).
+    Never,
+    /// Every attempt fails.
+    Always,
+    /// Each attempt fails independently with this probability, drawn from the
+    /// plan's seeded RNG.
+    Prob(f64),
+    /// Deterministic: every `n`-th attempt fails (1-based; `EveryNth(3)`
+    /// fails attempts 3, 6, 9, …). `EveryNth(0)` never fails.
+    EveryNth(u64),
+}
+
+impl FaultRate {
+    pub fn is_never(&self) -> bool {
+        matches!(self, FaultRate::Never) || matches!(self, FaultRate::EveryNth(0))
+    }
+}
+
+/// Which sink an injected fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Mail,
+    Command,
+    Persist,
+}
+
+impl FaultKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Mail => "mail",
+            FaultKind::Command => "command",
+            FaultKind::Persist => "persist",
+        }
+    }
+}
+
+/// A complete injection schedule. Build with the fluent setters:
+///
+/// ```
+/// use sqlcm_core::{FaultPlan, FaultRate};
+/// let plan = FaultPlan::seeded(42)
+///     .mail(FaultRate::Prob(0.5))
+///     .persist(FaultRate::EveryNth(3))
+///     .stall_micros(200);
+/// assert_eq!(plan.seed, 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic draws — same seed, same schedule.
+    pub seed: u64,
+    pub mail: FaultRate,
+    pub command: FaultRate,
+    pub persist: FaultRate,
+    /// Busy-stall applied before *every* faultable sink call (failed or not),
+    /// simulating a slow external dependency. 0 disables.
+    pub stall_micros: u64,
+}
+
+impl FaultPlan {
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mail: FaultRate::Never,
+            command: FaultRate::Never,
+            persist: FaultRate::Never,
+            stall_micros: 0,
+        }
+    }
+
+    pub fn mail(mut self, rate: FaultRate) -> FaultPlan {
+        self.mail = rate;
+        self
+    }
+
+    pub fn command(mut self, rate: FaultRate) -> FaultPlan {
+        self.command = rate;
+        self
+    }
+
+    pub fn persist(mut self, rate: FaultRate) -> FaultPlan {
+        self.persist = rate;
+        self
+    }
+
+    /// Apply one rate to all three kinds.
+    pub fn all(mut self, rate: FaultRate) -> FaultPlan {
+        self.mail = rate;
+        self.command = rate;
+        self.persist = rate;
+        self
+    }
+
+    pub fn stall_micros(mut self, micros: u64) -> FaultPlan {
+        self.stall_micros = micros;
+        self
+    }
+
+    fn rate(&self, kind: FaultKind) -> FaultRate {
+        match kind {
+            FaultKind::Mail => self.mail,
+            FaultKind::Command => self.command,
+            FaultKind::Persist => self.persist,
+        }
+    }
+}
+
+/// Live injection state: the plan plus its RNG and per-kind attempt/injected
+/// counters (the counters also drive `EveryNth`).
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    rng: Mutex<SmallRng>,
+    attempts: [AtomicU64; 3],
+    injected: [AtomicU64; 3],
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            rng: Mutex::new(SmallRng::seed_from_u64(plan.seed)),
+            attempts: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    fn idx(kind: FaultKind) -> usize {
+        match kind {
+            FaultKind::Mail => 0,
+            FaultKind::Command => 1,
+            FaultKind::Persist => 2,
+        }
+    }
+
+    /// Decide whether this attempt fails, advancing the per-kind attempt
+    /// counter (and the RNG for probabilistic rates).
+    pub fn should_fail(&self, kind: FaultKind) -> bool {
+        let i = Self::idx(kind);
+        let attempt = self.attempts[i].fetch_add(1, Ordering::Relaxed) + 1;
+        let fail = match self.plan.rate(kind) {
+            FaultRate::Never => false,
+            FaultRate::Always => true,
+            FaultRate::Prob(p) => {
+                if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    self.rng.lock().gen_bool(p)
+                }
+            }
+            FaultRate::EveryNth(n) => n != 0 && attempt.is_multiple_of(n),
+        };
+        if fail {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+        }
+        fail
+    }
+
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[Self::idx(kind)].load(Ordering::Relaxed)
+    }
+
+    pub fn attempts(&self, kind: FaultKind) -> u64 {
+        self.attempts[Self::idx(kind)].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_nth_is_deterministic() {
+        let s = FaultState::new(FaultPlan::seeded(1).command(FaultRate::EveryNth(3)));
+        let pattern: Vec<bool> = (0..9).map(|_| s.should_fail(FaultKind::Command)).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(s.injected(FaultKind::Command), 3);
+        assert_eq!(s.attempts(FaultKind::Command), 9);
+    }
+
+    #[test]
+    fn prob_is_seed_reproducible() {
+        let a = FaultState::new(FaultPlan::seeded(7).mail(FaultRate::Prob(0.5)));
+        let b = FaultState::new(FaultPlan::seeded(7).mail(FaultRate::Prob(0.5)));
+        let pa: Vec<bool> = (0..64).map(|_| a.should_fail(FaultKind::Mail)).collect();
+        let pb: Vec<bool> = (0..64).map(|_| b.should_fail(FaultKind::Mail)).collect();
+        assert_eq!(pa, pb);
+        assert!(pa.iter().any(|&f| f) && pa.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let s = FaultState::new(FaultPlan::seeded(1).mail(FaultRate::Always));
+        assert!(s.should_fail(FaultKind::Mail));
+        assert!(!s.should_fail(FaultKind::Command));
+        assert!(!s.should_fail(FaultKind::Persist));
+    }
+}

@@ -47,6 +47,9 @@
 
 pub mod actions;
 pub mod analysis;
+pub mod containment;
+pub mod deferred;
+pub mod fault;
 pub mod lat;
 pub mod lat_ref;
 pub mod monitor;
@@ -60,12 +63,15 @@ pub mod trace;
 
 pub use actions::Action;
 pub use analysis::{Analyzer, Code, Diagnostic, Severity};
+pub use containment::{BreakerConfig, BreakerState, OverloadPolicy, OverloadStage};
+pub use deferred::{LossEntry, RetryPolicy, DEFAULT_QUEUE_CAPACITY};
+pub use fault::{FaultKind, FaultPlan, FaultRate};
 pub use lat::{Lat, LatAggFunc, LatShardStats, LatSpec, DEFAULT_LAT_SHARDS, MAX_LAT_SHARDS};
 pub use lat_ref::ReferenceLat;
 pub use monitor::{Sqlcm, SqlcmStats};
 pub use objects::{ClassName, Object};
 pub use plan::{HoistGroup, PlanSummary};
-pub use rules::{Rule, RuleEvent};
+pub use rules::{Rule, RuleEvent, RulePriority};
 pub use sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
 pub use telemetry::{
     DispatchTelemetry, LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, TelemetrySnapshot,

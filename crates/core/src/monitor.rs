@@ -35,6 +35,14 @@ use sqlcm_telemetry::{FlightRecord, LatencyHistogram, Stopwatch};
 
 use crate::actions::{persist_rows, read_table, substitute, Action};
 use crate::analysis;
+use crate::containment::{
+    BreakerConfig, BreakerGate, BreakerState, Containment, LadderTransition, OverloadPolicy,
+    OverloadStage, RuleBreaker, LADDER_CHECK_INTERVAL,
+};
+use crate::deferred::{
+    AttemptOutcome, DeferredAction, DeferredKind, DeferredQueue, LossEntry, RetryPolicy,
+};
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::lat::{Lat, LatAggFunc, LatSpec};
 use crate::objects::{self, evicted_object, ClassName, Object};
 use crate::plan::{
@@ -44,8 +52,8 @@ use crate::plan::{
 use crate::rules::{EvalContext, LatBinding, Rule, RuleEvent};
 use crate::sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
 use crate::telemetry::{
-    DispatchTelemetry, LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, Telem,
-    TelemetrySnapshot, SELF_MONITOR_TIMER,
+    BreakerTelemetry, ContainmentTelemetry, DeferredTelemetry, DispatchTelemetry, LatTelemetry,
+    ProbeTelemetry, RuleError, RuleTelemetry, Telem, TelemetrySnapshot, SELF_MONITOR_TIMER,
 };
 use crate::timer::TimerRegistry;
 use crate::trace::{explain_condition, TraceCtx, TraceSampling, TraceSnapshot, Tracer, NONE_SPAN};
@@ -103,6 +111,16 @@ struct SqlcmInner {
     telemetry: Telem,
     /// Causal-trace state (sampling policy, trace ring, span pool).
     tracer: Tracer,
+    /// Fault-containment state: breaker switchboard + overload ladder.
+    containment: Containment,
+    /// Bounded deferred-action queue (async external actions).
+    deferred: DeferredQueue,
+    /// Route external actions through the deferred queue instead of the
+    /// raising thread. Off by default — the paper's synchronous semantics.
+    async_actions: AtomicBool,
+    /// Fast gate in front of the fault-injection plan (test control surface).
+    faults_on: AtomicBool,
+    faults: RwLock<Option<Arc<FaultState>>>,
     shutdown: AtomicBool,
 }
 
@@ -110,6 +128,7 @@ struct SqlcmInner {
 pub struct Sqlcm {
     inner: Arc<SqlcmInner>,
     timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    executor_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// The engine-facing adapter.
@@ -160,7 +179,7 @@ const VALUE_POOL_BOUND: usize = 8;
 
 impl Instrumentation for SqlcmMonitor {
     fn on_event(&self, event: &EngineEvent) {
-        self.inner.events.fetch_add(1, Ordering::Relaxed);
+        let n = self.inner.events.fetch_add(1, Ordering::Relaxed) + 1;
         let probe = event.kind();
         let telem = &self.inner.telemetry;
         // Per-kind attribution is a single sharded-counter increment and stays
@@ -177,6 +196,12 @@ impl Instrumentation for SqlcmMonitor {
         }
         if let Some(sw) = sw {
             telem.probe_latency[probe.index()].record(sw.elapsed_nanos());
+        }
+        // Containment checkpoint: a masked counter test per event; the cold
+        // body (re-admission scan + ladder step) runs every
+        // `LADDER_CHECK_INTERVAL` events.
+        if n & (LADDER_CHECK_INTERVAL - 1) == 0 {
+            self.inner.containment_checkpoint(n);
         }
     }
 
@@ -346,9 +371,17 @@ impl SqlcmInner {
         }
         // Sampling decision: with tracing off this is one relaxed atomic
         // load — the clock is read only when the event is actually sampled.
-        let mut trace = self
-            .tracer
-            .sample_probe(event.kind(), || self.clock.now_micros());
+        // Ladder stage ≥ 1 sheds the sampling entirely (counted, so the
+        // operator can see what overload suppressed).
+        let mut trace = if self.containment.stage() >= 1 {
+            if self.tracer.sampling() != TraceSampling::Off {
+                self.containment.shed_traces.incr();
+            }
+            None
+        } else {
+            self.tracer
+                .sample_probe(event.kind(), || self.clock.now_micros())
+        };
         let (mut objs, mut bufs) = SCRATCH.with(|s| {
             let mut sc = s.borrow_mut();
             (
@@ -459,8 +492,25 @@ impl SqlcmInner {
             enabled_heap = vec![false; n];
             &mut enabled_heap
         };
+        // Ladder stage ≥ 2: low-priority rules are sampled 1-in-2^k — the
+        // skip shows up in `shed_evaluations`, never as a silent gap.
+        let shedding = self.containment.stage() >= 2;
+        let sample_mask = if shedding {
+            self.containment.sample_mask()
+        } else {
+            0
+        };
         for (i, pr) in ep.rules.iter().enumerate() {
-            enabled[i] = pr.reg.rule.is_enabled();
+            let mut on = pr.reg.rule.is_enabled();
+            if on
+                && shedding
+                && pr.low_priority
+                && self.containment.shed_seq.fetch_add(1, Ordering::Relaxed) & sample_mask != 0
+            {
+                on = false;
+                self.containment.shed_evaluations.incr();
+            }
+            enabled[i] = on;
         }
         // Shared hoist-slot store for this event: each slot is fetched at
         // most once and reused by every rule referencing that LAT.
@@ -615,6 +665,20 @@ impl SqlcmInner {
         depth: u32,
     ) {
         let reg = &*pr.reg;
+        // Breaker admission. `Closed` (the steady state) costs one relaxed
+        // load; a skipped evaluation is not counted as an evaluation — the
+        // rule is effectively out of service.
+        let mut trial = false;
+        if self.containment.breakers_enabled() {
+            match reg.breaker.gate() {
+                BreakerGate::Proceed => {}
+                BreakerGate::Trial => trial = true,
+                BreakerGate::Skip => {
+                    self.containment.breaker_skips.incr();
+                    return;
+                }
+            }
+        }
         reg.rule.evaluations.fetch_add(1, Ordering::Relaxed);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         let rule_span = match trace.as_mut() {
@@ -629,6 +693,13 @@ impl SqlcmInner {
             if let Some(ctx) = trace.as_mut() {
                 ctx.rule_outcome(rule_span, false, format!("broken: {msg}"));
                 ctx.close(rule_span);
+            }
+            // A broken rule errors every evaluation by design; feeding that
+            // into the breaker window would quarantine it and *hide* the
+            // per-evaluation errors the old resolution surfaced. Only a
+            // half-open trial observes it (and re-opens).
+            if trial {
+                self.record_breaker_outcome(reg, true, true, None);
             }
             return;
         }
@@ -776,6 +847,7 @@ impl SqlcmInner {
             if let Some(tctx) = trace.as_mut() {
                 tctx.close(rule_span);
             }
+            self.record_breaker_outcome(reg, trial, cond_error, cond_nanos);
             return;
         }
         reg.rule.fires.fetch_add(1, Ordering::Relaxed);
@@ -794,7 +866,8 @@ impl SqlcmInner {
                 }
                 None => NONE_SPAN,
             };
-            let result = self.execute_compiled_action(action, &ctx, trace, action_span);
+            let result =
+                self.execute_compiled_action(&reg.rule.name, action, &ctx, trace, action_span);
             if let Some(tctx) = trace.as_mut() {
                 CASCADE_ORIGIN.with(|c| c.set((NONE_SPAN, 0)));
                 if result.is_err() {
@@ -815,8 +888,8 @@ impl SqlcmInner {
         if let Some(tctx) = trace.as_mut() {
             tctx.close(rule_span);
         }
-        if let (Some(sw), Some(cond_ns)) = (sw.as_ref(), cond_nanos) {
-            let total = sw.elapsed_nanos();
+        let total_nanos = sw.as_ref().map(|s| s.elapsed_nanos());
+        if let (Some(total), Some(cond_ns)) = (total_nanos, cond_nanos) {
             reg.action_latency.record(total.saturating_sub(cond_ns));
             self.telemetry.recorder.record(FlightRecord {
                 seq: 0,
@@ -849,10 +922,12 @@ impl SqlcmInner {
                 *slot = HoistState::Empty;
             }
         }
+        self.record_breaker_outcome(reg, trial, errors > 0, total_nanos);
     }
 
     fn execute_compiled_action(
         &self,
+        rule: &str,
         action: &CompiledAction,
         ctx: &EvalContext,
         trace: &mut Option<TraceCtx>,
@@ -870,8 +945,8 @@ impl SqlcmInner {
                 }
                 Ok(())
             }
-            CompiledAction::PersistLat { table, lat } => self.persist_lat_rows(lat, table),
-            CompiledAction::Other(a) => self.execute_action(a, ctx, trace, action_span),
+            CompiledAction::PersistLat { table, lat } => self.persist_lat_rows(rule, lat, table),
+            CompiledAction::Other(a) => self.execute_action(rule, a, ctx, trace, action_span),
         }
     }
 
@@ -937,7 +1012,7 @@ impl SqlcmInner {
         Ok(())
     }
 
-    fn persist_lat_rows(&self, lat: &Arc<Lat>, table: &str) -> Result<()> {
+    fn persist_lat_rows(&self, rule: &str, lat: &Arc<Lat>, table: &str) -> Result<()> {
         let now = self.clock.now_micros();
         let rows: Vec<Vec<Value>> = lat
             .rows_ordered()
@@ -949,12 +1024,26 @@ impl SqlcmInner {
                 r
             })
             .collect();
+        // The snapshot above is taken synchronously either way — async mode
+        // defers only the write, not the paper-mandated read point.
+        if self.async_actions.load(Ordering::Relaxed) {
+            self.enqueue_deferred(
+                rule,
+                DeferredKind::Persist {
+                    table: table.to_string(),
+                    rows,
+                },
+            );
+            return Ok(());
+        }
+        self.check_fault(FaultKind::Persist)?;
         persist_rows(&self.engine, table, rows)?;
         Ok(())
     }
 
     fn execute_action(
         &self,
+        rule: &str,
         action: &Action,
         ctx: &EvalContext,
         trace: &mut Option<TraceCtx>,
@@ -993,21 +1082,44 @@ impl SqlcmInner {
                         })
                     })
                     .collect::<Result<_>>()?;
+                // Resolution errors above stay synchronous (they depend on the
+                // evaluation context); only the table write is deferrable.
+                if self.async_actions.load(Ordering::Relaxed) {
+                    self.enqueue_deferred(
+                        rule,
+                        DeferredKind::Persist {
+                            table: table.clone(),
+                            rows: vec![row],
+                        },
+                    );
+                    return Ok(());
+                }
+                self.check_fault(FaultKind::Persist)?;
                 persist_rows(&self.engine, table, vec![row])?;
                 Ok(())
             }
             Action::PersistLat { table, lat } => {
                 let lat = self.lat(lat)?;
-                self.persist_lat_rows(&lat, table)
+                self.persist_lat_rows(rule, &lat, table)
             }
             Action::SendMail { to, template } => {
                 let body = substitute(template, ctx);
                 let to = substitute(to, ctx);
+                if self.async_actions.load(Ordering::Relaxed) {
+                    self.enqueue_deferred(rule, DeferredKind::Mail { to, body });
+                    return Ok(());
+                }
+                self.check_fault(FaultKind::Mail)?;
                 self.mail_sink.read().send(&to, &body);
                 Ok(())
             }
             Action::RunExternal { template } => {
                 let cmd = substitute(template, ctx);
+                if self.async_actions.load(Ordering::Relaxed) {
+                    self.enqueue_deferred(rule, DeferredKind::Command { cmd });
+                    return Ok(());
+                }
+                self.check_fault(FaultKind::Command)?;
                 self.command_sink.read().run(&cmd);
                 Ok(())
             }
@@ -1052,10 +1164,297 @@ impl SqlcmInner {
         *self.last_error.lock() = Some(msg);
     }
 
+    // ------------------------------------------------------------ containment
+
+    /// Cold containment checkpoint, every [`LADDER_CHECK_INTERVAL`] events:
+    /// scan quarantined rules for cooldown-expired re-admission, then step the
+    /// overload ladder. With no quarantined rules and no policy installed,
+    /// this is two relaxed loads — the hot-path pins stay intact.
+    fn containment_checkpoint(&self, events_now: u64) {
+        self.scan_quarantined();
+        if self.containment.policy_enabled() {
+            if let Some(t) = self
+                .containment
+                .ladder_step(self.clock.now_micros(), events_now)
+            {
+                self.on_ladder_transition(t);
+            }
+        }
+    }
+
+    /// Scan quarantined rules for cooldown-expired `Open → HalfOpen`
+    /// re-admission; republish the plan when any rule moved. Returns how many
+    /// breakers re-opened.
+    fn scan_quarantined(&self) -> u32 {
+        let plan = self.plan.load();
+        if plan.quarantined.is_empty() {
+            return 0;
+        }
+        let now = self.clock.now_micros();
+        let mut reopened = 0;
+        for reg in &plan.quarantined {
+            if reg.breaker.maybe_half_open(now) {
+                self.containment.breaker_reopens.incr();
+                self.note_breaker("Breaker.Reopen", &reg.rule.name, 0);
+                reopened += 1;
+            }
+        }
+        if reopened > 0 {
+            // Republish with the half-open rules back in their event plans;
+            // their gates admit exactly one trial each.
+            self.rebuild_plan();
+        }
+        reopened
+    }
+
+    /// Count, flight-record, and (when a rule subscribes) dispatch a ladder
+    /// transition as a synthetic `Monitor`-class event.
+    fn on_ladder_transition(&self, t: LadderTransition) {
+        self.containment.transitions.incr();
+        self.telemetry.recorder.record(FlightRecord {
+            seq: 0,
+            event: "Monitor.Overload".to_string(),
+            rule: format!("{}->{}", t.from.as_str(), t.to.as_str()),
+            fired: false,
+            actions: 0,
+            errors: 0,
+            duration_nanos: t.rate_events_per_sec as u64,
+            trace_id: 0,
+        });
+        if self.has_rules_for(&RuleEvent::MonitorTick) {
+            let health = self.telemetry_snapshot().health();
+            self.dispatch(
+                RuleEvent::MonitorTick,
+                vec![objects::monitor_object(&health)],
+            );
+        }
+    }
+
+    /// Feed one evaluation outcome into the rule's breaker (or resolve its
+    /// half-open trial) and quarantine on a trip. No-cost when breakers are
+    /// disabled.
+    fn record_breaker_outcome(
+        &self,
+        reg: &Registered,
+        trial: bool,
+        error: bool,
+        dur_nanos: Option<u64>,
+    ) {
+        if !self.containment.breakers_enabled() {
+            return;
+        }
+        if trial {
+            if error {
+                if reg.breaker.trial_failed(self.clock.now_micros()) {
+                    self.containment.breaker_trips.incr();
+                    self.note_breaker("Breaker.Trip", &reg.rule.name, 1);
+                    self.record_error(
+                        &reg.rule.name,
+                        format!(
+                            "rule {} failed its half-open trial; breaker re-opened",
+                            reg.rule.name
+                        ),
+                    );
+                    self.rebuild_plan();
+                }
+            } else {
+                reg.breaker.trial_succeeded();
+                self.containment.breaker_closes.incr();
+                self.note_breaker("Breaker.Close", &reg.rule.name, 0);
+            }
+            return;
+        }
+        let budget = reg.breaker.latency_budget_nanos();
+        let slow = matches!(dur_nanos, Some(ns) if budget > 0 && ns > budget);
+        let tighten = self.containment.stage() >= 3;
+        if reg
+            .breaker
+            .record_outcome(error, slow, tighten, || self.clock.now_micros())
+        {
+            self.containment.breaker_trips.incr();
+            self.note_breaker("Breaker.Trip", &reg.rule.name, 1);
+            self.record_error(
+                &reg.rule.name,
+                format!(
+                    "rule {} tripped its circuit breaker; quarantined",
+                    reg.rule.name
+                ),
+            );
+            self.rebuild_plan();
+        }
+    }
+
+    /// Flight-record a breaker transition (trip/reopen/close) so the recorder
+    /// shows *why* a rule disappeared from (or returned to) the plan.
+    fn note_breaker(&self, what: &str, rule: &str, errors: u32) {
+        self.telemetry.recorder.record(FlightRecord {
+            seq: 0,
+            event: what.to_string(),
+            rule: rule.to_string(),
+            fired: false,
+            actions: 0,
+            errors,
+            duration_nanos: 0,
+            trace_id: 0,
+        });
+    }
+
+    /// Consult the installed fault plan (if any) before a sink call. One
+    /// relaxed load when injection is off.
+    fn check_fault(&self, kind: FaultKind) -> Result<()> {
+        if !self.faults_on.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let Some(faults) = self.faults.read().clone() else {
+            return Ok(());
+        };
+        if faults.plan.stall_micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(faults.plan.stall_micros));
+        }
+        if faults.should_fail(kind) {
+            return Err(Error::Monitor(format!("injected {} fault", kind.as_str())));
+        }
+        Ok(())
+    }
+
+    fn enqueue_deferred(&self, rule: &str, kind: DeferredKind) {
+        self.deferred.enqueue(rule, kind, self.clock.now_micros());
+    }
+
+    /// Drain every currently-due deferred action, executing, retrying, or
+    /// exhausting each. Returns the number of successful executions.
+    fn pump_deferred(&self) -> u32 {
+        let now = self.clock.now_micros();
+        let mut done = 0u32;
+        while let Some(mut a) = self.deferred.take_due(now) {
+            if self.deferred.already_executed(a.key) {
+                continue;
+            }
+            match self.execute_deferred(&a) {
+                Ok(()) => {
+                    self.deferred.mark_executed(a.key);
+                    self.breaker_outcome_by_name(&a.rule, false);
+                    done += 1;
+                }
+                Err(e) => {
+                    a.attempts += 1;
+                    self.action_errors.fetch_add(1, Ordering::Relaxed);
+                    self.record_error(
+                        &a.rule,
+                        format!(
+                            "deferred {} action of rule {} failed (attempt {}): {e}",
+                            a.kind.kind_str(),
+                            a.rule,
+                            a.attempts
+                        ),
+                    );
+                    self.breaker_outcome_by_name(&a.rule, true);
+                    let rule = a.rule.clone();
+                    if let AttemptOutcome::Exhausted = self.deferred.reschedule_or_exhaust(a, now) {
+                        self.record_error(
+                            &rule,
+                            format!("deferred action of rule {rule} exhausted its retries"),
+                        );
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Execute one resolved deferred action against the live sinks (with
+    /// fault injection applied at the same points as the sync path).
+    fn execute_deferred(&self, a: &DeferredAction) -> Result<()> {
+        match &a.kind {
+            DeferredKind::Mail { to, body } => {
+                self.check_fault(FaultKind::Mail)?;
+                self.mail_sink.read().send(to, body);
+                Ok(())
+            }
+            DeferredKind::Command { cmd } => {
+                self.check_fault(FaultKind::Command)?;
+                self.command_sink.read().run(cmd);
+                Ok(())
+            }
+            DeferredKind::Persist { table, rows } => {
+                self.check_fault(FaultKind::Persist)?;
+                persist_rows(&self.engine, table, rows.clone())?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Attribute a deferred-execution outcome back to the producing rule's
+    /// breaker (and its per-rule error counter on failure).
+    fn breaker_outcome_by_name(&self, rule: &str, error: bool) {
+        let plan = self.plan.load();
+        let Some(reg) = plan.rules.iter().find(|r| r.rule.name == rule) else {
+            return;
+        };
+        if error {
+            reg.rule.action_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record_breaker_outcome(reg, false, error, None);
+    }
+
+    /// Assemble the containment slice of the telemetry snapshot.
+    fn containment_telemetry(&self) -> ContainmentTelemetry {
+        let plan = self.plan.load();
+        let quarantined: Vec<String> = plan
+            .quarantined
+            .iter()
+            .map(|r| r.rule.name.clone())
+            .collect();
+        let mut breakers: Vec<BreakerTelemetry> = plan
+            .rules
+            .iter()
+            .filter(|r| r.breaker.state() != BreakerState::Closed || r.breaker.trips() > 0)
+            .map(|r| BreakerTelemetry {
+                rule: r.rule.name.clone(),
+                state: r.breaker.state().as_str(),
+                trips: r.breaker.trips(),
+                skipped: r.breaker.skipped(),
+            })
+            .collect();
+        breakers.sort_by(|a, b| a.rule.cmp(&b.rule));
+        let c = &self.containment;
+        let d = &self.deferred;
+        ContainmentTelemetry {
+            breakers_enabled: c.breakers_enabled(),
+            overload_stage: c.stage() as u64,
+            overload_transitions: c.transitions.get(),
+            shed_traces: c.shed_traces.get(),
+            shed_evaluations: c.shed_evaluations.get(),
+            breaker_trips: c.breaker_trips.get(),
+            breaker_reopens: c.breaker_reopens.get(),
+            breaker_closes: c.breaker_closes.get(),
+            breaker_skipped: c.breaker_skips.get(),
+            quarantined,
+            breakers,
+            deferred: DeferredTelemetry {
+                enabled: self.async_actions.load(Ordering::Relaxed),
+                queue_depth: d.depth() as u64,
+                capacity: d.capacity() as u64,
+                high_water: d.high_water.load(Ordering::Relaxed),
+                enqueued: d.enqueued.load(Ordering::Relaxed),
+                executed: d.executed.load(Ordering::Relaxed),
+                failed_attempts: d.failed_attempts.load(Ordering::Relaxed),
+                retries: d.retries.load(Ordering::Relaxed),
+                dropped_overflow: d.dropped_overflow.load(Ordering::Relaxed),
+                dropped_exhausted: d.dropped_exhausted.load(Ordering::Relaxed),
+                deduped: d.deduped.load(Ordering::Relaxed),
+            },
+            losses: d.losses(),
+        }
+    }
+
     /// Fire due timers on the calling thread. Alarms on the reserved
     /// self-monitoring timer become `Monitor.Tick` events instead of
     /// `Timer.Alarm` ones.
     fn poll_timers(&self) {
+        // Timer polling doubles as a re-admission heartbeat: quarantined
+        // rules get their probation scan even when no events are flowing.
+        self.scan_quarantined();
         for alarm in self.timers.due_timers() {
             if alarm.name == SELF_MONITOR_TIMER {
                 self.poll_self_monitor();
@@ -1165,6 +1564,7 @@ impl SqlcmInner {
             flight_records: telem.recorder.snapshot(),
             flight_total: telem.recorder.total_recorded(),
             tracing: self.tracer.telemetry(),
+            containment: self.containment_telemetry(),
         }
     }
 }
@@ -1204,6 +1604,11 @@ impl Sqlcm {
             coarse_invalidation: AtomicBool::new(false),
             telemetry: Telem::new(),
             tracer: Tracer::new(),
+            containment: Containment::new(),
+            deferred: DeferredQueue::new(),
+            async_actions: AtomicBool::new(false),
+            faults_on: AtomicBool::new(false),
+            faults: RwLock::new(None),
             shutdown: AtomicBool::new(false),
         });
         engine.attach_monitor(Arc::new(SqlcmMonitor {
@@ -1212,6 +1617,7 @@ impl Sqlcm {
         Sqlcm {
             inner,
             timer_thread: Mutex::new(None),
+            executor_thread: Mutex::new(None),
         }
     }
 
@@ -1525,6 +1931,7 @@ impl Sqlcm {
             cond_latency: LatencyHistogram::new(),
             action_latency: LatencyHistogram::new(),
             effects: Some(effects),
+            breaker: RuleBreaker::new(self.inner.containment.default_breaker_config()),
         }));
         drop(rules);
         // Publish a plan containing the new rule, then fold its subscription
@@ -1634,6 +2041,208 @@ impl Sqlcm {
                 None => break,
             }
         }));
+    }
+
+    // ------------------------------------------------------------ containment
+
+    /// Enable/disable per-rule circuit breakers (default on). Disabling
+    /// force-closes every breaker and republishes the plan, so a quarantined
+    /// rule returns to service immediately.
+    pub fn set_breakers_enabled(&self, on: bool) {
+        self.inner.containment.set_breakers_enabled(on);
+        if !on {
+            for reg in self.inner.rules.read().iter() {
+                reg.breaker.force_close();
+            }
+            self.inner.rebuild_plan();
+        }
+    }
+
+    pub fn breakers_enabled(&self) -> bool {
+        self.inner.containment.breakers_enabled()
+    }
+
+    /// Set the default breaker config *and* apply it to every registered
+    /// rule's breaker (state and windows are preserved; only thresholds move).
+    pub fn set_breaker_config(&self, cfg: BreakerConfig) {
+        self.inner.containment.set_default_breaker_config(cfg);
+        for reg in self.inner.rules.read().iter() {
+            reg.breaker.set_config(cfg);
+        }
+    }
+
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.inner.containment.default_breaker_config()
+    }
+
+    /// Override one rule's breaker config. Returns whether the rule exists.
+    pub fn set_rule_breaker_config(&self, rule: &str, cfg: BreakerConfig) -> bool {
+        match self.inner.rules.read().iter().find(|r| r.rule.name == rule) {
+            Some(r) => {
+                r.breaker.set_config(cfg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current breaker state of a rule (`None` for unknown rules).
+    pub fn breaker_state(&self, rule: &str) -> Option<BreakerState> {
+        self.inner
+            .rules
+            .read()
+            .iter()
+            .find(|r| r.rule.name == rule)
+            .map(|r| r.breaker.state())
+    }
+
+    /// Scan quarantined rules for cooldown-expired half-open re-admission
+    /// now (the event-path checkpoint and timer polling do this too).
+    /// Returns how many breakers re-opened into probation.
+    pub fn poll_breakers(&self) -> u32 {
+        self.inner.scan_quarantined()
+    }
+
+    /// Route external actions (`SendMail`, `RunExternal`, `Persist*`) through
+    /// the bounded deferred queue instead of executing them in the raising
+    /// thread. `Insert`/`Reset`/`Set`/`Cancel` stay synchronous — their
+    /// effects feed rule state the very next event may read (§5).
+    pub fn set_async_actions(&self, on: bool) {
+        self.inner.async_actions.store(on, Ordering::Relaxed);
+    }
+
+    pub fn async_actions(&self) -> bool {
+        self.inner.async_actions.load(Ordering::Relaxed)
+    }
+
+    /// Drain due deferred actions on the calling thread; returns successful
+    /// executions. Deterministic twin of [`Sqlcm::start_action_executor`].
+    pub fn pump_deferred_actions(&self) -> u32 {
+        self.inner.pump_deferred()
+    }
+
+    /// Start the background executor thread draining the deferred queue at
+    /// `interval`.
+    pub fn start_action_executor(&self, interval: std::time::Duration) {
+        let mut guard = self.executor_thread.lock();
+        if guard.is_some() {
+            return;
+        }
+        let weak: Weak<SqlcmInner> = Arc::downgrade(&self.inner);
+        *guard = Some(std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            match weak.upgrade() {
+                Some(inner) => {
+                    if inner.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    inner.pump_deferred();
+                }
+                None => break,
+            }
+        }));
+    }
+
+    pub fn deferred_queue_depth(&self) -> usize {
+        self.inner.deferred.depth()
+    }
+
+    /// Resize the deferred-action queue (clamped to ≥ 1). Shrinking below the
+    /// current depth sheds the oldest entries into the loss ledger on the
+    /// next enqueue.
+    pub fn set_deferred_queue_capacity(&self, capacity: usize) {
+        self.inner.deferred.set_capacity(capacity);
+    }
+
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.deferred.set_policy(policy);
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.deferred.policy()
+    }
+
+    /// The loss ledger: every dropped deferred action by (rule, reason).
+    pub fn loss_ledger(&self) -> Vec<LossEntry> {
+        self.inner.deferred.losses()
+    }
+
+    /// Total deferred actions lost (overflow + exhausted retries) — the
+    /// conservation identity is `enqueued == executed + lost + depth`.
+    pub fn total_action_losses(&self) -> u64 {
+        self.inner.deferred.total_losses()
+    }
+
+    /// One rule's current breaker thresholds (`None` for unknown rules).
+    pub fn rule_breaker_config(&self, rule: &str) -> Option<BreakerConfig> {
+        self.inner
+            .rules
+            .read()
+            .iter()
+            .find(|r| r.rule.name == rule)
+            .map(|r| r.breaker.config())
+    }
+
+    /// Faults injected so far for one sink kind (0 when no plan installed).
+    pub fn injected_faults(&self, kind: FaultKind) -> u64 {
+        self.inner
+            .faults
+            .read()
+            .as_ref()
+            .map(|f| f.injected(kind))
+            .unwrap_or(0)
+    }
+
+    /// Sink attempts observed by the fault layer for one kind (0 when no
+    /// plan installed).
+    pub fn faultable_attempts(&self, kind: FaultKind) -> u64 {
+        self.inner
+            .faults
+            .read()
+            .as_ref()
+            .map(|f| f.attempts(kind))
+            .unwrap_or(0)
+    }
+
+    /// Install (or with `None`, remove) a seeded fault-injection plan. Test
+    /// control surface: the hot path pays one relaxed load when no plan is
+    /// installed.
+    pub fn inject_faults(&self, plan: Option<FaultPlan>) {
+        match plan {
+            Some(p) => {
+                *self.inner.faults.write() = Some(Arc::new(FaultState::new(p)));
+                self.inner.faults_on.store(true, Ordering::Relaxed);
+            }
+            None => {
+                self.inner.faults_on.store(false, Ordering::Relaxed);
+                *self.inner.faults.write() = None;
+            }
+        }
+    }
+
+    /// Install (or with `None`, remove) the overload-ladder policy. With no
+    /// policy the ladder never leaves [`OverloadStage::Full`].
+    pub fn set_overload_policy(&self, policy: Option<OverloadPolicy>) {
+        match policy {
+            Some(p) => self.inner.containment.set_policy(
+                p,
+                self.inner.clock.now_micros(),
+                self.inner.events.load(Ordering::Relaxed),
+            ),
+            None => self.inner.containment.clear_policy(),
+        }
+    }
+
+    pub fn overload_stage(&self) -> OverloadStage {
+        OverloadStage::from_u8(self.inner.containment.stage())
+    }
+
+    /// The installed ladder policy, if any.
+    pub fn overload_policy(&self) -> Option<OverloadPolicy> {
+        self.inner
+            .containment
+            .policy_enabled()
+            .then(|| self.inner.containment.policy())
     }
 
     // ------------------------------------------------------------ sinks & stats
@@ -1776,8 +2385,11 @@ impl Sqlcm {
 impl Drop for Sqlcm {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
-        // The thread holds only a Weak; it exits on its next poll.
+        // The threads hold only a Weak; they exit on their next poll.
         if let Some(h) = self.timer_thread.lock().take() {
+            let _ = h;
+        }
+        if let Some(h) = self.executor_thread.lock().take() {
             let _ = h;
         }
     }

@@ -415,6 +415,9 @@ pub const MONITOR_ATTRS: &[&str] = &[
     "Lat_Memory",
     "Rule_Count",
     "Lat_Count",
+    "Overload_Stage",
+    "Quarantined_Rules",
+    "Deferred_Depth",
 ];
 
 /// The monitor-health values carried by a `Monitor` object. Latencies are in
@@ -434,6 +437,9 @@ pub struct MonitorHealth {
     pub lat_memory_bytes: u64,
     pub rule_count: u64,
     pub lat_count: u64,
+    pub overload_stage: u64,
+    pub quarantined_rules: u64,
+    pub deferred_depth: u64,
 }
 
 /// Build the `Monitor` object the self-monitoring bridge dispatches.
@@ -461,6 +467,9 @@ pub fn monitor_object(h: &MonitorHealth) -> Object {
             Value::Int(h.lat_memory_bytes as i64),
             Value::Int(h.rule_count as i64),
             Value::Int(h.lat_count as i64),
+            Value::Int(h.overload_stage as i64),
+            Value::Int(h.quarantined_rules as i64),
+            Value::Int(h.deferred_depth as i64),
         ],
     )
 }

@@ -33,6 +33,7 @@ use sqlcm_common::{ProbeKind, ProbeMask, Value};
 use sqlcm_telemetry::LatencyHistogram;
 
 use crate::actions::Action;
+use crate::containment::RuleBreaker;
 use crate::lat::Lat;
 use crate::objects::ClassName;
 use crate::rules::{Rule, RuleEvent};
@@ -63,6 +64,10 @@ pub(crate) struct Registered {
     /// registration. `None` (rule admitted without analysis, e.g. in unit
     /// tests) falls back to coarse whole-LAT invalidation.
     pub effects: Option<Arc<RuleEffects>>,
+    /// Fault-containment circuit breaker. Lives here (not on the plan) so its
+    /// sliding window and state survive plan rebuilds; a rule whose breaker
+    /// is `Open` at build time is quarantined out of the event plans.
+    pub breaker: RuleBreaker,
 }
 
 /// An action with its LAT target (if any) pre-resolved — no name lookup on the
@@ -135,6 +140,9 @@ pub(crate) struct PlanRule {
     /// Set when the rule cannot run under the current registry (a condition
     /// LAT was dropped); evaluation records this error instead of running.
     pub broken: Option<String>,
+    /// Cached `Rule::priority == Low` — overload ladder stage ≥ 2 samples
+    /// these rules instead of evaluating every combination.
+    pub low_priority: bool,
 }
 
 /// All rules subscribed to one event, in registration order, plus the shared
@@ -192,6 +200,10 @@ pub(crate) struct DispatchPlan {
     dynamics: HashMap<RuleEvent, EventPlan>,
     /// Every registered rule in registration order (telemetry iteration).
     pub rules: Vec<Arc<Registered>>,
+    /// Rules excluded from the event plans because their breaker was `Open`
+    /// at build time. The containment checkpoint scans this list (lock-free —
+    /// the plan is immutable) for cooldown-expired breakers to re-admit.
+    pub quarantined: Vec<Arc<Registered>>,
 }
 
 impl DispatchPlan {
@@ -207,8 +219,23 @@ impl DispatchPlan {
     ) -> DispatchPlan {
         let mut statics: [EventPlan; STATIC_EVENTS] = std::array::from_fn(|_| EventPlan::default());
         let mut dynamics: HashMap<RuleEvent, EventPlan> = HashMap::new();
+        let mut quarantined: Vec<Arc<Registered>> = Vec::new();
+        // Probe kinds whose only subscribers are quarantined: the interest
+        // mask must stay conservative for them, exactly like disabled rules —
+        // events must keep flowing so the containment checkpoint can run the
+        // half-open probation and re-admit the rule.
+        let mut quarantined_mask = ProbeMask::EMPTY;
         for reg in rules {
             let event = &reg.rule.event;
+            if reg.breaker.is_open() {
+                if let Some(i) = static_index(event) {
+                    if i < ProbeKind::COUNT {
+                        quarantined_mask.set(ProbeKind::ALL[i]);
+                    }
+                }
+                quarantined.push(reg.clone());
+                continue;
+            }
             let ep = match static_index(event) {
                 Some(i) => &mut statics[i],
                 None => dynamics.entry(event.clone()).or_default(),
@@ -228,7 +255,7 @@ impl DispatchPlan {
         }
         let mut probe_mask = ProbeMask::EMPTY;
         for kind in ProbeKind::ALL {
-            if !statics[kind.index()].rules.is_empty() {
+            if !statics[kind.index()].rules.is_empty() || quarantined_mask.contains(kind) {
                 probe_mask.set(kind);
             }
         }
@@ -238,6 +265,7 @@ impl DispatchPlan {
             statics,
             dynamics,
             rules: rules.to_vec(),
+            quarantined,
         }
     }
 
@@ -254,6 +282,7 @@ impl DispatchPlan {
                 Some(lat) => resolved.push(lat.clone()),
                 None => {
                     return PlanRule {
+                        low_priority: reg.rule.is_low_priority(),
                         reg: reg.clone(),
                         lats: Vec::new(),
                         lat_slots: Vec::new(),
@@ -289,6 +318,7 @@ impl DispatchPlan {
             lat_slots.push(slot as u32);
         }
         PlanRule {
+            low_priority: reg.rule.is_low_priority(),
             reg: reg.clone(),
             lats: resolved,
             lat_slots,
@@ -588,6 +618,7 @@ mod tests {
             cond_latency: LatencyHistogram::new(),
             action_latency: LatencyHistogram::new(),
             effects: None,
+            breaker: RuleBreaker::new(crate::containment::BreakerConfig::default()),
         })
     }
 

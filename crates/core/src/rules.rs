@@ -95,6 +95,16 @@ impl std::fmt::Display for RuleEvent {
     }
 }
 
+/// Scheduling class for the overload ladder (see `Sqlcm::set_overload_policy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RulePriority {
+    /// Always evaluated (the default).
+    #[default]
+    Normal,
+    /// Sampled 1-in-2^k while the monitor sheds load.
+    Low,
+}
+
 /// Rule-level counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RuleStats {
@@ -113,6 +123,9 @@ pub struct Rule {
     /// Parsed condition; `None` ⇒ always true.
     pub condition: Option<Expr>,
     pub actions: Vec<Action>,
+    /// Overload-ladder scheduling class: `Low`-priority rules are sampled
+    /// (not fully evaluated) when the monitor sheds load at stage ≥ 2.
+    pub priority: RulePriority,
     enabled: AtomicBool,
     pub(crate) evaluations: AtomicU64,
     pub(crate) fires: AtomicU64,
@@ -129,6 +142,7 @@ impl Rule {
             event: RuleEvent::QueryCommit,
             condition: None,
             actions: Vec::new(),
+            priority: RulePriority::Normal,
             enabled: AtomicBool::new(true),
             evaluations: AtomicU64::new(0),
             fires: AtomicU64::new(0),
@@ -161,6 +175,19 @@ impl Rule {
     pub fn then(mut self, action: Action) -> Rule {
         self.actions.push(action);
         self
+    }
+
+    /// Mark the rule low-priority: under overload (ladder stage ≥ 2) the
+    /// monitor evaluates it for only a sampled subset of events instead of
+    /// every combination. Best for statistics gatherers whose LAT aggregates
+    /// stay meaningful under sampling, never for enforcement rules.
+    pub fn low_priority(mut self) -> Rule {
+        self.priority = RulePriority::Low;
+        self
+    }
+
+    pub fn is_low_priority(&self) -> bool {
+        self.priority == RulePriority::Low
     }
 
     pub fn is_enabled(&self) -> bool {

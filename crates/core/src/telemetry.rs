@@ -219,6 +219,73 @@ pub struct LatTelemetry {
     pub lock_contentions: u64,
 }
 
+/// Per-rule breaker state in a [`ContainmentTelemetry`]. Only rules whose
+/// breaker is not `Closed`, or that have tripped at least once, are listed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerTelemetry {
+    pub rule: String,
+    /// `"closed"`, `"open"`, or `"half-open"`.
+    pub state: &'static str,
+    /// Times this rule's breaker tripped (including failed half-open trials).
+    pub trips: u64,
+    /// Evaluations skipped while the breaker was not closed.
+    pub skipped: u64,
+}
+
+/// Deferred-action-queue slice of a telemetry snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeferredTelemetry {
+    /// Whether async external actions are on (`Sqlcm::set_async_actions`).
+    pub enabled: bool,
+    pub queue_depth: u64,
+    pub capacity: u64,
+    /// Deepest the queue has ever been.
+    pub high_water: u64,
+    pub enqueued: u64,
+    /// Actions executed successfully (each counted once, however many
+    /// attempts it took).
+    pub executed: u64,
+    /// Failed execution attempts (a single action can contribute several).
+    pub failed_attempts: u64,
+    /// Attempts rescheduled with backoff.
+    pub retries: u64,
+    /// Actions dropped oldest-first on queue overflow.
+    pub dropped_overflow: u64,
+    /// Actions dropped after exhausting the retry policy.
+    pub dropped_exhausted: u64,
+    /// Executions suppressed by the idempotency-key ring.
+    pub deduped: u64,
+}
+
+/// Fault-containment slice of a telemetry snapshot: circuit breakers, the
+/// overload ladder, and the deferred-action queue with its loss ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContainmentTelemetry {
+    pub breakers_enabled: bool,
+    /// Current overload-ladder stage (0 = full, 3 = tightened).
+    pub overload_stage: u64,
+    /// Ladder stage transitions since attach.
+    pub overload_transitions: u64,
+    /// Trace-sampling decisions suppressed at stage ≥ 1.
+    pub shed_traces: u64,
+    /// Low-priority evaluations skipped by sampling at stage ≥ 2.
+    pub shed_evaluations: u64,
+    pub breaker_trips: u64,
+    /// `Open → HalfOpen` probation re-admissions.
+    pub breaker_reopens: u64,
+    /// Successful half-open trials (breaker closed again).
+    pub breaker_closes: u64,
+    /// Evaluations skipped across all non-closed breakers.
+    pub breaker_skipped: u64,
+    /// Rules quarantined out of the current dispatch plan.
+    pub quarantined: Vec<String>,
+    /// Per-rule breaker detail (non-closed or previously tripped only).
+    pub breakers: Vec<BreakerTelemetry>,
+    pub deferred: DeferredTelemetry,
+    /// Loss ledger: every shed or dropped deferred action, by (rule, reason).
+    pub losses: Vec<crate::deferred::LossEntry>,
+}
+
 /// A point-in-time, owned view of everything the monitor knows about itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetrySnapshot {
@@ -240,6 +307,8 @@ pub struct TelemetrySnapshot {
     /// Causal-tracing state: sampling policy, traces completed/dropped,
     /// deepest cascade observed (see `crate::trace`).
     pub tracing: TracingTelemetry,
+    /// Fault-containment state: breakers, overload ladder, deferred queue.
+    pub containment: ContainmentTelemetry,
 }
 
 impl TelemetrySnapshot {
@@ -281,6 +350,9 @@ impl TelemetrySnapshot {
             lat_memory_bytes: self.lats.iter().map(|l| l.memory_bytes).sum(),
             rule_count: self.rules.len() as u64,
             lat_count: self.lats.len() as u64,
+            overload_stage: self.containment.overload_stage,
+            quarantined_rules: self.containment.quarantined.len() as u64,
+            deferred_depth: self.containment.deferred.queue_depth,
         }
     }
 
@@ -371,6 +443,49 @@ impl TelemetrySnapshot {
             self.tracing.ring_len,
             self.tracing.ring_capacity,
         );
+        let c = &self.containment;
+        let _ = writeln!(
+            out,
+            "containment: breakers={} stage={} transitions={} trips={} reopens={} closes={} skipped={} shed_traces={} shed_evals={}",
+            if c.breakers_enabled { "on" } else { "off" },
+            c.overload_stage,
+            c.overload_transitions,
+            c.breaker_trips,
+            c.breaker_reopens,
+            c.breaker_closes,
+            c.breaker_skipped,
+            c.shed_traces,
+            c.shed_evaluations,
+        );
+        if !c.quarantined.is_empty() {
+            let _ = writeln!(out, "  quarantined: {}", c.quarantined.join(", "));
+        }
+        for b in &c.breakers {
+            let _ = writeln!(
+                out,
+                "  breaker {:<22} state={:<9} trips={} skipped={}",
+                b.rule, b.state, b.trips, b.skipped
+            );
+        }
+        let d = &c.deferred;
+        let _ = writeln!(
+            out,
+            "deferred actions: {} depth={}/{} high_water={} enqueued={} executed={} failed_attempts={} retries={} dropped_overflow={} dropped_exhausted={} deduped={}",
+            if d.enabled { "async" } else { "sync" },
+            d.queue_depth,
+            d.capacity,
+            d.high_water,
+            d.enqueued,
+            d.executed,
+            d.failed_attempts,
+            d.retries,
+            d.dropped_overflow,
+            d.dropped_exhausted,
+            d.deduped,
+        );
+        for l in &c.losses {
+            let _ = writeln!(out, "  lost {:<22} {:<18} x{}", l.rule, l.reason, l.count);
+        }
         let _ = writeln!(
             out,
             "flight recorder ({} shown, {} total):",
@@ -487,6 +602,68 @@ impl TelemetrySnapshot {
             self.tracing.ring_len,
             self.tracing.ring_capacity
         ));
+        let c = &self.containment;
+        out.push_str(",\"containment\":{");
+        out.push_str(&format!(
+            "\"breakers_enabled\":{},\"overload_stage\":{},\"overload_transitions\":{},\"shed_traces\":{},\"shed_evaluations\":{},\"breaker_trips\":{},\"breaker_reopens\":{},\"breaker_closes\":{},\"breaker_skipped\":{}",
+            c.breakers_enabled,
+            c.overload_stage,
+            c.overload_transitions,
+            c.shed_traces,
+            c.shed_evaluations,
+            c.breaker_trips,
+            c.breaker_reopens,
+            c.breaker_closes,
+            c.breaker_skipped
+        ));
+        out.push_str(",\"quarantined\":[");
+        for (i, q) in c.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(q));
+        }
+        out.push_str("],\"breakers\":[");
+        for (i, b) in c.breakers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"state\":{},\"trips\":{},\"skipped\":{}}}",
+                json_str(&b.rule),
+                json_str(b.state),
+                b.trips,
+                b.skipped
+            ));
+        }
+        let d = &c.deferred;
+        out.push_str(&format!(
+            "],\"deferred\":{{\"enabled\":{},\"queue_depth\":{},\"capacity\":{},\"high_water\":{},\"enqueued\":{},\"executed\":{},\"failed_attempts\":{},\"retries\":{},\"dropped_overflow\":{},\"dropped_exhausted\":{},\"deduped\":{}}}",
+            d.enabled,
+            d.queue_depth,
+            d.capacity,
+            d.high_water,
+            d.enqueued,
+            d.executed,
+            d.failed_attempts,
+            d.retries,
+            d.dropped_overflow,
+            d.dropped_exhausted,
+            d.deduped
+        ));
+        out.push_str(",\"losses\":[");
+        for (i, l) in c.losses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"reason\":{},\"count\":{}}}",
+                json_str(&l.rule),
+                json_str(l.reason),
+                l.count
+            ));
+        }
+        out.push_str("]}");
         out.push_str(",\"flight_recorder\":{\"total\":");
         out.push_str(&self.flight_total.to_string());
         out.push_str(",\"records\":[");
@@ -595,13 +772,17 @@ mod tests {
             flight_records: Vec::new(),
             flight_total: 0,
             tracing: TracingTelemetry::default(),
+            containment: ContainmentTelemetry::default(),
         };
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"probes\":[]"));
         assert!(json.contains("\"dispatch\":{\"plan_epoch\":0"));
         assert!(json.contains("\"tracing\":{\"sampling\":\"off\""));
+        assert!(json.contains("\"containment\":{\"breakers_enabled\":false"));
+        assert!(json.contains("\"losses\":[]"));
         assert!(snap.to_text().contains("tracing: sampling=off"));
+        assert!(snap.to_text().contains("containment: breakers=off stage=0"));
         assert!(snap
             .to_text()
             .contains("flight recorder (0 shown, 0 total)"));

@@ -1,0 +1,194 @@
+//! Retry-backoff and breaker-probation timing, pinned on a manual clock —
+//! no sleeps, every deadline checked one microsecond either side.
+//!
+//! * The deferred executor's retry schedule is exactly `base · 2^(n−1)`
+//!   (capped) with jitter off, and stays inside `± jitter` bounds with it on.
+//! * An open breaker re-admits nothing until `cooldown_micros` has elapsed,
+//!   then becomes half-open; a failed trial re-opens it and **restarts** the
+//!   cooldown from the failure instant.
+
+use sqlcm_common::{EngineEvent, ManualClock, QueryInfo};
+use sqlcm_core::{
+    Action, BreakerConfig, BreakerState, FaultKind, FaultPlan, FaultRate, RetryPolicy, Rule,
+    RuleEvent, Sqlcm,
+};
+use sqlcm_engine::engine::EngineConfig;
+use sqlcm_engine::Engine;
+
+fn manual_setup() -> (Engine, Sqlcm, std::sync::Arc<ManualClock>) {
+    let (clock, handle) = ManualClock::shared(0);
+    let engine = Engine::new(EngineConfig {
+        clock: Some(clock),
+        ..Default::default()
+    })
+    .unwrap();
+    let sqlcm = Sqlcm::attach(&engine);
+    (engine, sqlcm, handle)
+}
+
+fn commit_event() -> EngineEvent {
+    let mut q = QueryInfo::synthetic(1, "q");
+    q.logical_signature = Some(1);
+    q.duration_micros = 10_000;
+    EngineEvent::QueryCommit(q)
+}
+
+#[test]
+fn retry_schedule_is_exactly_base_times_two_to_the_n() {
+    let (_engine, sqlcm, handle) = manual_setup();
+    sqlcm.set_async_actions(true);
+    sqlcm.set_retry_policy(RetryPolicy {
+        max_attempts: 4,
+        base_backoff_micros: 100_000,
+        max_backoff_micros: 10_000_000,
+        jitter: 0.0,
+    });
+    sqlcm.inject_faults(Some(FaultPlan::seeded(1).mail(FaultRate::Always)));
+    sqlcm
+        .add_rule(
+            Rule::new("mailer")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::send_mail("dba", "x")),
+        )
+        .unwrap();
+
+    sqlcm.inject_event(&commit_event());
+    assert_eq!(sqlcm.deferred_queue_depth(), 1);
+    // The pump reports *successful* executions; against an always-failing
+    // sink it reports 0, so the per-kind attempt counter is the probe.
+    let attempts = |sqlcm: &Sqlcm| sqlcm.faultable_attempts(FaultKind::Mail);
+
+    // Attempt 1 is due immediately on enqueue.
+    sqlcm.pump_deferred_actions();
+    assert_eq!(attempts(&sqlcm), 1);
+    // Not due again at the same instant.
+    sqlcm.pump_deferred_actions();
+    assert_eq!(attempts(&sqlcm), 1);
+
+    // Attempt n+1 comes due exactly base·2^(n−1) after attempt n fails.
+    for (n, backoff) in [(2u64, 100_000u64), (3, 200_000), (4, 400_000)] {
+        handle.advance(backoff - 1);
+        sqlcm.pump_deferred_actions();
+        assert_eq!(attempts(&sqlcm), n - 1, "attempt {n} ran early");
+        handle.advance(1);
+        sqlcm.pump_deferred_actions();
+        assert_eq!(attempts(&sqlcm), n, "attempt {n} not due");
+    }
+
+    // Attempt 4 was the last: the action is exhausted, not rescheduled.
+    let d = sqlcm.telemetry().containment.deferred;
+    assert_eq!(d.failed_attempts, 4);
+    assert_eq!(d.retries, 3);
+    assert_eq!(d.dropped_exhausted, 1);
+    assert_eq!(d.queue_depth, 0);
+    assert_eq!(sqlcm.loss_ledger()[0].reason, "retries-exhausted");
+    handle.advance(100_000_000);
+    sqlcm.pump_deferred_actions();
+    assert_eq!(attempts(&sqlcm), 4, "exhausted action came back");
+}
+
+#[test]
+fn jittered_retry_stays_inside_the_jitter_band() {
+    let (_engine, sqlcm, handle) = manual_setup();
+    sqlcm.set_async_actions(true);
+    sqlcm.set_retry_policy(RetryPolicy {
+        max_attempts: 3,
+        base_backoff_micros: 100_000,
+        max_backoff_micros: 10_000_000,
+        jitter: 0.2,
+    });
+    sqlcm.inject_faults(Some(FaultPlan::seeded(2).mail(FaultRate::Always)));
+    sqlcm
+        .add_rule(
+            Rule::new("mailer")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::send_mail("dba", "x")),
+        )
+        .unwrap();
+    sqlcm.inject_event(&commit_event());
+    sqlcm.pump_deferred_actions();
+    assert_eq!(sqlcm.faultable_attempts(FaultKind::Mail), 1);
+
+    // The retry must not be due before base·(1−jitter) …
+    handle.advance(80_000 - 1);
+    sqlcm.pump_deferred_actions();
+    assert_eq!(
+        sqlcm.faultable_attempts(FaultKind::Mail),
+        1,
+        "retry ran before −20%"
+    );
+    // … and must be due by base·(1+jitter).
+    handle.advance(40_001);
+    sqlcm.pump_deferred_actions();
+    assert_eq!(
+        sqlcm.faultable_attempts(FaultKind::Mail),
+        2,
+        "retry overdue past +20%"
+    );
+}
+
+#[test]
+fn cooldown_gates_probation_and_restarts_on_trial_failure() {
+    let (_engine, sqlcm, handle) = manual_setup();
+    const COOLDOWN: u64 = 1_000_000;
+    sqlcm.set_breaker_config(BreakerConfig {
+        error_threshold: 2,
+        min_outcomes: 4,
+        cooldown_micros: COOLDOWN,
+        ..Default::default()
+    });
+    // Synchronous actions against a dead command sink: every firing records
+    // an error outcome into the breaker window.
+    sqlcm.inject_faults(Some(FaultPlan::seeded(3).command(FaultRate::Always)));
+    sqlcm
+        .add_rule(
+            Rule::new("hook")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::run_external("doomed")),
+        )
+        .unwrap();
+
+    let ev = commit_event();
+    for _ in 0..4 {
+        sqlcm.inject_event(&ev);
+    }
+    assert_eq!(sqlcm.breaker_state("hook"), Some(BreakerState::Open));
+    // Quarantined: further events do not evaluate the rule.
+    let evals = sqlcm.rule("hook").unwrap().stats().evaluations;
+    sqlcm.inject_event(&ev);
+    assert_eq!(sqlcm.rule("hook").unwrap().stats().evaluations, evals);
+
+    // One microsecond short of the cooldown: still quarantined.
+    handle.advance(COOLDOWN - 1);
+    assert_eq!(sqlcm.poll_breakers(), 0);
+    assert_eq!(sqlcm.breaker_state("hook"), Some(BreakerState::Open));
+    // On the boundary: half-open, back in the plan on probation.
+    handle.advance(1);
+    assert_eq!(sqlcm.poll_breakers(), 1);
+    assert_eq!(sqlcm.breaker_state("hook"), Some(BreakerState::HalfOpen));
+
+    // The trial fires, the sink is still dead: re-opened, and the cooldown
+    // restarts *from the failed trial*, not from the original trip.
+    sqlcm.inject_event(&ev);
+    assert_eq!(sqlcm.breaker_state("hook"), Some(BreakerState::Open));
+    assert_eq!(sqlcm.poll_breakers(), 0, "cooldown must restart on failure");
+    handle.advance(COOLDOWN - 1);
+    assert_eq!(sqlcm.poll_breakers(), 0);
+    handle.advance(1);
+    assert_eq!(sqlcm.poll_breakers(), 1);
+    assert_eq!(sqlcm.breaker_state("hook"), Some(BreakerState::HalfOpen));
+
+    // Heal the sink: the next trial succeeds and the breaker closes for good.
+    sqlcm.inject_faults(None);
+    sqlcm.inject_event(&ev);
+    assert_eq!(sqlcm.breaker_state("hook"), Some(BreakerState::Closed));
+    let t = sqlcm.telemetry().containment;
+    assert_eq!(t.breaker_trips, 2);
+    assert_eq!(t.breaker_reopens, 2);
+    assert_eq!(t.breaker_closes, 1);
+    assert!(t.quarantined.is_empty());
+    // And normal service resumes.
+    let evals = sqlcm.rule("hook").unwrap().stats().evaluations;
+    sqlcm.inject_event(&ev);
+    assert_eq!(sqlcm.rule("hook").unwrap().stats().evaluations, evals + 1);
+}

@@ -1,0 +1,161 @@
+//! Differential test: with no faults injected, the circuit-breaker machinery
+//! must be observationally free. A breaker-enabled instance and a
+//! breaker-disabled instance replaying the identical event sequence must
+//! produce identical firings, identical LAT contents, identical sink output,
+//! and identical stats — and the enabled instance's breakers must never
+//! trip, skip, or leave the closed state.
+//!
+//! This pins the design contract in DESIGN.md §13: fault containment is
+//! pay-for-what-goes-wrong; the healthy path does not change behaviour.
+
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::{Action, BreakerState, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm, SqlcmStats};
+use sqlcm_engine::Engine;
+
+fn commit_event(i: u64) -> EngineEvent {
+    // Deterministic mix: 16 signatures, durations cycling 0–990 ms so the
+    // conditional rules flip between firing and not firing.
+    let sig = (i * 7) % 16;
+    let mut q = QueryInfo::synthetic(i, format!("q{sig}"));
+    q.logical_signature = Some(sig);
+    q.duration_micros = (i % 100) * 10_000;
+    EngineEvent::QueryCommit(q)
+}
+
+/// Build one monitored instance with the shared rule catalog.
+fn build(breakers: bool) -> (Engine, Sqlcm) {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm.set_breakers_enabled(breakers);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Sig_LAT")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Sig_LAT")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("mail_outlier")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 1.5 * Sig_LAT.Avg_D AND Sig_LAT.N >= 5")
+                .then(Action::send_mail("dba", "outlier {Query.Query_Text}")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("hook_slow")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 0.9")
+                .then(Action::run_external("log slow")),
+        )
+        .unwrap();
+    (engine, sqlcm)
+}
+
+fn rule_stats(sqlcm: &Sqlcm, name: &str) -> (u64, u64, u64, u64) {
+    let s = sqlcm.rule(name).unwrap().stats();
+    (s.evaluations, s.fires, s.actions, s.action_errors)
+}
+
+fn flat_stats(s: &SqlcmStats) -> (u64, u64, u64, u64, u64) {
+    (s.events, s.evaluations, s.fires, s.actions, s.action_errors)
+}
+
+#[test]
+fn healthy_path_is_identical_with_and_without_breakers() {
+    let (_ea, a) = build(true);
+    let (_eb, b) = build(false);
+    assert!(a.breakers_enabled());
+    assert!(!b.breakers_enabled());
+
+    for i in 0..4_000u64 {
+        let ev = commit_event(i);
+        a.inject_event(&ev);
+        b.inject_event(&ev);
+    }
+
+    // Firings and per-rule counters are identical.
+    for rule in ["feed", "mail_outlier", "hook_slow"] {
+        assert_eq!(rule_stats(&a, rule), rule_stats(&b, rule), "{rule}");
+    }
+    assert_eq!(flat_stats(&a.stats()), flat_stats(&b.stats()));
+
+    // LAT contents are identical.
+    let lat_a = a.lat("Sig_LAT").unwrap();
+    let lat_b = b.lat("Sig_LAT").unwrap();
+    let mut rows_a = lat_a.rows();
+    let mut rows_b = lat_b.rows();
+    rows_a.sort();
+    rows_b.sort();
+    assert_eq!(rows_a, rows_b);
+
+    // Sink output is identical, in order.
+    assert_eq!(a.outbox().messages(), b.outbox().messages());
+    assert_eq!(a.command_log().commands(), b.command_log().commands());
+    assert!(!a.outbox().messages().is_empty(), "catalog never fired");
+
+    // The enabled instance's breakers saw the whole run and never moved.
+    for rule in ["feed", "mail_outlier", "hook_slow"] {
+        assert_eq!(a.breaker_state(rule), Some(BreakerState::Closed), "{rule}");
+    }
+    let t = a.telemetry().containment;
+    assert!(t.breakers_enabled);
+    assert_eq!(t.breaker_trips, 0);
+    assert_eq!(t.breaker_skipped, 0);
+    assert!(t.quarantined.is_empty());
+    // And the disabled instance reports itself disabled.
+    assert!(!b.telemetry().containment.breakers_enabled);
+}
+
+/// Toggling breakers off mid-run force-closes any open breaker and restores
+/// the full plan: the instance converges back to the disabled instance's
+/// behaviour for the remainder of the run.
+#[test]
+fn disabling_breakers_restores_quarantined_rules() {
+    let (_e, sqlcm) = build(true);
+    // Trip "hook_slow" artificially with an aggressive per-rule config and a
+    // dead command sink via fault injection.
+    sqlcm.set_rule_breaker_config(
+        "hook_slow",
+        sqlcm_core::BreakerConfig {
+            error_threshold: 2,
+            min_outcomes: 4,
+            ..Default::default()
+        },
+    );
+    sqlcm.inject_faults(Some(
+        sqlcm_core::FaultPlan::seeded(3).command(sqlcm_core::FaultRate::Always),
+    ));
+    let mut q = QueryInfo::synthetic(1, "slow");
+    q.logical_signature = Some(1);
+    q.duration_micros = 950_000;
+    let ev = EngineEvent::QueryCommit(q);
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+        if sqlcm.breaker_state("hook_slow") == Some(BreakerState::Open) {
+            break;
+        }
+    }
+    assert_eq!(sqlcm.breaker_state("hook_slow"), Some(BreakerState::Open));
+    assert!(!sqlcm.telemetry().containment.quarantined.is_empty());
+
+    sqlcm.set_breakers_enabled(false);
+    assert_eq!(sqlcm.breaker_state("hook_slow"), Some(BreakerState::Closed));
+    assert!(sqlcm.telemetry().containment.quarantined.is_empty());
+    // The rule is back in the plan and evaluating.
+    let before = sqlcm.rule("hook_slow").unwrap().stats().evaluations;
+    sqlcm.inject_event(&ev);
+    assert_eq!(
+        sqlcm.rule("hook_slow").unwrap().stats().evaluations,
+        before + 1
+    );
+}

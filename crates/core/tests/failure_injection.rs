@@ -84,6 +84,57 @@ fn persist_schema_mismatch_is_swallowed_and_counted() {
         engine.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
         Value::Int(3)
     );
+
+    // The default breaker config is deliberately tolerant (a handful of
+    // errors never trips — see the breaker differential test); with an
+    // aggressive per-rule config, *persistent* schema mismatches are a dead
+    // sink like any other and the rule gets quarantined out of the plan.
+    use sqlcm_core::{BreakerConfig, BreakerState};
+    assert_eq!(
+        sqlcm.breaker_state("bad_persist"),
+        Some(BreakerState::Closed)
+    );
+    assert!(sqlcm.set_rule_breaker_config(
+        "bad_persist",
+        BreakerConfig {
+            error_threshold: 4,
+            min_outcomes: 8,
+            ..Default::default()
+        },
+    ));
+    let mut tripped_after = 0;
+    for i in 3..40 {
+        s.execute_params("INSERT INTO t VALUES (?, 0)", &[Value::Int(i)])
+            .unwrap();
+        if sqlcm.breaker_state("bad_persist") == Some(BreakerState::Open) {
+            tripped_after = i + 1;
+            break;
+        }
+    }
+    assert_eq!(
+        sqlcm.breaker_state("bad_persist"),
+        Some(BreakerState::Open),
+        "repeated persist mismatches must trip the breaker"
+    );
+    // The breaker window saw every QueryCommit: 3 seed inserts, the COUNT(*)
+    // probe above, then the loop's inserts — it must not trip before
+    // min_outcomes (8) total outcomes.
+    assert_eq!(tripped_after, 7, "trip on exactly the 8th failing outcome");
+    let t = sqlcm.telemetry().containment;
+    assert_eq!(t.breaker_trips, 1);
+    assert_eq!(t.quarantined, vec!["bad_persist".to_string()]);
+
+    // Quarantined: the error counter stops moving, the workload runs on.
+    let errors_at_trip = sqlcm.stats().action_errors;
+    for i in 40..45 {
+        s.execute_params("INSERT INTO t VALUES (?, 0)", &[Value::Int(i)])
+            .unwrap();
+    }
+    assert_eq!(sqlcm.stats().action_errors, errors_at_trip);
+    assert_eq!(
+        engine.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(tripped_after + 5)
+    );
 }
 
 #[test]

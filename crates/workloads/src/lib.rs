@@ -22,16 +22,21 @@
 //!   unreported real customer workload of §6.2.2.
 //! * [`rules`] — the lint-clean monitoring rule catalog each workload runs
 //!   under; CI re-lints every catalog in deny-warnings mode.
+//! * [`storm`] — seeded raw-event storms (uniform / burst / ramp / spike) for
+//!   the chaos and overload-containment experiments; these bypass the engine
+//!   and feed `Sqlcm::inject_event` directly.
 
 pub mod blocking;
 pub mod mixed;
 pub mod procs;
 pub mod rules;
 pub mod skewed;
+pub mod storm;
 pub mod tpch;
 
 pub use mixed::{point_select_workload, MixedConfig, WorkloadQuery};
 pub use rules::{catalogs, RuleCatalog};
+pub use storm::{StormConfig, StormShape};
 pub use tpch::{TpchConfig, TpchDb};
 
 use sqlcm_common::Result;

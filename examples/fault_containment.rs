@@ -1,0 +1,180 @@
+//! Fault containment tour: circuit breakers, async action retry, the
+//! overload ladder, and the loss ledger — all driven by seeded fault
+//! injection and an event storm, no real outage required.
+//!
+//! The demo stages three incidents against one monitored instance:
+//!
+//! 1. **Dead mail sink.** Async external actions queue, retry with
+//!    exponential backoff, then exhaust into the loss ledger; the rule's
+//!    circuit breaker trips and quarantines it out of the dispatch plan.
+//! 2. **Recovery.** The fault clears; probation (half-open) re-admits the
+//!    rule, the trial succeeds, and the breaker closes.
+//! 3. **Overload.** A burst storm pushes the event rate past the ladder
+//!    thresholds; the monitor sheds tracing and low-priority work, then
+//!    recovers to full service when the storm passes.
+//!
+//! ```sh
+//! cargo run --release --example fault_containment
+//! ```
+
+use sqlcm_repro::monitor::{
+    BreakerConfig, BreakerState, FaultPlan, FaultRate, OverloadPolicy, OverloadStage, RetryPolicy,
+};
+use sqlcm_repro::prelude::*;
+use sqlcm_repro::workloads::storm::{self, StormConfig, StormShape};
+
+fn main() -> Result<()> {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+
+    // Aggressive settings so the incidents play out in seconds.
+    sqlcm.set_breaker_config(BreakerConfig {
+        error_threshold: 4,
+        min_outcomes: 8,
+        cooldown_micros: 200_000,
+        ..Default::default()
+    });
+    sqlcm.set_async_actions(true);
+    sqlcm.set_retry_policy(RetryPolicy {
+        max_attempts: 3,
+        base_backoff_micros: 1_000,
+        max_backoff_micros: 50_000,
+        jitter: 0.2,
+    });
+    sqlcm.define_lat(
+        LatSpec::new("Sig_LAT")
+            .group_by("Query.Logical_Signature", "Sig")
+            .aggregate(LatAggFunc::Count, "", "N")
+            .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D"),
+    )?;
+    sqlcm.add_rule(
+        Rule::new("feed")
+            .on(RuleEvent::QueryCommit)
+            .then(Action::insert("Sig_LAT")),
+    )?;
+    sqlcm.add_rule(
+        Rule::new("mail_slow")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Duration > 0.05")
+            .then(Action::send_mail(
+                "dba@example.org",
+                "slow: {Query.Query_Text}",
+            )),
+    )?;
+
+    // ---- Incident 1: the mail sink dies. --------------------------------
+    println!("== incident 1: dead mail sink ==");
+    sqlcm.inject_faults(Some(FaultPlan::seeded(42).mail(FaultRate::Always)));
+    let evs = storm::events(StormConfig::new(StormShape::Spike, 2_000, 42));
+    for ev in &evs {
+        sqlcm.inject_event(ev);
+        sqlcm.pump_deferred_actions();
+        if sqlcm.breaker_state("mail_slow") == Some(BreakerState::Open) {
+            break;
+        }
+    }
+    // Let the queued retries play out against the still-dead sink.
+    while sqlcm.deferred_queue_depth() > 0 {
+        sqlcm.pump_deferred_actions();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let t = sqlcm.telemetry().containment;
+    println!(
+        "  breaker:     {:?} (trips: {})",
+        sqlcm.breaker_state("mail_slow"),
+        t.breaker_trips
+    );
+    println!("  quarantined: {:?}", t.quarantined);
+    println!(
+        "  deferred:    enqueued={} executed={} failed_attempts={} retries={}",
+        t.deferred.enqueued, t.deferred.executed, t.deferred.failed_attempts, t.deferred.retries
+    );
+    for loss in sqlcm.loss_ledger() {
+        println!(
+            "  loss ledger: rule={} reason={} count={}",
+            loss.rule, loss.reason, loss.count
+        );
+    }
+    assert_eq!(sqlcm.breaker_state("mail_slow"), Some(BreakerState::Open));
+    assert!(sqlcm.total_action_losses() > 0);
+
+    // ---- Incident 2: the sink recovers. ---------------------------------
+    println!("\n== incident 2: recovery through probation ==");
+    sqlcm.inject_faults(None);
+    std::thread::sleep(std::time::Duration::from_millis(250)); // cooldown
+    let reopened = sqlcm.poll_breakers();
+    println!(
+        "  re-admitted {reopened} rule(s) on probation: {:?}",
+        sqlcm.breaker_state("mail_slow")
+    );
+    // A slow query arrives: the half-open trial fires, succeeds, closes.
+    for ev in storm::events(StormConfig::new(StormShape::Spike, 32, 7)) {
+        sqlcm.inject_event(&ev);
+    }
+    sqlcm.pump_deferred_actions();
+    println!(
+        "  after trial: {:?} (closes: {})",
+        sqlcm.breaker_state("mail_slow"),
+        sqlcm.telemetry().containment.breaker_closes
+    );
+    assert_eq!(sqlcm.breaker_state("mail_slow"), Some(BreakerState::Closed));
+
+    // ---- Incident 3: overload. ------------------------------------------
+    println!("\n== incident 3: overload ladder ==");
+    sqlcm.set_overload_policy(Some(OverloadPolicy {
+        stage1_events_per_sec: 5_000.0,
+        stage2_events_per_sec: 20_000.0,
+        stage3_events_per_sec: 100_000.0,
+        quiet_checkpoints: 1,
+        ..Default::default()
+    }));
+    // A tight-loop burst drives the measured rate far past the thresholds;
+    // the ladder checkpoints every 1024 events and escalates one stage each.
+    let burst = storm::events(StormConfig::new(StormShape::Burst, 40_000, 9));
+    for ev in &burst {
+        sqlcm.inject_event(ev);
+    }
+    let t = sqlcm.telemetry().containment;
+    let peak = t.overload_stage;
+    println!("  stage now:   {:?}", sqlcm.overload_stage());
+    println!(
+        "  transitions: {} shed_traces: {} shed_evaluations: {}",
+        t.overload_transitions, t.shed_traces, t.shed_evaluations
+    );
+    assert!(t.overload_transitions > 0, "storm never moved the ladder");
+    assert_ne!(sqlcm.overload_stage(), OverloadStage::Full);
+
+    // Quiet traffic (~1.7k events/s, well below every exit threshold)
+    // de-escalates one stage per checkpoint back toward full service.
+    for _ in 0..8 {
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        for ev in storm::events(StormConfig::new(StormShape::Uniform, 512, 1)) {
+            sqlcm.inject_event(&ev);
+        }
+    }
+    let after = sqlcm.telemetry().containment.overload_stage;
+    println!("  after quiet: {:?}", sqlcm.overload_stage());
+    assert!(after < peak, "quiet traffic never de-escalated the ladder");
+
+    println!("\n== final telemetry (containment slice) ==");
+    let c = sqlcm.telemetry().containment;
+    println!(
+        "breakers=on trips={} reopens={} closes={} transitions={} stage={}",
+        c.breaker_trips,
+        c.breaker_reopens,
+        c.breaker_closes,
+        c.overload_transitions,
+        c.overload_stage
+    );
+    let d = &c.deferred;
+    println!(
+        "deferred: enqueued={} executed={} retries={} dropped_overflow={} dropped_exhausted={}",
+        d.enqueued, d.executed, d.retries, d.dropped_overflow, d.dropped_exhausted
+    );
+    // Conservation: every enqueued action is executed, dropped, or queued.
+    assert_eq!(
+        d.enqueued,
+        d.executed + d.dropped_overflow + d.dropped_exhausted + d.queue_depth
+    );
+    Ok(())
+}
