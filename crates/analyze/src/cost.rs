@@ -38,7 +38,7 @@ pub fn rule_cost(universe: &SchemaUniverse, rule: &RuleIr) -> (u32, Vec<String>)
     let mut total = 0u32;
     let mut parts = Vec::new();
     if let Some(cond) = &rule.condition {
-        let (_, lats) = expr_refs(universe, cond);
+        let (_, lats) = expr_refs(universe, &sqlcm_sql::ExprIr::lower(cond));
         for name in lats {
             let schema = universe.lat(&name);
             let c = match schema {

@@ -18,10 +18,18 @@
 //! **W102** flags a rule whose event *and* condition are identical to an
 //! already-admitted rule: both will fire on exactly the same events, which is
 //! almost always a copy-paste mistake.
+//!
+//! **W105** flags a *partial* overlap W102 misses: two same-event rules with
+//! different conditions that share a non-trivial boolean subexpression. The
+//! runtime's dispatch plan de-duplicates such subtrees (they evaluate once
+//! per event into a shared CSE slot), so the lint reports the opportunity
+//! the plan exploits — and nudges the author to factor the predicate if the
+//! duplication was accidental.
 
 use crate::diagnostics::{Code, Diagnostic};
 use crate::schema::SchemaUniverse;
 use crate::{ActionIr, RuleIr};
+use sqlcm_sql::{ExprIr, NodeId};
 
 /// Events (kind, argument) a rule's actions may raise.
 pub(crate) fn raised_events(
@@ -177,6 +185,78 @@ pub fn check_duplicates(existing: &[RuleIr], new: &RuleIr, diags: &mut Vec<Diagn
                     ),
                 )
                 .with_help("remove one of the rules"),
+            );
+            return;
+        }
+    }
+}
+
+/// W105 — `new` shares a non-trivial predicate with an already-admitted rule
+/// on the same event instance, without being an exact duplicate (identical
+/// whole conditions are W102's territory, and same-condition/different-action
+/// fan-out is a deliberate idiom left unflagged).
+///
+/// "Non-trivial" means a boolean-valued subtree of at least 3 IR ops (a
+/// comparison with both operands, or anything larger); matching runs over the
+/// *folded* IR with canonical structural hashes — the same key the dispatch
+/// plan uses to assign shared CSE slots — with a structural-equality check
+/// guarding against hash collisions.
+pub fn check_shared_predicates(
+    existing: &[RuleIr],
+    new: &RuleIr,
+    new_ir: Option<&ExprIr>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(new_ir) = new_ir else { return };
+    let folded = new_ir.fold();
+    // Candidate subtrees of the new condition, largest first.
+    let mut cands: Vec<NodeId> = Vec::new();
+    folded.for_each(folded.root, &mut |id| {
+        if folded.is_boolish(id) && folded.size_of(id) >= 3 {
+            cands.push(id);
+        }
+    });
+    if cands.is_empty() {
+        return;
+    }
+    cands.sort_by_key(|&c| std::cmp::Reverse(folded.size_of(c)));
+    for r in existing {
+        let Some(cond) = &r.condition else { continue };
+        if !r.event.same_as(&new.event) {
+            continue;
+        }
+        let rir = ExprIr::lower(cond).fold();
+        if rir.hash_of(rir.root) == folded.hash_of(folded.root) {
+            continue;
+        }
+        let shared = cands.iter().copied().find(|&c| {
+            let h = folded.hash_of(c);
+            let mut found = false;
+            rir.for_each(rir.root, &mut |id| {
+                if !found && rir.hash_of(id) == h && rir.subtree_eq(id, &folded, c) {
+                    found = true;
+                }
+            });
+            found
+        });
+        if let Some(node) = shared {
+            diags.push(
+                Diagnostic::new(
+                    Code::W105,
+                    &new.name,
+                    format!(
+                        "predicate `{}` is duplicated from rule `{}` on the same event ({})",
+                        folded.disp(node),
+                        r.name,
+                        new.event
+                    ),
+                )
+                .with_span(folded.render(node))
+                .with_help(
+                    "the dispatch plan evaluates the shared subexpression once per event \
+                     (CSE slot); if the duplication is accidental, factor the predicate \
+                     into a single rule",
+                ),
             );
             return;
         }
@@ -389,6 +469,65 @@ mod tests {
             ))
             .is_empty());
         assert_eq!(a.max_cascade_depth(), 0, "unbounded LATs never evict");
+    }
+
+    #[test]
+    fn shared_predicate_across_same_event_rules_is_w105() {
+        let mut a = Analyzer::new();
+        let mut first = rule(
+            "one",
+            "QueryCommit",
+            None,
+            &["Query"],
+            vec![ActionIr::SendMail],
+        );
+        first.condition = Some(
+            sqlcm_sql::parse_expression("Query.Duration > 5 AND Query.User = 'admin'").unwrap(),
+        );
+        assert!(a.check_rule(&first).is_empty());
+        let mut second = rule(
+            "two",
+            "QueryCommit",
+            None,
+            &["Query"],
+            vec![ActionIr::SendMail],
+        );
+        second.condition = Some(
+            sqlcm_sql::parse_expression("Query.Duration > 5 AND Query.Estimated_Cost > 100")
+                .unwrap(),
+        );
+        let diags = a.check_rule(&second);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::W105);
+        assert!(diags[0].message.contains("Query.Duration > 5"));
+        assert!(diags[0].message.contains("one"));
+        // Warnings do not deny admission.
+        assert_eq!(a.rules().len(), 2);
+    }
+
+    #[test]
+    fn shared_predicate_on_different_events_is_clean() {
+        let mut a = Analyzer::new();
+        let mut first = rule(
+            "one",
+            "QueryCommit",
+            None,
+            &["Query"],
+            vec![ActionIr::SendMail],
+        );
+        first.condition = Some(sqlcm_sql::parse_expression("Query.Duration > 5").unwrap());
+        assert!(a.check_rule(&first).is_empty());
+        let mut second = rule(
+            "two",
+            "QueryStart",
+            None,
+            &["Query"],
+            vec![ActionIr::SendMail],
+        );
+        second.condition =
+            Some(sqlcm_sql::parse_expression("Query.Duration > 5 AND Query.User = 'x'").unwrap());
+        let diags = a.check_rule(&second);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

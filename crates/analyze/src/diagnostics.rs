@@ -59,6 +59,10 @@ pub enum Code {
     /// Division whose divisor is an aggregate column that may be zero or
     /// NULL (AVG/SUM over an empty or never-fed window).
     W104,
+    /// Identical predicate duplicated across rules on the same event — the
+    /// dispatch plan shares its evaluation via a CSE slot, but the rules may
+    /// want factoring.
+    W105,
     /// Condition reads a LAT aggregate column that no admitted rule's
     /// `Insert` ever feeds — the column stays at its initial aggregate.
     W203,
@@ -77,7 +81,7 @@ pub enum Code {
 impl Code {
     /// Every code, in documentation order. New codes must be added here —
     /// the exhaustiveness test in `tests/codes.rs` walks this list.
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 17] = [
         Code::E001,
         Code::E002,
         Code::E003,
@@ -88,6 +92,7 @@ impl Code {
         Code::W102,
         Code::W103,
         Code::W104,
+        Code::W105,
         Code::W201,
         Code::W202,
         Code::W203,
@@ -108,6 +113,7 @@ impl Code {
             Code::W102 => "W102",
             Code::W103 => "W103",
             Code::W104 => "W104",
+            Code::W105 => "W105",
             Code::W201 => "W201",
             Code::W202 => "W202",
             Code::W203 => "W203",
@@ -127,6 +133,7 @@ impl Code {
             | Code::W102
             | Code::W103
             | Code::W104
+            | Code::W105
             | Code::W201
             | Code::W202
             | Code::W203
@@ -149,6 +156,7 @@ impl Code {
             Code::W102 => "duplicate rule",
             Code::W103 => "tautological condition",
             Code::W104 => "possible division by zero",
+            Code::W105 => "duplicated predicate across rules",
             Code::W201 => "costly rule",
             Code::W202 => "over-sharded LAT",
             Code::W203 => "read-only LAT column",

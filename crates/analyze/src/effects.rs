@@ -22,7 +22,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use sqlcm_sql::Expr;
+use sqlcm_sql::ExprIr;
 
 use crate::diagnostics::{Code, Diagnostic};
 use crate::schema::SchemaUniverse;
@@ -113,7 +113,7 @@ pub fn rule_effects(universe: &SchemaUniverse, rule: &RuleIr) -> RuleEffects {
         lat_writes: BTreeMap::new(),
     };
     if let Some(cond) = &rule.condition {
-        collect_reads(universe, cond, &mut eff);
+        collect_reads(universe, &ExprIr::lower(cond), &mut eff);
     }
     for action in &rule.actions {
         match action {
@@ -146,32 +146,30 @@ pub fn rule_effects(universe: &SchemaUniverse, rule: &RuleIr) -> RuleEffects {
     eff
 }
 
-fn collect_reads(universe: &SchemaUniverse, cond: &Expr, eff: &mut RuleEffects) {
-    cond.walk(&mut |e| {
-        if let Expr::Column {
-            qualifier: Some(q),
-            name,
-        } = e
-        {
-            if let Some(class) = universe.class(q) {
-                let attr = class.canonical_attr(name).unwrap_or(name).to_string();
-                eff.attr_reads
-                    .entry(class.name.clone())
-                    .or_default()
-                    .insert(attr);
-            } else {
-                let col = universe
-                    .lat(q)
-                    .and_then(|l| l.column(name))
-                    .map(|c| c.name.clone())
-                    .unwrap_or_else(|| name.clone());
-                eff.lat_reads
-                    .entry(q.to_ascii_lowercase())
-                    .or_default()
-                    .insert(col);
-            }
+/// Collect condition reads from the lowered IR's reference pool — the pool
+/// is exactly the deduplicated set of qualified columns the old AST walk
+/// visited.
+fn collect_reads(universe: &SchemaUniverse, ir: &ExprIr, eff: &mut RuleEffects) {
+    for (qualifier, name) in &ir.refs {
+        let Some(q) = qualifier else { continue };
+        if let Some(class) = universe.class(q) {
+            let attr = class.canonical_attr(name).unwrap_or(name).to_string();
+            eff.attr_reads
+                .entry(class.name.clone())
+                .or_default()
+                .insert(attr);
+        } else {
+            let col = universe
+                .lat(q)
+                .and_then(|l| l.column(name))
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|| name.clone());
+            eff.lat_reads
+                .entry(q.to_ascii_lowercase())
+                .or_default()
+                .insert(col);
         }
-    });
+    }
 }
 
 /// W203 — "read-only LAT column": the new rule's condition reads an

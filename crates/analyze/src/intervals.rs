@@ -28,11 +28,19 @@
 //! comparisons — `X >= 30 AND X < 10` is not caught, only single comparisons
 //! with provably-empty truth sets are.
 //!
+//! When the abstract domain decides nothing, the IR's constant-folding pass
+//! gets a second opinion: a condition whose *folded* root is a literal
+//! (`'a' = 'b'`, `1 % 2 = 1`, `'abc' LIKE 'a%'` — shapes the numeric domain
+//! cannot see through) is reported as W103 (folds to TRUE) or E006 (folds to
+//! FALSE or NULL).
+//!
 //! Separately, any division whose divisor is an aggregate read whose interval
 //! contains zero (an AVG/SUM over a possibly-empty window) reports **W104**.
+//!
+//! The pass recurses over the shared flat [`ExprIr`] lowered once per rule.
 
 use sqlcm_common::{DataType, Value};
-use sqlcm_sql::{BinOp, Expr, UnaryOp};
+use sqlcm_sql::{BinOp, ExprIr, IrOp, NodeId, UnaryOp};
 
 use crate::diagnostics::{Code, Diagnostic};
 use crate::schema::{LatColumn, SchemaUniverse};
@@ -111,11 +119,11 @@ impl AbsVal {
 pub fn check_condition(
     universe: &SchemaUniverse,
     rule: &str,
-    cond: &Expr,
+    ir: &ExprIr,
     diags: &mut Vec<Diagnostic>,
 ) {
     let before = diags.len();
-    let verdict = eval(universe, rule, cond, diags);
+    let verdict = eval(universe, rule, ir, ir.root, diags);
     // W104 findings from the walk stand on their own; the root verdict is
     // only reported when the sub-walk found nothing else to say.
     if diags.len() != before {
@@ -128,7 +136,7 @@ pub fn check_condition(
                 rule,
                 "condition is provably unsatisfiable under the attribute domains".to_string(),
             )
-            .with_span(cond.to_string())
+            .with_span(ir.render(ir.root))
             .with_help(
                 "the rule could never fire (e.g. a COUNT or duration compared below \
                  zero); fix the comparison or drop the rule",
@@ -140,13 +148,85 @@ pub fn check_condition(
                 rule,
                 "condition is provably true whenever it binds".to_string(),
             )
-            .with_span(cond.to_string())
+            .with_span(ir.render(ir.root))
             .with_help(
                 "the comparison never constrains anything; drop it or check whether \
                  it is inverted",
             ),
         ),
-        _ => {}
+        // The numeric domain decided nothing — let constant folding try.
+        // Folding evaluates with the runtime's exact semantics, so it sees
+        // through text comparisons, LIKE, IN and modulo that the interval
+        // abstraction treats as opaque.
+        _ => check_folded(rule, ir, diags),
+    }
+}
+
+/// Fold-strengthened verdict: if the whole condition constant-folds to a
+/// literal, the rule either always fires (W103) or never fires (E006),
+/// regardless of what the interval domain could prove.
+fn check_folded(rule: &str, ir: &ExprIr, diags: &mut Vec<Diagnostic>) {
+    let folded = ir.fold();
+    if never_true(&folded, folded.root) {
+        diags.push(
+            Diagnostic::new(
+                Code::E006,
+                rule,
+                "condition constant-folds to a value that can never be true".to_string(),
+            )
+            .with_span(ir.render(ir.root))
+            .with_help("the rule could never fire; fix the condition or drop the rule"),
+        );
+    } else if always_true(&folded, folded.root) {
+        diags.push(
+            Diagnostic::new(
+                Code::W103,
+                rule,
+                "condition constant-folds to TRUE".to_string(),
+            )
+            .with_span(ir.render(ir.root))
+            .with_help("the condition is a constant; drop it or check whether it is inverted"),
+        );
+    }
+}
+
+/// Can the folded subtree ever evaluate to TRUE? A FALSE/NULL constant
+/// operand of an AND makes the conjunction at best NULL (the fallible other
+/// operand is still evaluated at runtime — its error or missing-LAT-row
+/// outcome just prevents firing too, so "never fires" stays sound).
+fn never_true(ir: &ExprIr, id: NodeId) -> bool {
+    match ir.op(id) {
+        IrOp::Const(c) => matches!(ir.consts[*c as usize], Value::Bool(false) | Value::Null),
+        IrOp::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => never_true(ir, *left) || never_true(ir, *right),
+        IrOp::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => never_true(ir, *left) && never_true(ir, *right),
+        _ => false,
+    }
+}
+
+/// Does the folded subtree evaluate to TRUE whenever it binds (i.e. barring
+/// errors and missing LAT rows)? Mirrors the W103 "whenever it binds" caveat.
+fn always_true(ir: &ExprIr, id: NodeId) -> bool {
+    match ir.op(id) {
+        IrOp::Const(c) => matches!(ir.consts[*c as usize], Value::Bool(true)),
+        IrOp::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => always_true(ir, *left) && always_true(ir, *right),
+        IrOp::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => always_true(ir, *left) || always_true(ir, *right),
+        _ => false,
     }
 }
 
@@ -363,19 +443,28 @@ fn arith(op: BinOp, a: Interval, b: Interval) -> Interval {
     }
 }
 
-fn eval(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Diagnostic>) -> AbsVal {
-    match e {
-        Expr::Literal(v) => match v {
+fn eval(
+    universe: &SchemaUniverse,
+    rule: &str,
+    ir: &ExprIr,
+    id: NodeId,
+    diags: &mut Vec<Diagnostic>,
+) -> AbsVal {
+    match ir.op(id) {
+        IrOp::Const(c) => match &ir.consts[*c as usize] {
             Value::Int(i) => AbsVal::num(Interval::point(*i as f64)),
             Value::Float(f) => AbsVal::num(Interval::point(*f)),
             Value::Timestamp(t) => AbsVal::num(Interval::point(*t as f64)),
             Value::Bool(b) => AbsVal::Bool(if *b { AbsBool::True } else { AbsBool::False }),
             _ => AbsVal::Other,
         },
-        Expr::Column { qualifier, name } => column_domain(universe, qualifier, name),
-        Expr::Param(_) | Expr::NamedParam(_) | Expr::FuncCall { .. } => AbsVal::Other,
-        Expr::Unary { op, expr } => {
-            let v = eval(universe, rule, expr, diags);
+        IrOp::Ref(r) => {
+            let (qualifier, name) = &ir.refs[*r as usize];
+            column_domain(universe, qualifier, name)
+        }
+        IrOp::Param(_) | IrOp::NamedParam(_) | IrOp::FuncCall { .. } => AbsVal::Other,
+        IrOp::Unary { op, expr } => {
+            let v = eval(universe, rule, ir, *expr, diags);
             match op {
                 UnaryOp::Not => match v {
                     AbsVal::Bool(b) => AbsVal::Bool(not(b)),
@@ -398,9 +487,9 @@ fn eval(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Diagnos
                 },
             }
         }
-        Expr::Binary { left, op, right } => {
-            let l = eval(universe, rule, left, diags);
-            let r = eval(universe, rule, right, diags);
+        IrOp::Binary { left, op, right } => {
+            let l = eval(universe, rule, ir, *left, diags);
+            let r = eval(universe, rule, ir, *right, diags);
             match op {
                 BinOp::And | BinOp::Or => {
                     let lb = as_bool(l);
@@ -416,7 +505,7 @@ fn eval(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Diagnos
                 }
                 BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
                     if matches!(op, BinOp::Div | BinOp::Mod) {
-                        check_divisor(rule, right, r, diags);
+                        check_divisor(rule, ir, *right, r, diags);
                     }
                     match (l, r) {
                         (
@@ -441,7 +530,7 @@ fn eval(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Diagnos
             }
         }
         // IS NULL / LIKE / IN could be refined; unknown is always sound.
-        Expr::IsNull { .. } | Expr::Like { .. } | Expr::InList { .. } => {
+        IrOp::IsNull { .. } | IrOp::Like { .. } | IrOp::InList { .. } => {
             AbsVal::Bool(AbsBool::Unknown)
         }
     }
@@ -457,7 +546,7 @@ fn as_bool(v: AbsVal) -> AbsBool {
 /// W104 — the divisor of a `/` (or `%`) reads a LAT aggregate whose interval
 /// contains zero: an AVG/SUM over a window that may be empty (or a COUNT of
 /// zero rows) divides the expression by zero or NULL at runtime.
-fn check_divisor(rule: &str, divisor: &Expr, v: AbsVal, diags: &mut Vec<Diagnostic>) {
+fn check_divisor(rule: &str, ir: &ExprIr, divisor: NodeId, v: AbsVal, diags: &mut Vec<Diagnostic>) {
     let AbsVal::Num {
         iv,
         maybe_null,
@@ -472,12 +561,11 @@ fn check_divisor(rule: &str, divisor: &Expr, v: AbsVal, diags: &mut Vec<Diagnost
     // Only flag divisors that actually read an aggregate — a literal 0 would
     // be a plain bug and `Query.Duration` in a divisor is too speculative.
     let mut reads_aggregate = false;
-    divisor.walk(&mut |e| {
-        if let Expr::Column {
-            qualifier: Some(_), ..
-        } = e
-        {
-            reads_aggregate = true;
+    ir.for_each(divisor, &mut |n| {
+        if let IrOp::Ref(r) = ir.op(n) {
+            if ir.refs[*r as usize].0.is_some() {
+                reads_aggregate = true;
+            }
         }
     });
     if !reads_aggregate {
@@ -492,9 +580,9 @@ fn check_divisor(rule: &str, divisor: &Expr, v: AbsVal, diags: &mut Vec<Diagnost
         Diagnostic::new(
             Code::W104,
             rule,
-            format!("divisor `{divisor}` may be zero{nullness}"),
+            format!("divisor `{}` may be zero{nullness}", ir.disp(divisor)),
         )
-        .with_span(divisor.to_string())
+        .with_span(ir.render(divisor))
         .with_help(
             "guard the division, e.g. `... AND Lat.N > 0`, or compare with a \
              product instead: `a > k * b` rather than `a / b > k`",
@@ -545,8 +633,8 @@ mod tests {
 
     fn check(cond: &str) -> Vec<Diagnostic> {
         let mut diags = Vec::new();
-        let expr = sqlcm_sql::parse_expression(cond).unwrap();
-        check_condition(&universe(), "t", &expr, &mut diags);
+        let ir = ExprIr::lower(&sqlcm_sql::parse_expression(cond).unwrap());
+        check_condition(&universe(), "t", &ir, &mut diags);
         diags
     }
 
@@ -603,5 +691,19 @@ mod tests {
     fn not_flips_a_decided_comparison() {
         assert_eq!(codes("NOT (D_LAT.N >= 0)"), ["E006"]);
         assert_eq!(codes("NOT (Query.Duration < 0)"), ["W103"]);
+    }
+
+    #[test]
+    fn constant_folding_strengthens_the_verdict() {
+        // Text equality and LIKE are invisible to the numeric domain but
+        // fold to literals.
+        assert_eq!(codes("'a' = 'b'"), ["E006"]);
+        assert_eq!(codes("'abc' LIKE 'a%'"), ["W103"]);
+        assert_eq!(codes("7 % 4 = 3"), ["W103"]);
+        assert_eq!(codes("Query.Duration > 5 AND 'a' IN ('b')"), ["E006"]);
+        // A NULL-folding condition never fires either.
+        assert_eq!(codes("NULL IS NOT NULL"), ["E006"]);
+        // An erroring constant subtree stays unfolded — no false verdict.
+        assert!(codes("Query.Duration > 1 / 0").is_empty());
     }
 }

@@ -25,7 +25,7 @@ pub fn check_rule(universe: &SchemaUniverse, rule: &RuleIr, diags: &mut Vec<Diag
     let Some(cond) = &rule.condition else {
         return;
     };
-    let (classes, lats) = expr_refs(universe, cond);
+    let (classes, lats) = expr_refs(universe, &sqlcm_sql::ExprIr::lower(cond));
     let in_payload = |c: &str| rule.event.payload.iter().any(|p| p.eq_ignore_ascii_case(c));
 
     for class in &classes {

@@ -25,6 +25,7 @@
 //! | W102 | warning  | duplicate rule: same event + identical condition ([`depgraph`]) |
 //! | W103 | warning  | condition provably tautological ([`intervals`]) |
 //! | W104 | warning  | division by a possibly-zero/NULL aggregate ([`intervals`]) |
+//! | W105 | warning  | identical predicate duplicated across same-event rules ([`depgraph`]) |
 //! | W201 | warning  | estimated per-firing cost above threshold ([`cost`]) |
 //! | W202 | warning  | over-sharded LAT ([`schema`]) |
 //! | W203 | warning  | condition reads a LAT column no rule's Insert feeds ([`effects`]) |
@@ -61,7 +62,7 @@ pub use schema::{ClassSchema, LatColumn, LatSchema, SchemaUniverse};
 /// evaluations one event may transitively trigger before W302 fires.
 pub const DEFAULT_CASCADE_THRESHOLD: usize = 64;
 
-use sqlcm_sql::Expr;
+use sqlcm_sql::{Expr, ExprIr};
 use std::fmt;
 
 // ------------------------------------------------------------ IR
@@ -220,28 +221,28 @@ pub struct RuleIr {
 /// them: a qualifier naming a monitored class resolves to that class
 /// (canonical spelling); anything else is assumed to be a LAT name (returned
 /// as written, deduplicated case-insensitively).
-pub(crate) fn expr_refs(universe: &SchemaUniverse, cond: &Expr) -> (Vec<String>, Vec<String>) {
+///
+/// Reads the lowered IR's reference pool directly — the pool already holds
+/// every qualified column exactly once, in first-appearance order, so no
+/// tree walk is needed.
+pub(crate) fn expr_refs(universe: &SchemaUniverse, ir: &ExprIr) -> (Vec<String>, Vec<String>) {
     let mut classes: Vec<String> = Vec::new();
     let mut lats: Vec<String> = Vec::new();
-    cond.walk(&mut |e| {
-        if let Expr::Column {
-            qualifier: Some(q), ..
-        } = e
-        {
-            match universe.class(q) {
-                Some(c) => {
-                    if !classes.iter().any(|x| x == &c.name) {
-                        classes.push(c.name.clone());
-                    }
+    for (qualifier, _) in &ir.refs {
+        let Some(q) = qualifier else { continue };
+        match universe.class(q) {
+            Some(c) => {
+                if !classes.iter().any(|x| x == &c.name) {
+                    classes.push(c.name.clone());
                 }
-                None => {
-                    if !lats.iter().any(|l| l.eq_ignore_ascii_case(q)) {
-                        lats.push(q.clone());
-                    }
+            }
+            None => {
+                if !lats.iter().any(|l| l.eq_ignore_ascii_case(q)) {
+                    lats.push(q.clone());
                 }
             }
         }
-    });
+    }
     (classes, lats)
 }
 
@@ -305,17 +306,21 @@ impl Analyzer {
     /// rules admitted so far; admits the rule when no error was found.
     pub fn check_rule(&mut self, rule: &RuleIr) -> Vec<Diagnostic> {
         let mut diags = Vec::new();
-        if let Some(cond) = &rule.condition {
-            typeck::check_condition(&self.universe, &rule.name, cond, &mut diags);
+        // Lower the condition AST once; every expression pass below consumes
+        // this shared flat IR instead of re-walking the tree.
+        let ir = rule.condition.as_ref().map(ExprIr::lower);
+        if let Some(ir) = &ir {
+            typeck::check_condition(&self.universe, &rule.name, ir, &mut diags);
             // Interval reasoning assumes well-typed operands; on a type error
             // the E002 already explains everything the intervals would.
             if !has_errors(&diags) {
-                intervals::check_condition(&self.universe, &rule.name, cond, &mut diags);
+                intervals::check_condition(&self.universe, &rule.name, ir, &mut diags);
             }
         }
         self.check_action_targets(rule, &mut diags);
         joinability::check_rule(&self.universe, rule, &mut diags);
         depgraph::check_duplicates(&self.rules, rule, &mut diags);
+        depgraph::check_shared_predicates(&self.rules, rule, ir.as_ref(), &mut diags);
         depgraph::check_cascades(&self.universe, &self.rules, rule, &mut diags);
         cost::check_rule(&self.universe, rule, self.cost_threshold, &mut diags);
         cost::check_unconditional_external(rule, &mut diags);

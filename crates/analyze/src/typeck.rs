@@ -7,9 +7,14 @@
 //! strict where the runtime would yield NULL forever (comparing a number with
 //! text, LIKE on a non-text value, AND over non-booleans) — those conditions
 //! can never fire, so they are rejected at registration.
+//!
+//! The pass recurses over the shared flat [`ExprIr`] (lowered once per rule
+//! in `Analyzer::check_rule`) rather than the AST; spans and messages are
+//! rendered through the IR's `disp` adapter, which reprints the exact source
+//! expression.
 
 use sqlcm_common::DataType;
-use sqlcm_sql::{BinOp, Expr, UnaryOp};
+use sqlcm_sql::{BinOp, ExprIr, IrOp, NodeId, UnaryOp};
 
 use crate::diagnostics::{Code, Diagnostic};
 use crate::schema::{attrs_help, known_classes_help, SchemaUniverse};
@@ -66,11 +71,11 @@ fn comparable(a: Ty, b: Ty) -> bool {
 pub fn check_condition(
     universe: &SchemaUniverse,
     rule: &str,
-    cond: &Expr,
+    ir: &ExprIr,
     diags: &mut Vec<Diagnostic>,
 ) {
     let before = diags.len();
-    let root = infer(universe, rule, cond, diags);
+    let root = infer(universe, rule, ir, ir.root, diags);
     // Only complain about the root if the subtree itself was clean — a bad
     // reference already explains why the type is off.
     if diags.len() == before {
@@ -82,7 +87,7 @@ pub fn check_condition(
                         rule,
                         format!("condition evaluates to {}, not BOOL", root.name()),
                     )
-                    .with_span(cond.to_string())
+                    .with_span(ir.render(ir.root))
                     .with_help("compare the value against something, e.g. `... > 0`"),
                 );
             }
@@ -90,23 +95,33 @@ pub fn check_condition(
     }
 }
 
-/// Infer the static type of `e`, reporting diagnostics along the way.
-pub fn infer(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Diagnostic>) -> Ty {
-    match e {
-        Expr::Literal(v) => v.data_type().map_or(Ty::Any, Ty::T),
-        Expr::Column { qualifier, name } => resolve_column(universe, rule, qualifier, name, diags),
+/// Infer the static type of node `id`, reporting diagnostics along the way.
+pub fn infer(
+    universe: &SchemaUniverse,
+    rule: &str,
+    ir: &ExprIr,
+    id: NodeId,
+    diags: &mut Vec<Diagnostic>,
+) -> Ty {
+    match ir.op(id) {
+        IrOp::Const(c) => ir.consts[*c as usize].data_type().map_or(Ty::Any, Ty::T),
+        IrOp::Ref(r) => {
+            let (qualifier, name) = &ir.refs[*r as usize];
+            resolve_column(universe, rule, qualifier, name, diags)
+        }
         // The runtime's compiler rejects parameters and function calls in rule
         // conditions with its own error; don't double-report here.
-        Expr::Param(_) | Expr::NamedParam(_) | Expr::FuncCall { .. } => Ty::Any,
-        Expr::Unary { op, expr } => {
-            let t = infer(universe, rule, expr, diags);
+        IrOp::Param(_) | IrOp::NamedParam(_) | IrOp::FuncCall { .. } => Ty::Any,
+        IrOp::Unary { op, expr } => {
+            let t = infer(universe, rule, ir, *expr, diags);
             match op {
                 UnaryOp::Neg => {
                     if !t.is_numeric() {
                         diags.push(mismatch(
                             rule,
-                            e,
-                            format!("cannot negate `{expr}` ({})", t.name()),
+                            ir,
+                            id,
+                            format!("cannot negate `{}` ({})", ir.disp(*expr), t.name()),
                         ));
                     }
                     t
@@ -115,25 +130,35 @@ pub fn infer(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Di
                     if !t.is_boolish() {
                         diags.push(mismatch(
                             rule,
-                            e,
-                            format!("NOT operand `{expr}` is {}, expected BOOL", t.name()),
+                            ir,
+                            id,
+                            format!(
+                                "NOT operand `{}` is {}, expected BOOL",
+                                ir.disp(*expr),
+                                t.name()
+                            ),
                         ));
                     }
                     Ty::T(DataType::Bool)
                 }
             }
         }
-        Expr::Binary { left, op, right } => {
-            let lt = infer(universe, rule, left, diags);
-            let rt = infer(universe, rule, right, diags);
+        IrOp::Binary { left, op, right } => {
+            let lt = infer(universe, rule, ir, *left, diags);
+            let rt = infer(universe, rule, ir, *right, diags);
             match op {
                 BinOp::And | BinOp::Or => {
                     for (side, t) in [(left, lt), (right, rt)] {
                         if !t.is_boolish() {
                             diags.push(mismatch(
                                 rule,
-                                e,
-                                format!("{op} operand `{side}` is {}, expected BOOL", t.name()),
+                                ir,
+                                id,
+                                format!(
+                                    "{op} operand `{}` is {}, expected BOOL",
+                                    ir.disp(*side),
+                                    t.name()
+                                ),
                             ));
                         }
                     }
@@ -144,10 +169,13 @@ pub fn infer(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Di
                         diags.push(
                             mismatch(
                                 rule,
-                                e,
+                                ir,
+                                id,
                                 format!(
-                                    "cannot compare `{left}` ({}) with `{right}` ({})",
+                                    "cannot compare `{}` ({}) with `{}` ({})",
+                                    ir.disp(*left),
                                     lt.name(),
+                                    ir.disp(*right),
                                     rt.name()
                                 ),
                             )
@@ -164,9 +192,11 @@ pub fn infer(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Di
                         if !t.is_numeric() {
                             diags.push(mismatch(
                                 rule,
-                                e,
+                                ir,
+                                id,
                                 format!(
-                                    "arithmetic `{op}` on non-numeric operand `{side}` ({})",
+                                    "arithmetic `{op}` on non-numeric operand `{}` ({})",
+                                    ir.disp(*side),
                                     t.name()
                                 ),
                             ));
@@ -186,34 +216,42 @@ pub fn infer(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Di
         }
         // IS NULL accepts every operand type; inference of the operand still
         // reports unknown references.
-        Expr::IsNull { expr, .. } => {
-            infer(universe, rule, expr, diags);
+        IrOp::IsNull { expr, .. } => {
+            infer(universe, rule, ir, *expr, diags);
             Ty::T(DataType::Bool)
         }
-        Expr::Like { expr, pattern, .. } => {
+        IrOp::Like { expr, pattern, .. } => {
             for side in [expr, pattern] {
-                let t = infer(universe, rule, side, diags);
+                let t = infer(universe, rule, ir, *side, diags);
                 if !t.is_textish() {
                     diags.push(mismatch(
                         rule,
-                        e,
-                        format!("LIKE requires text operands; `{side}` is {}", t.name()),
+                        ir,
+                        id,
+                        format!(
+                            "LIKE requires text operands; `{}` is {}",
+                            ir.disp(*side),
+                            t.name()
+                        ),
                     ));
                 }
             }
             Ty::T(DataType::Bool)
         }
-        Expr::InList { expr, list, .. } => {
-            let t = infer(universe, rule, expr, diags);
-            for member in list {
-                let mt = infer(universe, rule, member, diags);
+        IrOp::InList { expr, list, .. } => {
+            let t = infer(universe, rule, ir, *expr, diags);
+            for member in &ir.lists[*list as usize] {
+                let mt = infer(universe, rule, ir, *member, diags);
                 if !comparable(t, mt) {
                     diags.push(mismatch(
                         rule,
-                        e,
+                        ir,
+                        id,
                         format!(
-                            "IN list member `{member}` ({}) is not comparable with `{expr}` ({})",
+                            "IN list member `{}` ({}) is not comparable with `{}` ({})",
+                            ir.disp(*member),
                             mt.name(),
+                            ir.disp(*expr),
                             t.name()
                         ),
                     ));
@@ -224,8 +262,8 @@ pub fn infer(universe: &SchemaUniverse, rule: &str, e: &Expr, diags: &mut Vec<Di
     }
 }
 
-fn mismatch(rule: &str, e: &Expr, message: String) -> Diagnostic {
-    Diagnostic::new(Code::E002, rule, message).with_span(e.to_string())
+fn mismatch(rule: &str, ir: &ExprIr, id: NodeId, message: String) -> Diagnostic {
+    Diagnostic::new(Code::E002, rule, message).with_span(ir.render(id))
 }
 
 fn resolve_column(
@@ -298,8 +336,8 @@ mod tests {
     fn check(cond: &str) -> Vec<Diagnostic> {
         let universe = SchemaUniverse::builtin();
         let mut diags = Vec::new();
-        let expr = parse_expression(cond).unwrap();
-        check_condition(&universe, "t", &expr, &mut diags);
+        let ir = ExprIr::lower(&parse_expression(cond).unwrap());
+        check_condition(&universe, "t", &ir, &mut diags);
         diags
     }
 

@@ -297,6 +297,29 @@ fn w103_tautological_condition() {
 }
 
 #[test]
+fn w105_duplicated_predicate_across_same_event_rules() {
+    // Two distinct conditions sharing the `Query.Duration > 1` predicate on
+    // the same event: the dispatch plan evaluates it once per event, and the
+    // lint reports the overlap. Not a W102 (the whole conditions differ).
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[
+            on_query_commit(
+                "a",
+                Some("Query.Duration > 1 AND Query.User = 'admin'"),
+                vec![ActionIr::SendMail],
+            ),
+            on_query_commit(
+                "b",
+                Some("Query.Duration > 1 AND Query.Estimated_Cost > 100"),
+                vec![ActionIr::SendMail],
+            ),
+        ],
+    );
+    assert_eq!(codes(&diags), vec![Code::W105]);
+}
+
+#[test]
 fn w104_possible_division_by_zero() {
     // N counts rows and may be 0 for a fresh group; dividing by it is a
     // runtime hazard the intervals can see statically.

@@ -12,8 +12,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sqlcm_common::{QueryInfo, SystemClock, Value};
+use sqlcm_core::ir::CondIr;
 use sqlcm_core::objects::query_object;
-use sqlcm_core::rules::{eval_condition, EvalContext};
+use sqlcm_core::rules::{oracle, EvalContext};
+use sqlcm_core::vm::{self, Program, VmStats};
 use sqlcm_core::{Lat, LatAggFunc, LatSpec};
 use sqlcm_engine::active::ActiveQueryState;
 use sqlcm_engine::lock::{LockManager, LockMode, ResourceId};
@@ -103,11 +105,25 @@ fn bench_condition_eval() {
             .join(" AND "),
     )
     .unwrap();
-    bench_function("condition_eval_1_atom", || {
-        eval_condition(std::hint::black_box(&one), &ctx).unwrap();
+    let compile = |e: &sqlcm_sql::Expr| {
+        let ir = sqlcm_sql::ExprIr::lower(e).fold();
+        let cond = CondIr::from_ir(&ir, &std::collections::HashMap::new(), &[]).unwrap();
+        Program::emit(&cond, &std::collections::HashMap::new())
+    };
+    let one_vm = compile(&one);
+    let twenty_vm = compile(&twenty);
+    let mut stats = VmStats::default();
+    bench_function("condition_eval_1_atom_oracle", || {
+        oracle::eval_condition(std::hint::black_box(&one), &ctx).unwrap();
     });
-    bench_function("condition_eval_20_atoms", || {
-        eval_condition(std::hint::black_box(&twenty), &ctx).unwrap();
+    bench_function("condition_eval_1_atom_vm", || {
+        vm::eval_condition(std::hint::black_box(&one_vm), &ctx, &mut [], &mut stats).unwrap();
+    });
+    bench_function("condition_eval_20_atoms_oracle", || {
+        oracle::eval_condition(std::hint::black_box(&twenty), &ctx).unwrap();
+    });
+    bench_function("condition_eval_20_atoms_vm", || {
+        vm::eval_condition(std::hint::black_box(&twenty_vm), &ctx, &mut [], &mut stats).unwrap();
     });
 }
 

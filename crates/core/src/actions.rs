@@ -132,20 +132,14 @@ pub fn substitute(template: &str, ctx: &EvalContext) -> String {
             Some(close) => {
                 let inner = &after[..close];
                 match inner.split_once('.') {
-                    Some((q, n)) => {
-                        let parsed = sqlcm_sql::parse_expression(&format!("{q}.{n}")).ok();
-                        let resolved = parsed
-                            .as_ref()
-                            .and_then(|e| crate::rules::eval_expr(e, ctx).ok());
-                        match resolved {
-                            Some(v) => out.push_str(&v.to_string()),
-                            None => {
-                                out.push('{');
-                                out.push_str(inner);
-                                out.push('}');
-                            }
+                    Some((q, n)) => match ctx.resolve(q, n).ok() {
+                        Some(v) => out.push_str(&v.to_string()),
+                        None => {
+                            out.push('{');
+                            out.push_str(inner);
+                            out.push('}');
                         }
-                    }
+                    },
                     None => {
                         out.push('{');
                         out.push_str(inner);

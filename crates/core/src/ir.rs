@@ -1,0 +1,511 @@
+//! Resolved condition IR: the runtime's compiled form of a rule condition.
+//!
+//! [`CondIr::from_ir`] resolves a lowered (and usually folded) [`ExprIr`]
+//! against the LAT registry: `Class.Attribute` references become value
+//! positions ([`ROp::Attr`]) and `Lat.Column` references become `(binding,
+//! column)` index pairs ([`ROp::LatCol`]), so per-event evaluation does no
+//! string matching — the "lightweight ECA rule engine" property the paper
+//! leans on (§2.1: low and controllable overhead beats expressive power).
+//!
+//! The resolved arena mirrors the source [`ExprIr`] node-for-node (same
+//! post-order layout, same [`NodeId`]s), so the precomputed analysis facts —
+//! canonical hashes, subtree sizes, infallibility — carry over verbatim and
+//! the dispatch plan can key cross-rule common-subexpression slots on them.
+//! Constant `LIKE` patterns are additionally compiled once into a
+//! [`LikeMatcher`] pool so the hot path never re-tokenizes a pattern.
+//!
+//! Resolution errors reproduce the legacy compiler's messages and its
+//! discovery order (a left subtree is fully resolved before the right; an
+//! unsupported node such as a function call errors *before* its arguments
+//! are visited).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqlcm_common::{Error, Result, Value};
+use sqlcm_sql::{BinOp, ExprIr, IrOp, LikeMatcher, NodeId, UnaryOp};
+
+use crate::lat::Lat;
+use crate::objects::ClassName;
+
+/// One resolved flat-IR operation. Children are [`NodeId`]s pointing at
+/// earlier arena slots (post-order, root last).
+#[derive(Debug, Clone)]
+pub enum ROp {
+    /// Literal; index into [`CondIr::consts`].
+    Const(u32),
+    /// Attribute `index` of the in-scope object of `class`.
+    Attr {
+        class: ClassName,
+        index: usize,
+    },
+    /// Column `index` of the bound row of the rule's `lat_idx`-th referenced
+    /// LAT (position in the rule's `condition_refs()` LAT list — and
+    /// therefore in `EvalContext::lat_rows`). Rule-local, so a resolved
+    /// condition stays valid across dispatch-plan rebuilds.
+    LatCol {
+        lat_idx: usize,
+        index: usize,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: NodeId,
+    },
+    Binary {
+        left: NodeId,
+        op: BinOp,
+        right: NodeId,
+    },
+    IsNull {
+        expr: NodeId,
+        negated: bool,
+    },
+    /// `matcher` indexes [`CondIr::matchers`] when the pattern operand is a
+    /// constant string, precompiled at registration.
+    Like {
+        expr: NodeId,
+        pattern: NodeId,
+        negated: bool,
+        matcher: Option<u32>,
+    },
+    /// Members live in [`CondIr::lists`] at the given index.
+    InList {
+        expr: NodeId,
+        list: u32,
+        negated: bool,
+    },
+}
+
+/// A rule condition resolved against the LAT registry, ready for bytecode
+/// emission (see [`crate::vm`]).
+#[derive(Debug, Clone)]
+pub struct CondIr {
+    pub ops: Vec<ROp>,
+    pub root: NodeId,
+    pub consts: Vec<Value>,
+    /// `LIKE` patterns compiled at registration (constant patterns only).
+    pub matchers: Vec<LikeMatcher>,
+    /// `IN`-list member vectors.
+    pub lists: Vec<Vec<NodeId>>,
+    /// Qualified column references `(qualifier, name)` as written,
+    /// deduplicated exactly, in first-appearance order — the trace
+    /// explainer's side-channel (resolution rejects unqualified columns, so
+    /// every surviving reference is qualified).
+    pub refs: Vec<(String, String)>,
+    /// Canonical structural hash per node, carried over from the source
+    /// [`ExprIr`] (case-folded references, no commutative normalization) —
+    /// the cross-rule CSE key.
+    pub hashes: Vec<u64>,
+    /// Subtree size in ops per node.
+    pub sizes: Vec<u32>,
+    /// Node can never evaluate to `Err` (no column reads, no checked
+    /// arithmetic). Gates short-circuit jumps: the runtime contract
+    /// evaluates *both* operands of AND/OR, so only an infallible operand
+    /// may be skipped.
+    pub infallible: Vec<bool>,
+    /// Lowercased LAT names in `lat_idx` order — gives [`ROp::LatCol`] a
+    /// registry-global identity for cross-rule structural comparison.
+    pub lat_names: Vec<String>,
+}
+
+impl CondIr {
+    /// Resolve a lowered condition against the current LAT registry.
+    /// `cond_lats` is the rule's ordered LAT reference list (from
+    /// `Rule::condition_refs`); LAT references resolve to positions in it.
+    pub fn from_ir(
+        ir: &ExprIr,
+        lats: &HashMap<String, Arc<Lat>>,
+        cond_lats: &[String],
+    ) -> Result<CondIr> {
+        let mut out = CondIr {
+            ops: Vec::with_capacity(ir.ops.len()),
+            root: 0,
+            consts: ir.consts.clone(),
+            matchers: Vec::new(),
+            lists: ir.lists.clone(),
+            refs: Vec::new(),
+            hashes: ir.hashes.clone(),
+            sizes: ir.sizes.clone(),
+            infallible: ir.infallible.clone(),
+            lat_names: cond_lats.iter().map(|l| l.to_ascii_lowercase()).collect(),
+        };
+        out.root = out.resolve(ir, ir.root, lats, cond_lats)?;
+        debug_assert_eq!(out.ops.len(), ir.ops.len(), "arena maps node-for-node");
+        debug_assert_eq!(out.root, ir.root);
+        // Every reference that survived resolution is qualified; carry the
+        // side-channel over in the source's first-appearance order.
+        out.refs = ir
+            .refs
+            .iter()
+            .map(|(q, n)| {
+                let q = q
+                    .clone()
+                    .expect("resolved condition has only qualified refs");
+                (q, n.clone())
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Resolve the subtree rooted at `id`, appending in the same post-order
+    /// the source arena uses so [`NodeId`]s coincide. Children are visited
+    /// left-to-right before the parent — except unsupported nodes, which
+    /// error immediately — matching the legacy compiler's error order.
+    fn resolve(
+        &mut self,
+        ir: &ExprIr,
+        id: NodeId,
+        lats: &HashMap<String, Arc<Lat>>,
+        cond_lats: &[String],
+    ) -> Result<NodeId> {
+        let op = match ir.op(id) {
+            IrOp::Const(c) => ROp::Const(*c),
+            IrOp::Ref(r) => {
+                let (qualifier, name) = &ir.refs[*r as usize];
+                let q = qualifier.as_deref().ok_or_else(|| {
+                    Error::Monitor(format!("unqualified column {name} in rule condition"))
+                })?;
+                if let Some(class) = ClassName::parse(q) {
+                    let index =
+                        crate::objects::static_attr_index(&class, name).ok_or_else(|| {
+                            Error::Monitor(format!("class {class} has no attribute {name}"))
+                        })?;
+                    ROp::Attr { class, index }
+                } else {
+                    let key = q.to_ascii_lowercase();
+                    let lat = lats.get(&key).ok_or_else(|| {
+                        Error::Monitor(format!("unknown LAT {q} in rule condition"))
+                    })?;
+                    let index = lat
+                        .column_index(name)
+                        .ok_or_else(|| Error::Monitor(format!("LAT {q} has no column {name}")))?;
+                    let lat_idx = cond_lats
+                        .iter()
+                        .position(|l| l.eq_ignore_ascii_case(&key))
+                        .ok_or_else(|| {
+                            Error::Monitor(format!("LAT {q} missing from rule reference list"))
+                        })?;
+                    ROp::LatCol { lat_idx, index }
+                }
+            }
+            IrOp::Param(_) | IrOp::NamedParam(_) => {
+                return Err(Error::Monitor(
+                    "parameters are not allowed in rule conditions".into(),
+                ))
+            }
+            IrOp::Unary { op, expr } => {
+                let e = self.resolve(ir, *expr, lats, cond_lats)?;
+                ROp::Unary { op: *op, expr: e }
+            }
+            IrOp::Binary { left, op, right } => {
+                let l = self.resolve(ir, *left, lats, cond_lats)?;
+                let r = self.resolve(ir, *right, lats, cond_lats)?;
+                ROp::Binary {
+                    left: l,
+                    op: *op,
+                    right: r,
+                }
+            }
+            IrOp::IsNull { expr, negated } => {
+                let e = self.resolve(ir, *expr, lats, cond_lats)?;
+                ROp::IsNull {
+                    expr: e,
+                    negated: *negated,
+                }
+            }
+            IrOp::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let e = self.resolve(ir, *expr, lats, cond_lats)?;
+                let p = self.resolve(ir, *pattern, lats, cond_lats)?;
+                let matcher = match ir.const_value(*pattern) {
+                    Some(Value::Text(s)) => {
+                        self.matchers.push(LikeMatcher::new(s));
+                        Some((self.matchers.len() - 1) as u32)
+                    }
+                    _ => None,
+                };
+                ROp::Like {
+                    expr: e,
+                    pattern: p,
+                    negated: *negated,
+                    matcher,
+                }
+            }
+            IrOp::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let e = self.resolve(ir, *expr, lats, cond_lats)?;
+                for m in &ir.lists[*list as usize] {
+                    self.resolve(ir, *m, lats, cond_lats)?;
+                }
+                ROp::InList {
+                    expr: e,
+                    list: *list,
+                    negated: *negated,
+                }
+            }
+            // Unsupported in conditions; error before visiting arguments,
+            // like the legacy compiler's catch-all.
+            IrOp::FuncCall { .. } => {
+                return Err(Error::Monitor(format!(
+                    "expression {} is not supported in rule conditions",
+                    ir.disp(id)
+                )))
+            }
+        };
+        self.ops.push(op);
+        Ok((self.ops.len() - 1) as NodeId)
+    }
+
+    pub fn op(&self, id: NodeId) -> &ROp {
+        &self.ops[id as usize]
+    }
+
+    pub fn hash_of(&self, id: NodeId) -> u64 {
+        self.hashes[id as usize]
+    }
+
+    pub fn size_of(&self, id: NodeId) -> u32 {
+        self.sizes[id as usize]
+    }
+
+    pub fn is_infallible(&self, id: NodeId) -> bool {
+        self.infallible[id as usize]
+    }
+
+    /// Pre-order walk of the subtree rooted at `id`. A `LIKE` with a
+    /// precompiled matcher still visits its (constant) pattern node, so the
+    /// walk covers every source node.
+    pub fn for_each_in(&self, id: NodeId, f: &mut impl FnMut(&ROp)) {
+        let op = self.op(id);
+        f(op);
+        match op {
+            ROp::Const(_) | ROp::Attr { .. } | ROp::LatCol { .. } => {}
+            ROp::Unary { expr, .. } | ROp::IsNull { expr, .. } => self.for_each_in(*expr, f),
+            ROp::Binary { left, right, .. } => {
+                self.for_each_in(*left, f);
+                self.for_each_in(*right, f);
+            }
+            ROp::Like { expr, pattern, .. } => {
+                self.for_each_in(*expr, f);
+                self.for_each_in(*pattern, f);
+            }
+            ROp::InList { expr, list, .. } => {
+                self.for_each_in(*expr, f);
+                for m in self.lists[*list as usize].clone() {
+                    self.for_each_in(m, f);
+                }
+            }
+        }
+    }
+
+    /// Visit every [`ROp::LatCol`] reference — `(lat_idx, column_index)` per
+    /// reference. Used at plan build to compute the exact set of columns
+    /// each rule reads through its hoist slots. The arena is dense, so a
+    /// linear scan covers the whole tree.
+    pub fn for_each_lat_col(&self, f: &mut impl FnMut(usize, usize)) {
+        for op in &self.ops {
+            if let ROp::LatCol { lat_idx, index } = op {
+                f(*lat_idx, *index);
+            }
+        }
+    }
+
+    /// Structural equality of two subtrees in (possibly) different rules'
+    /// arenas — the hash-collision guard for cross-rule CSE grouping. LAT
+    /// references compare by registry-global name, not by rule-local
+    /// binding position.
+    pub fn subtree_eq(&self, id: NodeId, other: &CondIr, oid: NodeId) -> bool {
+        match (self.op(id), other.op(oid)) {
+            (ROp::Const(a), ROp::Const(b)) => {
+                let (va, vb) = (&self.consts[*a as usize], &other.consts[*b as usize]);
+                std::mem::discriminant(va) == std::mem::discriminant(vb) && va == vb
+            }
+            (
+                ROp::Attr {
+                    class: ca,
+                    index: ia,
+                },
+                ROp::Attr {
+                    class: cb,
+                    index: ib,
+                },
+            ) => ca == cb && ia == ib,
+            (
+                ROp::LatCol {
+                    lat_idx: la,
+                    index: ia,
+                },
+                ROp::LatCol {
+                    lat_idx: lb,
+                    index: ib,
+                },
+            ) => ia == ib && self.lat_names[*la] == other.lat_names[*lb],
+            (ROp::Unary { op: oa, expr: ea }, ROp::Unary { op: ob, expr: eb }) => {
+                oa == ob && self.subtree_eq(*ea, other, *eb)
+            }
+            (
+                ROp::Binary {
+                    left: la,
+                    op: oa,
+                    right: ra,
+                },
+                ROp::Binary {
+                    left: lb,
+                    op: ob,
+                    right: rb,
+                },
+            ) => oa == ob && self.subtree_eq(*la, other, *lb) && self.subtree_eq(*ra, other, *rb),
+            (
+                ROp::IsNull {
+                    expr: ea,
+                    negated: na,
+                },
+                ROp::IsNull {
+                    expr: eb,
+                    negated: nb,
+                },
+            ) => na == nb && self.subtree_eq(*ea, other, *eb),
+            (
+                ROp::Like {
+                    expr: ea,
+                    pattern: pa,
+                    negated: na,
+                    ..
+                },
+                ROp::Like {
+                    expr: eb,
+                    pattern: pb,
+                    negated: nb,
+                    ..
+                },
+            ) => na == nb && self.subtree_eq(*ea, other, *eb) && self.subtree_eq(*pa, other, *pb),
+            (
+                ROp::InList {
+                    expr: ea,
+                    list: la,
+                    negated: na,
+                },
+                ROp::InList {
+                    expr: eb,
+                    list: lb,
+                    negated: nb,
+                },
+            ) => {
+                let (ma, mb) = (&self.lists[*la as usize], &other.lists[*lb as usize]);
+                na == nb
+                    && ma.len() == mb.len()
+                    && self.subtree_eq(*ea, other, *eb)
+                    && ma
+                        .iter()
+                        .zip(mb.iter())
+                        .all(|(x, y)| self.subtree_eq(*x, other, *y))
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lat::{LatAggFunc, LatSpec};
+    use sqlcm_common::ManualClock;
+    use sqlcm_sql::parse_expression;
+
+    fn duration_lat() -> Arc<Lat> {
+        let (clock, _) = ManualClock::shared(0);
+        Arc::new(
+            Lat::new(
+                LatSpec::new("Duration_LAT")
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration"),
+                clock,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn resolve(src: &str) -> Result<CondIr> {
+        let mut lats = HashMap::new();
+        lats.insert("duration_lat".to_string(), duration_lat());
+        let ir = ExprIr::lower(&parse_expression(src).unwrap()).fold();
+        CondIr::from_ir(&ir, &lats, &["Duration_LAT".to_string()])
+    }
+
+    #[test]
+    fn arena_mirrors_source_and_resolves_references() {
+        let c = resolve("Query.Duration > 5 * Duration_LAT.Avg_Duration").unwrap();
+        assert!(matches!(
+            c.op(0),
+            ROp::Attr {
+                class: ClassName::Query,
+                ..
+            }
+        ));
+        assert!(c
+            .ops
+            .iter()
+            .any(|o| matches!(o, ROp::LatCol { lat_idx: 0, .. })));
+        assert_eq!(
+            c.refs,
+            vec![
+                ("Query".to_string(), "Duration".to_string()),
+                ("Duration_LAT".to_string(), "Avg_Duration".to_string()),
+            ]
+        );
+        assert_eq!(c.lat_names, vec!["duration_lat".to_string()]);
+    }
+
+    #[test]
+    fn constant_like_patterns_precompile() {
+        let c = resolve("Query.Query_Text LIKE 'SELECT%'").unwrap();
+        assert_eq!(c.matchers.len(), 1);
+        assert!(c.matchers[0].is_match("SELECT 1"));
+        assert!(matches!(
+            c.op(c.root),
+            ROp::Like {
+                matcher: Some(0),
+                ..
+            }
+        ));
+        // A dynamic pattern stays generic.
+        let c = resolve("Query.Query_Text LIKE Query.User").unwrap();
+        assert!(c.matchers.is_empty());
+        assert!(matches!(c.op(c.root), ROp::Like { matcher: None, .. }));
+    }
+
+    #[test]
+    fn resolution_errors_match_the_legacy_compiler() {
+        for (src, want) in [
+            ("Query.Nope > 1", "class Query has no attribute Nope"),
+            ("Ghost_LAT.N > 1", "unknown LAT Ghost_LAT in rule condition"),
+            (
+                "Duration_LAT.Nope > 1",
+                "LAT Duration_LAT has no column Nope",
+            ),
+            (
+                "LENGTH(Query.User) > 1",
+                "expression LENGTH(Query.User) is not supported in rule conditions",
+            ),
+        ] {
+            let err = resolve(src).unwrap_err().to_string();
+            assert!(err.contains(want), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn cross_rule_subtree_equality_uses_lat_names() {
+        let a = resolve("Duration_LAT.Avg_Duration > 5").unwrap();
+        let b = resolve("duration_lat.avg_duration > 5").unwrap();
+        assert_eq!(a.hash_of(a.root), b.hash_of(b.root));
+        assert!(a.subtree_eq(a.root, &b, b.root));
+        let c = resolve("Duration_LAT.Avg_Duration > 6").unwrap();
+        assert!(!a.subtree_eq(a.root, &c, c.root));
+    }
+}

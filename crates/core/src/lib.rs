@@ -50,6 +50,8 @@ pub mod analysis;
 pub mod containment;
 pub mod deferred;
 pub mod fault;
+#[doc(hidden)]
+pub mod ir;
 pub mod lat;
 pub mod lat_ref;
 pub mod monitor;
@@ -60,6 +62,8 @@ pub mod sinks;
 pub mod telemetry;
 pub mod timer;
 pub mod trace;
+#[doc(hidden)]
+pub mod vm;
 
 pub use actions::Action;
 pub use analysis::{Analyzer, Code, Diagnostic, Severity};

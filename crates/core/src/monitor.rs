@@ -107,6 +107,9 @@ struct SqlcmInner {
     /// Force coarse (always-clear) hoist invalidation, ignoring the
     /// analyzer's effect summaries. Differential-testing/rollback switch.
     coarse_invalidation: AtomicBool,
+    /// Cross-rule subexpression sharing (CSE slots in the dispatch plan).
+    /// On by default; differential-testing/rollback switch.
+    cse_enabled: AtomicBool,
     /// Self-telemetry state (probe/rule/LAT metrics, flight recorder).
     telemetry: Telem,
     /// Causal-trace state (sampling policy, trace ring, span pool).
@@ -342,7 +345,8 @@ impl SqlcmInner {
         let rules = self.rules_read().clone();
         let lats = self.lats_read().clone();
         let coarse = self.coarse_invalidation.load(Ordering::Relaxed);
-        let plan = DispatchPlan::build(epoch, &rules, &lats, coarse);
+        let cse = self.cse_enabled.load(Ordering::Relaxed);
+        let plan = DispatchPlan::build(epoch, &rules, &lats, coarse, cse);
         self.plan.swap(Arc::new(plan));
         self.telemetry.plan_rebuilds.incr();
     }
@@ -526,9 +530,22 @@ impl SqlcmInner {
                 .collect::<Vec<_>>();
             &mut slots_heap
         };
+        // Shared-subexpression value store: the first rule to evaluate a
+        // shared condition subtree publishes its value here, later sharers
+        // load it (see `plan::CseSlot` and `vm::Inst::CseLoad`).
+        const INLINE_CSE: usize = 8;
+        let k = ep.cse.len();
+        let mut cse_inline: [Option<Value>; INLINE_CSE] = Default::default();
+        let mut cse_heap;
+        let cse: &mut [Option<Value>] = if k <= INLINE_CSE {
+            &mut cse_inline[..k]
+        } else {
+            cse_heap = vec![None; k];
+            &mut cse_heap
+        };
         for (i, pr) in ep.rules.iter().enumerate() {
             if enabled[i] {
-                self.evaluate_rule(ep, pr, objects, slots, trace, event_span, depth);
+                self.evaluate_rule(ep, pr, objects, slots, cse, trace, event_span, depth);
             }
         }
         if let Some(ctx) = trace.as_mut() {
@@ -552,6 +569,7 @@ impl SqlcmInner {
         pr: &PlanRule,
         base: &[Object],
         slots: &mut [HoistState],
+        cse: &mut [Option<Value>],
         trace: &mut Option<TraceCtx>,
         event_span: u32,
         depth: u32,
@@ -565,7 +583,7 @@ impl SqlcmInner {
             .iter()
             .all(|c| base.iter().any(|o| o.class == *c))
         {
-            self.evaluate_combo(ep, pr, base, slots, trace, event_span, depth);
+            self.evaluate_combo(ep, pr, base, slots, cse, trace, event_span, depth);
             return;
         }
         let covered: Vec<&ClassName> = base.iter().map(|o| &o.class).collect();
@@ -644,7 +662,7 @@ impl SqlcmInner {
                     if let Some(t) = t {
                         combo.push(t.clone());
                     }
-                    self.evaluate_combo(ep, pr, &combo, slots, trace, event_span, depth);
+                    self.evaluate_combo(ep, pr, &combo, slots, cse, trace, event_span, depth);
                 }
             }
         }
@@ -656,10 +674,11 @@ impl SqlcmInner {
     #[allow(clippy::too_many_arguments)]
     fn evaluate_combo(
         &self,
-        _ep: &EventPlan,
+        ep: &EventPlan,
         pr: &PlanRule,
         combo: &[Object],
         slots: &mut [HoistState],
+        cse: &mut [Option<Value>],
         trace: &mut Option<TraceCtx>,
         event_span: u32,
         depth: u32,
@@ -759,7 +778,7 @@ impl SqlcmInner {
         }
 
         // Phase B — borrow the rows into fixed-layout bindings indexed by the
-        // rule's `cond_lats` order (what `CompiledExpr::LatCol` points into).
+        // rule's `cond_lats` order (what `ir::ROp::LatCol` points into).
         let slots_ro: &[HoistState] = &*slots;
         let row_of = |i: usize| {
             let slot = pr.lat_slots[i];
@@ -802,9 +821,10 @@ impl SqlcmInner {
             lat_rows: bindings,
         };
         let mut cond_error = false;
-        let fire = match &reg.compiled {
+        let mut vm_stats = crate::vm::VmStats::default();
+        let fire = match &pr.program {
             None => true,
-            Some(c) => match crate::rules::eval_condition_compiled(c, &ctx) {
+            Some(prog) => match crate::vm::eval_condition(prog, &ctx, cse, &mut vm_stats) {
                 Ok(b) => b,
                 Err(e) => {
                     cond_error = true;
@@ -817,6 +837,12 @@ impl SqlcmInner {
                 }
             },
         };
+        if vm_stats.instructions != 0 {
+            self.telemetry.vm_instructions.add(vm_stats.instructions);
+        }
+        if vm_stats.cse_hits != 0 {
+            self.telemetry.cse_hits.add(vm_stats.cse_hits);
+        }
         let cond_nanos = sw.as_ref().map(|s| s.elapsed_nanos());
         if let Some(ns) = cond_nanos {
             reg.cond_latency.record(ns);
@@ -824,7 +850,7 @@ impl SqlcmInner {
         // The explainer re-resolves the condition's references — allocation
         // and extra lookups happen only on sampled evaluations.
         if let Some(tctx) = trace.as_mut() {
-            let why = explain_condition(reg.rule.condition.as_ref(), &ctx, fire, cond_error);
+            let why = explain_condition(reg.compiled.as_deref(), &ctx, fire, cond_error);
             tctx.rule_outcome(rule_span, fire, why);
         }
         let trace_id = trace.as_ref().map(|c| c.trace_id()).unwrap_or(0);
@@ -910,16 +936,32 @@ impl SqlcmInner {
         // (which the insert may have flipped) is discarded.
         for inv in &pr.invalidates {
             let slot = &mut slots[inv.slot as usize];
-            if inv.only_if_missing {
+            let cleared = if inv.only_if_missing {
                 match slot {
                     HoistState::Fetched(Some(_)) => {
-                        self.telemetry.hoist_invalidations_avoided.incr()
+                        self.telemetry.hoist_invalidations_avoided.incr();
+                        false
                     }
-                    HoistState::Fetched(None) => *slot = HoistState::Empty,
-                    HoistState::Empty => {}
+                    HoistState::Fetched(None) => {
+                        *slot = HoistState::Empty;
+                        true
+                    }
+                    HoistState::Empty => false,
                 }
             } else {
+                let had = !matches!(slot, HoistState::Empty);
                 *slot = HoistState::Empty;
+                had
+            };
+            // A dropped row snapshot takes every cached shared value computed
+            // from it along — the CSE slot must never outlive its inputs.
+            // A kept snapshot (`only_if_missing` above) keeps its values too.
+            if cleared {
+                for (ci, cs) in ep.cse.iter().enumerate() {
+                    if cs.deps.contains(&inv.slot) {
+                        cse[ci] = None;
+                    }
+                }
             }
         }
         self.record_breaker_outcome(reg, trial, errors > 0, total_nanos);
@@ -1560,6 +1602,9 @@ impl SqlcmInner {
                 lat_row_fetches: telem.lat_row_fetches.get(),
                 reg_lock_acquisitions: telem.reg_lock_acquisitions.get(),
                 hoist_invalidations_avoided: telem.hoist_invalidations_avoided.get(),
+                vm_instructions: telem.vm_instructions.get(),
+                cse_hits: telem.cse_hits.get(),
+                folded_ops: telem.folded_ops.get(),
             },
             flight_records: telem.recorder.snapshot(),
             flight_total: telem.recorder.total_recorded(),
@@ -1586,6 +1631,7 @@ impl Sqlcm {
                 &[],
                 &HashMap::new(),
                 false,
+                true,
             ))),
             plan_rebuild: Mutex::new(()),
             plan_epoch: AtomicU64::new(0),
@@ -1602,6 +1648,7 @@ impl Sqlcm {
             last_error: Mutex::new(None),
             analysis_warnings: Mutex::new(Vec::new()),
             coarse_invalidation: AtomicBool::new(false),
+            cse_enabled: AtomicBool::new(true),
             telemetry: Telem::new(),
             tracer: Tracer::new(),
             containment: Containment::new(),
@@ -1743,6 +1790,17 @@ impl Sqlcm {
         self.inner.rebuild_plan();
     }
 
+    /// Toggle cross-rule subexpression sharing (CSE slots in the dispatch
+    /// plan) and republish. On by default: equal condition subtrees appearing
+    /// under two or more rules on the same event evaluate once per event and
+    /// later sharers reuse the value. Off exists for differential testing and
+    /// as an operational rollback: both modes must produce identical firings,
+    /// differing only in `cse_hits` and per-condition work.
+    pub fn set_cse_enabled(&self, enabled: bool) {
+        self.inner.cse_enabled.store(enabled, Ordering::Relaxed);
+        self.inner.rebuild_plan();
+    }
+
     /// Run the static analyzer on a rule against the current LATs and rules
     /// without registering anything — a lint probe.
     pub fn analyze_rule(&self, rule: &Rule) -> Vec<Diagnostic> {
@@ -1877,10 +1935,21 @@ impl Sqlcm {
                     }
                 }
             }
+            // Lower once into the shared expression IR, fold constants, then
+            // resolve references against the live LATs. The fold delta feeds
+            // the `folded_ops` telemetry counter.
             let compiled_cond = rule
                 .condition
                 .as_ref()
-                .map(|c| crate::rules::compile(c, &lats, &cond_lats_lc))
+                .map(|c| {
+                    let lowered = sqlcm_sql::ExprIr::lower(c);
+                    let folded = lowered.fold();
+                    self.inner
+                        .telemetry
+                        .folded_ops
+                        .add(folded.folded_ops as u64);
+                    crate::ir::CondIr::from_ir(&folded, &lats, &cond_lats_lc).map(Arc::new)
+                })
                 .transpose()?;
             let compiled_actions = rule
                 .actions

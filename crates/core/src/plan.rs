@@ -16,27 +16,35 @@
 //! * rules on the same event whose conditions read the same LAT share one
 //!   **hoist slot** ([`HoistSlot`]): the row snapshot is fetched once per
 //!   event and reused across their condition evaluations — the paper's
-//!   grouping idea applied to rule evaluation itself.
+//!   grouping idea applied to rule evaluation itself;
+//! * equal condition subtrees appearing under ≥ 2 rules on the same event
+//!   (canonical-hash keyed, structurally verified) get a **CSE slot**
+//!   ([`CseSlot`]): the subexpression is evaluated once per event, later
+//!   sharers load the cached value, and Phase C invalidation drops the
+//!   value together with the hoist slots it reads through.
 //!
 //! Reclamation is deliberately simple: superseded plans are parked in a
 //! retired list until the cell drops. Plans are rebuilt at *registration*
 //! rate (human-driven, low), not event rate, so the parked memory is bounded
 //! by the number of registry mutations over the instance's lifetime.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sqlcm_analyze::RuleEffects;
 use sqlcm_common::{ProbeKind, ProbeMask, Value};
+use sqlcm_sql::NodeId;
 use sqlcm_telemetry::LatencyHistogram;
 
 use crate::actions::Action;
 use crate::containment::RuleBreaker;
+use crate::ir::{CondIr, ROp};
 use crate::lat::Lat;
 use crate::objects::ClassName;
 use crate::rules::{Rule, RuleEvent};
+use crate::vm::Program;
 
 /// Sentinel in [`PlanRule::lat_slots`]: this LAT reference is not hoistable
 /// (its source class is not part of the event payload, so the bound row can
@@ -47,14 +55,16 @@ pub(crate) const NO_HOIST: u32 = u32::MAX;
 /// compiled condition, pre-bound action targets, referenced classes and LATs.
 pub(crate) struct Registered {
     pub rule: Arc<Rule>,
-    /// Condition compiled at registration (references resolved to indexes).
-    pub compiled: Option<crate::rules::CompiledExpr>,
+    /// Condition lowered, folded, and resolved at registration (references
+    /// resolved to indexes). Bytecode is emitted from this per plan build,
+    /// so CSE slot numbers can be plan-local.
+    pub compiled: Option<Arc<CondIr>>,
     /// Actions with LAT handles resolved at registration.
     pub actions: Vec<CompiledAction>,
     /// Classes the condition references.
     pub cond_classes: Vec<ClassName>,
     /// LAT names the condition references (lowercased, in first-reference
-    /// order — the order `CompiledExpr::LatCol::lat_idx` indexes).
+    /// order — the order `crate::ir::ROp::LatCol::lat_idx` indexes).
     pub cond_lats: Vec<String>,
     /// Condition-evaluation wall time, nanoseconds (telemetry).
     pub cond_latency: LatencyHistogram,
@@ -137,6 +147,10 @@ pub(crate) struct PlanRule {
     /// reader of the slot, the entry is `only_if_missing` and a live
     /// snapshot survives the firing.
     pub invalidates: Vec<Invalidation>,
+    /// Condition bytecode, emitted at plan build with this plan's CSE slot
+    /// assignment baked in. `None` when the rule has no condition or is
+    /// `broken`.
+    pub program: Option<Program>,
     /// Set when the rule cannot run under the current registry (a condition
     /// LAT was dropped); evaluation records this error instead of running.
     pub broken: Option<String>,
@@ -151,9 +165,112 @@ pub(crate) struct PlanRule {
 pub(crate) struct EventPlan {
     pub rules: Vec<PlanRule>,
     pub hoisted: Vec<HoistSlot>,
+    /// Event-level shared-subexpression slots (see [`CseSlot`]).
+    pub cse: Vec<CseSlot>,
     /// Display name in probe convention (`"Query.Commit"`), cached at build
     /// so the tracer never formats an event name on the dispatch path.
     pub label: String,
+}
+
+/// One event-level shared-subexpression slot: the first sharer to evaluate
+/// the subtree stores the value ([`crate::vm::Inst::CseStore`]), later
+/// sharers load it instead of re-evaluating.
+pub(crate) struct CseSlot {
+    /// Hoist-slot indexes the subtree reads through, sorted. When Phase C
+    /// actually clears one of these hoist slots, the cached value must be
+    /// dropped too — a shared value never outlives the row snapshot it came
+    /// from.
+    pub deps: Vec<u32>,
+}
+
+/// Minimum subtree size (in ops) for a CSE candidate — below this the slot
+/// bookkeeping costs more than the re-evaluation it saves.
+const CSE_MIN_SIZE: u32 = 3;
+
+/// Enumerate CSE-candidate nodes of one rule's condition: subtrees whose
+/// value is identical across every object combination of the event (all
+/// attribute reads come from payload classes, all LAT reads go through hoist
+/// slots), that actually read something (sharing a constant is pointless),
+/// and that are big enough to be worth a slot. Stability composes bottom-up,
+/// and the arena is post-order, so one linear pass suffices.
+fn shareable_nodes(cond: &CondIr, payload: &[ClassName], lat_slots: &[u32]) -> Vec<NodeId> {
+    let n = cond.ops.len();
+    let mut stable = vec![false; n];
+    let mut has_ref = vec![false; n];
+    for i in 0..n {
+        let (s, r) = match &cond.ops[i] {
+            ROp::Const(_) => (true, false),
+            ROp::Attr { class, .. } => (payload.contains(class), true),
+            ROp::LatCol { lat_idx, .. } => (
+                lat_slots.get(*lat_idx).is_some_and(|&s| s != NO_HOIST),
+                true,
+            ),
+            ROp::Unary { expr, .. } | ROp::IsNull { expr, .. } => {
+                (stable[*expr as usize], has_ref[*expr as usize])
+            }
+            ROp::Binary { left, right, .. } => (
+                stable[*left as usize] && stable[*right as usize],
+                has_ref[*left as usize] || has_ref[*right as usize],
+            ),
+            ROp::Like { expr, pattern, .. } => (
+                stable[*expr as usize] && stable[*pattern as usize],
+                has_ref[*expr as usize] || has_ref[*pattern as usize],
+            ),
+            ROp::InList { expr, list, .. } => {
+                let mut s = stable[*expr as usize];
+                let mut r = has_ref[*expr as usize];
+                for m in &cond.lists[*list as usize] {
+                    s &= stable[*m as usize];
+                    r |= has_ref[*m as usize];
+                }
+                (s, r)
+            }
+        };
+        stable[i] = s;
+        has_ref[i] = r;
+    }
+    (0..n as NodeId)
+        .filter(|&id| {
+            stable[id as usize] && has_ref[id as usize] && cond.size_of(id) >= CSE_MIN_SIZE
+        })
+        .collect()
+}
+
+/// Pre-order claim selection: the outermost eligible node whose hash has
+/// enough support wins, and its interior is not descended — nested shared
+/// subtrees don't get redundant slots of their own (the VM serves the whole
+/// cached subtree in one load anyway).
+fn choose_claims(
+    cond: &CondIr,
+    id: NodeId,
+    eligible: &HashSet<NodeId>,
+    support: &HashMap<u64, u32>,
+    out: &mut Vec<NodeId>,
+) {
+    if eligible.contains(&id) && support.get(&cond.hash_of(id)).copied().unwrap_or(0) >= 2 {
+        out.push(id);
+        return;
+    }
+    match cond.op(id) {
+        ROp::Const(_) | ROp::Attr { .. } | ROp::LatCol { .. } => {}
+        ROp::Unary { expr, .. } | ROp::IsNull { expr, .. } => {
+            choose_claims(cond, *expr, eligible, support, out)
+        }
+        ROp::Binary { left, right, .. } => {
+            choose_claims(cond, *left, eligible, support, out);
+            choose_claims(cond, *right, eligible, support, out);
+        }
+        ROp::Like { expr, pattern, .. } => {
+            choose_claims(cond, *expr, eligible, support, out);
+            choose_claims(cond, *pattern, eligible, support, out);
+        }
+        ROp::InList { expr, list, .. } => {
+            choose_claims(cond, *expr, eligible, support, out);
+            for m in cond.lists[*list as usize].clone() {
+                choose_claims(cond, m, eligible, support, out);
+            }
+        }
+    }
 }
 
 /// Number of statically-indexed events: the 12 probe kinds plus MonitorTick.
@@ -216,6 +333,7 @@ impl DispatchPlan {
         rules: &[Arc<Registered>],
         lats: &HashMap<String, Arc<Lat>>,
         coarse_invalidation: bool,
+        cse_enabled: bool,
     ) -> DispatchPlan {
         let mut statics: [EventPlan; STATIC_EVENTS] = std::array::from_fn(|_| EventPlan::default());
         let mut dynamics: HashMap<RuleEvent, EventPlan> = HashMap::new();
@@ -247,11 +365,14 @@ impl DispatchPlan {
             let plan_rule = Self::plan_rule(reg, lats, &payload, &mut ep.hoisted);
             ep.rules.push(plan_rule);
         }
-        // Second pass: invalidation modes need the *complete* per-slot read
-        // union (a slot's readers can be registered after its writers), so
-        // they are computed only once every rule of the event is planned.
+        // Second pass: invalidation modes and CSE slots both need the
+        // *complete* per-event rule set (a slot's readers and a subtree's
+        // sharers can be registered after each other), so they are computed
+        // only once every rule of the event is planned. Bytecode emission
+        // rides along because CSE slot numbers are baked into the programs.
         for ep in statics.iter_mut().chain(dynamics.values_mut()) {
             Self::compute_invalidations(ep, coarse_invalidation);
+            Self::assign_cse_and_emit(ep, cse_enabled);
         }
         let mut probe_mask = ProbeMask::EMPTY;
         for kind in ProbeKind::ALL {
@@ -287,6 +408,7 @@ impl DispatchPlan {
                         lats: Vec::new(),
                         lat_slots: Vec::new(),
                         invalidates: Vec::new(),
+                        program: None,
                         broken: Some(format!(
                             "rule {} references unknown LAT {name}",
                             reg.rule.name
@@ -323,7 +445,131 @@ impl DispatchPlan {
             lats: resolved,
             lat_slots,
             invalidates: Vec::new(),
+            program: None,
             broken: None,
+        }
+    }
+
+    /// Assign event-level CSE slots and emit each rule's bytecode program.
+    ///
+    /// Candidate subtrees (see [`shareable_nodes`]) are grouped by canonical
+    /// structural hash with [`CondIr::subtree_eq`] as the collision guard;
+    /// groups evaluated at least twice per event — by two rules, or twice
+    /// within one — get a slot: the first evaluation stores the value, later
+    /// ones load it. Emission always runs (every unbroken rule with a
+    /// condition gets its program here); only slot assignment is gated on
+    /// `cse_enabled`.
+    fn assign_cse_and_emit(ep: &mut EventPlan, cse_enabled: bool) {
+        let payload: Vec<ClassName> = match ep.rules.first() {
+            Some(pr) => pr.reg.rule.event.payload_classes(),
+            None => return,
+        };
+        let mut eligible: Vec<Vec<NodeId>> = Vec::with_capacity(ep.rules.len());
+        for pr in &ep.rules {
+            let nodes = match &pr.reg.compiled {
+                Some(c) if cse_enabled && pr.broken.is_none() => {
+                    shareable_nodes(c, &payload, &pr.lat_slots)
+                }
+                _ => Vec::new(),
+            };
+            eligible.push(nodes);
+        }
+        // Occurrence count per canonical hash across the whole event.
+        let mut support: HashMap<u64, u32> = HashMap::new();
+        for (pr, nodes) in ep.rules.iter().zip(&eligible) {
+            if let Some(c) = &pr.reg.compiled {
+                for &id in nodes {
+                    *support.entry(c.hash_of(id)).or_default() += 1;
+                }
+            }
+        }
+        // Outermost-first claims per rule.
+        let mut claims: Vec<Vec<NodeId>> = Vec::with_capacity(ep.rules.len());
+        for (pr, nodes) in ep.rules.iter().zip(&eligible) {
+            let mut out = Vec::new();
+            if !nodes.is_empty() {
+                if let Some(c) = &pr.reg.compiled {
+                    let set: HashSet<NodeId> = nodes.iter().copied().collect();
+                    choose_claims(c, c.root, &set, &support, &mut out);
+                }
+            }
+            claims.push(out);
+        }
+        // Group claims by hash, structurally verified against the group's
+        // exemplar subtree so a hash collision degrades to private
+        // evaluation instead of serving a wrong value.
+        struct Group {
+            exemplar: (usize, NodeId),
+            claimers: u32,
+        }
+        let mut by_hash: HashMap<u64, Group> = HashMap::new();
+        let mut mapped: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); ep.rules.len()];
+        for (ri, rule_claims) in claims.iter().enumerate() {
+            let Some(c) = ep.rules[ri].reg.compiled.as_ref() else {
+                continue;
+            };
+            for &id in rule_claims {
+                let h = c.hash_of(id);
+                match by_hash.entry(h) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (xr, xn) = e.get().exemplar;
+                        let ex = ep.rules[xr].reg.compiled.as_ref().unwrap();
+                        if ex.subtree_eq(xn, c, id) {
+                            e.get_mut().claimers += 1;
+                            mapped[ri].push((id, h));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(Group {
+                            exemplar: (ri, id),
+                            claimers: 1,
+                        });
+                        mapped[ri].push((id, h));
+                    }
+                }
+            }
+        }
+        // Final numbering in first-claim order: only groups claimed at least
+        // twice survive (maximal selection can leave a supported hash with a
+        // single claim when its other occurrences sit inside larger claims).
+        let mut final_slot: HashMap<u64, u16> = HashMap::new();
+        let mut cse: Vec<CseSlot> = Vec::new();
+        let mut rule_maps: Vec<HashMap<NodeId, u16>> = vec![HashMap::new(); ep.rules.len()];
+        for (ri, pairs) in mapped.iter().enumerate() {
+            for &(id, h) in pairs {
+                let g = &by_hash[&h];
+                if g.claimers < 2 {
+                    continue;
+                }
+                let (xr, xn) = g.exemplar;
+                let slot = *final_slot.entry(h).or_insert_with(|| {
+                    let ex_pr = &ep.rules[xr];
+                    let ex = ex_pr.reg.compiled.as_ref().unwrap();
+                    let mut deps: Vec<u32> = Vec::new();
+                    ex.for_each_in(xn, &mut |op| {
+                        if let ROp::LatCol { lat_idx, .. } = op {
+                            if let Some(&hs) = ex_pr.lat_slots.get(*lat_idx) {
+                                if hs != NO_HOIST && !deps.contains(&hs) {
+                                    deps.push(hs);
+                                }
+                            }
+                        }
+                    });
+                    deps.sort_unstable();
+                    cse.push(CseSlot { deps });
+                    (cse.len() - 1) as u16
+                });
+                rule_maps[ri].insert(id, slot);
+            }
+        }
+        ep.cse = cse;
+        for (ri, pr) in ep.rules.iter_mut().enumerate() {
+            if pr.broken.is_some() {
+                continue;
+            }
+            if let Some(c) = &pr.reg.compiled {
+                pr.program = Some(Program::emit(c, &rule_maps[ri]));
+            }
         }
     }
 
@@ -369,7 +615,7 @@ impl DispatchPlan {
                 continue;
             }
             if let Some(c) = &pr.reg.compiled {
-                crate::rules::for_each_lat_col(c, &mut |lat_idx, col| {
+                c.for_each_lat_col(&mut |lat_idx, col| {
                     let Some(&slot) = pr.lat_slots.get(lat_idx) else {
                         return;
                     };
@@ -632,7 +878,7 @@ mod tests {
             registered("b", RuleEvent::QueryCommit, &["l"]),
             registered("c", RuleEvent::QueryStart, &["l"]),
         ];
-        let plan = DispatchPlan::build(1, &rules, &lats, false);
+        let plan = DispatchPlan::build(1, &rules, &lats, false, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert_eq!(ep.rules.len(), 2);
         assert_eq!(ep.hoisted.len(), 1, "a and b share one slot");
@@ -653,7 +899,7 @@ mod tests {
     #[test]
     fn missing_lat_marks_rule_broken() {
         let rules = vec![registered("a", RuleEvent::QueryCommit, &["gone"])];
-        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false);
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert!(ep.rules[0].broken.as_deref().unwrap().contains("gone"));
         assert!(ep.hoisted.is_empty());
@@ -662,16 +908,79 @@ mod tests {
     #[test]
     fn probe_mask_tracks_subscribed_kinds_only() {
         let rules = vec![registered("a", RuleEvent::QueryCommit, &[])];
-        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false);
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false, true);
         assert!(plan.probe_mask.contains(ProbeKind::QueryCommit));
         assert!(!plan.probe_mask.contains(ProbeKind::Login));
         assert!(!plan.has_event(&RuleEvent::MonitorTick));
         assert!(!plan.has_event(&RuleEvent::TimerAlarm("t".into())));
     }
 
+    fn registered_cond(
+        name: &str,
+        event: RuleEvent,
+        cond_lats: &[&str],
+        compiled: Arc<CondIr>,
+    ) -> Arc<Registered> {
+        Arc::new(Registered {
+            rule: Arc::new(Rule::new(name).on(event)),
+            compiled: Some(compiled),
+            actions: Vec::new(),
+            cond_classes: vec![ClassName::Query],
+            cond_lats: cond_lats.iter().map(|s| s.to_string()).collect(),
+            cond_latency: LatencyHistogram::new(),
+            action_latency: LatencyHistogram::new(),
+            effects: None,
+            breaker: RuleBreaker::new(crate::containment::BreakerConfig::default()),
+        })
+    }
+
+    fn compiled_cond(
+        expr: &str,
+        lats: &HashMap<String, Arc<Lat>>,
+        cond_lats: &[String],
+    ) -> Arc<CondIr> {
+        let ast = sqlcm_sql::parse_expression(expr).unwrap();
+        let ir = sqlcm_sql::ExprIr::lower(&ast).fold();
+        Arc::new(CondIr::from_ir(&ir, lats, cond_lats).unwrap())
+    }
+
+    #[test]
+    fn shared_condition_subtrees_get_one_cse_slot() {
+        let lat = test_lat("L");
+        let mut lats = HashMap::new();
+        lats.insert("l".to_string(), lat);
+        let cond_lats = vec!["l".to_string()];
+        let cond = || {
+            compiled_cond(
+                "L.Avg_Duration > 5 AND Query.Duration > 2",
+                &lats,
+                &cond_lats,
+            )
+        };
+        let rules = vec![
+            registered_cond("a", RuleEvent::QueryCommit, &["l"], cond()),
+            registered_cond("b", RuleEvent::QueryCommit, &["l"], cond()),
+        ];
+        let plan = DispatchPlan::build(1, &rules, &lats, false, true);
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        assert_eq!(ep.cse.len(), 1, "whole shared condition gets one slot");
+        assert_eq!(ep.cse[0].deps, vec![0], "slot depends on the hoisted LAT");
+        assert!(ep.rules.iter().all(|pr| pr.program.is_some()));
+        // Disabled: programs still emitted, no slots assigned.
+        let plan = DispatchPlan::build(2, &rules, &lats, false, false);
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        assert!(ep.cse.is_empty());
+        assert!(ep.rules.iter().all(|pr| pr.program.is_some()));
+        // A single rule has nothing to share with: no slot survives pruning.
+        let solo = vec![registered_cond("a", RuleEvent::QueryCommit, &["l"], cond())];
+        let plan = DispatchPlan::build(3, &solo, &lats, false, true);
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        assert!(ep.cse.is_empty());
+    }
+
     #[test]
     fn plan_cell_load_survives_swap() {
-        let p1 = Arc::new(DispatchPlan::build(1, &[], &HashMap::new(), false));
+        let p1 = Arc::new(DispatchPlan::build(1, &[], &HashMap::new(), false, true));
         let cell = PlanCell::new(p1);
         let held = cell.load();
         cell.swap(Arc::new(DispatchPlan::build(
@@ -679,6 +988,7 @@ mod tests {
             &[],
             &HashMap::new(),
             false,
+            true,
         )));
         // The pre-swap reference is still valid (parked, not freed).
         assert_eq!(held.epoch, 1);

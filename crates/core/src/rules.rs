@@ -13,12 +13,10 @@
 //!   object; "all references to aggregation table rows are implicitly
 //!   ∃-quantified; if a matching row doesn't exist, the condition … is false".
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 
 use sqlcm_common::{Error, Result, Value};
-use sqlcm_sql::{parse_expression, BinOp, Expr, UnaryOp};
+use sqlcm_sql::{parse_expression, Expr};
 
 use crate::actions::Action;
 use crate::lat::Lat;
@@ -280,8 +278,9 @@ pub struct LatBinding<'a> {
 /// Bound evaluation context: in-scope objects plus pre-bound LAT rows.
 ///
 /// `lat_rows` is ordered like the owning rule's `condition_refs()` LAT list, so
-/// compiled conditions address bindings by position ([`CompiledExpr::LatCol`])
-/// and the interpreted path ([`eval_expr`]) falls back to a name scan.
+/// compiled conditions address bindings by position
+/// ([`crate::ir::ROp::LatCol`]) and the interpreted oracle
+/// ([`oracle::eval_expr`]) falls back to a name scan.
 pub struct EvalContext<'a> {
     pub objects: &'a [Object],
     pub lat_rows: &'a [LatBinding<'a>],
@@ -332,425 +331,154 @@ impl EvalContext<'_> {
     }
 }
 
-// ------------------------------------------------------------ compiled form
+// -------------------------------------------------------- tree-walk oracle
 
-/// A condition compiled at rule-registration time: `Class.Attribute`
-/// references are resolved to value positions and `Lat.Column` references to
-/// column indexes, so per-event evaluation does no string matching. This is the
-/// "lightweight ECA rule engine" property the paper leans on (§2.1: low and
-/// controllable overhead beats expressive power).
-#[derive(Debug, Clone)]
-pub enum CompiledExpr {
-    Lit(Value),
-    /// Attribute `index` of the in-scope object of `class`.
-    Attr {
-        class: ClassName,
-        index: usize,
-    },
-    /// Column `index` of the bound row of the rule's `lat_idx`-th referenced
-    /// LAT (position in the rule's `condition_refs()` LAT list — and therefore
-    /// in `EvalContext::lat_rows`). Rule-local, so a compiled condition stays
-    /// valid across dispatch-plan rebuilds.
-    LatCol {
-        lat_idx: usize,
-        index: usize,
-    },
-    Unary {
-        op: UnaryOp,
-        expr: Box<CompiledExpr>,
-    },
-    Binary {
-        left: Box<CompiledExpr>,
-        op: BinOp,
-        right: Box<CompiledExpr>,
-    },
-    IsNull {
-        expr: Box<CompiledExpr>,
-        negated: bool,
-    },
-    Like {
-        expr: Box<CompiledExpr>,
-        pattern: Box<CompiledExpr>,
-        negated: bool,
-    },
-    InList {
-        expr: Box<CompiledExpr>,
-        list: Vec<CompiledExpr>,
-        negated: bool,
-    },
-}
+/// The original tree-walking condition interpreter, kept as the executable
+/// specification the register-bytecode VM ([`crate::vm`]) is differentially
+/// tested against. Not used on any runtime path: registration lowers
+/// conditions to [`crate::ir::CondIr`] and the dispatcher runs bytecode.
+/// Exposed (hidden) for the differential test suite and benches only.
+#[doc(hidden)]
+pub mod oracle {
+    use super::EvalContext;
+    use sqlcm_common::{Error, Result, Value};
+    use sqlcm_sql::{BinOp, Expr, UnaryOp};
 
-/// Compile a parsed condition against the current LAT registry. `cond_lats`
-/// is the rule's ordered LAT reference list (lowercased, from
-/// [`Rule::condition_refs`]); LAT references compile to positions in it.
-pub fn compile(
-    e: &Expr,
-    lats: &HashMap<String, Arc<Lat>>,
-    cond_lats: &[String],
-) -> Result<CompiledExpr> {
-    Ok(match e {
-        Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
-        Expr::Column { qualifier, name } => {
-            let q = qualifier.as_deref().ok_or_else(|| {
-                Error::Monitor(format!("unqualified column {name} in rule condition"))
-            })?;
-            if let Some(class) = ClassName::parse(q) {
-                let index = crate::objects::static_attr_index(&class, name).ok_or_else(|| {
-                    Error::Monitor(format!("class {class} has no attribute {name}"))
-                })?;
-                CompiledExpr::Attr { class, index }
-            } else {
-                let key = q.to_ascii_lowercase();
-                let lat = lats
-                    .get(&key)
-                    .ok_or_else(|| Error::Monitor(format!("unknown LAT {q} in rule condition")))?;
-                let index = lat
-                    .column_index(name)
-                    .ok_or_else(|| Error::Monitor(format!("LAT {q} has no column {name}")))?;
-                let lat_idx = cond_lats
-                    .iter()
-                    .position(|l| l.eq_ignore_ascii_case(&key))
-                    .ok_or_else(|| {
-                        Error::Monitor(format!("LAT {q} missing from rule reference list"))
-                    })?;
-                CompiledExpr::LatCol { lat_idx, index }
-            }
-        }
-        Expr::Param(_) | Expr::NamedParam(_) => {
-            return Err(Error::Monitor(
-                "parameters are not allowed in rule conditions".into(),
-            ))
-        }
-        Expr::Unary { op, expr } => CompiledExpr::Unary {
-            op: *op,
-            expr: Box::new(compile(expr, lats, cond_lats)?),
-        },
-        Expr::Binary { left, op, right } => CompiledExpr::Binary {
-            left: Box::new(compile(left, lats, cond_lats)?),
-            op: *op,
-            right: Box::new(compile(right, lats, cond_lats)?),
-        },
-        Expr::IsNull { expr, negated } => CompiledExpr::IsNull {
-            expr: Box::new(compile(expr, lats, cond_lats)?),
-            negated: *negated,
-        },
-        Expr::Like {
-            expr,
-            pattern,
-            negated,
-        } => CompiledExpr::Like {
-            expr: Box::new(compile(expr, lats, cond_lats)?),
-            pattern: Box::new(compile(pattern, lats, cond_lats)?),
-            negated: *negated,
-        },
-        Expr::InList {
-            expr,
-            list,
-            negated,
-        } => CompiledExpr::InList {
-            expr: Box::new(compile(expr, lats, cond_lats)?),
-            list: list
-                .iter()
-                .map(|e| compile(e, lats, cond_lats))
-                .collect::<Result<_>>()?,
-            negated: *negated,
-        },
-        other => {
-            return Err(Error::Monitor(format!(
-                "expression {other} is not supported in rule conditions"
-            )))
-        }
-    })
-}
-
-/// Visit every `LatCol` reference in a compiled condition — `(lat_idx,
-/// column_index)` per reference. Used at plan build to compute the exact set
-/// of columns each rule reads through its hoist slots.
-pub(crate) fn for_each_lat_col(e: &CompiledExpr, f: &mut impl FnMut(usize, usize)) {
-    match e {
-        CompiledExpr::LatCol { lat_idx, index } => f(*lat_idx, *index),
-        CompiledExpr::Lit(_) | CompiledExpr::Attr { .. } => {}
-        CompiledExpr::Unary { expr, .. } | CompiledExpr::IsNull { expr, .. } => {
-            for_each_lat_col(expr, f)
-        }
-        CompiledExpr::Binary { left, right, .. } => {
-            for_each_lat_col(left, f);
-            for_each_lat_col(right, f);
-        }
-        CompiledExpr::Like { expr, pattern, .. } => {
-            for_each_lat_col(expr, f);
-            for_each_lat_col(pattern, f);
-        }
-        CompiledExpr::InList { expr, list, .. } => {
-            for_each_lat_col(expr, f);
-            for e in list {
-                for_each_lat_col(e, f);
-            }
+    /// Evaluate a rule condition. Missing LAT rows make the condition false
+    /// (implicit ∃); genuine errors propagate.
+    pub fn eval_condition(cond: &Expr, ctx: &EvalContext) -> Result<bool> {
+        match eval_expr(cond, ctx) {
+            Ok(v) => Ok(v.as_bool() == Some(true)),
+            Err(Error::NoLatRow) => Ok(false),
+            Err(e) => Err(e),
         }
     }
-}
 
-/// Evaluate a compiled condition with the ∃-semantics of [`eval_condition`].
-pub fn eval_condition_compiled(cond: &CompiledExpr, ctx: &EvalContext) -> Result<bool> {
-    match eval_compiled(cond, ctx) {
-        Ok(v) => Ok(v.as_bool() == Some(true)),
-        Err(Error::NoLatRow) => Ok(false),
-        Err(e) => Err(e),
-    }
-}
-
-fn eval_compiled(e: &CompiledExpr, ctx: &EvalContext) -> Result<Value> {
-    Ok(match e {
-        CompiledExpr::Lit(v) => v.clone(),
-        CompiledExpr::Attr { class, index } => {
-            let obj = ctx
-                .objects
-                .iter()
-                .find(|o| o.class == *class)
-                .ok_or_else(|| {
-                    Error::Monitor(format!("class {class} is not in scope for this event"))
-                })?;
-            obj.values()
-                .get(*index)
-                .cloned()
-                .ok_or_else(|| Error::Monitor(format!("attribute {index} out of range")))?
-        }
-        CompiledExpr::LatCol { lat_idx, index } => match ctx.lat_rows.get(*lat_idx) {
-            Some(LatBinding { row: Some(row), .. }) => row[*index].clone(),
-            Some(LatBinding { row: None, .. }) => return Err(Error::NoLatRow),
-            None => {
+    /// Expression interpreter for conditions — the subset of §5.2: logical and
+    /// arithmetic operators over attribute and LAT-column references.
+    pub fn eval_expr(e: &Expr, ctx: &EvalContext) -> Result<Value> {
+        Ok(match e {
+            Expr::Literal(v) => v.clone(),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => ctx.resolve(q, name)?,
+                None => {
+                    return Err(Error::Monitor(format!(
+                        "unqualified column {name} in rule condition"
+                    )))
+                }
+            },
+            Expr::Unary { op, expr } => {
+                let v = eval_expr(expr, ctx)?;
+                match op {
+                    UnaryOp::Neg => Value::Int(0).sub(&v)?,
+                    UnaryOp::Not => match v.as_bool() {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    },
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                // NOTE: no short-circuit across the NO_ROW sentinel — any reference
+                // to a missing LAT row poisons the condition to false, matching the
+                // paper's "if a matching row doesn't exist, the condition is
+                // evaluated to false".
+                let l = eval_expr(left, ctx)?;
+                let r = eval_expr(right, ctx)?;
+                match op {
+                    BinOp::Add => l.add(&r)?,
+                    BinOp::Sub => l.sub(&r)?,
+                    BinOp::Mul => l.mul(&r)?,
+                    BinOp::Div => l.div(&r)?,
+                    BinOp::Mod => match (l.as_i64(), r.as_i64()) {
+                        (Some(a), Some(b)) if b != 0 => Value::Int(a % b),
+                        _ => Value::Null,
+                    },
+                    BinOp::And => match (l.as_bool(), r.as_bool()) {
+                        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                        (Some(true), Some(true)) => Value::Bool(true),
+                        _ => Value::Null,
+                    },
+                    BinOp::Or => match (l.as_bool(), r.as_bool()) {
+                        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                        (Some(false), Some(false)) => Value::Bool(false),
+                        _ => Value::Null,
+                    },
+                    cmp => match l.sql_cmp(&r) {
+                        None => Value::Null,
+                        Some(ord) => Value::Bool(match cmp {
+                            BinOp::Eq => ord.is_eq(),
+                            BinOp::NotEq => !ord.is_eq(),
+                            BinOp::Lt => ord.is_lt(),
+                            BinOp::Gt => ord.is_gt(),
+                            BinOp::LtEq => ord.is_le(),
+                            BinOp::GtEq => ord.is_ge(),
+                            _ => unreachable!(),
+                        }),
+                    },
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = eval_expr(expr, ctx)?;
+                Value::Bool(v.is_null() != *negated)
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = eval_expr(expr, ctx)?;
+                let p = eval_expr(pattern, ctx)?;
+                match (v.as_str(), p.as_str()) {
+                    (Some(s), Some(pat)) => {
+                        Value::Bool(sqlcm_engine::expr::like_match(s, pat) != *negated)
+                    }
+                    _ => Value::Null,
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = eval_expr(expr, ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                let mut found = false;
+                for e in list {
+                    let member = eval_expr(e, ctx)?;
+                    if member.is_null() {
+                        saw_null = true;
+                    } else if member == v {
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    Value::Bool(!*negated)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                }
+            }
+            other => {
                 return Err(Error::Monitor(format!(
-                    "LAT binding {lat_idx} missing from evaluation context"
+                    "expression {other} is not supported in rule conditions"
                 )))
             }
-        },
-        CompiledExpr::Unary { op, expr } => {
-            let v = eval_compiled(expr, ctx)?;
-            match op {
-                UnaryOp::Neg => Value::Int(0).sub(&v)?,
-                UnaryOp::Not => match v.as_bool() {
-                    Some(b) => Value::Bool(!b),
-                    None => Value::Null,
-                },
-            }
-        }
-        CompiledExpr::Binary { left, op, right } => {
-            let l = eval_compiled(left, ctx)?;
-            let r = eval_compiled(right, ctx)?;
-            match op {
-                BinOp::Add => l.add(&r)?,
-                BinOp::Sub => l.sub(&r)?,
-                BinOp::Mul => l.mul(&r)?,
-                BinOp::Div => l.div(&r)?,
-                BinOp::Mod => match (l.as_i64(), r.as_i64()) {
-                    (Some(a), Some(b)) if b != 0 => Value::Int(a % b),
-                    _ => Value::Null,
-                },
-                BinOp::And => match (l.as_bool(), r.as_bool()) {
-                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
-                    (Some(true), Some(true)) => Value::Bool(true),
-                    _ => Value::Null,
-                },
-                BinOp::Or => match (l.as_bool(), r.as_bool()) {
-                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
-                    (Some(false), Some(false)) => Value::Bool(false),
-                    _ => Value::Null,
-                },
-                cmp => match l.sql_cmp(&r) {
-                    None => Value::Null,
-                    Some(ord) => Value::Bool(match cmp {
-                        BinOp::Eq => ord.is_eq(),
-                        BinOp::NotEq => !ord.is_eq(),
-                        BinOp::Lt => ord.is_lt(),
-                        BinOp::Gt => ord.is_gt(),
-                        BinOp::LtEq => ord.is_le(),
-                        BinOp::GtEq => ord.is_ge(),
-                        _ => unreachable!(),
-                    }),
-                },
-            }
-        }
-        CompiledExpr::IsNull { expr, negated } => {
-            let v = eval_compiled(expr, ctx)?;
-            Value::Bool(v.is_null() != *negated)
-        }
-        CompiledExpr::Like {
-            expr,
-            pattern,
-            negated,
-        } => {
-            let v = eval_compiled(expr, ctx)?;
-            let p = eval_compiled(pattern, ctx)?;
-            match (v.as_str(), p.as_str()) {
-                (Some(sv), Some(pat)) => {
-                    Value::Bool(sqlcm_engine::expr::like_match(sv, pat) != *negated)
-                }
-                _ => Value::Null,
-            }
-        }
-        CompiledExpr::InList {
-            expr,
-            list,
-            negated,
-        } => {
-            let v = eval_compiled(expr, ctx)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            let mut saw_null = false;
-            let mut found = false;
-            for e in list {
-                let member = eval_compiled(e, ctx)?;
-                if member.is_null() {
-                    saw_null = true;
-                } else if member == v {
-                    found = true;
-                    break;
-                }
-            }
-            if found {
-                Value::Bool(!*negated)
-            } else if saw_null {
-                Value::Null
-            } else {
-                Value::Bool(*negated)
-            }
-        }
-    })
-}
-
-/// Evaluate a rule condition. Missing LAT rows make the condition false
-/// (implicit ∃); genuine errors propagate.
-pub fn eval_condition(cond: &Expr, ctx: &EvalContext) -> Result<bool> {
-    match eval_expr(cond, ctx) {
-        Ok(v) => Ok(v.as_bool() == Some(true)),
-        Err(Error::NoLatRow) => Ok(false),
-        Err(e) => Err(e),
+        })
     }
-}
-
-/// Expression interpreter for conditions — the subset of §5.2: logical and
-/// arithmetic operators over attribute and LAT-column references.
-pub fn eval_expr(e: &Expr, ctx: &EvalContext) -> Result<Value> {
-    Ok(match e {
-        Expr::Literal(v) => v.clone(),
-        Expr::Column { qualifier, name } => match qualifier {
-            Some(q) => ctx.resolve(q, name)?,
-            None => {
-                return Err(Error::Monitor(format!(
-                    "unqualified column {name} in rule condition"
-                )))
-            }
-        },
-        Expr::Unary { op, expr } => {
-            let v = eval_expr(expr, ctx)?;
-            match op {
-                UnaryOp::Neg => Value::Int(0).sub(&v)?,
-                UnaryOp::Not => match v.as_bool() {
-                    Some(b) => Value::Bool(!b),
-                    None => Value::Null,
-                },
-            }
-        }
-        Expr::Binary { left, op, right } => {
-            // NOTE: no short-circuit across the NO_ROW sentinel — any reference
-            // to a missing LAT row poisons the condition to false, matching the
-            // paper's "if a matching row doesn't exist, the condition is
-            // evaluated to false".
-            let l = eval_expr(left, ctx)?;
-            let r = eval_expr(right, ctx)?;
-            match op {
-                BinOp::Add => l.add(&r)?,
-                BinOp::Sub => l.sub(&r)?,
-                BinOp::Mul => l.mul(&r)?,
-                BinOp::Div => l.div(&r)?,
-                BinOp::Mod => match (l.as_i64(), r.as_i64()) {
-                    (Some(a), Some(b)) if b != 0 => Value::Int(a % b),
-                    _ => Value::Null,
-                },
-                BinOp::And => match (l.as_bool(), r.as_bool()) {
-                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
-                    (Some(true), Some(true)) => Value::Bool(true),
-                    _ => Value::Null,
-                },
-                BinOp::Or => match (l.as_bool(), r.as_bool()) {
-                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
-                    (Some(false), Some(false)) => Value::Bool(false),
-                    _ => Value::Null,
-                },
-                cmp => match l.sql_cmp(&r) {
-                    None => Value::Null,
-                    Some(ord) => Value::Bool(match cmp {
-                        BinOp::Eq => ord.is_eq(),
-                        BinOp::NotEq => !ord.is_eq(),
-                        BinOp::Lt => ord.is_lt(),
-                        BinOp::Gt => ord.is_gt(),
-                        BinOp::LtEq => ord.is_le(),
-                        BinOp::GtEq => ord.is_ge(),
-                        _ => unreachable!(),
-                    }),
-                },
-            }
-        }
-        Expr::IsNull { expr, negated } => {
-            let v = eval_expr(expr, ctx)?;
-            Value::Bool(v.is_null() != *negated)
-        }
-        Expr::Like {
-            expr,
-            pattern,
-            negated,
-        } => {
-            let v = eval_expr(expr, ctx)?;
-            let p = eval_expr(pattern, ctx)?;
-            match (v.as_str(), p.as_str()) {
-                (Some(s), Some(pat)) => {
-                    Value::Bool(sqlcm_engine::expr::like_match(s, pat) != *negated)
-                }
-                _ => Value::Null,
-            }
-        }
-        Expr::InList {
-            expr,
-            list,
-            negated,
-        } => {
-            let v = eval_expr(expr, ctx)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            let mut saw_null = false;
-            let mut found = false;
-            for e in list {
-                let member = eval_expr(e, ctx)?;
-                if member.is_null() {
-                    saw_null = true;
-                } else if member == v {
-                    found = true;
-                    break;
-                }
-            }
-            if found {
-                Value::Bool(!*negated)
-            } else if saw_null {
-                Value::Null
-            } else {
-                Value::Bool(*negated)
-            }
-        }
-        other => {
-            return Err(Error::Monitor(format!(
-                "expression {other} is not supported in rule conditions"
-            )))
-        }
-    })
 }
 
 #[cfg(test)]
 mod tests {
+    use super::oracle::eval_condition;
     use super::*;
     use crate::objects::query_object;
     use sqlcm_common::QueryInfo;
+    use std::sync::Arc;
 
     const NO_LATS: &[LatBinding<'static>] = &[];
 

@@ -83,6 +83,14 @@ pub(crate) struct Telem {
     /// path works off the immutable plan and must never move this counter —
     /// the no-subscriber regression test pins that.
     pub reg_lock_acquisitions: ShardedCounter,
+    /// Bytecode instructions retired by the condition VM (`crate::vm`).
+    pub vm_instructions: ShardedCounter,
+    /// Condition subexpressions served from a shared per-event CSE slot
+    /// instead of re-evaluating (see `plan::CseSlot`).
+    pub cse_hits: ShardedCounter,
+    /// Condition-IR ops eliminated by registration-time constant folding,
+    /// summed over all registered rules.
+    pub folded_ops: ShardedCounter,
 }
 
 impl Telem {
@@ -98,6 +106,9 @@ impl Telem {
             lat_row_fetches: ShardedCounter::new(),
             hoist_invalidations_avoided: ShardedCounter::new(),
             reg_lock_acquisitions: ShardedCounter::new(),
+            vm_instructions: ShardedCounter::new(),
+            cse_hits: ShardedCounter::new(),
+            folded_ops: ShardedCounter::new(),
         }
     }
 
@@ -165,6 +176,13 @@ pub struct DispatchTelemetry {
     /// Hoist-slot clears skipped because the fired rule's writes were
     /// provably disjoint from the slot's readers.
     pub hoist_invalidations_avoided: u64,
+    /// Bytecode instructions retired by the condition VM.
+    pub vm_instructions: u64,
+    /// Condition subexpressions served from a shared per-event CSE slot
+    /// instead of re-evaluating.
+    pub cse_hits: u64,
+    /// Condition-IR ops eliminated by registration-time constant folding.
+    pub folded_ops: u64,
 }
 
 /// Per-probe-kind slice of a telemetry snapshot.
@@ -372,13 +390,16 @@ impl TelemetrySnapshot {
         let _ = writeln!(
             out,
             "dispatch plan: epoch={} rebuilds={} lat_row_fetches={} hoisted_hits={} \
-             invalidations_avoided={} reg_locks={}",
+             invalidations_avoided={} reg_locks={} vm_instructions={} cse_hits={} folded_ops={}",
             self.dispatch.plan_epoch,
             self.dispatch.plan_rebuilds,
             self.dispatch.lat_row_fetches,
             self.dispatch.hoisted_lookup_hits,
             self.dispatch.hoist_invalidations_avoided,
             self.dispatch.reg_lock_acquisitions,
+            self.dispatch.vm_instructions,
+            self.dispatch.cse_hits,
+            self.dispatch.folded_ops,
         );
         let _ = writeln!(out, "probes:");
         for p in &self.probes {
@@ -526,13 +547,16 @@ impl TelemetrySnapshot {
             self.stats.action_errors
         ));
         out.push_str(&format!(
-            ",\"dispatch\":{{\"plan_epoch\":{},\"plan_rebuilds\":{},\"hoisted_lookup_hits\":{},\"lat_row_fetches\":{},\"reg_lock_acquisitions\":{},\"hoist_invalidations_avoided\":{}}}",
+            ",\"dispatch\":{{\"plan_epoch\":{},\"plan_rebuilds\":{},\"hoisted_lookup_hits\":{},\"lat_row_fetches\":{},\"reg_lock_acquisitions\":{},\"hoist_invalidations_avoided\":{},\"vm_instructions\":{},\"cse_hits\":{},\"folded_ops\":{}}}",
             self.dispatch.plan_epoch,
             self.dispatch.plan_rebuilds,
             self.dispatch.hoisted_lookup_hits,
             self.dispatch.lat_row_fetches,
             self.dispatch.reg_lock_acquisitions,
-            self.dispatch.hoist_invalidations_avoided
+            self.dispatch.hoist_invalidations_avoided,
+            self.dispatch.vm_instructions,
+            self.dispatch.cse_hits,
+            self.dispatch.folded_ops
         ));
         out.push_str(",\"probes\":[");
         for (i, p) in self.probes.iter().enumerate() {

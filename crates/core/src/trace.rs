@@ -49,7 +49,6 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use sqlcm_common::ProbeKind;
-use sqlcm_sql::Expr;
 use sqlcm_telemetry::{BoundedRing, BufferPool, Stopwatch};
 
 use crate::rules::EvalContext;
@@ -727,11 +726,12 @@ impl Tracer {
 // ------------------------------------------------------------ explainer
 
 /// Build the "why it fired / why it didn't" explainer for one condition
-/// evaluation: every `Qualifier.Name` leaf the condition references, with
-/// the value it bound to (or `<no row>` for a failed implicit ∃), then the
-/// decision. Runs only on sampled evaluations.
+/// evaluation: every `Qualifier.Name` leaf the condition references (the
+/// resolved IR carries them verbatim, exactly deduplicated, in source
+/// order), with the value it bound to (or `<no row>` for a failed implicit
+/// ∃), then the decision. Runs only on sampled evaluations.
 pub(crate) fn explain_condition(
-    condition: Option<&Expr>,
+    condition: Option<&crate::ir::CondIr>,
     ctx: &EvalContext,
     fired: bool,
     cond_error: bool,
@@ -739,21 +739,9 @@ pub(crate) fn explain_condition(
     let Some(cond) = condition else {
         return "no condition -> always fires".to_string();
     };
-    let mut refs: Vec<(String, String)> = Vec::new();
-    cond.walk(&mut |e| {
-        if let Expr::Column {
-            qualifier: Some(q),
-            name,
-        } = e
-        {
-            if !refs.iter().any(|(rq, rn)| rq == q && rn == name) {
-                refs.push((q.clone(), name.clone()));
-            }
-        }
-    });
     let mut out = String::new();
     let mut missing_row = false;
-    for (q, name) in &refs {
+    for (q, name) in &cond.refs {
         if !out.is_empty() {
             out.push_str(", ");
         }

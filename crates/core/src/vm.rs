@@ -1,0 +1,747 @@
+//! Register-bytecode condition VM.
+//!
+//! [`Program::emit`] flattens a resolved [`CondIr`] into straight-line
+//! register code executed by a non-recursive loop — no per-node call
+//! overhead, no tree pointer chasing, and (after the thread-local register
+//! file warms up) no allocation on the hot path. Semantics are exactly the
+//! tree-walk contract:
+//!
+//! * **no short-circuit rescue across errors** — the runtime evaluates both
+//!   operands of `AND`/`OR`, so a missing LAT row (`Error::NoLatRow`)
+//!   anywhere in the condition poisons it to false (implicit ∃, paper §5.2)
+//!   and a genuine error anywhere propagates. Short-circuit jumps
+//!   ([`Inst::Fuse`]) are therefore emitted only when the operand they skip
+//!   is provably infallible;
+//! * `IN` lists evaluate members lazily left-to-right and stop on the first
+//!   match, with SQL's three-valued `NULL` handling;
+//! * constant `LIKE` patterns run through the matcher precompiled at
+//!   registration ([`Inst::LikePre`]).
+//!
+//! Cross-rule common-subexpression slots are baked in at dispatch-plan
+//! build: [`Inst::CseLoad`] serves a previously computed value from the
+//! per-event scratch (counting a `cse_hits`), otherwise the subtree runs and
+//! [`Inst::CseStore`] publishes its value for the remaining rules on the
+//! event. Errors are never cached — a failing subtree re-runs (and re-fails
+//! identically) per rule.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sqlcm_common::{Error, Result, Value};
+use sqlcm_sql::{BinOp, LikeMatcher, NodeId, UnaryOp};
+
+use crate::ir::{CondIr, ROp};
+use crate::rules::{EvalContext, LatBinding};
+
+/// One VM instruction. Registers index the thread-local register file;
+/// jump targets are instruction indices.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// `dst = consts[idx]`.
+    Const {
+        dst: u16,
+        idx: u32,
+    },
+    /// `dst =` attribute `index` of the in-scope object of `class`.
+    Attr {
+        dst: u16,
+        class: crate::objects::ClassName,
+        index: usize,
+    },
+    /// `dst = ` column `index` of the bound row of LAT binding `lat_idx`;
+    /// a missing row raises the ∃ sentinel.
+    LatCol {
+        dst: u16,
+        lat_idx: usize,
+        index: usize,
+    },
+    /// `dst = 0 - src` (checked).
+    Neg {
+        dst: u16,
+        src: u16,
+    },
+    /// `dst = NOT src` (three-valued).
+    Not {
+        dst: u16,
+        src: u16,
+    },
+    /// `dst = left <op> right`, full tree-walk semantics per operator.
+    Binary {
+        dst: u16,
+        op: BinOp,
+        left: u16,
+        right: u16,
+    },
+    IsNull {
+        dst: u16,
+        src: u16,
+        negated: bool,
+    },
+    /// `LIKE` against a pattern precompiled at registration.
+    LikePre {
+        dst: u16,
+        src: u16,
+        matcher: u32,
+        negated: bool,
+    },
+    /// `LIKE` with a dynamic pattern.
+    Like {
+        dst: u16,
+        src: u16,
+        pattern: u16,
+        negated: bool,
+    },
+    /// Open an `IN` evaluation: `NULL` scrutinee short-circuits the whole
+    /// list to `NULL`; otherwise `dst` starts as the no-match verdict.
+    InInit {
+        dst: u16,
+        src: u16,
+        negated: bool,
+        end: u32,
+    },
+    /// Check one (just-evaluated) member against the scrutinee.
+    InStep {
+        dst: u16,
+        src: u16,
+        member: u16,
+        negated: bool,
+        end: u32,
+    },
+    /// Short-circuit `AND`/`OR`: when `dst` is already decisive (`as_bool()
+    /// == Some(on)`), normalize it to `Bool(on)` and skip the other operand.
+    /// Emitted only over infallible operands.
+    Fuse {
+        dst: u16,
+        on: bool,
+        target: u32,
+    },
+    /// Serve a shared subexpression from the per-event scratch, skipping
+    /// its instructions on a hit.
+    CseLoad {
+        slot: u16,
+        dst: u16,
+        skip: u32,
+    },
+    /// Publish a just-computed shared subexpression value.
+    CseStore {
+        slot: u16,
+        src: u16,
+    },
+}
+
+/// Per-evaluation VM counters, accumulated by the dispatcher into telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Shared-subexpression loads served from the per-event scratch.
+    pub cse_hits: u64,
+}
+
+/// A compiled condition: straight-line register bytecode plus the constant
+/// and matcher pools it references. Emitted per dispatch plan (CSE slot
+/// numbers are plan-local); evaluation is lock-free and read-only.
+#[derive(Debug, Clone)]
+pub struct Program {
+    code: Vec<Inst>,
+    consts: Vec<Value>,
+    matchers: Vec<LikeMatcher>,
+    /// Register-file size this program needs.
+    pub nregs: usize,
+    /// Register holding the condition value after the last instruction.
+    result: u16,
+}
+
+thread_local! {
+    /// Register file reused across evaluations; grows to the largest
+    /// program seen on this thread and then stays allocation-free.
+    static REGS: RefCell<Vec<Value>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Program {
+    /// Emit bytecode for `ir`. `cse` maps arena nodes to plan-local shared
+    /// slots; pass an empty map for standalone (slot-less) evaluation.
+    pub fn emit(ir: &CondIr, cse: &HashMap<NodeId, u16>) -> Program {
+        let mut e = Emitter {
+            ir,
+            cse,
+            code: Vec::new(),
+            nregs: 0,
+            free: Vec::new(),
+        };
+        let result = e.emit(ir.root);
+        Program {
+            code: e.code,
+            consts: ir.consts.clone(),
+            matchers: ir.matchers.clone(),
+            nregs: e.nregs as usize,
+            result,
+        }
+    }
+
+    /// Instruction count (for plan summaries and tests).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Run the program to a raw value. `cse` is the per-event shared-slot
+    /// scratch (empty slice when the plan assigned none).
+    pub fn eval(
+        &self,
+        ctx: &EvalContext,
+        cse: &mut [Option<Value>],
+        stats: &mut VmStats,
+    ) -> Result<Value> {
+        REGS.with(|r| {
+            let mut regs = r.borrow_mut();
+            if regs.len() < self.nregs {
+                regs.resize(self.nregs, Value::Null);
+            }
+            self.run(&mut regs, ctx, cse, stats)
+        })
+    }
+
+    fn run(
+        &self,
+        regs: &mut [Value],
+        ctx: &EvalContext,
+        cse: &mut [Option<Value>],
+        stats: &mut VmStats,
+    ) -> Result<Value> {
+        let code = &self.code;
+        let mut pc = 0usize;
+        while pc < code.len() {
+            stats.instructions += 1;
+            match &code[pc] {
+                Inst::Const { dst, idx } => {
+                    regs[*dst as usize] = self.consts[*idx as usize].clone();
+                }
+                Inst::Attr { dst, class, index } => {
+                    let obj = ctx
+                        .objects
+                        .iter()
+                        .find(|o| o.class == *class)
+                        .ok_or_else(|| {
+                            Error::Monitor(format!("class {class} is not in scope for this event"))
+                        })?;
+                    regs[*dst as usize] =
+                        obj.values().get(*index).cloned().ok_or_else(|| {
+                            Error::Monitor(format!("attribute {index} out of range"))
+                        })?;
+                }
+                Inst::LatCol {
+                    dst,
+                    lat_idx,
+                    index,
+                } => {
+                    regs[*dst as usize] = match ctx.lat_rows.get(*lat_idx) {
+                        Some(LatBinding { row: Some(row), .. }) => row[*index].clone(),
+                        Some(LatBinding { row: None, .. }) => return Err(Error::NoLatRow),
+                        None => {
+                            return Err(Error::Monitor(format!(
+                                "LAT binding {lat_idx} missing from evaluation context"
+                            )))
+                        }
+                    };
+                }
+                Inst::Neg { dst, src } => {
+                    regs[*dst as usize] = Value::Int(0).sub(&regs[*src as usize])?;
+                }
+                Inst::Not { dst, src } => {
+                    regs[*dst as usize] = match regs[*src as usize].as_bool() {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    };
+                }
+                Inst::Binary {
+                    dst,
+                    op,
+                    left,
+                    right,
+                } => {
+                    let l = &regs[*left as usize];
+                    let r = &regs[*right as usize];
+                    let v = match op {
+                        BinOp::Add => l.add(r)?,
+                        BinOp::Sub => l.sub(r)?,
+                        BinOp::Mul => l.mul(r)?,
+                        BinOp::Div => l.div(r)?,
+                        BinOp::Mod => match (l.as_i64(), r.as_i64()) {
+                            (Some(a), Some(b)) if b != 0 => Value::Int(a % b),
+                            _ => Value::Null,
+                        },
+                        BinOp::And => match (l.as_bool(), r.as_bool()) {
+                            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                            (Some(true), Some(true)) => Value::Bool(true),
+                            _ => Value::Null,
+                        },
+                        BinOp::Or => match (l.as_bool(), r.as_bool()) {
+                            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                            (Some(false), Some(false)) => Value::Bool(false),
+                            _ => Value::Null,
+                        },
+                        cmp => match l.sql_cmp(r) {
+                            None => Value::Null,
+                            Some(ord) => Value::Bool(match cmp {
+                                BinOp::Eq => ord.is_eq(),
+                                BinOp::NotEq => !ord.is_eq(),
+                                BinOp::Lt => ord.is_lt(),
+                                BinOp::Gt => ord.is_gt(),
+                                BinOp::LtEq => ord.is_le(),
+                                BinOp::GtEq => ord.is_ge(),
+                                _ => unreachable!(),
+                            }),
+                        },
+                    };
+                    regs[*dst as usize] = v;
+                }
+                Inst::IsNull { dst, src, negated } => {
+                    regs[*dst as usize] = Value::Bool(regs[*src as usize].is_null() != *negated);
+                }
+                Inst::LikePre {
+                    dst,
+                    src,
+                    matcher,
+                    negated,
+                } => {
+                    regs[*dst as usize] = match regs[*src as usize].as_str() {
+                        Some(s) => {
+                            Value::Bool(self.matchers[*matcher as usize].is_match(s) != *negated)
+                        }
+                        None => Value::Null,
+                    };
+                }
+                Inst::Like {
+                    dst,
+                    src,
+                    pattern,
+                    negated,
+                } => {
+                    let v = match (
+                        regs[*src as usize].as_str(),
+                        regs[*pattern as usize].as_str(),
+                    ) {
+                        (Some(s), Some(pat)) => {
+                            Value::Bool(sqlcm_engine::expr::like_match(s, pat) != *negated)
+                        }
+                        _ => Value::Null,
+                    };
+                    regs[*dst as usize] = v;
+                }
+                Inst::InInit {
+                    dst,
+                    src,
+                    negated,
+                    end,
+                } => {
+                    if regs[*src as usize].is_null() {
+                        regs[*dst as usize] = Value::Null;
+                        pc = *end as usize;
+                        continue;
+                    }
+                    regs[*dst as usize] = Value::Bool(*negated);
+                }
+                Inst::InStep {
+                    dst,
+                    src,
+                    member,
+                    negated,
+                    end,
+                } => {
+                    let m = &regs[*member as usize];
+                    if m.is_null() {
+                        // First NULL member flips the pending verdict to
+                        // NULL; a later literal match still wins.
+                        if regs[*dst as usize] == Value::Bool(*negated) {
+                            regs[*dst as usize] = Value::Null;
+                        }
+                    } else if *m == regs[*src as usize] {
+                        regs[*dst as usize] = Value::Bool(!*negated);
+                        pc = *end as usize;
+                        continue;
+                    }
+                }
+                Inst::Fuse { dst, on, target } => {
+                    if regs[*dst as usize].as_bool() == Some(*on) {
+                        regs[*dst as usize] = Value::Bool(*on);
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Inst::CseLoad { slot, dst, skip } => {
+                    if let Some(v) = &cse[*slot as usize] {
+                        regs[*dst as usize] = v.clone();
+                        stats.cse_hits += 1;
+                        pc = *skip as usize;
+                        continue;
+                    }
+                }
+                Inst::CseStore { slot, src } => {
+                    cse[*slot as usize] = Some(regs[*src as usize].clone());
+                }
+            }
+            pc += 1;
+        }
+        Ok(regs[self.result as usize].clone())
+    }
+}
+
+/// Evaluate a compiled condition with the implicit-∃ semantics: a missing
+/// LAT row makes the condition false, genuine errors propagate.
+pub fn eval_condition(
+    prog: &Program,
+    ctx: &EvalContext,
+    cse: &mut [Option<Value>],
+    stats: &mut VmStats,
+) -> Result<bool> {
+    match prog.eval(ctx, cse, stats) {
+        Ok(v) => Ok(v.as_bool() == Some(true)),
+        Err(Error::NoLatRow) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------- emission
+
+struct Emitter<'a> {
+    ir: &'a CondIr,
+    cse: &'a HashMap<NodeId, u16>,
+    code: Vec<Inst>,
+    nregs: u16,
+    free: Vec<u16>,
+}
+
+impl Emitter<'_> {
+    fn alloc(&mut self) -> u16 {
+        self.free.pop().unwrap_or_else(|| {
+            self.nregs += 1;
+            self.nregs - 1
+        })
+    }
+
+    fn release(&mut self, r: u16) {
+        self.free.push(r);
+    }
+
+    /// Emit the subtree rooted at `id`, wrapping it in a load/store pair
+    /// when the plan assigned it a shared slot. Returns the result register.
+    fn emit(&mut self, id: NodeId) -> u16 {
+        let Some(&slot) = self.cse.get(&id) else {
+            return self.emit_node(id);
+        };
+        let load_at = self.code.len();
+        // Placeholder; patched once the subtree's result register and the
+        // skip target are known.
+        self.code.push(Inst::CseLoad {
+            slot,
+            dst: 0,
+            skip: 0,
+        });
+        let r = self.emit_node(id);
+        self.code.push(Inst::CseStore { slot, src: r });
+        let skip = self.code.len() as u32;
+        self.code[load_at] = Inst::CseLoad { slot, dst: r, skip };
+        r
+    }
+
+    fn emit_node(&mut self, id: NodeId) -> u16 {
+        match self.ir.op(id).clone() {
+            ROp::Const(idx) => {
+                let dst = self.alloc();
+                self.code.push(Inst::Const { dst, idx });
+                dst
+            }
+            ROp::Attr { class, index } => {
+                let dst = self.alloc();
+                self.code.push(Inst::Attr { dst, class, index });
+                dst
+            }
+            ROp::LatCol { lat_idx, index } => {
+                let dst = self.alloc();
+                self.code.push(Inst::LatCol {
+                    dst,
+                    lat_idx,
+                    index,
+                });
+                dst
+            }
+            ROp::Unary { op, expr } => {
+                let s = self.emit(expr);
+                self.code.push(match op {
+                    UnaryOp::Neg => Inst::Neg { dst: s, src: s },
+                    UnaryOp::Not => Inst::Not { dst: s, src: s },
+                });
+                s
+            }
+            ROp::Binary { left, op, right } => {
+                let l = self.emit(left);
+                // Short-circuit layout: legal only when skipping the right
+                // operand cannot swallow an error it would have raised.
+                let fuse_at = match op {
+                    BinOp::And | BinOp::Or if self.ir.is_infallible(right) => {
+                        self.code.push(Inst::Fuse {
+                            dst: l,
+                            on: op == BinOp::Or,
+                            target: 0,
+                        });
+                        Some(self.code.len() - 1)
+                    }
+                    _ => None,
+                };
+                let r = self.emit(right);
+                self.code.push(Inst::Binary {
+                    dst: l,
+                    op,
+                    left: l,
+                    right: r,
+                });
+                self.release(r);
+                if let Some(at) = fuse_at {
+                    let target = self.code.len() as u32;
+                    if let Inst::Fuse { dst, on, .. } = self.code[at] {
+                        self.code[at] = Inst::Fuse { dst, on, target };
+                    }
+                }
+                l
+            }
+            ROp::IsNull { expr, negated } => {
+                let s = self.emit(expr);
+                self.code.push(Inst::IsNull {
+                    dst: s,
+                    src: s,
+                    negated,
+                });
+                s
+            }
+            ROp::Like {
+                expr,
+                pattern,
+                negated,
+                matcher,
+            } => {
+                let s = self.emit(expr);
+                match matcher {
+                    Some(m) => self.code.push(Inst::LikePre {
+                        dst: s,
+                        src: s,
+                        matcher: m,
+                        negated,
+                    }),
+                    None => {
+                        let p = self.emit(pattern);
+                        self.code.push(Inst::Like {
+                            dst: s,
+                            src: s,
+                            pattern: p,
+                            negated,
+                        });
+                        self.release(p);
+                    }
+                }
+                s
+            }
+            ROp::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let s = self.emit(expr);
+                let dst = self.alloc();
+                let mut patch = vec![self.code.len()];
+                self.code.push(Inst::InInit {
+                    dst,
+                    src: s,
+                    negated,
+                    end: 0,
+                });
+                for m in self.ir.lists[list as usize].clone() {
+                    let mr = self.emit(m);
+                    patch.push(self.code.len());
+                    self.code.push(Inst::InStep {
+                        dst,
+                        src: s,
+                        member: mr,
+                        negated,
+                        end: 0,
+                    });
+                    self.release(mr);
+                }
+                let end = self.code.len() as u32;
+                for at in patch {
+                    match &mut self.code[at] {
+                        Inst::InInit { end: e, .. } | Inst::InStep { end: e, .. } => *e = end,
+                        _ => unreachable!(),
+                    }
+                }
+                self.release(s);
+                dst
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lat::{Lat, LatAggFunc, LatSpec};
+    use crate::objects::query_object;
+    use crate::rules::oracle;
+    use sqlcm_common::{ManualClock, QueryInfo};
+    use sqlcm_sql::{parse_expression, ExprIr};
+    use std::sync::Arc;
+
+    fn duration_lat() -> Arc<Lat> {
+        let (clock, _) = ManualClock::shared(0);
+        Arc::new(
+            Lat::new(
+                LatSpec::new("Duration_LAT")
+                    .group_by("Query.Logical_Signature", "Sig")
+                    .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_Duration"),
+                clock,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn program(src: &str) -> Program {
+        let mut lats = HashMap::new();
+        lats.insert("duration_lat".to_string(), duration_lat());
+        let ir = ExprIr::lower(&parse_expression(src).unwrap()).fold();
+        let cond = CondIr::from_ir(&ir, &lats, &["Duration_LAT".to_string()]).unwrap();
+        Program::emit(&cond, &HashMap::new())
+    }
+
+    fn qobj(duration_secs: f64) -> crate::objects::Object {
+        let mut q = QueryInfo::synthetic(1, "SELECT 1");
+        q.duration_micros = (duration_secs * 1e6) as u64;
+        q.logical_signature = Some(42);
+        query_object(&q)
+    }
+
+    /// VM and tree-walk oracle agree (value and error-ness) on `src`.
+    fn assert_agrees(src: &str, ctx: &EvalContext) {
+        let prog = program(src);
+        let mut stats = VmStats::default();
+        let vm = eval_condition(&prog, ctx, &mut [], &mut stats);
+        let oracle = oracle::eval_condition(&parse_expression(src).unwrap(), ctx);
+        match (&vm, &oracle) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{src}"),
+            (Err(_), Err(_)) => {}
+            _ => panic!("{src}: vm={vm:?} oracle={oracle:?}"),
+        }
+        assert!(stats.instructions > 0);
+    }
+
+    #[test]
+    fn vm_matches_oracle_on_representative_conditions() {
+        let objs = vec![qobj(10.0)];
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &[],
+        };
+        for src in [
+            "Query.Duration * 2 = 20",
+            "(Query.Duration + 5) / 3 = 5",
+            "Query.Query_Text LIKE 'SELECT%'",
+            "Query.Query_Text NOT LIKE '%UPDATE%'",
+            "Query.Procedure IS NULL",
+            "NOT (Query.Duration > 5)",
+            "Query.Query_Type = 'SELECT'",
+            "Query.User IN ('admin', 'dba', NULL)",
+            "Query.User NOT IN ('admin', NULL)",
+            "Query.Duration > 5 AND Query.Duration < 100",
+            "Query.Duration > 100 OR Query.Duration < 5",
+            "Query.Duration % 3 = 1",
+            "Query.Procedure IN ('p')",
+        ] {
+            assert_agrees(src, &ctx);
+        }
+    }
+
+    #[test]
+    fn missing_lat_row_poisons_to_false_even_under_or() {
+        let lat = duration_lat();
+        let objs = vec![qobj(150.0)];
+        let bindings = [LatBinding {
+            name: "duration_lat",
+            lat: &lat,
+            row: None,
+        }];
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &bindings,
+        };
+        for src in [
+            "Query.Duration > 5 * Duration_LAT.Avg_Duration",
+            "Query.Duration > 0 AND Duration_LAT.Avg_Duration > 0",
+            // The paper's ∃ contract: no short-circuit rescue.
+            "Query.Duration > 0 OR Duration_LAT.Avg_Duration > 0",
+        ] {
+            assert_agrees(src, &ctx);
+            let prog = program(src);
+            let mut stats = VmStats::default();
+            assert!(
+                !eval_condition(&prog, &ctx, &mut [], &mut stats).unwrap(),
+                "{src}"
+            );
+        }
+
+        let row = vec![Value::Int(42), Value::Float(20.0)];
+        let bindings = [LatBinding {
+            name: "duration_lat",
+            lat: &lat,
+            row: Some(&row),
+        }];
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &bindings,
+        };
+        let prog = program("Query.Duration > 5 * Duration_LAT.Avg_Duration");
+        let mut stats = VmStats::default();
+        assert!(eval_condition(&prog, &ctx, &mut [], &mut stats).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_never_skips_fallible_operands() {
+        // Right side reads a column (fallible): no Fuse may be emitted, so
+        // the divide-by-zero on the right still errors even when the left
+        // side already decides the AND.
+        let objs = vec![qobj(10.0)];
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &[],
+        };
+        let prog = program("Query.Duration < 0 AND Query.ID / 0 > 1");
+        let mut stats = VmStats::default();
+        assert!(eval_condition(&prog, &ctx, &mut [], &mut stats).is_err());
+        assert_agrees("Query.Duration < 0 AND Query.ID / 0 > 1", &ctx);
+    }
+
+    #[test]
+    fn cse_slots_serve_and_publish_values() {
+        let objs = vec![qobj(10.0)];
+        let ctx = EvalContext {
+            objects: &objs,
+            lat_rows: &[],
+        };
+        let mut lats = HashMap::new();
+        lats.insert("duration_lat".to_string(), duration_lat());
+        let ir = ExprIr::lower(&parse_expression("Query.Duration > 5").unwrap()).fold();
+        let cond = CondIr::from_ir(&ir, &lats, &[]).unwrap();
+        let mut cse_map = HashMap::new();
+        cse_map.insert(cond.root, 0u16);
+        let prog = Program::emit(&cond, &cse_map);
+
+        let mut slots = vec![None];
+        let mut stats = VmStats::default();
+        assert!(eval_condition(&prog, &ctx, &mut slots, &mut stats).unwrap());
+        assert_eq!(stats.cse_hits, 0, "first evaluation computes");
+        assert_eq!(slots[0], Some(Value::Bool(true)), "value published");
+        assert!(eval_condition(&prog, &ctx, &mut slots, &mut stats).unwrap());
+        assert_eq!(stats.cse_hits, 1, "second evaluation is served");
+    }
+}

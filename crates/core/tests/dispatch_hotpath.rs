@@ -330,3 +330,122 @@ fn shared_lat_lookup_is_hoisted_and_invalidated_by_inserts() {
     );
     assert_eq!(hits, 7 * events, "hoisted slot was not shared");
 }
+
+/// The bytecode-VM condition path — a precompiled `LIKE`/`NOT LIKE` pair, an
+/// `IN` list, and a cross-rule shared subexpression — must stay allocation-
+/// and lock-free at steady state, and the second sharer must be served from
+/// the CSE slot on every event instead of re-evaluating the predicate.
+#[test]
+fn vm_dispatch_with_like_in_and_cse_allocates_nothing() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    for name in ["shared_a", "shared_b"] {
+        sqlcm
+            .add_rule(
+                Rule::new(name)
+                    .on(RuleEvent::QueryCommit)
+                    .when("Query.Duration > 1000000 AND Query.Logical_Signature IN (1, 2, 3)"),
+            )
+            .unwrap();
+    }
+    sqlcm
+        .add_rule(
+            Rule::new("pattern")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Query_Text LIKE '%DELETE%' AND Query.User NOT LIKE 'dba%'"),
+        )
+        .unwrap();
+
+    let ev = commit_event(2, 0.001);
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+    }
+
+    let before = sqlcm.telemetry().dispatch;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let events = 1_000u64;
+    for _ in 0..events {
+        sqlcm.inject_event(&ev);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = sqlcm.telemetry().dispatch;
+
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "VM dispatch path allocated"
+    );
+    assert_eq!(
+        after.reg_lock_acquisitions, before.reg_lock_acquisitions,
+        "VM dispatch path took a registry lock"
+    );
+    assert!(
+        after.vm_instructions > before.vm_instructions,
+        "conditions did not run through the VM"
+    );
+    assert_eq!(
+        after.cse_hits - before.cse_hits,
+        events,
+        "second sharer must hit the CSE slot once per event"
+    );
+}
+
+/// CSE slots must be dropped when a dependency hoist slot is invalidated
+/// mid-event: a feed rule inserting into the LAT *between* two sharers of
+/// the same LAT predicate forces the later sharer to re-fetch and
+/// re-evaluate — it must see its predecessor's write, never a cached
+/// verdict from the earlier sharer.
+#[test]
+fn cse_slot_is_invalidated_with_its_hoisted_row() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Sig_LAT")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("watch_a")
+                .on(RuleEvent::QueryCommit)
+                .when("Sig_LAT.N >= 3"),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Sig_LAT")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("watch_b")
+                .on(RuleEvent::QueryCommit)
+                .when("Sig_LAT.N >= 3"),
+        )
+        .unwrap();
+
+    let ev = commit_event(9, 0.1);
+    let before = sqlcm.telemetry().dispatch;
+    for _ in 0..10 {
+        sqlcm.inject_event(&ev);
+    }
+    let after = sqlcm.telemetry().dispatch;
+
+    // On event i, watch_a sees N = i-1 (fires from event 4 on: 7 fires over
+    // 10 events) while watch_b sees the count including this event's insert
+    // (fires from event 3 on: 8 fires). A stale CSE value would make the
+    // two counts equal.
+    assert_eq!(sqlcm.rule("watch_a").unwrap().stats().fires, 7);
+    assert_eq!(
+        sqlcm.rule("watch_b").unwrap().stats().fires,
+        8,
+        "watch_b reused a stale shared verdict across the feed's insert"
+    );
+    // The shared slot never survives to watch_b here — every event's insert
+    // clears it with the hoisted row it depends on.
+    assert_eq!(after.cse_hits - before.cse_hits, 0);
+}

@@ -20,11 +20,13 @@
 //! qualified-column expression tree).
 
 pub mod ast;
+pub mod ir;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{
     BinOp, ColumnDef, Expr, Join, OrderKey, SelectItem, SelectStmt, Statement, TableRef, UnaryOp,
 };
+pub use ir::{ExprIr, IrOp, LikeMatcher, NodeId};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse_expression, parse_statement, parse_statements, Parser};
