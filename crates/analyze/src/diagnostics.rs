@@ -70,6 +70,11 @@ pub enum Code {
     /// event class — every single event pays the external-sink cost, with no
     /// condition to thin the firings.
     W204,
+    /// Unindexable condition on a hot event class: the condition reads only
+    /// payload attributes yet yields no guard atom the dispatch-time guard
+    /// index can use, so the rule is evaluated on every event of the class
+    /// instead of being pruned when it provably cannot match.
+    W205,
     /// Order-sensitive pair: an earlier same-event rule reads columns this
     /// rule writes, so swapping the two changes observable behaviour.
     W301,
@@ -81,7 +86,7 @@ pub enum Code {
 impl Code {
     /// Every code, in documentation order. New codes must be added here —
     /// the exhaustiveness test in `tests/codes.rs` walks this list.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 18] = [
         Code::E001,
         Code::E002,
         Code::E003,
@@ -97,6 +102,7 @@ impl Code {
         Code::W202,
         Code::W203,
         Code::W204,
+        Code::W205,
         Code::W301,
         Code::W302,
     ];
@@ -118,6 +124,7 @@ impl Code {
             Code::W202 => "W202",
             Code::W203 => "W203",
             Code::W204 => "W204",
+            Code::W205 => "W205",
             Code::W301 => "W301",
             Code::W302 => "W302",
         }
@@ -138,6 +145,7 @@ impl Code {
             | Code::W202
             | Code::W203
             | Code::W204
+            | Code::W205
             | Code::W301
             | Code::W302 => Severity::Warning,
         }
@@ -161,6 +169,7 @@ impl Code {
             Code::W202 => "over-sharded LAT",
             Code::W203 => "read-only LAT column",
             Code::W204 => "unconditional external action",
+            Code::W205 => "unindexable hot-event condition",
             Code::W301 => "order-sensitive rule pair",
             Code::W302 => "cascade amplification",
         }

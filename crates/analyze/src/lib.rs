@@ -53,7 +53,7 @@ pub mod joinability;
 pub mod schema;
 pub mod typeck;
 
-pub use cost::DEFAULT_COST_THRESHOLD;
+pub use cost::{rule_indexability, Indexability, Residual, DEFAULT_COST_THRESHOLD};
 pub use diagnostics::{has_errors, Code, Diagnostic, Severity};
 pub use effects::{rule_effects, LatWriteEffect, RuleEffects};
 pub use schema::{ClassSchema, LatColumn, LatSchema, SchemaUniverse};
@@ -324,6 +324,7 @@ impl Analyzer {
         depgraph::check_cascades(&self.universe, &self.rules, rule, &mut diags);
         cost::check_rule(&self.universe, rule, self.cost_threshold, &mut diags);
         cost::check_unconditional_external(rule, &mut diags);
+        cost::check_unindexable(&self.universe, rule, &mut diags);
         // Effect/confluence lints describe how the rule will behave once
         // admitted; a rule an error already denies never runs, so piling
         // style warnings on top of the denial is noise.

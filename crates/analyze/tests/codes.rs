@@ -491,6 +491,53 @@ fn w204_unconditional_external_action() {
 }
 
 #[test]
+fn w205_unindexable_hot_event_condition() {
+    // Pattern-only condition on QueryCommit: payload-only reads but nothing
+    // the guard index can probe, so the rule is evaluated on every query.
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[on_query_commit(
+            "droppy",
+            Some("Query.Query_Text LIKE '%DROP TABLE%'"),
+            vec![ActionIr::SendMail],
+        )],
+    );
+    assert_eq!(codes(&diags), vec![Code::W205]);
+
+    // A leading equality conjunct makes it indexable: clean.
+    let diags = Analyzer::check_ruleset(
+        &[],
+        &[on_query_commit(
+            "scoped",
+            Some("Query.User = 'etl' AND Query.Query_Text LIKE '%DROP TABLE%'"),
+            vec![ActionIr::SendMail],
+        )],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // LAT-reading rules are residual by design — the monitoring idiom — and
+    // stay clean.
+    let diags = Analyzer::check_ruleset(
+        &[duration_lat(true)],
+        &[
+            on_query_commit(
+                "feed",
+                None,
+                vec![ActionIr::Insert {
+                    lat: "Duration_LAT".into(),
+                }],
+            ),
+            on_query_commit(
+                "outlier",
+                Some("Duration_LAT.N >= 30"),
+                vec![ActionIr::SendMail],
+            ),
+        ],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn code_table_is_exhaustive_and_distinct() {
     use std::collections::BTreeSet;
     let strs: BTreeSet<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();

@@ -1,0 +1,158 @@
+//! **T10 — guard-indexed rule matching at scale** (§2.1 low-overhead goal;
+//! DESIGN.md §16 guard-index contract).
+//!
+//! The paper's scalability claim is that monitoring overhead stays modest as
+//! the rule population grows. This bench pins the mechanism that delivers
+//! it: 256 selective single-class rules (`Query.User = 'user_k' AND …`) on
+//! one event class, where any injected event matches exactly one rule's
+//! guard. Three gates:
+//!
+//! 1. *Selectivity*: the index must narrow the candidate set to ≤ 10% of the
+//!    registered rules (here it should be ~1/256).
+//! 2. *Speedup*: indexed dispatch at 256 rules must cost ≤ 0.25× of the
+//!    index-off linear scan (≥ 4× faster).
+//! 3. *No small-N regression*: with a single registered rule, indexed
+//!    dispatch must stay within 1.1× of the plain scan — the probe may not
+//!    tax monitors that never needed it.
+//!
+//! Writes `BENCH_t10_guard_index.json` and exits non-zero when any gate
+//! fails, so CI can gate on it.
+
+use std::time::Instant;
+
+use sqlcm_bench::{banner, env_u32};
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::{Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn commit_event(user: &str) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(7, "SELECT x FROM t WHERE id = ?");
+    q.logical_signature = Some(7);
+    q.duration_micros = 1_500;
+    q.user = user.into();
+    EngineEvent::QueryCommit(q)
+}
+
+/// Monitor with `n` selective single-class rules. The equality atom on
+/// `Query.User` is the guard; the always-false tail conjunct keeps the one
+/// candidate evaluated-but-nonfiring so both modes measure pure dispatch.
+fn monitor_with_rules(n: u32) -> (Engine, Sqlcm) {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    for i in 0..n {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("u{i:03}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!(
+                        "Query.User = 'user_{i}' AND Query.Duration > 1000000"
+                    )),
+            )
+            .expect("rule");
+    }
+    (engine, sqlcm)
+}
+
+/// Median ns/event plus (candidate fraction, pruned/event) over the span.
+fn measure(sqlcm: &Sqlcm, ev: &EngineEvent, rules: u32, events: u32, rounds: usize) -> (f64, f64) {
+    for _ in 0..1_000 {
+        sqlcm.inject_event(ev);
+    }
+    let before = sqlcm.telemetry().matching;
+    let mut per_event = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..events {
+            sqlcm.inject_event(ev);
+        }
+        per_event.push(t.elapsed().as_secs_f64() * 1e9 / events as f64);
+    }
+    per_event.sort_by(f64::total_cmp);
+    let after = sqlcm.telemetry().matching;
+    let probes = (after.guard_probes - before.guard_probes) as f64;
+    let fraction = if probes == 0.0 {
+        1.0 // no index: every rule is a candidate
+    } else {
+        (after.candidate_rules - before.candidate_rules) as f64 / (probes * rules as f64)
+    };
+    (per_event[rounds / 2], fraction)
+}
+
+fn main() {
+    const RULES: u32 = 256;
+    let events = env_u32("SQLCM_EVENTS", 100_000);
+    let rounds = env_u32("SQLCM_ROUNDS", 5) as usize;
+    banner(
+        "T10: guard-indexed matching — 256 selective rules, index on vs off",
+        &format!("{events} injected QueryCommit events per round, {rounds} rounds"),
+    );
+
+    let ev = commit_event("user_7");
+    let (_e, sqlcm) = monitor_with_rules(RULES);
+
+    let (on_ns, fraction) = measure(&sqlcm, &ev, RULES, events, rounds);
+    println!("{RULES} rules, index on:            {on_ns:>8.1} ns/event");
+    println!(
+        "  candidate fraction: {fraction:.4} (~{:.1} rules/event)",
+        fraction * RULES as f64
+    );
+
+    sqlcm.set_guard_index_enabled(false);
+    let (off_ns, _) = measure(&sqlcm, &ev, RULES, events, rounds);
+    let speedup = off_ns / on_ns;
+    println!("{RULES} rules, index off:           {off_ns:>8.1} ns/event");
+    println!("  speedup: {speedup:.2}x");
+
+    // Small-N regression: one rule whose guard admits the event, so the
+    // probe buys nothing and its cost is pure overhead.
+    let (_e1, single) = monitor_with_rules(1);
+    let ev1 = commit_event("user_0");
+    let (single_on_ns, _) = measure(&single, &ev1, 1, events, rounds);
+    single.set_guard_index_enabled(false);
+    let (single_off_ns, _) = measure(&single, &ev1, 1, events, rounds);
+    let single_ratio = single_on_ns / single_off_ns;
+    println!("1 rule, index on:                 {single_on_ns:>8.1} ns/event");
+    println!("1 rule, index off:                {single_off_ns:>8.1} ns/event");
+    println!("  ratio: {single_ratio:.3}");
+
+    let json = format!(
+        "{{\"bench\":\"t10_guard_index\",\"rules\":{RULES},\"events\":{events},\
+         \"rounds\":{rounds},\
+         \"indexed_ns_per_event\":{on_ns:.1},\"scan_ns_per_event\":{off_ns:.1},\
+         \"speedup\":{speedup:.2},\"candidate_fraction\":{fraction:.4},\
+         \"single_rule_indexed_ns\":{single_on_ns:.1},\
+         \"single_rule_scan_ns\":{single_off_ns:.1},\
+         \"single_rule_ratio\":{single_ratio:.3},\
+         \"gate_candidate_fraction\":0.10,\"gate_speedup\":4.0,\
+         \"gate_single_rule_ratio\":1.1}}"
+    );
+    std::fs::write("BENCH_t10_guard_index.json", &json).expect("write BENCH json");
+    println!("\nwrote BENCH_t10_guard_index.json: {json}");
+
+    let mut fail = false;
+    if fraction > 0.10 {
+        eprintln!("FAIL: candidate fraction {fraction:.4} above gate 0.10");
+        fail = true;
+    }
+    if on_ns > 0.25 * off_ns {
+        eprintln!(
+            "FAIL: indexed dispatch {on_ns:.1} ns/event not ≤ 0.25x of the \
+             {off_ns:.1} ns/event scan at {RULES} rules"
+        );
+        fail = true;
+    }
+    if single_ratio > 1.1 {
+        eprintln!(
+            "FAIL: single-rule indexed dispatch {single_on_ns:.1} ns/event is \
+             {single_ratio:.3}x the plain scan (gate 1.1x)"
+        );
+        fail = true;
+    }
+    if fail {
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: candidate fraction {fraction:.4}, {speedup:.2}x over the scan at \
+         {RULES} rules, single-rule ratio {single_ratio:.3}"
+    );
+}

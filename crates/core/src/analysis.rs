@@ -11,7 +11,9 @@ use crate::actions::Action;
 use crate::lat::{AttrRef, LatAggFunc, LatSpec};
 use crate::rules::{Rule, RuleEvent};
 
-pub use sqlcm_analyze::{Analyzer, Code, Diagnostic, Severity};
+pub use sqlcm_analyze::{
+    rule_indexability, Analyzer, Code, Diagnostic, Indexability, Residual, Severity,
+};
 
 fn attr_ir(attr: &AttrRef) -> AttrIr {
     AttrIr {

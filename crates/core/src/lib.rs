@@ -50,6 +50,7 @@ pub mod analysis;
 pub mod containment;
 pub mod deferred;
 pub mod fault;
+mod guard;
 #[doc(hidden)]
 pub mod ir;
 pub mod lat;
@@ -78,7 +79,8 @@ pub use plan::{HoistGroup, PlanSummary};
 pub use rules::{Rule, RuleEvent, RulePriority};
 pub use sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
 pub use telemetry::{
-    DispatchTelemetry, LatTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, TelemetrySnapshot,
+    DispatchTelemetry, LatTelemetry, MatchingTelemetry, ProbeTelemetry, RuleError, RuleTelemetry,
+    TelemetrySnapshot,
 };
 pub use timer::TimerRegistry;
 pub use trace::{

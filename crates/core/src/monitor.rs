@@ -53,7 +53,8 @@ use crate::rules::{EvalContext, LatBinding, Rule, RuleEvent};
 use crate::sinks::{CommandSink, MailSink, RecordingCommandSink, RecordingMailSink};
 use crate::telemetry::{
     BreakerTelemetry, ContainmentTelemetry, DeferredTelemetry, DispatchTelemetry, LatTelemetry,
-    ProbeTelemetry, RuleError, RuleTelemetry, Telem, TelemetrySnapshot, SELF_MONITOR_TIMER,
+    MatchingTelemetry, ProbeTelemetry, RuleError, RuleTelemetry, Telem, TelemetrySnapshot,
+    SELF_MONITOR_TIMER,
 };
 use crate::timer::TimerRegistry;
 use crate::trace::{explain_condition, TraceCtx, TraceSampling, TraceSnapshot, Tracer, NONE_SPAN};
@@ -110,6 +111,9 @@ struct SqlcmInner {
     /// Cross-rule subexpression sharing (CSE slots in the dispatch plan).
     /// On by default; differential-testing/rollback switch.
     cse_enabled: AtomicBool,
+    /// Guard-indexed rule matching (see [`crate::guard`]). On by default;
+    /// differential-testing/rollback switch.
+    guard_index_enabled: AtomicBool,
     /// Self-telemetry state (probe/rule/LAT metrics, flight recorder).
     telemetry: Telem,
     /// Causal-trace state (sampling policy, trace ring, span pool).
@@ -346,7 +350,8 @@ impl SqlcmInner {
         let lats = self.lats_read().clone();
         let coarse = self.coarse_invalidation.load(Ordering::Relaxed);
         let cse = self.cse_enabled.load(Ordering::Relaxed);
-        let plan = DispatchPlan::build(epoch, &rules, &lats, coarse, cse);
+        let guard = self.guard_index_enabled.load(Ordering::Relaxed);
+        let plan = DispatchPlan::build(epoch, &rules, &lats, coarse, cse, guard);
         self.plan.swap(Arc::new(plan));
         self.telemetry.plan_rebuilds.incr();
     }
@@ -486,7 +491,9 @@ impl SqlcmInner {
         // Enabled-ness snapshot: fixed before any rule runs, so an action
         // disabling a later rule mid-event does not affect the current event
         // (see `Rule::set_enabled` for the pinned semantics).
-        const INLINE_RULES: usize = 64;
+        // 256 matches the guard-index candidate bitset below: rule counts
+        // the t10 bench certifies as zero-alloc stay zero-alloc here too.
+        const INLINE_RULES: usize = 256;
         let n = ep.rules.len();
         let mut enabled_inline = [false; INLINE_RULES];
         let mut enabled_heap;
@@ -543,14 +550,94 @@ impl SqlcmInner {
             cse_heap = vec![None; k];
             &mut cse_heap
         };
+        // Guard-index probe: one pass over the per-event index yields the
+        // candidate bitset (in registration order — the bitset only *skips*
+        // rules, it never reorders them). A pruned rule's condition is
+        // provably false-or-null and infallible, so skipping the VM is
+        // invisible everywhere except the `matching` telemetry slice.
+        const INLINE_WORDS: usize = 4;
+        let mut cand_inline = [0u64; INLINE_WORDS];
+        let mut cand_heap;
+        let mut probed = false;
+        let mut cand: &[u64] = &[];
+        if let Some(gi) = ep.guards.as_ref() {
+            let w = gi.words();
+            let bits: &mut [u64] = if w <= INLINE_WORDS {
+                &mut cand_inline[..w]
+            } else {
+                cand_heap = vec![0u64; w];
+                &mut cand_heap
+            };
+            probed = gi.probe(objects, bits);
+            cand = bits;
+        }
+        let mut pruned = 0u64;
+        let mut kept = 0u64;
         for (i, pr) in ep.rules.iter().enumerate() {
-            if enabled[i] {
+            if !enabled[i] {
+                continue;
+            }
+            if probed && cand[i >> 6] & (1 << (i & 63)) == 0 {
+                pruned += 1;
+                self.pruned_rule(ep, i, pr, objects, trace, event_span);
+            } else {
+                kept += u64::from(probed);
                 self.evaluate_rule(ep, pr, objects, slots, cse, trace, event_span, depth);
+            }
+        }
+        if probed {
+            self.telemetry.guard_probes.incr();
+            if pruned > 0 {
+                self.telemetry.rules_pruned.add(pruned);
+            }
+            if kept > 0 {
+                self.telemetry.candidate_rules.add(kept);
             }
         }
         if let Some(ctx) = trace.as_mut() {
             ctx.close(event_span);
         }
+    }
+
+    /// Bookkeeping for a guard-pruned rule: the outcome is exactly what the
+    /// VM would have produced — a counted, non-firing, error-free
+    /// evaluation — without running it. The breaker sees the same admission
+    /// and success the evaluated path would report, and a sampled trace
+    /// explains which guard was violated.
+    fn pruned_rule(
+        &self,
+        ep: &EventPlan,
+        idx: usize,
+        pr: &PlanRule,
+        objects: &[Object],
+        trace: &mut Option<TraceCtx>,
+        event_span: u32,
+    ) {
+        let reg = &*pr.reg;
+        let mut trial = false;
+        if self.containment.breakers_enabled() {
+            match reg.breaker.gate() {
+                BreakerGate::Proceed => {}
+                BreakerGate::Trial => trial = true,
+                BreakerGate::Skip => {
+                    self.containment.breaker_skips.incr();
+                    return;
+                }
+            }
+        }
+        reg.rule.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        if let Some(ctx) = trace.as_mut() {
+            let rule_span = ctx.open_rule(event_span, &reg.rule.name);
+            let why = ep
+                .guards
+                .as_ref()
+                .map(|gi| gi.explain(idx, objects))
+                .unwrap_or_default();
+            ctx.rule_outcome(rule_span, false, why);
+            ctx.close(rule_span);
+        }
+        self.record_breaker_outcome(reg, trial, false, None);
     }
 
     /// Does any registered rule subscribe to this event? One atomic plan
@@ -1606,6 +1693,12 @@ impl SqlcmInner {
                 cse_hits: telem.cse_hits.get(),
                 folded_ops: telem.folded_ops.get(),
             },
+            matching: MatchingTelemetry {
+                guard_probes: telem.guard_probes.get(),
+                rules_pruned: telem.rules_pruned.get(),
+                candidate_rules: telem.candidate_rules.get(),
+                residual_rules: self.plan.load().guard_residual_rules,
+            },
             flight_records: telem.recorder.snapshot(),
             flight_total: telem.recorder.total_recorded(),
             tracing: self.tracer.telemetry(),
@@ -1632,6 +1725,7 @@ impl Sqlcm {
                 &HashMap::new(),
                 false,
                 true,
+                true,
             ))),
             plan_rebuild: Mutex::new(()),
             plan_epoch: AtomicU64::new(0),
@@ -1649,6 +1743,7 @@ impl Sqlcm {
             analysis_warnings: Mutex::new(Vec::new()),
             coarse_invalidation: AtomicBool::new(false),
             cse_enabled: AtomicBool::new(true),
+            guard_index_enabled: AtomicBool::new(true),
             telemetry: Telem::new(),
             tracer: Tracer::new(),
             containment: Containment::new(),
@@ -1798,6 +1893,20 @@ impl Sqlcm {
     /// differing only in `cse_hits` and per-condition work.
     pub fn set_cse_enabled(&self, enabled: bool) {
         self.inner.cse_enabled.store(enabled, Ordering::Relaxed);
+        self.inner.rebuild_plan();
+    }
+
+    /// Toggle guard-indexed rule matching and republish. On by default: one
+    /// index probe per event yields the candidate rule set and provably
+    /// non-matching rules skip the condition VM, so dispatch cost scales
+    /// with *matching* rules rather than registered rules. Off exists for
+    /// differential testing and as an operational rollback: both modes must
+    /// produce identical firings, statistics, and LAT contents, differing
+    /// only in the `matching` telemetry slice and per-event work.
+    pub fn set_guard_index_enabled(&self, enabled: bool) {
+        self.inner
+            .guard_index_enabled
+            .store(enabled, Ordering::Relaxed);
         self.inner.rebuild_plan();
     }
 

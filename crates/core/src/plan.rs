@@ -40,6 +40,7 @@ use sqlcm_telemetry::LatencyHistogram;
 
 use crate::actions::Action;
 use crate::containment::RuleBreaker;
+use crate::guard::GuardIndex;
 use crate::ir::{CondIr, ROp};
 use crate::lat::Lat;
 use crate::objects::ClassName;
@@ -167,6 +168,11 @@ pub(crate) struct EventPlan {
     pub hoisted: Vec<HoistSlot>,
     /// Event-level shared-subexpression slots (see [`CseSlot`]).
     pub cse: Vec<CseSlot>,
+    /// Guard index over this event's rules (see [`crate::guard`]): one probe
+    /// per event yields the candidate bitset; non-candidates are provably
+    /// non-firing and skip the VM. `None` when disabled or when no rule is
+    /// indexable.
+    pub guards: Option<GuardIndex>,
     /// Display name in probe convention (`"Query.Commit"`), cached at build
     /// so the tracer never formats an event name on the dispatch path.
     pub label: String,
@@ -321,6 +327,11 @@ pub(crate) struct DispatchPlan {
     /// at build time. The containment checkpoint scans this list (lock-free —
     /// the plan is immutable) for cooldown-expired breakers to re-admit.
     pub quarantined: Vec<Arc<Registered>>,
+    /// Rules with an extracted guard across every event plan (telemetry).
+    pub guard_indexed_rules: u64,
+    /// Rules in the always-evaluate residual set across every event plan —
+    /// includes every rule when the index is disabled (telemetry).
+    pub guard_residual_rules: u64,
 }
 
 impl DispatchPlan {
@@ -334,6 +345,7 @@ impl DispatchPlan {
         lats: &HashMap<String, Arc<Lat>>,
         coarse_invalidation: bool,
         cse_enabled: bool,
+        guard_index: bool,
     ) -> DispatchPlan {
         let mut statics: [EventPlan; STATIC_EVENTS] = std::array::from_fn(|_| EventPlan::default());
         let mut dynamics: HashMap<RuleEvent, EventPlan> = HashMap::new();
@@ -370,9 +382,27 @@ impl DispatchPlan {
         // sharers can be registered after each other), so they are computed
         // only once every rule of the event is planned. Bytecode emission
         // rides along because CSE slot numbers are baked into the programs.
+        let mut guard_indexed_rules = 0u64;
+        let mut guard_residual_rules = 0u64;
         for ep in statics.iter_mut().chain(dynamics.values_mut()) {
             Self::compute_invalidations(ep, coarse_invalidation);
             Self::assign_cse_and_emit(ep, cse_enabled);
+            // Guard extraction runs after emission: only rules with a live
+            // program are indexable, and the index prunes against exactly
+            // the condition the VM would run.
+            if guard_index {
+                if let Some(pr) = ep.rules.first() {
+                    let payload = pr.reg.rule.event.payload_classes();
+                    ep.guards = GuardIndex::build(&ep.rules, &payload);
+                }
+            }
+            match &ep.guards {
+                Some(g) => {
+                    guard_indexed_rules += u64::from(g.indexed_rules);
+                    guard_residual_rules += u64::from(g.residual_rules);
+                }
+                None => guard_residual_rules += ep.rules.len() as u64,
+            }
         }
         let mut probe_mask = ProbeMask::EMPTY;
         for kind in ProbeKind::ALL {
@@ -387,6 +417,8 @@ impl DispatchPlan {
             dynamics,
             rules: rules.to_vec(),
             quarantined,
+            guard_indexed_rules,
+            guard_residual_rules,
         }
     }
 
@@ -741,6 +773,8 @@ impl DispatchPlan {
         PlanSummary {
             epoch: self.epoch,
             rule_count: self.rules.len(),
+            guard_indexed_rules: self.guard_indexed_rules,
+            guard_residual_rules: self.guard_residual_rules,
             hoist_groups: groups,
         }
     }
@@ -767,6 +801,13 @@ pub struct PlanSummary {
     pub epoch: u64,
     /// Registered rules (enabled or not).
     pub rule_count: usize,
+    /// Rules with an extracted guard atom — skippable by the guard index
+    /// when an event provably cannot match (see `crate::guard`).
+    pub guard_indexed_rules: u64,
+    /// Rules always evaluated: no condition, LAT reads, fallible arithmetic,
+    /// non-payload classes, or no indexable atom — plus every rule when the
+    /// index is disabled.
+    pub guard_residual_rules: u64,
     /// Shared-lookup groups, sorted by (event, LAT). Groups with a single
     /// rule still get a slot (one fetch per event either way); groups with
     /// two or more are where hoisting beats per-rule fetching.
@@ -878,7 +919,7 @@ mod tests {
             registered("b", RuleEvent::QueryCommit, &["l"]),
             registered("c", RuleEvent::QueryStart, &["l"]),
         ];
-        let plan = DispatchPlan::build(1, &rules, &lats, false, true);
+        let plan = DispatchPlan::build(1, &rules, &lats, false, true, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert_eq!(ep.rules.len(), 2);
         assert_eq!(ep.hoisted.len(), 1, "a and b share one slot");
@@ -899,7 +940,7 @@ mod tests {
     #[test]
     fn missing_lat_marks_rule_broken() {
         let rules = vec![registered("a", RuleEvent::QueryCommit, &["gone"])];
-        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false, true);
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false, true, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert!(ep.rules[0].broken.as_deref().unwrap().contains("gone"));
         assert!(ep.hoisted.is_empty());
@@ -908,7 +949,7 @@ mod tests {
     #[test]
     fn probe_mask_tracks_subscribed_kinds_only() {
         let rules = vec![registered("a", RuleEvent::QueryCommit, &[])];
-        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false, true);
+        let plan = DispatchPlan::build(1, &rules, &HashMap::new(), false, true, true);
         assert!(plan.probe_mask.contains(ProbeKind::QueryCommit));
         assert!(!plan.probe_mask.contains(ProbeKind::Login));
         assert!(!plan.has_event(&RuleEvent::MonitorTick));
@@ -961,26 +1002,76 @@ mod tests {
             registered_cond("a", RuleEvent::QueryCommit, &["l"], cond()),
             registered_cond("b", RuleEvent::QueryCommit, &["l"], cond()),
         ];
-        let plan = DispatchPlan::build(1, &rules, &lats, false, true);
+        let plan = DispatchPlan::build(1, &rules, &lats, false, true, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert_eq!(ep.cse.len(), 1, "whole shared condition gets one slot");
         assert_eq!(ep.cse[0].deps, vec![0], "slot depends on the hoisted LAT");
         assert!(ep.rules.iter().all(|pr| pr.program.is_some()));
         // Disabled: programs still emitted, no slots assigned.
-        let plan = DispatchPlan::build(2, &rules, &lats, false, false);
+        let plan = DispatchPlan::build(2, &rules, &lats, false, false, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert!(ep.cse.is_empty());
         assert!(ep.rules.iter().all(|pr| pr.program.is_some()));
         // A single rule has nothing to share with: no slot survives pruning.
         let solo = vec![registered_cond("a", RuleEvent::QueryCommit, &["l"], cond())];
-        let plan = DispatchPlan::build(3, &solo, &lats, false, true);
+        let plan = DispatchPlan::build(3, &solo, &lats, false, true, true);
         let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
         assert!(ep.cse.is_empty());
     }
 
     #[test]
+    fn guard_index_builds_per_event_and_respects_the_switch() {
+        let lats = HashMap::new();
+        let rules = vec![
+            registered_cond(
+                "sel",
+                RuleEvent::QueryCommit,
+                &[],
+                compiled_cond("Query.User = 'alice'", &lats, &[]),
+            ),
+            registered_cond(
+                "rng",
+                RuleEvent::QueryCommit,
+                &[],
+                compiled_cond("Query.Duration > 100", &lats, &[]),
+            ),
+            registered_cond(
+                "res",
+                RuleEvent::QueryCommit,
+                &[],
+                compiled_cond("Query.User LIKE 'a%'", &lats, &[]),
+            ),
+            // Unconditional rule on another event: that plan has nothing to
+            // index and gets no GuardIndex at all.
+            registered("tick", RuleEvent::MonitorTick, &[]),
+        ];
+        let plan = DispatchPlan::build(1, &rules, &lats, false, true, true);
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        let gi = ep.guards.as_ref().expect("index built");
+        assert_eq!(gi.indexed_rules, 2);
+        assert_eq!(gi.residual_rules, 1);
+        assert_eq!(plan.guard_indexed_rules, 2);
+        assert_eq!(plan.guard_residual_rules, 2, "LIKE rule + MonitorTick rule");
+        let tick = plan.event_plan(&RuleEvent::MonitorTick).unwrap();
+        assert!(tick.guards.is_none(), "nothing indexable on MonitorTick");
+        // Disabled: no index anywhere, every rule is residual.
+        let plan = DispatchPlan::build(2, &rules, &lats, false, true, false);
+        let ep = plan.event_plan(&RuleEvent::QueryCommit).unwrap();
+        assert!(ep.guards.is_none());
+        assert_eq!(plan.guard_indexed_rules, 0);
+        assert_eq!(plan.guard_residual_rules, 4);
+    }
+
+    #[test]
     fn plan_cell_load_survives_swap() {
-        let p1 = Arc::new(DispatchPlan::build(1, &[], &HashMap::new(), false, true));
+        let p1 = Arc::new(DispatchPlan::build(
+            1,
+            &[],
+            &HashMap::new(),
+            false,
+            true,
+            true,
+        ));
         let cell = PlanCell::new(p1);
         let held = cell.load();
         cell.swap(Arc::new(DispatchPlan::build(
@@ -988,6 +1079,7 @@ mod tests {
             &[],
             &HashMap::new(),
             false,
+            true,
             true,
         )));
         // The pre-swap reference is still valid (parked, not freed).

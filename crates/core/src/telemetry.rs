@@ -91,6 +91,16 @@ pub(crate) struct Telem {
     /// Condition-IR ops eliminated by registration-time constant folding,
     /// summed over all registered rules.
     pub folded_ops: ShardedCounter,
+    /// Guard-index probes performed (one per event whose plan has a usable
+    /// index; see `crate::guard`).
+    pub guard_probes: ShardedCounter,
+    /// Rules skipped without running the condition VM because a violated
+    /// guard proved the condition cannot hold.
+    pub rules_pruned: ShardedCounter,
+    /// Rules that survived a guard-index probe and ran the VM (candidates).
+    /// Only moves on probed events, so `candidate_rules / guard_probes` is
+    /// the mean candidate set size.
+    pub candidate_rules: ShardedCounter,
 }
 
 impl Telem {
@@ -109,6 +119,9 @@ impl Telem {
             vm_instructions: ShardedCounter::new(),
             cse_hits: ShardedCounter::new(),
             folded_ops: ShardedCounter::new(),
+            guard_probes: ShardedCounter::new(),
+            rules_pruned: ShardedCounter::new(),
+            candidate_rules: ShardedCounter::new(),
         }
     }
 
@@ -183,6 +196,39 @@ pub struct DispatchTelemetry {
     pub cse_hits: u64,
     /// Condition-IR ops eliminated by registration-time constant folding.
     pub folded_ops: u64,
+}
+
+/// Guard-index (rule-matching) slice of a telemetry snapshot.
+///
+/// Populated by the guard index (`crate::guard`): per-event-class
+/// discrimination structures that prune rules whose conditions provably
+/// cannot hold, so only *candidate* rules run the condition VM. All
+/// counters are zero when the index is disabled
+/// ([`crate::Sqlcm::set_guard_index_enabled`]) or no rule is indexable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchingTelemetry {
+    /// Index probes performed — one per event whose plan has a usable index.
+    pub guard_probes: u64,
+    /// Rules skipped without running the VM (violated guard proved the
+    /// condition false under the error/∃ contract).
+    pub rules_pruned: u64,
+    /// Rules that survived a probe and ran the VM, summed over probed
+    /// events.
+    pub candidate_rules: u64,
+    /// Rules in the current plan with no extractable guard (always
+    /// evaluated). Reflects the published plan, not a running count.
+    pub residual_rules: u64,
+}
+
+impl MatchingTelemetry {
+    /// Mean candidate-set size per probed event (0.0 before any probe).
+    pub fn candidate_rules_per_event(&self) -> f64 {
+        if self.guard_probes == 0 {
+            0.0
+        } else {
+            self.candidate_rules as f64 / self.guard_probes as f64
+        }
+    }
 }
 
 /// Per-probe-kind slice of a telemetry snapshot.
@@ -311,6 +357,8 @@ pub struct TelemetrySnapshot {
     pub stats: SqlcmStats,
     /// Dispatch-plan state: epoch, rebuilds, hoisting effectiveness.
     pub dispatch: DispatchTelemetry,
+    /// Guard-index rule matching: probes, pruned/candidate/residual rules.
+    pub matching: MatchingTelemetry,
     /// One entry per [`ProbeKind`], in `ProbeKind::ALL` order.
     pub probes: Vec<ProbeTelemetry>,
     /// One entry per registered rule, in registration order.
@@ -400,6 +448,15 @@ impl TelemetrySnapshot {
             self.dispatch.vm_instructions,
             self.dispatch.cse_hits,
             self.dispatch.folded_ops,
+        );
+        let _ = writeln!(
+            out,
+            "matching: guard_probes={} rules_pruned={} candidate_rules_per_event={:.2} \
+             residual_rules={}",
+            self.matching.guard_probes,
+            self.matching.rules_pruned,
+            self.matching.candidate_rules_per_event(),
+            self.matching.residual_rules,
         );
         let _ = writeln!(out, "probes:");
         for p in &self.probes {
@@ -557,6 +614,14 @@ impl TelemetrySnapshot {
             self.dispatch.vm_instructions,
             self.dispatch.cse_hits,
             self.dispatch.folded_ops
+        ));
+        out.push_str(&format!(
+            ",\"matching\":{{\"guard_probes\":{},\"rules_pruned\":{},\"candidate_rules\":{},\"candidate_rules_per_event\":{:.4},\"residual_rules\":{}}}",
+            self.matching.guard_probes,
+            self.matching.rules_pruned,
+            self.matching.candidate_rules,
+            self.matching.candidate_rules_per_event(),
+            self.matching.residual_rules
         ));
         out.push_str(",\"probes\":[");
         for (i, p) in self.probes.iter().enumerate() {
@@ -790,6 +855,7 @@ mod tests {
         let snap = TelemetrySnapshot {
             stats: SqlcmStats::default(),
             dispatch: DispatchTelemetry::default(),
+            matching: MatchingTelemetry::default(),
             probes: Vec::new(),
             rules: Vec::new(),
             lats: Vec::new(),
@@ -802,6 +868,8 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"probes\":[]"));
         assert!(json.contains("\"dispatch\":{\"plan_epoch\":0"));
+        assert!(json.contains("\"matching\":{\"guard_probes\":0"));
+        assert!(snap.to_text().contains("matching: guard_probes=0"));
         assert!(json.contains("\"tracing\":{\"sampling\":\"off\""));
         assert!(json.contains("\"containment\":{\"breakers_enabled\":false"));
         assert!(json.contains("\"losses\":[]"));

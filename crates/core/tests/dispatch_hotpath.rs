@@ -186,6 +186,80 @@ fn tracing_disabled_dispatch_stays_allocation_and_lock_free() {
     );
 }
 
+/// Guard-indexed dispatch at scale: 200 selective equality rules on one
+/// event class, of which exactly one matches the injected event. The probe
+/// plus the pruned-rule bookkeeping must stay allocation-free and lock-free
+/// (the candidate bitset lives on the stack up to 256 rules), prune the
+/// other 199 rules on every event, and still count an evaluation for every
+/// rule so observable stats match the index-off scan.
+#[test]
+fn guard_indexed_dispatch_allocates_nothing_and_prunes() {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    let rules = 200u64;
+    for i in 0..rules {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("u{i}"))
+                    .on(RuleEvent::QueryCommit)
+                    // The equality atom is the guard; the tail conjunct
+                    // keeps the one candidate evaluated-but-nonfiring so
+                    // this measures the steady state, not the firing path.
+                    .when(&format!(
+                        "Query.User = 'user_{i}' AND Query.Duration > 1000000"
+                    )),
+            )
+            .unwrap();
+    }
+
+    let mut q = QueryInfo::synthetic(1, "SELECT 1");
+    q.user = "user_7".into();
+    let ev = EngineEvent::QueryCommit(q);
+    for _ in 0..64 {
+        sqlcm.inject_event(&ev);
+    }
+
+    let before = sqlcm.telemetry();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let events = 1_000u64;
+    for _ in 0..events {
+        sqlcm.inject_event(&ev);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = sqlcm.telemetry();
+
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "guard-indexed dispatch allocated"
+    );
+    assert_eq!(
+        after.dispatch.reg_lock_acquisitions, before.dispatch.reg_lock_acquisitions,
+        "guard-indexed dispatch took a registry lock"
+    );
+    assert_eq!(
+        after.matching.guard_probes - before.matching.guard_probes,
+        events
+    );
+    assert_eq!(
+        after.matching.rules_pruned - before.matching.rules_pruned,
+        (rules - 1) * events,
+        "every non-matching guarded rule must be pruned"
+    );
+    assert_eq!(
+        after.matching.candidate_rules - before.matching.candidate_rules,
+        events,
+        "exactly one candidate per event"
+    );
+    // Pruning is invisible to per-rule stats: a pruned rule still counts an
+    // evaluation (with a false outcome), exactly like the linear scan.
+    assert_eq!(
+        sqlcm.rule("u0").unwrap().stats().evaluations,
+        sqlcm.rule("u7").unwrap().stats().evaluations
+    );
+    assert_eq!(sqlcm.rule("u7").unwrap().stats().evaluations, 64 + events);
+}
+
 /// Plan bookkeeping: every registry mutation republishes the plan exactly once
 /// and bumps the epoch monotonically.
 #[test]

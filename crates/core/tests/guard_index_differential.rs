@@ -1,0 +1,341 @@
+//! Differential tests for guard-indexed rule matching: dispatch with the
+//! guard index enabled must be observationally identical to the plain
+//! linear scan — same per-rule evaluations/fires/errors, same global stats,
+//! same final LAT contents — on randomized event mixes, while actually
+//! pruning (`rules_pruned > 0`) on selective rule sets. The index is pure
+//! work avoidance: it may only skip a rule whose condition provably cannot
+//! hold, so every observable number must stay bit-identical.
+
+use sqlcm_common::{EngineEvent, QueryInfo};
+use sqlcm_core::{Action, LatAggFunc, LatSpec, Rule, RuleEvent, Sqlcm};
+use sqlcm_engine::Engine;
+
+fn commit_event(user: &str, sig: u64, secs: f64) -> EngineEvent {
+    let mut q = QueryInfo::synthetic(sig, "SELECT 1");
+    q.logical_signature = Some(sig);
+    q.duration_micros = (secs * 1e6) as u64;
+    q.user = user.into();
+    EngineEvent::QueryCommit(q)
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A hand-picked rule set covering every guard shape: equality, IN-list,
+/// one-sided and two-sided ranges, an unsatisfiable range, a guarded rule
+/// with a non-indexable tail conjunct — plus every residual reason that can
+/// still fire (pattern match, LAT read, unconditional feed).
+fn build_monitor(guard_index: bool) -> (Engine, Sqlcm) {
+    let engine = Engine::in_memory();
+    let sqlcm = Sqlcm::attach(&engine);
+    sqlcm.set_guard_index_enabled(guard_index);
+    sqlcm
+        .define_lat(
+            LatSpec::new("Stats_LAT")
+                .group_by("Query.Logical_Signature", "Sig")
+                .aggregate(LatAggFunc::Count, "", "N")
+                .aggregate(LatAggFunc::Avg, "Query.Duration", "Avg_D"),
+        )
+        .unwrap();
+    for i in 0..6 {
+        sqlcm
+            .add_rule(
+                Rule::new(format!("eq{i}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(&format!("Query.User = 'user_{i}'"))
+                    .then(Action::send_mail("dba", "user seen")),
+            )
+            .unwrap();
+    }
+    sqlcm
+        .add_rule(
+            Rule::new("in_sig")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Logical_Signature IN (1, 2, 3)")
+                .then(Action::insert("Stats_LAT")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("range_hi")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 0.5")
+                .then(Action::send_mail("dba", "slow")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("range_lo")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration <= 0.2")
+                .then(Action::send_mail("dba", "fast")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("range_band")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 0.1 AND Query.Duration < 0.4")
+                .then(Action::send_mail("dba", "band")),
+        )
+        .unwrap();
+    // Equality guard with a tail conjunct the index cannot express: the
+    // guard may prune, the VM still decides the rest.
+    sqlcm
+        .add_rule(
+            Rule::new("guarded_tail")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.User = 'user_1' AND Query.Query_Text LIKE '%SELECT%'")
+                .then(Action::send_mail("dba", "user_1 select")),
+        )
+        .unwrap();
+    // Unsatisfiable conjunction: indexed as Never, evaluations must still
+    // count identically in both modes (and fires stay zero).
+    sqlcm
+        .add_rule(
+            Rule::new("never")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Duration > 3 AND Query.Duration < 2")
+                .then(Action::send_mail("dba", "impossible")),
+        )
+        .unwrap();
+    // Residual shapes that do fire: pattern match, LAT read, no condition.
+    sqlcm
+        .add_rule(
+            Rule::new("pattern")
+                .on(RuleEvent::QueryCommit)
+                .when("Query.Query_Text LIKE '%SELECT%'")
+                .then(Action::send_mail("dba", "select seen")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("lat_reader")
+                .on(RuleEvent::QueryCommit)
+                .when("Stats_LAT.N >= 10 AND Stats_LAT.Avg_D > 0.2")
+                .then(Action::send_mail("dba", "hot signature")),
+        )
+        .unwrap();
+    sqlcm
+        .add_rule(
+            Rule::new("feed")
+                .on(RuleEvent::QueryCommit)
+                .then(Action::insert("Stats_LAT")),
+        )
+        .unwrap();
+    (engine, sqlcm)
+}
+
+fn rule_names() -> Vec<String> {
+    let mut names: Vec<String> = (0..6).map(|i| format!("eq{i}")).collect();
+    names.extend(
+        [
+            "in_sig",
+            "range_hi",
+            "range_lo",
+            "range_band",
+            "guarded_tail",
+            "never",
+            "pattern",
+            "lat_reader",
+            "feed",
+        ]
+        .map(String::from),
+    );
+    names
+}
+
+fn assert_observably_equal(on: &Sqlcm, off: &Sqlcm, names: &[String]) {
+    for name in names {
+        let a = on.rule(name).unwrap().stats();
+        let b = off.rule(name).unwrap().stats();
+        assert_eq!(
+            (a.evaluations, a.fires, a.action_errors),
+            (b.evaluations, b.fires, b.action_errors),
+            "rule {name} diverged between index-on and index-off"
+        );
+    }
+    assert_eq!(
+        on.lat("Stats_LAT").unwrap().rows_ordered(),
+        off.lat("Stats_LAT").unwrap().rows_ordered(),
+        "LAT contents diverged"
+    );
+    assert_eq!(on.stats(), off.stats());
+}
+
+#[test]
+fn guard_index_on_and_off_agree_observably() {
+    let (_e1, on) = build_monitor(true);
+    let (_e2, off) = build_monitor(false);
+
+    // Deterministic LCG event mix: 8 users (2 match no equality rule),
+    // 6 signatures, durations spanning every range guard.
+    let mut state = 0x2545f491_4f6cdd1d_u64;
+    let events = 2_000u64;
+    for _ in 0..events {
+        let user = format!("user_{}", lcg(&mut state) % 8);
+        let sig = lcg(&mut state) % 6;
+        let secs = (lcg(&mut state) % 1_000) as f64 / 1e3;
+        let ev = commit_event(&user, sig, secs);
+        on.inject_event(&ev);
+        off.inject_event(&ev);
+    }
+
+    let names = rule_names();
+    assert_observably_equal(&on, &off, &names);
+    for name in &names {
+        if name == "never" {
+            assert_eq!(on.rule(name).unwrap().stats().fires, 0);
+        } else {
+            assert!(
+                on.rule(name).unwrap().stats().fires > 0,
+                "rule {name} never fired: weak scenario"
+            );
+        }
+    }
+
+    // The modes must differ exactly where intended: the indexed monitor
+    // probes once per event and prunes non-matching guarded rules; the
+    // plain scan never probes.
+    let m_on = on.telemetry().matching;
+    let m_off = off.telemetry().matching;
+    assert_eq!(m_on.guard_probes, events, "one probe per dispatched event");
+    assert!(m_on.rules_pruned > 0, "selective rules never pruned");
+    assert_eq!(m_on.residual_rules, 3, "pattern, lat_reader, feed");
+    assert!(
+        m_on.candidate_rules_per_event() < rule_names().len() as f64,
+        "index never narrowed the candidate set"
+    );
+    assert_eq!(m_off.guard_probes, 0);
+    assert_eq!(m_off.rules_pruned, 0);
+    // With the index off the whole rule set is residual by definition.
+    assert_eq!(m_off.residual_rules, rule_names().len() as u64);
+}
+
+/// Randomized rule sets: generate LCG-shaped conditions (equality, IN,
+/// one/two-sided ranges, patterns, guarded conjunctions), run a 2k-event
+/// mix, and require exact agreement. Catches extraction bugs no
+/// hand-picked set would (odd constants, duplicate guards, overlapping
+/// ranges, rules that never fire).
+#[test]
+fn randomized_rule_sets_agree_observably() {
+    let mut state = 0x9e3779b9_7f4a7c15_u64;
+    for round in 0..4 {
+        let engine_on = Engine::in_memory();
+        let on = Sqlcm::attach(&engine_on);
+        let engine_off = Engine::in_memory();
+        let off = Sqlcm::attach(&engine_off);
+        off.set_guard_index_enabled(false);
+        for sqlcm in [&on, &off] {
+            sqlcm
+                .define_lat(
+                    LatSpec::new("L")
+                        .group_by("Query.Logical_Signature", "Sig")
+                        .aggregate(LatAggFunc::Count, "", "N"),
+                )
+                .unwrap();
+        }
+
+        // One deterministic ruleset per round, applied to both monitors.
+        let mut conds = Vec::new();
+        for _ in 0..24 {
+            let cond = match lcg(&mut state) % 6 {
+                0 => format!("Query.User = 'user_{}'", lcg(&mut state) % 8),
+                1 => format!(
+                    "Query.Logical_Signature IN ({}, {})",
+                    lcg(&mut state) % 6,
+                    lcg(&mut state) % 6
+                ),
+                2 => format!("Query.Duration > 0.{}", lcg(&mut state) % 9),
+                3 => {
+                    // Keep lo < hi: the registration-time analyzer rejects
+                    // provably unsatisfiable conditions (E006) outright.
+                    let lo = lcg(&mut state) % 5;
+                    let hi = lo + 1 + lcg(&mut state) % 4;
+                    format!("Query.Duration >= 0.{lo} AND Query.Duration < 0.{hi}")
+                }
+                4 => "Query.Query_Text LIKE '%SELECT%'".to_string(),
+                _ => format!(
+                    "Query.User = 'user_{}' AND Query.Logical_Signature IN ({}, {})",
+                    lcg(&mut state) % 8,
+                    lcg(&mut state) % 6,
+                    lcg(&mut state) % 6
+                ),
+            };
+            conds.push(cond);
+        }
+        for (i, cond) in conds.iter().enumerate() {
+            for sqlcm in [&on, &off] {
+                let rule = Rule::new(format!("r{i}"))
+                    .on(RuleEvent::QueryCommit)
+                    .when(cond);
+                let rule = if i % 3 == 0 {
+                    rule.then(Action::insert("L"))
+                } else {
+                    rule.then(Action::send_mail("dba", "hit"))
+                };
+                sqlcm.add_rule(rule).unwrap();
+            }
+        }
+
+        for _ in 0..2_000 {
+            let user = format!("user_{}", lcg(&mut state) % 8);
+            let sig = lcg(&mut state) % 6;
+            let secs = (lcg(&mut state) % 1_000) as f64 / 1e3;
+            let ev = commit_event(&user, sig, secs);
+            on.inject_event(&ev);
+            off.inject_event(&ev);
+        }
+
+        for (i, cond) in conds.iter().enumerate() {
+            let name = format!("r{i}");
+            let a = on.rule(&name).unwrap().stats();
+            let b = off.rule(&name).unwrap().stats();
+            assert_eq!(
+                (a.evaluations, a.fires, a.action_errors),
+                (b.evaluations, b.fires, b.action_errors),
+                "round {round}: rule {name} ({cond}) diverged",
+            );
+        }
+        assert_eq!(
+            on.lat("L").unwrap().rows_ordered(),
+            off.lat("L").unwrap().rows_ordered(),
+            "round {round}: LAT contents diverged"
+        );
+        assert_eq!(on.stats(), off.stats(), "round {round}: stats diverged");
+        assert!(on.stats().fires > 0, "round {round}: nothing ever fired");
+        assert!(
+            on.telemetry().matching.rules_pruned > 0,
+            "round {round}: index never pruned"
+        );
+    }
+}
+
+/// Flipping the switch mid-stream rebuilds the plan in place; totals must
+/// land exactly where an untoggled monitor's do.
+#[test]
+fn toggling_mid_stream_preserves_observables() {
+    let (_e1, toggled) = build_monitor(true);
+    let (_e2, plain) = build_monitor(false);
+
+    let mut state = 0xfeed_f00d_dead_beef_u64;
+    for i in 0..900 {
+        if i % 300 == 0 {
+            toggled.set_guard_index_enabled(i % 600 != 0);
+        }
+        let user = format!("user_{}", lcg(&mut state) % 8);
+        let sig = lcg(&mut state) % 6;
+        let secs = (lcg(&mut state) % 1_000) as f64 / 1e3;
+        let ev = commit_event(&user, sig, secs);
+        toggled.inject_event(&ev);
+        plain.inject_event(&ev);
+    }
+    assert_observably_equal(&toggled, &plain, &rule_names());
+    let m = toggled.telemetry().matching;
+    assert!(m.guard_probes > 0 && m.guard_probes < 900);
+    assert!(m.rules_pruned > 0);
+}

@@ -15,7 +15,7 @@
 //! `--deny-warnings`, when any diagnostic at all is reported — so the command
 //! slots into CI for rule catalogs kept under version control.
 
-use sqlcm_core::analysis::{lat_ir, rule_ir};
+use sqlcm_core::analysis::{lat_ir, rule_indexability, rule_ir, Indexability};
 use sqlcm_core::{Action, Analyzer, Diagnostic, LatAggFunc, LatSpec, Rule, RuleEvent, Severity};
 use sqlcm_repro::workloads::rules::catalogs;
 
@@ -148,6 +148,12 @@ fn bad_ruleset() -> (Vec<LatSpec>, Vec<Rule>) {
             .on(RuleEvent::QueryCommit)
             .when("Idle_LAT.N > 10")
             .then(Action::send_mail("dba", "idle lat moved?")),
+        // W205: pattern-only condition on a hot event — the guard index has
+        // no atom to probe, so every query commit evaluates the LIKE.
+        Rule::new("ddl_watch")
+            .on(RuleEvent::QueryCommit)
+            .when("Query.Query_Text LIKE '%DROP TABLE%'")
+            .then(Action::send_mail("dba", "DDL spotted")),
         // W301: `order_writer` mutates what the adjacent earlier rule reads —
         // swapping the pair changes what `order_reader` observes.
         Rule::new("order_reader")
@@ -194,6 +200,8 @@ fn print_diag(d: &Diagnostic) {
 }
 
 /// Lint one (LAT, rule) set with a fresh analyzer; returns its diagnostics.
+/// Also prints the per-rule guard-index verdict — whether dispatch can prune
+/// the rule without evaluating it, mirroring `telemetry.matching` at runtime.
 fn lint(lats: &[LatSpec], rules: &[Rule], cascade_threshold: Option<usize>) -> Vec<Diagnostic> {
     let mut analyzer = Analyzer::new();
     if let Some(t) = cascade_threshold {
@@ -206,6 +214,18 @@ fn lint(lats: &[LatSpec], rules: &[Rule], cascade_threshold: Option<usize>) -> V
     for rule in rules {
         diags.extend(analyzer.check_rule(&rule_ir(rule)));
     }
+    println!("guard indexability (can dispatch prune the rule without evaluating it?):");
+    for rule in rules {
+        match rule_indexability(analyzer.universe(), &rule_ir(rule)) {
+            Indexability::Indexable(guard) => {
+                println!("  {:<16} indexable: {guard}", rule.name);
+            }
+            Indexability::Residual(r) => {
+                println!("  {:<16} residual:  {}", rule.name, r.describe());
+            }
+        }
+    }
+    println!();
     diags
 }
 
@@ -233,15 +253,15 @@ fn main() {
     if workloads {
         // Each workload catalog is an independent ruleset: fresh analyzer each.
         for catalog in catalogs() {
-            let diags = lint(&catalog.lats, &catalog.rules, None);
             println!(
-                "catalog `{}` ({}): {} LAT(s), {} rule(s), {} diagnostic(s)",
+                "catalog `{}` ({}): {} LAT(s), {} rule(s)",
                 catalog.name,
                 catalog.scenario,
                 catalog.lats.len(),
                 catalog.rules.len(),
-                diags.len()
             );
+            let diags = lint(&catalog.lats, &catalog.rules, None);
+            println!("{} diagnostic(s)", diags.len());
             for d in &diags {
                 print_diag(d);
             }
@@ -251,13 +271,13 @@ fn main() {
     } else {
         let (lats, rules) = if bad { bad_ruleset() } else { good_ruleset() };
         let threshold = bad.then_some(DEMO_CASCADE_THRESHOLD);
-        let diags = lint(&lats, &rules, threshold);
         println!(
-            "linted {} LAT spec(s), {} rule(s): {} diagnostic(s)\n",
+            "linting {} LAT spec(s), {} rule(s)\n",
             lats.len(),
-            rules.len(),
-            diags.len()
+            rules.len()
         );
+        let diags = lint(&lats, &rules, threshold);
+        println!("{} diagnostic(s)\n", diags.len());
         for d in &diags {
             print_diag(d);
         }

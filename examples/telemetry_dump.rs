@@ -115,6 +115,14 @@ fn main() -> Result<()> {
             snapshot.dispatch.hoisted_lookup_hits,
             snapshot.dispatch.lat_row_fetches
         );
+        println!(
+            "guard index: {} rule(s) indexed, {} residual; {:.2} candidate rule(s) \
+             per probed event ({} pruned without evaluation)",
+            plan.guard_indexed_rules,
+            plan.guard_residual_rules,
+            snapshot.matching.candidate_rules_per_event(),
+            snapshot.matching.rules_pruned,
+        );
         for g in plan.shared_groups() {
             println!("  shared hoist on {}: {} <- {:?}", g.event, g.lat, g.rules);
         }
@@ -142,5 +150,19 @@ fn main() -> Result<()> {
     );
     assert!(snapshot.dispatch.plan_rebuilds >= 6, "plan not republished");
     assert!(snapshot.tracing.sampled > 0, "tracing section is empty");
+    // The QueryCommit plan has one indexable rule (`slow_alert`'s range
+    // guard), so every commit is probed and the matching slice is live.
+    assert!(
+        sqlcm.plan_summary().guard_indexed_rules >= 1,
+        "no indexed rule"
+    );
+    assert!(
+        snapshot.matching.guard_probes > 0,
+        "guard index never probed"
+    );
+    assert!(
+        snapshot.matching.residual_rules > 0,
+        "LAT readers must be residual"
+    );
     Ok(())
 }
